@@ -1,0 +1,55 @@
+#ifndef POPDB_BENCH_BENCH_UTIL_H_
+#define POPDB_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "core/pop.h"
+#include "opt/plan.h"
+
+namespace popdb::bench {
+
+/// Compact join-shape rendering of a plan: joins and scans only, wrapper
+/// operators (TEMP/SORT/CHECK/aggregation) elided. Used to report which
+/// plan the optimizer picked at each point of a parameter sweep.
+inline std::string JoinShape(const PlanNode& node) {
+  switch (node.kind) {
+    case PlanOpKind::kTableScan:
+      return node.table_name;
+    case PlanOpKind::kMatViewScan:
+      return "MV[" + node.mv_name + "]";
+    case PlanOpKind::kNljn:
+    case PlanOpKind::kHsjn:
+    case PlanOpKind::kMgjn:
+      return std::string(PlanOpKindName(node.kind)) + "(" +
+             JoinShape(*node.children[0]) + "," +
+             JoinShape(*node.children[1]) + ")";
+    default:
+      if (node.children.empty()) return "?";
+      return JoinShape(*node.children[0]);
+  }
+}
+
+/// Reads a scale override from the environment (POPDB_TPCH_SCALE /
+/// POPDB_DMV_SCALE) so users can run the experiments at larger sizes
+/// without recompiling.
+inline double EnvScale(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  const double parsed = std::strtod(v, nullptr);
+  return parsed > 0 ? parsed : fallback;
+}
+
+inline void PrintHeader(const char* title, const char* paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("(reproduces %s)\n", paper_ref);
+  std::printf("================================================================\n");
+}
+
+}  // namespace popdb::bench
+
+#endif  // POPDB_BENCH_BENCH_UTIL_H_

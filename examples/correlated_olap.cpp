@@ -1,0 +1,84 @@
+// Scenario from the paper's Section 6 case study: complex OLAP queries
+// over a database with correlated columns (a department-of-motor-vehicles
+// schema). The optimizer multiplies the selectivities of predicates on
+// MAKE, MODEL and WEIGHT as if they were independent — but MODEL
+// functionally determines the other two, so the estimate is off by three
+// orders of magnitude and the chosen nested-loop plan is a disaster.
+//
+// Build & run:  cmake --build build && ./build/examples/correlated_olap
+
+#include <cstdio>
+
+#include "common/status.h"
+#include "core/pop.h"
+#include "dmv/dmv_gen.h"
+#include "dmv/dmv_queries.h"
+
+using namespace popdb;  // NOLINT: example brevity.
+
+int main() {
+  std::printf("generating the correlated DMV database...\n");
+  Catalog catalog;
+  dmv::GenConfig gen;
+  POPDB_DCHECK(dmv::BuildCatalog(gen, &catalog).ok());
+
+  // A decision-support query: count registrations and insurance policies
+  // of cars of one make, whose owners live in the make's typical zip
+  // band. Both the MAKE=..AND..ZIP-band pair (join correlation) and the
+  // MAKE/MODEL pair (functional dependency) violate independence.
+  QuerySpec q("correlated_olap");
+  const int car = q.AddTable("car");
+  const int owner = q.AddTable("owner");
+  const int reg = q.AddTable("registration");
+  const int ins = q.AddTable("insurance");
+  q.AddJoin({car, dmv::Car::kOwnerId}, {owner, dmv::Owner::kId});
+  q.AddJoin({reg, dmv::Registration::kCarId}, {car, dmv::Car::kId});
+  q.AddJoin({ins, dmv::Insurance::kCarId}, {car, dmv::Car::kId});
+  const int64_t model = 777;
+  const int64_t make = model / dmv::kModelsPerMake;
+  const int64_t band = dmv::kNumZips / dmv::kNumMakes;
+  q.AddPred({car, dmv::Car::kMake}, PredKind::kEq, Value::Int(make));
+  q.AddPred({car, dmv::Car::kModel}, PredKind::kEq, Value::Int(model));
+  q.AddPred({owner, dmv::Owner::kZip}, PredKind::kBetween,
+            Value::Int(make * band), Value::Int((make + 1) * band - 1));
+  q.AddGroupBy({owner, dmv::Owner::kState});
+  q.AddAgg(AggFunc::kCount);
+
+  ProgressiveExecutor exec(catalog, OptimizerConfig{}, PopConfig{});
+
+  std::printf("\n--- the optimizer's view ---\n");
+  Result<OptimizedPlan> planned = exec.Plan(q);
+  POPDB_DCHECK(planned.ok());
+  std::printf("%s", planned.value().root->ToString().c_str());
+  std::printf(
+      "(note the estimated cardinalities: the full join is expected to\n"
+      "produce %.3g rows; the real count is orders of magnitude larger\n"
+      "because the restricted columns are correlated)\n",
+      planned.value().root->children[0]->card);
+
+  ExecutionStats sstat;
+  POPDB_DCHECK(exec.ExecuteStatic(q, &sstat).ok());
+  std::printf("\nstatic execution:      %10lld work units (%.1f ms)\n",
+              static_cast<long long>(sstat.total_work), sstat.total_ms);
+
+  ExecutionStats pstat;
+  POPDB_DCHECK(exec.Execute(q, &pstat).ok());
+  std::printf("progressive execution: %10lld work units (%.1f ms), "
+              "%d re-optimization(s)\n",
+              static_cast<long long>(pstat.total_work), pstat.total_ms,
+              pstat.reopts);
+  for (const AttemptInfo& at : pstat.attempts) {
+    if (at.reoptimized) {
+      std::printf(
+          "  checkpoint fired: %s observed %lld rows against range "
+          "[%.3g, %.3g]\n",
+          CheckFlavorName(at.signal.flavor),
+          static_cast<long long>(at.signal.observed_rows), at.signal.check_lo,
+          at.signal.check_hi);
+    }
+  }
+  std::printf("speedup: %.1fx\n",
+              static_cast<double>(sstat.total_work) /
+                  static_cast<double>(pstat.total_work));
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Simulation of the paper's Section 7 future-work idea for parallel
+// DBMSs: instead of globally synchronizing cardinality counters across
+// nodes, each node checks and re-optimizes its own partial plan locally
+// between global synchronization points.
+//
+// We simulate a shared-nothing system by hash-partitioning the CAR fact
+// table across N "nodes" (each node = its own catalog holding one
+// partition plus replicated dimension tables, a common layout for star
+// schemas). Every node runs the same query with its own
+// ProgressiveExecutor. One partition is engineered to be skewed: its local
+// check is certain to fire, so that node re-optimizes while nodes with
+// well-estimated partitions (usually) keep their plans — the selling point
+// of local checking.
+//
+// Build & run:  cmake --build build && ./build/examples/parallel_local_checks
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include "core/pop.h"
+#include "opt/query.h"
+#include "storage/catalog.h"
+#include "storage/schema.h"
+#include "storage/table.h"
+
+using namespace popdb;  // NOLINT: example brevity.
+
+namespace {
+
+constexpr int kNodes = 4;
+constexpr int64_t kFactRows = 32000;
+constexpr int64_t kDimRows = 16000;
+
+Schema FactSchema() {
+  return Schema({{"f_dim", ValueType::kInt},
+                 {"f_class", ValueType::kInt},
+                 {"f_subclass", ValueType::kInt}});
+}
+
+Schema DimSchema() {
+  return Schema({{"d_id", ValueType::kInt}, {"d_tag", ValueType::kInt}});
+}
+
+/// Builds node `node`'s catalog: its partition of FACT plus the replicated
+/// DIM table. Partition `kNodes - 1` is skewed: the correlated restriction
+/// keeps far more rows there than the partition-local statistics expect.
+void BuildNodeCatalog(int node, Catalog* catalog) {
+  Rng rng(100 + node);
+  Table fact("fact", FactSchema());
+  const bool skewed = node == kNodes - 1;
+  for (int64_t i = 0; i < kFactRows / kNodes; ++i) {
+    // class and subclass are independent in the steady data, so the
+    // estimates are accurate on ordinary partitions...
+    int64_t clazz = rng.UniformInt(0, 19);
+    int64_t sub = rng.UniformInt(0, 199);
+    // ...but the skewed partition carries a hot correlated pair.
+    if (skewed && rng.Bernoulli(0.05)) {
+      clazz = 7;
+      sub = 77;
+    }
+    fact.AppendRow({Value::Int(rng.UniformInt(0, kDimRows - 1)),
+                    Value::Int(clazz), Value::Int(sub)});
+  }
+  POPDB_DCHECK(catalog->AddTable(std::move(fact)).ok());
+
+  Table dim("dim", DimSchema());
+  Rng dim_rng(7);  // Identical replica on every node.
+  for (int64_t i = 0; i < kDimRows; ++i) {
+    dim.AppendRow({Value::Int(i), Value::Int(dim_rng.UniformInt(0, 99))});
+  }
+  POPDB_DCHECK(catalog->AddTable(std::move(dim)).ok());
+  catalog->AnalyzeAll();
+}
+
+QuerySpec NodeQuery() {
+  QuerySpec q("node_fragment");
+  const int f = q.AddTable("fact");
+  const int d = q.AddTable("dim");
+  q.AddJoin({f, 0}, {d, 0});
+  q.AddPred({f, 1}, PredKind::kEq, Value::Int(7));   // class = 7
+  q.AddPred({f, 2}, PredKind::kEq, Value::Int(77));  // subclass = 77
+  q.AddGroupBy({f, 1});
+  q.AddAgg(AggFunc::kCount);
+  return q;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "simulating %d shared-nothing nodes, FACT hash-partitioned, DIM "
+      "replicated;\nnode %d carries a skewed partition.\n\n",
+      kNodes, kNodes - 1);
+
+  int64_t total_rows = 0;
+  int total_reopts = 0;
+  for (int node = 0; node < kNodes; ++node) {
+    Catalog catalog;
+    BuildNodeCatalog(node, &catalog);
+    ProgressiveExecutor exec(catalog, OptimizerConfig{}, PopConfig{});
+    ExecutionStats stats;
+    Result<std::vector<Row>> rows = exec.Execute(NodeQuery(), &stats);
+    POPDB_DCHECK(rows.ok());
+    int64_t node_count = 0;
+    for (const Row& r : rows.value()) node_count += r[1].AsInt();
+    total_rows += node_count;
+    total_reopts += stats.reopts;
+    std::printf(
+        "node %d: %8lld result rows, %7lld work units, %d local "
+        "re-optimization(s)%s\n",
+        node, static_cast<long long>(node_count),
+        static_cast<long long>(stats.total_work), stats.reopts,
+        stats.reopts > 0 ? "  <- local check fired; this node re-planned" : "");
+  }
+  std::printf(
+      "\nglobal result (sum over nodes): %lld rows; %d local "
+      "re-optimizations total.\n",
+      static_cast<long long>(total_rows), total_reopts);
+  std::printf(
+      "No global counter synchronization was needed: each node's CHECK\n"
+      "guards only its partition, per the paper's Section 7 sketch.\n");
+  return 0;
+}

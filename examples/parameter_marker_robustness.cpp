@@ -1,0 +1,56 @@
+// Scenario from the paper's Section 5.1: a query compiled once with
+// parameter markers is executed with many different bindings. The
+// optimizer planned for one default selectivity; progressive optimization
+// keeps execution near-optimal across all bindings.
+//
+// Build & run:  cmake --build build && ./build/examples/parameter_marker_robustness
+
+#include <cstdio>
+
+#include "common/status.h"
+#include "core/pop.h"
+#include "tpch/tpch_gen.h"
+#include "tpch/tpch_queries.h"
+
+using namespace popdb;  // NOLINT: example brevity.
+
+int main() {
+  std::printf("generating TPC-H data...\n");
+  Catalog catalog;
+  tpch::GenConfig gen;
+  POPDB_DCHECK(tpch::BuildCatalog(gen, &catalog).ok());
+
+  OptimizerConfig opt;
+  opt.estimator.default_range_selectivity = 0.01;  // The compiled default.
+  opt.cost.mem_rows = 8000;
+
+  std::printf(
+      "\nTPC-H Q10 with 'l_sel < ?' — the optimizer sees only a marker\n"
+      "and plans for %.0f%% selectivity regardless of the binding.\n\n",
+      opt.estimator.default_range_selectivity * 100);
+
+  for (int sel : {5, 50, 95}) {
+    QuerySpec q = tpch::MakeQ10Selectivity(sel, /*use_marker=*/true);
+    ProgressiveExecutor exec(catalog, opt, PopConfig{});
+
+    ExecutionStats pop_stats, static_stats, best_stats;
+    POPDB_DCHECK(exec.Execute(q, &pop_stats).ok());
+    POPDB_DCHECK(exec.ExecuteStatic(q, &static_stats).ok());
+    QuerySpec q_known = tpch::MakeQ10Selectivity(sel, /*use_marker=*/false);
+    POPDB_DCHECK(exec.ExecuteStatic(q_known, &best_stats).ok());
+
+    std::printf("binding => %d%% actual selectivity\n", sel);
+    std::printf("  static plan (marker):   %8lld work units\n",
+                static_cast<long long>(static_stats.total_work));
+    std::printf("  POP (marker):           %8lld work units, %d reopt(s)\n",
+                static_cast<long long>(pop_stats.total_work),
+                pop_stats.reopts);
+    std::printf("  optimal (literal seen): %8lld work units\n\n",
+                static_cast<long long>(best_stats.total_work));
+  }
+  std::printf(
+      "POP stays close to the plan the optimizer would have chosen had it\n"
+      "known the literal — the paper's 'insurance policy' for compiled\n"
+      "queries.\n");
+  return 0;
+}

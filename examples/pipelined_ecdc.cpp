@@ -1,0 +1,80 @@
+// Eager checking with deferred compensation (paper Section 3.3): a
+// pipelined SPJ query starts returning rows to the application before a
+// mid-pipeline CHECK discovers the plan is out of its validity range. The
+// re-optimized plan compensates with an anti-join against the side table
+// of already-returned rows, so the application sees no duplicates.
+//
+// Build & run:  cmake --build build && ./build/examples/pipelined_ecdc
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/pop.h"
+#include "dmv/dmv_gen.h"
+#include "dmv/dmv_queries.h"
+
+using namespace popdb;  // NOLINT: example brevity.
+
+int main() {
+  Catalog catalog;
+  dmv::GenConfig gen;
+  POPDB_DCHECK(dmv::BuildCatalog(gen, &catalog).ok());
+
+  // Pipelined SPJ query (no aggregation): list registrations of a
+  // correlated car restriction. The optimizer underestimates the
+  // restriction ~50x.
+  QuerySpec q("pipelined_spj");
+  const int car = q.AddTable("car");
+  const int owner = q.AddTable("owner");
+  const int reg = q.AddTable("registration");
+  q.AddJoin({car, dmv::Car::kOwnerId}, {owner, dmv::Owner::kId});
+  q.AddJoin({reg, dmv::Registration::kCarId}, {car, dmv::Car::kId});
+  const int64_t model = 444;
+  q.AddPred({car, dmv::Car::kMake}, PredKind::kEq,
+            Value::Int(model / dmv::kModelsPerMake));
+  q.AddPred({car, dmv::Car::kModel}, PredKind::kEq, Value::Int(model));
+  q.AddProjection({owner, dmv::Owner::kName});
+  q.AddProjection({reg, dmv::Registration::kYear});
+
+  // Enable only the pipelined flavor: ECDC checks stream rows to the user
+  // while counting; nothing is buffered.
+  PopConfig pop;
+  pop.enable_lc = false;
+  pop.enable_lcem = false;
+  pop.enable_ecdc = true;
+
+  ProgressiveExecutor exec(catalog, OptimizerConfig{}, pop);
+  ExecutionStats stats;
+  Result<std::vector<Row>> rows = exec.Execute(q, &stats);
+  POPDB_DCHECK(rows.ok());
+
+  std::printf("re-optimizations: %d\n", stats.reopts);
+  for (size_t a = 0; a < stats.attempts.size(); ++a) {
+    const AttemptInfo& at = stats.attempts[a];
+    std::printf("attempt %zu: %lld row(s) pipelined to the application%s\n",
+                a + 1, static_cast<long long>(at.rows_returned),
+                at.reoptimized ? ", then the ECDC check fired" : "");
+  }
+
+  // Correctness check: compare against the static execution.
+  Result<std::vector<Row>> expected = exec.ExecuteStatic(q);
+  POPDB_DCHECK(expected.ok());
+  auto canon = [](std::vector<Row> rs) {
+    std::vector<std::string> out;
+    out.reserve(rs.size());
+    for (const Row& r : rs) out.push_back(RowToString(r));
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  const bool equal = canon(rows.value()) == canon(expected.value());
+  std::printf(
+      "\ntotal rows: %zu (static run: %zu) — %s\n", rows.value().size(),
+      expected.value().size(),
+      equal ? "identical multisets, no duplicates despite mid-stream "
+              "re-optimization"
+            : "MISMATCH (bug!)");
+  return equal ? 0 : 1;
+}

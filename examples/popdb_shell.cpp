@@ -1,0 +1,174 @@
+// Interactive SQL shell over the progressive-optimization engine.
+//
+//   ./build/examples/popdb_shell [tpch|dmv|toy] ['SQL...']
+//
+// With a SQL argument it runs one statement and exits; otherwise it reads
+// statements from stdin (terminated by ';' or end of line). Commands:
+//   EXPLAIN SELECT ...   print the chosen plan with validity ranges
+//   \static              toggle static (no-POP) execution
+//   \quit                exit
+//
+// Example session:
+//   $ ./build/examples/popdb_shell dmv
+//   popdb> SELECT o_state, COUNT(*) FROM car c, owner o
+//          WHERE c.c_owner_id = o.o_id AND c_make = 38 AND c_model = 777
+//          GROUP BY o_state;
+//   ... rows ..., 1 re-optimization
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "core/pop.h"
+#include "dmv/dmv_gen.h"
+#include "sql/binder.h"
+#include "storage/csv.h"
+#include "storage/schema.h"
+#include "storage/table.h"
+#include "tpch/tpch_gen.h"
+
+using namespace popdb;  // NOLINT: example brevity.
+
+namespace {
+
+void BuildToy(Catalog* catalog) {
+  Rng rng(7);
+  Table orders("orders", Schema({{"o_id", ValueType::kInt},
+                                 {"o_class", ValueType::kInt},
+                                 {"o_subclass", ValueType::kInt},
+                                 {"o_total", ValueType::kDouble}}));
+  for (int64_t i = 0; i < 20000; ++i) {
+    const int64_t sub = rng.UniformInt(0, 399);
+    orders.AppendRow({Value::Int(i), Value::Int(sub / 20), Value::Int(sub),
+                      Value::Double(rng.UniformDouble() * 100)});
+  }
+  POPDB_DCHECK(catalog->AddTable(std::move(orders)).ok());
+  Table items("items", Schema({{"i_order", ValueType::kInt},
+                               {"i_qty", ValueType::kInt}}));
+  for (int64_t i = 0; i < 60000; ++i) {
+    items.AppendRow({Value::Int(rng.UniformInt(0, 19999)),
+                     Value::Int(rng.UniformInt(1, 50))});
+  }
+  POPDB_DCHECK(catalog->AddTable(std::move(items)).ok());
+  catalog->AnalyzeAll();
+}
+
+void PrintTables(const Catalog& catalog) {
+  std::printf("tables:\n");
+  for (const std::string& name : catalog.TableNames()) {
+    const Table* t = catalog.GetTable(name);
+    std::printf("  %-14s %8lld rows  (%s)\n", name.c_str(),
+                static_cast<long long>(t->num_rows()),
+                t->schema().ToString().c_str());
+  }
+}
+
+int RunStatement(const Catalog& catalog, const std::string& sql,
+                 bool use_pop) {
+  Result<sql::BoundStatement> bound = sql::ParseSql(catalog, sql);
+  if (!bound.ok()) {
+    std::printf("error: %s\n", bound.status().ToString().c_str());
+    return 1;
+  }
+  ProgressiveExecutor exec(catalog, OptimizerConfig{}, PopConfig{});
+  if (bound.value().explain) {
+    Result<OptimizedPlan> plan = exec.Plan(bound.value().query);
+    if (!plan.ok()) {
+      std::printf("error: %s\n", plan.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s", plan.value().root->ToString().c_str());
+    std::printf("estimated cost %.4g, %lld candidate plans considered\n",
+                plan.value().est_cost,
+                static_cast<long long>(plan.value().candidates));
+    return 0;
+  }
+  ExecutionStats stats;
+  Result<std::vector<Row>> rows =
+      use_pop ? exec.Execute(bound.value().query, &stats)
+              : exec.ExecuteStatic(bound.value().query, &stats);
+  if (!rows.ok()) {
+    std::printf("error: %s\n", rows.status().ToString().c_str());
+    return 1;
+  }
+  const size_t show = std::min<size_t>(rows.value().size(), 20);
+  for (size_t i = 0; i < show; ++i) {
+    std::printf("%s\n", RowToString(rows.value()[i]).c_str());
+  }
+  if (show < rows.value().size()) {
+    std::printf("... (%zu more rows)\n", rows.value().size() - show);
+  }
+  std::printf("%zu row(s) in %.1f ms, %lld work units", rows.value().size(),
+              stats.total_ms, static_cast<long long>(stats.total_work));
+  if (stats.reopts > 0) {
+    std::printf(", %d re-optimization(s)", stats.reopts);
+  }
+  std::printf("\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string dataset = argc > 1 ? argv[1] : "toy";
+  Catalog catalog;
+  if (dataset == "tpch") {
+    std::printf("loading TPC-H...\n");
+    POPDB_DCHECK(tpch::BuildCatalog(tpch::GenConfig{}, &catalog).ok());
+  } else if (dataset == "dmv") {
+    std::printf("loading the DMV case-study database...\n");
+    POPDB_DCHECK(dmv::BuildCatalog(dmv::GenConfig{}, &catalog).ok());
+  } else {
+    std::printf("loading the toy database (orders/items, correlated)...\n");
+    BuildToy(&catalog);
+  }
+  PrintTables(catalog);
+
+  if (argc > 2) {
+    return RunStatement(catalog, argv[2], /*use_pop=*/true);
+  }
+
+  bool use_pop = true;
+  std::printf(
+      "\nType SQL (single line, ';' optional), EXPLAIN SELECT ... for "
+      "plans,\n\\static to toggle POP, \\load <table> <csv> to import "
+      "data, \\quit to exit.\n");
+  std::string line;
+  while (true) {
+    std::printf("popdb%s> ", use_pop ? "" : " (static)");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    if (line.empty()) continue;
+    if (line == "\\quit" || line == "\\q") break;
+    if (line == "\\static") {
+      use_pop = !use_pop;
+      std::printf("progressive optimization %s\n", use_pop ? "ON" : "OFF");
+      continue;
+    }
+    if (line.rfind("\\load ", 0) == 0) {
+      // \load <table> <path.csv>
+      std::istringstream args(line.substr(6));
+      std::string table, path;
+      args >> table >> path;
+      if (table.empty() || path.empty()) {
+        std::printf("usage: \\load <table> <path.csv>\n");
+        continue;
+      }
+      const Status s = LoadCsvFile(table, path, &catalog);
+      if (!s.ok()) {
+        std::printf("error: %s\n", s.ToString().c_str());
+      } else {
+        std::printf("loaded %lld rows into %s\n",
+                    static_cast<long long>(
+                        catalog.GetTable(table)->num_rows()),
+                    table.c_str());
+      }
+      continue;
+    }
+    RunStatement(catalog, line, use_pop);
+  }
+  return 0;
+}

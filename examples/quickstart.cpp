@@ -1,0 +1,107 @@
+// Quickstart: build a small database, run a query whose cardinality the
+// optimizer underestimates by orders of magnitude (correlated predicates
+// break the independence assumption), and watch progressive optimization
+// detect the error mid-flight, re-optimize with the actual cardinality,
+// and reuse the already materialized intermediate result.
+//
+// Build & run:  cmake --build build && ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include "core/pop.h"
+#include "opt/query.h"
+#include "storage/catalog.h"
+#include "storage/schema.h"
+#include "storage/table.h"
+
+using namespace popdb;  // NOLINT: example brevity.
+
+int main() {
+  // ---- 1. Create and populate a catalog: orders (40k) and items (120k).
+  // ORDERS carries correlated columns: `subclass` functionally determines
+  // `class`, and `region` is determined by `subclass` too. A predicate on
+  // all three looks astronomically selective to an independence-assuming
+  // optimizer, but actually selects ~100 rows.
+  Catalog catalog;
+  Rng rng(1);
+  {
+    Table orders("orders", Schema({{"o_id", ValueType::kInt},
+                                   {"o_class", ValueType::kInt},
+                                   {"o_subclass", ValueType::kInt},
+                                   {"o_region", ValueType::kInt},
+                                   {"o_total", ValueType::kDouble}}));
+    for (int64_t i = 0; i < 40000; ++i) {
+      const int64_t subclass = rng.UniformInt(0, 399);
+      orders.AppendRow({Value::Int(i), Value::Int(subclass / 20),
+                        Value::Int(subclass), Value::Int(subclass % 50),
+                        Value::Double(rng.UniformDouble() * 100)});
+    }
+    POPDB_DCHECK(catalog.AddTable(std::move(orders)).ok());
+  }
+  {
+    Table items("items", Schema({{"i_order", ValueType::kInt},
+                                 {"i_qty", ValueType::kInt}}));
+    for (int64_t i = 0; i < 120000; ++i) {
+      items.AppendRow({Value::Int(rng.UniformInt(0, 39999)),
+                       Value::Int(rng.UniformInt(1, 50))});
+    }
+    POPDB_DCHECK(catalog.AddTable(std::move(items)).ok());
+  }
+  catalog.AnalyzeAll();
+
+  // ---- 2. The query: restrict ORDERS on the three correlated columns and
+  // join ITEMS. Estimated cardinality: 40000/(20*400*50) = 0.1 rows.
+  // Actual: ~100 rows. The optimizer therefore picks a nested-loop join
+  // that scans ITEMS once per order — a disaster at the true cardinality.
+  const int64_t subclass = 123;
+  QuerySpec query("quickstart");
+  const int o = query.AddTable("orders");
+  const int it = query.AddTable("items");
+  query.AddJoin({o, 0}, {it, 0});  // o_id = i_order
+  query.AddPred({o, 1}, PredKind::kEq, Value::Int(subclass / 20));
+  query.AddPred({o, 2}, PredKind::kEq, Value::Int(subclass));
+  query.AddPred({o, 3}, PredKind::kEq, Value::Int(subclass % 50));
+  query.AddGroupBy({o, 3});
+  query.AddAgg(AggFunc::kSum, {it, 1});
+  query.AddAgg(AggFunc::kCount);
+
+  // ---- 3. Execute with progressive optimization.
+  ProgressiveExecutor pop(catalog, OptimizerConfig{}, PopConfig{});
+  ExecutionStats stats;
+  Result<std::vector<Row>> rows = pop.Execute(query, &stats);
+  if (!rows.ok()) {
+    std::fprintf(stderr, "error: %s\n", rows.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("result rows: %zu\n", rows.value().size());
+  std::printf("re-optimizations: %d\n\n", stats.reopts);
+  for (size_t a = 0; a < stats.attempts.size(); ++a) {
+    const AttemptInfo& at = stats.attempts[a];
+    std::printf("--- attempt %zu (optimize %.2f ms, execute %.2f ms)\n",
+                a + 1, at.optimize_ms, at.execute_ms);
+    std::printf("%s", at.plan_text.c_str());
+    if (at.reoptimized) {
+      std::printf(
+          ">>> %s check on edge 0x%llx fired: observed %lld rows, "
+          "check range [%.3g, %.3g] -> re-optimizing\n\n",
+          CheckFlavorName(at.signal.flavor),
+          static_cast<unsigned long long>(at.signal.edge_set),
+          static_cast<long long>(at.signal.observed_rows), at.signal.check_lo,
+          at.signal.check_hi);
+    }
+  }
+
+  // ---- 4. Compare with classic static execution (no checkpoints).
+  ExecutionStats static_stats;
+  Result<std::vector<Row>> srows = pop.ExecuteStatic(query, &static_stats);
+  POPDB_DCHECK(srows.ok() && srows.value().size() == rows.value().size());
+  std::printf(
+      "\nwork units: static=%lld  progressive=%lld  (speedup %.1fx)\n",
+      static_cast<long long>(static_stats.total_work),
+      static_cast<long long>(stats.total_work),
+      static_cast<double>(static_stats.total_work) /
+          static_cast<double>(stats.total_work));
+  return 0;
+}

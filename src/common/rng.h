@@ -1,0 +1,86 @@
+#ifndef POPDB_COMMON_RNG_H_
+#define POPDB_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace popdb {
+
+/// Deterministic pseudo-random generator (xorshift64*). All data generation
+/// and workload synthesis in the repository goes through this class so tests
+/// and benchmarks are reproducible across platforms.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed == 0 ? 0x853c49e6748fea9bull : seed) {}
+
+  /// Next raw 64-bit output.
+  uint64_t NextU64() {
+    uint64_t x = state_;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    state_ = x;
+    return x * 0x2545f4914f6cdd1dull;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    POPDB_DCHECK(lo <= hi);
+    const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int64_t>(NextU64() % span);
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(NextU64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli draw with probability p of returning true.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  /// Zipf-distributed integer in [0, n); `theta` in (0, 1) controls skew
+  /// (higher = more skewed). Uses the standard CDF-inversion approximation.
+  int64_t Zipf(int64_t n, double theta) {
+    POPDB_DCHECK(n > 0);
+    // Cache normalization constants per (n, theta).
+    if (zipf_n_ != n || zipf_theta_ != theta) {
+      zipf_n_ = n;
+      zipf_theta_ = theta;
+      zeta2_ = Zeta(2, theta);
+      zetan_ = Zeta(n, theta);
+      zipf_alpha_ = 1.0 / (1.0 - theta);
+      zipf_eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+                  (1.0 - zeta2_ / zetan_);
+    }
+    const double u = UniformDouble();
+    const double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta)) return 1;
+    return static_cast<int64_t>(
+        static_cast<double>(n) *
+        std::pow(zipf_eta_ * u - zipf_eta_ + 1.0, zipf_alpha_));
+  }
+
+ private:
+  static double Zeta(int64_t n, double theta) {
+    double sum = 0.0;
+    for (int64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(i, theta);
+    return sum;
+  }
+
+  uint64_t state_;
+  // Zipf cache.
+  int64_t zipf_n_ = -1;
+  double zipf_theta_ = 0.0;
+  double zeta2_ = 0.0;
+  double zetan_ = 0.0;
+  double zipf_alpha_ = 0.0;
+  double zipf_eta_ = 0.0;
+};
+
+}  // namespace popdb
+
+#endif  // POPDB_COMMON_RNG_H_

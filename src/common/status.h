@@ -1,0 +1,113 @@
+#ifndef POPDB_COMMON_STATUS_H_
+#define POPDB_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace popdb {
+
+/// Error codes used across the engine. The project does not use C++
+/// exceptions; fallible operations return `Status` (or `Result<T>`).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kInternal,
+  kResourceExhausted,
+  kUnimplemented,
+};
+
+/// Lightweight status object carrying a code and a human-readable message.
+///
+/// Example:
+///   Status s = catalog.AddTable(std::move(table));
+///   if (!s.ok()) return s;
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Returns "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or a non-OK Status. Minimal StatusOr analogue;
+/// T need not be default-constructible.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value and from Status so call sites can `return value;`
+  /// or `return Status::NotFound(...)`.
+  Result(T value) : value_(std::move(value)) {}                // NOLINT
+  Result(Status status) : status_(std::move(status)) {}        // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Precondition: ok(). Returns the contained value.
+  T& value() { return *value_; }
+  const T& value() const { return *value_; }
+
+  /// Moves the contained value out. Precondition: ok().
+  T&& TakeValue() && { return std::move(*value_); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+namespace internal {
+/// Prints the failure and aborts. Used by POPDB_DCHECK.
+[[noreturn]] void AssertFail(const char* expr, const char* file, int line);
+}  // namespace internal
+
+}  // namespace popdb
+
+/// Internal invariant check; aborts with a message on violation. Enabled in
+/// all build types: this is a database engine and silent corruption is worse
+/// than a crash.
+#define POPDB_DCHECK(expr)                                        \
+  do {                                                            \
+    if (!(expr)) {                                                \
+      ::popdb::internal::AssertFail(#expr, __FILE__, __LINE__);   \
+    }                                                             \
+  } while (false)
+
+#endif  // POPDB_COMMON_STATUS_H_

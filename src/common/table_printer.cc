@@ -1,0 +1,56 @@
+#include "common/table_printer.h"
+
+#include "common/status.h"
+
+namespace popdb {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  POPDB_DCHECK(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (row[c].size() > widths[c]) widths[c] = row[c].size();
+    }
+  }
+  auto emit_row = [&](const std::vector<std::string>& row, std::string* out) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out->append(c == 0 ? "| " : " | ");
+      out->append(row[c]);
+      out->append(widths[c] - row[c].size(), ' ');
+    }
+    out->append(" |\n");
+  };
+  std::string out;
+  emit_row(headers_, &out);
+  for (size_t c = 0; c < widths.size(); ++c) {
+    out.append(c == 0 ? "|-" : "-|-");
+    out.append(widths[c], '-');
+  }
+  out.append("-|\n");
+  for (const auto& row : rows_) emit_row(row, &out);
+  return out;
+}
+
+std::string TablePrinter::ToCsv() const {
+  std::string out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out.push_back(',');
+      out.append(row[c]);
+    }
+    out.push_back('\n');
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return out;
+}
+
+}  // namespace popdb

@@ -1,0 +1,36 @@
+#ifndef POPDB_COMMON_TABLE_PRINTER_H_
+#define POPDB_COMMON_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace popdb {
+
+/// Accumulates rows of strings and renders an aligned ASCII table. Used by
+/// the benchmark harnesses to print paper-style result tables.
+///
+/// Example:
+///   TablePrinter tp({"query", "time_ms"});
+///   tp.AddRow({"Q10", "12.3"});
+///   std::fputs(tp.ToString().c_str(), stdout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends one row; must have the same arity as the headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders header, separator and all rows, right-padding each column.
+  std::string ToString() const;
+
+  /// Renders as comma-separated values (header row first).
+  std::string ToCsv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace popdb
+
+#endif  // POPDB_COMMON_TABLE_PRINTER_H_

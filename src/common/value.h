@@ -1,0 +1,102 @@
+#ifndef POPDB_COMMON_VALUE_H_
+#define POPDB_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace popdb {
+
+/// Runtime type of a Value / column.
+enum class ValueType {
+  kNull = 0,
+  kInt,
+  kDouble,
+  kString,
+};
+
+/// Returns a human-readable name ("int", "double", ...).
+const char* ValueTypeName(ValueType type);
+
+/// A dynamically typed SQL value (NULL, 64-bit integer, double or string).
+///
+/// Values are ordered with NULL sorting first; cross-type comparison between
+/// kInt and kDouble compares numerically, any other cross-type comparison
+/// orders by type tag. Equality follows the same rules (so Int(1) ==
+/// Double(1.0)).
+class Value {
+ public:
+  /// Constructs a NULL value.
+  Value() : rep_(std::monostate{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Int(int64_t v) { return Value(Rep(v)); }
+  static Value Double(double v) { return Value(Rep(v)); }
+  static Value String(std::string v) { return Value(Rep(std::move(v))); }
+
+  Value(const Value&) = default;
+  Value& operator=(const Value&) = default;
+  Value(Value&&) = default;
+  Value& operator=(Value&&) = default;
+
+  ValueType type() const {
+    return static_cast<ValueType>(rep_.index());
+  }
+  bool is_null() const { return type() == ValueType::kNull; }
+
+  /// Accessors. Preconditions: the value holds the requested type.
+  int64_t AsInt() const { return std::get<int64_t>(rep_); }
+  double AsDouble() const { return std::get<double>(rep_); }
+  const std::string& AsString() const { return std::get<std::string>(rep_); }
+
+  /// Numeric coercion: kInt and kDouble convert to double, anything else is
+  /// an error checked by POPDB_DCHECK.
+  double AsNumeric() const;
+
+  /// Three-way comparison per the class ordering contract:
+  /// negative if *this < other, 0 if equal, positive if greater.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator!=(const Value& other) const { return Compare(other) != 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+  bool operator<=(const Value& other) const { return Compare(other) <= 0; }
+  bool operator>(const Value& other) const { return Compare(other) > 0; }
+  bool operator>=(const Value& other) const { return Compare(other) >= 0; }
+
+  /// Hash consistent with operator== (numeric values hash by double value).
+  size_t Hash() const;
+
+  /// Renders the value for debugging and result printing.
+  std::string ToString() const;
+
+ private:
+  using Rep = std::variant<std::monostate, int64_t, double, std::string>;
+  explicit Value(Rep rep) : rep_(std::move(rep)) {}
+
+  Rep rep_;
+};
+
+/// Hash functor for containers keyed on Value.
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+/// A tuple of values; the unit flowing between executor operators.
+using Row = std::vector<Value>;
+
+/// Hash of a full row, combining per-value hashes.
+size_t HashRow(const Row& row);
+
+/// Hash functor for containers keyed on Row.
+struct RowHash {
+  size_t operator()(const Row& r) const { return HashRow(r); }
+};
+
+/// Renders a row as "(v1, v2, ...)".
+std::string RowToString(const Row& row);
+
+}  // namespace popdb
+
+#endif  // POPDB_COMMON_VALUE_H_

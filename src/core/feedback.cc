@@ -1,0 +1,34 @@
+#include "core/feedback.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace popdb {
+
+void FeedbackCache::RecordExact(TableSet set, double card) {
+  CardFeedback& fb = map_[set];
+  fb.exact = card;
+}
+
+void FeedbackCache::RecordLowerBound(TableSet set, double card) {
+  CardFeedback& fb = map_[set];
+  if (fb.exact >= 0) return;  // Exact knowledge dominates.
+  fb.lower_bound = std::max(fb.lower_bound, card);
+}
+
+std::string FeedbackCache::ToString() const {
+  std::string out;
+  for (const auto& [set, fb] : map_) {
+    if (fb.exact >= 0) {
+      out += StrFormat("set=0x%llx exact=%.0f\n",
+                       static_cast<unsigned long long>(set), fb.exact);
+    } else {
+      out += StrFormat("set=0x%llx lower_bound=%.0f\n",
+                       static_cast<unsigned long long>(set), fb.lower_bound);
+    }
+  }
+  return out;
+}
+
+}  // namespace popdb

@@ -1,0 +1,38 @@
+#ifndef POPDB_CORE_FEEDBACK_H_
+#define POPDB_CORE_FEEDBACK_H_
+
+#include <string>
+
+#include "opt/cardinality.h"
+
+namespace popdb {
+
+/// Accumulates actual cardinalities observed while a query executes, keyed
+/// by subplan table set, and feeds them into re-optimization (paper
+/// Section 2: "actual cardinalities measured during the initial run help
+/// the re-optimization step avoid the same mistake").
+///
+/// Exact values dominate lower bounds; repeated observations keep the most
+/// informative value (exact wins; otherwise the largest lower bound).
+class FeedbackCache {
+ public:
+  /// Records the true cardinality of the subplan joining `set`.
+  void RecordExact(TableSet set, double card);
+
+  /// Records that the subplan joining `set` produces at least `card` rows
+  /// (from an eager check that fired before exhausting its input).
+  void RecordLowerBound(TableSet set, double card);
+
+  const FeedbackMap& map() const { return map_; }
+  bool empty() const { return map_.empty(); }
+  void Clear() { map_.clear(); }
+
+  std::string ToString() const;
+
+ private:
+  FeedbackMap map_;
+};
+
+}  // namespace popdb
+
+#endif  // POPDB_CORE_FEEDBACK_H_

@@ -1,0 +1,51 @@
+#ifndef POPDB_CORE_LEO_H_
+#define POPDB_CORE_LEO_H_
+
+#include <map>
+#include <string>
+
+#include "core/feedback.h"
+#include "opt/query.h"
+
+namespace popdb {
+
+/// Cross-query cardinality memory in the spirit of LEO, DB2's learning
+/// optimizer [SLM+01] — the combination the paper names as future work
+/// ("Learning for the Future", Section 7). POP's feedback normally dies
+/// with the query; this store keys it by a canonical subplan signature
+/// (table names, predicates with bound literals, join predicates) so the
+/// *next* compilation of a structurally identical subplan starts from
+/// actual cardinalities instead of estimates.
+///
+/// Usage:
+///   QueryFeedbackStore store;
+///   executor.set_cross_query_store(&store);
+///   executor.Execute(q);   // May re-optimize; actuals absorbed.
+///   executor.Execute(q);   // Plans with the learned cardinalities.
+class QueryFeedbackStore {
+ public:
+  QueryFeedbackStore() = default;
+  QueryFeedbackStore(const QueryFeedbackStore&) = delete;
+  QueryFeedbackStore& operator=(const QueryFeedbackStore&) = delete;
+
+  /// Canonical, query-independent signature of the subplan joining `set`:
+  /// per-table predicate lists (parameter markers resolved to their bound
+  /// literals) and the join predicates inside `set`, all order-normalized.
+  static std::string SubplanSignature(const QuerySpec& query, TableSet set);
+
+  /// Learns every entry of `feedback` under the query's signatures.
+  void Absorb(const QuerySpec& query, const FeedbackMap& feedback);
+
+  /// Pre-seeds `out` with everything known about the query's subplans.
+  void Seed(const QuerySpec& query, FeedbackCache* out) const;
+
+  int64_t size() const { return static_cast<int64_t>(store_.size()); }
+  void Clear() { store_.clear(); }
+
+ private:
+  std::map<std::string, CardFeedback> store_;
+};
+
+}  // namespace popdb
+
+#endif  // POPDB_CORE_LEO_H_

@@ -1,0 +1,290 @@
+#include "core/placement.h"
+
+#include <functional>
+#include <limits>
+
+namespace popdb {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Builds the CheckSpec guarding `edge_set` from its validity range.
+CheckSpec MakeSpec(const ValidityRange& range, TableSet edge_set,
+                   CheckFlavor flavor, const PopConfig& config) {
+  CheckSpec spec;
+  spec.enabled = true;
+  spec.flavor = flavor;
+  spec.edge_set = edge_set;
+  spec.observe_only = config.observe_only;
+  const double f = config.check_safety_factor;
+  spec.lo = range.lo > 0 ? range.lo / f : 0.0;
+  spec.hi = range.hi < kInf ? range.hi * f : kInf;
+  return spec;
+}
+
+bool Eligible(const ValidityRange& range, const PopConfig& config) {
+  // A checkpoint is useful only where an alternative plan exists, which is
+  // exactly when pruning narrowed the range (Section 4).
+  return !config.require_narrowed_range || range.IsNarrowed();
+}
+
+bool IsMaterialization(PlanOpKind kind) {
+  return kind == PlanOpKind::kSort || kind == PlanOpKind::kTemp;
+}
+
+std::shared_ptr<PlanNode> WrapCheckMat(std::shared_ptr<PlanNode> child,
+                                       CheckSpec spec,
+                                       const CostModel& cost_model) {
+  auto check = std::make_shared<PlanNode>();
+  check->kind = PlanOpKind::kCheckMat;
+  check->set = child->set;
+  check->card = child->card;
+  check->op_cost = cost_model.CheckCost(child->card);
+  check->cost = child->cost + check->op_cost;
+  check->check = spec;
+  check->children = {std::move(child)};
+  check->child_validity.resize(1);
+  return check;
+}
+
+std::shared_ptr<PlanNode> WrapCheck(std::shared_ptr<PlanNode> child,
+                                    CheckSpec spec,
+                                    const CostModel& cost_model) {
+  auto check = std::make_shared<PlanNode>();
+  check->kind = PlanOpKind::kCheck;
+  check->set = child->set;
+  check->card = child->card;
+  check->op_cost = cost_model.CheckCost(child->card);
+  check->cost = child->cost + check->op_cost;
+  check->check = spec;
+  check->children = {std::move(child)};
+  check->child_validity.resize(1);
+  return check;
+}
+
+std::shared_ptr<PlanNode> WrapTemp(std::shared_ptr<PlanNode> child,
+                                   const CostModel& cost_model) {
+  auto temp = std::make_shared<PlanNode>();
+  temp->kind = PlanOpKind::kTemp;
+  temp->set = child->set;
+  temp->card = child->card;
+  temp->op_cost = cost_model.TempCost(child->card);
+  temp->cost = child->cost + temp->op_cost;
+  temp->children = {std::move(child)};
+  temp->child_validity.resize(1);
+  return temp;
+}
+
+class Placer {
+ public:
+  Placer(const PopConfig& config, const CostModel& cost_model, bool spj,
+         double plan_cost)
+      : config_(config),
+        cost_model_(cost_model),
+        spj_(spj),
+        plan_cost_(plan_cost) {}
+
+  PlacementStats stats() const { return stats_; }
+
+  void Walk(PlanNode* node) {
+    for (size_t slot = 0; slot < node->children.size(); ++slot) {
+      Walk(node->children[slot].get());
+      PlaceOnEdge(node, static_cast<int>(slot));
+    }
+  }
+
+ private:
+  void PlaceOnEdge(PlanNode* node, int slot) {
+    std::shared_ptr<PlanNode>& child =
+        node->children[static_cast<size_t>(slot)];
+    const ValidityRange& range =
+        node->child_validity[static_cast<size_t>(slot)];
+    if (!Eligible(range, config_)) return;
+    // Confidence filter (Section 4 future work): only guard edges whose
+    // estimate rests on enough optimizer assumptions to be unreliable.
+    if (config_.min_assumptions_for_checks > 0 &&
+        child->assumptions < config_.min_assumptions_for_checks) {
+      return;
+    }
+    const TableSet edge_set = child->set;
+
+    // LC on the build side of a hash join: the build is a natural
+    // materialization point; the join itself evaluates the range once the
+    // build completes.
+    if (config_.enable_lc && node->kind == PlanOpKind::kHsjn && slot == 1) {
+      node->check = MakeSpec(range, edge_set, CheckFlavor::kLazy, config_);
+      ++stats_.lc;
+      return;
+    }
+
+    // LC above existing SORT/TEMP materialization points.
+    if (IsMaterialization(child->kind)) {
+      if (config_.enable_ecwc) {
+        // ECWC: eager streaming check *below* the materialization point —
+        // reacts while the materialization is still being built.
+        std::shared_ptr<PlanNode>& grandchild = child->children[0];
+        grandchild = WrapCheck(
+            grandchild,
+            MakeSpec(range, grandchild->set,
+                     CheckFlavor::kEagerNoCompensation, config_),
+            cost_model_);
+        ++stats_.ecwc;
+      }
+      if (config_.enable_lc) {
+        child = WrapCheckMat(child,
+                             MakeSpec(range, edge_set, CheckFlavor::kLazy,
+                                      config_),
+                             cost_model_);
+        ++stats_.lc;
+      }
+      return;
+    }
+
+    // NLJN outer without a materialization: LCEM and/or ECB (Sections 3.2,
+    // 3.3). ECB uses the bounded-buffer BUFCHECK operator (Figure 8/10);
+    // coupling LCEM above ECB lets the eager check stop a runaway
+    // materialization early while the completed TEMP stays reusable.
+    if (node->kind == PlanOpKind::kNljn && slot == 0 &&
+        (config_.enable_lcem || config_.enable_ecb)) {
+      // Risk control: skip the artificial LCEM materialization when, per
+      // the estimates, it would cost a non-trivial share of the whole
+      // plan. ECB is exempt: its buffer is bounded by the check range.
+      const bool lcem_fits =
+          config_.enable_lcem &&
+          cost_model_.TempCost(child->card) <=
+              config_.lcem_budget_fraction * std::max(1.0, plan_cost_);
+      if (!lcem_fits && !config_.enable_ecb) return;
+      std::shared_ptr<PlanNode> wrapped = child;
+      if (config_.enable_ecb) {
+        auto buf = std::make_shared<PlanNode>();
+        buf->kind = PlanOpKind::kBufCheck;
+        buf->set = wrapped->set;
+        buf->card = wrapped->card;
+        buf->op_cost = cost_model_.CheckCost(wrapped->card);
+        buf->cost = wrapped->cost + buf->op_cost;
+        buf->check =
+            MakeSpec(range, edge_set, CheckFlavor::kEagerBuffered, config_);
+        buf->children = {std::move(wrapped)};
+        buf->child_validity.resize(1);
+        wrapped = std::move(buf);
+        ++stats_.ecb;
+      }
+      if (lcem_fits) {
+        wrapped = WrapCheckMat(
+            WrapTemp(std::move(wrapped), cost_model_),
+            MakeSpec(range, edge_set, CheckFlavor::kLazyEagerMat, config_),
+            cost_model_);
+        ++stats_.lcem;
+      }
+      child = std::move(wrapped);
+      return;
+    }
+
+    // ECDC: pipelined streaming checks above join children in SPJ queries.
+    if (config_.enable_ecdc && spj_ && child->set != 0 &&
+        (child->kind == PlanOpKind::kNljn ||
+         child->kind == PlanOpKind::kHsjn ||
+         child->kind == PlanOpKind::kMgjn)) {
+      child = WrapCheck(
+          child,
+          MakeSpec(range, edge_set, CheckFlavor::kEagerDeferredComp,
+                   config_),
+          cost_model_);
+      ++stats_.ecdc;
+    }
+  }
+
+  const PopConfig& config_;
+  const CostModel& cost_model_;
+  const bool spj_;
+  const double plan_cost_;
+  PlacementStats stats_;
+};
+
+/// Wraps the topmost canonical (set != 0) node reachable through
+/// single-child post-join operators with `wrap`.
+void WrapTopCanonical(
+    std::shared_ptr<PlanNode>* root,
+    const std::function<std::shared_ptr<PlanNode>(std::shared_ptr<PlanNode>)>&
+        wrap) {
+  std::shared_ptr<PlanNode>* slot = root;
+  while ((*slot)->set == 0 && !(*slot)->children.empty()) {
+    slot = &(*slot)->children[0];
+  }
+  *slot = wrap(*slot);
+}
+
+}  // namespace
+
+PlacementStats PlaceCheckpoints(std::shared_ptr<PlanNode>* root,
+                                const PopConfig& config,
+                                const CostModel& cost_model,
+                                bool query_is_spj) {
+  if ((*root)->cost < config.min_plan_cost_for_checks) {
+    return PlacementStats{};
+  }
+  Placer placer(config, cost_model, query_is_spj, (*root)->cost);
+  placer.Walk(root->get());
+  PlacementStats stats = placer.stats();
+
+  if (config.work_bound_factor > 0) {
+    // Extension (Section 8): guard the whole pipeline with a work budget.
+    const double budget = config.work_bound_factor * (*root)->cost;
+    WrapTopCanonical(root, [budget](std::shared_ptr<PlanNode> child) {
+      auto guard = std::make_shared<PlanNode>();
+      guard->kind = PlanOpKind::kWorkBound;
+      guard->set = child->set;
+      guard->card = child->card;
+      guard->cost = child->cost;
+      guard->work_budget = budget;
+      guard->children = {std::move(child)};
+      guard->child_validity.resize(1);
+      return guard;
+    });
+    ++stats.work_bound;
+  }
+
+  const bool needs_rid_track =
+      (config.enable_ecdc && query_is_spj && stats.ecdc > 0) ||
+      (config.work_bound_factor > 0 && query_is_spj);
+  if (needs_rid_track) {
+    // Track returned rows for deferred compensation.
+    WrapTopCanonical(root, [](std::shared_ptr<PlanNode> child) {
+      auto track = std::make_shared<PlanNode>();
+      track->kind = PlanOpKind::kRidTrack;
+      track->set = child->set;
+      track->card = child->card;
+      track->cost = child->cost;
+      track->children = {std::move(child)};
+      track->child_validity.resize(1);
+      return track;
+    });
+  }
+  return stats;
+}
+
+std::vector<PlanNode*> CollectChecks(PlanNode* root) {
+  std::vector<PlanNode*> out;
+  if (root->check.enabled) out.push_back(root);
+  for (const auto& child : root->children) {
+    std::vector<PlanNode*> sub = CollectChecks(child.get());
+    out.insert(out.end(), sub.begin(), sub.end());
+  }
+  return out;
+}
+
+void InsertCompensation(std::shared_ptr<PlanNode>* root) {
+  WrapTopCanonical(root, [](std::shared_ptr<PlanNode> child) {
+    auto comp = std::make_shared<PlanNode>();
+    comp->kind = PlanOpKind::kAntiComp;
+    comp->set = child->set;
+    comp->card = child->card;
+    comp->cost = child->cost;
+    comp->children = {std::move(child)};
+    comp->child_validity.resize(1);
+    return comp;
+  });
+}
+
+}  // namespace popdb

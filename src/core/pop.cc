@@ -1,0 +1,199 @@
+#include "core/pop.h"
+
+#include <chrono>
+
+namespace popdb {
+
+double NowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+ProgressiveExecutor::ProgressiveExecutor(const Catalog& catalog,
+                                         OptimizerConfig opt_config,
+                                         PopConfig pop_config)
+    : catalog_(catalog),
+      optimizer_(catalog, std::move(opt_config)),
+      pop_config_(std::move(pop_config)) {}
+
+Result<OptimizedPlan> ProgressiveExecutor::Plan(
+    const QuerySpec& query) const {
+  const CostModel cost_model(optimizer_.config().cost);
+  ValidityRangeAnalyzer analyzer(cost_model, pop_config_.validity);
+  return optimizer_.Optimize(query, nullptr, nullptr, &analyzer);
+}
+
+Result<std::vector<Row>> ProgressiveExecutor::Execute(
+    const QuerySpec& query, ExecutionStats* stats) {
+  return Run(query, /*pop_enabled=*/true, stats);
+}
+
+Result<std::vector<Row>> ProgressiveExecutor::ExecuteStatic(
+    const QuerySpec& query, ExecutionStats* stats) {
+  return Run(query, /*pop_enabled=*/false, stats);
+}
+
+void ProgressiveExecutor::Harvest(const ExecContext& ctx,
+                                  const BuiltPlan& built,
+                                  bool compensation_present,
+                                  ExecutionStats* stats) {
+  // Materialized intermediate results: exact cardinalities always, rows as
+  // temporary MVs when complete and reuse is on (Section 2.3; the
+  // prototype reuses TEMP and SORT results).
+  for (Operator* op : ctx.materializers) {
+    HarvestedResult info;
+    if (!op->HarvestInfo(&info)) continue;
+    if (info.complete) {
+      feedback_.RecordExact(info.table_set, static_cast<double>(info.count));
+      if (pop_config_.reuse_matviews && info.rows != nullptr) {
+        matviews_.Register(info.table_set, *info.rows,
+                           info.sorted_positions);
+        if (stats != nullptr) stats->mv_rows_harvested += info.count;
+      }
+    } else {
+      feedback_.RecordLowerBound(info.table_set,
+                                 static_cast<double>(info.count));
+    }
+  }
+  // Every operator that ran to completion knows its exact output
+  // cardinality; partially executed ones supply lower bounds. With
+  // compensation in the plan, counts above the anti-join are not true
+  // subplan cardinalities, so the builder excluded those edges.
+  (void)compensation_present;
+  for (const auto& [set, op] : built.edges) {
+    if (op->eof_seen()) {
+      feedback_.RecordExact(set, static_cast<double>(op->rows_produced()));
+    } else if (op->rows_produced() > 0) {
+      feedback_.RecordLowerBound(set,
+                                 static_cast<double>(op->rows_produced()));
+    }
+  }
+  // The failing check itself.
+  if (ctx.reopt.triggered) {
+    if (ctx.reopt.exact) {
+      feedback_.RecordExact(ctx.reopt.edge_set,
+                            static_cast<double>(ctx.reopt.observed_rows));
+    } else {
+      feedback_.RecordLowerBound(
+          ctx.reopt.edge_set, static_cast<double>(ctx.reopt.observed_rows));
+    }
+  }
+}
+
+Result<std::vector<Row>> ProgressiveExecutor::Run(const QuerySpec& query,
+                                                  bool pop_enabled,
+                                                  ExecutionStats* stats) {
+  feedback_.Clear();
+  matviews_.Clear();
+  if (pop_enabled && cross_query_store_ != nullptr) {
+    cross_query_store_->Seed(query, &feedback_);
+  }
+
+  const CostModel cost_model(optimizer_.config().cost);
+  const bool query_is_spj = !query.has_aggregation();
+  const int max_attempts = pop_enabled ? pop_config_.max_reopts + 1 : 1;
+
+  std::vector<Row> result;
+  std::vector<Row> returned_so_far;  // Canonical rows (ECDC compensation).
+  const double t_begin = NowMs();
+
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    AttemptInfo info;
+    const double t_opt = NowMs();
+
+    ValidityRangeAnalyzer analyzer(cost_model, pop_config_.validity);
+    Result<OptimizedPlan> planned = optimizer_.Optimize(
+        query, feedback_.empty() ? nullptr : &feedback_.map(),
+        matviews_.empty() ? nullptr : &matviews_.views(),
+        pop_enabled ? &analyzer : nullptr);
+    if (!planned.ok()) return planned.status();
+    std::shared_ptr<PlanNode> root = planned.value().root;
+    info.candidates = planned.value().candidates;
+
+    // The last permitted attempt runs without checkpoints so the query
+    // always terminates (Section 7).
+    const bool place_checks = pop_enabled && attempt < pop_config_.max_reopts;
+    if (place_checks) {
+      info.checks =
+          PlaceCheckpoints(&root, pop_config_, cost_model, query_is_spj);
+    }
+    if (!returned_so_far.empty()) {
+      InsertCompensation(&root);
+    }
+    if (plan_hook_) plan_hook_(root.get(), attempt);
+    info.plan_text = root->ToString();
+    info.optimize_ms = NowMs() - t_opt;
+
+    ExecutorBuilder builder(catalog_, query, &returned_so_far,
+                            pop_config_.reuse_hsjn_builds);
+    Result<BuiltPlan> built = builder.Build(*root);
+    if (!built.ok()) return built.status();
+
+    ExecContext ctx;
+    ctx.params = query.params();
+    ctx.mem_rows = static_cast<int64_t>(optimizer_.config().cost.mem_rows);
+
+    const double t_exec = NowMs();
+    std::vector<Row> attempt_rows;
+    const ExecStatus status =
+        RunToCompletion(built.value().root.get(), &ctx, &attempt_rows);
+    info.execute_ms = NowMs() - t_exec;
+    info.work = ctx.work;
+    info.rows_returned = static_cast<int64_t>(attempt_rows.size());
+
+    if (stats != nullptr) {
+      stats->total_work += ctx.work;
+      stats->check_events.insert(stats->check_events.end(),
+                                 ctx.check_events.begin(),
+                                 ctx.check_events.end());
+    }
+
+    // Rows pipelined to the application are final; compensation in later
+    // attempts prevents duplicates.
+    result.insert(result.end(), attempt_rows.begin(), attempt_rows.end());
+    returned_so_far.insert(returned_so_far.end(), ctx.returned_rows.begin(),
+                           ctx.returned_rows.end());
+
+    if (status == ExecStatus::kError) {
+      return Status::Internal("execution failed: " + ctx.error);
+    }
+    if (status == ExecStatus::kReoptimize) {
+      POPDB_DCHECK(ctx.reopt.triggered);
+      info.reoptimized = true;
+      info.signal = ctx.reopt;
+      Harvest(ctx, built.value(), !returned_so_far.empty(), stats);
+      if (stats != nullptr) {
+        ++stats->reopts;
+        stats->attempts.push_back(std::move(info));
+      }
+      continue;
+    }
+    // kEof: done. Apply LIMIT (after any ORDER BY: rows arrive sorted).
+    if (query.limit() >= 0 &&
+        static_cast<int64_t>(result.size()) > query.limit()) {
+      result.resize(static_cast<size_t>(query.limit()));
+    }
+    if (pop_enabled && cross_query_store_ != nullptr) {
+      // Completed edges carry exact cardinalities worth remembering even
+      // when no check fired.
+      for (const auto& [set, op] : built.value().edges) {
+        if (op->eof_seen()) {
+          feedback_.RecordExact(set,
+                                static_cast<double>(op->rows_produced()));
+        }
+      }
+      cross_query_store_->Absorb(query, feedback_.map());
+    }
+    if (stats != nullptr) {
+      stats->attempts.push_back(std::move(info));
+      stats->total_ms = NowMs() - t_begin;
+      stats->result_rows = static_cast<int64_t>(result.size());
+    }
+    matviews_.Clear();  // End-of-query cleanup of temporary MVs.
+    return result;
+  }
+  return Status::Internal("re-optimization loop did not terminate");
+}
+
+}  // namespace popdb

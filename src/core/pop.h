@@ -1,0 +1,118 @@
+#ifndef POPDB_CORE_POP_H_
+#define POPDB_CORE_POP_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/executor_builder.h"
+#include "core/feedback.h"
+#include "core/leo.h"
+#include "core/matview.h"
+#include "core/placement.h"
+#include "core/validity.h"
+#include "opt/optimizer.h"
+#include "opt/query.h"
+#include "storage/catalog.h"
+
+namespace popdb {
+
+/// Diagnostics for one optimize+execute step of a progressive execution.
+struct AttemptInfo {
+  std::string plan_text;
+  double optimize_ms = 0.0;
+  double execute_ms = 0.0;
+  int64_t work = 0;             ///< Work units spent in this attempt.
+  int64_t candidates = 0;       ///< Optimizer candidates considered.
+  PlacementStats checks;        ///< Checkpoints placed for this attempt.
+  bool reoptimized = false;     ///< True if a CHECK fired.
+  ReoptSignal signal;           ///< Valid when reoptimized.
+  int64_t rows_returned = 0;    ///< Rows pipelined to the app this attempt.
+};
+
+/// Diagnostics for a full progressive execution.
+struct ExecutionStats {
+  std::vector<AttemptInfo> attempts;
+  double total_ms = 0.0;
+  int64_t total_work = 0;
+  int64_t result_rows = 0;
+  int reopts = 0;
+  int64_t mv_rows_harvested = 0;
+  std::vector<CheckEvent> check_events;  ///< Accumulated over attempts.
+
+  const AttemptInfo& last_attempt() const { return attempts.back(); }
+};
+
+/// Progressive query executor (the paper's Figure 3 architecture): an
+/// optimize → add-checkpoints → execute loop that re-optimizes whenever a
+/// CHECK detects that the running plan left its validity range, feeding
+/// actual cardinalities and materialized intermediate results back into
+/// the next optimization, with a hard re-optimization budget and a final
+/// check-free run to guarantee termination.
+///
+/// Example:
+///   ProgressiveExecutor pop(catalog, OptimizerConfig{}, PopConfig{});
+///   ExecutionStats stats;
+///   Result<std::vector<Row>> rows = pop.Execute(query, &stats);
+class ProgressiveExecutor {
+ public:
+  /// Invoked after checkpoint placement, before execution; test and
+  /// benchmark hook (e.g. forcing a specific checkpoint to fail).
+  using PlanHook = std::function<void(PlanNode*, int attempt)>;
+
+  ProgressiveExecutor(const Catalog& catalog, OptimizerConfig opt_config,
+                      PopConfig pop_config);
+
+  /// Executes `query` with progressive optimization.
+  Result<std::vector<Row>> Execute(const QuerySpec& query,
+                                   ExecutionStats* stats = nullptr);
+
+  /// Executes `query` the traditional way: one optimization, no
+  /// checkpoints, no re-optimization (the paper's baseline).
+  Result<std::vector<Row>> ExecuteStatic(const QuerySpec& query,
+                                         ExecutionStats* stats = nullptr);
+
+  /// Optimizes only (with validity-range analysis) — for plan inspection.
+  Result<OptimizedPlan> Plan(const QuerySpec& query) const;
+
+  void set_plan_hook(PlanHook hook) { plan_hook_ = std::move(hook); }
+
+  /// Optional LEO-style cross-query feedback store (Section 7 "Learning
+  /// for the Future"): actual cardinalities learned during progressive
+  /// executions seed the estimates of future structurally identical
+  /// subplans. Not owned; may be null.
+  void set_cross_query_store(QueryFeedbackStore* store) {
+    cross_query_store_ = store;
+  }
+
+  const PopConfig& pop_config() const { return pop_config_; }
+  const OptimizerConfig& optimizer_config() const {
+    return optimizer_.config();
+  }
+
+ private:
+  Result<std::vector<Row>> Run(const QuerySpec& query, bool pop_enabled,
+                               ExecutionStats* stats);
+  /// Harvests feedback and reusable intermediate results after a CHECK
+  /// fired.
+  void Harvest(const ExecContext& ctx, const BuiltPlan& built,
+               bool compensation_present, ExecutionStats* stats);
+
+  const Catalog& catalog_;
+  Optimizer optimizer_;
+  PopConfig pop_config_;
+  PlanHook plan_hook_;
+
+  FeedbackCache feedback_;
+  MatViewRegistry matviews_;
+  QueryFeedbackStore* cross_query_store_ = nullptr;
+};
+
+/// Monotonic wall-clock milliseconds (benchmark helper).
+double NowMs();
+
+}  // namespace popdb
+
+#endif  // POPDB_CORE_POP_H_

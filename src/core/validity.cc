@@ -1,0 +1,126 @@
+#include "core/validity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace popdb {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+double ValidityRangeAnalyzer::CostDiff(const PlanNode& winner,
+                                       int winner_slot, const PlanNode& loser,
+                                       int loser_slot, double card) const {
+  cost_evaluations_ += 2;
+  return RecostCandidateWithEdgeCard(loser, loser_slot, card, cost_model_) -
+         RecostCandidateWithEdgeCard(winner, winner_slot, card, cost_model_);
+}
+
+double ValidityRangeAnalyzer::FindUpperCrossover(const PlanNode& winner,
+                                                 int winner_slot,
+                                                 const PlanNode& loser,
+                                                 int loser_slot,
+                                                 double start) const {
+  double c = std::max(1.0, start);
+  double curr_diff = CostDiff(winner, winner_slot, loser, loser_slot, c);
+  if (curr_diff <= 0) {
+    // The alternative is already no more expensive at the estimate itself;
+    // the tie can flip for any increase. Conservatively do not narrow.
+    return kInf;
+  }
+  // Modified Newton-Raphson (Figure 5): probe multiplicatively to sample the
+  // gradient, extrapolate toward the root, jump when diverging, and stop as
+  // soon as a cost inversion is verified.
+  for (int iter = 0; iter < config_.max_iterations; ++iter) {
+    const double probed = c * config_.probe_step;
+    const double new_diff =
+        CostDiff(winner, winner_slot, loser, loser_slot, probed);
+    if (new_diff <= 0) return probed;  // Inversion verified at `probed`.
+    double next;
+    if (new_diff >= curr_diff) {
+      // Diverging (or flat/discontinuous): jump.
+      next = probed * config_.divergence_jump;
+    } else {
+      // Figure 5(f): card *= 1 + newDiff / (damping * (currDiff - newDiff)).
+      next = probed *
+             (1.0 + new_diff / (config_.damping * (curr_diff - new_diff)));
+    }
+    next = std::min(next, config_.max_card);
+    const double next_diff =
+        CostDiff(winner, winner_slot, loser, loser_slot, next);
+    if (next_diff <= 0) return next;  // Inversion verified at `next`.
+    if (next >= config_.max_card) break;
+    c = next;
+    curr_diff = next_diff;
+  }
+  return kInf;  // Conservative: no verified bound within the budget.
+}
+
+double ValidityRangeAnalyzer::FindLowerCrossover(const PlanNode& winner,
+                                                 int winner_slot,
+                                                 const PlanNode& loser,
+                                                 int loser_slot,
+                                                 double start) const {
+  double c = std::max(1.0, start);
+  double curr_diff = CostDiff(winner, winner_slot, loser, loser_slot, c);
+  if (curr_diff <= 0) return 0.0;
+  for (int iter = 0; iter < config_.max_iterations; ++iter) {
+    const double probed = c / config_.probe_step;
+    if (probed < 1.0) break;  // Cardinalities below one row are meaningless.
+    const double new_diff =
+        CostDiff(winner, winner_slot, loser, loser_slot, probed);
+    if (new_diff <= 0) return probed;
+    double next;
+    if (new_diff >= curr_diff) {
+      next = probed / config_.divergence_jump;
+    } else {
+      next = probed /
+             (1.0 + new_diff / (config_.damping * (curr_diff - new_diff)));
+    }
+    if (next < 1.0) break;
+    const double next_diff =
+        CostDiff(winner, winner_slot, loser, loser_slot, next);
+    if (next_diff <= 0) return next;
+    c = next;
+    curr_diff = next_diff;
+  }
+  return 0.0;  // Conservative: no verified bound.
+}
+
+void ValidityRangeAnalyzer::OnPrune(PlanNode* winner, const PlanNode& loser) {
+  // Match the winner's input edges with the loser's by the table set of
+  // the logical subplan feeding them (commuted plans swap slots).
+  for (int wslot = 0; wslot < 2; ++wslot) {
+    const PlanNode* wchild = LogicalChild(*winner, wslot);
+    int lslot = -1;
+    for (int cand = 0; cand < 2; ++cand) {
+      if (LogicalChild(loser, cand)->set == wchild->set) {
+        // For self-partitions (both children over the same set, which can
+        // only happen with commuted identical sets), match by slot.
+        lslot = (LogicalChild(loser, 0)->set == LogicalChild(loser, 1)->set)
+                    ? wslot
+                    : cand;
+        break;
+      }
+    }
+    if (lslot < 0) continue;
+    const double est = std::max(1.0, wchild->card);
+    ValidityRange& range =
+        winner->child_validity[static_cast<size_t>(wslot)];
+    const double hi =
+        FindUpperCrossover(*winner, wslot, loser, lslot, est);
+    if (hi < range.hi) {
+      range.hi = hi;
+      ++ranges_narrowed_;
+    }
+    const double lo = FindLowerCrossover(*winner, wslot, loser, lslot, est);
+    if (lo > range.lo) {
+      range.lo = lo;
+      ++ranges_narrowed_;
+    }
+  }
+}
+
+}  // namespace popdb

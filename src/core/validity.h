@@ -1,0 +1,75 @@
+#ifndef POPDB_CORE_VALIDITY_H_
+#define POPDB_CORE_VALIDITY_H_
+
+#include <cstdint>
+
+#include "opt/cost_model.h"
+#include "opt/enumerator.h"
+#include "opt/plan.h"
+
+namespace popdb {
+
+/// Knobs for the modified Newton-Raphson root finder (paper Figure 5).
+struct ValidityConfig {
+  /// Iteration cap; the paper reports three iterations suffice.
+  int max_iterations = 3;
+  /// Multiplicative probe step used to sample the local gradient.
+  double probe_step = 1.1;
+  /// Jump factor applied when the iteration diverges.
+  double divergence_jump = 10.0;
+  /// Damping constant in the extrapolation step (the "11" in Figure 5f).
+  double damping = 11.0;
+  /// Upper limit for probed cardinalities (guards against overflow).
+  double max_card = 1e18;
+};
+
+/// Computes validity ranges during optimizer pruning (paper Section 2.2).
+///
+/// Plugged into the dynamic-programming enumerator as a PruneObserver: each
+/// time a structurally equivalent alternative plan is pruned, the analyzer
+/// solves cost(P_alt, c) - cost(P_opt, c) = 0 per input edge with a
+/// modified Newton-Raphson iteration and narrows the winner's validity
+/// range for that edge. Bounds are only adopted after verifying an actual
+/// cost inversion at the candidate cardinality, keeping the analysis
+/// conservative: a violated range guarantees the plan is suboptimal under
+/// the cost model (no false suboptimality bounds).
+class ValidityRangeAnalyzer : public PruneObserver {
+ public:
+  ValidityRangeAnalyzer(const CostModel& cost_model, ValidityConfig config)
+      : cost_model_(cost_model), config_(config) {}
+
+  void OnPrune(PlanNode* winner, const PlanNode& loser) override;
+
+  /// Smallest cardinality c > start at which `loser` (with its edge in
+  /// `loser_slot` carrying c) becomes no more expensive than `winner`
+  /// (edge in `winner_slot`). Returns +infinity when no verified crossover
+  /// is found within the iteration budget.
+  double FindUpperCrossover(const PlanNode& winner, int winner_slot,
+                            const PlanNode& loser, int loser_slot,
+                            double start) const;
+
+  /// Mirror image of FindUpperCrossover probing downward; returns 0 when
+  /// no verified crossover is found.
+  double FindLowerCrossover(const PlanNode& winner, int winner_slot,
+                            const PlanNode& loser, int loser_slot,
+                            double start) const;
+
+  /// Number of edges whose range this analyzer narrowed (diagnostics).
+  int64_t ranges_narrowed() const { return ranges_narrowed_; }
+  /// Number of cost-function evaluations performed (diagnostics: this is
+  /// the "only overhead" of the method per Section 2.2).
+  int64_t cost_evaluations() const { return cost_evaluations_; }
+
+ private:
+  double CostDiff(const PlanNode& winner, int winner_slot,
+                  const PlanNode& loser, int loser_slot, double card) const;
+
+  const CostModel& cost_model_;
+  ValidityConfig config_;
+  mutable int64_t ranges_narrowed_ = 0;
+  mutable int64_t cost_evaluations_ = 0;
+};
+
+}  // namespace popdb
+
+#endif  // POPDB_CORE_VALIDITY_H_

@@ -1,0 +1,240 @@
+#include "dmv/dmv_gen.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "storage/schema.h"
+#include "storage/table.h"
+
+namespace popdb::dmv {
+
+namespace {
+const char* const kStates[8] = {"CA", "NY", "TX", "FL",
+                                "WA", "IL", "MA", "OR"};
+const char* const kCounties[12] = {"ALAMEDA", "KINGS",   "TRAVIS", "DADE",
+                                   "KING",    "COOK",    "SUFFOLK", "MARION",
+                                   "ORANGE",  "SHASTA",  "LANE",    "YOLO"};
+const char* const kProviders[6] = {"ACME", "GEKKO", "SAFEDRIVE",
+                                   "ROADSTAR", "METRO", "PIONEER"};
+const char* const kViolationTypes[10] = {
+    "SPEEDING", "PARKING", "DUI", "RED LIGHT", "NO INSURANCE",
+    "EXPIRED TAG", "RECKLESS", "SEATBELT", "PHONE", "OTHER"};
+
+int64_t Floor1(double v) {
+  return std::max<int64_t>(1, static_cast<int64_t>(v));
+}
+}  // namespace
+
+int64_t RowsAtScale(const char* table, double scale) {
+  const std::string t = table;
+  if (t == "owner") return Floor1(10000 * scale);
+  if (t == "car") return Floor1(20000 * scale);
+  if (t == "registration") return Floor1(25000 * scale);
+  if (t == "accident") return Floor1(5000 * scale);
+  if (t == "insurance") return Floor1(15000 * scale);
+  if (t == "violation") return Floor1(8000 * scale);
+  if (t == "inspection") return Floor1(12000 * scale);
+  if (t == "dealer") return Floor1(300 * scale);
+  return 0;
+}
+
+Status BuildCatalog(const GenConfig& config, Catalog* catalog) {
+  Rng rng(config.seed);
+  const double sf = config.scale;
+  const int64_t n_owner = RowsAtScale("owner", sf);
+  const int64_t n_car = RowsAtScale("car", sf);
+
+  // ---- OWNER. ZIPs are uniform; AGE is correlated with ZIP. Owners are
+  // bucketed by zip so CAR generation can realize the ZIP <-> MAKE join
+  // correlation.
+  std::vector<std::vector<int64_t>> owners_by_zip(
+      static_cast<size_t>(kNumZips));
+  {
+    Table owner("owner", Schema({{"o_id", ValueType::kInt},
+                                 {"o_zip", ValueType::kInt},
+                                 {"o_age", ValueType::kInt},
+                                 {"o_state", ValueType::kString},
+                                 {"o_name", ValueType::kString}}));
+    owner.Reserve(n_owner);
+    for (int64_t i = 0; i < n_owner; ++i) {
+      const int64_t zip = rng.UniformInt(0, kNumZips - 1);
+      const int64_t age = 18 + (zip % 50) + rng.UniformInt(0, 9);
+      owners_by_zip[static_cast<size_t>(zip)].push_back(i);
+      owner.AppendRow(
+          {Value::Int(i), Value::Int(zip), Value::Int(age),
+           Value::String(kStates[zip % 8]),
+           Value::String(StrFormat("Owner#%06lld",
+                                   static_cast<long long>(i)))});
+    }
+    Status s = catalog->AddTable(std::move(owner));
+    if (!s.ok()) return s;
+  }
+
+  // ---- CAR. MODEL determines MAKE and WEIGHT; COLOR follows MODEL with
+  // high probability; the owner of a car with make m clusters in the ZIP
+  // band [m * band, (m + 1) * band).
+  {
+    Table car("car", Schema({{"c_id", ValueType::kInt},
+                             {"c_owner_id", ValueType::kInt},
+                             {"c_make", ValueType::kInt},
+                             {"c_model", ValueType::kInt},
+                             {"c_color", ValueType::kInt},
+                             {"c_year", ValueType::kInt},
+                             {"c_weight", ValueType::kInt},
+                             {"c_mileage", ValueType::kInt}}));
+    car.Reserve(n_car);
+    for (int64_t i = 0; i < n_car; ++i) {
+      const int64_t model = rng.UniformInt(0, kNumModels - 1);
+      const int64_t make = model / kModelsPerMake;
+      const int64_t weight = model % kNumWeights;
+      const int64_t color =
+          rng.Bernoulli(config.color_model_correlation)
+              ? (model * 7) % kNumColors
+              : rng.UniformInt(0, kNumColors - 1);
+      int64_t owner_id = rng.UniformInt(0, n_owner - 1);
+      if (rng.Bernoulli(config.zip_make_correlation)) {
+        // ZIP <-> MAKE join correlation: owners of make m cluster in the
+        // zip band [m * band, (m + 1) * band).
+        const int64_t band = kNumZips / kNumMakes;
+        const int64_t zip = make * band + rng.UniformInt(0, band - 1);
+        const auto& bucket = owners_by_zip[static_cast<size_t>(zip)];
+        if (!bucket.empty()) {
+          owner_id = bucket[static_cast<size_t>(
+              rng.UniformInt(0, static_cast<int64_t>(bucket.size()) - 1))];
+        }
+      }
+      car.AppendRow({Value::Int(i), Value::Int(owner_id), Value::Int(make),
+                     Value::Int(model), Value::Int(color),
+                     Value::Int(1990 + rng.UniformInt(0, 29)),
+                     Value::Int(weight),
+                     Value::Int(rng.UniformInt(0, 300000))});
+    }
+    Status s = catalog->AddTable(std::move(car));
+    if (!s.ok()) return s;
+  }
+
+  struct ChildSpec {
+    const char* name;
+    const char* id_col;
+    const char* fk_col;
+    int64_t parent_rows;
+  };
+  // ---- REGISTRATION / ACCIDENT / INSURANCE / INSPECTION reference CAR;
+  // VIOLATION references OWNER.
+  {
+    Table reg("registration", Schema({{"r_id", ValueType::kInt},
+                                      {"r_car_id", ValueType::kInt},
+                                      {"r_year", ValueType::kInt},
+                                      {"r_county", ValueType::kString}}));
+    const int64_t n = RowsAtScale("registration", sf);
+    reg.Reserve(n);
+    for (int64_t i = 0; i < n; ++i) {
+      reg.AppendRow({Value::Int(i), Value::Int(rng.UniformInt(0, n_car - 1)),
+                     Value::Int(2010 + rng.UniformInt(0, 14)),
+                     Value::String(kCounties[rng.UniformInt(0, 11)])});
+    }
+    Status s = catalog->AddTable(std::move(reg));
+    if (!s.ok()) return s;
+  }
+  {
+    Table acc("accident", Schema({{"a_id", ValueType::kInt},
+                                  {"a_car_id", ValueType::kInt},
+                                  {"a_year", ValueType::kInt},
+                                  {"a_severity", ValueType::kInt}}));
+    const int64_t n = RowsAtScale("accident", sf);
+    acc.Reserve(n);
+    for (int64_t i = 0; i < n; ++i) {
+      acc.AppendRow({Value::Int(i), Value::Int(rng.UniformInt(0, n_car - 1)),
+                     Value::Int(2005 + rng.UniformInt(0, 19)),
+                     Value::Int(rng.UniformInt(1, 5))});
+    }
+    Status s = catalog->AddTable(std::move(acc));
+    if (!s.ok()) return s;
+  }
+  {
+    Table ins("insurance", Schema({{"i_id", ValueType::kInt},
+                                   {"i_car_id", ValueType::kInt},
+                                   {"i_provider", ValueType::kString},
+                                   {"i_premium", ValueType::kDouble}}));
+    const int64_t n = RowsAtScale("insurance", sf);
+    ins.Reserve(n);
+    for (int64_t i = 0; i < n; ++i) {
+      ins.AppendRow({Value::Int(i), Value::Int(rng.UniformInt(0, n_car - 1)),
+                     Value::String(kProviders[rng.UniformInt(0, 5)]),
+                     Value::Double(300 + rng.UniformDouble() * 2700)});
+    }
+    Status s = catalog->AddTable(std::move(ins));
+    if (!s.ok()) return s;
+  }
+  {
+    Table vio("violation", Schema({{"v_id", ValueType::kInt},
+                                   {"v_owner_id", ValueType::kInt},
+                                   {"v_type", ValueType::kString},
+                                   {"v_points", ValueType::kInt}}));
+    const int64_t n = RowsAtScale("violation", sf);
+    vio.Reserve(n);
+    for (int64_t i = 0; i < n; ++i) {
+      vio.AppendRow({Value::Int(i),
+                     Value::Int(rng.UniformInt(0, n_owner - 1)),
+                     Value::String(kViolationTypes[rng.UniformInt(0, 9)]),
+                     Value::Int(rng.UniformInt(0, 6))});
+    }
+    Status s = catalog->AddTable(std::move(vio));
+    if (!s.ok()) return s;
+  }
+  {
+    Table insp("inspection", Schema({{"p_id", ValueType::kInt},
+                                     {"p_car_id", ValueType::kInt},
+                                     {"p_year", ValueType::kInt},
+                                     {"p_result", ValueType::kString}}));
+    const int64_t n = RowsAtScale("inspection", sf);
+    insp.Reserve(n);
+    for (int64_t i = 0; i < n; ++i) {
+      insp.AppendRow({Value::Int(i),
+                      Value::Int(rng.UniformInt(0, n_car - 1)),
+                      Value::Int(2015 + rng.UniformInt(0, 9)),
+                      Value::String(rng.Bernoulli(0.85) ? "PASS" : "FAIL")});
+    }
+    Status s = catalog->AddTable(std::move(insp));
+    if (!s.ok()) return s;
+  }
+  {
+    Table dealer("dealer", Schema({{"d_id", ValueType::kInt},
+                                   {"d_make", ValueType::kInt},
+                                   {"d_zip", ValueType::kInt}}));
+    const int64_t n = RowsAtScale("dealer", sf);
+    dealer.Reserve(n);
+    for (int64_t i = 0; i < n; ++i) {
+      dealer.AppendRow({Value::Int(i),
+                        Value::Int(rng.UniformInt(0, kNumMakes - 1)),
+                        Value::Int(rng.UniformInt(0, kNumZips - 1))});
+    }
+    Status s = catalog->AddTable(std::move(dealer));
+    if (!s.ok()) return s;
+  }
+
+  catalog->AnalyzeAll(config.histogram_buckets);
+
+  if (config.build_indexes) {
+    // Primary keys and the hottest FK only: like the paper's customer
+    // database, many join columns have no index, so a nested-loop join
+    // into them scans the inner per outer row — catastrophic whenever the
+    // outer cardinality was underestimated.
+    const std::pair<const char*, const char*> indexes[] = {
+        {"owner", "o_id"},
+        {"car", "c_id"},
+        {"car", "c_owner_id"},
+        {"violation", "v_owner_id"},
+    };
+    for (const auto& [table, column] : indexes) {
+      Status s = catalog->CreateIndex(table, column);
+      if (!s.ok()) return s;
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace popdb::dmv

@@ -1,0 +1,83 @@
+#ifndef POPDB_DMV_DMV_GEN_H_
+#define POPDB_DMV_DMV_GEN_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "storage/catalog.h"
+
+namespace popdb::dmv {
+
+/// Column positions of the synthetic department-of-motor-vehicles database
+/// (the paper's Section 6 case study). The generator engineers the
+/// correlations the paper reports for the real customer database:
+///   - MODEL functionally determines MAKE and WEIGHT class,
+///   - COLOR is strongly correlated with MODEL,
+///   - owners of a MAKE cluster in ZIP ranges (join correlation),
+///   - AGE is correlated with ZIP.
+/// Predicates restricting several of these columns make an
+/// independence-assuming estimator underestimate by orders of magnitude.
+struct Owner {
+  enum : int { kId = 0, kZip, kAge, kState, kName };
+};
+struct Car {
+  enum : int {
+    kId = 0,
+    kOwnerId,
+    kMake,     ///< int, kNumMakes distinct; = model / kModelsPerMake.
+    kModel,    ///< int, kNumModels distinct.
+    kColor,    ///< int, kNumColors distinct; correlated with model.
+    kYear,
+    kWeight,   ///< int, kNumWeights distinct; = model % kNumWeights.
+    kMileage,
+  };
+};
+struct Registration {
+  enum : int { kId = 0, kCarId, kYear, kCounty };
+};
+struct Accident {
+  enum : int { kId = 0, kCarId, kYear, kSeverity };
+};
+struct Insurance {
+  enum : int { kId = 0, kCarId, kProvider, kPremium };
+};
+struct Violation {
+  enum : int { kId = 0, kOwnerId, kType, kPoints };
+};
+struct Inspection {
+  enum : int { kId = 0, kCarId, kYear, kResult };
+};
+struct Dealer {
+  enum : int { kId = 0, kMake, kZip };
+};
+
+inline constexpr int kNumMakes = 50;
+inline constexpr int kNumModels = 1000;
+inline constexpr int kModelsPerMake = kNumModels / kNumMakes;
+inline constexpr int kNumColors = 20;
+inline constexpr int kNumWeights = 20;
+inline constexpr int kNumZips = 1000;
+
+/// Generator parameters; `scale` multiplies all row counts.
+struct GenConfig {
+  double scale = 1.0;
+  uint64_t seed = 77;
+  int histogram_buckets = 32;
+  bool build_indexes = true;
+  /// Probability that a car's owner is drawn from the make-correlated ZIP
+  /// cluster instead of uniformly.
+  double zip_make_correlation = 0.8;
+  /// Probability that a car's color follows its model's dominant color.
+  double color_model_correlation = 0.8;
+};
+
+/// Base row counts at scale 1.0.
+int64_t RowsAtScale(const char* table, double scale);
+
+/// Generates the DMV database into `catalog`, collects statistics and
+/// builds key indexes.
+Status BuildCatalog(const GenConfig& config, Catalog* catalog);
+
+}  // namespace popdb::dmv
+
+#endif  // POPDB_DMV_DMV_GEN_H_

@@ -1,0 +1,240 @@
+#include "dmv/dmv_queries.h"
+
+#include <string>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "dmv/dmv_gen.h"
+
+namespace popdb::dmv {
+
+namespace {
+
+/// One child-table kind that can be joined into a query.
+enum class Child {
+  kOwner,
+  kRegistration,
+  kAccident,
+  kInsurance,
+  kInspection,
+  kViolation,  ///< Joins OWNER, so requires it.
+  kDealer,     ///< Joins CAR on make (non-key join).
+};
+
+/// Adds a child instance with its join predicate; returns its table id.
+int AddChild(QuerySpec* q, Child kind, int car, int owner) {
+  switch (kind) {
+    case Child::kOwner: {
+      const int t = q->AddTable("owner");
+      q->AddJoin({car, Car::kOwnerId}, {t, Owner::kId});
+      return t;
+    }
+    case Child::kRegistration: {
+      const int t = q->AddTable("registration");
+      q->AddJoin({t, Registration::kCarId}, {car, Car::kId});
+      return t;
+    }
+    case Child::kAccident: {
+      const int t = q->AddTable("accident");
+      q->AddJoin({t, Accident::kCarId}, {car, Car::kId});
+      return t;
+    }
+    case Child::kInsurance: {
+      const int t = q->AddTable("insurance");
+      q->AddJoin({t, Insurance::kCarId}, {car, Car::kId});
+      return t;
+    }
+    case Child::kInspection: {
+      const int t = q->AddTable("inspection");
+      q->AddJoin({t, Inspection::kCarId}, {car, Car::kId});
+      return t;
+    }
+    case Child::kViolation: {
+      const int t = q->AddTable("violation");
+      q->AddJoin({t, Violation::kOwnerId}, {owner, Owner::kId});
+      return t;
+    }
+    case Child::kDealer: {
+      const int t = q->AddTable("dealer");
+      q->AddJoin({t, Dealer::kMake}, {car, Car::kMake});
+      return t;
+    }
+  }
+  return -1;
+}
+
+/// Adds the correlated CAR predicate bundle. `style` selects how many
+/// functionally dependent columns are restricted together; the literals
+/// are chosen consistently (all derived from the same model), so the
+/// predicates are satisfiable and the true selectivity is that of the most
+/// selective member — while the independence assumption multiplies them.
+void AddCarBundle(QuerySpec* q, int car, int style, int64_t model) {
+  const int64_t make = model / kModelsPerMake;
+  const int64_t weight = model % kNumWeights;
+  const int64_t color = (model * 7) % kNumColors;
+  switch (style) {
+    case 0:  // make + model: ~kNumMakes-fold underestimate.
+      q->AddPred({car, Car::kMake}, PredKind::kEq, Value::Int(make));
+      q->AddPred({car, Car::kModel}, PredKind::kEq, Value::Int(model));
+      break;
+    case 1:  // make + model + weight: ~kNumMakes*kNumWeights-fold.
+      q->AddPred({car, Car::kMake}, PredKind::kEq, Value::Int(make));
+      q->AddPred({car, Car::kModel}, PredKind::kEq, Value::Int(model));
+      q->AddPred({car, Car::kWeight}, PredKind::kEq, Value::Int(weight));
+      break;
+    case 2:  // make + model + weight + color: up to ~2e4-fold.
+      q->AddPred({car, Car::kMake}, PredKind::kEq, Value::Int(make));
+      q->AddPred({car, Car::kModel}, PredKind::kEq, Value::Int(model));
+      q->AddPred({car, Car::kWeight}, PredKind::kEq, Value::Int(weight));
+      q->AddPred({car, Car::kColor}, PredKind::kEq, Value::Int(color));
+      break;
+    case 3:  // model + weight: ~kNumWeights-fold.
+      q->AddPred({car, Car::kModel}, PredKind::kEq, Value::Int(model));
+      q->AddPred({car, Car::kWeight}, PredKind::kEq, Value::Int(weight));
+      break;
+    case 4:  // Control: make only — the estimate is accurate.
+      q->AddPred({car, Car::kMake}, PredKind::kEq, Value::Int(make));
+      break;
+    default:  // Control: weight range — accurate from the histogram.
+      q->AddPred({car, Car::kWeight}, PredKind::kLe,
+                 Value::Int(weight % kNumWeights));
+      break;
+  }
+}
+
+/// Adds a plausible restriction on a child instance.
+void AddChildPred(QuerySpec* q, Child kind, int t, Rng* rng) {
+  switch (kind) {
+    case Child::kOwner:
+      switch (rng->UniformInt(0, 2)) {
+        case 0: {
+          const int64_t lo = 20 + rng->UniformInt(0, 40);
+          q->AddPred({t, Owner::kAge}, PredKind::kBetween, Value::Int(lo),
+                     Value::Int(lo + 10));
+          break;
+        }
+        case 1:
+          q->AddPred({t, Owner::kZip}, PredKind::kLt,
+                     Value::Int(rng->UniformInt(100, 900)));
+          break;
+        default:
+          q->AddPred({t, Owner::kName}, PredKind::kLike,
+                     Value::String(StrFormat(
+                         "Owner#%lld%%",
+                         static_cast<long long>(rng->UniformInt(0, 9)))));
+          break;
+      }
+      break;
+    case Child::kRegistration:
+      q->AddInPred({t, Registration::kYear},
+                   {Value::Int(2010 + rng->UniformInt(0, 4)),
+                    Value::Int(2015 + rng->UniformInt(0, 4)),
+                    Value::Int(2020 + rng->UniformInt(0, 4))});
+      break;
+    case Child::kAccident:
+      q->AddPred({t, Accident::kSeverity}, PredKind::kGe,
+                 Value::Int(rng->UniformInt(2, 4)));
+      break;
+    case Child::kInsurance:
+      if (rng->Bernoulli(0.5)) {
+        q->AddPred({t, Insurance::kProvider}, PredKind::kEq,
+                   Value::String("ACME"));
+      } else {
+        q->AddPred({t, Insurance::kPremium}, PredKind::kGt,
+                   Value::Double(1500 + rng->UniformDouble() * 1000));
+      }
+      break;
+    case Child::kInspection:
+      if (rng->Bernoulli(0.4)) {
+        q->AddPred({t, Inspection::kResult}, PredKind::kEq,
+                   Value::String("FAIL"));
+      } else {
+        q->AddPred({t, Inspection::kYear}, PredKind::kGe,
+                   Value::Int(2015 + rng->UniformInt(0, 8)));
+      }
+      break;
+    case Child::kViolation:
+      q->AddInPred({t, Violation::kType},
+                   {Value::String("SPEEDING"), Value::String("DUI"),
+                    Value::String("RECKLESS")});
+      break;
+    case Child::kDealer:
+      q->AddPred({t, Dealer::kZip}, PredKind::kLt,
+                 Value::Int(rng->UniformInt(200, 900)));
+      break;
+  }
+}
+
+}  // namespace
+
+std::vector<QuerySpec> MakeWorkload(const WorkloadConfig& config) {
+  std::vector<QuerySpec> out;
+  out.reserve(static_cast<size_t>(config.num_queries));
+  Rng rng(config.seed);
+
+  for (int qi = 0; qi < config.num_queries; ++qi) {
+    QuerySpec q(StrFormat("dmv_q%02d", qi + 1));
+    const int car = q.AddTable("car");
+
+    // Child instances: OWNER is frequent; others drawn with repetition.
+    int owner = -1;
+    const int extra = 2 + static_cast<int>(rng.UniformInt(
+                              0, config.max_extra_tables - 2));
+    std::vector<std::pair<Child, int>> children;
+    if (rng.Bernoulli(0.8)) {
+      owner = AddChild(&q, Child::kOwner, car, -1);
+      children.emplace_back(Child::kOwner, owner);
+    }
+    static const Child kPool[] = {Child::kRegistration, Child::kAccident,
+                                  Child::kInsurance, Child::kInspection,
+                                  Child::kViolation, Child::kDealer};
+    while (static_cast<int>(children.size()) < extra) {
+      const Child kind = kPool[rng.UniformInt(0, 5)];
+      if (kind == Child::kViolation && owner < 0) continue;
+      const int t = AddChild(&q, kind, car, owner);
+      children.emplace_back(kind, t);
+    }
+
+    // Correlated CAR bundle: 2/3 of the queries restrict correlated
+    // columns (cardinality traps); 1/3 are controls.
+    const int style = static_cast<int>(rng.UniformInt(0, 5));
+    const int64_t model = rng.UniformInt(0, kNumModels - 1);
+    AddCarBundle(&q, car, style, model);
+
+    // ZIP <-> MAKE join correlation trap: restricting the owner's zip to
+    // the make's band looks independent to the optimizer (selectivity
+    // band/kNumZips) but actually keeps ~80% of the joined rows.
+    if (owner >= 0 && rng.Bernoulli(0.5)) {
+      const int64_t make = model / kModelsPerMake;
+      const int64_t band = kNumZips / kNumMakes;
+      q.AddPred({owner, Owner::kZip}, PredKind::kBetween,
+                Value::Int(make * band), Value::Int((make + 1) * band - 1));
+    }
+
+    // One restriction on about half of the child instances.
+    for (const auto& [kind, t] : children) {
+      if (kind == Child::kViolation) {
+        q.AddPred({t, Violation::kPoints}, PredKind::kGe,
+                  Value::Int(rng.UniformInt(1, 4)));
+        continue;
+      }
+      if (rng.Bernoulli(0.55)) AddChildPred(&q, kind, t, &rng);
+    }
+
+    // Group by a low-cardinality column and aggregate.
+    if (owner >= 0 && rng.Bernoulli(0.5)) {
+      q.AddGroupBy({owner, Owner::kState});
+    } else {
+      q.AddGroupBy({car, Car::kColor});
+    }
+    if (rng.Bernoulli(0.5)) {
+      q.AddAgg(AggFunc::kCount);
+    } else {
+      q.AddAgg(AggFunc::kSum, {car, Car::kMileage});
+    }
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+}  // namespace popdb::dmv

@@ -1,0 +1,32 @@
+#ifndef POPDB_DMV_DMV_QUERIES_H_
+#define POPDB_DMV_DMV_QUERIES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "opt/query.h"
+
+namespace popdb::dmv {
+
+/// Parameters of the synthetic DMV decision-support workload (the paper's
+/// 39 real-world queries, Section 6).
+struct WorkloadConfig {
+  int num_queries = 39;
+  uint64_t seed = 2004;
+  /// Maximum extra joined table instances beyond CAR (instances of the
+  /// same table may repeat, mirroring the paper's >10-table joins).
+  int max_extra_tables = 7;
+};
+
+/// Generates the workload: complex multi-join aggregation queries whose
+/// CAR predicates restrict correlated columns (MAKE/MODEL/WEIGHT/COLOR),
+/// so an independence-assuming optimizer underestimates their
+/// cardinalities by one to six orders of magnitude — the error source the
+/// paper reports for the DMV customer database. A fraction of queries
+/// restrict only uncorrelated columns and act as controls (accurate
+/// estimates, POP should not trigger).
+std::vector<QuerySpec> MakeWorkload(const WorkloadConfig& config = {});
+
+}  // namespace popdb::dmv
+
+#endif  // POPDB_DMV_DMV_QUERIES_H_

@@ -1,0 +1,103 @@
+#include "exec/agg.h"
+
+namespace popdb {
+
+const char* AggFuncName(AggFunc func) {
+  switch (func) {
+    case AggFunc::kCount:
+      return "COUNT";
+    case AggFunc::kSum:
+      return "SUM";
+    case AggFunc::kMin:
+      return "MIN";
+    case AggFunc::kMax:
+      return "MAX";
+    case AggFunc::kAvg:
+      return "AVG";
+  }
+  return "?";
+}
+
+HashAggOp::HashAggOp(std::unique_ptr<Operator> child,
+                     std::vector<int> group_pos,
+                     std::vector<ResolvedAgg> aggs)
+    : Operator(0),
+      child_(std::move(child)),
+      group_pos_(std::move(group_pos)),
+      aggs_(std::move(aggs)) {}
+
+ExecStatus HashAggOp::Open(ExecContext* ctx) {
+  ExecStatus s = child_->Open(ctx);
+  if (s != ExecStatus::kOk) return s;
+
+  std::unordered_map<Row, std::vector<AggState>, RowHash> groups;
+  Row row;
+  while (true) {
+    s = child_->Next(ctx, &row);
+    if (s == ExecStatus::kEof) break;
+    if (s != ExecStatus::kRow) return s;
+    ++ctx->work;
+    Row key;
+    key.reserve(group_pos_.size());
+    for (int pos : group_pos_) key.push_back(row[static_cast<size_t>(pos)]);
+    std::vector<AggState>& states = groups[std::move(key)];
+    if (states.empty()) states.resize(aggs_.size());
+    for (size_t a = 0; a < aggs_.size(); ++a) {
+      AggState& st = states[a];
+      ++st.count;
+      if (aggs_[a].func == AggFunc::kCount) continue;
+      const Value& v = row[static_cast<size_t>(aggs_[a].pos)];
+      if (v.is_null()) continue;
+      if (aggs_[a].func == AggFunc::kSum || aggs_[a].func == AggFunc::kAvg) {
+        st.sum += v.AsNumeric();
+      }
+      if (st.min.is_null() || v < st.min) st.min = v;
+      if (st.max.is_null() || v > st.max) st.max = v;
+    }
+  }
+  child_->Close(ctx);
+
+  results_.reserve(groups.size());
+  for (auto& [key, states] : groups) {
+    Row out = key;
+    for (size_t a = 0; a < aggs_.size(); ++a) {
+      const AggState& st = states[a];
+      switch (aggs_[a].func) {
+        case AggFunc::kCount:
+          out.push_back(Value::Int(st.count));
+          break;
+        case AggFunc::kSum:
+          out.push_back(Value::Double(st.sum));
+          break;
+        case AggFunc::kAvg:
+          out.push_back(Value::Double(
+              st.count == 0 ? 0.0 : st.sum / static_cast<double>(st.count)));
+          break;
+        case AggFunc::kMin:
+          out.push_back(st.min);
+          break;
+        case AggFunc::kMax:
+          out.push_back(st.max);
+          break;
+      }
+    }
+    results_.push_back(std::move(out));
+  }
+  next_ = 0;
+  return ExecStatus::kOk;
+}
+
+ExecStatus HashAggOp::Next(ExecContext* ctx, Row* out) {
+  if (next_ < results_.size()) {
+    ++ctx->work;
+    *out = results_[next_++];
+    CountRow();
+    return ExecStatus::kRow;
+  }
+  MarkEof();
+  return ExecStatus::kEof;
+}
+
+void HashAggOp::Close(ExecContext* ctx) { (void)ctx; }
+
+}  // namespace popdb

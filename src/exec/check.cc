@@ -1,0 +1,308 @@
+#include "exec/check.h"
+
+#include <limits>
+
+#include "common/status.h"
+
+namespace popdb {
+
+CheckOp::CheckOp(std::unique_ptr<Operator> child, CheckSpec spec)
+    : Operator(child->table_set()), child_(std::move(child)), spec_(spec) {}
+
+ExecStatus CheckOp::Open(ExecContext* ctx) {
+  count_ = 0;
+  work_first_ = -1;
+  event_recorded_ = false;
+  return child_->Open(ctx);
+}
+
+void CheckOp::RecordEvent(ExecContext* ctx, bool fired) {
+  if (event_recorded_) return;
+  event_recorded_ = true;
+  CheckEvent ev;
+  ev.edge_set = spec_.edge_set;
+  ev.flavor = spec_.flavor;
+  ev.site = spec_.flavor == CheckFlavor::kEagerBuffered
+                ? CheckSite::kNljnOuter
+                : CheckSite::kPipeline;
+  ev.work_first = work_first_;
+  ev.work_eval = ctx->work;
+  ev.count = count_;
+  ev.fired = fired;
+  ctx->check_events.push_back(ev);
+}
+
+ExecStatus CheckOp::Fire(ExecContext* ctx, bool exact) {
+  RecordEvent(ctx, /*fired=*/true);
+  if (spec_.observe_only) {
+    // Observation mode: note the violation but keep executing.
+    return ExecStatus::kRow;
+  }
+  ctx->reopt.triggered = true;
+  ctx->reopt.edge_set = spec_.edge_set;
+  ctx->reopt.observed_rows = count_;
+  ctx->reopt.exact = exact;
+  ctx->reopt.flavor = spec_.flavor;
+  ctx->reopt.check_lo = spec_.lo;
+  ctx->reopt.check_hi = spec_.hi;
+  return ExecStatus::kReoptimize;
+}
+
+ExecStatus CheckOp::Next(ExecContext* ctx, Row* out) {
+  const ExecStatus s = child_->Next(ctx, out);
+  if (s == ExecStatus::kRow) {
+    if (count_ == 0) work_first_ = ctx->work;
+    ++count_;
+    if (spec_.enabled && static_cast<double>(count_) > spec_.hi) {
+      // The observed count is a lower bound on the true cardinality: the
+      // stream was cut short (Section 3.4, eager checks).
+      const ExecStatus fired = Fire(ctx, /*exact=*/false);
+      if (fired == ExecStatus::kReoptimize) return fired;
+    }
+    CountRow();
+    return ExecStatus::kRow;
+  }
+  if (s == ExecStatus::kEof) {
+    if (spec_.enabled && static_cast<double>(count_) < spec_.lo) {
+      const ExecStatus fired = Fire(ctx, /*exact=*/true);
+      if (fired == ExecStatus::kReoptimize) return fired;
+    } else if (spec_.enabled) {
+      RecordEvent(ctx, /*fired=*/false);
+    }
+    MarkEof();
+  }
+  return s;
+}
+
+BufCheckOp::BufCheckOp(std::unique_ptr<Operator> child, CheckSpec spec)
+    : Operator(child->table_set()), child_(std::move(child)), spec_(spec) {}
+
+void BufCheckOp::RecordEvent(ExecContext* ctx, bool fired) {
+  if (event_recorded_) return;
+  event_recorded_ = true;
+  CheckEvent ev;
+  ev.edge_set = spec_.edge_set;
+  ev.flavor = spec_.flavor;
+  ev.site = CheckSite::kNljnOuter;
+  ev.work_first = work_first_;
+  ev.work_eval = ctx->work;
+  ev.count = count_;
+  ev.fired = fired;
+  ctx->check_events.push_back(ev);
+}
+
+ExecStatus BufCheckOp::Fire(ExecContext* ctx, bool exact) {
+  RecordEvent(ctx, /*fired=*/true);
+  if (spec_.observe_only) {
+    decided_ = true;  // Keep streaming in observation mode.
+    return ExecStatus::kOk;
+  }
+  ctx->reopt.triggered = true;
+  ctx->reopt.edge_set = spec_.edge_set;
+  ctx->reopt.observed_rows = count_;
+  ctx->reopt.exact = exact;
+  ctx->reopt.flavor = spec_.flavor;
+  ctx->reopt.check_lo = spec_.lo;
+  ctx->reopt.check_hi = spec_.hi;
+  return ExecStatus::kReoptimize;
+}
+
+ExecStatus BufCheckOp::Open(ExecContext* ctx) {
+  ctx->materializers.push_back(this);
+  count_ = 0;
+  buffer_.clear();
+  buffer_pos_ = 0;
+  decided_ = false;
+  child_eof_ = false;
+  event_recorded_ = false;
+  work_first_ = -1;
+  const ExecStatus s = child_->Open(ctx);
+  if (s != ExecStatus::kOk) return s;
+  if (!spec_.enabled) {
+    decided_ = true;
+    return ExecStatus::kOk;
+  }
+  // Buffer rows ("like a valve", Section 3.3) until the outcome is known.
+  Row row;
+  while (!decided_) {
+    const ExecStatus cs = child_->Next(ctx, &row);
+    if (cs == ExecStatus::kRow) {
+      if (count_ == 0) work_first_ = ctx->work;
+      ++count_;
+      if (static_cast<double>(count_) > spec_.hi) {
+        // Cut short: count is a lower bound; nothing was emitted yet.
+        const ExecStatus fired = Fire(ctx, /*exact=*/false);
+        if (fired == ExecStatus::kReoptimize) return fired;
+      }
+      buffer_.push_back(std::move(row));
+      if (static_cast<double>(count_) >= spec_.lo &&
+          spec_.hi == std::numeric_limits<double>::infinity()) {
+        // [lo, inf): success is certain; release the valve.
+        decided_ = true;
+        RecordEvent(ctx, /*fired=*/false);
+      }
+    } else if (cs == ExecStatus::kEof) {
+      child_eof_ = true;
+      if (static_cast<double>(count_) < spec_.lo) {
+        const ExecStatus fired = Fire(ctx, /*exact=*/true);
+        if (fired == ExecStatus::kReoptimize) return fired;
+      }
+      decided_ = true;
+      RecordEvent(ctx, /*fired=*/false);
+    } else {
+      return cs;
+    }
+  }
+  return ExecStatus::kOk;
+}
+
+ExecStatus BufCheckOp::Next(ExecContext* ctx, Row* out) {
+  if (buffer_pos_ < buffer_.size()) {
+    ++ctx->work;
+    *out = buffer_[buffer_pos_++];
+    CountRow();
+    return ExecStatus::kRow;
+  }
+  if (child_eof_) {
+    MarkEof();
+    return ExecStatus::kEof;
+  }
+  const ExecStatus s = child_->Next(ctx, out);
+  if (s == ExecStatus::kRow) {
+    ++count_;
+    CountRow();
+  } else if (s == ExecStatus::kEof) {
+    MarkEof();
+  }
+  return s;
+}
+
+bool BufCheckOp::HarvestInfo(HarvestedResult* out) const {
+  out->table_set = spec_.edge_set != 0 ? spec_.edge_set : table_set();
+  // The count is exact once the child was exhausted (during buffering or
+  // during pass-through); the bounded buffer is never offered for reuse —
+  // it may hold only a prefix of the stream.
+  out->complete = child_eof_ || eof_seen();
+  out->count = count_;
+  out->rows = nullptr;
+  return true;
+}
+
+WorkBoundOp::WorkBoundOp(std::unique_ptr<Operator> child, double work_budget,
+                         TableSet edge_set)
+    : Operator(child->table_set()),
+      child_(std::move(child)),
+      work_budget_(work_budget),
+      edge_set_(edge_set) {}
+
+ExecStatus WorkBoundOp::Open(ExecContext* ctx) {
+  count_ = 0;
+  return child_->Open(ctx);
+}
+
+ExecStatus WorkBoundOp::Next(ExecContext* ctx, Row* out) {
+  const ExecStatus s = child_->Next(ctx, out);
+  if (s == ExecStatus::kRow) {
+    ++count_;
+    if (static_cast<double>(ctx->work) > work_budget_) {
+      ctx->reopt.triggered = true;
+      ctx->reopt.edge_set = edge_set_;
+      ctx->reopt.observed_rows = count_;
+      ctx->reopt.exact = false;
+      ctx->reopt.flavor = CheckFlavor::kWorkBound;
+      ctx->reopt.check_lo = 0;
+      ctx->reopt.check_hi = work_budget_;
+      return ExecStatus::kReoptimize;
+    }
+    CountRow();
+  } else if (s == ExecStatus::kEof) {
+    MarkEof();
+  }
+  return s;
+}
+
+CheckMaterializedOp::CheckMaterializedOp(std::unique_ptr<Operator> child,
+                                         CheckSpec spec)
+    : Operator(child->table_set()), child_(std::move(child)), spec_(spec) {}
+
+ExecStatus CheckMaterializedOp::Open(ExecContext* ctx) {
+  const ExecStatus s = child_->Open(ctx);
+  if (s != ExecStatus::kOk) return s;
+  HarvestedResult info;
+  const bool has_info = child_->HarvestInfo(&info);
+  POPDB_DCHECK(has_info && info.complete);
+  if (spec_.enabled) {
+    const double card = static_cast<double>(info.count);
+    const bool violated = card < spec_.lo || card > spec_.hi;
+    CheckEvent ev;
+    ev.edge_set = spec_.edge_set;
+    ev.flavor = spec_.flavor;
+    ev.site = spec_.flavor == CheckFlavor::kLazyEagerMat
+                  ? CheckSite::kNljnOuter
+                  : CheckSite::kMatPoint;
+    ev.work_first = ctx->work;
+    ev.work_eval = ctx->work;
+    ev.count = info.count;
+    ev.fired = violated;
+    ctx->check_events.push_back(ev);
+    if (violated && !spec_.observe_only) {
+      ctx->reopt.triggered = true;
+      ctx->reopt.edge_set = spec_.edge_set;
+      ctx->reopt.observed_rows = info.count;
+      ctx->reopt.exact = true;  // Materialization completed: exact count.
+      ctx->reopt.flavor = spec_.flavor;
+      ctx->reopt.check_lo = spec_.lo;
+      ctx->reopt.check_hi = spec_.hi;
+      return ExecStatus::kReoptimize;
+    }
+  }
+  return ExecStatus::kOk;
+}
+
+ExecStatus CheckMaterializedOp::Next(ExecContext* ctx, Row* out) {
+  const ExecStatus s = child_->Next(ctx, out);
+  if (s == ExecStatus::kRow) {
+    CountRow();
+  } else if (s == ExecStatus::kEof) {
+    MarkEof();
+  }
+  return s;
+}
+
+ExecStatus RidTrackOp::Next(ExecContext* ctx, Row* out) {
+  const ExecStatus s = child_->Next(ctx, out);
+  if (s == ExecStatus::kRow) {
+    ctx->returned_rows.push_back(*out);
+    CountRow();
+  } else if (s == ExecStatus::kEof) {
+    MarkEof();
+  }
+  return s;
+}
+
+AntiCompensateOp::AntiCompensateOp(std::unique_ptr<Operator> child,
+                                   const std::vector<Row>& already_returned,
+                                   TableSet table_set)
+    : Operator(table_set), child_(std::move(child)) {
+  for (const Row& row : already_returned) ++remaining_[row];
+}
+
+ExecStatus AntiCompensateOp::Next(ExecContext* ctx, Row* out) {
+  while (true) {
+    const ExecStatus s = child_->Next(ctx, out);
+    if (s != ExecStatus::kRow) {
+      if (s == ExecStatus::kEof) MarkEof();
+      return s;
+    }
+    ++ctx->work;
+    auto it = remaining_.find(*out);
+    if (it != remaining_.end() && it->second > 0) {
+      --it->second;  // Suppress one previously returned duplicate.
+      continue;
+    }
+    CountRow();
+    return ExecStatus::kRow;
+  }
+}
+
+}  // namespace popdb

@@ -1,0 +1,102 @@
+#include "exec/expr.h"
+
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace popdb {
+
+const char* PredKindName(PredKind kind) {
+  switch (kind) {
+    case PredKind::kEq:
+      return "=";
+    case PredKind::kNe:
+      return "<>";
+    case PredKind::kLt:
+      return "<";
+    case PredKind::kLe:
+      return "<=";
+    case PredKind::kGt:
+      return ">";
+    case PredKind::kGe:
+      return ">=";
+    case PredKind::kBetween:
+      return "BETWEEN";
+    case PredKind::kIn:
+      return "IN";
+    case PredKind::kLike:
+      return "LIKE";
+  }
+  return "?";
+}
+
+std::string Predicate::ToString() const {
+  std::string rhs;
+  if (is_param) {
+    rhs = StrFormat("?%d", param_index);
+  } else if (kind == PredKind::kBetween) {
+    rhs = operand.ToString() + " AND " + operand2.ToString();
+  } else if (kind == PredKind::kIn) {
+    std::vector<std::string> parts;
+    for (const Value& v : in_list) parts.push_back(v.ToString());
+    rhs = "(" + StrJoin(parts, ", ") + ")";
+  } else {
+    rhs = operand.ToString();
+  }
+  return StrFormat("t%d.c%d %s %s", col.table_id, col.column,
+                   PredKindName(kind), rhs.c_str());
+}
+
+std::string JoinPredicate::ToString() const {
+  return StrFormat("t%d.c%d = t%d.c%d", left.table_id, left.column,
+                   right.table_id, right.column);
+}
+
+bool EvalPredicate(const ResolvedPredicate& pred, const Row& row) {
+  const Value& v = row[static_cast<size_t>(pred.pos)];
+  if (v.is_null()) return false;
+  switch (pred.kind) {
+    case PredKind::kEq:
+      return v == pred.operand;
+    case PredKind::kNe:
+      return v != pred.operand;
+    case PredKind::kLt:
+      return v < pred.operand;
+    case PredKind::kLe:
+      return v <= pred.operand;
+    case PredKind::kGt:
+      return v > pred.operand;
+    case PredKind::kGe:
+      return v >= pred.operand;
+    case PredKind::kBetween:
+      return v >= pred.operand && v <= pred.operand2;
+    case PredKind::kIn:
+      for (const Value& candidate : pred.in_list) {
+        if (v == candidate) return true;
+      }
+      return false;
+    case PredKind::kLike:
+      return v.type() == ValueType::kString &&
+             pred.operand.type() == ValueType::kString &&
+             LikeMatch(v.AsString(), pred.operand.AsString());
+  }
+  return false;
+}
+
+ResolvedPredicate ResolvePredicate(const Predicate& pred, int pos,
+                                   const std::vector<Value>& params) {
+  ResolvedPredicate out;
+  out.pos = pos;
+  out.kind = pred.kind;
+  if (pred.is_param) {
+    POPDB_DCHECK(pred.param_index >= 0 &&
+                 pred.param_index < static_cast<int>(params.size()));
+    out.operand = params[static_cast<size_t>(pred.param_index)];
+  } else {
+    out.operand = pred.operand;
+  }
+  out.operand2 = pred.operand2;
+  out.in_list = pred.in_list;
+  return out;
+}
+
+}  // namespace popdb

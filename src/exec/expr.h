@@ -1,0 +1,86 @@
+#ifndef POPDB_EXEC_EXPR_H_
+#define POPDB_EXEC_EXPR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace popdb {
+
+/// Reference to a column of a query table: `table_id` is the table's
+/// position-independent id inside one QuerySpec, `column` is the column
+/// index within that table's schema.
+struct ColRef {
+  int table_id = -1;
+  int column = -1;
+
+  bool operator==(const ColRef& o) const {
+    return table_id == o.table_id && column == o.column;
+  }
+};
+
+/// Comparison kinds supported by local predicates.
+enum class PredKind {
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kBetween,   // operand <= col <= operand2
+  kIn,        // col IN in_list
+  kLike,      // string LIKE pattern (operand is the pattern)
+};
+
+const char* PredKindName(PredKind kind);
+
+/// A single-table restriction predicate as seen by the optimizer. Parameter
+/// markers (`is_param`) hide the literal from the optimizer: estimation
+/// falls back to a default selectivity while execution binds the actual
+/// value from the query's parameter list — this is the paper's mechanism
+/// for injecting cardinality estimation errors (Section 5.1).
+struct Predicate {
+  int pred_id = -1;  ///< Unique within one QuerySpec.
+  ColRef col;
+  PredKind kind = PredKind::kEq;
+  Value operand;
+  Value operand2;              ///< Upper bound for kBetween.
+  std::vector<Value> in_list;  ///< For kIn.
+  bool is_param = false;       ///< Parameter marker: estimator can't see it.
+  int param_index = -1;        ///< Index into QuerySpec parameter bindings.
+
+  std::string ToString() const;
+};
+
+/// Equality join predicate between two query tables.
+struct JoinPredicate {
+  ColRef left;
+  ColRef right;
+
+  std::string ToString() const;
+};
+
+/// A predicate with its column resolved to a position inside the executor's
+/// row layout and with any parameter marker already bound to its literal.
+/// This is what operators actually evaluate.
+struct ResolvedPredicate {
+  int pos = -1;
+  PredKind kind = PredKind::kEq;
+  Value operand;
+  Value operand2;
+  std::vector<Value> in_list;
+};
+
+/// Evaluates `pred` against `row`. NULL column values never satisfy a
+/// predicate (SQL three-valued logic collapsed to false).
+bool EvalPredicate(const ResolvedPredicate& pred, const Row& row);
+
+/// Resolves `pred`: substitutes the bound parameter (if any) from `params`
+/// and stores `pos` as the evaluation position.
+ResolvedPredicate ResolvePredicate(const Predicate& pred, int pos,
+                                   const std::vector<Value>& params);
+
+}  // namespace popdb
+
+#endif  // POPDB_EXEC_EXPR_H_

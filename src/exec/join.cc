@@ -1,0 +1,415 @@
+#include "exec/join.h"
+
+#include "common/status.h"
+
+namespace popdb {
+
+// ---------------------------------------------------------------- NljnOp
+
+NljnOp::NljnOp(std::unique_ptr<Operator> outer, InnerAccess inner,
+               MergeSpec merge, TableSet table_set)
+    : Operator(table_set),
+      outer_(std::move(outer)),
+      inner_(std::move(inner)),
+      merge_(std::move(merge)) {}
+
+const Row& NljnOp::InnerRow(int64_t rid) const {
+  if (inner_.mv_rows != nullptr) {
+    return (*inner_.mv_rows)[static_cast<size_t>(rid)];
+  }
+  return inner_.table->row(rid);
+}
+
+int64_t NljnOp::NumInnerRows() const {
+  if (inner_.mv_rows != nullptr) {
+    return static_cast<int64_t>(inner_.mv_rows->size());
+  }
+  return inner_.table->num_rows();
+}
+
+ExecStatus NljnOp::Open(ExecContext* ctx) {
+  outer_valid_ = false;
+  return outer_->Open(ctx);
+}
+
+void NljnOp::StartProbe(ExecContext* ctx) {
+  ++ctx->work;
+  if (inner_.index != nullptr) {
+    POPDB_DCHECK(!inner_.join_conds.empty());
+    const Value& key =
+        outer_row_[static_cast<size_t>(inner_.join_conds[0].outer_pos)];
+    index_candidates_ = &inner_.index->Probe(key);
+    candidate_pos_ = 0;
+  } else {
+    scan_rid_ = 0;
+  }
+}
+
+ExecStatus NljnOp::Next(ExecContext* ctx, Row* out) {
+  while (true) {
+    if (!outer_valid_) {
+      const ExecStatus s = outer_->Next(ctx, &outer_row_);
+      if (s != ExecStatus::kRow) {
+        if (s == ExecStatus::kEof) MarkEof();
+        return s;
+      }
+      outer_valid_ = true;
+      StartProbe(ctx);
+    }
+    // Iterate candidate inner rows for the current outer row.
+    while (true) {
+      int64_t rid;
+      if (inner_.index != nullptr) {
+        if (candidate_pos_ >= index_candidates_->size()) break;
+        rid = (*index_candidates_)[candidate_pos_++];
+      } else {
+        if (scan_rid_ >= NumInnerRows()) break;
+        rid = scan_rid_++;
+      }
+      ++ctx->work;
+      const Row& inner_row = InnerRow(rid);
+      bool pass = true;
+      // With an index the first condition already holds.
+      const size_t first = inner_.index != nullptr ? 1 : 0;
+      for (size_t j = first; j < inner_.join_conds.size(); ++j) {
+        const InnerAccess::JoinCond& jc = inner_.join_conds[j];
+        if (outer_row_[static_cast<size_t>(jc.outer_pos)] !=
+            inner_row[static_cast<size_t>(jc.inner_pos)]) {
+          pass = false;
+          break;
+        }
+      }
+      if (pass) {
+        for (const ResolvedPredicate& p : inner_.local_preds) {
+          if (!EvalPredicate(p, inner_row)) {
+            pass = false;
+            break;
+          }
+        }
+      }
+      if (pass) {
+        *out = merge_.Merge(outer_row_, inner_row);
+        CountRow();
+        return ExecStatus::kRow;
+      }
+    }
+    outer_valid_ = false;  // Exhausted inner candidates; pull next outer row.
+  }
+}
+
+void NljnOp::Close(ExecContext* ctx) { outer_->Close(ctx); }
+
+// ---------------------------------------------------------------- HsjnOp
+
+HsjnOp::HsjnOp(std::unique_ptr<Operator> probe,
+               std::unique_ptr<Operator> build, std::vector<int> probe_keys,
+               std::vector<int> build_keys, MergeSpec merge,
+               TableSet table_set, CheckSpec build_check,
+               bool offer_build_for_reuse)
+    : Operator(table_set),
+      probe_(std::move(probe)),
+      build_(std::move(build)),
+      probe_keys_(std::move(probe_keys)),
+      build_keys_(std::move(build_keys)),
+      merge_(std::move(merge)),
+      build_check_(build_check),
+      offer_build_for_reuse_(offer_build_for_reuse) {}
+
+Row HsjnOp::BuildKey(const Row& row) const {
+  Row key;
+  key.reserve(build_keys_.size());
+  for (int pos : build_keys_) key.push_back(row[static_cast<size_t>(pos)]);
+  return key;
+}
+
+Row HsjnOp::ProbeKey(const Row& row) const {
+  Row key;
+  key.reserve(probe_keys_.size());
+  for (int pos : probe_keys_) key.push_back(row[static_cast<size_t>(pos)]);
+  return key;
+}
+
+ExecStatus HsjnOp::Open(ExecContext* ctx) {
+  ctx->materializers.push_back(this);
+  ExecStatus s = build_->Open(ctx);
+  if (s != ExecStatus::kOk) return s;
+  Row row;
+  while (true) {
+    s = build_->Next(ctx, &row);
+    if (s == ExecStatus::kEof) break;
+    if (s != ExecStatus::kRow) return s;
+    ++ctx->work;
+    build_rows_.push_back(std::move(row));
+  }
+  build_->Close(ctx);
+  build_complete_ = true;
+
+  if (build_check_.enabled) {
+    const double card = static_cast<double>(build_rows_.size());
+    const bool violated = card < build_check_.lo || card > build_check_.hi;
+    CheckEvent ev;
+    ev.edge_set = build_check_.edge_set;
+    ev.flavor = build_check_.flavor;
+    ev.site = CheckSite::kHsjnBuild;
+    ev.work_first = ctx->work;
+    ev.work_eval = ctx->work;
+    ev.count = static_cast<int64_t>(build_rows_.size());
+    ev.fired = violated;
+    ctx->check_events.push_back(ev);
+    if (violated && !build_check_.observe_only) {
+      ctx->reopt.triggered = true;
+      ctx->reopt.edge_set = build_check_.edge_set;
+      ctx->reopt.observed_rows = static_cast<int64_t>(build_rows_.size());
+      ctx->reopt.exact = true;
+      ctx->reopt.flavor = build_check_.flavor;
+      ctx->reopt.check_lo = build_check_.lo;
+      ctx->reopt.check_hi = build_check_.hi;
+      return ExecStatus::kReoptimize;
+    }
+  }
+
+  if (static_cast<int64_t>(build_rows_.size()) <= ctx->mem_rows) {
+    // Streaming in-memory mode.
+    in_memory_mode_ = true;
+    map_.reserve(build_rows_.size());
+    for (size_t i = 0; i < build_rows_.size(); ++i) {
+      map_[BuildKey(build_rows_[i])].push_back(i);
+    }
+    matches_ = nullptr;
+    return probe_->Open(ctx);
+  }
+
+  // Build exceeds memory: materialize the probe side and join with
+  // recursive partitioning.
+  in_memory_mode_ = false;
+  s = probe_->Open(ctx);
+  if (s != ExecStatus::kOk) return s;
+  std::vector<Row> probe_rows;
+  while (true) {
+    s = probe_->Next(ctx, &row);
+    if (s == ExecStatus::kEof) break;
+    if (s != ExecStatus::kRow) return s;
+    ++ctx->work;
+    probe_rows.push_back(std::move(row));
+  }
+  probe_->Close(ctx);
+  // Join from a copy so build_rows_ stays harvestable.
+  std::vector<Row> build_copy = build_rows_;
+  return Join(ctx, &build_copy, &probe_rows, 0);
+}
+
+ExecStatus HsjnOp::Join(ExecContext* ctx, std::vector<Row>* build,
+                        std::vector<Row>* probe, int depth) {
+  if (static_cast<int64_t>(build->size()) <= ctx->mem_rows || depth > 8) {
+    KeyMap map;
+    map.reserve(build->size());
+    for (size_t i = 0; i < build->size(); ++i) {
+      map[BuildKey((*build)[i])].push_back(i);
+    }
+    for (const Row& prow : *probe) {
+      ++ctx->work;
+      auto it = map.find(ProbeKey(prow));
+      if (it == map.end()) continue;
+      for (size_t bi : it->second) {
+        output_.push_back(merge_.Merge(prow, (*build)[bi]));
+      }
+    }
+    return ExecStatus::kOk;
+  }
+  // One extra partitioning pass over both inputs (a "stage" in the paper's
+  // multi-stage hash join terminology).
+  std::vector<std::vector<Row>> bparts(kFanOut), pparts(kFanOut);
+  const uint64_t salt = 0x9e3779b9u * static_cast<uint64_t>(depth + 1);
+  for (Row& r : *build) {
+    ++ctx->work;
+    const size_t h = (HashRow(BuildKey(r)) ^ salt) % kFanOut;
+    bparts[h].push_back(std::move(r));
+  }
+  for (Row& r : *probe) {
+    ++ctx->work;
+    const size_t h = (HashRow(ProbeKey(r)) ^ salt) % kFanOut;
+    pparts[h].push_back(std::move(r));
+  }
+  build->clear();
+  probe->clear();
+  for (int p = 0; p < kFanOut; ++p) {
+    const ExecStatus s = Join(ctx, &bparts[p], &pparts[p], depth + 1);
+    if (s != ExecStatus::kOk) return s;
+  }
+  return ExecStatus::kOk;
+}
+
+ExecStatus HsjnOp::Next(ExecContext* ctx, Row* out) {
+  if (in_memory_mode_) {
+    while (true) {
+      if (matches_ != nullptr && match_pos_ < matches_->size()) {
+        *out = merge_.Merge(probe_row_, build_rows_[(*matches_)[match_pos_]]);
+        ++match_pos_;
+        CountRow();
+        return ExecStatus::kRow;
+      }
+      const ExecStatus s = probe_->Next(ctx, &probe_row_);
+      if (s != ExecStatus::kRow) {
+        if (s == ExecStatus::kEof) MarkEof();
+        return s;
+      }
+      ++ctx->work;
+      auto it = map_.find(ProbeKey(probe_row_));
+      if (it == map_.end()) {
+        matches_ = nullptr;
+        continue;
+      }
+      matches_ = &it->second;
+      match_pos_ = 0;
+    }
+  }
+  if (next_out_ < output_.size()) {
+    *out = output_[next_out_++];
+    CountRow();
+    return ExecStatus::kRow;
+  }
+  MarkEof();
+  return ExecStatus::kEof;
+}
+
+void HsjnOp::Close(ExecContext* ctx) {
+  if (in_memory_mode_) probe_->Close(ctx);
+}
+
+bool HsjnOp::HarvestInfo(HarvestedResult* out) const {
+  out->table_set = build_->table_set();
+  out->complete = build_complete_;
+  out->count = static_cast<int64_t>(build_rows_.size());
+  out->rows = offer_build_for_reuse_ ? &build_rows_ : nullptr;
+  return true;
+}
+
+// ---------------------------------------------------------------- MgjnOp
+
+MgjnOp::MgjnOp(std::unique_ptr<Operator> left,
+               std::unique_ptr<Operator> right, std::vector<int> left_keys,
+               std::vector<int> right_keys, MergeSpec merge,
+               TableSet table_set)
+    : Operator(table_set),
+      left_(std::move(left)),
+      right_(std::move(right)),
+      left_keys_(std::move(left_keys)),
+      right_keys_(std::move(right_keys)),
+      merge_(std::move(merge)) {}
+
+int MgjnOp::CompareKeys(const Row& l, const Row& r) const {
+  for (size_t k = 0; k < left_keys_.size(); ++k) {
+    const int c = l[static_cast<size_t>(left_keys_[k])].Compare(
+        r[static_cast<size_t>(right_keys_[k])]);
+    if (c != 0) return c;
+  }
+  return 0;
+}
+
+ExecStatus MgjnOp::Open(ExecContext* ctx) {
+  ExecStatus s = left_->Open(ctx);
+  if (s != ExecStatus::kOk) return s;
+  s = right_->Open(ctx);
+  if (s != ExecStatus::kOk) return s;
+  left_valid_ = right_valid_ = false;
+  left_eof_ = right_eof_ = false;
+  in_group_ = false;
+  const ExecStatus sl = AdvanceLeft(ctx);
+  if (sl == ExecStatus::kReoptimize || sl == ExecStatus::kError) return sl;
+  const ExecStatus sr = AdvanceRight(ctx);
+  if (sr == ExecStatus::kReoptimize || sr == ExecStatus::kError) return sr;
+  return ExecStatus::kOk;
+}
+
+ExecStatus MgjnOp::AdvanceLeft(ExecContext* ctx) {
+  const ExecStatus s = left_->Next(ctx, &left_row_);
+  if (s == ExecStatus::kRow) {
+    ++ctx->work;
+    left_valid_ = true;
+    return s;
+  }
+  left_valid_ = false;
+  if (s == ExecStatus::kEof) left_eof_ = true;
+  return s;
+}
+
+ExecStatus MgjnOp::AdvanceRight(ExecContext* ctx) {
+  const ExecStatus s = right_->Next(ctx, &right_row_);
+  if (s == ExecStatus::kRow) {
+    ++ctx->work;
+    right_valid_ = true;
+    return s;
+  }
+  right_valid_ = false;
+  if (s == ExecStatus::kEof) right_eof_ = true;
+  return s;
+}
+
+ExecStatus MgjnOp::Next(ExecContext* ctx, Row* out) {
+  while (true) {
+    if (in_group_) {
+      if (group_pos_ < right_group_.size()) {
+        *out = merge_.Merge(left_row_, right_group_[group_pos_]);
+        ++group_pos_;
+        CountRow();
+        return ExecStatus::kRow;
+      }
+      // Current left row finished its group; see if the next left row has
+      // the same key and can reuse the buffered group.
+      const ExecStatus s = AdvanceLeft(ctx);
+      if (s == ExecStatus::kReoptimize || s == ExecStatus::kError) return s;
+      if (left_valid_ &&
+          CompareKeys(left_row_, right_group_.front()) == 0) {
+        group_pos_ = 0;
+        continue;
+      }
+      in_group_ = false;
+      right_group_.clear();
+    }
+    if (!left_valid_ || (!right_valid_ && right_group_.empty())) {
+      if (left_eof_ || (right_eof_ && right_group_.empty() && !right_valid_)) {
+        MarkEof();
+        return ExecStatus::kEof;
+      }
+      // A child returned a non-row status other than EOF earlier.
+      MarkEof();
+      return ExecStatus::kEof;
+    }
+    const int cmp = CompareKeys(left_row_, right_row_);
+    if (cmp < 0) {
+      const ExecStatus s = AdvanceLeft(ctx);
+      if (s == ExecStatus::kReoptimize || s == ExecStatus::kError) return s;
+      if (!left_valid_) {
+        MarkEof();
+        return ExecStatus::kEof;
+      }
+    } else if (cmp > 0) {
+      const ExecStatus s = AdvanceRight(ctx);
+      if (s == ExecStatus::kReoptimize || s == ExecStatus::kError) return s;
+      if (!right_valid_) {
+        MarkEof();
+        return ExecStatus::kEof;
+      }
+    } else {
+      // Buffer the full right-side key group.
+      right_group_.clear();
+      right_group_.push_back(right_row_);
+      while (true) {
+        const ExecStatus s = AdvanceRight(ctx);
+        if (s == ExecStatus::kReoptimize || s == ExecStatus::kError) return s;
+        if (!right_valid_) break;
+        if (CompareKeys(left_row_, right_row_) != 0) break;
+        right_group_.push_back(right_row_);
+      }
+      in_group_ = true;
+      group_pos_ = 0;
+    }
+  }
+}
+
+void MgjnOp::Close(ExecContext* ctx) {
+  left_->Close(ctx);
+  right_->Close(ctx);
+}
+
+}  // namespace popdb

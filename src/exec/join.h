@@ -1,0 +1,167 @@
+#ifndef POPDB_EXEC_JOIN_H_
+#define POPDB_EXEC_JOIN_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/expr.h"
+#include "exec/operator.h"
+#include "storage/index.h"
+#include "storage/table.h"
+
+namespace popdb {
+
+/// Check condition evaluated against a materialized cardinality (used for
+/// the optional lazy check on a hash-join build, and by the CHECK
+/// operators in check.h).
+struct CheckSpec {
+  bool enabled = false;
+  double lo = 0.0;
+  double hi = 0.0;
+  CheckFlavor flavor = CheckFlavor::kLazy;
+  TableSet edge_set = 0;
+  /// Record a CheckEvent but never trigger re-optimization (used by the
+  /// opportunity-analysis experiments, Figure 14).
+  bool observe_only = false;
+};
+
+/// Describes how a nested-loop join accesses its inner table. The inner of
+/// an NLJN is always a base-table (or materialized-view) access path, as
+/// produced by the Selinger-style enumerator; when `index` is set, the
+/// first join condition is evaluated by an index probe.
+struct InnerAccess {
+  const Table* table = nullptr;
+  /// For a matview inner, rows come from here instead of `table`.
+  const std::vector<Row>* mv_rows = nullptr;
+  int table_id = -1;
+  std::vector<ResolvedPredicate> local_preds;  ///< Positions in inner row.
+
+  struct JoinCond {
+    int outer_pos = -1;  ///< Position in the outer child's output row.
+    int inner_pos = -1;  ///< Column position in the inner row.
+  };
+  std::vector<JoinCond> join_conds;
+
+  const HashIndex* index = nullptr;  ///< Probes join_conds[0] if non-null.
+};
+
+/// (Index) nested-loop join: for each outer row, finds matching inner rows
+/// either through a hash-index probe or by scanning the inner table.
+/// This operator pipelines: it never materializes its outer, which is why
+/// the paper guards NLJN outers with LCEM/ECB checkpoints.
+class NljnOp : public Operator {
+ public:
+  NljnOp(std::unique_ptr<Operator> outer, InnerAccess inner, MergeSpec merge,
+         TableSet table_set);
+
+  ExecStatus Open(ExecContext* ctx) override;
+  ExecStatus Next(ExecContext* ctx, Row* out) override;
+  void Close(ExecContext* ctx) override;
+  const char* name() const override { return "NLJN"; }
+
+ private:
+  /// Fetches candidate inner row ids for the current outer row.
+  void StartProbe(ExecContext* ctx);
+  const Row& InnerRow(int64_t rid) const;
+  int64_t NumInnerRows() const;
+
+  std::unique_ptr<Operator> outer_;
+  InnerAccess inner_;
+  MergeSpec merge_;
+
+  Row outer_row_;
+  bool outer_valid_ = false;
+  // Probe state: either an index candidate list or a full-scan cursor.
+  const std::vector<int64_t>* index_candidates_ = nullptr;
+  size_t candidate_pos_ = 0;
+  int64_t scan_rid_ = 0;
+};
+
+/// Hash join. Child 0 is the probe (outer) side, child 1 the build (inner)
+/// side. The build side is fully materialized at Open; if it exceeds the
+/// memory budget the operator recursively partitions both sides with a
+/// fixed fan-out (extra passes over the data — the cost cliffs of
+/// Section 2.2). An optional CheckSpec implements a lazy checkpoint on the
+/// build cardinality.
+class HsjnOp : public Operator {
+ public:
+  static constexpr int kFanOut = 16;
+
+  HsjnOp(std::unique_ptr<Operator> probe, std::unique_ptr<Operator> build,
+         std::vector<int> probe_keys, std::vector<int> build_keys,
+         MergeSpec merge, TableSet table_set, CheckSpec build_check,
+         bool offer_build_for_reuse);
+
+  ExecStatus Open(ExecContext* ctx) override;
+  ExecStatus Next(ExecContext* ctx, Row* out) override;
+  void Close(ExecContext* ctx) override;
+  bool HarvestInfo(HarvestedResult* out) const override;
+  const char* name() const override { return "HSJN"; }
+
+ private:
+  using KeyMap = std::unordered_map<Row, std::vector<size_t>, RowHash>;
+
+  Row BuildKey(const Row& row) const;
+  Row ProbeKey(const Row& row) const;
+  /// Recursively partitions build/probe rows until each build partition
+  /// fits in memory, charging one work unit per row per level.
+  ExecStatus Join(ExecContext* ctx, std::vector<Row>* build,
+                  std::vector<Row>* probe, int depth);
+
+  std::unique_ptr<Operator> probe_;
+  std::unique_ptr<Operator> build_;
+  std::vector<int> probe_keys_;
+  std::vector<int> build_keys_;
+  MergeSpec merge_;
+  CheckSpec build_check_;
+  bool offer_build_for_reuse_;
+
+  std::vector<Row> build_rows_;  ///< Kept alive for harvesting.
+  bool build_complete_ = false;
+  std::vector<Row> output_;  ///< Joined rows (computed in Open).
+  size_t next_out_ = 0;
+  bool in_memory_mode_ = false;
+  // Streaming (in-memory) mode state.
+  KeyMap map_;
+  Row probe_row_;
+  const std::vector<size_t>* matches_ = nullptr;
+  size_t match_pos_ = 0;
+};
+
+/// Merge join over two inputs sorted on the join keys (the optimizer
+/// inserts SortOp children). Buffers each right-side key group to emit the
+/// cross product with equal left rows.
+class MgjnOp : public Operator {
+ public:
+  MgjnOp(std::unique_ptr<Operator> left, std::unique_ptr<Operator> right,
+         std::vector<int> left_keys, std::vector<int> right_keys,
+         MergeSpec merge, TableSet table_set);
+
+  ExecStatus Open(ExecContext* ctx) override;
+  ExecStatus Next(ExecContext* ctx, Row* out) override;
+  void Close(ExecContext* ctx) override;
+  const char* name() const override { return "MGJN"; }
+
+ private:
+  int CompareKeys(const Row& l, const Row& r) const;
+  ExecStatus AdvanceLeft(ExecContext* ctx);
+  ExecStatus AdvanceRight(ExecContext* ctx);
+
+  std::unique_ptr<Operator> left_;
+  std::unique_ptr<Operator> right_;
+  std::vector<int> left_keys_;
+  std::vector<int> right_keys_;
+  MergeSpec merge_;
+
+  Row left_row_, right_row_;
+  bool left_valid_ = false, right_valid_ = false;
+  bool left_eof_ = false, right_eof_ = false;
+  std::vector<Row> right_group_;  ///< Current right key group.
+  size_t group_pos_ = 0;
+  bool in_group_ = false;
+};
+
+}  // namespace popdb
+
+#endif  // POPDB_EXEC_JOIN_H_

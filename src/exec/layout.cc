@@ -1,0 +1,53 @@
+#include "exec/layout.h"
+
+#include "common/status.h"
+
+namespace popdb {
+
+RowLayout::RowLayout(TableSet set, const std::vector<int>& table_widths)
+    : set_(set) {
+  for (int tid = 0; tid < static_cast<int>(table_widths.size()); ++tid) {
+    if (!ContainsTable(set, tid)) continue;
+    table_ids_.push_back(tid);
+    offsets_.push_back(width_);
+    width_ += table_widths[static_cast<size_t>(tid)];
+  }
+}
+
+int RowLayout::Resolve(const ColRef& col) const {
+  for (size_t i = 0; i < table_ids_.size(); ++i) {
+    if (table_ids_[i] == col.table_id) return offsets_[i] + col.column;
+  }
+  return -1;
+}
+
+MergeSpec MergeSpec::Make(const RowLayout& left, const RowLayout& right,
+                          const RowLayout& out,
+                          const std::vector<int>& table_widths) {
+  POPDB_DCHECK((left.table_set() & right.table_set()) == 0);
+  POPDB_DCHECK(out.table_set() == (left.table_set() | right.table_set()));
+  MergeSpec spec;
+  spec.sources.reserve(static_cast<size_t>(out.width()));
+  for (int tid = 0; tid < static_cast<int>(table_widths.size()); ++tid) {
+    if (!ContainsTable(out.table_set(), tid)) continue;
+    const bool from_left = ContainsTable(left.table_set(), tid);
+    const RowLayout& src = from_left ? left : right;
+    const int base = src.Resolve(ColRef{tid, 0});
+    POPDB_DCHECK(base >= 0);
+    for (int c = 0; c < table_widths[static_cast<size_t>(tid)]; ++c) {
+      spec.sources.emplace_back(from_left, base + c);
+    }
+  }
+  return spec;
+}
+
+Row MergeSpec::Merge(const Row& left, const Row& right) const {
+  Row out;
+  out.reserve(sources.size());
+  for (const auto& [from_left, pos] : sources) {
+    out.push_back((from_left ? left : right)[static_cast<size_t>(pos)]);
+  }
+  return out;
+}
+
+}  // namespace popdb

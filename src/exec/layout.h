@@ -1,0 +1,63 @@
+#ifndef POPDB_EXEC_LAYOUT_H_
+#define POPDB_EXEC_LAYOUT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "exec/expr.h"
+
+namespace popdb {
+
+/// Set of query-table ids as a bitmask (queries join at most 64 tables).
+using TableSet = uint64_t;
+
+inline TableSet TableBit(int table_id) { return TableSet{1} << table_id; }
+inline bool ContainsTable(TableSet set, int table_id) {
+  return (set & TableBit(table_id)) != 0;
+}
+inline int PopCount(TableSet set) { return __builtin_popcountll(set); }
+
+/// The engine's canonical row layout rule: an operator producing rows for
+/// table set S outputs the concatenation of each member table's columns in
+/// increasing table-id order. This makes the layout a pure function of the
+/// table set, so plans, temporary materialized views and re-optimized plans
+/// all agree on column positions without tracking projections.
+class RowLayout {
+ public:
+  RowLayout() = default;
+
+  /// Builds the layout for `set`; `table_widths[tid]` is the column count
+  /// of query table `tid`.
+  RowLayout(TableSet set, const std::vector<int>& table_widths);
+
+  TableSet table_set() const { return set_; }
+  int width() const { return width_; }
+
+  /// Position of `col` inside a row with this layout; -1 if the table is
+  /// not part of the layout.
+  int Resolve(const ColRef& col) const;
+
+ private:
+  TableSet set_ = 0;
+  int width_ = 0;
+  // offsets_[i] pairs with table_ids_[i].
+  std::vector<int> table_ids_;
+  std::vector<int> offsets_;
+};
+
+/// Precomputed instructions for merging a left row and a right row into a
+/// canonical row for the union of their table sets.
+struct MergeSpec {
+  /// For each output position: (from_left, source position).
+  std::vector<std::pair<bool, int>> sources;
+
+  static MergeSpec Make(const RowLayout& left, const RowLayout& right,
+                        const RowLayout& out,
+                        const std::vector<int>& table_widths);
+
+  Row Merge(const Row& left, const Row& right) const;
+};
+
+}  // namespace popdb
+
+#endif  // POPDB_EXEC_LAYOUT_H_

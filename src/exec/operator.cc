@@ -1,0 +1,38 @@
+#include "exec/operator.h"
+
+namespace popdb {
+
+const char* CheckFlavorName(CheckFlavor flavor) {
+  switch (flavor) {
+    case CheckFlavor::kLazy:
+      return "LC";
+    case CheckFlavor::kLazyEagerMat:
+      return "LCEM";
+    case CheckFlavor::kEagerBuffered:
+      return "ECB";
+    case CheckFlavor::kEagerNoCompensation:
+      return "ECWC";
+    case CheckFlavor::kEagerDeferredComp:
+      return "ECDC";
+    case CheckFlavor::kWorkBound:
+      return "WORKBOUND";
+  }
+  return "?";
+}
+
+ExecStatus RunToCompletion(Operator* root, ExecContext* ctx,
+                           std::vector<Row>* out_rows) {
+  ExecStatus status = root->Open(ctx);
+  if (status == ExecStatus::kOk) {
+    Row row;
+    while (true) {
+      status = root->Next(ctx, &row);
+      if (status != ExecStatus::kRow) break;
+      out_rows->push_back(row);
+    }
+  }
+  root->Close(ctx);
+  return status;
+}
+
+}  // namespace popdb

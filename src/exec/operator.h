@@ -1,0 +1,189 @@
+#ifndef POPDB_EXEC_OPERATOR_H_
+#define POPDB_EXEC_OPERATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+#include "exec/layout.h"
+
+namespace popdb {
+
+/// Result of an operator call.
+enum class ExecStatus {
+  kOk,          ///< Open succeeded.
+  kRow,         ///< Next produced a row.
+  kEof,         ///< Next reached end of stream.
+  kReoptimize,  ///< A CHECK fired; unwind and re-optimize.
+  kError,       ///< Internal failure; details in ExecContext::error.
+};
+
+/// Which kind of checkpoint fired (paper Section 3).
+enum class CheckFlavor {
+  kLazy,                   ///< LC: above an existing materialization point.
+  kLazyEagerMat,           ///< LCEM: artificial TEMP + CHECK on NLJN outer.
+  kEagerBuffered,          ///< ECB: streaming check under a buffering TEMP.
+  kEagerNoCompensation,    ///< ECWC: streaming check below a materialization.
+  kEagerDeferredComp,      ///< ECDC: pipelined check with anti-join comp.
+  kWorkBound,              ///< Extension: execution-work budget exceeded.
+};
+
+const char* CheckFlavorName(CheckFlavor flavor);
+
+/// Details about the checkpoint that triggered re-optimization.
+struct ReoptSignal {
+  bool triggered = false;
+  TableSet edge_set = 0;        ///< Table set of the guarded subplan edge.
+  int64_t observed_rows = 0;    ///< Rows seen when the check fired.
+  bool exact = false;           ///< True if the count is the full cardinality.
+  CheckFlavor flavor = CheckFlavor::kLazy;
+  double check_lo = 0;
+  double check_hi = 0;
+};
+
+/// Where in the plan a checkpoint sits (used to classify opportunities in
+/// the Figure 14 reproduction).
+enum class CheckSite {
+  kMatPoint,   ///< Above a SORT/TEMP materialization.
+  kHsjnBuild,  ///< On a hash-join build side.
+  kNljnOuter,  ///< Guarding a nested-loop-join outer (LCEM/ECB).
+  kPipeline,   ///< Mid-pipeline (ECWC/ECDC).
+};
+
+/// Record of one checkpoint evaluation during execution, captured even
+/// when the check range holds. Used by the opportunity analysis (paper
+/// Figure 14): `work_first` / `work_eval` are the values of
+/// ExecContext::work when the checkpoint saw its first row and when it
+/// made its decision, so the harness can report checkpoint positions as
+/// fractions of total work.
+struct CheckEvent {
+  TableSet edge_set = 0;
+  CheckFlavor flavor = CheckFlavor::kLazy;
+  CheckSite site = CheckSite::kMatPoint;
+  int64_t work_first = -1;
+  int64_t work_eval = -1;
+  int64_t count = 0;
+  bool fired = false;
+};
+
+/// A materialized intermediate result offered for reuse after a CHECK
+/// fires (paper Section 2.3). `rows` points into the producing operator and
+/// is only valid until the operator tree is destroyed; the re-optimization
+/// controller copies what it keeps.
+struct HarvestedResult {
+  TableSet table_set = 0;
+  bool complete = false;  ///< True if materialization finished (exact card).
+  int64_t count = 0;
+  const std::vector<Row>* rows = nullptr;  ///< Null if reuse is disabled.
+  /// Canonical-layout positions the rows are sorted on (empty if unsorted);
+  /// lets a re-optimized merge join skip re-sorting the reused view.
+  std::vector<int> sorted_positions;
+};
+
+class Operator;
+
+/// Shared mutable state for one plan execution.
+struct ExecContext {
+  /// Parameter marker bindings (by param_index).
+  std::vector<Value> params;
+
+  /// Memory budget, in rows, for hash-join builds and sorts. Exceeding it
+  /// switches those operators to multi-pass (spilling) mode — the source of
+  /// the cost-model cliffs that motivate validity ranges (Section 2.2).
+  int64_t mem_rows = 1 << 20;
+
+  /// Deterministic work counter: incremented once per row touched by any
+  /// operator. Used as a machine-independent cost measure alongside wall
+  /// time in the experiments.
+  int64_t work = 0;
+
+  /// Set when a CHECK fires.
+  ReoptSignal reopt;
+
+  /// Operators that materialize results register here during Open so the
+  /// re-optimization controller can harvest intermediate results and
+  /// actual cardinalities.
+  std::vector<Operator*> materializers;
+
+  /// Rows already returned to the application, recorded by RidTrackOp when
+  /// eager checking with deferred compensation is active.
+  std::vector<Row> returned_rows;
+
+  /// Checkpoint evaluations observed during this execution (Figure 14).
+  std::vector<CheckEvent> check_events;
+
+  std::string error;
+};
+
+/// Base class for Volcano-style iterators (open/next/close; Figure 10 of
+/// the paper uses the same model). Single-threaded; an operator tree is
+/// driven by repeatedly calling Next on the root.
+///
+/// Every operator counts the rows it produces (`rows_produced`) and whether
+/// it ran to completion (`eof_seen`); the POP controller turns these into
+/// cardinality feedback: exact cardinalities for completed edges, lower
+/// bounds for partially executed ones.
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  Operator(const Operator&) = delete;
+  Operator& operator=(const Operator&) = delete;
+
+  /// Prepares the operator (and its subtree). May return kReoptimize when a
+  /// checkpoint fires during eager materialization.
+  virtual ExecStatus Open(ExecContext* ctx) = 0;
+
+  /// Produces the next row into `*out`. Returns kRow, kEof, kReoptimize or
+  /// kError. After kEof the call must not be repeated.
+  virtual ExecStatus Next(ExecContext* ctx, Row* out) = 0;
+
+  /// Releases resources. Must be safe to call after any status.
+  virtual void Close(ExecContext* ctx) = 0;
+
+  /// Table set this operator produces rows for (0 for post-join operators
+  /// such as aggregation whose output is no longer a canonical table-set
+  /// row).
+  TableSet table_set() const { return table_set_; }
+
+  int64_t rows_produced() const { return rows_produced_; }
+  bool eof_seen() const { return eof_seen_; }
+
+  /// If this operator holds a completed or in-progress materialization,
+  /// fills `*out` and returns true (see HarvestedResult).
+  virtual bool HarvestInfo(HarvestedResult* out) const {
+    (void)out;
+    return false;
+  }
+
+  /// Operator name for plan/debug printing.
+  virtual const char* name() const = 0;
+
+ protected:
+  explicit Operator(TableSet table_set) : table_set_(table_set) {}
+
+  /// Subclass helper: record a produced row.
+  void CountRow() { ++rows_produced_; }
+  void MarkEof() { eof_seen_ = true; }
+
+ private:
+  TableSet table_set_;
+  int64_t rows_produced_ = 0;
+  bool eof_seen_ = false;
+};
+
+/// Runs `root` to completion, appending produced rows to `*out_rows`.
+/// Returns the final status (kEof on success, kReoptimize if a checkpoint
+/// fired, kError on failure). Opens and closes the tree.
+ExecStatus RunToCompletion(Operator* root, ExecContext* ctx,
+                           std::vector<Row>* out_rows);
+
+/// Collects all operators of a tree in pre-order (for counter harvesting).
+/// Not part of Operator to keep the iterator interface minimal; the plan
+/// builder records the operator list instead.
+
+}  // namespace popdb
+
+#endif  // POPDB_EXEC_OPERATOR_H_

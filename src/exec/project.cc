@@ -1,0 +1,42 @@
+#include "exec/project.h"
+
+namespace popdb {
+
+ExecStatus ProjectOp::Next(ExecContext* ctx, Row* out) {
+  Row row;
+  const ExecStatus s = child_->Next(ctx, &row);
+  if (s != ExecStatus::kRow) {
+    if (s == ExecStatus::kEof) MarkEof();
+    return s;
+  }
+  ++ctx->work;
+  out->clear();
+  out->reserve(positions_.size());
+  for (int pos : positions_) out->push_back(row[static_cast<size_t>(pos)]);
+  CountRow();
+  return ExecStatus::kRow;
+}
+
+ExecStatus FilterOp::Next(ExecContext* ctx, Row* out) {
+  while (true) {
+    const ExecStatus s = child_->Next(ctx, out);
+    if (s != ExecStatus::kRow) {
+      if (s == ExecStatus::kEof) MarkEof();
+      return s;
+    }
+    ++ctx->work;
+    bool pass = true;
+    for (const ResolvedPredicate& p : preds_) {
+      if (!EvalPredicate(p, *out)) {
+        pass = false;
+        break;
+      }
+    }
+    if (pass) {
+      CountRow();
+      return ExecStatus::kRow;
+    }
+  }
+}
+
+}  // namespace popdb

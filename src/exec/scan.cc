@@ -1,0 +1,55 @@
+#include "exec/scan.h"
+
+namespace popdb {
+
+ExecStatus TableScanOp::Open(ExecContext* ctx) {
+  (void)ctx;
+  next_rid_ = 0;
+  return ExecStatus::kOk;
+}
+
+ExecStatus TableScanOp::Next(ExecContext* ctx, Row* out) {
+  while (next_rid_ < table_->num_rows()) {
+    const Row& row = table_->row(next_rid_);
+    ++next_rid_;
+    ++ctx->work;
+    bool pass = true;
+    for (const ResolvedPredicate& p : preds_) {
+      if (!EvalPredicate(p, row)) {
+        pass = false;
+        break;
+      }
+    }
+    if (pass) {
+      *out = row;
+      CountRow();
+      return ExecStatus::kRow;
+    }
+  }
+  MarkEof();
+  return ExecStatus::kEof;
+}
+
+void TableScanOp::Close(ExecContext* ctx) { (void)ctx; }
+
+ExecStatus MatViewScanOp::Open(ExecContext* ctx) {
+  (void)ctx;
+  next_ = 0;
+  return ExecStatus::kOk;
+}
+
+ExecStatus MatViewScanOp::Next(ExecContext* ctx, Row* out) {
+  if (next_ < rows_->size()) {
+    ++ctx->work;
+    *out = (*rows_)[next_];
+    ++next_;
+    CountRow();
+    return ExecStatus::kRow;
+  }
+  MarkEof();
+  return ExecStatus::kEof;
+}
+
+void MatViewScanOp::Close(ExecContext* ctx) { (void)ctx; }
+
+}  // namespace popdb

@@ -1,0 +1,52 @@
+#ifndef POPDB_EXEC_SCAN_H_
+#define POPDB_EXEC_SCAN_H_
+
+#include <vector>
+
+#include "exec/expr.h"
+#include "exec/operator.h"
+#include "storage/table.h"
+
+namespace popdb {
+
+/// Sequential scan over a base table, applying resolved local predicates.
+/// Output layout is the table's own columns (canonical for a singleton
+/// table set).
+class TableScanOp : public Operator {
+ public:
+  TableScanOp(const Table* table, int table_id,
+              std::vector<ResolvedPredicate> preds)
+      : Operator(TableBit(table_id)), table_(table), preds_(std::move(preds)) {}
+
+  ExecStatus Open(ExecContext* ctx) override;
+  ExecStatus Next(ExecContext* ctx, Row* out) override;
+  void Close(ExecContext* ctx) override;
+  const char* name() const override { return "TBSCAN"; }
+
+ private:
+  const Table* table_;
+  std::vector<ResolvedPredicate> preds_;
+  int64_t next_rid_ = 0;
+};
+
+/// Scan over an in-memory row vector (a temporary materialized view created
+/// by a previous execution step). The rows already carry the canonical
+/// layout for `table_set`.
+class MatViewScanOp : public Operator {
+ public:
+  MatViewScanOp(const std::vector<Row>* rows, TableSet table_set)
+      : Operator(table_set), rows_(rows) {}
+
+  ExecStatus Open(ExecContext* ctx) override;
+  ExecStatus Next(ExecContext* ctx, Row* out) override;
+  void Close(ExecContext* ctx) override;
+  const char* name() const override { return "MVSCAN"; }
+
+ private:
+  const std::vector<Row>* rows_;
+  size_t next_ = 0;
+};
+
+}  // namespace popdb
+
+#endif  // POPDB_EXEC_SCAN_H_

@@ -1,0 +1,226 @@
+#include "opt/cardinality.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/status.h"
+
+namespace popdb {
+
+namespace {
+constexpr double kMinCard = 1e-6;
+
+const ColumnStats* StatsFor(const Catalog& catalog, const QuerySpec& query,
+                            int table_id, int column) {
+  const TableStats* ts = catalog.GetStats(query.table_name(table_id));
+  if (ts == nullptr) return nullptr;
+  if (column < 0 || column >= static_cast<int>(ts->columns.size())) {
+    return nullptr;
+  }
+  return &ts->column(column);
+}
+}  // namespace
+
+CardinalityEstimator::CardinalityEstimator(const Catalog& catalog,
+                                           const QuerySpec& query,
+                                           const FeedbackMap* feedback,
+                                           const EstimatorConfig& config)
+    : catalog_(catalog), query_(query), feedback_(feedback), config_(config) {
+  table_card_.reserve(static_cast<size_t>(query.num_tables()));
+  for (int t = 0; t < query.num_tables(); ++t) {
+    const TableStats* ts = catalog.GetStats(query.table_name(t));
+    if (ts != nullptr) {
+      table_card_.push_back(std::max<double>(1.0,
+                                             static_cast<double>(ts->row_count)));
+    } else {
+      const Table* table = catalog.GetTable(query.table_name(t));
+      table_card_.push_back(
+          table != nullptr
+              ? std::max<double>(1.0, static_cast<double>(table->num_rows()))
+              : 1000.0);
+    }
+  }
+  for (const Predicate& p : query.local_preds()) {
+    local_sel_.push_back(ComputeLocalSelectivity(p));
+  }
+  for (const JoinPredicate& j : query.join_preds()) {
+    join_sel_.push_back(ComputeJoinSelectivity(j));
+  }
+}
+
+double CardinalityEstimator::TableCard(int table_id) const {
+  return table_card_[static_cast<size_t>(table_id)];
+}
+
+double CardinalityEstimator::ColumnNdv(int table_id, int column) const {
+  const ColumnStats* cs = StatsFor(catalog_, query_, table_id, column);
+  if (cs == nullptr || cs->num_distinct <= 0) return TableCard(table_id);
+  return static_cast<double>(cs->num_distinct);
+}
+
+double CardinalityEstimator::IndexMatchesPerProbe(int table_id,
+                                                  int column) const {
+  return TableCard(table_id) / std::max(1.0, ColumnNdv(table_id, column));
+}
+
+double CardinalityEstimator::ComputeLocalSelectivity(
+    const Predicate& pred) const {
+  // Parameter markers: the literal is unknown at compile time; use the
+  // system default selectivity (this is the error-injection mechanism the
+  // paper's Section 5.1 experiment relies on).
+  if (pred.is_param) {
+    switch (pred.kind) {
+      case PredKind::kEq:
+        return config_.default_eq_selectivity;
+      case PredKind::kLike:
+        return config_.default_like_selectivity;
+      default:
+        return config_.default_range_selectivity;
+    }
+  }
+  const ColumnStats* cs =
+      StatsFor(catalog_, query_, pred.col.table_id, pred.col.column);
+  const double ndv =
+      cs != nullptr && cs->num_distinct > 0
+          ? static_cast<double>(cs->num_distinct)
+          : 1.0 / config_.default_eq_selectivity;
+  switch (pred.kind) {
+    case PredKind::kEq:
+      return 1.0 / std::max(1.0, ndv);
+    case PredKind::kNe:
+      return 1.0 - 1.0 / std::max(1.0, ndv);
+    case PredKind::kIn:
+      return std::min(1.0, static_cast<double>(pred.in_list.size()) /
+                               std::max(1.0, ndv));
+    case PredKind::kLike:
+      return config_.default_like_selectivity;
+    case PredKind::kLt:
+    case PredKind::kLe:
+    case PredKind::kGt:
+    case PredKind::kGe:
+    case PredKind::kBetween: {
+      if (cs == nullptr || cs->histogram.empty() ||
+          pred.operand.is_null() ||
+          (pred.operand.type() == ValueType::kString)) {
+        return config_.default_range_selectivity;
+      }
+      const EquiDepthHistogram& h = cs->histogram;
+      const double x = pred.operand.AsNumeric();
+      switch (pred.kind) {
+        case PredKind::kLt:
+        case PredKind::kLe:
+          return std::clamp(h.FractionLeq(x), 0.0, 1.0);
+        case PredKind::kGt:
+        case PredKind::kGe:
+          return std::clamp(1.0 - h.FractionLeq(x), 0.0, 1.0);
+        case PredKind::kBetween: {
+          if (pred.operand2.is_null() ||
+              pred.operand2.type() == ValueType::kString) {
+            return config_.default_range_selectivity;
+          }
+          return std::clamp(h.FractionBetween(x, pred.operand2.AsNumeric()),
+                            0.0, 1.0);
+        }
+        default:
+          break;
+      }
+      return config_.default_range_selectivity;
+    }
+  }
+  return config_.default_range_selectivity;
+}
+
+double CardinalityEstimator::ComputeJoinSelectivity(
+    const JoinPredicate& join) const {
+  const ColumnStats* ls =
+      StatsFor(catalog_, query_, join.left.table_id, join.left.column);
+  const ColumnStats* rs =
+      StatsFor(catalog_, query_, join.right.table_id, join.right.column);
+  if (ls == nullptr || rs == nullptr || ls->num_distinct <= 0 ||
+      rs->num_distinct <= 0) {
+    return config_.default_join_selectivity;
+  }
+  // Classic System-R containment assumption: 1 / max(ndv_l, ndv_r).
+  return 1.0 / static_cast<double>(
+                   std::max(ls->num_distinct, rs->num_distinct));
+}
+
+int CardinalityEstimator::AssumptionCount(TableSet set) const {
+  int factors = 0;
+  int defaults = 0;
+  for (const Predicate& p : query_.local_preds()) {
+    if (!ContainsTable(set, p.col.table_id)) continue;
+    ++factors;
+    if (p.is_param || p.kind == PredKind::kLike) ++defaults;
+  }
+  for (const JoinPredicate& j : query_.join_preds()) {
+    if (ContainsTable(set, j.left.table_id) &&
+        ContainsTable(set, j.right.table_id)) {
+      ++factors;
+    }
+  }
+  return std::max(0, factors - 1) + defaults;
+}
+
+double CardinalityEstimator::RawSubsetCard(TableSet set) const {
+  double card = 1.0;
+  for (int t = 0; t < query_.num_tables(); ++t) {
+    if (!ContainsTable(set, t)) continue;
+    card *= TableCard(t);
+    for (int pid : query_.PredsOnTable(t)) {
+      card *= LocalSelectivity(pid);
+    }
+  }
+  const auto& joins = query_.join_preds();
+  for (size_t j = 0; j < joins.size(); ++j) {
+    if (ContainsTable(set, joins[j].left.table_id) &&
+        ContainsTable(set, joins[j].right.table_id)) {
+      card *= JoinSelectivity(static_cast<int>(j));
+    }
+  }
+  return std::max(kMinCard, card);
+}
+
+double CardinalityEstimator::SubsetCard(TableSet set) const {
+  auto memo = memo_.find(set);
+  if (memo != memo_.end()) return memo->second;
+
+  double card = RawSubsetCard(set);
+  if (feedback_ != nullptr) {
+    auto exact_it = feedback_->find(set);
+    if (exact_it != feedback_->end() && exact_it->second.exact >= 0) {
+      card = std::max(kMinCard, exact_it->second.exact);
+    } else {
+      // Correct by the largest disjoint known subsets: multiply the raw
+      // estimate by actual/raw for each, then clamp with any lower bound
+      // known for `set` itself.
+      std::vector<TableSet> known;
+      for (const auto& [sub, fb] : *feedback_) {
+        if (fb.exact >= 0 && sub != set && (sub & set) == sub) {
+          known.push_back(sub);
+        }
+      }
+      std::sort(known.begin(), known.end(), [](TableSet a, TableSet b) {
+        return PopCount(a) > PopCount(b);
+      });
+      TableSet remaining = set;
+      double factor = 1.0;
+      for (TableSet sub : known) {
+        if ((sub & remaining) != sub) continue;
+        const double raw = RawSubsetCard(sub);
+        const double actual = feedback_->at(sub).exact;
+        factor *= std::max(kMinCard, actual) / raw;
+        remaining &= ~sub;
+      }
+      card = std::max(kMinCard, card * factor);
+      if (exact_it != feedback_->end() &&
+          exact_it->second.lower_bound >= 0) {
+        card = std::max(card, exact_it->second.lower_bound);
+      }
+    }
+  }
+  memo_[set] = card;
+  return card;
+}
+
+}  // namespace popdb

@@ -1,0 +1,107 @@
+#ifndef POPDB_OPT_CARDINALITY_H_
+#define POPDB_OPT_CARDINALITY_H_
+
+#include <map>
+#include <vector>
+
+#include "exec/layout.h"
+#include "opt/query.h"
+#include "storage/catalog.h"
+
+namespace popdb {
+
+/// Runtime cardinality knowledge about one subplan edge, keyed by the set
+/// of tables the subplan joins (with all eligible predicates applied — the
+/// engine always pushes predicates down, so the table set identifies the
+/// edge). Exact values come from completed materializations and from lazy
+/// checks; lower bounds come from eager checks that fired before their
+/// input was exhausted (Section 3.4).
+struct CardFeedback {
+  double exact = -1.0;        ///< Actual cardinality, or -1 if unknown.
+  double lower_bound = -1.0;  ///< Best known lower bound, or -1.
+};
+
+/// Feedback for one query execution, keyed by subplan table set.
+using FeedbackMap = std::map<TableSet, CardFeedback>;
+
+/// Tuning knobs for estimation; the defaults mirror classic System-R style
+/// magic numbers (and the "constant default value" the paper's DBMS uses
+/// for parameter markers).
+struct EstimatorConfig {
+  double default_eq_selectivity = 0.04;     ///< Parameter-marker equality.
+  double default_range_selectivity = 0.33;  ///< Parameter-marker range.
+  double default_like_selectivity = 0.10;
+  double default_join_selectivity = 0.10;   ///< No stats available.
+  int histogram_buckets = 32;
+};
+
+/// Estimates cardinalities for one query using catalog statistics, the
+/// independence assumption between predicates, and — crucially for POP —
+/// the feedback gathered during previous execution steps of the same query.
+///
+/// Feedback integration: exact actuals replace the estimate for their table
+/// set; for supersets the estimate is corrected multiplicatively by the
+/// ratio actual/estimate of the largest disjoint known subsets; lower
+/// bounds clamp the estimate from below.
+class CardinalityEstimator {
+ public:
+  CardinalityEstimator(const Catalog& catalog, const QuerySpec& query,
+                       const FeedbackMap* feedback,
+                       const EstimatorConfig& config);
+
+  /// Base-table row count of query table `table_id`.
+  double TableCard(int table_id) const;
+
+  /// Selectivity of local predicate `pred_id` (parameter markers get the
+  /// configured defaults — the optimizer cannot see the bound literal).
+  double LocalSelectivity(int pred_id) const {
+    return local_sel_[static_cast<size_t>(pred_id)];
+  }
+
+  /// Selectivity of join predicate `join_idx` (1 / max NDV).
+  double JoinSelectivity(int join_idx) const {
+    return join_sel_[static_cast<size_t>(join_idx)];
+  }
+
+  /// Estimated cardinality of the canonical subplan joining exactly `set`
+  /// (all local predicates on member tables and all join predicates inside
+  /// `set` applied), corrected by feedback. Memoized.
+  double SubsetCard(TableSet set) const;
+
+  /// The pure formula estimate, ignoring feedback.
+  double RawSubsetCard(TableSet set) const;
+
+  /// How many optimizer assumptions the estimate for `set` rests on: one
+  /// per multiplicative selectivity combination beyond the first
+  /// (independence assumption) plus one per parameter-marker/LIKE default.
+  /// A starting point for the reliability heuristic the paper sketches in
+  /// Section 4.
+  int AssumptionCount(TableSet set) const;
+
+  /// Number of distinct values of (table_id, column), from stats
+  /// (>=1; falls back to table cardinality when never analyzed).
+  double ColumnNdv(int table_id, int column) const;
+
+  /// Expected base-table rows matched by one hash-index probe on `column`.
+  double IndexMatchesPerProbe(int table_id, int column) const;
+
+  const QuerySpec& query() const { return query_; }
+
+ private:
+  double ComputeLocalSelectivity(const Predicate& pred) const;
+  double ComputeJoinSelectivity(const JoinPredicate& join) const;
+
+  const Catalog& catalog_;
+  const QuerySpec& query_;
+  const FeedbackMap* feedback_;  ///< May be null.
+  EstimatorConfig config_;
+
+  std::vector<double> table_card_;
+  std::vector<double> local_sel_;
+  std::vector<double> join_sel_;
+  mutable std::map<TableSet, double> memo_;
+};
+
+}  // namespace popdb
+
+#endif  // POPDB_OPT_CARDINALITY_H_

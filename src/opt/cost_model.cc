@@ -1,0 +1,86 @@
+#include "opt/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace popdb {
+
+double CostModel::ScanCost(double base_rows) const {
+  return params_.scan_per_row * std::max(0.0, base_rows);
+}
+
+double CostModel::MatViewScanCost(double rows) const {
+  return params_.mv_scan_per_row * std::max(0.0, rows);
+}
+
+double CostModel::TempCost(double rows) const {
+  return params_.temp_per_row * std::max(0.0, rows);
+}
+
+double CostModel::SortCost(double rows) const {
+  const double n = std::max(1.0, rows);
+  double cost = params_.sort_per_compare * n * std::log2(n + 1.0);
+  if (n > params_.mem_rows) {
+    // External sort: one full extra merge pass per doubling beyond memory
+    // (ceil of log2 of the run count) — a staircase, not a smooth function.
+    const double runs = std::ceil(n / params_.mem_rows);
+    const double passes = std::ceil(std::log2(runs));
+    cost += params_.sort_merge_pass_per_row * n * std::max(1.0, passes);
+  }
+  return cost;
+}
+
+int CostModel::HsjnStages(double build_rows) const {
+  if (build_rows <= params_.mem_rows) return 0;
+  const double ratio = build_rows / params_.mem_rows;
+  return static_cast<int>(
+      std::ceil(std::log(ratio) / std::log(static_cast<double>(
+                                      std::max(2, params_.hash_fanout)))));
+}
+
+double CostModel::HsjnCost(double probe_rows, double build_rows) const {
+  const double b = std::max(0.0, build_rows);
+  const double p = std::max(0.0, probe_rows);
+  double cost = params_.hash_build_per_row * b + params_.hash_probe_per_row * p;
+  const int stages = HsjnStages(b);
+  if (stages > 0) {
+    // Each stage rewrites both inputs once (and the probe side must be
+    // fully materialized first, which the partition pass accounts for).
+    cost += static_cast<double>(stages) * params_.partition_per_row * (b + p);
+  }
+  return cost;
+}
+
+double CostModel::MgjnCost(double left_rows, double right_rows,
+                           double out_rows) const {
+  return params_.mgjn_per_row *
+         (std::max(0.0, left_rows) + std::max(0.0, right_rows) +
+          std::max(0.0, out_rows));
+}
+
+double CostModel::NljnProbeCost(bool use_index, double inner_base_rows,
+                                double matches_per_probe) const {
+  if (use_index) {
+    return 1.0 + params_.nljn_probe_per_match * std::max(0.0, matches_per_probe);
+  }
+  return params_.nljn_scan_per_inner_row * std::max(1.0, inner_base_rows);
+}
+
+double CostModel::NljnCost(double outer_rows, double per_probe_cost) const {
+  const double n = std::max(0.0, outer_rows);
+  return params_.nljn_outer_per_row * n + n * per_probe_cost;
+}
+
+double CostModel::AggCost(double rows) const {
+  return params_.agg_per_row * std::max(0.0, rows);
+}
+
+double CostModel::CheckCost(double rows) const {
+  return params_.check_per_row * std::max(0.0, rows);
+}
+
+double CostModel::IndexBuildCost(double rows) const {
+  return params_.hash_build_per_row * std::max(0.0, rows);
+}
+
+}  // namespace popdb

@@ -1,0 +1,98 @@
+#ifndef POPDB_OPT_COST_MODEL_H_
+#define POPDB_OPT_COST_MODEL_H_
+
+#include <cstdint>
+
+namespace popdb {
+
+/// Cost model parameters. Units are "row touches", which the executor
+/// mirrors one-for-one in ExecContext::work, so estimated cost and actual
+/// work are directly comparable.
+struct CostParams {
+  /// Memory budget (rows) for hash builds and sorts; must equal the
+  /// executor's ExecContext::mem_rows for the cost cliffs to be real.
+  double mem_rows = 20000;
+
+  double scan_per_row = 1.0;
+  double mv_scan_per_row = 1.0;
+  double temp_per_row = 1.0;
+  double hash_build_per_row = 1.5;
+  double hash_probe_per_row = 1.0;
+  double partition_per_row = 1.0;  ///< Per extra hash-join stage.
+  double sort_per_compare = 0.2;   ///< Multiplies n*log2(n).
+  double sort_merge_pass_per_row = 1.0;
+  double mgjn_per_row = 1.0;
+  double nljn_outer_per_row = 1.0;
+  double nljn_probe_per_match = 1.5;  ///< Index probe + verify per match.
+  double nljn_scan_per_inner_row = 0.8;
+  double agg_per_row = 1.5;
+  double check_per_row = 0.01;  ///< CHECK counting overhead (Section 5.2).
+  int hash_fanout = 16;         ///< Partitioning fan-out (HsjnOp::kFanOut).
+};
+
+/// Per-operator cost functions. All of them are functions of input
+/// cardinalities so that the validity-range sensitivity analysis
+/// (Section 2.2) can re-evaluate them at perturbed cardinalities. The hash
+/// join and sort functions are deliberately non-smooth: they contain the
+/// memory-spill staircases that make ad-hoc cardinality-error thresholds
+/// unusable and motivate numeric root finding.
+class CostModel {
+ public:
+  explicit CostModel(const CostParams& params) : params_(params) {}
+
+  const CostParams& params() const { return params_; }
+
+  /// Full scan of a base table with `base_rows` rows.
+  double ScanCost(double base_rows) const;
+
+  /// Scan of a materialized view with `rows` rows.
+  double MatViewScanCost(double rows) const;
+
+  /// TEMP materialization of `rows` input rows.
+  double TempCost(double rows) const;
+
+  /// Sort of `rows` input rows, including the external merge pass cliff.
+  double SortCost(double rows) const;
+
+  /// Hash join operator cost: build `build_rows`, probe with `probe_rows`.
+  /// Multi-stage when the build exceeds memory: each extra stage
+  /// repartitions both inputs (paper: a small cardinality increase can turn
+  /// a two-stage join into a three-stage join).
+  double HsjnCost(double probe_rows, double build_rows) const;
+
+  /// Number of partitioning stages a build of `build_rows` needs (0 = in
+  /// memory).
+  int HsjnStages(double build_rows) const;
+
+  /// Merge join operator cost over two sorted inputs (children sort costs
+  /// are separate).
+  double MgjnCost(double left_rows, double right_rows,
+                  double out_rows) const;
+
+  /// Nested-loop join operator cost. `per_probe_cost` is the expected cost
+  /// of finding the matches for one outer row (see NljnProbeCost).
+  double NljnCost(double outer_rows, double per_probe_cost) const;
+
+  /// Cost of one NLJN inner probe: an index probe touching
+  /// `matches_per_probe` candidate rows, or a full scan of
+  /// `inner_base_rows`.
+  double NljnProbeCost(bool use_index, double inner_base_rows,
+                       double matches_per_probe) const;
+
+  /// Group-by aggregation over `rows` input rows.
+  double AggCost(double rows) const;
+
+  /// Per-row CHECK overhead for `rows` rows.
+  double CheckCost(double rows) const;
+
+  /// One-off cost of building a hash index over `rows` rows (used when the
+  /// re-optimizer indexes a temporary materialized view before reuse).
+  double IndexBuildCost(double rows) const;
+
+ private:
+  CostParams params_;
+};
+
+}  // namespace popdb
+
+#endif  // POPDB_OPT_COST_MODEL_H_

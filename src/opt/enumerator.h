@@ -1,0 +1,149 @@
+#ifndef POPDB_OPT_ENUMERATOR_H_
+#define POPDB_OPT_ENUMERATOR_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "opt/cardinality.h"
+#include "opt/cost_model.h"
+#include "opt/plan.h"
+#include "opt/query.h"
+#include "storage/catalog.h"
+
+namespace popdb {
+
+/// A temporary materialized view (from a previous execution step of the
+/// same query) offered to the optimizer. The optimizer costs a scan of the
+/// view against recomputing the subplan and picks whichever is cheaper
+/// (Section 2.3 — reuse is a cost-based decision, never forced).
+struct AvailableMatView {
+  std::string name;
+  TableSet set = 0;
+  double card = 0.0;
+  const std::vector<Row>* rows = nullptr;
+  /// Canonical positions the rows are sorted on (ascending); a merge join
+  /// over the view can skip its sort when these cover the join keys.
+  std::vector<int> sorted_positions;
+};
+
+/// Join methods the optimizer may use. Experiments toggle these (e.g. the
+/// LC overhead study disables hash join to create many SORT/TEMP
+/// materialization points).
+struct JoinMethodConfig {
+  bool enable_nljn = true;
+  bool enable_hsjn = true;
+  bool enable_mgjn = true;
+  bool consider_matviews = true;
+
+  /// "Conservative mode of query execution" (paper Section 7, Checking
+  /// Opportunities): bias plan choice toward operators that offer more
+  /// re-optimization opportunities — merge joins materialize both inputs
+  /// (two lazy checkpoints), hash joins one, pipelined NLJNs none. A
+  /// candidate's comparison cost is inflated by
+  /// (1 + bias * operator_risk); its recorded cost stays unbiased so the
+  /// validity analysis still reasons about true costs. 0 disables.
+  double volatile_mode_bias = 0.0;
+};
+
+/// Observer invoked whenever dynamic programming prunes a structurally
+/// equivalent alternative (same table set, same unordered child partition).
+/// The POP validity-range analysis implements this interface; a null
+/// observer makes the enumerator a plain System-R optimizer.
+class PruneObserver {
+ public:
+  virtual ~PruneObserver() = default;
+
+  /// `winner` survives, `loser` is pruned. The observer may narrow
+  /// `winner->child_validity`.
+  virtual void OnPrune(PlanNode* winner, const PlanNode& loser) = 0;
+};
+
+/// Selinger-style dynamic-programming join enumerator: one best plan per
+/// table subset, bushy partitions, hash/merge/nested-loop candidates, and
+/// materialized-view seeding. Produces the join tree only; the Optimizer
+/// facade adds aggregation / sort / projection on top.
+class JoinEnumerator {
+ public:
+  JoinEnumerator(const Catalog& catalog, const QuerySpec& query,
+                 const CardinalityEstimator& estimator, const CostModel& cost,
+                 const JoinMethodConfig& methods,
+                 const std::vector<AvailableMatView>* matviews,
+                 PruneObserver* observer);
+
+  /// Runs DP over all table subsets and returns the best full join tree.
+  Result<std::shared_ptr<PlanNode>> EnumerateJoinTree();
+
+  /// Narrows the validity ranges of every join edge of (the already
+  /// chosen, deep-cloned) `root` by regenerating the structurally
+  /// equivalent alternatives of each join node and invoking `observer` as
+  /// if they were pruned. By the structural-equivalence theorem
+  /// (Section 2.2) ranges are only needed on the final plan's edges, so
+  /// doing this as a post-pass costs O(plan size) cost-model evaluations
+  /// instead of O(3^n).
+  void NarrowPlanRanges(PlanNode* root, PruneObserver* observer);
+
+  /// Number of candidate plans costed (diagnostics).
+  int64_t candidates_considered() const { return candidates_; }
+
+ private:
+  std::shared_ptr<PlanNode> BestAccessPath(int table_id);
+  /// Join predicate indexes with one side in `left` and the other in
+  /// `right`.
+  std::vector<int> CrossingJoins(TableSet left, TableSet right) const;
+
+  void AddJoinCandidates(TableSet set, TableSet left, TableSet right,
+                         const std::vector<int>& joins);
+  std::shared_ptr<PlanNode> MakeHsjn(TableSet set,
+                                     std::shared_ptr<PlanNode> probe,
+                                     std::shared_ptr<PlanNode> build,
+                                     const std::vector<int>& joins);
+  std::shared_ptr<PlanNode> MakeMgjn(TableSet set,
+                                     std::shared_ptr<PlanNode> left,
+                                     std::shared_ptr<PlanNode> right,
+                                     const std::vector<int>& joins);
+  std::shared_ptr<PlanNode> MakeNljn(TableSet set,
+                                     std::shared_ptr<PlanNode> outer,
+                                     int inner_table,
+                                     const std::vector<int>& joins);
+  /// NLJN probing a temporary materialized view covering the inner table,
+  /// through a hash index built on the view before reuse (the paper's
+  /// Section 2.3 "create an index on the materialized view if worthwhile").
+  std::shared_ptr<PlanNode> MakeNljnOverMv(TableSet set,
+                                           std::shared_ptr<PlanNode> outer,
+                                           int inner_table,
+                                           const std::vector<int>& joins,
+                                           const AvailableMatView& mv);
+  /// Singleton-set materialized view covering `table_id`, or null.
+  const AvailableMatView* FindMatView(int table_id) const;
+  /// Offers `candidate` for table set `set`, pruning with validity-range
+  /// narrowing when structurally comparable.
+  void Offer(TableSet set, std::shared_ptr<PlanNode> candidate);
+  /// Comparison cost including the volatile-mode robustness bias.
+  double BiasedCost(const PlanNode& node) const;
+
+  RowLayout LayoutFor(TableSet set) const;
+
+  const Catalog& catalog_;
+  const QuerySpec& query_;
+  const CardinalityEstimator& estimator_;
+  const CostModel& cost_;
+  JoinMethodConfig methods_;
+  const std::vector<AvailableMatView>* matviews_;
+  PruneObserver* observer_;
+
+  std::vector<int> table_widths_;
+  std::map<TableSet, std::shared_ptr<PlanNode>> best_;
+  int64_t candidates_ = 0;
+};
+
+/// True if `a` and `b` are join candidates over the same unordered child
+/// partition (the paper's structural-equivalence restriction: alternative
+/// root operators and commuted inputs, but never different join orders).
+bool SamePartition(const PlanNode& a, const PlanNode& b);
+
+}  // namespace popdb
+
+#endif  // POPDB_OPT_ENUMERATOR_H_

@@ -1,0 +1,153 @@
+#include "opt/plan.h"
+
+#include <cmath>
+
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace popdb {
+
+const char* PlanOpKindName(PlanOpKind kind) {
+  switch (kind) {
+    case PlanOpKind::kTableScan:
+      return "TBSCAN";
+    case PlanOpKind::kMatViewScan:
+      return "MVSCAN";
+    case PlanOpKind::kNljn:
+      return "NLJN";
+    case PlanOpKind::kHsjn:
+      return "HSJN";
+    case PlanOpKind::kMgjn:
+      return "MGJN";
+    case PlanOpKind::kSort:
+      return "SORT";
+    case PlanOpKind::kTemp:
+      return "TEMP";
+    case PlanOpKind::kAgg:
+      return "GRPBY";
+    case PlanOpKind::kProject:
+      return "PROJECT";
+    case PlanOpKind::kFilter:
+      return "FILTER";
+    case PlanOpKind::kCheck:
+      return "CHECK";
+    case PlanOpKind::kCheckMat:
+      return "CHECK";
+    case PlanOpKind::kBufCheck:
+      return "BUFCHECK";
+    case PlanOpKind::kWorkBound:
+      return "WORKBOUND";
+    case PlanOpKind::kRidTrack:
+      return "INSERT(S)";
+    case PlanOpKind::kAntiComp:
+      return "ANTIJOIN(S)";
+  }
+  return "?";
+}
+
+std::shared_ptr<PlanNode> PlanNode::Clone() const {
+  auto copy = std::make_shared<PlanNode>(*this);
+  for (size_t i = 0; i < copy->children.size(); ++i) {
+    copy->children[i] = copy->children[i]->Clone();
+  }
+  return copy;
+}
+
+namespace {
+void Render(const PlanNode& node, int indent, std::string* out,
+            const ValidityRange* incoming) {
+  out->append(static_cast<size_t>(indent) * 2, ' ');
+  out->append(PlanOpKindName(node.kind));
+  if (node.kind == PlanOpKind::kTableScan) {
+    out->append("(" + node.table_name + ")");
+  } else if (node.kind == PlanOpKind::kMatViewScan) {
+    out->append("(" + node.mv_name + ")");
+  } else if (node.kind == PlanOpKind::kNljn && node.use_index) {
+    out->append("[ix]");
+  }
+  out->append(StrFormat("  card=%.4g cost=%.4g", node.card, node.cost));
+  if (incoming != nullptr && incoming->IsNarrowed()) {
+    out->append(StrFormat("  validity=[%.4g, %.4g]", incoming->lo,
+                          incoming->hi));
+  }
+  if (node.kind == PlanOpKind::kWorkBound) {
+    out->append(StrFormat("  budget=%.4g", node.work_budget));
+  }
+  if ((node.kind == PlanOpKind::kCheck ||
+       node.kind == PlanOpKind::kCheckMat ||
+       node.kind == PlanOpKind::kBufCheck) &&
+      node.check.enabled) {
+    out->append(StrFormat("  %s range=[%.4g, %.4g]",
+                          CheckFlavorName(node.check.flavor), node.check.lo,
+                          node.check.hi));
+  }
+  out->push_back('\n');
+  for (size_t i = 0; i < node.children.size(); ++i) {
+    const ValidityRange* vr =
+        i < node.child_validity.size() ? &node.child_validity[i] : nullptr;
+    Render(*node.children[i], indent + 1, out, vr);
+  }
+}
+}  // namespace
+
+std::string PlanNode::ToString() const {
+  std::string out;
+  Render(*this, 0, &out, nullptr);
+  return out;
+}
+
+const PlanNode* LogicalChild(const PlanNode& root, int slot) {
+  const PlanNode* child = root.children[static_cast<size_t>(slot)].get();
+  if (child->kind == PlanOpKind::kSort || child->kind == PlanOpKind::kTemp) {
+    return child->children[0].get();
+  }
+  return child;
+}
+
+double RecostCandidateWithEdgeCard(const PlanNode& root, int slot,
+                                   double edge_card, const CostModel& cm) {
+  POPDB_DCHECK(root.kind == PlanOpKind::kNljn ||
+               root.kind == PlanOpKind::kHsjn ||
+               root.kind == PlanOpKind::kMgjn);
+  double base = 0.0;
+  std::vector<double> cards(root.children.size());
+  for (size_t i = 0; i < root.children.size(); ++i) {
+    const PlanNode* wrapper = root.children[i].get();
+    const PlanNode* shared = LogicalChild(root, static_cast<int>(i));
+    const double c =
+        static_cast<int>(i) == slot ? edge_card : shared->card;
+    cards[i] = c;
+    base += shared->cost;  // Sunk: the subplan below the edge.
+    if (wrapper != shared) {
+      base += wrapper->kind == PlanOpKind::kSort ? cm.SortCost(c)
+                                                 : cm.TempCost(c);
+    }
+  }
+  const PlanNode* varied = LogicalChild(root, slot);
+  const double est = std::max(1e-9, varied->card);
+  const double scale = edge_card / est;
+  double op = 0.0;
+  switch (root.kind) {
+    case PlanOpKind::kHsjn:
+      op = cm.HsjnCost(cards[0], cards[1]);
+      break;
+    case PlanOpKind::kMgjn:
+      op = cm.MgjnCost(cards[0], cards[1], root.card * scale);
+      break;
+    case PlanOpKind::kNljn: {
+      double per_probe = root.per_probe_cost;
+      if (slot == 1 && root.use_index) {
+        // More inner rows per key when the inner edge grows.
+        per_probe = 1.0 + (per_probe - 1.0) * scale;
+      }
+      op = cm.NljnCost(cards[0], per_probe);
+      break;
+    }
+    default:
+      op = root.op_cost * scale;  // Linear fallback (unused for joins).
+      break;
+  }
+  return base + op;
+}
+
+}  // namespace popdb

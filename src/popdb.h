@@ -1,0 +1,26 @@
+#ifndef POPDB_POPDB_H_
+#define POPDB_POPDB_H_
+
+/// Umbrella header for the popdb progressive-query-optimization library.
+///
+/// Typical usage:
+///   #include "popdb.h"
+///   popdb::Catalog catalog;
+///   popdb::LoadCsvFile("t", "t.csv", &catalog);
+///   auto stmt = popdb::sql::ParseSql(catalog, "SELECT ... FROM t ...");
+///   popdb::ProgressiveExecutor exec(catalog, popdb::OptimizerConfig{},
+///                                   popdb::PopConfig{});
+///   auto rows = exec.Execute(stmt.value().query);
+///
+/// Individual components can be included directly; see README.md for the
+/// module map.
+
+#include "core/leo.h"               // IWYU pragma: export
+#include "core/pop.h"               // IWYU pragma: export
+#include "opt/optimizer.h"          // IWYU pragma: export
+#include "opt/query.h"              // IWYU pragma: export
+#include "sql/binder.h"             // IWYU pragma: export
+#include "storage/catalog.h"        // IWYU pragma: export
+#include "storage/csv.h"            // IWYU pragma: export
+
+#endif  // POPDB_POPDB_H_

@@ -1,0 +1,42 @@
+#ifndef POPDB_SQL_BINDER_H_
+#define POPDB_SQL_BINDER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "opt/query.h"
+#include "sql/parser.h"
+#include "storage/catalog.h"
+
+namespace popdb::sql {
+
+/// A bound statement: the engine-executable QuerySpec plus statement-level
+/// flags that are not part of the query itself.
+struct BoundStatement {
+  QuerySpec query{""};
+  bool explain = false;
+};
+
+/// Resolves a parsed SELECT against the catalog into a QuerySpec:
+/// table/alias lookup, (qualified or unambiguous unqualified) column
+/// resolution, WHERE conjunct classification into local restrictions vs.
+/// equi-join predicates, '?' markers bound from `params` in occurrence
+/// order, GROUP BY / HAVING / ORDER BY / DISTINCT / LIMIT mapping.
+///
+/// Restrictions (each rejected with a descriptive error): aggregate select
+/// lists must name the group-by columns first and every GROUP BY column
+/// must be selected (the engine's aggregate output is group columns
+/// followed by aggregates); non-equality column-to-column comparisons are
+/// unsupported.
+Result<BoundStatement> Bind(const Catalog& catalog, const AstSelect& ast,
+                            std::vector<Value> params = {});
+
+/// One-call facade: lex + parse + bind.
+Result<BoundStatement> ParseSql(const Catalog& catalog,
+                                const std::string& sql,
+                                std::vector<Value> params = {});
+
+}  // namespace popdb::sql
+
+#endif  // POPDB_SQL_BINDER_H_

@@ -1,0 +1,136 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace popdb::sql {
+
+namespace {
+const char* const kKeywords[] = {
+    "SELECT", "DISTINCT", "FROM", "WHERE",  "AND",   "GROUP", "BY",
+    "HAVING", "ORDER",    "ASC",  "DESC",   "LIMIT", "AS",    "IN",
+    "BETWEEN", "LIKE",    "COUNT", "SUM",   "MIN",   "MAX",   "AVG",
+    "EXPLAIN", "NOT",     "OR",   "JOIN",   "ON",    "NULL",
+};
+
+std::string ToUpper(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::toupper(c));
+  return s;
+}
+}  // namespace
+
+bool IsKeyword(const std::string& upper) {
+  for (const char* kw : kKeywords) {
+    if (upper == kw) return true;
+  }
+  return false;
+}
+
+Result<std::vector<Token>> Lex(const std::string& sql) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    const char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comments.
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    Token tok;
+    tok.position = static_cast<int>(i);
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(sql[j])) ||
+                       sql[j] == '_')) {
+        ++j;
+      }
+      tok.text = sql.substr(i, j - i);
+      const std::string upper = ToUpper(tok.text);
+      if (IsKeyword(upper)) {
+        tok.kind = TokenKind::kKeyword;
+        tok.text = upper;
+      } else {
+        tok.kind = TokenKind::kIdent;
+      }
+      i = j;
+    } else if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i;
+      bool is_double = false;
+      while (j < n && (std::isdigit(static_cast<unsigned char>(sql[j])) ||
+                       sql[j] == '.')) {
+        if (sql[j] == '.') is_double = true;
+        ++j;
+      }
+      tok.text = sql.substr(i, j - i);
+      if (is_double) {
+        tok.kind = TokenKind::kDouble;
+        tok.double_value = std::strtod(tok.text.c_str(), nullptr);
+      } else {
+        tok.kind = TokenKind::kInt;
+        tok.int_value = std::strtoll(tok.text.c_str(), nullptr, 10);
+      }
+      i = j;
+    } else if (c == '\'') {
+      std::string content;
+      size_t j = i + 1;
+      bool closed = false;
+      while (j < n) {
+        if (sql[j] == '\'') {
+          if (j + 1 < n && sql[j + 1] == '\'') {  // Escaped quote.
+            content.push_back('\'');
+            j += 2;
+            continue;
+          }
+          closed = true;
+          ++j;
+          break;
+        }
+        content.push_back(sql[j]);
+        ++j;
+      }
+      if (!closed) {
+        return Status::InvalidArgument(StrFormat(
+            "unterminated string literal at position %d", tok.position));
+      }
+      tok.kind = TokenKind::kString;
+      tok.text = std::move(content);
+      i = j;
+    } else if (c == '<' && i + 1 < n && sql[i + 1] == '>') {
+      tok.kind = TokenKind::kSymbol;
+      tok.text = "<>";
+      i += 2;
+    } else if (c == '!' && i + 1 < n && sql[i + 1] == '=') {
+      tok.kind = TokenKind::kSymbol;
+      tok.text = "<>";
+      i += 2;
+    } else if ((c == '<' || c == '>') && i + 1 < n && sql[i + 1] == '=') {
+      tok.kind = TokenKind::kSymbol;
+      tok.text = std::string(1, c) + "=";
+      i += 2;
+    } else if (c == '(' || c == ')' || c == ',' || c == '.' || c == '*' ||
+               c == '?' || c == '=' || c == '<' || c == '>' || c == ';') {
+      tok.kind = TokenKind::kSymbol;
+      tok.text = std::string(1, c);
+      ++i;
+    } else {
+      return Status::InvalidArgument(
+          StrFormat("unexpected character '%c' at position %d", c,
+                    static_cast<int>(i)));
+    }
+    out.push_back(std::move(tok));
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.position = static_cast<int>(n);
+  out.push_back(end);
+  return out;
+}
+
+}  // namespace popdb::sql

@@ -1,0 +1,42 @@
+#ifndef POPDB_SQL_LEXER_H_
+#define POPDB_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace popdb::sql {
+
+/// Token kinds produced by the SQL lexer. Keywords are case-insensitive
+/// and surface as kKeyword with upper-cased text.
+enum class TokenKind {
+  kEnd,
+  kIdent,    ///< Bare identifier (table/column/alias), original case kept.
+  kKeyword,  ///< Reserved word, upper-cased in `text`.
+  kInt,      ///< Integer literal (value in `int_value`).
+  kDouble,   ///< Decimal literal (value in `double_value`).
+  kString,   ///< 'single quoted' string (unescaped content in `text`).
+  kSymbol,   ///< Operator/punctuation: ( ) , . * ? = <> <= >= < >
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  int64_t int_value = 0;
+  double double_value = 0.0;
+  int position = 0;  ///< Byte offset in the input (for error messages).
+};
+
+/// Tokenizes `sql`. Returns the token list ending with a kEnd token, or an
+/// error pointing at the offending byte. Supports: identifiers
+/// ([A-Za-z_][A-Za-z0-9_]*), integer and decimal literals, 'strings' with
+/// '' as the escaped quote, line comments (--), and the symbols above.
+Result<std::vector<Token>> Lex(const std::string& sql);
+
+/// True if `word` (upper-cased) is one of the reserved keywords.
+bool IsKeyword(const std::string& upper);
+
+}  // namespace popdb::sql
+
+#endif  // POPDB_SQL_LEXER_H_

@@ -1,0 +1,401 @@
+#include "sql/parser.h"
+
+#include "common/string_util.h"
+#include "sql/lexer.h"
+
+namespace popdb::sql {
+
+namespace {
+
+/// Token cursor with convenience matchers; all errors carry the byte
+/// position of the offending token.
+class Cursor {
+ public:
+  explicit Cursor(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  const Token& Peek(int ahead = 0) const {
+    const size_t idx = pos_ + static_cast<size_t>(ahead);
+    return idx < tokens_.size() ? tokens_[idx] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+
+  bool AtEnd() const { return Peek().kind == TokenKind::kEnd; }
+
+  bool MatchKeyword(const char* kw) {
+    if (Peek().kind == TokenKind::kKeyword && Peek().text == kw) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  bool PeekKeyword(const char* kw) const {
+    return Peek().kind == TokenKind::kKeyword && Peek().text == kw;
+  }
+  bool MatchSymbol(const char* sym) {
+    if (Peek().kind == TokenKind::kSymbol && Peek().text == sym) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  bool PeekSymbol(const char* sym) const {
+    return Peek().kind == TokenKind::kSymbol && Peek().text == sym;
+  }
+
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument(StrFormat(
+        "%s at position %d (near '%s')", message.c_str(), Peek().position,
+        Peek().text.c_str()));
+  }
+
+ private:
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+/// Parses [qualifier .] column.
+Result<AstColumn> ParseColumn(Cursor* cur) {
+  if (cur->Peek().kind != TokenKind::kIdent) {
+    return cur->Error("expected column name");
+  }
+  AstColumn col;
+  col.column = cur->Advance().text;
+  if (cur->MatchSymbol(".")) {
+    if (cur->Peek().kind != TokenKind::kIdent) {
+      return cur->Error("expected column name after '.'");
+    }
+    col.qualifier = std::move(col.column);
+    col.column = cur->Advance().text;
+  }
+  return col;
+}
+
+/// Parses an integer/decimal/string literal into a Value.
+Result<Value> ParseLiteral(Cursor* cur) {
+  const Token& tok = cur->Peek();
+  switch (tok.kind) {
+    case TokenKind::kInt: {
+      const int64_t v = tok.int_value;
+      cur->Advance();
+      return Value::Int(v);
+    }
+    case TokenKind::kDouble: {
+      const double v = tok.double_value;
+      cur->Advance();
+      return Value::Double(v);
+    }
+    case TokenKind::kString: {
+      std::string v = tok.text;
+      cur->Advance();
+      return Value::String(std::move(v));
+    }
+    case TokenKind::kKeyword:
+      if (tok.text == "NULL") {
+        cur->Advance();
+        return Value::Null();
+      }
+      [[fallthrough]];
+    default:
+      return cur->Error("expected literal");
+  }
+}
+
+/// Maps a comparison symbol to PredKind.
+bool SymbolToPredKind(const std::string& sym, PredKind* out) {
+  if (sym == "=") {
+    *out = PredKind::kEq;
+  } else if (sym == "<>") {
+    *out = PredKind::kNe;
+  } else if (sym == "<") {
+    *out = PredKind::kLt;
+  } else if (sym == "<=") {
+    *out = PredKind::kLe;
+  } else if (sym == ">") {
+    *out = PredKind::kGt;
+  } else if (sym == ">=") {
+    *out = PredKind::kGe;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+/// Parses AGGFUNC '(' arg ')' after the keyword has been peeked. Returns
+/// false via `*is_agg` if the cursor is not at an aggregate.
+Result<bool> TryParseAggregate(Cursor* cur, AggFunc* func, bool* count_star,
+                               AstColumn* column) {
+  const Token& tok = cur->Peek();
+  if (tok.kind != TokenKind::kKeyword) return false;
+  if (tok.text == "COUNT") {
+    *func = AggFunc::kCount;
+  } else if (tok.text == "SUM") {
+    *func = AggFunc::kSum;
+  } else if (tok.text == "MIN") {
+    *func = AggFunc::kMin;
+  } else if (tok.text == "MAX") {
+    *func = AggFunc::kMax;
+  } else if (tok.text == "AVG") {
+    *func = AggFunc::kAvg;
+  } else {
+    return false;
+  }
+  cur->Advance();
+  if (!cur->MatchSymbol("(")) return cur->Error("expected '('");
+  *count_star = false;
+  if (cur->MatchSymbol("*")) {
+    if (*func != AggFunc::kCount) {
+      return cur->Error("'*' is only valid in COUNT(*)");
+    }
+    *count_star = true;
+  } else {
+    Result<AstColumn> col = ParseColumn(cur);
+    if (!col.ok()) return col.status();
+    *column = std::move(col.value());
+  }
+  if (!cur->MatchSymbol(")")) return cur->Error("expected ')'");
+  return true;
+}
+
+/// Parses one WHERE/ON conjunct.
+Result<AstComparison> ParseComparison(Cursor* cur) {
+  AstComparison cmp;
+  Result<AstColumn> lhs = ParseColumn(cur);
+  if (!lhs.ok()) return lhs.status();
+  cmp.lhs = std::move(lhs.value());
+
+  if (cur->MatchKeyword("BETWEEN")) {
+    cmp.kind = PredKind::kBetween;
+    Result<Value> lo = ParseLiteral(cur);
+    if (!lo.ok()) return lo.status();
+    if (!cur->MatchKeyword("AND")) {
+      return cur->Error("expected AND in BETWEEN");
+    }
+    Result<Value> hi = ParseLiteral(cur);
+    if (!hi.ok()) return hi.status();
+    cmp.value = std::move(lo.value());
+    cmp.value2 = std::move(hi.value());
+    return cmp;
+  }
+  if (cur->MatchKeyword("LIKE")) {
+    cmp.kind = PredKind::kLike;
+    if (cur->MatchSymbol("?")) {
+      cmp.is_param = true;
+      return cmp;
+    }
+    Result<Value> pattern = ParseLiteral(cur);
+    if (!pattern.ok()) return pattern.status();
+    if (pattern.value().type() != ValueType::kString) {
+      return cur->Error("LIKE pattern must be a string");
+    }
+    cmp.value = std::move(pattern.value());
+    return cmp;
+  }
+  if (cur->MatchKeyword("IN")) {
+    cmp.kind = PredKind::kIn;
+    if (!cur->MatchSymbol("(")) return cur->Error("expected '(' after IN");
+    do {
+      Result<Value> item = ParseLiteral(cur);
+      if (!item.ok()) return item.status();
+      cmp.in_list.push_back(std::move(item.value()));
+    } while (cur->MatchSymbol(","));
+    if (!cur->MatchSymbol(")")) return cur->Error("expected ')'");
+    return cmp;
+  }
+  if (cur->Peek().kind != TokenKind::kSymbol ||
+      !SymbolToPredKind(cur->Peek().text, &cmp.kind)) {
+    return cur->Error("expected comparison operator");
+  }
+  cur->Advance();
+  if (cur->Peek().kind == TokenKind::kIdent) {
+    Result<AstColumn> rhs = ParseColumn(cur);
+    if (!rhs.ok()) return rhs.status();
+    cmp.rhs_is_column = true;
+    cmp.rhs_column = std::move(rhs.value());
+    return cmp;
+  }
+  if (cur->MatchSymbol("?")) {
+    cmp.is_param = true;
+    return cmp;
+  }
+  Result<Value> literal = ParseLiteral(cur);
+  if (!literal.ok()) return literal.status();
+  cmp.value = std::move(literal.value());
+  return cmp;
+}
+
+Result<AstSelect> ParseSelect(Cursor* cur) {
+  AstSelect sel;
+  sel.explain = cur->MatchKeyword("EXPLAIN");
+  if (!cur->MatchKeyword("SELECT")) return cur->Error("expected SELECT");
+  sel.distinct = cur->MatchKeyword("DISTINCT");
+
+  // Select list.
+  if (cur->MatchSymbol("*")) {
+    sel.select_star = true;
+  } else {
+    do {
+      AstSelectItem item;
+      Result<bool> agg = TryParseAggregate(cur, &item.func,
+                                           &item.count_star, &item.column);
+      if (!agg.ok()) return agg.status();
+      if (agg.value()) {
+        item.is_aggregate = true;
+      } else {
+        Result<AstColumn> col = ParseColumn(cur);
+        if (!col.ok()) return col.status();
+        item.column = std::move(col.value());
+      }
+      if (cur->MatchKeyword("AS")) {
+        if (cur->Peek().kind != TokenKind::kIdent) {
+          return cur->Error("expected alias after AS");
+        }
+        item.alias = cur->Advance().text;
+      }
+      sel.items.push_back(std::move(item));
+    } while (cur->MatchSymbol(","));
+  }
+
+  // FROM clause: comma list and/or JOIN ... ON chains.
+  if (!cur->MatchKeyword("FROM")) return cur->Error("expected FROM");
+  auto parse_table_ref = [&]() -> Status {
+    if (cur->Peek().kind != TokenKind::kIdent) {
+      return cur->Error("expected table name");
+    }
+    AstSelect::TableRef ref;
+    ref.table = cur->Advance().text;
+    ref.alias = ref.table;
+    if (cur->MatchKeyword("AS")) {
+      if (cur->Peek().kind != TokenKind::kIdent) {
+        return cur->Error("expected alias after AS");
+      }
+      ref.alias = cur->Advance().text;
+    } else if (cur->Peek().kind == TokenKind::kIdent) {
+      ref.alias = cur->Advance().text;
+    }
+    sel.from.push_back(std::move(ref));
+    return Status::Ok();
+  };
+  Status s = parse_table_ref();
+  if (!s.ok()) return s;
+  while (true) {
+    if (cur->MatchSymbol(",")) {
+      s = parse_table_ref();
+      if (!s.ok()) return s;
+    } else if (cur->MatchKeyword("JOIN")) {
+      s = parse_table_ref();
+      if (!s.ok()) return s;
+      if (!cur->MatchKeyword("ON")) return cur->Error("expected ON");
+      do {
+        Result<AstComparison> cmp = ParseComparison(cur);
+        if (!cmp.ok()) return cmp.status();
+        sel.where.push_back(std::move(cmp.value()));
+      } while (cur->MatchKeyword("AND"));
+    } else {
+      break;
+    }
+  }
+
+  if (cur->MatchKeyword("WHERE")) {
+    do {
+      if (cur->PeekKeyword("OR")) {
+        return cur->Error("OR is not supported (conjunctive predicates only)");
+      }
+      Result<AstComparison> cmp = ParseComparison(cur);
+      if (!cmp.ok()) return cmp.status();
+      sel.where.push_back(std::move(cmp.value()));
+      if (cur->PeekKeyword("OR")) {
+        return cur->Error("OR is not supported (conjunctive predicates only)");
+      }
+    } while (cur->MatchKeyword("AND"));
+  }
+
+  if (cur->MatchKeyword("GROUP")) {
+    if (!cur->MatchKeyword("BY")) return cur->Error("expected BY");
+    do {
+      Result<AstColumn> col = ParseColumn(cur);
+      if (!col.ok()) return col.status();
+      sel.group_by.push_back(std::move(col.value()));
+    } while (cur->MatchSymbol(","));
+  }
+
+  if (cur->MatchKeyword("HAVING")) {
+    do {
+      AstHaving h;
+      Result<bool> agg =
+          TryParseAggregate(cur, &h.func, &h.count_star, &h.column);
+      if (!agg.ok()) return agg.status();
+      if (agg.value()) {
+        h.is_aggregate = true;
+      } else {
+        Result<AstColumn> col = ParseColumn(cur);
+        if (!col.ok()) return col.status();
+        h.column = std::move(col.value());
+      }
+      if (cur->MatchKeyword("BETWEEN")) {
+        h.kind = PredKind::kBetween;
+        Result<Value> lo = ParseLiteral(cur);
+        if (!lo.ok()) return lo.status();
+        if (!cur->MatchKeyword("AND")) {
+          return cur->Error("expected AND in BETWEEN");
+        }
+        Result<Value> hi = ParseLiteral(cur);
+        if (!hi.ok()) return hi.status();
+        h.value = std::move(lo.value());
+        h.value2 = std::move(hi.value());
+      } else {
+        if (cur->Peek().kind != TokenKind::kSymbol ||
+            !SymbolToPredKind(cur->Peek().text, &h.kind)) {
+          return cur->Error("expected comparison operator in HAVING");
+        }
+        cur->Advance();
+        Result<Value> literal = ParseLiteral(cur);
+        if (!literal.ok()) return literal.status();
+        h.value = std::move(literal.value());
+      }
+      sel.having.push_back(std::move(h));
+    } while (cur->MatchKeyword("AND"));
+  }
+
+  if (cur->MatchKeyword("ORDER")) {
+    if (!cur->MatchKeyword("BY")) return cur->Error("expected BY");
+    do {
+      AstOrderItem item;
+      if (cur->Peek().kind == TokenKind::kInt) {
+        item.by_position = true;
+        item.position = static_cast<int>(cur->Advance().int_value);
+      } else {
+        Result<AstColumn> col = ParseColumn(cur);
+        if (!col.ok()) return col.status();
+        item.column = std::move(col.value());
+      }
+      if (cur->MatchKeyword("DESC")) {
+        item.descending = true;
+      } else {
+        cur->MatchKeyword("ASC");
+      }
+      sel.order_by.push_back(std::move(item));
+    } while (cur->MatchSymbol(","));
+  }
+
+  if (cur->MatchKeyword("LIMIT")) {
+    if (cur->Peek().kind != TokenKind::kInt) {
+      return cur->Error("expected integer after LIMIT");
+    }
+    sel.limit = cur->Advance().int_value;
+  }
+
+  cur->MatchSymbol(";");
+  if (!cur->AtEnd()) return cur->Error("unexpected trailing input");
+  return sel;
+}
+
+}  // namespace
+
+Result<AstSelect> Parse(const std::string& sql) {
+  Result<std::vector<Token>> tokens = Lex(sql);
+  if (!tokens.ok()) return tokens.status();
+  Cursor cur(std::move(tokens.value()));
+  return ParseSelect(&cur);
+}
+
+}  // namespace popdb::sql

@@ -1,0 +1,103 @@
+#ifndef POPDB_SQL_PARSER_H_
+#define POPDB_SQL_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "exec/agg.h"
+#include "exec/expr.h"
+
+namespace popdb::sql {
+
+/// A (possibly qualified) column reference in the AST.
+struct AstColumn {
+  std::string qualifier;  ///< Table name or alias; empty if unqualified.
+  std::string column;
+
+  std::string ToString() const {
+    return qualifier.empty() ? column : qualifier + "." + column;
+  }
+};
+
+/// One SELECT-list item: a column, or an aggregate over a column / '*'.
+struct AstSelectItem {
+  bool is_aggregate = false;
+  AggFunc func = AggFunc::kCount;
+  bool count_star = false;  ///< COUNT(*).
+  AstColumn column;         ///< Unused for COUNT(*).
+  std::string alias;        ///< AS alias (may be empty).
+};
+
+/// A conjunct of the WHERE clause: either a column-literal restriction
+/// (including IN/BETWEEN/LIKE and '?' parameter markers) or a
+/// column = column equi-join predicate.
+struct AstComparison {
+  AstColumn lhs;
+  PredKind kind = PredKind::kEq;
+  bool rhs_is_column = false;  ///< Equi-join predicate.
+  AstColumn rhs_column;
+  bool is_param = false;  ///< RHS is a '?' marker.
+  Value value;            ///< Literal RHS (or BETWEEN lower bound).
+  Value value2;           ///< BETWEEN upper bound.
+  std::vector<Value> in_list;
+};
+
+/// HAVING conjunct: an aggregate (or group-by column) compared to a
+/// literal.
+struct AstHaving {
+  bool is_aggregate = false;
+  AggFunc func = AggFunc::kCount;
+  bool count_star = false;
+  AstColumn column;  ///< Aggregate argument, or the group-by column.
+  PredKind kind = PredKind::kEq;
+  Value value;
+  Value value2;  ///< BETWEEN upper bound.
+};
+
+/// ORDER BY key: a 1-based output position, or an output column/alias.
+struct AstOrderItem {
+  bool by_position = false;
+  int position = 0;  ///< 1-based.
+  AstColumn column;
+  bool descending = false;
+};
+
+/// Parsed SELECT statement.
+struct AstSelect {
+  bool explain = false;   ///< EXPLAIN prefix.
+  bool distinct = false;
+  bool select_star = false;
+  std::vector<AstSelectItem> items;
+  struct TableRef {
+    std::string table;
+    std::string alias;  ///< Defaults to the table name.
+  };
+  std::vector<TableRef> from;
+  std::vector<AstComparison> where;  ///< AND-ed conjuncts.
+  std::vector<AstColumn> group_by;
+  std::vector<AstHaving> having;
+  std::vector<AstOrderItem> order_by;
+  int64_t limit = -1;
+};
+
+/// Parses one SELECT statement (optionally prefixed with EXPLAIN and
+/// terminated with ';'). The supported grammar is the SPJ + aggregation
+/// fragment the engine executes:
+///
+///   [EXPLAIN] SELECT [DISTINCT] select_item (, select_item)*
+///   FROM table [alias] (, table [alias])* | ... JOIN ... ON col = col
+///   [WHERE conjunct (AND conjunct)*]
+///   [GROUP BY col (, col)*]
+///   [HAVING having (AND having)*]
+///   [ORDER BY key [ASC|DESC] (, key [ASC|DESC])*]
+///   [LIMIT n]
+///
+/// Disjunctions (OR) are rejected with a clear error (the optimizer's
+/// predicate model is conjunctive, as in the paper's experiments).
+Result<AstSelect> Parse(const std::string& sql);
+
+}  // namespace popdb::sql
+
+#endif  // POPDB_SQL_PARSER_H_

@@ -1,0 +1,98 @@
+#include "storage/catalog.h"
+
+namespace popdb {
+
+Status Catalog::AddTable(Table table) {
+  const std::string name = table.name();
+  if (entries_.count(name) > 0) {
+    return Status::AlreadyExists("table already exists: " + name);
+  }
+  Entry entry;
+  entry.table = std::make_unique<Table>(std::move(table));
+  entries_.emplace(name, std::move(entry));
+  return Status::Ok();
+}
+
+const Catalog::Entry* Catalog::FindEntry(const std::string& name) const {
+  auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+Catalog::Entry* Catalog::FindEntry(const std::string& name) {
+  auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+const Table* Catalog::GetTable(const std::string& name) const {
+  const Entry* e = FindEntry(name);
+  return e == nullptr ? nullptr : e->table.get();
+}
+
+Table* Catalog::GetMutableTable(const std::string& name) {
+  Entry* e = FindEntry(name);
+  return e == nullptr ? nullptr : e->table.get();
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) names.push_back(name);
+  return names;
+}
+
+Status Catalog::AnalyzeTable(const std::string& name, int histogram_buckets) {
+  Entry* e = FindEntry(name);
+  if (e == nullptr) return Status::NotFound("no such table: " + name);
+  e->stats = std::make_unique<TableStats>(
+      CollectTableStats(*e->table, histogram_buckets));
+  return Status::Ok();
+}
+
+Status Catalog::AnalyzeTableSampled(const std::string& name,
+                                    double sample_fraction, uint64_t seed,
+                                    int histogram_buckets) {
+  Entry* e = FindEntry(name);
+  if (e == nullptr) return Status::NotFound("no such table: " + name);
+  e->stats = std::make_unique<TableStats>(CollectTableStatsSampled(
+      *e->table, sample_fraction, seed, histogram_buckets));
+  return Status::Ok();
+}
+
+void Catalog::AnalyzeAll(int histogram_buckets) {
+  for (auto& [name, entry] : entries_) {
+    entry.stats = std::make_unique<TableStats>(
+        CollectTableStats(*entry.table, histogram_buckets));
+  }
+}
+
+const TableStats* Catalog::GetStats(const std::string& name) const {
+  const Entry* e = FindEntry(name);
+  return e == nullptr ? nullptr : e->stats.get();
+}
+
+Status Catalog::CreateIndex(const std::string& table,
+                            const std::string& column_name) {
+  Entry* e = FindEntry(table);
+  if (e == nullptr) return Status::NotFound("no such table: " + table);
+  const int col = e->table->schema().IndexOf(column_name);
+  if (col < 0) {
+    return Status::NotFound("no such column: " + table + "." + column_name);
+  }
+  for (const auto& idx : e->indexes) {
+    if (idx->column() == col) return Status::Ok();
+  }
+  e->indexes.push_back(std::make_unique<HashIndex>(*e->table, col));
+  return Status::Ok();
+}
+
+const HashIndex* Catalog::FindIndex(const std::string& table,
+                                    int column) const {
+  const Entry* e = FindEntry(table);
+  if (e == nullptr) return nullptr;
+  for (const auto& idx : e->indexes) {
+    if (idx->column() == column) return idx.get();
+  }
+  return nullptr;
+}
+
+}  // namespace popdb

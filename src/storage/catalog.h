@@ -1,0 +1,69 @@
+#ifndef POPDB_STORAGE_CATALOG_H_
+#define POPDB_STORAGE_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/index.h"
+#include "storage/statistics.h"
+#include "storage/table.h"
+
+namespace popdb {
+
+/// The database catalog: owns base tables, their statistics and their
+/// indexes. Temporary materialized views created by progressive
+/// re-optimization live in a separate registry (core/matview.h) because
+/// they are scoped to one query execution, not to the database.
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// Registers `table`; fails with kAlreadyExists on a duplicate name.
+  Status AddTable(Table table);
+
+  /// Returns the table or nullptr.
+  const Table* GetTable(const std::string& name) const;
+  Table* GetMutableTable(const std::string& name);
+
+  std::vector<std::string> TableNames() const;
+
+  /// Computes statistics for one table (RUNSTATS analogue).
+  Status AnalyzeTable(const std::string& name, int histogram_buckets = 32);
+  /// Computes statistics from a Bernoulli sample of the table (cheaper and
+  /// less accurate — one of the estimation-error sources POP guards
+  /// against).
+  Status AnalyzeTableSampled(const std::string& name, double sample_fraction,
+                             uint64_t seed = 1, int histogram_buckets = 32);
+  /// Computes statistics for every table.
+  void AnalyzeAll(int histogram_buckets = 32);
+
+  /// Returns stats for `name`, or nullptr if never analyzed.
+  const TableStats* GetStats(const std::string& name) const;
+
+  /// Builds a hash index on `table`.`column_name`. Idempotent.
+  Status CreateIndex(const std::string& table, const std::string& column_name);
+
+  /// Returns the hash index on (table, column), or nullptr.
+  const HashIndex* FindIndex(const std::string& table, int column) const;
+
+ private:
+  struct Entry {
+    std::unique_ptr<Table> table;
+    std::unique_ptr<TableStats> stats;
+    std::vector<std::unique_ptr<HashIndex>> indexes;
+  };
+
+  const Entry* FindEntry(const std::string& name) const;
+  Entry* FindEntry(const std::string& name);
+
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace popdb
+
+#endif  // POPDB_STORAGE_CATALOG_H_

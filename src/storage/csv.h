@@ -1,0 +1,37 @@
+#ifndef POPDB_STORAGE_CSV_H_
+#define POPDB_STORAGE_CSV_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "storage/catalog.h"
+#include "storage/table.h"
+
+namespace popdb {
+
+/// Options for CSV ingestion.
+struct CsvOptions {
+  char delimiter = ',';
+  /// First row holds column names. If false, columns are named c0, c1, ...
+  bool header = true;
+  /// Literal text treated as NULL (in addition to an empty unquoted field).
+  std::string null_text = "";
+  /// Rows to sample for type inference (int -> double -> string widening).
+  int type_inference_rows = 1000;
+};
+
+/// Parses CSV `text` into a table named `name`. Column types are inferred
+/// from the data: a column is kInt if every non-null sample parses as an
+/// integer, kDouble if every sample parses as a number, kString otherwise.
+/// Quoted fields ("...", with "" as the escaped quote) are supported.
+Result<Table> ParseCsv(const std::string& name, const std::string& text,
+                       const CsvOptions& options = {});
+
+/// Reads `path` and loads it as table `name` into `catalog`, then analyzes
+/// it. The adoption path for bringing external data into the engine.
+Status LoadCsvFile(const std::string& name, const std::string& path,
+                   Catalog* catalog, const CsvOptions& options = {});
+
+}  // namespace popdb
+
+#endif  // POPDB_STORAGE_CSV_H_

@@ -1,0 +1,29 @@
+#include "storage/index.h"
+
+namespace popdb {
+
+HashIndex::HashIndex(const Table& table, int column)
+    : table_name_(table.name()), column_(column) {
+  map_.reserve(static_cast<size_t>(table.num_rows()));
+  for (int64_t rid = 0; rid < table.num_rows(); ++rid) {
+    map_[table.row(rid)[static_cast<size_t>(column)]].push_back(rid);
+  }
+}
+
+HashIndex::HashIndex(const std::vector<Row>& rows, int column,
+                     std::string name)
+    : table_name_(std::move(name)), column_(column) {
+  map_.reserve(rows.size());
+  for (size_t rid = 0; rid < rows.size(); ++rid) {
+    map_[rows[rid][static_cast<size_t>(column)]].push_back(
+        static_cast<int64_t>(rid));
+  }
+}
+
+const std::vector<int64_t>& HashIndex::Probe(const Value& key) const {
+  auto it = map_.find(key);
+  if (it == map_.end()) return empty_;
+  return it->second;
+}
+
+}  // namespace popdb

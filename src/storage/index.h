@@ -1,0 +1,48 @@
+#ifndef POPDB_STORAGE_INDEX_H_
+#define POPDB_STORAGE_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/value.h"
+#include "storage/table.h"
+
+namespace popdb {
+
+/// Hash index over one column of a table, mapping value -> row ids. Used by
+/// the executor for index nested-loop join probes and by the optimizer to
+/// decide whether an index access path exists.
+///
+/// The index is built once over the full table; it does not track appends
+/// made after construction (the engine loads data before querying).
+class HashIndex {
+ public:
+  /// Builds the index over `table.column(column)`.
+  HashIndex(const Table& table, int column);
+
+  /// Builds the index over a materialized row vector (row ids are the
+  /// vector positions). Used when the re-optimizer decides to index a
+  /// temporary materialized view before reusing it (paper Section 2.3).
+  HashIndex(const std::vector<Row>& rows, int column, std::string name);
+
+  int column() const { return column_; }
+  const std::string& table_name() const { return table_name_; }
+
+  /// Returns row ids whose indexed column equals `key` (empty if none).
+  const std::vector<int64_t>& Probe(const Value& key) const;
+
+  /// Number of distinct keys in the index.
+  int64_t num_keys() const { return static_cast<int64_t>(map_.size()); }
+
+ private:
+  std::string table_name_;
+  int column_;
+  std::unordered_map<Value, std::vector<int64_t>, ValueHash> map_;
+  std::vector<int64_t> empty_;
+};
+
+}  // namespace popdb
+
+#endif  // POPDB_STORAGE_INDEX_H_

@@ -1,0 +1,40 @@
+#ifndef POPDB_STORAGE_SCHEMA_H_
+#define POPDB_STORAGE_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace popdb {
+
+/// A named, typed column in a table schema.
+struct ColumnDef {
+  std::string name;
+  ValueType type = ValueType::kNull;
+};
+
+/// Ordered list of columns describing one table's row layout.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnDef> columns)
+      : columns_(std::move(columns)) {}
+
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+  const ColumnDef& column(int i) const { return columns_[static_cast<size_t>(i)]; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+
+  /// Returns the index of column `name`, or -1 if absent.
+  int IndexOf(const std::string& name) const;
+
+  /// Renders "name:type, name:type, ...".
+  std::string ToString() const;
+
+ private:
+  std::vector<ColumnDef> columns_;
+};
+
+}  // namespace popdb
+
+#endif  // POPDB_STORAGE_SCHEMA_H_

@@ -1,0 +1,145 @@
+#include "storage/statistics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/rng.h"
+
+namespace popdb {
+
+double EquiDepthHistogram::FractionLeq(double x) const {
+  if (empty() || total_rows == 0) return 0.5;
+  if (x < bounds.front()) return 0.0;
+  if (x >= bounds.back()) return 1.0;
+  int64_t rows_below = 0;
+  for (size_t b = 0; b < counts.size(); ++b) {
+    const double lo = bounds[b];
+    const double hi = bounds[b + 1];
+    if (x >= hi) {
+      rows_below += counts[b];
+      continue;
+    }
+    // x falls inside bucket b: linear interpolation.
+    const double width = hi - lo;
+    const double frac = width > 0 ? (x - lo) / width : 1.0;
+    rows_below += static_cast<int64_t>(frac * static_cast<double>(counts[b]));
+    break;
+  }
+  return static_cast<double>(rows_below) / static_cast<double>(total_rows);
+}
+
+double EquiDepthHistogram::FractionBetween(double lo, double hi) const {
+  if (empty() || total_rows == 0) return 0.33;
+  if (hi < lo) return 0.0;
+  const double f = FractionLeq(hi) - FractionLeq(lo);
+  return std::max(0.0, std::min(1.0, f));
+}
+
+namespace {
+/// Shared stats computation over a row-id subset. When `sampled`, null
+/// counts are scaled back to the full table and distinct counts are
+/// extrapolated with the GEE estimator.
+TableStats CollectOverRows(const Table& table,
+                           const std::vector<int64_t>& rids,
+                           bool sampled, double sample_fraction,
+                           int histogram_buckets) {
+  TableStats stats;
+  stats.row_count = table.num_rows();
+  const int ncols = table.schema().num_columns();
+  stats.columns.resize(static_cast<size_t>(ncols));
+
+  for (int c = 0; c < ncols; ++c) {
+    ColumnStats& cs = stats.columns[static_cast<size_t>(c)];
+    std::unordered_map<Value, int64_t, ValueHash> counts;
+    std::vector<double> numeric_values;
+    const bool numeric = table.schema().column(c).type == ValueType::kInt ||
+                         table.schema().column(c).type == ValueType::kDouble;
+    if (numeric) numeric_values.reserve(rids.size());
+
+    for (int64_t r : rids) {
+      const Value& v = table.row(r)[static_cast<size_t>(c)];
+      if (v.is_null()) {
+        ++cs.null_count;
+        continue;
+      }
+      ++counts[v];
+      if (!cs.min || v < *cs.min) cs.min = v;
+      if (!cs.max || v > *cs.max) cs.max = v;
+      if (numeric) numeric_values.push_back(v.AsNumeric());
+    }
+    if (!sampled) {
+      cs.num_distinct = static_cast<int64_t>(counts.size());
+    } else {
+      // GEE: values seen once may stand for many unseen ones; values seen
+      // repeatedly are probably just frequent.
+      cs.null_count = static_cast<int64_t>(
+          static_cast<double>(cs.null_count) / sample_fraction);
+      int64_t f1 = 0;
+      int64_t repeated = 0;
+      for (const auto& [value, n] : counts) {
+        if (n == 1) {
+          ++f1;
+        } else {
+          ++repeated;
+        }
+      }
+      const double estimate =
+          std::sqrt(1.0 / sample_fraction) * static_cast<double>(f1) +
+          static_cast<double>(repeated);
+      cs.num_distinct = std::max<int64_t>(
+          static_cast<int64_t>(counts.size()),
+          static_cast<int64_t>(estimate));
+      cs.num_distinct = std::min(cs.num_distinct, stats.row_count);
+    }
+
+    if (numeric && !numeric_values.empty()) {
+      std::sort(numeric_values.begin(), numeric_values.end());
+      const int64_t n = static_cast<int64_t>(numeric_values.size());
+      const int nb = std::max(
+          1, std::min<int>(histogram_buckets,
+                           static_cast<int>(std::min<int64_t>(n, 1 << 20))));
+      EquiDepthHistogram& h = cs.histogram;
+      h.total_rows = n;
+      h.bounds.push_back(numeric_values.front());
+      int64_t consumed = 0;
+      for (int b = 0; b < nb; ++b) {
+        const int64_t target =
+            (n * static_cast<int64_t>(b + 1)) / static_cast<int64_t>(nb);
+        const int64_t count = target - consumed;
+        h.counts.push_back(count);
+        consumed = target;
+        const size_t bound_idx =
+            static_cast<size_t>(std::min<int64_t>(target, n - 1));
+        h.bounds.push_back(b + 1 == nb ? numeric_values.back()
+                                       : numeric_values[bound_idx]);
+      }
+    }
+  }
+  return stats;
+}
+}  // namespace
+
+TableStats CollectTableStats(const Table& table, int histogram_buckets) {
+  std::vector<int64_t> all;
+  all.reserve(static_cast<size_t>(table.num_rows()));
+  for (int64_t r = 0; r < table.num_rows(); ++r) all.push_back(r);
+  return CollectOverRows(table, all, /*sampled=*/false, 1.0,
+                         histogram_buckets);
+}
+
+TableStats CollectTableStatsSampled(const Table& table,
+                                    double sample_fraction, uint64_t seed,
+                                    int histogram_buckets) {
+  sample_fraction = std::clamp(sample_fraction, 1e-6, 1.0);
+  Rng rng(seed);
+  std::vector<int64_t> sample;
+  for (int64_t r = 0; r < table.num_rows(); ++r) {
+    if (rng.Bernoulli(sample_fraction)) sample.push_back(r);
+  }
+  if (sample.empty() && table.num_rows() > 0) sample.push_back(0);
+  return CollectOverRows(table, sample, /*sampled=*/true, sample_fraction,
+                         histogram_buckets);
+}
+
+}  // namespace popdb

@@ -1,0 +1,70 @@
+#ifndef POPDB_STORAGE_STATISTICS_H_
+#define POPDB_STORAGE_STATISTICS_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/value.h"
+#include "storage/table.h"
+
+namespace popdb {
+
+/// Equi-depth histogram over the numeric interpretation of a column. Each
+/// bucket holds ~rows/num_buckets rows; boundaries are stored as doubles.
+struct EquiDepthHistogram {
+  /// bounds has num_buckets+1 entries; bucket i covers
+  /// [bounds[i], bounds[i+1]] (last bucket closed on both ends).
+  std::vector<double> bounds;
+  std::vector<int64_t> counts;
+  int64_t total_rows = 0;
+
+  bool empty() const { return counts.empty(); }
+
+  /// Estimated fraction of rows with column value <= x (interpolating
+  /// within a bucket).
+  double FractionLeq(double x) const;
+
+  /// Estimated fraction of rows in [lo, hi] (inclusive).
+  double FractionBetween(double lo, double hi) const;
+};
+
+/// Per-column statistics gathered by CollectTableStats (the engine's
+/// RUNSTATS analogue).
+struct ColumnStats {
+  int64_t num_distinct = 0;
+  int64_t null_count = 0;
+  /// Min/max over non-null values; unset for empty columns.
+  std::optional<Value> min;
+  std::optional<Value> max;
+  /// Present for numeric columns only.
+  EquiDepthHistogram histogram;
+};
+
+/// Table-level statistics: row count plus per-column stats.
+struct TableStats {
+  int64_t row_count = 0;
+  std::vector<ColumnStats> columns;
+
+  const ColumnStats& column(int i) const {
+    return columns[static_cast<size_t>(i)];
+  }
+};
+
+/// Scans `table` and computes full statistics. `histogram_buckets` controls
+/// equi-depth histogram resolution on numeric columns.
+TableStats CollectTableStats(const Table& table, int histogram_buckets = 32);
+
+/// Statistics from a Bernoulli row sample of `table` — the sampled-synopsis
+/// approach the paper cites ([HS93]) and one of its estimation-error
+/// sources. The exact row count is kept (it is cheap); per-column distinct
+/// counts are extrapolated from the sample with the GEE estimator
+/// (sqrt(1/q) * f1 + sum_j>=2 fj, where fj counts values seen j times), and
+/// histograms are built over the sampled values only.
+TableStats CollectTableStatsSampled(const Table& table,
+                                    double sample_fraction, uint64_t seed,
+                                    int histogram_buckets = 32);
+
+}  // namespace popdb
+
+#endif  // POPDB_STORAGE_STATISTICS_H_

@@ -1,0 +1,14 @@
+#include "storage/table.h"
+
+namespace popdb {
+
+void Table::AppendRow(Row row) {
+  POPDB_DCHECK(static_cast<int>(row.size()) == schema_.num_columns());
+  for (int c = 0; c < schema_.num_columns(); ++c) {
+    const Value& v = row[static_cast<size_t>(c)];
+    POPDB_DCHECK(v.is_null() || v.type() == schema_.column(c).type);
+  }
+  rows_.push_back(std::move(row));
+}
+
+}  // namespace popdb

@@ -1,0 +1,49 @@
+#ifndef POPDB_STORAGE_TABLE_H_
+#define POPDB_STORAGE_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "storage/schema.h"
+
+namespace popdb {
+
+/// An in-memory heap table: a schema plus a row vector. Row ids are the
+/// positions in the vector and are stable (no deletes are supported; the
+/// engine is append-only, matching what the experiments need).
+class Table {
+ public:
+  Table(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+  Table(Table&&) = default;
+  Table& operator=(Table&&) = default;
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+
+  int64_t num_rows() const { return static_cast<int64_t>(rows_.size()); }
+  const Row& row(int64_t rid) const { return rows_[static_cast<size_t>(rid)]; }
+  const std::vector<Row>& rows() const { return rows_; }
+
+  /// Appends a row; it must match the schema arity (types are checked in
+  /// debug via POPDB_DCHECK against non-null cells).
+  void AppendRow(Row row);
+
+  /// Reserves space for `n` rows.
+  void Reserve(int64_t n) { rows_.reserve(static_cast<size_t>(n)); }
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace popdb
+
+#endif  // POPDB_STORAGE_TABLE_H_

@@ -1,0 +1,246 @@
+#include "tpch/tpch_gen.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "storage/schema.h"
+#include "storage/table.h"
+
+namespace popdb::tpch {
+
+namespace {
+
+const char* const kRegionNames[5] = {"AFRICA", "AMERICA", "ASIA", "EUROPE",
+                                     "MIDDLE EAST"};
+const char* const kNationNames[25] = {
+    "ALGERIA", "ARGENTINA", "BRAZIL",  "CANADA",         "EGYPT",
+    "ETHIOPIA", "FRANCE",   "GERMANY", "INDIA",          "INDONESIA",
+    "IRAN",     "IRAQ",     "JAPAN",   "JORDAN",         "KENYA",
+    "MOROCCO",  "MOZAMBIQUE", "PERU",  "CHINA",          "ROMANIA",
+    "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES"};
+const char* const kSegments[5] = {"AUTOMOBILE", "BUILDING", "FURNITURE",
+                                  "HOUSEHOLD", "MACHINERY"};
+const char* const kPriorities[5] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                                    "4-NOT SPECIFIED", "5-LOW"};
+const char* const kShipModes[7] = {"AIR", "FOB", "MAIL", "RAIL", "REG AIR",
+                                   "SHIP", "TRUCK"};
+const char* const kReturnFlags[3] = {"A", "N", "R"};
+const char* const kTypeSyllable1[6] = {"STANDARD", "SMALL", "MEDIUM",
+                                       "LARGE", "ECONOMY", "PROMO"};
+const char* const kTypeSyllable2[5] = {"ANODIZED", "BURNISHED", "PLATED",
+                                       "POLISHED", "BRUSHED"};
+const char* const kTypeSyllable3[5] = {"TIN", "NICKEL", "BRASS", "STEEL",
+                                       "COPPER"};
+
+int64_t Floor1(double v) { return std::max<int64_t>(1, static_cast<int64_t>(v)); }
+
+}  // namespace
+
+int64_t RowsAtScale(const char* name, double scale) {
+  const std::string n = name;
+  if (n == "region") return 5;
+  if (n == "nation") return 25;
+  if (n == "supplier") return Floor1(10000 * scale);
+  if (n == "customer") return Floor1(150000 * scale);
+  if (n == "orders") return Floor1(1500000 * scale);
+  if (n == "lineitem") return Floor1(6000000 * scale);
+  if (n == "part") return Floor1(200000 * scale);
+  if (n == "partsupp") return Floor1(800000 * scale);
+  return 0;
+}
+
+Status BuildCatalog(const GenConfig& config, Catalog* catalog) {
+  Rng rng(config.seed);
+  const double sf = config.scale;
+
+  // ---- REGION.
+  {
+    Table region("region", Schema({{"r_regionkey", ValueType::kInt},
+                                   {"r_name", ValueType::kString}}));
+    for (int64_t r = 0; r < RowsAtScale("region", sf); ++r) {
+      region.AppendRow({Value::Int(r), Value::String(kRegionNames[r % 5])});
+    }
+    Status s = catalog->AddTable(std::move(region));
+    if (!s.ok()) return s;
+  }
+
+  // ---- NATION.
+  {
+    Table nation("nation", Schema({{"n_nationkey", ValueType::kInt},
+                                   {"n_name", ValueType::kString},
+                                   {"n_regionkey", ValueType::kInt}}));
+    for (int64_t n = 0; n < RowsAtScale("nation", sf); ++n) {
+      nation.AppendRow({Value::Int(n), Value::String(kNationNames[n % 25]),
+                        Value::Int(n % 5)});
+    }
+    Status s = catalog->AddTable(std::move(nation));
+    if (!s.ok()) return s;
+  }
+
+  const int64_t n_supplier = RowsAtScale("supplier", sf);
+  const int64_t n_customer = RowsAtScale("customer", sf);
+  const int64_t n_orders = RowsAtScale("orders", sf);
+  const int64_t n_lineitem = RowsAtScale("lineitem", sf);
+  const int64_t n_part = RowsAtScale("part", sf);
+  const int64_t n_partsupp = RowsAtScale("partsupp", sf);
+
+  // ---- SUPPLIER.
+  {
+    Table supplier("supplier", Schema({{"s_suppkey", ValueType::kInt},
+                                       {"s_nationkey", ValueType::kInt},
+                                       {"s_acctbal", ValueType::kDouble},
+                                       {"s_name", ValueType::kString}}));
+    supplier.Reserve(n_supplier);
+    for (int64_t i = 0; i < n_supplier; ++i) {
+      supplier.AppendRow({Value::Int(i), Value::Int(rng.UniformInt(0, 24)),
+                          Value::Double(rng.UniformDouble() * 11000 - 1000),
+                          Value::String(StrFormat("Supplier#%06lld",
+                                                  static_cast<long long>(i)))});
+    }
+    Status s = catalog->AddTable(std::move(supplier));
+    if (!s.ok()) return s;
+  }
+
+  // ---- CUSTOMER.
+  {
+    Table customer("customer", Schema({{"c_custkey", ValueType::kInt},
+                                       {"c_nationkey", ValueType::kInt},
+                                       {"c_mktsegment", ValueType::kString},
+                                       {"c_acctbal", ValueType::kDouble},
+                                       {"c_name", ValueType::kString}}));
+    customer.Reserve(n_customer);
+    for (int64_t i = 0; i < n_customer; ++i) {
+      customer.AppendRow(
+          {Value::Int(i), Value::Int(rng.UniformInt(0, 24)),
+           Value::String(kSegments[rng.UniformInt(0, 4)]),
+           Value::Double(rng.UniformDouble() * 11000 - 1000),
+           Value::String(StrFormat("Customer#%06lld",
+                                   static_cast<long long>(i)))});
+    }
+    Status s = catalog->AddTable(std::move(customer));
+    if (!s.ok()) return s;
+  }
+
+  // ---- ORDERS.
+  {
+    Table orders("orders", Schema({{"o_orderkey", ValueType::kInt},
+                                   {"o_custkey", ValueType::kInt},
+                                   {"o_orderdate", ValueType::kInt},
+                                   {"o_orderyear", ValueType::kInt},
+                                   {"o_orderpriority", ValueType::kString},
+                                   {"o_shippriority", ValueType::kInt},
+                                   {"o_totalprice", ValueType::kDouble}}));
+    orders.Reserve(n_orders);
+    for (int64_t i = 0; i < n_orders; ++i) {
+      const int64_t date = rng.UniformInt(kMinDate, kMaxDate - 1);
+      orders.AppendRow({Value::Int(i),
+                        Value::Int(rng.UniformInt(0, n_customer - 1)),
+                        Value::Int(date), Value::Int(1992 + date / 365),
+                        Value::String(kPriorities[rng.UniformInt(0, 4)]),
+                        Value::Int(rng.UniformInt(0, 1)),
+                        Value::Double(rng.UniformDouble() * 500000)});
+    }
+    Status s = catalog->AddTable(std::move(orders));
+    if (!s.ok()) return s;
+  }
+
+  // ---- LINEITEM.
+  {
+    Table lineitem("lineitem", Schema({{"l_orderkey", ValueType::kInt},
+                                       {"l_partkey", ValueType::kInt},
+                                       {"l_suppkey", ValueType::kInt},
+                                       {"l_quantity", ValueType::kInt},
+                                       {"l_extendedprice", ValueType::kDouble},
+                                       {"l_discount", ValueType::kDouble},
+                                       {"l_returnflag", ValueType::kString},
+                                       {"l_shipdate", ValueType::kInt},
+                                       {"l_shipmode", ValueType::kString},
+                                       {"l_late", ValueType::kInt},
+                                       {"l_sel", ValueType::kInt}}));
+    lineitem.Reserve(n_lineitem);
+    for (int64_t i = 0; i < n_lineitem; ++i) {
+      lineitem.AppendRow(
+          {Value::Int(rng.UniformInt(0, n_orders - 1)),
+           Value::Int(rng.UniformInt(0, n_part - 1)),
+           Value::Int(rng.UniformInt(0, n_supplier - 1)),
+           Value::Int(rng.UniformInt(1, 50)),
+           Value::Double(rng.UniformDouble() * 100000),
+           Value::Double(rng.UniformInt(0, 10) / 100.0),
+           Value::String(kReturnFlags[rng.UniformInt(0, 2)]),
+           Value::Int(rng.UniformInt(kMinDate, kMaxDate - 1)),
+           Value::String(kShipModes[rng.UniformInt(0, 6)]),
+           Value::Int(rng.Bernoulli(0.3) ? 1 : 0),
+           Value::Int(rng.UniformInt(0, 99))});
+    }
+    Status s = catalog->AddTable(std::move(lineitem));
+    if (!s.ok()) return s;
+  }
+
+  // ---- PART.
+  {
+    Table part("part", Schema({{"p_partkey", ValueType::kInt},
+                               {"p_mfgr", ValueType::kString},
+                               {"p_brand", ValueType::kString},
+                               {"p_type", ValueType::kString},
+                               {"p_size", ValueType::kInt},
+                               {"p_retailprice", ValueType::kDouble}}));
+    part.Reserve(n_part);
+    for (int64_t i = 0; i < n_part; ++i) {
+      const int mfgr = static_cast<int>(rng.UniformInt(1, 5));
+      const std::string type =
+          StrFormat("%s %s %s", kTypeSyllable1[rng.UniformInt(0, 5)],
+                    kTypeSyllable2[rng.UniformInt(0, 4)],
+                    kTypeSyllable3[rng.UniformInt(0, 4)]);
+      part.AppendRow(
+          {Value::Int(i), Value::String(StrFormat("Manufacturer#%d", mfgr)),
+           Value::String(StrFormat("Brand#%d%lld", mfgr,
+                                   static_cast<long long>(
+                                       rng.UniformInt(1, 5)))),
+           Value::String(type), Value::Int(rng.UniformInt(1, 50)),
+           Value::Double(900 + rng.UniformDouble() * 1200)});
+    }
+    Status s = catalog->AddTable(std::move(part));
+    if (!s.ok()) return s;
+  }
+
+  // ---- PARTSUPP.
+  {
+    Table partsupp("partsupp", Schema({{"ps_partkey", ValueType::kInt},
+                                       {"ps_suppkey", ValueType::kInt},
+                                       {"ps_supplycost", ValueType::kDouble},
+                                       {"ps_availqty", ValueType::kInt}}));
+    partsupp.Reserve(n_partsupp);
+    for (int64_t i = 0; i < n_partsupp; ++i) {
+      partsupp.AppendRow({Value::Int(i % n_part),
+                          Value::Int(rng.UniformInt(0, n_supplier - 1)),
+                          Value::Double(rng.UniformDouble() * 1000),
+                          Value::Int(rng.UniformInt(1, 9999))});
+    }
+    Status s = catalog->AddTable(std::move(partsupp));
+    if (!s.ok()) return s;
+  }
+
+  catalog->AnalyzeAll(config.histogram_buckets);
+
+  if (config.build_indexes) {
+    const std::pair<const char*, const char*> indexes[] = {
+        {"region", "r_regionkey"},   {"nation", "n_nationkey"},
+        {"supplier", "s_suppkey"},   {"customer", "c_custkey"},
+        {"orders", "o_orderkey"},    {"lineitem", "l_orderkey"},
+        {"lineitem", "l_partkey"},   {"part", "p_partkey"},
+        {"partsupp", "ps_partkey"},  {"partsupp", "ps_suppkey"},
+        {"orders", "o_custkey"},     {"supplier", "s_nationkey"},
+        {"customer", "c_nationkey"},
+    };
+    for (const auto& [table, column] : indexes) {
+      Status s = catalog->CreateIndex(table, column);
+      if (!s.ok()) return s;
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace popdb::tpch

@@ -1,0 +1,88 @@
+#ifndef POPDB_TPCH_TPCH_GEN_H_
+#define POPDB_TPCH_TPCH_GEN_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "storage/catalog.h"
+
+namespace popdb::tpch {
+
+/// Column positions of the generated TPC-H tables. The schema follows the
+/// TPC-H benchmark, narrowed to the columns the paper's queries touch, plus
+/// three derived columns that stand in for SQL expressions the engine's
+/// predicate language does not model directly:
+///   - LINEITEM.l_late  (1 when l_receiptdate > l_commitdate, Q4),
+///   - LINEITEM.l_sel   (uniform 0..99; "l_sel < ?" sweeps selectivity
+///                       0..100% for the paper's Figure 11 experiment),
+///   - ORDERS.o_orderyear (extracted from o_orderdate, Q8/Q9 group-by).
+struct Region {
+  enum : int { kRegionKey = 0, kName };
+};
+struct Nation {
+  enum : int { kNationKey = 0, kName, kRegionKey };
+};
+struct Supplier {
+  enum : int { kSuppKey = 0, kNationKey, kAcctBal, kName };
+};
+struct Customer {
+  enum : int { kCustKey = 0, kNationKey, kMktSegment, kAcctBal, kName };
+};
+struct Orders {
+  enum : int {
+    kOrderKey = 0,
+    kCustKey,
+    kOrderDate,
+    kOrderYear,
+    kOrderPriority,
+    kShipPriority,
+    kTotalPrice,
+  };
+};
+struct Lineitem {
+  enum : int {
+    kOrderKey = 0,
+    kPartKey,
+    kSuppKey,
+    kQuantity,
+    kExtendedPrice,
+    kDiscount,
+    kReturnFlag,
+    kShipDate,
+    kShipMode,
+    kLate,
+    kSel,
+  };
+};
+struct Part {
+  enum : int { kPartKey = 0, kMfgr, kBrand, kType, kSize, kRetailPrice };
+};
+struct Partsupp {
+  enum : int { kPartKey = 0, kSuppKey, kSupplyCost, kAvailQty };
+};
+
+/// Generator parameters. `scale` is the TPC-H scale factor; the row counts
+/// are the standard ones (LINEITEM = 6,000,000 x scale etc.) with small
+/// floors so tiny scales stay joinable.
+struct GenConfig {
+  double scale = 0.005;
+  uint64_t seed = 20040613;  ///< SIGMOD 2004 opening day.
+  int histogram_buckets = 32;
+  bool build_indexes = true;
+};
+
+/// Date domain: integer days since 1992-01-01, 7 years.
+inline constexpr int kMinDate = 0;
+inline constexpr int kMaxDate = 7 * 365;
+
+/// Generates the full TPC-H database into `catalog`, collects statistics
+/// and builds primary/foreign-key hash indexes.
+Status BuildCatalog(const GenConfig& config, Catalog* catalog);
+
+/// Row count of table `name` at scale `scale` (generator contract; exposed
+/// for tests).
+int64_t RowsAtScale(const char* name, double scale);
+
+}  // namespace popdb::tpch
+
+#endif  // POPDB_TPCH_TPCH_GEN_H_

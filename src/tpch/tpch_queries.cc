@@ -1,0 +1,265 @@
+#include "tpch/tpch_queries.h"
+
+#include "common/status.h"
+#include "tpch/tpch_gen.h"
+
+namespace popdb::tpch {
+
+namespace {
+
+/// Adds the headline predicate either as a literal or as parameter marker 0
+/// bound to the same literal.
+void AddHeadline(QuerySpec* q, ColRef col, PredKind kind, Value literal,
+                 bool marker) {
+  if (marker) {
+    q->AddParamPred(col, kind, /*param_index=*/0);
+    q->BindParam(std::move(literal));
+  } else {
+    q->AddPred(col, kind, std::move(literal));
+  }
+}
+
+QuerySpec MakeQ2(const QueryOptions& o) {
+  QuerySpec q("tpch_q2");
+  const int p = q.AddTable("part");
+  const int ps = q.AddTable("partsupp");
+  const int s = q.AddTable("supplier");
+  const int n = q.AddTable("nation");
+  const int r = q.AddTable("region");
+  q.AddJoin({p, Part::kPartKey}, {ps, Partsupp::kPartKey});
+  q.AddJoin({ps, Partsupp::kSuppKey}, {s, Supplier::kSuppKey});
+  q.AddJoin({s, Supplier::kNationKey}, {n, Nation::kNationKey});
+  q.AddJoin({n, Nation::kRegionKey}, {r, Region::kRegionKey});
+  AddHeadline(&q, {p, Part::kSize}, PredKind::kEq, Value::Int(15),
+              o.param_markers);
+  q.AddPred({p, Part::kType}, PredKind::kLike, Value::String("%BRASS"));
+  q.AddPred({r, Region::kName}, PredKind::kEq, Value::String("EUROPE"));
+  q.AddGroupBy({p, Part::kBrand});
+  q.AddAgg(AggFunc::kMin, {ps, Partsupp::kSupplyCost});
+  return q;
+}
+
+QuerySpec MakeQ3(const QueryOptions& o) {
+  QuerySpec q("tpch_q3");
+  const int c = q.AddTable("customer");
+  const int ord = q.AddTable("orders");
+  const int l = q.AddTable("lineitem");
+  q.AddJoin({c, Customer::kCustKey}, {ord, Orders::kCustKey});
+  q.AddJoin({ord, Orders::kOrderKey}, {l, Lineitem::kOrderKey});
+  AddHeadline(&q, {c, Customer::kMktSegment}, PredKind::kEq,
+              Value::String("BUILDING"), o.param_markers);
+  q.AddPred({ord, Orders::kOrderDate}, PredKind::kLt, Value::Int(1100));
+  q.AddPred({l, Lineitem::kShipDate}, PredKind::kGt, Value::Int(1100));
+  q.AddGroupBy({ord, Orders::kShipPriority});
+  q.AddAgg(AggFunc::kSum, {l, Lineitem::kExtendedPrice});
+  return q;
+}
+
+QuerySpec MakeQ4(const QueryOptions& o) {
+  QuerySpec q("tpch_q4");
+  const int ord = q.AddTable("orders");
+  const int l = q.AddTable("lineitem");
+  q.AddJoin({ord, Orders::kOrderKey}, {l, Lineitem::kOrderKey});
+  q.AddPred({ord, Orders::kOrderDate}, PredKind::kGe, Value::Int(800));
+  AddHeadline(&q, {ord, Orders::kOrderDate}, PredKind::kLt, Value::Int(890),
+              o.param_markers);
+  q.AddPred({l, Lineitem::kLate}, PredKind::kEq, Value::Int(1));
+  q.AddGroupBy({ord, Orders::kOrderPriority});
+  q.AddAgg(AggFunc::kCount);
+  return q;
+}
+
+QuerySpec MakeQ5(const QueryOptions& o) {
+  QuerySpec q("tpch_q5");
+  const int c = q.AddTable("customer");
+  const int ord = q.AddTable("orders");
+  const int l = q.AddTable("lineitem");
+  const int s = q.AddTable("supplier");
+  const int n = q.AddTable("nation");
+  const int r = q.AddTable("region");
+  q.AddJoin({c, Customer::kCustKey}, {ord, Orders::kCustKey});
+  q.AddJoin({ord, Orders::kOrderKey}, {l, Lineitem::kOrderKey});
+  q.AddJoin({l, Lineitem::kSuppKey}, {s, Supplier::kSuppKey});
+  q.AddJoin({c, Customer::kNationKey}, {s, Supplier::kNationKey});
+  q.AddJoin({s, Supplier::kNationKey}, {n, Nation::kNationKey});
+  q.AddJoin({n, Nation::kRegionKey}, {r, Region::kRegionKey});
+  AddHeadline(&q, {r, Region::kName}, PredKind::kEq, Value::String("ASIA"),
+              o.param_markers);
+  q.AddPred({ord, Orders::kOrderDate}, PredKind::kBetween, Value::Int(365),
+            Value::Int(729));
+  q.AddGroupBy({n, Nation::kName});
+  q.AddAgg(AggFunc::kSum, {l, Lineitem::kExtendedPrice});
+  return q;
+}
+
+QuerySpec MakeQ7(const QueryOptions& o) {
+  QuerySpec q("tpch_q7");
+  const int s = q.AddTable("supplier");
+  const int l = q.AddTable("lineitem");
+  const int ord = q.AddTable("orders");
+  const int c = q.AddTable("customer");
+  const int n1 = q.AddTable("nation");
+  const int n2 = q.AddTable("nation");
+  q.AddJoin({s, Supplier::kSuppKey}, {l, Lineitem::kSuppKey});
+  q.AddJoin({ord, Orders::kOrderKey}, {l, Lineitem::kOrderKey});
+  q.AddJoin({c, Customer::kCustKey}, {ord, Orders::kCustKey});
+  q.AddJoin({s, Supplier::kNationKey}, {n1, Nation::kNationKey});
+  q.AddJoin({c, Customer::kNationKey}, {n2, Nation::kNationKey});
+  AddHeadline(&q, {n1, Nation::kName}, PredKind::kEq,
+              Value::String("FRANCE"), o.param_markers);
+  q.AddPred({n2, Nation::kName}, PredKind::kEq, Value::String("GERMANY"));
+  q.AddPred({l, Lineitem::kShipDate}, PredKind::kBetween, Value::Int(365),
+            Value::Int(1094));
+  q.AddGroupBy({n1, Nation::kName});
+  q.AddGroupBy({n2, Nation::kName});
+  q.AddAgg(AggFunc::kSum, {l, Lineitem::kExtendedPrice});
+  return q;
+}
+
+QuerySpec MakeQ8(const QueryOptions& o) {
+  QuerySpec q("tpch_q8");
+  const int p = q.AddTable("part");
+  const int l = q.AddTable("lineitem");
+  const int s = q.AddTable("supplier");
+  const int ord = q.AddTable("orders");
+  const int c = q.AddTable("customer");
+  const int n1 = q.AddTable("nation");
+  const int r = q.AddTable("region");
+  const int n2 = q.AddTable("nation");
+  q.AddJoin({p, Part::kPartKey}, {l, Lineitem::kPartKey});
+  q.AddJoin({s, Supplier::kSuppKey}, {l, Lineitem::kSuppKey});
+  q.AddJoin({l, Lineitem::kOrderKey}, {ord, Orders::kOrderKey});
+  q.AddJoin({ord, Orders::kCustKey}, {c, Customer::kCustKey});
+  q.AddJoin({c, Customer::kNationKey}, {n1, Nation::kNationKey});
+  q.AddJoin({n1, Nation::kRegionKey}, {r, Region::kRegionKey});
+  q.AddJoin({s, Supplier::kNationKey}, {n2, Nation::kNationKey});
+  q.AddPred({r, Region::kName}, PredKind::kEq, Value::String("AMERICA"));
+  AddHeadline(&q, {p, Part::kType}, PredKind::kEq,
+              Value::String("ECONOMY ANODIZED STEEL"), o.param_markers);
+  q.AddPred({ord, Orders::kOrderDate}, PredKind::kBetween, Value::Int(1095),
+            Value::Int(1824));
+  q.AddGroupBy({ord, Orders::kOrderYear});
+  q.AddAgg(AggFunc::kSum, {l, Lineitem::kExtendedPrice});
+  return q;
+}
+
+QuerySpec MakeQ9(const QueryOptions& o) {
+  QuerySpec q("tpch_q9");
+  const int p = q.AddTable("part");
+  const int s = q.AddTable("supplier");
+  const int l = q.AddTable("lineitem");
+  const int ps = q.AddTable("partsupp");
+  const int ord = q.AddTable("orders");
+  const int n = q.AddTable("nation");
+  q.AddJoin({s, Supplier::kSuppKey}, {l, Lineitem::kSuppKey});
+  q.AddJoin({ps, Partsupp::kSuppKey}, {l, Lineitem::kSuppKey});
+  q.AddJoin({ps, Partsupp::kPartKey}, {l, Lineitem::kPartKey});
+  q.AddJoin({p, Part::kPartKey}, {l, Lineitem::kPartKey});
+  q.AddJoin({ord, Orders::kOrderKey}, {l, Lineitem::kOrderKey});
+  q.AddJoin({s, Supplier::kNationKey}, {n, Nation::kNationKey});
+  AddHeadline(&q, {p, Part::kType}, PredKind::kLike,
+              Value::String("%BRASS%"), o.param_markers);
+  q.AddGroupBy({n, Nation::kName});
+  q.AddGroupBy({ord, Orders::kOrderYear});
+  q.AddAgg(AggFunc::kSum, {l, Lineitem::kExtendedPrice});
+  return q;
+}
+
+QuerySpec MakeQ10(const QueryOptions& o) {
+  QuerySpec q("tpch_q10");
+  const int c = q.AddTable("customer");
+  const int ord = q.AddTable("orders");
+  const int l = q.AddTable("lineitem");
+  const int n = q.AddTable("nation");
+  q.AddJoin({c, Customer::kCustKey}, {ord, Orders::kCustKey});
+  q.AddJoin({ord, Orders::kOrderKey}, {l, Lineitem::kOrderKey});
+  q.AddJoin({c, Customer::kNationKey}, {n, Nation::kNationKey});
+  AddHeadline(&q, {l, Lineitem::kReturnFlag}, PredKind::kEq,
+              Value::String("R"), o.param_markers);
+  q.AddPred({ord, Orders::kOrderDate}, PredKind::kBetween, Value::Int(732),
+            Value::Int(822));
+  q.AddGroupBy({c, Customer::kName});
+  q.AddAgg(AggFunc::kSum, {l, Lineitem::kExtendedPrice});
+  return q;
+}
+
+QuerySpec MakeQ11(const QueryOptions& o) {
+  QuerySpec q("tpch_q11");
+  const int ps = q.AddTable("partsupp");
+  const int s = q.AddTable("supplier");
+  const int n = q.AddTable("nation");
+  q.AddJoin({ps, Partsupp::kSuppKey}, {s, Supplier::kSuppKey});
+  q.AddJoin({s, Supplier::kNationKey}, {n, Nation::kNationKey});
+  AddHeadline(&q, {n, Nation::kName}, PredKind::kEq,
+              Value::String("GERMANY"), o.param_markers);
+  q.AddGroupBy({ps, Partsupp::kPartKey});
+  q.AddAgg(AggFunc::kSum, {ps, Partsupp::kSupplyCost});
+  return q;
+}
+
+QuerySpec MakeQ18(const QueryOptions& o) {
+  QuerySpec q("tpch_q18");
+  const int c = q.AddTable("customer");
+  const int ord = q.AddTable("orders");
+  const int l = q.AddTable("lineitem");
+  q.AddJoin({c, Customer::kCustKey}, {ord, Orders::kCustKey});
+  q.AddJoin({ord, Orders::kOrderKey}, {l, Lineitem::kOrderKey});
+  AddHeadline(&q, {l, Lineitem::kQuantity}, PredKind::kGt, Value::Int(45),
+              o.param_markers);
+  q.AddGroupBy({c, Customer::kName});
+  q.AddAgg(AggFunc::kSum, {l, Lineitem::kQuantity});
+  return q;
+}
+
+}  // namespace
+
+std::vector<int> PaperQueries() { return {2, 3, 4, 5, 7, 8, 9, 10, 11, 18}; }
+
+QuerySpec MakeQuery(int qnum, const QueryOptions& options) {
+  switch (qnum) {
+    case 2:
+      return MakeQ2(options);
+    case 3:
+      return MakeQ3(options);
+    case 4:
+      return MakeQ4(options);
+    case 5:
+      return MakeQ5(options);
+    case 7:
+      return MakeQ7(options);
+    case 8:
+      return MakeQ8(options);
+    case 9:
+      return MakeQ9(options);
+    case 10:
+      return MakeQ10(options);
+    case 11:
+      return MakeQ11(options);
+    case 18:
+      return MakeQ18(options);
+    default:
+      POPDB_DCHECK(false);
+      return QuerySpec("invalid");
+  }
+}
+
+QuerySpec MakeQ10Selectivity(int selectivity_percent, bool use_marker) {
+  QuerySpec q("tpch_q10_sel");
+  const int c = q.AddTable("customer");
+  const int ord = q.AddTable("orders");
+  const int l = q.AddTable("lineitem");
+  q.AddJoin({c, Customer::kCustKey}, {ord, Orders::kCustKey});
+  q.AddJoin({ord, Orders::kOrderKey}, {l, Lineitem::kOrderKey});
+  const Value bound = Value::Int(selectivity_percent);
+  if (use_marker) {
+    q.AddParamPred({l, Lineitem::kSel}, PredKind::kLt, 0);
+    q.BindParam(bound);
+  } else {
+    q.AddPred({l, Lineitem::kSel}, PredKind::kLt, bound);
+  }
+  q.AddGroupBy({c, Customer::kNationKey});
+  q.AddAgg(AggFunc::kSum, {l, Lineitem::kExtendedPrice});
+  return q;
+}
+
+}  // namespace popdb::tpch

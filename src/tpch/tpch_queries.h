@@ -1,0 +1,38 @@
+#ifndef POPDB_TPCH_TPCH_QUERIES_H_
+#define POPDB_TPCH_TPCH_QUERIES_H_
+
+#include <vector>
+
+#include "opt/query.h"
+
+namespace popdb::tpch {
+
+/// Options for the query builders.
+struct QueryOptions {
+  /// Replace each query's headline selection predicate with a parameter
+  /// marker bound to the same literal: results are identical, but the
+  /// optimizer must fall back to default selectivities — the paper's
+  /// mechanism for injecting cardinality estimation errors (Section 5.1).
+  bool param_markers = false;
+};
+
+/// Query numbers modeled from the paper's experiments
+/// (Q2, Q3, Q4, Q5, Q7, Q8, Q9, Q10, Q11, Q18).
+std::vector<int> PaperQueries();
+
+/// Builds TPC-H query `qnum` (one of PaperQueries()) against the generated
+/// schema. The queries keep the original join graphs and predicate
+/// structure; expression aggregates are simplified to single-column
+/// aggregates (the plan space, which is what POP exercises, is unchanged).
+QuerySpec MakeQuery(int qnum, const QueryOptions& options = {});
+
+/// The Figure 11 robustness query: Q10's CUSTOMER-ORDERS-LINEITEM join
+/// with the LINEITEM predicate "l_sel < ?" whose actual selectivity is
+/// `selectivity_percent`/100. With `use_marker` the optimizer sees only a
+/// parameter marker (constant default selectivity); otherwise it sees the
+/// literal and estimates accurately from the histogram.
+QuerySpec MakeQ10Selectivity(int selectivity_percent, bool use_marker);
+
+}  // namespace popdb::tpch
+
+#endif  // POPDB_TPCH_TPCH_QUERIES_H_

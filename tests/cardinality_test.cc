@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include "opt/cardinality.h"
+#include "opt/query.h"
+#include "tests/test_util.h"
+
+namespace popdb {
+namespace {
+
+class CardinalityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // dept: 8 rows; emp: 200 rows (e_dept ndv 8, e_age ~45 ndv);
+    // sale: 1000 rows (s_emp ndv <= 200).
+    testing::BuildToyCatalog(&catalog_);
+  }
+
+  CardinalityEstimator MakeEstimator(const QuerySpec& q,
+                                     const FeedbackMap* fb = nullptr) {
+    return CardinalityEstimator(catalog_, q, fb, config_);
+  }
+
+  Catalog catalog_;
+  EstimatorConfig config_;
+};
+
+TEST_F(CardinalityTest, TableCardFromStats) {
+  QuerySpec q("q");
+  q.AddTable("emp");
+  q.AddTable("dept");
+  CardinalityEstimator est = MakeEstimator(q);
+  EXPECT_DOUBLE_EQ(200.0, est.TableCard(0));
+  EXPECT_DOUBLE_EQ(8.0, est.TableCard(1));
+}
+
+TEST_F(CardinalityTest, EqualitySelectivityIsOneOverNdv) {
+  QuerySpec q("q");
+  const int e = q.AddTable("emp");
+  q.AddPred({e, 1}, PredKind::kEq, Value::Int(3));  // e_dept: ndv 8.
+  CardinalityEstimator est = MakeEstimator(q);
+  EXPECT_NEAR(1.0 / 8.0, est.LocalSelectivity(0), 1e-9);
+}
+
+TEST_F(CardinalityTest, NotEqualSelectivity) {
+  QuerySpec q("q");
+  const int e = q.AddTable("emp");
+  q.AddPred({e, 1}, PredKind::kNe, Value::Int(3));
+  CardinalityEstimator est = MakeEstimator(q);
+  EXPECT_NEAR(1.0 - 1.0 / 8.0, est.LocalSelectivity(0), 1e-9);
+}
+
+TEST_F(CardinalityTest, InListSelectivity) {
+  QuerySpec q("q");
+  const int e = q.AddTable("emp");
+  q.AddInPred({e, 1}, {Value::Int(1), Value::Int(2)});
+  CardinalityEstimator est = MakeEstimator(q);
+  EXPECT_NEAR(2.0 / 8.0, est.LocalSelectivity(0), 1e-9);
+}
+
+TEST_F(CardinalityTest, RangeSelectivityUsesHistogram) {
+  QuerySpec q("q");
+  const int e = q.AddTable("emp");
+  // e_age uniform in [21, 65]; age < 43 covers roughly half.
+  q.AddPred({e, 2}, PredKind::kLt, Value::Int(43));
+  CardinalityEstimator est = MakeEstimator(q);
+  EXPECT_NEAR(0.5, est.LocalSelectivity(0), 0.12);
+}
+
+TEST_F(CardinalityTest, BetweenSelectivity) {
+  QuerySpec q("q");
+  const int e = q.AddTable("emp");
+  q.AddPred({e, 2}, PredKind::kBetween, Value::Int(21), Value::Int(65));
+  CardinalityEstimator est = MakeEstimator(q);
+  EXPECT_NEAR(1.0, est.LocalSelectivity(0), 0.05);
+}
+
+TEST_F(CardinalityTest, ParameterMarkerUsesDefaults) {
+  QuerySpec q("q");
+  const int e = q.AddTable("emp");
+  q.AddParamPred({e, 1}, PredKind::kEq, 0);
+  q.AddParamPred({e, 2}, PredKind::kLt, 1);
+  q.BindParam(Value::Int(3));
+  q.BindParam(Value::Int(100));
+  CardinalityEstimator est = MakeEstimator(q);
+  EXPECT_DOUBLE_EQ(config_.default_eq_selectivity, est.LocalSelectivity(0));
+  EXPECT_DOUBLE_EQ(config_.default_range_selectivity,
+                   est.LocalSelectivity(1));
+}
+
+TEST_F(CardinalityTest, LikeUsesDefault) {
+  QuerySpec q("q");
+  const int e = q.AddTable("emp");
+  q.AddPred({e, 3}, PredKind::kLike, Value::String("emp1%"));
+  CardinalityEstimator est = MakeEstimator(q);
+  EXPECT_DOUBLE_EQ(config_.default_like_selectivity,
+                   est.LocalSelectivity(0));
+}
+
+TEST_F(CardinalityTest, JoinSelectivityOneOverMaxNdv) {
+  QuerySpec q("q");
+  const int d = q.AddTable("dept");
+  const int e = q.AddTable("emp");
+  q.AddJoin({e, 1}, {d, 0});  // ndv(e_dept)=8, ndv(d_id)=8.
+  CardinalityEstimator est = MakeEstimator(q);
+  EXPECT_NEAR(1.0 / 8.0, est.JoinSelectivity(0), 1e-9);
+}
+
+TEST_F(CardinalityTest, SubsetCardMultipliesIndependently) {
+  QuerySpec q("q");
+  const int d = q.AddTable("dept");
+  const int e = q.AddTable("emp");
+  q.AddJoin({e, 1}, {d, 0});
+  q.AddPred({e, 1}, PredKind::kEq, Value::Int(3));
+  CardinalityEstimator est = MakeEstimator(q);
+  // {emp}: 200 * 1/8 = 25.
+  EXPECT_NEAR(25.0, est.SubsetCard(TableBit(e)), 1e-6);
+  // {dept, emp}: 8 * 25 * 1/8 = 25.
+  EXPECT_NEAR(25.0, est.SubsetCard(TableBit(d) | TableBit(e)), 1e-6);
+}
+
+TEST_F(CardinalityTest, ExactFeedbackOverridesEstimate) {
+  QuerySpec q("q");
+  const int e = q.AddTable("emp");
+  q.AddPred({e, 1}, PredKind::kEq, Value::Int(3));
+  FeedbackMap fb;
+  fb[TableBit(e)].exact = 170.0;
+  CardinalityEstimator est = MakeEstimator(q, &fb);
+  EXPECT_DOUBLE_EQ(170.0, est.SubsetCard(TableBit(e)));
+}
+
+TEST_F(CardinalityTest, FeedbackRatioPropagatesToSupersets) {
+  QuerySpec q("q");
+  const int d = q.AddTable("dept");
+  const int e = q.AddTable("emp");
+  q.AddJoin({e, 1}, {d, 0});
+  q.AddPred({e, 1}, PredKind::kEq, Value::Int(3));
+  FeedbackMap fb;
+  // Raw {emp} estimate is 25; actual is 100: a 4x correction that must
+  // carry into the joint estimate.
+  fb[TableBit(e)].exact = 100.0;
+  CardinalityEstimator est = MakeEstimator(q, &fb);
+  const double joint = est.SubsetCard(TableBit(d) | TableBit(e));
+  EXPECT_NEAR(100.0, joint, 1e-6);  // 25 (raw joint) * 4.
+}
+
+TEST_F(CardinalityTest, LowerBoundClampsEstimate) {
+  QuerySpec q("q");
+  const int e = q.AddTable("emp");
+  q.AddPred({e, 1}, PredKind::kEq, Value::Int(3));  // Raw 25.
+  FeedbackMap fb;
+  fb[TableBit(e)].lower_bound = 60.0;
+  CardinalityEstimator est = MakeEstimator(q, &fb);
+  EXPECT_DOUBLE_EQ(60.0, est.SubsetCard(TableBit(e)));
+}
+
+TEST_F(CardinalityTest, LowerBoundBelowEstimateIsIgnored) {
+  QuerySpec q("q");
+  const int e = q.AddTable("emp");
+  q.AddPred({e, 1}, PredKind::kEq, Value::Int(3));  // Raw 25.
+  FeedbackMap fb;
+  fb[TableBit(e)].lower_bound = 5.0;
+  CardinalityEstimator est = MakeEstimator(q, &fb);
+  EXPECT_NEAR(25.0, est.SubsetCard(TableBit(e)), 1e-6);
+}
+
+TEST_F(CardinalityTest, DisjointFeedbackSubsetsBothApply) {
+  QuerySpec q("q");
+  const int d = q.AddTable("dept");
+  const int e = q.AddTable("emp");
+  const int s = q.AddTable("sale");
+  q.AddJoin({e, 1}, {d, 0});
+  q.AddJoin({s, 0}, {e, 0});
+  FeedbackMap fb;
+  // Double both base tables' counts.
+  fb[TableBit(d)].exact = 16.0;
+  fb[TableBit(s)].exact = 2000.0;
+  CardinalityEstimator est = MakeEstimator(q, &fb);
+  const double raw = est.RawSubsetCard(q.AllTables());
+  EXPECT_NEAR(4.0 * raw, est.SubsetCard(q.AllTables()), raw * 0.01);
+}
+
+TEST_F(CardinalityTest, IndexMatchesPerProbe) {
+  QuerySpec q("q");
+  const int e = q.AddTable("emp");
+  CardinalityEstimator est = MakeEstimator(q);
+  // emp has 200 rows, e_dept ndv 8 -> 25 rows per key.
+  EXPECT_NEAR(25.0, est.IndexMatchesPerProbe(e, 1), 1e-6);
+}
+
+TEST_F(CardinalityTest, ColumnNdvFallsBackToTableCard) {
+  Catalog no_stats;
+  Table t("raw", Schema({{"v", ValueType::kInt}}));
+  t.AppendRow({Value::Int(1)});
+  t.AppendRow({Value::Int(2)});
+  ASSERT_TRUE(no_stats.AddTable(std::move(t)).ok());
+  QuerySpec q("q");
+  q.AddTable("raw");
+  CardinalityEstimator est(no_stats, q, nullptr, config_);
+  EXPECT_DOUBLE_EQ(2.0, est.ColumnNdv(0, 0));
+}
+
+TEST_F(CardinalityTest, SubsetCardNeverZero) {
+  QuerySpec q("q");
+  const int e = q.AddTable("emp");
+  // Stack highly selective predicates.
+  q.AddPred({e, 0}, PredKind::kEq, Value::Int(1));
+  q.AddPred({e, 1}, PredKind::kEq, Value::Int(1));
+  q.AddPred({e, 2}, PredKind::kEq, Value::Int(30));
+  CardinalityEstimator est = MakeEstimator(q);
+  EXPECT_GT(est.SubsetCard(TableBit(e)), 0.0);
+}
+
+}  // namespace
+}  // namespace popdb

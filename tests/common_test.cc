@@ -1,0 +1,260 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "common/value.h"
+
+namespace popdb {
+namespace {
+
+// ---------------------------------------------------------------- Status.
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ("OK", s.ToString());
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing table");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(StatusCode::kNotFound, s.code());
+  EXPECT_EQ("NotFound: missing table", s.ToString());
+}
+
+TEST(StatusTest, AllConstructorsProduceTheirCode) {
+  EXPECT_EQ(StatusCode::kInvalidArgument,
+            Status::InvalidArgument("x").code());
+  EXPECT_EQ(StatusCode::kAlreadyExists, Status::AlreadyExists("x").code());
+  EXPECT_EQ(StatusCode::kInternal, Status::Internal("x").code());
+  EXPECT_EQ(StatusCode::kResourceExhausted,
+            Status::ResourceExhausted("x").code());
+  EXPECT_EQ(StatusCode::kUnimplemented, Status::Unimplemented("x").code());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(42, r.value());
+}
+
+TEST(ResultTest, HoldsStatus) {
+  Result<int> r(Status::Internal("boom"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(StatusCode::kInternal, r.status().code());
+}
+
+TEST(ResultTest, TakeValueMovesOut) {
+  Result<std::string> r(std::string("hello"));
+  std::string s = std::move(r).TakeValue();
+  EXPECT_EQ("hello", s);
+}
+
+// ---------------------------------------------------------------- Value.
+
+TEST(ValueTest, TypeTags) {
+  EXPECT_EQ(ValueType::kNull, Value::Null().type());
+  EXPECT_EQ(ValueType::kInt, Value::Int(1).type());
+  EXPECT_EQ(ValueType::kDouble, Value::Double(1.5).type());
+  EXPECT_EQ(ValueType::kString, Value::String("x").type());
+  EXPECT_TRUE(Value().is_null());
+}
+
+TEST(ValueTest, IntComparison) {
+  EXPECT_LT(Value::Int(1), Value::Int(2));
+  EXPECT_EQ(Value::Int(5), Value::Int(5));
+  EXPECT_GT(Value::Int(-1), Value::Int(-2));
+}
+
+TEST(ValueTest, CrossNumericComparison) {
+  EXPECT_EQ(Value::Int(1), Value::Double(1.0));
+  EXPECT_LT(Value::Int(1), Value::Double(1.5));
+  EXPECT_GT(Value::Double(2.5), Value::Int(2));
+}
+
+TEST(ValueTest, StringComparison) {
+  EXPECT_LT(Value::String("abc"), Value::String("abd"));
+  EXPECT_EQ(Value::String("x"), Value::String("x"));
+}
+
+TEST(ValueTest, NullSortsFirstAndEqualsNull) {
+  EXPECT_LT(Value::Null(), Value::Int(-100));
+  EXPECT_LT(Value::Null(), Value::String(""));
+  EXPECT_EQ(Value::Null(), Value::Null());
+}
+
+TEST(ValueTest, CrossTypeOrdersByTag) {
+  // Numeric types order before strings by tag.
+  EXPECT_LT(Value::Int(999), Value::String("a"));
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value::Int(7).Hash(), Value::Double(7.0).Hash());
+  EXPECT_EQ(Value::String("abc").Hash(), Value::String("abc").Hash());
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ("NULL", Value::Null().ToString());
+  EXPECT_EQ("42", Value::Int(42).ToString());
+  EXPECT_EQ("'hi'", Value::String("hi").ToString());
+  EXPECT_EQ("1.5", Value::Double(1.5).ToString());
+}
+
+TEST(ValueTest, AsNumericCoercion) {
+  EXPECT_DOUBLE_EQ(3.0, Value::Int(3).AsNumeric());
+  EXPECT_DOUBLE_EQ(2.25, Value::Double(2.25).AsNumeric());
+}
+
+TEST(RowTest, HashAndToString) {
+  Row a = {Value::Int(1), Value::String("x")};
+  Row b = {Value::Int(1), Value::String("x")};
+  Row c = {Value::Int(2), Value::String("x")};
+  EXPECT_EQ(HashRow(a), HashRow(b));
+  EXPECT_NE(HashRow(a), HashRow(c));  // Overwhelmingly likely.
+  EXPECT_EQ("(1, 'x')", RowToString(a));
+}
+
+TEST(RowTest, EmptyRowHashStable) {
+  EXPECT_EQ(HashRow({}), HashRow({}));
+}
+
+// ----------------------------------------------------------- string_util.
+
+TEST(StrFormatTest, FormatsLikePrintf) {
+  EXPECT_EQ("x=3 y=ab", StrFormat("x=%d y=%s", 3, "ab"));
+  EXPECT_EQ("", StrFormat("%s", ""));
+  EXPECT_EQ("2.50", StrFormat("%.2f", 2.5));
+}
+
+TEST(StrJoinTest, JoinsWithSeparator) {
+  EXPECT_EQ("a,b,c", StrJoin({"a", "b", "c"}, ","));
+  EXPECT_EQ("solo", StrJoin({"solo"}, ","));
+  EXPECT_EQ("", StrJoin({}, ","));
+}
+
+TEST(LikeMatchTest, ExactMatch) {
+  EXPECT_TRUE(LikeMatch("hello", "hello"));
+  EXPECT_FALSE(LikeMatch("hello", "hell"));
+  EXPECT_FALSE(LikeMatch("hell", "hello"));
+}
+
+TEST(LikeMatchTest, PercentWildcard) {
+  EXPECT_TRUE(LikeMatch("hello", "%"));
+  EXPECT_TRUE(LikeMatch("", "%"));
+  EXPECT_TRUE(LikeMatch("hello", "h%"));
+  EXPECT_TRUE(LikeMatch("hello", "%o"));
+  EXPECT_TRUE(LikeMatch("hello", "%ell%"));
+  EXPECT_TRUE(LikeMatch("hello", "h%o"));
+  EXPECT_FALSE(LikeMatch("hello", "h%x"));
+}
+
+TEST(LikeMatchTest, UnderscoreWildcard) {
+  EXPECT_TRUE(LikeMatch("cat", "c_t"));
+  EXPECT_FALSE(LikeMatch("caat", "c_t"));
+  EXPECT_TRUE(LikeMatch("cat", "___"));
+  EXPECT_FALSE(LikeMatch("cat", "__"));
+}
+
+TEST(LikeMatchTest, CombinedWildcards) {
+  EXPECT_TRUE(LikeMatch("STANDARD BRASS", "%BRASS%"));
+  EXPECT_TRUE(LikeMatch("Owner#000123", "Owner#0%"));
+  EXPECT_TRUE(LikeMatch("abxc", "a%b_c"));
+  EXPECT_TRUE(LikeMatch("azzzbxc", "a%b_c"));
+  EXPECT_FALSE(LikeMatch("abc", "a%b_c"));
+  EXPECT_FALSE(LikeMatch("abcbcbc", "a%b_c"));  // Does not end in "b_c".
+}
+
+TEST(LikeMatchTest, ConsecutivePercents) {
+  EXPECT_TRUE(LikeMatch("abc", "%%a%%%c%%"));
+}
+
+TEST(StartsEndsContainsTest, Basics) {
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_FALSE(StartsWith("foo", "foobar"));
+  EXPECT_TRUE(EndsWith("foobar", "bar"));
+  EXPECT_FALSE(EndsWith("bar", "foobar"));
+  EXPECT_TRUE(Contains("foobar", "oba"));
+  EXPECT_FALSE(Contains("foobar", "xyz"));
+}
+
+// ------------------------------------------------------------------ Rng.
+
+TEST(RngTest, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  EXPECT_NE(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, UniformIntWithinBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(-5, 9);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRange) {
+  Rng rng(7);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.UniformInt(0, 9));
+  EXPECT_EQ(10u, seen.size());
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.UniformDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliRoughlyCalibrated) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(0.3, hits / 10000.0, 0.03);
+}
+
+TEST(RngTest, ZipfSkewsTowardSmallValues) {
+  Rng rng(17);
+  int small = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const int64_t v = rng.Zipf(1000, 0.9);
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 1000);
+    if (v < 10) ++small;
+  }
+  // Heavy skew: the 1% smallest values get far more than 1% of the draws.
+  EXPECT_GT(small, 1000);
+}
+
+// --------------------------------------------------------- TablePrinter.
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter tp({"ab", "c"});
+  tp.AddRow({"1", "long-cell"});
+  const std::string out = tp.ToString();
+  EXPECT_NE(std::string::npos, out.find("| ab | c         |"));
+  EXPECT_NE(std::string::npos, out.find("| 1  | long-cell |"));
+}
+
+TEST(TablePrinterTest, CsvOutput) {
+  TablePrinter tp({"a", "b"});
+  tp.AddRow({"1", "2"});
+  EXPECT_EQ("a,b\n1,2\n", tp.ToCsv());
+}
+
+}  // namespace
+}  // namespace popdb

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/pop.h"
+#include "tests/test_util.h"
+
+namespace popdb {
+namespace {
+
+using ::popdb::testing::Canonicalize;
+
+// The catalog is immutable during query processing, so independent
+// ProgressiveExecutors (each with its own feedback cache and matview
+// registry) may share it across threads. These tests pin that contract.
+
+class ConcurrencyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    testing::BuildToyCatalog(&catalog_, /*emp_rows=*/400,
+                             /*sale_rows=*/3000);
+  }
+
+  QuerySpec MakeQuery(int variant) {
+    QuerySpec q("q" + std::to_string(variant));
+    const int d = q.AddTable("dept");
+    const int e = q.AddTable("emp");
+    const int s = q.AddTable("sale");
+    q.AddJoin({e, 1}, {d, 0});
+    q.AddJoin({s, 0}, {e, 0});
+    q.AddPred({e, 2}, PredKind::kLt, Value::Int(30 + variant * 5));
+    q.AddGroupBy({d, 1});
+    q.AddAgg(AggFunc::kCount);
+    return q;
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(ConcurrencyTest, ParallelExecutorsShareTheCatalog) {
+  constexpr int kThreads = 4;
+  constexpr int kQueriesPerThread = 6;
+
+  // Single-threaded reference results.
+  std::vector<std::vector<std::string>> expected;
+  for (int v = 0; v < kQueriesPerThread; ++v) {
+    ProgressiveExecutor exec(catalog_, OptimizerConfig{}, PopConfig{});
+    Result<std::vector<Row>> rows = exec.Execute(MakeQuery(v));
+    ASSERT_TRUE(rows.ok());
+    expected.push_back(Canonicalize(rows.value()));
+  }
+
+  std::atomic<int> mismatches{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t]() {
+      for (int v = 0; v < kQueriesPerThread; ++v) {
+        const int variant = (v + t) % kQueriesPerThread;
+        ProgressiveExecutor exec(catalog_, OptimizerConfig{}, PopConfig{});
+        Result<std::vector<Row>> rows = exec.Execute(MakeQuery(variant));
+        if (!rows.ok()) {
+          ++failures;
+          continue;
+        }
+        if (Canonicalize(rows.value()) !=
+            expected[static_cast<size_t>(variant)]) {
+          ++mismatches;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(0, failures.load());
+  EXPECT_EQ(0, mismatches.load());
+}
+
+TEST_F(ConcurrencyTest, ParallelMixOfStaticAndProgressive) {
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t]() {
+      ProgressiveExecutor exec(catalog_, OptimizerConfig{}, PopConfig{});
+      const QuerySpec q = MakeQuery(t);
+      Result<std::vector<Row>> a = exec.Execute(q);
+      Result<std::vector<Row>> b = exec.ExecuteStatic(q);
+      if (!a.ok() || !b.ok() ||
+          Canonicalize(a.value()) != Canonicalize(b.value())) {
+        ++failures;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(0, failures.load());
+}
+
+}  // namespace
+}  // namespace popdb

@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "opt/cost_model.h"
+#include "opt/plan.h"
+
+namespace popdb {
+namespace {
+
+class CostModelTest : public ::testing::Test {
+ protected:
+  CostModelTest() : cm_(params_) {}
+  CostParams params_;
+  CostModel cm_;
+};
+
+TEST_F(CostModelTest, ScanIsLinear) {
+  EXPECT_DOUBLE_EQ(2.0 * cm_.ScanCost(500), cm_.ScanCost(1000));
+  EXPECT_DOUBLE_EQ(0.0, cm_.ScanCost(0));
+  EXPECT_DOUBLE_EQ(0.0, cm_.ScanCost(-5));  // Clamped.
+}
+
+TEST_F(CostModelTest, SortInMemoryVsSpillCliff) {
+  const double below = cm_.SortCost(params_.mem_rows);
+  const double above = cm_.SortCost(params_.mem_rows + 1);
+  // Crossing the memory boundary adds a full merge pass: a discontinuity.
+  EXPECT_GT(above - below, 0.5 * params_.mem_rows);
+}
+
+TEST_F(CostModelTest, SortCostMonotone) {
+  double prev = 0;
+  for (double n = 1; n < 4e6; n *= 1.7) {
+    const double c = cm_.SortCost(n);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+}
+
+TEST_F(CostModelTest, HsjnStagesStaircase) {
+  EXPECT_EQ(0, cm_.HsjnStages(params_.mem_rows));
+  EXPECT_EQ(1, cm_.HsjnStages(params_.mem_rows + 1));
+  EXPECT_EQ(1, cm_.HsjnStages(params_.mem_rows * params_.hash_fanout));
+  EXPECT_EQ(2, cm_.HsjnStages(params_.mem_rows * params_.hash_fanout + 1));
+}
+
+TEST_F(CostModelTest, HsjnCostCliffAtMemoryBoundary) {
+  const double probe = 50000;
+  const double below = cm_.HsjnCost(probe, params_.mem_rows);
+  const double above = cm_.HsjnCost(probe, params_.mem_rows + 1);
+  // The extra stage repartitions both inputs.
+  EXPECT_GT(above - below, 0.9 * (probe + params_.mem_rows));
+}
+
+TEST_F(CostModelTest, NljnProbeCosts) {
+  // Index probe cost grows with matches; scan probe with inner size.
+  EXPECT_LT(cm_.NljnProbeCost(true, 100000, 2),
+            cm_.NljnProbeCost(false, 100000, 2));
+  EXPECT_LT(cm_.NljnProbeCost(true, 1000, 1),
+            cm_.NljnProbeCost(true, 1000, 50));
+}
+
+TEST_F(CostModelTest, NljnCostLinearInOuter) {
+  const double per_probe = cm_.NljnProbeCost(true, 1000, 3);
+  EXPECT_NEAR(2.0 * cm_.NljnCost(100, per_probe),
+              cm_.NljnCost(200, per_probe), 1e-9);
+}
+
+TEST_F(CostModelTest, MgjnCountsBothInputsAndOutput) {
+  EXPECT_DOUBLE_EQ(params_.mgjn_per_row * 600, cm_.MgjnCost(100, 200, 300));
+}
+
+TEST_F(CostModelTest, CheckCostTiny) {
+  // Per the paper, checking is ~2-3% overhead at most; our parameterization
+  // keeps it well below the per-row processing cost.
+  EXPECT_LT(cm_.CheckCost(1000), 0.05 * cm_.ScanCost(1000));
+}
+
+// ----------------------------------------------- RecostCandidateWithEdgeCard.
+
+/// Builds a leaf with given set/card/cost.
+std::shared_ptr<PlanNode> Leaf(TableSet set, double card, double cost) {
+  auto node = std::make_shared<PlanNode>();
+  node->kind = PlanOpKind::kTableScan;
+  node->set = set;
+  node->card = card;
+  node->op_cost = cost;
+  node->cost = cost;
+  return node;
+}
+
+TEST_F(CostModelTest, RecostHsjnMatchesOriginalAtEstimate) {
+  auto probe = Leaf(TableBit(0), 5000, 5000);
+  auto build = Leaf(TableBit(1), 800, 1000);
+  PlanNode join;
+  join.kind = PlanOpKind::kHsjn;
+  join.set = TableBit(0) | TableBit(1);
+  join.children = {probe, build};
+  join.child_validity.resize(2);
+  join.card = 4000;
+  join.op_cost = cm_.HsjnCost(5000, 800);
+  join.cost = 5000 + 1000 + join.op_cost;
+
+  EXPECT_NEAR(join.cost, RecostCandidateWithEdgeCard(join, 0, 5000, cm_),
+              1e-9);
+  EXPECT_NEAR(join.cost, RecostCandidateWithEdgeCard(join, 1, 800, cm_),
+              1e-9);
+}
+
+TEST_F(CostModelTest, RecostHsjnRespondsToBuildGrowth) {
+  auto probe = Leaf(TableBit(0), 5000, 5000);
+  auto build = Leaf(TableBit(1), 800, 1000);
+  PlanNode join;
+  join.kind = PlanOpKind::kHsjn;
+  join.set = TableBit(0) | TableBit(1);
+  join.children = {probe, build};
+  join.child_validity.resize(2);
+  join.card = 4000;
+  join.op_cost = cm_.HsjnCost(5000, 800);
+  join.cost = 6000 + join.op_cost;
+
+  const double grown =
+      RecostCandidateWithEdgeCard(join, 1, params_.mem_rows + 1, cm_);
+  // Crossing the spill boundary makes the join sharply more expensive.
+  EXPECT_GT(grown, join.cost + params_.mem_rows);
+}
+
+TEST_F(CostModelTest, RecostMgjnRecostsSortWrappers) {
+  auto left = Leaf(TableBit(0), 1000, 2000);
+  auto right = Leaf(TableBit(1), 500, 700);
+  auto lsort = std::make_shared<PlanNode>();
+  lsort->kind = PlanOpKind::kSort;
+  lsort->set = TableBit(0);
+  lsort->card = 1000;
+  lsort->op_cost = cm_.SortCost(1000);
+  lsort->cost = left->cost + lsort->op_cost;
+  lsort->children = {left};
+  lsort->child_validity.resize(1);
+  auto rsort = std::make_shared<PlanNode>();
+  rsort->kind = PlanOpKind::kSort;
+  rsort->set = TableBit(1);
+  rsort->card = 500;
+  rsort->op_cost = cm_.SortCost(500);
+  rsort->cost = right->cost + rsort->op_cost;
+  rsort->children = {right};
+  rsort->child_validity.resize(1);
+
+  PlanNode join;
+  join.kind = PlanOpKind::kMgjn;
+  join.set = TableBit(0) | TableBit(1);
+  join.children = {lsort, rsort};
+  join.child_validity.resize(2);
+  join.card = 1500;
+  join.op_cost = cm_.MgjnCost(1000, 500, 1500);
+  join.cost = lsort->cost + rsort->cost + join.op_cost;
+
+  // At the estimates the recost reproduces the plan cost.
+  EXPECT_NEAR(join.cost, RecostCandidateWithEdgeCard(join, 0, 1000, cm_),
+              1e-6);
+  // Growing the left edge re-costs the sort (superlinear) plus the merge.
+  const double at2x = RecostCandidateWithEdgeCard(join, 0, 2000, cm_);
+  const double manual = left->cost + cm_.SortCost(2000) + rsort->cost +
+                        cm_.MgjnCost(2000, 500, 3000);
+  EXPECT_NEAR(manual, at2x, 1e-6);
+}
+
+TEST_F(CostModelTest, RecostNljnScalesIndexMatches) {
+  auto outer = Leaf(TableBit(0), 100, 1000);
+  auto inner = Leaf(TableBit(1), 2000, 0.0);  // NLJN inner: probe-costed.
+  PlanNode join;
+  join.kind = PlanOpKind::kNljn;
+  join.set = TableBit(0) | TableBit(1);
+  join.children = {outer, inner};
+  join.child_validity.resize(2);
+  join.card = 300;
+  join.use_index = true;
+  join.per_probe_cost = cm_.NljnProbeCost(true, 2000, 3);
+  join.op_cost = cm_.NljnCost(100, join.per_probe_cost);
+  join.cost = 1000 + join.op_cost;
+
+  EXPECT_NEAR(join.cost, RecostCandidateWithEdgeCard(join, 0, 100, cm_),
+              1e-9);
+  // Outer doubles: NLJN op cost doubles.
+  EXPECT_NEAR(1000 + 2 * join.op_cost,
+              RecostCandidateWithEdgeCard(join, 0, 200, cm_), 1e-9);
+  // Inner edge doubles: matches per probe double too.
+  const double inner2x = RecostCandidateWithEdgeCard(join, 1, 4000, cm_);
+  const double expect = 1000 + cm_.NljnCost(
+      100, 1.0 + (join.per_probe_cost - 1.0) * 2.0);
+  EXPECT_NEAR(expect, inner2x, 1e-9);
+}
+
+}  // namespace
+}  // namespace popdb

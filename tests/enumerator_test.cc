@@ -1,0 +1,282 @@
+#include <gtest/gtest.h>
+
+#include "opt/enumerator.h"
+#include "opt/optimizer.h"
+#include "tests/test_util.h"
+
+namespace popdb {
+namespace {
+
+class EnumeratorTest : public ::testing::Test {
+ protected:
+  void SetUp() override { testing::BuildToyCatalog(&catalog_); }
+
+  Result<OptimizedPlan> Optimize(const QuerySpec& q,
+                                 OptimizerConfig config = {},
+                                 const FeedbackMap* fb = nullptr,
+                                 const std::vector<AvailableMatView>* mvs =
+                                     nullptr) {
+    Optimizer opt(catalog_, config);
+    return opt.Optimize(q, fb, mvs, nullptr);
+  }
+
+  /// The join subtree under the top operators (agg/sort/project).
+  static const PlanNode* JoinRoot(const PlanNode* node) {
+    while (node->set == 0 && !node->children.empty()) {
+      node = node->children[0].get();
+    }
+    return node;
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(EnumeratorTest, SingleTablePlanIsScan) {
+  QuerySpec q("q");
+  q.AddTable("emp");
+  Result<OptimizedPlan> r = Optimize(q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(PlanOpKind::kTableScan, JoinRoot(r.value().root.get())->kind);
+}
+
+TEST_F(EnumeratorTest, NoTablesIsAnError) {
+  QuerySpec q("q");
+  Result<OptimizedPlan> r = Optimize(q);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(EnumeratorTest, MissingTableIsNotFound) {
+  QuerySpec q("q");
+  q.AddTable("ghost");
+  Result<OptimizedPlan> r = Optimize(q);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(StatusCode::kNotFound, r.status().code());
+}
+
+TEST_F(EnumeratorTest, JoinPlanCoversAllTables) {
+  QuerySpec q("q");
+  const int d = q.AddTable("dept");
+  const int e = q.AddTable("emp");
+  const int s = q.AddTable("sale");
+  q.AddJoin({e, 1}, {d, 0});
+  q.AddJoin({s, 0}, {e, 0});
+  Result<OptimizedPlan> r = Optimize(q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(q.AllTables(), JoinRoot(r.value().root.get())->set);
+}
+
+TEST_F(EnumeratorTest, AllMethodsDisabledFailsOnJoins) {
+  QuerySpec q("q");
+  const int d = q.AddTable("dept");
+  const int e = q.AddTable("emp");
+  q.AddJoin({e, 1}, {d, 0});
+  OptimizerConfig config;
+  config.methods.enable_nljn = false;
+  config.methods.enable_hsjn = false;
+  config.methods.enable_mgjn = false;
+  Result<OptimizedPlan> r = Optimize(q, config);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(EnumeratorTest, DisabledHashJoinNeverAppears) {
+  QuerySpec q("q");
+  const int d = q.AddTable("dept");
+  const int e = q.AddTable("emp");
+  const int s = q.AddTable("sale");
+  q.AddJoin({e, 1}, {d, 0});
+  q.AddJoin({s, 0}, {e, 0});
+  OptimizerConfig config;
+  config.methods.enable_hsjn = false;
+  Result<OptimizedPlan> r = Optimize(q, config);
+  ASSERT_TRUE(r.ok());
+  std::function<void(const PlanNode&)> walk = [&](const PlanNode& node) {
+    EXPECT_NE(PlanOpKind::kHsjn, node.kind);
+    for (const auto& c : node.children) walk(*c);
+  };
+  walk(*r.value().root);
+}
+
+TEST_F(EnumeratorTest, NljnInnerIsAlwaysSingleTable) {
+  QuerySpec q("q");
+  const int d = q.AddTable("dept");
+  const int e = q.AddTable("emp");
+  const int s = q.AddTable("sale");
+  q.AddJoin({e, 1}, {d, 0});
+  q.AddJoin({s, 0}, {e, 0});
+  OptimizerConfig config;
+  config.methods.enable_hsjn = false;
+  config.methods.enable_mgjn = false;
+  Result<OptimizedPlan> r = Optimize(q, config);
+  ASSERT_TRUE(r.ok());
+  std::function<void(const PlanNode&)> walk = [&](const PlanNode& node) {
+    if (node.kind == PlanOpKind::kNljn) {
+      EXPECT_EQ(1, PopCount(node.children[1]->set));
+      EXPECT_EQ(PlanOpKind::kTableScan, node.children[1]->kind);
+    }
+    for (const auto& c : node.children) walk(*c);
+  };
+  walk(*r.value().root);
+}
+
+TEST_F(EnumeratorTest, CrossJoinFallbackProducesPlan) {
+  QuerySpec q("q");
+  q.AddTable("dept");
+  q.AddTable("emp");
+  // No join predicates at all.
+  Result<OptimizedPlan> r = Optimize(q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(q.AllTables(), JoinRoot(r.value().root.get())->set);
+}
+
+TEST_F(EnumeratorTest, IndexNljnPreferredForSelectiveOuter) {
+  QuerySpec q("q");
+  const int d = q.AddTable("dept");
+  const int e = q.AddTable("emp");
+  q.AddJoin({d, 0}, {e, 1});  // d_id = e_dept (emp.e_dept has an index).
+  q.AddPred({d, 0}, PredKind::kEq, Value::Int(2));  // One dept.
+  Result<OptimizedPlan> r = Optimize(q);
+  ASSERT_TRUE(r.ok());
+  const PlanNode* join = JoinRoot(r.value().root.get());
+  ASSERT_EQ(PlanOpKind::kNljn, join->kind);
+  EXPECT_TRUE(join->use_index);
+  EXPECT_EQ(1, join->index_col);  // e_dept.
+}
+
+TEST_F(EnumeratorTest, UnindexedJoinColumnPrefersHashJoin) {
+  QuerySpec q("q");
+  const int e = q.AddTable("emp");
+  const int s = q.AddTable("sale");
+  // Join on columns with no index: a nested-loop join would scan the
+  // inner per outer row, so hash join must win.
+  q.AddJoin({s, 2}, {e, 2});
+  Result<OptimizedPlan> r = Optimize(q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(PlanOpKind::kHsjn, JoinRoot(r.value().root.get())->kind);
+}
+
+TEST_F(EnumeratorTest, MatViewSeedsSingleTableAccess) {
+  QuerySpec q("q");
+  const int e = q.AddTable("emp");
+  q.AddPred({e, 2}, PredKind::kLt, Value::Int(40));
+  const std::vector<Row> rows(10, Row{Value::Int(1), Value::Int(1),
+                                      Value::Int(30), Value::String("x")});
+  std::vector<AvailableMatView> mvs = {
+      {"mv_emp", TableBit(e), 10.0, &rows, {}}};
+  Result<OptimizedPlan> r = Optimize(q, {}, nullptr, &mvs);
+  ASSERT_TRUE(r.ok());
+  // Scanning 10 materialized rows beats scanning 200 base rows.
+  EXPECT_EQ(PlanOpKind::kMatViewScan, JoinRoot(r.value().root.get())->kind);
+}
+
+TEST_F(EnumeratorTest, MatViewSeedsMultiTableSet) {
+  QuerySpec q("q");
+  const int d = q.AddTable("dept");
+  const int e = q.AddTable("emp");
+  const int s = q.AddTable("sale");
+  q.AddJoin({e, 1}, {d, 0});
+  q.AddJoin({s, 0}, {e, 0});
+  const std::vector<Row> rows(5, Row(9, Value::Int(1)));
+  FeedbackMap fb;
+  fb[TableBit(d) | TableBit(e)].exact = 5.0;
+  std::vector<AvailableMatView> mvs = {
+      {"mv_de", TableBit(d) | TableBit(e), 5.0, &rows, {}}};
+  Result<OptimizedPlan> r = Optimize(q, {}, &fb, &mvs);
+  ASSERT_TRUE(r.ok());
+  bool found_mv = false;
+  std::function<void(const PlanNode&)> walk = [&](const PlanNode& node) {
+    if (node.kind == PlanOpKind::kMatViewScan) found_mv = true;
+    for (const auto& c : node.children) walk(*c);
+  };
+  walk(*r.value().root);
+  EXPECT_TRUE(found_mv);
+}
+
+TEST_F(EnumeratorTest, MatViewRejectedWhenMoreExpensive) {
+  QuerySpec q("q");
+  const int d = q.AddTable("dept");
+  // A "materialized" copy of dept that is larger than the base table.
+  const std::vector<Row> rows(5000, Row{Value::Int(1), Value::String("x"),
+                                        Value::Int(0)});
+  std::vector<AvailableMatView> mvs = {
+      {"mv_dept", TableBit(d), 5000.0, &rows, {}}};
+  Result<OptimizedPlan> r = Optimize(q, {}, nullptr, &mvs);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(PlanOpKind::kTableScan, JoinRoot(r.value().root.get())->kind);
+}
+
+TEST_F(EnumeratorTest, FeedbackChangesJoinOrder) {
+  QuerySpec q("q");
+  const int d = q.AddTable("dept");
+  const int e = q.AddTable("emp");
+  q.AddJoin({d, 0}, {e, 1});
+  q.AddPred({d, 0}, PredKind::kEq, Value::Int(2));
+  // Without feedback the selective dept drives an index NLJN into emp.
+  Result<OptimizedPlan> before = Optimize(q);
+  ASSERT_TRUE(before.ok());
+  const PlanNode* join_before = JoinRoot(before.value().root.get());
+  ASSERT_EQ(PlanOpKind::kNljn, join_before->kind);
+  EXPECT_EQ(TableBit(d), join_before->children[0]->set);  // dept outer.
+  // Feedback reveals the dept restriction keeps far more rows than
+  // estimated: driving the join from dept is no longer the plan.
+  FeedbackMap fb;
+  fb[TableBit(d)].exact = 2000.0;
+  Result<OptimizedPlan> after = Optimize(q, {}, &fb);
+  ASSERT_TRUE(after.ok());
+  const PlanNode* join_after = JoinRoot(after.value().root.get());
+  EXPECT_FALSE(join_after->kind == PlanOpKind::kNljn &&
+               join_after->children[0]->set == TableBit(d));
+}
+
+TEST_F(EnumeratorTest, TopOperatorsMatchQueryShape) {
+  QuerySpec q("q");
+  const int e = q.AddTable("emp");
+  q.AddGroupBy({e, 1});
+  q.AddAgg(AggFunc::kCount);
+  q.AddOrderBy(1, true);
+  Result<OptimizedPlan> r = Optimize(q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(PlanOpKind::kSort, r.value().root->kind);
+  EXPECT_EQ(PlanOpKind::kAgg, r.value().root->children[0]->kind);
+}
+
+TEST_F(EnumeratorTest, ProjectionPositionsResolved) {
+  QuerySpec q("q");
+  const int d = q.AddTable("dept");
+  const int e = q.AddTable("emp");
+  q.AddJoin({e, 1}, {d, 0});
+  q.AddProjection({e, 3});
+  q.AddProjection({d, 1});
+  Result<OptimizedPlan> r = Optimize(q);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(PlanOpKind::kProject, r.value().root->kind);
+  // Canonical layout: dept (3 cols) then emp (4 cols).
+  EXPECT_EQ(std::vector<int>({3 + 3, 1}), r.value().root->positions);
+}
+
+TEST_F(EnumeratorTest, SamePartitionDetection) {
+  auto leaf = [](TableSet set) {
+    auto n = std::make_shared<PlanNode>();
+    n->kind = PlanOpKind::kTableScan;
+    n->set = set;
+    return n;
+  };
+  auto join = [&](PlanOpKind kind, TableSet a, TableSet b) {
+    auto n = std::make_shared<PlanNode>();
+    n->kind = kind;
+    n->set = a | b;
+    n->children = {leaf(a), leaf(b)};
+    n->child_validity.resize(2);
+    return n;
+  };
+  auto h01 = join(PlanOpKind::kHsjn, TableBit(0), TableBit(1));
+  auto h10 = join(PlanOpKind::kHsjn, TableBit(1), TableBit(0));
+  auto n01 = join(PlanOpKind::kNljn, TableBit(0), TableBit(1));
+  auto h02 = join(PlanOpKind::kHsjn, TableBit(0), TableBit(2));
+  EXPECT_TRUE(SamePartition(*h01, *h10));  // Commutation counts.
+  EXPECT_TRUE(SamePartition(*h01, *n01));  // Different operator counts.
+  EXPECT_FALSE(SamePartition(*h01, *h02));
+  EXPECT_FALSE(SamePartition(*h01, *leaf(TableBit(0))));
+}
+
+}  // namespace
+}  // namespace popdb

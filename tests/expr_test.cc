@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include "exec/expr.h"
+#include "exec/layout.h"
+
+namespace popdb {
+namespace {
+
+ResolvedPredicate RP(int pos, PredKind kind, Value op,
+                     Value op2 = Value::Null()) {
+  ResolvedPredicate p;
+  p.pos = pos;
+  p.kind = kind;
+  p.operand = std::move(op);
+  p.operand2 = std::move(op2);
+  return p;
+}
+
+// ----------------------------------------------------------- predicates.
+
+TEST(EvalPredicateTest, Comparisons) {
+  const Row row = {Value::Int(5)};
+  EXPECT_TRUE(EvalPredicate(RP(0, PredKind::kEq, Value::Int(5)), row));
+  EXPECT_FALSE(EvalPredicate(RP(0, PredKind::kEq, Value::Int(6)), row));
+  EXPECT_TRUE(EvalPredicate(RP(0, PredKind::kNe, Value::Int(6)), row));
+  EXPECT_TRUE(EvalPredicate(RP(0, PredKind::kLt, Value::Int(6)), row));
+  EXPECT_FALSE(EvalPredicate(RP(0, PredKind::kLt, Value::Int(5)), row));
+  EXPECT_TRUE(EvalPredicate(RP(0, PredKind::kLe, Value::Int(5)), row));
+  EXPECT_TRUE(EvalPredicate(RP(0, PredKind::kGt, Value::Int(4)), row));
+  EXPECT_TRUE(EvalPredicate(RP(0, PredKind::kGe, Value::Int(5)), row));
+  EXPECT_FALSE(EvalPredicate(RP(0, PredKind::kGe, Value::Int(6)), row));
+}
+
+TEST(EvalPredicateTest, Between) {
+  const Row row = {Value::Int(5)};
+  EXPECT_TRUE(EvalPredicate(
+      RP(0, PredKind::kBetween, Value::Int(5), Value::Int(7)), row));
+  EXPECT_TRUE(EvalPredicate(
+      RP(0, PredKind::kBetween, Value::Int(3), Value::Int(5)), row));
+  EXPECT_FALSE(EvalPredicate(
+      RP(0, PredKind::kBetween, Value::Int(6), Value::Int(9)), row));
+}
+
+TEST(EvalPredicateTest, InList) {
+  ResolvedPredicate p;
+  p.pos = 0;
+  p.kind = PredKind::kIn;
+  p.in_list = {Value::Int(1), Value::Int(3), Value::Int(5)};
+  EXPECT_TRUE(EvalPredicate(p, {Value::Int(3)}));
+  EXPECT_FALSE(EvalPredicate(p, {Value::Int(2)}));
+}
+
+TEST(EvalPredicateTest, Like) {
+  const Row row = {Value::String("PROMO BRASS")};
+  EXPECT_TRUE(
+      EvalPredicate(RP(0, PredKind::kLike, Value::String("%BRASS%")), row));
+  EXPECT_FALSE(
+      EvalPredicate(RP(0, PredKind::kLike, Value::String("%STEEL%")), row));
+}
+
+TEST(EvalPredicateTest, LikeOnNonStringIsFalse) {
+  EXPECT_FALSE(EvalPredicate(RP(0, PredKind::kLike, Value::String("%")),
+                             {Value::Int(1)}));
+}
+
+TEST(EvalPredicateTest, NullNeverSatisfies) {
+  const Row row = {Value::Null()};
+  EXPECT_FALSE(EvalPredicate(RP(0, PredKind::kEq, Value::Null()), row));
+  EXPECT_FALSE(EvalPredicate(RP(0, PredKind::kLt, Value::Int(100)), row));
+  EXPECT_FALSE(EvalPredicate(RP(0, PredKind::kNe, Value::Int(1)), row));
+}
+
+TEST(EvalPredicateTest, PositionIsRespected) {
+  const Row row = {Value::Int(1), Value::Int(2)};
+  EXPECT_TRUE(EvalPredicate(RP(1, PredKind::kEq, Value::Int(2)), row));
+  EXPECT_FALSE(EvalPredicate(RP(0, PredKind::kEq, Value::Int(2)), row));
+}
+
+TEST(ResolvePredicateTest, BindsParameterMarker) {
+  Predicate p;
+  p.col = {0, 3};
+  p.kind = PredKind::kLt;
+  p.is_param = true;
+  p.param_index = 1;
+  const std::vector<Value> params = {Value::Int(9), Value::Int(42)};
+  const ResolvedPredicate r = ResolvePredicate(p, 3, params);
+  EXPECT_EQ(3, r.pos);
+  EXPECT_EQ(Value::Int(42), r.operand);
+}
+
+TEST(ResolvePredicateTest, LiteralPassesThrough) {
+  Predicate p;
+  p.kind = PredKind::kBetween;
+  p.operand = Value::Int(1);
+  p.operand2 = Value::Int(5);
+  const ResolvedPredicate r = ResolvePredicate(p, 0, {});
+  EXPECT_EQ(Value::Int(1), r.operand);
+  EXPECT_EQ(Value::Int(5), r.operand2);
+}
+
+TEST(PredicateToStringTest, Renders) {
+  Predicate p;
+  p.col = {1, 2};
+  p.kind = PredKind::kEq;
+  p.operand = Value::Int(7);
+  EXPECT_EQ("t1.c2 = 7", p.ToString());
+  p.is_param = true;
+  p.param_index = 0;
+  EXPECT_EQ("t1.c2 = ?0", p.ToString());
+}
+
+// ------------------------------------------------------------- RowLayout.
+
+TEST(RowLayoutTest, SingleTable) {
+  const std::vector<int> widths = {3, 2, 4};
+  RowLayout layout(TableBit(1), widths);
+  EXPECT_EQ(2, layout.width());
+  EXPECT_EQ(0, layout.Resolve({1, 0}));
+  EXPECT_EQ(1, layout.Resolve({1, 1}));
+  EXPECT_EQ(-1, layout.Resolve({0, 0}));
+}
+
+TEST(RowLayoutTest, CanonicalOrderIsTableIdOrder) {
+  const std::vector<int> widths = {3, 2, 4};
+  RowLayout layout(TableBit(0) | TableBit(2), widths);
+  EXPECT_EQ(7, layout.width());
+  EXPECT_EQ(0, layout.Resolve({0, 0}));
+  EXPECT_EQ(2, layout.Resolve({0, 2}));
+  EXPECT_EQ(3, layout.Resolve({2, 0}));
+  EXPECT_EQ(6, layout.Resolve({2, 3}));
+}
+
+TEST(RowLayoutTest, LayoutIsFunctionOfSetNotJoinOrder) {
+  const std::vector<int> widths = {1, 1, 1, 1};
+  // Any join order over {0,1,3} must agree on positions.
+  RowLayout layout(TableBit(0) | TableBit(1) | TableBit(3), widths);
+  EXPECT_EQ(0, layout.Resolve({0, 0}));
+  EXPECT_EQ(1, layout.Resolve({1, 0}));
+  EXPECT_EQ(2, layout.Resolve({3, 0}));
+}
+
+// ------------------------------------------------------------- MergeSpec.
+
+TEST(MergeSpecTest, MergesIntoCanonicalOrder) {
+  const std::vector<int> widths = {2, 1, 2};
+  RowLayout left(TableBit(2), widths);   // Table 2 first on the left side!
+  RowLayout right(TableBit(0), widths);  // Table 0 on the right side.
+  RowLayout out(TableBit(0) | TableBit(2), widths);
+  const MergeSpec spec = MergeSpec::Make(left, right, out, widths);
+
+  const Row lrow = {Value::Int(20), Value::Int(21)};  // Table 2 columns.
+  const Row rrow = {Value::Int(0), Value::Int(1)};    // Table 0 columns.
+  const Row merged = spec.Merge(lrow, rrow);
+  ASSERT_EQ(4u, merged.size());
+  // Canonical order: table 0 columns first, then table 2.
+  EXPECT_EQ(Value::Int(0), merged[0]);
+  EXPECT_EQ(Value::Int(1), merged[1]);
+  EXPECT_EQ(Value::Int(20), merged[2]);
+  EXPECT_EQ(Value::Int(21), merged[3]);
+}
+
+// Property: for any disjoint pair of table sets, merging then resolving a
+// column gives the same value as reading it from its source row.
+class MergeSpecPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MergeSpecPropertyTest, ResolveAfterMergeMatchesSource) {
+  const int seed = GetParam();
+  const std::vector<int> widths = {2, 3, 1, 2, 1};
+  const TableSet left_set =
+      (static_cast<TableSet>(seed) * 7 + 1) % 31 == 0
+          ? 1
+          : ((static_cast<TableSet>(seed) * 5 + 3) % 31) | 1;
+  TableSet right_set = ((static_cast<TableSet>(seed) * 11 + 7) % 31);
+  right_set &= ~left_set;
+  if (right_set == 0) right_set = (~left_set) & 0x10;
+  if (right_set == 0) return;  // Degenerate draw; other seeds cover it.
+
+  RowLayout left(left_set, widths);
+  RowLayout right(right_set, widths);
+  RowLayout out(left_set | right_set, widths);
+  const MergeSpec spec = MergeSpec::Make(left, right, out, widths);
+
+  // Fill rows with values encoding (table, column).
+  auto fill = [&](const RowLayout& layout, TableSet set) {
+    Row row(static_cast<size_t>(layout.width()));
+    for (int t = 0; t < 5; ++t) {
+      if (!ContainsTable(set, t)) continue;
+      for (int c = 0; c < widths[static_cast<size_t>(t)]; ++c) {
+        row[static_cast<size_t>(layout.Resolve({t, c}))] =
+            Value::Int(t * 100 + c);
+      }
+    }
+    return row;
+  };
+  const Row merged = spec.Merge(fill(left, left_set), fill(right, right_set));
+  for (int t = 0; t < 5; ++t) {
+    if (!ContainsTable(left_set | right_set, t)) continue;
+    for (int c = 0; c < widths[static_cast<size_t>(t)]; ++c) {
+      EXPECT_EQ(Value::Int(t * 100 + c),
+                merged[static_cast<size_t>(out.Resolve({t, c}))])
+          << "table " << t << " col " << c;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MergeSpecPropertyTest,
+                         ::testing::Range(0, 16));
+
+TEST(TableSetTest, Helpers) {
+  EXPECT_EQ(TableSet{1}, TableBit(0));
+  EXPECT_EQ(TableSet{8}, TableBit(3));
+  EXPECT_TRUE(ContainsTable(0b1010, 1));
+  EXPECT_FALSE(ContainsTable(0b1010, 0));
+  EXPECT_EQ(2, PopCount(0b1010));
+}
+
+}  // namespace
+}  // namespace popdb

@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/pop.h"
+#include "storage/schema.h"
+#include "storage/table.h"
+#include "tests/test_util.h"
+
+namespace popdb {
+namespace {
+
+using ::popdb::testing::Canonicalize;
+using ::popdb::testing::ReferenceExecute;
+
+/// Randomized end-to-end property test: generate a random SPJ(+agg) query
+/// over a small star schema with engineered correlations, run it under a
+/// random POP configuration, and compare against the brute-force oracle.
+/// Seeds are test parameters so failures are reproducible.
+///
+/// Schema:
+///   fact(f_id, f_dim1, f_dim2, f_a, f_b)   -- f_b correlated with f_a
+///   dim1(d1_id, d1_x, d1_name)
+///   dim2(d2_id, d2_y)
+class FuzzTest : public ::testing::TestWithParam<int> {
+ protected:
+  static void SetUpTestSuite() {
+    catalog_ = new Catalog();
+    Rng rng(4242);
+    {
+      Table dim1("dim1", Schema({{"d1_id", ValueType::kInt},
+                                 {"d1_x", ValueType::kInt},
+                                 {"d1_name", ValueType::kString}}));
+      for (int64_t i = 0; i < 60; ++i) {
+        dim1.AppendRow({Value::Int(i), Value::Int(i % 6),
+                        Value::String("dim" + std::to_string(i % 10))});
+      }
+      ASSERT_TRUE(catalog_->AddTable(std::move(dim1)).ok());
+    }
+    {
+      Table dim2("dim2", Schema({{"d2_id", ValueType::kInt},
+                                 {"d2_y", ValueType::kInt}}));
+      for (int64_t i = 0; i < 40; ++i) {
+        dim2.AppendRow({Value::Int(i), Value::Int(i % 4)});
+      }
+      ASSERT_TRUE(catalog_->AddTable(std::move(dim2)).ok());
+    }
+    {
+      Table fact("fact", Schema({{"f_id", ValueType::kInt},
+                                 {"f_dim1", ValueType::kInt},
+                                 {"f_dim2", ValueType::kInt},
+                                 {"f_a", ValueType::kInt},
+                                 {"f_b", ValueType::kInt}}));
+      for (int64_t i = 0; i < 1200; ++i) {
+        const int64_t a = rng.UniformInt(0, 29);
+        // f_b is determined by f_a 80% of the time: a correlation trap.
+        const int64_t b =
+            rng.Bernoulli(0.8) ? (a * 3) % 20 : rng.UniformInt(0, 19);
+        fact.AppendRow({Value::Int(i), Value::Int(rng.UniformInt(0, 59)),
+                        Value::Int(rng.UniformInt(0, 39)), Value::Int(a),
+                        Value::Int(b)});
+      }
+      ASSERT_TRUE(catalog_->AddTable(std::move(fact)).ok());
+    }
+    catalog_->AnalyzeAll();
+    ASSERT_TRUE(catalog_->CreateIndex("dim1", "d1_id").ok());
+    // dim2 deliberately unindexed: NLJN into it scans.
+  }
+  static void TearDownTestSuite() {
+    delete catalog_;
+    catalog_ = nullptr;
+  }
+
+  /// Builds a random query; always includes fact.
+  static QuerySpec RandomQuery(Rng* rng) {
+    QuerySpec q("fuzz");
+    const int f = q.AddTable("fact");
+    int d1 = -1, d2 = -1;
+    if (rng->Bernoulli(0.7)) {
+      d1 = q.AddTable("dim1");
+      q.AddJoin({f, 1}, {d1, 0});
+    }
+    if (rng->Bernoulli(0.5)) {
+      d2 = q.AddTable("dim2");
+      q.AddJoin({f, 2}, {d2, 0});
+    }
+    // Random fact predicates, sometimes the correlated pair.
+    const int64_t a = rng->UniformInt(0, 29);
+    switch (rng->UniformInt(0, 3)) {
+      case 0:
+        q.AddPred({f, 3}, PredKind::kEq, Value::Int(a));
+        break;
+      case 1:  // Correlated pair: heavy underestimate.
+        q.AddPred({f, 3}, PredKind::kEq, Value::Int(a));
+        q.AddPred({f, 4}, PredKind::kEq, Value::Int((a * 3) % 20));
+        break;
+      case 2:
+        q.AddPred({f, 3}, PredKind::kBetween, Value::Int(a / 2),
+                  Value::Int(a));
+        break;
+      default:
+        if (rng->Bernoulli(0.5)) {
+          q.AddParamPred({f, 3}, PredKind::kLt, 0);
+          q.BindParam(Value::Int(rng->UniformInt(0, 30)));
+        }
+        break;
+    }
+    if (d1 >= 0 && rng->Bernoulli(0.5)) {
+      switch (rng->UniformInt(0, 2)) {
+        case 0:
+          q.AddPred({d1, 1}, PredKind::kEq,
+                    Value::Int(rng->UniformInt(0, 5)));
+          break;
+        case 1:
+          q.AddInPred({d1, 1}, {Value::Int(0), Value::Int(2)});
+          break;
+        default:
+          q.AddPred({d1, 2}, PredKind::kLike, Value::String("dim1%"));
+          break;
+      }
+    }
+    if (d2 >= 0 && rng->Bernoulli(0.5)) {
+      q.AddPred({d2, 1}, PredKind::kGe, Value::Int(rng->UniformInt(0, 3)));
+    }
+    // Output shape: aggregation or projection.
+    if (rng->Bernoulli(0.5)) {
+      q.AddGroupBy({f, 3});
+      bool has_count = false;
+      if (rng->Bernoulli(0.5)) {
+        q.AddAgg(AggFunc::kCount);
+        has_count = true;
+      }
+      q.AddAgg(AggFunc::kSum, {f, 4});  // Int column: exact in double.
+      if (d1 >= 0 && rng->Bernoulli(0.3)) q.AddGroupBy({d1, 1});
+      if (has_count && rng->Bernoulli(0.4)) {
+        // HAVING COUNT(*) >= k over the first aggregate column.
+        const int count_pos = static_cast<int>(q.group_by().size());
+        q.AddHaving(count_pos, PredKind::kGe,
+                    Value::Int(rng->UniformInt(1, 4)));
+      }
+    } else {
+      q.AddProjection({f, 0});
+      if (d1 >= 0) q.AddProjection({d1, 2});
+      if (rng->Bernoulli(0.3)) q.AddProjection({f, 4});
+      if (rng->Bernoulli(0.3)) q.SetDistinct(true);
+    }
+    return q;
+  }
+
+  static PopConfig RandomPopConfig(Rng* rng) {
+    PopConfig pop;
+    pop.enable_lc = rng->Bernoulli(0.7);
+    pop.enable_lcem = rng->Bernoulli(0.7);
+    pop.enable_ecb = rng->Bernoulli(0.3);
+    pop.enable_ecwc = rng->Bernoulli(0.2);
+    pop.enable_ecdc = rng->Bernoulli(0.3);
+    pop.require_narrowed_range = rng->Bernoulli(0.8);
+    pop.max_reopts = static_cast<int>(rng->UniformInt(0, 3));
+    pop.reuse_matviews = rng->Bernoulli(0.8);
+    pop.reuse_hsjn_builds = rng->Bernoulli(0.3);
+    if (rng->Bernoulli(0.3)) pop.work_bound_factor = 2.0;
+    if (rng->Bernoulli(0.2)) pop.min_assumptions_for_checks = 1;
+    return pop;
+  }
+
+  static Catalog* catalog_;
+};
+
+Catalog* FuzzTest::catalog_ = nullptr;
+
+TEST_P(FuzzTest, PopMatchesOracleUnderRandomConfig) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 2654435761u + 17);
+  for (int round = 0; round < 6; ++round) {
+    const QuerySpec q = RandomQuery(&rng);
+    OptimizerConfig opt;
+    opt.methods.enable_nljn = rng.Bernoulli(0.9);
+    opt.methods.enable_hsjn = rng.Bernoulli(0.9);
+    opt.methods.enable_mgjn = rng.Bernoulli(0.9);
+    if (!opt.methods.enable_nljn && !opt.methods.enable_hsjn &&
+        !opt.methods.enable_mgjn) {
+      opt.methods.enable_hsjn = true;
+    }
+    if (rng.Bernoulli(0.3)) opt.cost.mem_rows = 64;  // Spill everywhere.
+
+    const std::vector<Row> expected = ReferenceExecute(*catalog_, q);
+    ProgressiveExecutor exec(*catalog_, opt, RandomPopConfig(&rng));
+    ExecutionStats stats;
+    Result<std::vector<Row>> rows = exec.Execute(q, &stats);
+    ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+    EXPECT_EQ(Canonicalize(expected), Canonicalize(rows.value()))
+        << "seed=" << GetParam() << " round=" << round << "\n"
+        << q.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace popdb

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "core/pop.h"
+#include "opt/query.h"
+#include "storage/catalog.h"
+#include "tests/test_util.h"
+
+namespace popdb {
+namespace {
+
+using ::popdb::testing::BuildToyCatalog;
+using ::popdb::testing::Canonicalize;
+using ::popdb::testing::ReferenceExecute;
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override { BuildToyCatalog(&catalog_); }
+
+  /// Executes `query` both statically and with POP and checks both against
+  /// the brute-force reference.
+  void CheckQuery(const QuerySpec& query, OptimizerConfig opt = {},
+                  PopConfig pop = {}) {
+    const std::vector<Row> expected = ReferenceExecute(catalog_, query);
+    ProgressiveExecutor exec(catalog_, opt, pop);
+
+    Result<std::vector<Row>> stat = exec.ExecuteStatic(query);
+    ASSERT_TRUE(stat.ok()) << stat.status().ToString();
+    EXPECT_EQ(Canonicalize(expected), Canonicalize(stat.value()))
+        << "static execution mismatch for " << query.name();
+
+    ExecutionStats stats;
+    Result<std::vector<Row>> prog = exec.Execute(query, &stats);
+    ASSERT_TRUE(prog.ok()) << prog.status().ToString();
+    EXPECT_EQ(Canonicalize(expected), Canonicalize(prog.value()))
+        << "POP execution mismatch for " << query.name()
+        << " (reopts=" << stats.reopts << ")";
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(IntegrationTest, SingleTableScan) {
+  QuerySpec q("single");
+  const int e = q.AddTable("emp");
+  q.AddPred({e, 2}, PredKind::kGt, Value::Int(40));  // e_age > 40
+  CheckQuery(q);
+}
+
+TEST_F(IntegrationTest, SingleTableProjection) {
+  QuerySpec q("single_proj");
+  const int e = q.AddTable("emp");
+  q.AddPred({e, 2}, PredKind::kBetween, Value::Int(30), Value::Int(40));
+  q.AddProjection({e, 0});
+  q.AddProjection({e, 3});
+  CheckQuery(q);
+}
+
+TEST_F(IntegrationTest, TwoWayJoin) {
+  QuerySpec q("join2");
+  const int d = q.AddTable("dept");
+  const int e = q.AddTable("emp");
+  q.AddJoin({e, 1}, {d, 0});  // e_dept = d_id
+  q.AddPred({d, 2}, PredKind::kEq, Value::Int(1));  // d_region = 1
+  CheckQuery(q);
+}
+
+TEST_F(IntegrationTest, ThreeWayJoinWithAgg) {
+  QuerySpec q("join3_agg");
+  const int d = q.AddTable("dept");
+  const int e = q.AddTable("emp");
+  const int s = q.AddTable("sale");
+  q.AddJoin({e, 1}, {d, 0});
+  q.AddJoin({s, 0}, {e, 0});
+  q.AddPred({e, 2}, PredKind::kLt, Value::Int(40));
+  q.AddGroupBy({d, 1});                  // d_name
+  q.AddAgg(AggFunc::kCount);
+  q.AddAgg(AggFunc::kSum, {s, 2});       // sum of s_year: exact in double
+  CheckQuery(q);
+}
+
+TEST_F(IntegrationTest, ParamMarkerStillCorrect) {
+  QuerySpec q("param");
+  const int d = q.AddTable("dept");
+  const int e = q.AddTable("emp");
+  const int s = q.AddTable("sale");
+  q.AddJoin({e, 1}, {d, 0});
+  q.AddJoin({s, 0}, {e, 0});
+  q.AddParamPred({e, 2}, PredKind::kLt, 0);  // e_age < ?
+  q.BindParam(Value::Int(60));               // Nearly unselective.
+  q.AddGroupBy({d, 2});
+  q.AddAgg(AggFunc::kCount);
+  CheckQuery(q);
+}
+
+TEST_F(IntegrationTest, InListAndLike) {
+  QuerySpec q("inlike");
+  const int d = q.AddTable("dept");
+  const int e = q.AddTable("emp");
+  q.AddJoin({e, 1}, {d, 0});
+  q.AddInPred({d, 1}, {Value::String("eng"), Value::String("ops")});
+  q.AddPred({e, 3}, PredKind::kLike, Value::String("emp1%"));
+  CheckQuery(q);
+}
+
+TEST_F(IntegrationTest, CrossJoinFallback) {
+  QuerySpec q("cross");
+  const int d = q.AddTable("dept");
+  const int e = q.AddTable("emp");
+  // No join predicate: cartesian product (restricted to keep it small).
+  q.AddPred({d, 0}, PredKind::kLe, Value::Int(1));
+  q.AddPred({e, 0}, PredKind::kLt, Value::Int(5));
+  CheckQuery(q);
+}
+
+TEST_F(IntegrationTest, OrderByIsApplied) {
+  QuerySpec q("order");
+  const int e = q.AddTable("emp");
+  q.AddPred({e, 2}, PredKind::kLt, Value::Int(30));
+  q.AddProjection({e, 2});
+  q.AddProjection({e, 0});
+  q.AddOrderBy(0, /*descending=*/false);
+  const std::vector<Row> expected = ReferenceExecute(catalog_, q);
+  ProgressiveExecutor exec(catalog_, OptimizerConfig{}, PopConfig{});
+  Result<std::vector<Row>> rows = exec.Execute(q);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(expected.size(), rows.value().size());
+  for (size_t i = 1; i < rows.value().size(); ++i) {
+    EXPECT_LE(rows.value()[i - 1][0].AsInt(), rows.value()[i][0].AsInt());
+  }
+}
+
+TEST_F(IntegrationTest, AllJoinMethodConfigs) {
+  QuerySpec q("methods");
+  const int d = q.AddTable("dept");
+  const int e = q.AddTable("emp");
+  const int s = q.AddTable("sale");
+  q.AddJoin({e, 1}, {d, 0});
+  q.AddJoin({s, 0}, {e, 0});
+  q.AddPred({s, 2}, PredKind::kGe, Value::Int(2020));
+  q.AddGroupBy({d, 1});
+  q.AddAgg(AggFunc::kCount);
+
+  for (int mask = 1; mask < 8; ++mask) {
+    OptimizerConfig opt;
+    opt.methods.enable_nljn = (mask & 1) != 0;
+    opt.methods.enable_hsjn = (mask & 2) != 0;
+    opt.methods.enable_mgjn = (mask & 4) != 0;
+    SCOPED_TRACE("method mask " + std::to_string(mask));
+    CheckQuery(q, opt);
+  }
+}
+
+TEST_F(IntegrationTest, SmallMemoryBudgetSpillsStillCorrect) {
+  QuerySpec q("spill");
+  const int e = q.AddTable("emp");
+  const int s = q.AddTable("sale");
+  q.AddJoin({s, 0}, {e, 0});
+  q.AddGroupBy({s, 2});
+  q.AddAgg(AggFunc::kCount);
+  OptimizerConfig opt;
+  opt.cost.mem_rows = 32;  // Force multi-stage hash joins / external sorts.
+  CheckQuery(q, opt);
+}
+
+}  // namespace
+}  // namespace popdb

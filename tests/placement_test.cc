@@ -1,0 +1,286 @@
+#include <gtest/gtest.h>
+
+#include "core/placement.h"
+#include "core/pop.h"
+#include "core/validity.h"
+#include "opt/optimizer.h"
+#include "tests/test_util.h"
+
+namespace popdb {
+namespace {
+
+class PlacementTest : public ::testing::Test {
+ protected:
+  void SetUp() override { testing::BuildToyCatalog(&catalog_); }
+
+  /// Optimizes with validity analysis (so ranges exist) and returns the
+  /// cloned plan ready for placement.
+  std::shared_ptr<PlanNode> PlanFor(const QuerySpec& q,
+                                    OptimizerConfig config = {}) {
+    Optimizer opt(catalog_, config);
+    CostModel cm(config.cost);
+    ValidityRangeAnalyzer analyzer(cm, ValidityConfig{});
+    Result<OptimizedPlan> r = opt.Optimize(q, nullptr, nullptr, &analyzer);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.value().root;
+  }
+
+  /// dept -> emp index NLJN with a selective dept predicate.
+  QuerySpec SelectiveJoinQuery() {
+    QuerySpec q("q");
+    const int d = q.AddTable("dept");
+    const int e = q.AddTable("emp");
+    q.AddJoin({d, 0}, {e, 1});
+    q.AddPred({d, 0}, PredKind::kEq, Value::Int(2));
+    q.AddGroupBy({e, 1});
+    q.AddAgg(AggFunc::kCount);
+    return q;
+  }
+
+  QuerySpec SpjQuery() {
+    QuerySpec q = SelectiveJoinQuery();
+    QuerySpec spj("spj");
+    const int d = spj.AddTable("dept");
+    const int e = spj.AddTable("emp");
+    spj.AddJoin({d, 0}, {e, 1});
+    spj.AddPred({d, 0}, PredKind::kEq, Value::Int(2));
+    spj.AddProjection({e, 3});
+    return spj;
+  }
+
+  static int CountKind(const PlanNode& node, PlanOpKind kind) {
+    int n = node.kind == kind ? 1 : 0;
+    for (const auto& c : node.children) n += CountKind(*c, kind);
+    return n;
+  }
+
+  Catalog catalog_;
+  CostModel cm_{CostParams{}};
+};
+
+TEST_F(PlacementTest, DefaultConfigPlacesLcemOnNljnOuter) {
+  std::shared_ptr<PlanNode> plan = PlanFor(SelectiveJoinQuery());
+  PopConfig pop;
+  const PlacementStats stats =
+      PlaceCheckpoints(&plan, pop, cm_, /*query_is_spj=*/false);
+  EXPECT_GE(stats.lcem, 1);
+  EXPECT_EQ(stats.lcem, CountKind(*plan, PlanOpKind::kCheckMat));
+  EXPECT_GE(CountKind(*plan, PlanOpKind::kTemp), 1);
+}
+
+TEST_F(PlacementTest, ChecksDisabledBelowCostThreshold) {
+  std::shared_ptr<PlanNode> plan = PlanFor(SelectiveJoinQuery());
+  PopConfig pop;
+  pop.min_plan_cost_for_checks = plan->cost * 10;
+  const PlacementStats stats =
+      PlaceCheckpoints(&plan, pop, cm_, false);
+  EXPECT_EQ(0, stats.total());
+}
+
+TEST_F(PlacementTest, RequireNarrowedRangeSuppressesUnGuardedEdges) {
+  std::shared_ptr<PlanNode> plan = PlanFor(SelectiveJoinQuery());
+  // Erase all validity ranges: with the restriction on, nothing is placed.
+  std::function<void(PlanNode*)> clear = [&](PlanNode* node) {
+    for (ValidityRange& vr : node->child_validity) vr = ValidityRange{};
+    for (const auto& c : node->children) clear(c.get());
+  };
+  clear(plan.get());
+  PopConfig pop;
+  const PlacementStats stats = PlaceCheckpoints(&plan, pop, cm_, false);
+  EXPECT_EQ(0, stats.total());
+}
+
+TEST_F(PlacementTest, RequireNarrowedRangeOffPlacesEverywhere) {
+  std::shared_ptr<PlanNode> plan = PlanFor(SelectiveJoinQuery());
+  PopConfig pop;
+  pop.require_narrowed_range = false;
+  const PlacementStats stats = PlaceCheckpoints(&plan, pop, cm_, false);
+  EXPECT_GE(stats.total(), 1);
+}
+
+TEST_F(PlacementTest, LcemBudgetSkipsExpensiveMaterializations) {
+  std::shared_ptr<PlanNode> plan = PlanFor(SelectiveJoinQuery());
+  PopConfig pop;
+  pop.lcem_budget_fraction = 0.0;  // Nothing is cheap enough.
+  const PlacementStats stats = PlaceCheckpoints(&plan, pop, cm_, false);
+  EXPECT_EQ(0, stats.lcem);
+}
+
+TEST_F(PlacementTest, EcbPlacesBoundedBufferCheck) {
+  std::shared_ptr<PlanNode> plan = PlanFor(SelectiveJoinQuery());
+  PopConfig pop;
+  pop.enable_lcem = false;
+  pop.enable_ecb = true;
+  const PlacementStats stats = PlaceCheckpoints(&plan, pop, cm_, false);
+  EXPECT_GE(stats.ecb, 1);
+  EXPECT_EQ(stats.ecb, CountKind(*plan, PlanOpKind::kBufCheck));
+  // No unbounded TEMP buffer is needed: BUFCHECK buffers itself.
+  EXPECT_EQ(0, CountKind(*plan, PlanOpKind::kTemp));
+}
+
+TEST_F(PlacementTest, EcbUnderLcemKeepsTempForReuse) {
+  std::shared_ptr<PlanNode> plan = PlanFor(SelectiveJoinQuery());
+  PopConfig pop;
+  pop.enable_lcem = true;
+  pop.enable_ecb = true;
+  const PlacementStats stats = PlaceCheckpoints(&plan, pop, cm_, false);
+  EXPECT_GE(stats.ecb, 1);
+  EXPECT_GE(stats.lcem, 1);
+  EXPECT_GE(CountKind(*plan, PlanOpKind::kTemp), 1);
+  EXPECT_GE(CountKind(*plan, PlanOpKind::kBufCheck), 1);
+}
+
+TEST_F(PlacementTest, WorkBoundGuardWrapsTopCanonicalNode) {
+  std::shared_ptr<PlanNode> plan = PlanFor(SelectiveJoinQuery());
+  PopConfig pop;
+  pop.work_bound_factor = 8.0;
+  const double plan_cost = plan->cost;
+  const PlacementStats stats = PlaceCheckpoints(&plan, pop, cm_, false);
+  EXPECT_EQ(1, stats.work_bound);
+  EXPECT_EQ(1, CountKind(*plan, PlanOpKind::kWorkBound));
+  // Budget derives from the estimated plan cost.
+  const PlanNode* node = plan.get();
+  while (node->kind != PlanOpKind::kWorkBound) node = node->children[0].get();
+  EXPECT_NEAR(8.0 * plan_cost, node->work_budget, plan_cost * 0.2);
+  // Aggregation query: no row tracker needed.
+  EXPECT_EQ(0, CountKind(*plan, PlanOpKind::kRidTrack));
+}
+
+TEST_F(PlacementTest, WorkBoundOnSpjAddsRidTrack) {
+  std::shared_ptr<PlanNode> plan = PlanFor(SpjQuery());
+  PopConfig pop;
+  pop.work_bound_factor = 8.0;
+  PlaceCheckpoints(&plan, pop, cm_, /*query_is_spj=*/true);
+  EXPECT_EQ(1, CountKind(*plan, PlanOpKind::kWorkBound));
+  EXPECT_EQ(1, CountKind(*plan, PlanOpKind::kRidTrack));
+}
+
+TEST_F(PlacementTest, ConfidenceFilterSkipsLowAssumptionEdges) {
+  std::shared_ptr<PlanNode> plan = PlanFor(SelectiveJoinQuery());
+  PopConfig pop;
+  pop.require_narrowed_range = false;
+  pop.min_assumptions_for_checks = 99;  // Nothing is that unreliable.
+  const PlacementStats stats = PlaceCheckpoints(&plan, pop, cm_, false);
+  EXPECT_EQ(0, stats.total());
+}
+
+TEST_F(PlacementTest, LcCoversSortMaterializationPoints) {
+  // Disable hash joins so sorts (merge join inputs) appear.
+  OptimizerConfig config;
+  config.methods.enable_hsjn = false;
+  config.methods.enable_nljn = false;
+  QuerySpec q("q");
+  const int d = q.AddTable("dept");
+  const int e = q.AddTable("emp");
+  q.AddJoin({d, 0}, {e, 1});
+  std::shared_ptr<PlanNode> plan = PlanFor(q, config);
+  ASSERT_GE(CountKind(*plan, PlanOpKind::kSort), 2);
+  PopConfig pop;
+  pop.require_narrowed_range = false;
+  pop.enable_lcem = false;
+  const PlacementStats stats = PlaceCheckpoints(&plan, pop, cm_, false);
+  EXPECT_GE(stats.lc, 2);
+  EXPECT_EQ(stats.lc, CountKind(*plan, PlanOpKind::kCheckMat));
+}
+
+TEST_F(PlacementTest, EcwcGoesBelowMaterialization) {
+  OptimizerConfig config;
+  config.methods.enable_hsjn = false;
+  config.methods.enable_nljn = false;
+  QuerySpec q("q");
+  const int d = q.AddTable("dept");
+  const int e = q.AddTable("emp");
+  q.AddJoin({d, 0}, {e, 1});
+  std::shared_ptr<PlanNode> plan = PlanFor(q, config);
+  PopConfig pop;
+  pop.require_narrowed_range = false;
+  pop.enable_lc = false;
+  pop.enable_lcem = false;
+  pop.enable_ecwc = true;
+  const PlacementStats stats = PlaceCheckpoints(&plan, pop, cm_, false);
+  EXPECT_GE(stats.ecwc, 1);
+  // Each ECWC check is the direct child of a SORT/TEMP.
+  std::function<void(const PlanNode&)> verify = [&](const PlanNode& node) {
+    if (node.kind == PlanOpKind::kCheck) {
+      // Found via its parent below.
+    }
+    for (const auto& c : node.children) {
+      if (c->kind == PlanOpKind::kCheck) {
+        EXPECT_TRUE(node.kind == PlanOpKind::kSort ||
+                    node.kind == PlanOpKind::kTemp);
+      }
+      verify(*c);
+    }
+  };
+  verify(*plan);
+}
+
+TEST_F(PlacementTest, EcdcOnlyForSpjAndAddsRidTrack) {
+  std::shared_ptr<PlanNode> agg_plan = PlanFor(SelectiveJoinQuery());
+  PopConfig pop;
+  pop.enable_lc = false;
+  pop.enable_lcem = false;
+  pop.enable_ecdc = true;
+  pop.require_narrowed_range = false;
+  PlacementStats agg_stats =
+      PlaceCheckpoints(&agg_plan, pop, cm_, /*query_is_spj=*/false);
+  EXPECT_EQ(0, agg_stats.ecdc);
+  EXPECT_EQ(0, CountKind(*agg_plan, PlanOpKind::kRidTrack));
+
+  std::shared_ptr<PlanNode> spj_plan = PlanFor(SpjQuery());
+  PlacementStats spj_stats =
+      PlaceCheckpoints(&spj_plan, pop, cm_, /*query_is_spj=*/true);
+  EXPECT_GE(spj_stats.ecdc, 1);
+  EXPECT_EQ(1, CountKind(*spj_plan, PlanOpKind::kRidTrack));
+}
+
+TEST_F(PlacementTest, CollectChecksFindsAllEnabledChecks) {
+  std::shared_ptr<PlanNode> plan = PlanFor(SelectiveJoinQuery());
+  PopConfig pop;
+  pop.require_narrowed_range = false;
+  const PlacementStats stats = PlaceCheckpoints(&plan, pop, cm_, false);
+  EXPECT_EQ(stats.total(),
+            static_cast<int>(CollectChecks(plan.get()).size()));
+}
+
+TEST_F(PlacementTest, InsertCompensationWrapsTopCanonicalNode) {
+  std::shared_ptr<PlanNode> plan = PlanFor(SelectiveJoinQuery());
+  InsertCompensation(&plan);
+  EXPECT_EQ(1, CountKind(*plan, PlanOpKind::kAntiComp));
+  // The compensation sits below the aggregation (set == 0 region).
+  const PlanNode* node = plan.get();
+  while (node->set == 0) node = node->children[0].get();
+  EXPECT_EQ(PlanOpKind::kAntiComp, node->kind);
+}
+
+TEST_F(PlacementTest, ObserveOnlyPropagatesToSpecs) {
+  std::shared_ptr<PlanNode> plan = PlanFor(SelectiveJoinQuery());
+  PopConfig pop;
+  pop.observe_only = true;
+  pop.require_narrowed_range = false;
+  PlaceCheckpoints(&plan, pop, cm_, false);
+  for (PlanNode* check : CollectChecks(plan.get())) {
+    EXPECT_TRUE(check->check.observe_only);
+  }
+}
+
+TEST_F(PlacementTest, SafetyFactorWidensRanges) {
+  std::shared_ptr<PlanNode> tight = PlanFor(SelectiveJoinQuery());
+  std::shared_ptr<PlanNode> wide = PlanFor(SelectiveJoinQuery());
+  PopConfig pop;
+  PlaceCheckpoints(&tight, pop, cm_, false);
+  pop.check_safety_factor = 10.0;
+  PlaceCheckpoints(&wide, pop, cm_, false);
+  std::vector<PlanNode*> tchecks = CollectChecks(tight.get());
+  std::vector<PlanNode*> wchecks = CollectChecks(wide.get());
+  ASSERT_EQ(tchecks.size(), wchecks.size());
+  ASSERT_FALSE(tchecks.empty());
+  for (size_t i = 0; i < tchecks.size(); ++i) {
+    if (tchecks[i]->check.hi < 1e17) {
+      EXPECT_NEAR(tchecks[i]->check.hi * 10.0, wchecks[i]->check.hi, 1e-6);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace popdb

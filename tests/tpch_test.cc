@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include "core/pop.h"
+#include "tests/test_util.h"
+#include "tpch/tpch_gen.h"
+#include "tpch/tpch_queries.h"
+
+namespace popdb {
+namespace {
+
+using ::popdb::testing::Canonicalize;
+using ::popdb::testing::ReferenceExecute;
+
+/// One tiny catalog shared by all TPC-H tests (generation is the slow
+/// part).
+class TpchTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    catalog_ = new Catalog();
+    tpch::GenConfig gen;
+    gen.scale = 0.001;
+    ASSERT_TRUE(tpch::BuildCatalog(gen, catalog_).ok());
+  }
+  static void TearDownTestSuite() {
+    delete catalog_;
+    catalog_ = nullptr;
+  }
+
+  static Catalog* catalog_;
+};
+
+Catalog* TpchTest::catalog_ = nullptr;
+
+TEST_F(TpchTest, RowCountsMatchScaleContract) {
+  EXPECT_EQ(5, catalog_->GetTable("region")->num_rows());
+  EXPECT_EQ(25, catalog_->GetTable("nation")->num_rows());
+  EXPECT_EQ(tpch::RowsAtScale("lineitem", 0.001),
+            catalog_->GetTable("lineitem")->num_rows());
+  EXPECT_EQ(tpch::RowsAtScale("orders", 0.001),
+            catalog_->GetTable("orders")->num_rows());
+  EXPECT_EQ(tpch::RowsAtScale("customer", 0.001),
+            catalog_->GetTable("customer")->num_rows());
+}
+
+TEST_F(TpchTest, ForeignKeysAreJoinable) {
+  const Table* lineitem = catalog_->GetTable("lineitem");
+  const Table* orders = catalog_->GetTable("orders");
+  const int64_t n_orders = orders->num_rows();
+  for (int64_t i = 0; i < lineitem->num_rows(); ++i) {
+    const int64_t okey =
+        lineitem->row(i)[tpch::Lineitem::kOrderKey].AsInt();
+    ASSERT_GE(okey, 0);
+    ASSERT_LT(okey, n_orders);
+  }
+}
+
+TEST_F(TpchTest, DerivedColumnsConsistent) {
+  const Table* orders = catalog_->GetTable("orders");
+  for (int64_t i = 0; i < orders->num_rows(); ++i) {
+    const Row& r = orders->row(i);
+    EXPECT_EQ(1992 + r[tpch::Orders::kOrderDate].AsInt() / 365,
+              r[tpch::Orders::kOrderYear].AsInt());
+  }
+  const Table* lineitem = catalog_->GetTable("lineitem");
+  for (int64_t i = 0; i < lineitem->num_rows(); ++i) {
+    const int64_t sel = lineitem->row(i)[tpch::Lineitem::kSel].AsInt();
+    EXPECT_GE(sel, 0);
+    EXPECT_LT(sel, 100);
+  }
+}
+
+TEST_F(TpchTest, StatsAndIndexesBuilt) {
+  ASSERT_NE(nullptr, catalog_->GetStats("lineitem"));
+  EXPECT_NE(nullptr, catalog_->FindIndex("orders", tpch::Orders::kOrderKey));
+  EXPECT_NE(nullptr,
+            catalog_->FindIndex("lineitem", tpch::Lineitem::kOrderKey));
+}
+
+TEST_F(TpchTest, GenerationIsDeterministic) {
+  Catalog other;
+  tpch::GenConfig gen;
+  gen.scale = 0.001;
+  ASSERT_TRUE(tpch::BuildCatalog(gen, &other).ok());
+  const Table* a = catalog_->GetTable("lineitem");
+  const Table* b = other.GetTable("lineitem");
+  ASSERT_EQ(a->num_rows(), b->num_rows());
+  for (int64_t i = 0; i < a->num_rows(); i += 97) {
+    EXPECT_EQ(RowToString(a->row(i)), RowToString(b->row(i)));
+  }
+}
+
+TEST_F(TpchTest, AllPaperQueriesOptimizeAndExecute) {
+  for (int qnum : tpch::PaperQueries()) {
+    SCOPED_TRACE("Q" + std::to_string(qnum));
+    const QuerySpec q = tpch::MakeQuery(qnum);
+    ProgressiveExecutor exec(*catalog_, OptimizerConfig{}, PopConfig{});
+    ExecutionStats stats;
+    Result<std::vector<Row>> rows = exec.Execute(q, &stats);
+    ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+    EXPECT_GT(stats.total_work, 0);
+  }
+}
+
+TEST_F(TpchTest, ParamMarkerVariantsReturnSameResults) {
+  for (int qnum : tpch::PaperQueries()) {
+    SCOPED_TRACE("Q" + std::to_string(qnum));
+    const QuerySpec plain = tpch::MakeQuery(qnum);
+    tpch::QueryOptions options;
+    options.param_markers = true;
+    const QuerySpec marked = tpch::MakeQuery(qnum, options);
+    ProgressiveExecutor exec(*catalog_, OptimizerConfig{}, PopConfig{});
+    Result<std::vector<Row>> a = exec.ExecuteStatic(plain);
+    Result<std::vector<Row>> b = exec.Execute(marked);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_EQ(Canonicalize(a.value()), Canonicalize(b.value()));
+  }
+}
+
+// The small queries are verified against the brute-force oracle.
+class TpchOracleTest : public TpchTest,
+                       public ::testing::WithParamInterface<int> {};
+
+TEST_P(TpchOracleTest, MatchesReferenceExecution) {
+  const QuerySpec q = tpch::MakeQuery(GetParam());
+  const std::vector<Row> expected = ReferenceExecute(*catalog_, q);
+  ProgressiveExecutor exec(*catalog_, OptimizerConfig{}, PopConfig{});
+  Result<std::vector<Row>> rows = exec.Execute(q);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(Canonicalize(expected), Canonicalize(rows.value()));
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallJoins, TpchOracleTest,
+                         ::testing::Values(3, 4, 10, 11, 18));
+
+// The six-table queries get oracle validation too, on an even smaller
+// catalog so the brute-force join stays tractable.
+class TpchDeepOracleTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TpchDeepOracleTest, MatchesReferenceExecution) {
+  Catalog tiny;
+  tpch::GenConfig gen;
+  gen.scale = 0.0005;
+  ASSERT_TRUE(tpch::BuildCatalog(gen, &tiny).ok());
+  const QuerySpec q = tpch::MakeQuery(GetParam());
+  const std::vector<Row> expected = ReferenceExecute(tiny, q);
+  ProgressiveExecutor exec(tiny, OptimizerConfig{}, PopConfig{});
+  Result<std::vector<Row>> rows = exec.Execute(q);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(Canonicalize(expected), Canonicalize(rows.value()));
+}
+
+INSTANTIATE_TEST_SUITE_P(SixTableJoins, TpchDeepOracleTest,
+                         ::testing::Values(2, 5, 7, 8, 9));
+
+TEST_F(TpchTest, MethodConfigsAgreeOnLargeQueries) {
+  // Cross-validation for the queries too big for the oracle: different
+  // join-method configurations must produce identical results.
+  for (int qnum : {2, 5, 7, 8, 9}) {
+    SCOPED_TRACE("Q" + std::to_string(qnum));
+    const QuerySpec q = tpch::MakeQuery(qnum);
+    std::vector<std::string> reference;
+    for (int mask : {7, 3, 5, 6}) {
+      OptimizerConfig config;
+      config.methods.enable_nljn = (mask & 1) != 0;
+      config.methods.enable_hsjn = (mask & 2) != 0;
+      config.methods.enable_mgjn = (mask & 4) != 0;
+      ProgressiveExecutor exec(*catalog_, config, PopConfig{});
+      Result<std::vector<Row>> rows = exec.ExecuteStatic(q);
+      ASSERT_TRUE(rows.ok()) << "mask " << mask;
+      std::vector<std::string> canon = Canonicalize(rows.value());
+      if (mask == 7) {
+        reference = std::move(canon);
+      } else {
+        EXPECT_EQ(reference, canon) << "mask " << mask;
+      }
+    }
+  }
+}
+
+TEST_F(TpchTest, Q10SelectivitySweepIsMonotone) {
+  // More selective bindings return no more rows than less selective ones.
+  ProgressiveExecutor exec(*catalog_, OptimizerConfig{}, PopConfig{});
+  int64_t prev_groups = -1;
+  for (int sel : {0, 25, 50, 75, 100}) {
+    QuerySpec q = tpch::MakeQ10Selectivity(sel, /*use_marker=*/false);
+    Result<std::vector<Row>> rows = exec.ExecuteStatic(q);
+    ASSERT_TRUE(rows.ok());
+    EXPECT_GE(static_cast<int64_t>(rows.value().size()), prev_groups);
+    prev_groups = static_cast<int64_t>(rows.value().size());
+  }
+}
+
+TEST_F(TpchTest, Q10MarkerAndLiteralAgree) {
+  ProgressiveExecutor exec(*catalog_, OptimizerConfig{}, PopConfig{});
+  for (int sel : {10, 60}) {
+    QuerySpec marker = tpch::MakeQ10Selectivity(sel, true);
+    QuerySpec literal = tpch::MakeQ10Selectivity(sel, false);
+    Result<std::vector<Row>> a = exec.Execute(marker);
+    Result<std::vector<Row>> b = exec.ExecuteStatic(literal);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_EQ(Canonicalize(a.value()), Canonicalize(b.value()));
+  }
+}
+
+}  // namespace
+}  // namespace popdb

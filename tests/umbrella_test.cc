@@ -1,0 +1,50 @@
+// Verifies the umbrella header is self-contained and that the documented
+// one-include workflow (CSV -> SQL -> progressive execution) works.
+
+#include "popdb.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace popdb {
+namespace {
+
+TEST(UmbrellaTest, CsvSqlPopPipeline) {
+  const char* path = "/tmp/popdb_umbrella_test.csv";
+  {
+    std::ofstream f(path);
+    f << "k,grp,v\n";
+    for (int i = 0; i < 300; ++i) {
+      f << i << ',' << i % 5 << ',' << i % 7 << "\n";
+    }
+  }
+  Catalog catalog;
+  ASSERT_TRUE(LoadCsvFile("t", path, &catalog).ok());
+  std::remove(path);
+
+  Result<sql::BoundStatement> stmt = sql::ParseSql(
+      catalog, "SELECT grp, COUNT(*) FROM t WHERE v < 5 GROUP BY grp "
+               "ORDER BY 1");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+
+  ProgressiveExecutor exec(catalog, OptimizerConfig{}, PopConfig{});
+  ExecutionStats stats;
+  Result<std::vector<Row>> rows = exec.Execute(stmt.value().query, &stats);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(5u, rows.value().size());
+  int64_t total = 0;
+  for (const Row& r : rows.value()) total += r[1].AsInt();
+  // v < 5 keeps 5 of every 7 values: ceil arithmetic over 300 rows.
+  EXPECT_EQ(215, total);
+
+  // Cross-query learning is reachable through the umbrella too.
+  QueryFeedbackStore store;
+  exec.set_cross_query_store(&store);
+  ASSERT_TRUE(exec.Execute(stmt.value().query).ok());
+  EXPECT_GT(store.size(), 0);
+}
+
+}  // namespace
+}  // namespace popdb
