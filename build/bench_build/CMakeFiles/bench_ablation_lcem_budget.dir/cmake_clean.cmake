@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_lcem_budget"
+  "../bench/bench_ablation_lcem_budget.pdb"
+  "CMakeFiles/bench_ablation_lcem_budget.dir/bench_ablation_lcem_budget.cc.o"
+  "CMakeFiles/bench_ablation_lcem_budget.dir/bench_ablation_lcem_budget.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_lcem_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig13_lcem_overhead.cc" "bench_build/CMakeFiles/bench_fig13_lcem_overhead.dir/bench_fig13_lcem_overhead.cc.o" "gcc" "bench_build/CMakeFiles/bench_fig13_lcem_overhead.dir/bench_fig13_lcem_overhead.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/popdb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tpch/CMakeFiles/popdb_tpch.dir/DependInfo.cmake"
+  "/root/repo/build/src/dmv/CMakeFiles/popdb_dmv.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/popdb_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/popdb_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/popdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/popdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

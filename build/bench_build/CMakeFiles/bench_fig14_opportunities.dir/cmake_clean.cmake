@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig14_opportunities"
+  "../bench/bench_fig14_opportunities.pdb"
+  "CMakeFiles/bench_fig14_opportunities.dir/bench_fig14_opportunities.cc.o"
+  "CMakeFiles/bench_fig14_opportunities.dir/bench_fig14_opportunities.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_opportunities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig15_dmv_scatter"
+  "../bench/bench_fig15_dmv_scatter.pdb"
+  "CMakeFiles/bench_fig15_dmv_scatter.dir/bench_fig15_dmv_scatter.cc.o"
+  "CMakeFiles/bench_fig15_dmv_scatter.dir/bench_fig15_dmv_scatter.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_dmv_scatter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_flavors"
+  "../bench/bench_table1_flavors.pdb"
+  "CMakeFiles/bench_table1_flavors.dir/bench_table1_flavors.cc.o"
+  "CMakeFiles/bench_table1_flavors.dir/bench_table1_flavors.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_flavors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/correlated_olap.dir/correlated_olap.cpp.o"
+  "CMakeFiles/correlated_olap.dir/correlated_olap.cpp.o.d"
+  "correlated_olap"
+  "correlated_olap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/correlated_olap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_local_checks.dir/parallel_local_checks.cpp.o"
+  "CMakeFiles/parallel_local_checks.dir/parallel_local_checks.cpp.o.d"
+  "parallel_local_checks"
+  "parallel_local_checks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_local_checks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parameter_marker_robustness.dir/parameter_marker_robustness.cpp.o"
+  "CMakeFiles/parameter_marker_robustness.dir/parameter_marker_robustness.cpp.o.d"
+  "parameter_marker_robustness"
+  "parameter_marker_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parameter_marker_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

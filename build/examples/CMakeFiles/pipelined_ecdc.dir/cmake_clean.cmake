@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipelined_ecdc.dir/pipelined_ecdc.cpp.o"
+  "CMakeFiles/pipelined_ecdc.dir/pipelined_ecdc.cpp.o.d"
+  "pipelined_ecdc"
+  "pipelined_ecdc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipelined_ecdc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

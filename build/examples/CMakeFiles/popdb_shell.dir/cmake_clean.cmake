@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/popdb_shell.dir/popdb_shell.cpp.o"
+  "CMakeFiles/popdb_shell.dir/popdb_shell.cpp.o.d"
+  "popdb_shell"
+  "popdb_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/popdb_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

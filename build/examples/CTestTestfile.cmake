@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_param_robustness "/root/repo/build/examples/parameter_marker_robustness")
+set_tests_properties(example_param_robustness PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_correlated_olap "/root/repo/build/examples/correlated_olap")
+set_tests_properties(example_correlated_olap PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_pipelined_ecdc "/root/repo/build/examples/pipelined_ecdc")
+set_tests_properties(example_pipelined_ecdc PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_parallel_local_checks "/root/repo/build/examples/parallel_local_checks")
+set_tests_properties(example_parallel_local_checks PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_shell_sql "/root/repo/build/examples/popdb_shell" "toy" "SELECT o_class, COUNT(*) FROM orders GROUP BY o_class ORDER BY 1 LIMIT 3")
+set_tests_properties(example_shell_sql PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/popdb_common.dir/status.cc.o"
+  "CMakeFiles/popdb_common.dir/status.cc.o.d"
+  "CMakeFiles/popdb_common.dir/string_util.cc.o"
+  "CMakeFiles/popdb_common.dir/string_util.cc.o.d"
+  "CMakeFiles/popdb_common.dir/table_printer.cc.o"
+  "CMakeFiles/popdb_common.dir/table_printer.cc.o.d"
+  "CMakeFiles/popdb_common.dir/value.cc.o"
+  "CMakeFiles/popdb_common.dir/value.cc.o.d"
+  "libpopdb_common.a"
+  "libpopdb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/popdb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

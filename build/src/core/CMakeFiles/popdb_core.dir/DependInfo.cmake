@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/executor_builder.cc" "src/core/CMakeFiles/popdb_core.dir/executor_builder.cc.o" "gcc" "src/core/CMakeFiles/popdb_core.dir/executor_builder.cc.o.d"
+  "/root/repo/src/core/feedback.cc" "src/core/CMakeFiles/popdb_core.dir/feedback.cc.o" "gcc" "src/core/CMakeFiles/popdb_core.dir/feedback.cc.o.d"
+  "/root/repo/src/core/leo.cc" "src/core/CMakeFiles/popdb_core.dir/leo.cc.o" "gcc" "src/core/CMakeFiles/popdb_core.dir/leo.cc.o.d"
+  "/root/repo/src/core/matview.cc" "src/core/CMakeFiles/popdb_core.dir/matview.cc.o" "gcc" "src/core/CMakeFiles/popdb_core.dir/matview.cc.o.d"
+  "/root/repo/src/core/placement.cc" "src/core/CMakeFiles/popdb_core.dir/placement.cc.o" "gcc" "src/core/CMakeFiles/popdb_core.dir/placement.cc.o.d"
+  "/root/repo/src/core/pop.cc" "src/core/CMakeFiles/popdb_core.dir/pop.cc.o" "gcc" "src/core/CMakeFiles/popdb_core.dir/pop.cc.o.d"
+  "/root/repo/src/core/validity.cc" "src/core/CMakeFiles/popdb_core.dir/validity.cc.o" "gcc" "src/core/CMakeFiles/popdb_core.dir/validity.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/opt/CMakeFiles/popdb_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/popdb_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/popdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/popdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/popdb_core.dir/executor_builder.cc.o"
+  "CMakeFiles/popdb_core.dir/executor_builder.cc.o.d"
+  "CMakeFiles/popdb_core.dir/feedback.cc.o"
+  "CMakeFiles/popdb_core.dir/feedback.cc.o.d"
+  "CMakeFiles/popdb_core.dir/leo.cc.o"
+  "CMakeFiles/popdb_core.dir/leo.cc.o.d"
+  "CMakeFiles/popdb_core.dir/matview.cc.o"
+  "CMakeFiles/popdb_core.dir/matview.cc.o.d"
+  "CMakeFiles/popdb_core.dir/placement.cc.o"
+  "CMakeFiles/popdb_core.dir/placement.cc.o.d"
+  "CMakeFiles/popdb_core.dir/pop.cc.o"
+  "CMakeFiles/popdb_core.dir/pop.cc.o.d"
+  "CMakeFiles/popdb_core.dir/validity.cc.o"
+  "CMakeFiles/popdb_core.dir/validity.cc.o.d"
+  "libpopdb_core.a"
+  "libpopdb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/popdb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

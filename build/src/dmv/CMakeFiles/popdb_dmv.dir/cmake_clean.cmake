@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/popdb_dmv.dir/dmv_gen.cc.o"
+  "CMakeFiles/popdb_dmv.dir/dmv_gen.cc.o.d"
+  "CMakeFiles/popdb_dmv.dir/dmv_queries.cc.o"
+  "CMakeFiles/popdb_dmv.dir/dmv_queries.cc.o.d"
+  "libpopdb_dmv.a"
+  "libpopdb_dmv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/popdb_dmv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/agg.cc" "src/exec/CMakeFiles/popdb_exec.dir/agg.cc.o" "gcc" "src/exec/CMakeFiles/popdb_exec.dir/agg.cc.o.d"
+  "/root/repo/src/exec/check.cc" "src/exec/CMakeFiles/popdb_exec.dir/check.cc.o" "gcc" "src/exec/CMakeFiles/popdb_exec.dir/check.cc.o.d"
+  "/root/repo/src/exec/expr.cc" "src/exec/CMakeFiles/popdb_exec.dir/expr.cc.o" "gcc" "src/exec/CMakeFiles/popdb_exec.dir/expr.cc.o.d"
+  "/root/repo/src/exec/join.cc" "src/exec/CMakeFiles/popdb_exec.dir/join.cc.o" "gcc" "src/exec/CMakeFiles/popdb_exec.dir/join.cc.o.d"
+  "/root/repo/src/exec/layout.cc" "src/exec/CMakeFiles/popdb_exec.dir/layout.cc.o" "gcc" "src/exec/CMakeFiles/popdb_exec.dir/layout.cc.o.d"
+  "/root/repo/src/exec/operator.cc" "src/exec/CMakeFiles/popdb_exec.dir/operator.cc.o" "gcc" "src/exec/CMakeFiles/popdb_exec.dir/operator.cc.o.d"
+  "/root/repo/src/exec/project.cc" "src/exec/CMakeFiles/popdb_exec.dir/project.cc.o" "gcc" "src/exec/CMakeFiles/popdb_exec.dir/project.cc.o.d"
+  "/root/repo/src/exec/scan.cc" "src/exec/CMakeFiles/popdb_exec.dir/scan.cc.o" "gcc" "src/exec/CMakeFiles/popdb_exec.dir/scan.cc.o.d"
+  "/root/repo/src/exec/sort.cc" "src/exec/CMakeFiles/popdb_exec.dir/sort.cc.o" "gcc" "src/exec/CMakeFiles/popdb_exec.dir/sort.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/popdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/popdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/popdb_exec.dir/agg.cc.o"
+  "CMakeFiles/popdb_exec.dir/agg.cc.o.d"
+  "CMakeFiles/popdb_exec.dir/check.cc.o"
+  "CMakeFiles/popdb_exec.dir/check.cc.o.d"
+  "CMakeFiles/popdb_exec.dir/expr.cc.o"
+  "CMakeFiles/popdb_exec.dir/expr.cc.o.d"
+  "CMakeFiles/popdb_exec.dir/join.cc.o"
+  "CMakeFiles/popdb_exec.dir/join.cc.o.d"
+  "CMakeFiles/popdb_exec.dir/layout.cc.o"
+  "CMakeFiles/popdb_exec.dir/layout.cc.o.d"
+  "CMakeFiles/popdb_exec.dir/operator.cc.o"
+  "CMakeFiles/popdb_exec.dir/operator.cc.o.d"
+  "CMakeFiles/popdb_exec.dir/project.cc.o"
+  "CMakeFiles/popdb_exec.dir/project.cc.o.d"
+  "CMakeFiles/popdb_exec.dir/scan.cc.o"
+  "CMakeFiles/popdb_exec.dir/scan.cc.o.d"
+  "CMakeFiles/popdb_exec.dir/sort.cc.o"
+  "CMakeFiles/popdb_exec.dir/sort.cc.o.d"
+  "libpopdb_exec.a"
+  "libpopdb_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/popdb_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/cardinality.cc" "src/opt/CMakeFiles/popdb_opt.dir/cardinality.cc.o" "gcc" "src/opt/CMakeFiles/popdb_opt.dir/cardinality.cc.o.d"
+  "/root/repo/src/opt/cost_model.cc" "src/opt/CMakeFiles/popdb_opt.dir/cost_model.cc.o" "gcc" "src/opt/CMakeFiles/popdb_opt.dir/cost_model.cc.o.d"
+  "/root/repo/src/opt/enumerator.cc" "src/opt/CMakeFiles/popdb_opt.dir/enumerator.cc.o" "gcc" "src/opt/CMakeFiles/popdb_opt.dir/enumerator.cc.o.d"
+  "/root/repo/src/opt/optimizer.cc" "src/opt/CMakeFiles/popdb_opt.dir/optimizer.cc.o" "gcc" "src/opt/CMakeFiles/popdb_opt.dir/optimizer.cc.o.d"
+  "/root/repo/src/opt/plan.cc" "src/opt/CMakeFiles/popdb_opt.dir/plan.cc.o" "gcc" "src/opt/CMakeFiles/popdb_opt.dir/plan.cc.o.d"
+  "/root/repo/src/opt/query.cc" "src/opt/CMakeFiles/popdb_opt.dir/query.cc.o" "gcc" "src/opt/CMakeFiles/popdb_opt.dir/query.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exec/CMakeFiles/popdb_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/popdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/popdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/popdb_opt.dir/cardinality.cc.o"
+  "CMakeFiles/popdb_opt.dir/cardinality.cc.o.d"
+  "CMakeFiles/popdb_opt.dir/cost_model.cc.o"
+  "CMakeFiles/popdb_opt.dir/cost_model.cc.o.d"
+  "CMakeFiles/popdb_opt.dir/enumerator.cc.o"
+  "CMakeFiles/popdb_opt.dir/enumerator.cc.o.d"
+  "CMakeFiles/popdb_opt.dir/optimizer.cc.o"
+  "CMakeFiles/popdb_opt.dir/optimizer.cc.o.d"
+  "CMakeFiles/popdb_opt.dir/plan.cc.o"
+  "CMakeFiles/popdb_opt.dir/plan.cc.o.d"
+  "CMakeFiles/popdb_opt.dir/query.cc.o"
+  "CMakeFiles/popdb_opt.dir/query.cc.o.d"
+  "libpopdb_opt.a"
+  "libpopdb_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/popdb_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpopdb_opt.a"
+)

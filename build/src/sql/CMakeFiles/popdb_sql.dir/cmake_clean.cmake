@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/popdb_sql.dir/binder.cc.o"
+  "CMakeFiles/popdb_sql.dir/binder.cc.o.d"
+  "CMakeFiles/popdb_sql.dir/lexer.cc.o"
+  "CMakeFiles/popdb_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/popdb_sql.dir/parser.cc.o"
+  "CMakeFiles/popdb_sql.dir/parser.cc.o.d"
+  "libpopdb_sql.a"
+  "libpopdb_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/popdb_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/popdb_storage.dir/catalog.cc.o"
+  "CMakeFiles/popdb_storage.dir/catalog.cc.o.d"
+  "CMakeFiles/popdb_storage.dir/csv.cc.o"
+  "CMakeFiles/popdb_storage.dir/csv.cc.o.d"
+  "CMakeFiles/popdb_storage.dir/index.cc.o"
+  "CMakeFiles/popdb_storage.dir/index.cc.o.d"
+  "CMakeFiles/popdb_storage.dir/schema.cc.o"
+  "CMakeFiles/popdb_storage.dir/schema.cc.o.d"
+  "CMakeFiles/popdb_storage.dir/statistics.cc.o"
+  "CMakeFiles/popdb_storage.dir/statistics.cc.o.d"
+  "CMakeFiles/popdb_storage.dir/table.cc.o"
+  "CMakeFiles/popdb_storage.dir/table.cc.o.d"
+  "libpopdb_storage.a"
+  "libpopdb_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/popdb_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

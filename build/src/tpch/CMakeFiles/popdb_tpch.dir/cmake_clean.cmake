@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/popdb_tpch.dir/tpch_gen.cc.o"
+  "CMakeFiles/popdb_tpch.dir/tpch_gen.cc.o.d"
+  "CMakeFiles/popdb_tpch.dir/tpch_queries.cc.o"
+  "CMakeFiles/popdb_tpch.dir/tpch_queries.cc.o.d"
+  "libpopdb_tpch.a"
+  "libpopdb_tpch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/popdb_tpch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

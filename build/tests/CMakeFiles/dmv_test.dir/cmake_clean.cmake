@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmv_test.dir/dmv_test.cc.o"
+  "CMakeFiles/dmv_test.dir/dmv_test.cc.o.d"
+  "dmv_test"
+  "dmv_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feedback_matview_test.dir/feedback_matview_test.cc.o"
+  "CMakeFiles/feedback_matview_test.dir/feedback_matview_test.cc.o.d"
+  "feedback_matview_test"
+  "feedback_matview_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feedback_matview_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for feedback_matview_test.
+# This may be replaced when dependencies are built.

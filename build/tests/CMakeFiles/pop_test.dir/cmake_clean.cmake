@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pop_test.dir/pop_test.cc.o"
+  "CMakeFiles/pop_test.dir/pop_test.cc.o.d"
+  "pop_test"
+  "pop_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pop_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

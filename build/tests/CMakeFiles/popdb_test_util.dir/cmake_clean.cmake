@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/popdb_test_util.dir/test_util.cc.o"
+  "CMakeFiles/popdb_test_util.dir/test_util.cc.o.d"
+  "libpopdb_test_util.a"
+  "libpopdb_test_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/popdb_test_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
