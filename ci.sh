@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# CI entry point: release build + full test suite, then a ThreadSanitizer
+# build that hammers the concurrent pieces (runtime query service, shared
+# feedback stores, parallel executors).
+#
+# Usage: ./ci.sh [--skip-tsan]
+set -euo pipefail
+cd "$(dirname "$0")"
+
+SKIP_TSAN=0
+[[ "${1:-}" == "--skip-tsan" ]] && SKIP_TSAN=1
+
+echo "=== release build + full ctest ==="
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build -j
+ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+if [[ "$SKIP_TSAN" == "1" ]]; then
+  echo "=== TSan stage skipped (--skip-tsan) ==="
+  exit 0
+fi
+
+echo "=== ThreadSanitizer build + concurrency tests ==="
+cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DPOPDB_SANITIZE=thread
+cmake --build build-tsan -j --target runtime_test concurrency_test
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/runtime_test
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/concurrency_test
+
+echo "=== ci.sh: all stages passed ==="

@@ -1,0 +1,42 @@
+#include "common/cancel.h"
+
+#include <chrono>
+
+namespace popdb {
+
+namespace {
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+void CancelToken::TripIfFirst(CancelReason reason) {
+  CancelReason expected = CancelReason::kNone;
+  reason_.compare_exchange_strong(expected, reason,
+                                  std::memory_order_acq_rel);
+}
+
+void CancelToken::SetDeadlineAfterMs(double ms) {
+  if (ms <= 0) {
+    deadline_ns_.store(0, std::memory_order_release);
+    return;
+  }
+  deadline_ns_.store(NowNs() + static_cast<int64_t>(ms * 1e6),
+                     std::memory_order_release);
+}
+
+bool CancelToken::Expired() {
+  if (reason_.load(std::memory_order_relaxed) != CancelReason::kNone) {
+    return true;
+  }
+  const int64_t deadline = deadline_ns_.load(std::memory_order_relaxed);
+  if (deadline != 0 && NowNs() >= deadline) {
+    TripIfFirst(CancelReason::kDeadline);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace popdb

@@ -1,0 +1,58 @@
+#ifndef POPDB_COMMON_CANCEL_H_
+#define POPDB_COMMON_CANCEL_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace popdb {
+
+/// Why a cancellation token tripped.
+enum class CancelReason : uint8_t {
+  kNone = 0,
+  kRequested,  ///< Explicit RequestCancel() from a client.
+  kDeadline,   ///< The query's deadline passed.
+};
+
+/// Cooperative cancellation token shared between a query's client and the
+/// worker thread executing it. The executor polls Expired() between row
+/// batches (one relaxed atomic load on the untripped fast path); clients
+/// call RequestCancel() from any thread. A deadline, once armed, is checked
+/// by the poll itself, so no timer thread is needed — precision is bounded
+/// by the polling stride, which is fine for millisecond-scale deadlines.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Requests cancellation. Idempotent; safe from any thread. The first
+  /// trip wins: a deadline expiring after an explicit cancel (or vice
+  /// versa) does not change the recorded reason.
+  void RequestCancel() { TripIfFirst(CancelReason::kRequested); }
+
+  /// Arms a deadline `ms` milliseconds from now; ms <= 0 disarms.
+  void SetDeadlineAfterMs(double ms);
+
+  /// True once cancellation was requested or the deadline passed; trips
+  /// the token as a side effect when the deadline just expired.
+  bool Expired();
+
+  /// True if the token has already tripped (no deadline re-check).
+  bool cancelled() const {
+    return reason_.load(std::memory_order_acquire) != CancelReason::kNone;
+  }
+
+  CancelReason reason() const {
+    return reason_.load(std::memory_order_acquire);
+  }
+
+ private:
+  void TripIfFirst(CancelReason reason);
+
+  std::atomic<CancelReason> reason_{CancelReason::kNone};
+  std::atomic<int64_t> deadline_ns_{0};  ///< steady_clock ns since epoch; 0 = none.
+};
+
+}  // namespace popdb
+
+#endif  // POPDB_COMMON_CANCEL_H_

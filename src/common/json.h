@@ -1,0 +1,58 @@
+#ifndef POPDB_COMMON_JSON_H_
+#define POPDB_COMMON_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace popdb {
+
+/// Escapes `text` for inclusion inside a JSON string literal (quotes not
+/// added): ", \, control characters.
+std::string JsonEscape(std::string_view text);
+
+/// Minimal streaming JSON writer producing compact, valid JSON. Handles
+/// comma placement and string escaping; the caller is responsible for
+/// balancing Begin/End calls and writing a Key before each object member.
+///
+/// Example:
+///   JsonWriter w;
+///   w.BeginObject();
+///   w.Key("query").String("q1");
+///   w.Key("attempts").BeginArray().Int(1).Int(2).EndArray();
+///   w.EndObject();
+///   w.str();  // {"query":"q1","attempts":[1,2]}
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  JsonWriter& Key(std::string_view key);
+
+  JsonWriter& String(std::string_view value);
+  JsonWriter& Int(int64_t value);
+  JsonWriter& Double(double value);
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+
+  /// Inserts pre-rendered JSON verbatim (e.g. a nested ToJson() result).
+  JsonWriter& Raw(std::string_view json);
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void BeforeValue();
+
+  std::string out_;
+  /// true = a value was already written at this nesting level (next one
+  /// needs a comma separator).
+  std::vector<bool> wrote_value_;
+  bool pending_key_ = false;
+};
+
+}  // namespace popdb
+
+#endif  // POPDB_COMMON_JSON_H_

@@ -22,6 +22,10 @@ const char* CodeName(StatusCode code) {
       return "ResourceExhausted";
     case StatusCode::kUnimplemented:
       return "Unimplemented";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

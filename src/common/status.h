@@ -17,6 +17,8 @@ enum class StatusCode {
   kInternal,
   kResourceExhausted,
   kUnimplemented,
+  kCancelled,
+  kDeadlineExceeded,
 };
 
 /// Lightweight status object carrying a code and a human-readable message.
@@ -54,6 +56,12 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -7,17 +7,35 @@
 namespace popdb {
 
 void FeedbackCache::RecordExact(TableSet set, double card) {
+  std::lock_guard<std::mutex> lock(mu_);
   CardFeedback& fb = map_[set];
   fb.exact = card;
 }
 
 void FeedbackCache::RecordLowerBound(TableSet set, double card) {
+  std::lock_guard<std::mutex> lock(mu_);
   CardFeedback& fb = map_[set];
   if (fb.exact >= 0) return;  // Exact knowledge dominates.
   fb.lower_bound = std::max(fb.lower_bound, card);
 }
 
+FeedbackMap FeedbackCache::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_;
+}
+
+bool FeedbackCache::empty() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.empty();
+}
+
+void FeedbackCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  map_.clear();
+}
+
 std::string FeedbackCache::ToString() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::string out;
   for (const auto& [set, fb] : map_) {
     if (fb.exact >= 0) {

@@ -1,6 +1,7 @@
 #ifndef POPDB_CORE_FEEDBACK_H_
 #define POPDB_CORE_FEEDBACK_H_
 
+#include <mutex>
 #include <string>
 
 #include "opt/cardinality.h"
@@ -14,6 +15,11 @@ namespace popdb {
 ///
 /// Exact values dominate lower bounds; repeated observations keep the most
 /// informative value (exact wins; otherwise the largest lower bound).
+///
+/// Thread safe: the runtime's shared-feedback mode can have one worker
+/// recording observations while another plans, so mutations and reads take
+/// the internal mutex, and Snapshot() returns a point-in-time copy instead
+/// of a reference to internal state.
 class FeedbackCache {
  public:
   /// Records the true cardinality of the subplan joining `set`.
@@ -23,13 +29,16 @@ class FeedbackCache {
   /// (from an eager check that fired before exhausting its input).
   void RecordLowerBound(TableSet set, double card);
 
-  const FeedbackMap& map() const { return map_; }
-  bool empty() const { return map_.empty(); }
-  void Clear() { map_.clear(); }
+  /// Consistent point-in-time copy of the accumulated feedback.
+  FeedbackMap Snapshot() const;
+
+  bool empty() const;
+  void Clear();
 
   std::string ToString() const;
 
  private:
+  mutable std::mutex mu_;
   FeedbackMap map_;
 };
 

@@ -69,6 +69,7 @@ std::string QueryFeedbackStore::SubplanSignature(const QuerySpec& query,
 
 void QueryFeedbackStore::Absorb(const QuerySpec& query,
                                 const FeedbackMap& feedback) {
+  std::lock_guard<std::mutex> lock(mu_);
   for (const auto& [set, fb] : feedback) {
     const std::string sig = SubplanSignature(query, set);
     CardFeedback& stored = store_[sig];
@@ -82,6 +83,7 @@ void QueryFeedbackStore::Absorb(const QuerySpec& query,
 
 void QueryFeedbackStore::Seed(const QuerySpec& query,
                               FeedbackCache* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
   if (store_.empty()) return;
   // Enumerate connected-ish subsets lazily: signatures are computed per
   // subset; queries are small (<= ~12 tables), so the full power set is

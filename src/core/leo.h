@@ -2,6 +2,7 @@
 #define POPDB_CORE_LEO_H_
 
 #include <map>
+#include <mutex>
 #include <string>
 
 #include "core/feedback.h"
@@ -22,6 +23,10 @@ namespace popdb {
 ///   executor.set_cross_query_store(&store);
 ///   executor.Execute(q);   // May re-optimize; actuals absorbed.
 ///   executor.Execute(q);   // Plans with the learned cardinalities.
+///
+/// Thread safe: the query-service runtime shares one store across all
+/// worker threads so every query benefits from every other query's
+/// learning; Absorb/Seed serialize on an internal mutex.
 class QueryFeedbackStore {
  public:
   QueryFeedbackStore() = default;
@@ -39,10 +44,17 @@ class QueryFeedbackStore {
   /// Pre-seeds `out` with everything known about the query's subplans.
   void Seed(const QuerySpec& query, FeedbackCache* out) const;
 
-  int64_t size() const { return static_cast<int64_t>(store_.size()); }
-  void Clear() { store_.clear(); }
+  int64_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<int64_t>(store_.size());
+  }
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    store_.clear();
+  }
 
  private:
+  mutable std::mutex mu_;
   std::map<std::string, CardFeedback> store_;
 };
 

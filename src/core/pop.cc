@@ -4,6 +4,16 @@
 
 namespace popdb {
 
+namespace {
+Status CancelledStatus(const CancelToken& token, const std::string& name) {
+  if (token.reason() == CancelReason::kDeadline) {
+    return Status::DeadlineExceeded("query '" + name +
+                                    "' exceeded its deadline");
+  }
+  return Status::Cancelled("query '" + name + "' was cancelled");
+}
+}  // namespace
+
 double NowMs() {
   return std::chrono::duration<double, std::milli>(
              std::chrono::steady_clock::now().time_since_epoch())
@@ -99,12 +109,16 @@ Result<std::vector<Row>> ProgressiveExecutor::Run(const QuerySpec& query,
   const double t_begin = NowMs();
 
   for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    if (cancel_token_ != nullptr && cancel_token_->Expired()) {
+      return CancelledStatus(*cancel_token_, query.name());
+    }
     AttemptInfo info;
     const double t_opt = NowMs();
 
     ValidityRangeAnalyzer analyzer(cost_model, pop_config_.validity);
+    const FeedbackMap feedback_snapshot = feedback_.Snapshot();
     Result<OptimizedPlan> planned = optimizer_.Optimize(
-        query, feedback_.empty() ? nullptr : &feedback_.map(),
+        query, feedback_snapshot.empty() ? nullptr : &feedback_snapshot,
         matviews_.empty() ? nullptr : &matviews_.views(),
         pop_enabled ? &analyzer : nullptr);
     if (!planned.ok()) return planned.status();
@@ -133,6 +147,7 @@ Result<std::vector<Row>> ProgressiveExecutor::Run(const QuerySpec& query,
     ExecContext ctx;
     ctx.params = query.params();
     ctx.mem_rows = static_cast<int64_t>(optimizer_.config().cost.mem_rows);
+    ctx.cancel = cancel_token_;
 
     const double t_exec = NowMs();
     std::vector<Row> attempt_rows;
@@ -157,6 +172,14 @@ Result<std::vector<Row>> ProgressiveExecutor::Run(const QuerySpec& query,
 
     if (status == ExecStatus::kError) {
       return Status::Internal("execution failed: " + ctx.error);
+    }
+    if (status == ExecStatus::kCancelled) {
+      POPDB_DCHECK(cancel_token_ != nullptr);
+      if (stats != nullptr) {
+        stats->attempts.push_back(std::move(info));
+        stats->total_ms = NowMs() - t_begin;
+      }
+      return CancelledStatus(*cancel_token_, query.name());
     }
     if (status == ExecStatus::kReoptimize) {
       POPDB_DCHECK(ctx.reopt.triggered);
@@ -183,7 +206,7 @@ Result<std::vector<Row>> ProgressiveExecutor::Run(const QuerySpec& query,
                                 static_cast<double>(op->rows_produced()));
         }
       }
-      cross_query_store_->Absorb(query, feedback_.map());
+      cross_query_store_->Absorb(query, feedback_.Snapshot());
     }
     if (stats != nullptr) {
       stats->attempts.push_back(std::move(info));

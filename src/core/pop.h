@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/status.h"
 #include "core/executor_builder.h"
 #include "core/feedback.h"
@@ -87,6 +88,12 @@ class ProgressiveExecutor {
     cross_query_store_ = store;
   }
 
+  /// Cooperative cancellation: when set, the token is polled during
+  /// execution (and between optimization attempts); a tripped token makes
+  /// Execute return Status::Cancelled or Status::DeadlineExceeded, matching
+  /// the token's reason. Not owned; may be null.
+  void set_cancel_token(CancelToken* token) { cancel_token_ = token; }
+
   const PopConfig& pop_config() const { return pop_config_; }
   const OptimizerConfig& optimizer_config() const {
     return optimizer_.config();
@@ -108,6 +115,7 @@ class ProgressiveExecutor {
   FeedbackCache feedback_;
   MatViewRegistry matviews_;
   QueryFeedbackStore* cross_query_store_ = nullptr;
+  CancelToken* cancel_token_ = nullptr;
 };
 
 /// Monotonic wall-clock milliseconds (benchmark helper).

@@ -33,6 +33,7 @@ ExecStatus HashAggOp::Open(ExecContext* ctx) {
   std::unordered_map<Row, std::vector<AggState>, RowHash> groups;
   Row row;
   while (true) {
+    if (ctx->CancelPending()) return ExecStatus::kCancelled;
     s = child_->Next(ctx, &row);
     if (s == ExecStatus::kEof) break;
     if (s != ExecStatus::kRow) return s;

@@ -58,6 +58,7 @@ ExecStatus NljnOp::Next(ExecContext* ctx, Row* out) {
     }
     // Iterate candidate inner rows for the current outer row.
     while (true) {
+      if (ctx->CancelPending()) return ExecStatus::kCancelled;
       int64_t rid;
       if (inner_.index != nullptr) {
         if (candidate_pos_ >= index_candidates_->size()) break;
@@ -207,6 +208,7 @@ ExecStatus HsjnOp::Join(ExecContext* ctx, std::vector<Row>* build,
       map[BuildKey((*build)[i])].push_back(i);
     }
     for (const Row& prow : *probe) {
+      if (ctx->CancelPending()) return ExecStatus::kCancelled;
       ++ctx->work;
       auto it = map.find(ProbeKey(prow));
       if (it == map.end()) continue;
@@ -242,6 +244,7 @@ ExecStatus HsjnOp::Join(ExecContext* ctx, std::vector<Row>* build,
 ExecStatus HsjnOp::Next(ExecContext* ctx, Row* out) {
   if (in_memory_mode_) {
     while (true) {
+      if (ctx->CancelPending()) return ExecStatus::kCancelled;
       if (matches_ != nullptr && match_pos_ < matches_->size()) {
         *out = merge_.Merge(probe_row_, build_rows_[(*matches_)[match_pos_]]);
         ++match_pos_;
@@ -315,9 +318,9 @@ ExecStatus MgjnOp::Open(ExecContext* ctx) {
   left_eof_ = right_eof_ = false;
   in_group_ = false;
   const ExecStatus sl = AdvanceLeft(ctx);
-  if (sl == ExecStatus::kReoptimize || sl == ExecStatus::kError) return sl;
+  if (IsAbortStatus(sl)) return sl;
   const ExecStatus sr = AdvanceRight(ctx);
-  if (sr == ExecStatus::kReoptimize || sr == ExecStatus::kError) return sr;
+  if (IsAbortStatus(sr)) return sr;
   return ExecStatus::kOk;
 }
 
@@ -347,6 +350,7 @@ ExecStatus MgjnOp::AdvanceRight(ExecContext* ctx) {
 
 ExecStatus MgjnOp::Next(ExecContext* ctx, Row* out) {
   while (true) {
+    if (ctx->CancelPending()) return ExecStatus::kCancelled;
     if (in_group_) {
       if (group_pos_ < right_group_.size()) {
         *out = merge_.Merge(left_row_, right_group_[group_pos_]);
@@ -357,7 +361,7 @@ ExecStatus MgjnOp::Next(ExecContext* ctx, Row* out) {
       // Current left row finished its group; see if the next left row has
       // the same key and can reuse the buffered group.
       const ExecStatus s = AdvanceLeft(ctx);
-      if (s == ExecStatus::kReoptimize || s == ExecStatus::kError) return s;
+      if (IsAbortStatus(s)) return s;
       if (left_valid_ &&
           CompareKeys(left_row_, right_group_.front()) == 0) {
         group_pos_ = 0;
@@ -378,14 +382,14 @@ ExecStatus MgjnOp::Next(ExecContext* ctx, Row* out) {
     const int cmp = CompareKeys(left_row_, right_row_);
     if (cmp < 0) {
       const ExecStatus s = AdvanceLeft(ctx);
-      if (s == ExecStatus::kReoptimize || s == ExecStatus::kError) return s;
+      if (IsAbortStatus(s)) return s;
       if (!left_valid_) {
         MarkEof();
         return ExecStatus::kEof;
       }
     } else if (cmp > 0) {
       const ExecStatus s = AdvanceRight(ctx);
-      if (s == ExecStatus::kReoptimize || s == ExecStatus::kError) return s;
+      if (IsAbortStatus(s)) return s;
       if (!right_valid_) {
         MarkEof();
         return ExecStatus::kEof;
@@ -396,7 +400,7 @@ ExecStatus MgjnOp::Next(ExecContext* ctx, Row* out) {
       right_group_.push_back(right_row_);
       while (true) {
         const ExecStatus s = AdvanceRight(ctx);
-        if (s == ExecStatus::kReoptimize || s == ExecStatus::kError) return s;
+        if (IsAbortStatus(s)) return s;
         if (!right_valid_) break;
         if (CompareKeys(left_row_, right_row_) != 0) break;
         right_group_.push_back(right_row_);

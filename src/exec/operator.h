@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/value.h"
 #include "exec/layout.h"
 
@@ -18,7 +19,15 @@ enum class ExecStatus {
   kEof,         ///< Next reached end of stream.
   kReoptimize,  ///< A CHECK fired; unwind and re-optimize.
   kError,       ///< Internal failure; details in ExecContext::error.
+  kCancelled,   ///< Cooperative cancellation (client request or deadline).
 };
+
+/// True for statuses that must unwind the whole operator tree (anything
+/// other than a row or a clean end of stream).
+inline bool IsAbortStatus(ExecStatus s) {
+  return s == ExecStatus::kReoptimize || s == ExecStatus::kError ||
+         s == ExecStatus::kCancelled;
+}
 
 /// Which kind of checkpoint fired (paper Section 3).
 enum class CheckFlavor {
@@ -115,6 +124,25 @@ struct ExecContext {
   std::vector<CheckEvent> check_events;
 
   std::string error;
+
+  /// Cooperative cancellation token, polled by operators in their row loops
+  /// (scans, NLJN inner loops, spill passes). Not owned; may be null.
+  CancelToken* cancel = nullptr;
+
+  /// Strided poll: checks the token every kCancelPollStride calls so the
+  /// per-row cost is a decrement on the fast path. Returns true once the
+  /// token tripped (explicit cancel or deadline); the polling operator then
+  /// unwinds with ExecStatus::kCancelled.
+  bool CancelPending() {
+    if (cancel == nullptr) return false;
+    if (--cancel_poll_countdown_ > 0) return false;
+    cancel_poll_countdown_ = kCancelPollStride;
+    return cancel->Expired();
+  }
+
+ private:
+  static constexpr int kCancelPollStride = 256;
+  int cancel_poll_countdown_ = 1;
 };
 
 /// Base class for Volcano-style iterators (open/next/close; Figure 10 of
@@ -136,8 +164,8 @@ class Operator {
   /// checkpoint fires during eager materialization.
   virtual ExecStatus Open(ExecContext* ctx) = 0;
 
-  /// Produces the next row into `*out`. Returns kRow, kEof, kReoptimize or
-  /// kError. After kEof the call must not be repeated.
+  /// Produces the next row into `*out`. Returns kRow, kEof, kReoptimize,
+  /// kCancelled or kError. After kEof the call must not be repeated.
   virtual ExecStatus Next(ExecContext* ctx, Row* out) = 0;
 
   /// Releases resources. Must be safe to call after any status.

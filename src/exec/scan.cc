@@ -10,6 +10,7 @@ ExecStatus TableScanOp::Open(ExecContext* ctx) {
 
 ExecStatus TableScanOp::Next(ExecContext* ctx, Row* out) {
   while (next_rid_ < table_->num_rows()) {
+    if (ctx->CancelPending()) return ExecStatus::kCancelled;
     const Row& row = table_->row(next_rid_);
     ++next_rid_;
     ++ctx->work;

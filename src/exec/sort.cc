@@ -63,6 +63,7 @@ ExecStatus SortOp::Open(ExecContext* ctx) {
       if (runs[r].first < runs[r].second) heap.push({runs[r].first, r});
     }
     while (!heap.empty()) {
+      if (ctx->CancelPending()) return ExecStatus::kCancelled;
       auto [cursor, r] = heap.top();
       heap.pop();
       ++ctx->work;
@@ -77,6 +78,7 @@ ExecStatus SortOp::Open(ExecContext* ctx) {
 }
 
 ExecStatus SortOp::Next(ExecContext* ctx, Row* out) {
+  if (ctx->CancelPending()) return ExecStatus::kCancelled;
   if (next_ < rows_.size()) {
     ++ctx->work;
     *out = rows_[next_++];
@@ -124,6 +126,7 @@ ExecStatus TempOp::Open(ExecContext* ctx) {
 }
 
 ExecStatus TempOp::Next(ExecContext* ctx, Row* out) {
+  if (ctx->CancelPending()) return ExecStatus::kCancelled;
   if (next_ < rows_.size()) {
     ++ctx->work;
     *out = rows_[next_++];

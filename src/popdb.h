@@ -19,6 +19,7 @@
 #include "core/pop.h"               // IWYU pragma: export
 #include "opt/optimizer.h"          // IWYU pragma: export
 #include "opt/query.h"              // IWYU pragma: export
+#include "runtime/query_service.h"  // IWYU pragma: export
 #include "sql/binder.h"             // IWYU pragma: export
 #include "storage/catalog.h"        // IWYU pragma: export
 #include "storage/csv.h"            // IWYU pragma: export

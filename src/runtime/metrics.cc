@@ -1,0 +1,51 @@
+#include "runtime/metrics.h"
+
+#include <algorithm>
+
+namespace popdb {
+
+void ServiceMetrics::RecordLatency(double ms) {
+  std::lock_guard<std::mutex> lock(latency_mu_);
+  if (latencies_.size() < kLatencyWindow) {
+    latencies_.push_back(ms);
+  } else {
+    latencies_[latency_next_] = ms;
+    latency_wrapped_ = true;
+  }
+  latency_next_ = (latency_next_ + 1) % kLatencyWindow;
+}
+
+namespace {
+double Percentile(std::vector<double>* sorted_in_place, double p) {
+  std::vector<double>& v = *sorted_in_place;
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const size_t idx = static_cast<size_t>(p * static_cast<double>(v.size() - 1));
+  return v[idx];
+}
+}  // namespace
+
+ServiceStatsSnapshot ServiceMetrics::Snapshot() const {
+  ServiceStatsSnapshot s;
+  s.submitted = submitted_.load();
+  s.admitted = admitted_.load();
+  s.rejected = rejected_.load();
+  s.completed = completed_.load();
+  s.failed = failed_.load();
+  s.cancelled = cancelled_.load();
+  s.deadline_expired = deadline_expired_.load();
+  s.reoptimized_queries = reoptimized_queries_.load();
+  s.reopt_attempts = reopt_attempts_.load();
+  s.checks_fired = checks_fired_.load();
+  s.queries_in_flight = in_flight_.load();
+  std::vector<double> samples;
+  {
+    std::lock_guard<std::mutex> lock(latency_mu_);
+    samples = latencies_;
+  }
+  s.p50_latency_ms = Percentile(&samples, 0.50);
+  s.p95_latency_ms = Percentile(&samples, 0.95);
+  return s;
+}
+
+}  // namespace popdb

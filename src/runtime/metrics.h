@@ -1,0 +1,86 @@
+#ifndef POPDB_RUNTIME_METRICS_H_
+#define POPDB_RUNTIME_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace popdb {
+
+/// Point-in-time view of a QueryService's aggregate counters. All counters
+/// are monotonically increasing except queries_in_flight.
+struct ServiceStatsSnapshot {
+  int64_t submitted = 0;
+  int64_t admitted = 0;
+  int64_t rejected = 0;  ///< Bounced by admission control (queue full).
+  int64_t completed = 0;
+  int64_t failed = 0;
+  int64_t cancelled = 0;         ///< Explicit client cancellation.
+  int64_t deadline_expired = 0;  ///< Deadline-triggered cancellation.
+  int64_t reoptimized_queries = 0;  ///< Queries with >= 1 re-optimization.
+  int64_t reopt_attempts = 0;       ///< Total re-optimizations served.
+  int64_t checks_fired = 0;
+  int64_t queries_in_flight = 0;  ///< Admitted, not yet finished.
+  double p50_latency_ms = 0.0;    ///< Over recent end-to-end latencies.
+  double p95_latency_ms = 0.0;
+};
+
+/// Thread-safe counter and latency aggregation for the QueryService.
+/// Counters are lock-free atomics; latencies go into a bounded ring of
+/// recent samples (percentiles computed on demand from the ring).
+class ServiceMetrics {
+ public:
+  void OnSubmitted() { ++submitted_; }
+  void OnAdmitted() {
+    ++admitted_;
+    ++in_flight_;
+  }
+  void OnRejected() { ++rejected_; }
+  void OnCompleted() { Finish(&completed_); }
+  void OnFailed() { Finish(&failed_); }
+  void OnCancelled() { Finish(&cancelled_); }
+  void OnDeadlineExpired() { Finish(&deadline_expired_); }
+
+  void OnReopts(int reopts, int64_t fired) {
+    if (reopts > 0) {
+      ++reoptimized_queries_;
+      reopt_attempts_ += reopts;
+    }
+    checks_fired_ += fired;
+  }
+
+  /// Records one end-to-end (submit → finish) latency sample.
+  void RecordLatency(double ms);
+
+  ServiceStatsSnapshot Snapshot() const;
+
+ private:
+  void Finish(std::atomic<int64_t>* counter) {
+    ++*counter;
+    --in_flight_;
+  }
+
+  static constexpr size_t kLatencyWindow = 4096;
+
+  std::atomic<int64_t> submitted_{0};
+  std::atomic<int64_t> admitted_{0};
+  std::atomic<int64_t> rejected_{0};
+  std::atomic<int64_t> completed_{0};
+  std::atomic<int64_t> failed_{0};
+  std::atomic<int64_t> cancelled_{0};
+  std::atomic<int64_t> deadline_expired_{0};
+  std::atomic<int64_t> reoptimized_queries_{0};
+  std::atomic<int64_t> reopt_attempts_{0};
+  std::atomic<int64_t> checks_fired_{0};
+  std::atomic<int64_t> in_flight_{0};
+
+  mutable std::mutex latency_mu_;
+  std::vector<double> latencies_;  ///< Ring buffer of recent samples.
+  size_t latency_next_ = 0;
+  bool latency_wrapped_ = false;
+};
+
+}  // namespace popdb
+
+#endif  // POPDB_RUNTIME_METRICS_H_

@@ -1,0 +1,262 @@
+#include "runtime/query_service.h"
+
+#include <chrono>
+#include <utility>
+
+#include "core/leo.h"
+
+namespace popdb {
+
+namespace {
+const char* PriorityName(QueryPriority p) {
+  return p == QueryPriority::kHigh ? "high" : "normal";
+}
+
+const char* OutcomeName(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kCancelled:
+      return "cancelled";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline";
+    default:
+      return "error";
+  }
+}
+}  // namespace
+
+// ------------------------------------------------------------ QueryTicket
+
+const QueryResult& QueryTicket::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return done_; });
+  return result_;
+}
+
+bool QueryTicket::WaitForMs(double timeout_ms) {
+  std::unique_lock<std::mutex> lock(mu_);
+  return cv_.wait_for(
+      lock, std::chrono::duration<double, std::milli>(timeout_ms),
+      [this] { return done_; });
+}
+
+bool QueryTicket::done() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return done_;
+}
+
+// ------------------------------------------------------------ QueryService
+
+QueryService::QueryService(const Catalog& catalog, ServiceConfig config)
+    : catalog_(catalog), config_(std::move(config)) {
+  if (config_.num_workers < 1) config_.num_workers = 1;
+  if (config_.queue_capacity < 1) config_.queue_capacity = 1;
+  workers_.reserve(static_cast<size_t>(config_.num_workers));
+  for (int i = 0; i < config_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+QueryService::~QueryService() { Shutdown(/*drain=*/true); }
+
+Result<std::shared_ptr<QueryTicket>> QueryService::Submit(
+    QuerySpec query, SubmitOptions opts) {
+  metrics_.OnSubmitted();
+  std::shared_ptr<QueryTicket> ticket(new QueryTicket(std::move(query)));
+  ticket->priority_ = opts.priority;
+  ticket->session_id_ = config_.share_feedback ? 0 : opts.session_id;
+  ticket->query_id_ = next_query_id_.fetch_add(1);
+  ticket->submit_ms_ = NowMs();
+  const double deadline_ms =
+      opts.deadline_ms < 0 ? config_.default_deadline_ms : opts.deadline_ms;
+  if (deadline_ms > 0) ticket->cancel_.SetDeadlineAfterMs(deadline_ms);
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      metrics_.OnRejected();
+      return Status::InvalidArgument("query service is shut down");
+    }
+    if (static_cast<int>(lanes_[0].size() + lanes_[1].size()) >=
+        config_.queue_capacity) {
+      metrics_.OnRejected();
+      return Status::ResourceExhausted(
+          "admission queue full (" + std::to_string(config_.queue_capacity) +
+          " pending queries)");
+    }
+    lanes_[static_cast<int>(ticket->priority_)].push_back(ticket);
+    metrics_.OnAdmitted();
+  }
+  cv_.notify_one();
+  return ticket;
+}
+
+QueryResult QueryService::ExecuteSync(QuerySpec query, SubmitOptions opts) {
+  Result<std::shared_ptr<QueryTicket>> ticket =
+      Submit(std::move(query), opts);
+  if (!ticket.ok()) {
+    QueryResult result;
+    result.status = ticket.status();
+    return result;
+  }
+  return ticket.value()->Wait();
+}
+
+void QueryService::Shutdown(bool drain) {
+  std::vector<std::shared_ptr<QueryTicket>> dropped;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!shutdown_) {
+      shutdown_ = true;
+      if (!drain) {
+        for (auto& lane : lanes_) {
+          for (auto& t : lane) {
+            t->Cancel();
+            dropped.push_back(std::move(t));
+          }
+          lane.clear();
+        }
+      }
+    }
+  }
+  // Complete dropped tickets as cancelled (outside the queue lock).
+  for (const auto& t : dropped) {
+    QueryResult result;
+    result.status =
+        Status::Cancelled("query '" + t->query_.name() +
+                          "' dropped: service shut down before execution");
+    QueryTrace trace;
+    trace.queue_ms = NowMs() - t->submit_ms_;
+    FinishTicket(t, std::move(result), std::move(trace));
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+void QueryService::WorkerLoop() {
+  while (true) {
+    std::shared_ptr<QueryTicket> ticket;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] {
+        return shutdown_ || !lanes_[0].empty() || !lanes_[1].empty();
+      });
+      // High lane first; FIFO within a lane.
+      if (!lanes_[1].empty()) {
+        ticket = std::move(lanes_[1].front());
+        lanes_[1].pop_front();
+      } else if (!lanes_[0].empty()) {
+        ticket = std::move(lanes_[0].front());
+        lanes_[0].pop_front();
+      } else {
+        return;  // shutdown_ and both lanes empty
+      }
+    }
+    RunOne(ticket);
+  }
+}
+
+QueryFeedbackStore* QueryService::FeedbackFor(uint64_t session_id) {
+  if (config_.share_feedback) return &shared_feedback_;
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  std::unique_ptr<QueryFeedbackStore>& store = session_feedback_[session_id];
+  if (store == nullptr) store = std::make_unique<QueryFeedbackStore>();
+  return store.get();
+}
+
+void QueryService::RunOne(const std::shared_ptr<QueryTicket>& ticket) {
+  QueryTrace trace;
+  trace.query_id = ticket->query_id_;
+  trace.query_name = ticket->query_.name();
+  trace.session_id = ticket->session_id_;
+  trace.priority = PriorityName(ticket->priority_);
+  trace.shared_feedback = config_.share_feedback;
+  trace.queue_ms = NowMs() - ticket->submit_ms_;
+
+  if (config_.io_stall_ms > 0 && !ticket->cancel_.Expired()) {
+    // Simulated I/O stall, sliced so cancellation stays responsive.
+    double remaining_ms = config_.io_stall_ms;
+    while (remaining_ms > 0 && !ticket->cancel_.Expired()) {
+      const double slice = remaining_ms < 1.0 ? remaining_ms : 1.0;
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(slice));
+      remaining_ms -= slice;
+    }
+  }
+
+  QueryResult result;
+  if (ticket->cancel_.Expired()) {
+    // Cancelled (or past deadline) while still queued: never execute.
+    result.status =
+        ticket->cancel_.reason() == CancelReason::kDeadline
+            ? Status::DeadlineExceeded("query '" + trace.query_name +
+                                       "' exceeded its deadline in the queue")
+            : Status::Cancelled("query '" + trace.query_name +
+                                "' cancelled while queued");
+  } else {
+    ProgressiveExecutor exec(catalog_, config_.optimizer, config_.pop);
+    exec.set_cross_query_store(FeedbackFor(ticket->session_id_));
+    exec.set_cancel_token(&ticket->cancel_);
+    ExecutionStats stats;
+    Result<std::vector<Row>> rows =
+        config_.use_pop ? exec.Execute(ticket->query_, &stats)
+                        : exec.ExecuteStatic(ticket->query_, &stats);
+    FillTraceFromStats(stats, &trace);
+    result.status = rows.status();
+    if (rows.ok()) result.rows = std::move(rows).TakeValue();
+
+    metrics_.OnReopts(stats.reopts, trace.checks_fired);
+    if (trace.checks_fired > 0) {
+      std::lock_guard<std::mutex> lock(history_mu_);
+      for (const CheckEvent& ev : stats.check_events) {
+        if (!ev.fired) continue;
+        ++check_history_[QueryFeedbackStore::SubplanSignature(ticket->query_,
+                                                              ev.edge_set)];
+      }
+    }
+  }
+
+  FinishTicket(ticket, std::move(result), std::move(trace));
+}
+
+void QueryService::FinishTicket(const std::shared_ptr<QueryTicket>& ticket,
+                                QueryResult result, QueryTrace trace) {
+  trace.total_ms = NowMs() - ticket->submit_ms_;
+  trace.outcome = OutcomeName(result.status);
+  if (!result.status.ok()) trace.status_message = result.status.ToString();
+
+  switch (result.status.code()) {
+    case StatusCode::kOk:
+      metrics_.OnCompleted();
+      break;
+    case StatusCode::kCancelled:
+      metrics_.OnCancelled();
+      break;
+    case StatusCode::kDeadlineExceeded:
+      metrics_.OnDeadlineExpired();
+      break;
+    default:
+      metrics_.OnFailed();
+  }
+  metrics_.RecordLatency(trace.total_ms);
+
+  result.trace = trace;
+  if (config_.trace_sink != nullptr) config_.trace_sink->Emit(trace);
+
+  {
+    std::lock_guard<std::mutex> lock(ticket->mu_);
+    ticket->result_ = std::move(result);
+    ticket->done_ = true;
+  }
+  ticket->cv_.notify_all();
+}
+
+std::map<std::string, int64_t> QueryService::CheckHistory() const {
+  std::lock_guard<std::mutex> lock(history_mu_);
+  return check_history_;
+}
+
+}  // namespace popdb

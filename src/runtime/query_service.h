@@ -1,0 +1,201 @@
+#ifndef POPDB_RUNTIME_QUERY_SERVICE_H_
+#define POPDB_RUNTIME_QUERY_SERVICE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/cancel.h"
+#include "common/status.h"
+#include "core/pop.h"
+#include "runtime/metrics.h"
+#include "runtime/trace.h"
+#include "storage/catalog.h"
+
+namespace popdb {
+
+/// Admission lane. High-priority submissions are dispatched before any
+/// queued normal-priority work; within a lane, dispatch is FIFO.
+enum class QueryPriority { kNormal = 0, kHigh = 1 };
+
+/// Configuration of a QueryService instance.
+struct ServiceConfig {
+  /// Worker threads executing queries (each runs one query at a time).
+  int num_workers = 4;
+
+  /// Bound on queued (admitted, not yet running) queries across both
+  /// lanes; Submit rejects with ResourceExhausted when the bound is hit.
+  int queue_capacity = 64;
+
+  /// Progressive (POP) execution; false = classic optimize-once execution.
+  bool use_pop = true;
+
+  /// One process-wide feedback store shared by all sessions: cardinalities
+  /// learned by any query's re-optimization seed the planning of
+  /// concurrent and subsequent queries (LEO-style, across threads). When
+  /// false, feedback is isolated per SubmitOptions::session_id.
+  bool share_feedback = true;
+
+  /// Deadline applied to queries that don't specify one; 0 = none. The
+  /// clock starts at submission, so queue wait counts against it.
+  double default_deadline_ms = 0.0;
+
+  /// Simulated per-query storage/network stall in ms (the worker sleeps
+  /// this long before executing). Models the I/O wait of a disk-based
+  /// engine so scheduler experiments (bench_runtime_throughput) can
+  /// measure dispatch scaling independent of core count; 0 = off.
+  double io_stall_ms = 0.0;
+
+  OptimizerConfig optimizer;
+  PopConfig pop;
+
+  /// Receives a QueryTrace for every finished query. Not owned; may be
+  /// null. Must be thread safe (workers emit concurrently).
+  TraceSink* trace_sink = nullptr;
+};
+
+/// Per-submission options.
+struct SubmitOptions {
+  QueryPriority priority = QueryPriority::kNormal;
+
+  /// Deadline in ms from submission; -1 = service default, 0 = none.
+  double deadline_ms = -1.0;
+
+  /// Feedback scope when ServiceConfig::share_feedback is false. Ignored
+  /// (all sessions share) when share_feedback is true.
+  uint64_t session_id = 0;
+};
+
+/// Final outcome of a submitted query.
+struct QueryResult {
+  Status status;
+  std::vector<Row> rows;
+  QueryTrace trace;
+};
+
+/// Client-side handle for one submission. Thread safe; obtained from
+/// QueryService::Submit as a shared_ptr (the service keeps a reference
+/// until the query finishes, so the client may drop the ticket early).
+class QueryTicket {
+ public:
+  /// Requests cooperative cancellation: a still-queued query finishes as
+  /// cancelled without executing; a running query unwinds at its next
+  /// cancellation poll inside the operator tree.
+  void Cancel() { cancel_.RequestCancel(); }
+
+  /// Blocks until the query finished. The reference stays valid for the
+  /// ticket's lifetime.
+  const QueryResult& Wait();
+
+  /// Waits up to `timeout_ms`; returns false on timeout.
+  bool WaitForMs(double timeout_ms);
+
+  bool done() const;
+
+  int64_t query_id() const { return query_id_; }
+
+ private:
+  friend class QueryService;
+
+  explicit QueryTicket(QuerySpec query) : query_(std::move(query)) {}
+
+  // Submission metadata, immutable after Submit().
+  QuerySpec query_;
+  QueryPriority priority_ = QueryPriority::kNormal;
+  uint64_t session_id_ = 0;
+  int64_t query_id_ = 0;
+  double submit_ms_ = 0.0;
+
+  CancelToken cancel_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  QueryResult result_;
+};
+
+/// Concurrent query-service front end over ProgressiveExecutor: a fixed
+/// worker pool pulls submissions from a bounded two-lane admission queue
+/// and executes them progressively, sharing re-optimization feedback
+/// across the whole workload. Per-query deadlines and client cancellation
+/// unwind running operator trees cooperatively.
+///
+/// Example:
+///   QueryService service(catalog, ServiceConfig{});
+///   auto ticket = service.Submit(query);
+///   if (!ticket.ok()) ...           // e.g. admission queue full
+///   const QueryResult& r = ticket.value()->Wait();
+///   r.trace.ToJson();               // structured per-query trace
+class QueryService {
+ public:
+  /// `catalog` must outlive the service.
+  QueryService(const Catalog& catalog, ServiceConfig config);
+
+  /// Drains queued queries, then joins the workers.
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Submits a query for execution. Fails with ResourceExhausted when the
+  /// admission queue is full (the query is not enqueued and counts as
+  /// rejected) and with InvalidArgument after Shutdown.
+  Result<std::shared_ptr<QueryTicket>> Submit(QuerySpec query,
+                                              SubmitOptions opts = {});
+
+  /// Convenience: Submit + Wait. Admission failures surface as the
+  /// result's status.
+  QueryResult ExecuteSync(QuerySpec query, SubmitOptions opts = {});
+
+  /// Stops admission and joins the workers. drain=true (default) finishes
+  /// all queued queries first; drain=false completes queued-but-not-started
+  /// queries as cancelled. Idempotent.
+  void Shutdown(bool drain = true);
+
+  /// Aggregate counters and latency percentiles.
+  ServiceStatsSnapshot Stats() const { return metrics_.Snapshot(); }
+
+  /// Process-wide check-firing history: canonical subplan signature of the
+  /// guarded edge -> number of times a checkpoint on it fired. Shared
+  /// diagnostic memory of where the optimizer's estimates break.
+  std::map<std::string, int64_t> CheckHistory() const;
+
+  const ServiceConfig& config() const { return config_; }
+
+ private:
+  void WorkerLoop();
+  void RunOne(const std::shared_ptr<QueryTicket>& ticket);
+  void FinishTicket(const std::shared_ptr<QueryTicket>& ticket,
+                    QueryResult result, QueryTrace trace);
+  /// Store for a session (the shared store, or the per-session one).
+  QueryFeedbackStore* FeedbackFor(uint64_t session_id);
+
+  const Catalog& catalog_;
+  ServiceConfig config_;
+  ServiceMetrics metrics_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  /// Index 0 = normal lane, 1 = high lane; each FIFO.
+  std::deque<std::shared_ptr<QueryTicket>> lanes_[2];
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+
+  QueryFeedbackStore shared_feedback_;
+  std::mutex sessions_mu_;
+  std::map<uint64_t, std::unique_ptr<QueryFeedbackStore>> session_feedback_;
+
+  mutable std::mutex history_mu_;
+  std::map<std::string, int64_t> check_history_;
+
+  std::atomic<int64_t> next_query_id_{1};
+};
+
+}  // namespace popdb
+
+#endif  // POPDB_RUNTIME_QUERY_SERVICE_H_

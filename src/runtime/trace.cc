@@ -1,0 +1,101 @@
+#include "runtime/trace.h"
+
+#include "common/json.h"
+
+namespace popdb {
+
+void FillTraceFromStats(const ExecutionStats& stats, QueryTrace* trace) {
+  trace->work = stats.total_work;
+  trace->result_rows = stats.result_rows;
+  trace->reopts = stats.reopts;
+  trace->check_events = static_cast<int64_t>(stats.check_events.size());
+  trace->checks_fired = 0;
+  for (const CheckEvent& ev : stats.check_events) {
+    if (ev.fired) ++trace->checks_fired;
+  }
+  trace->optimize_ms = 0.0;
+  trace->execute_ms = 0.0;
+  trace->attempts.clear();
+  trace->attempts.reserve(stats.attempts.size());
+  for (const AttemptInfo& a : stats.attempts) {
+    TraceAttempt ta;
+    ta.plan_text = a.plan_text;
+    ta.optimize_ms = a.optimize_ms;
+    ta.execute_ms = a.execute_ms;
+    ta.work = a.work;
+    ta.rows_returned = a.rows_returned;
+    ta.reoptimized = a.reoptimized;
+    if (a.reoptimized) ta.reopt_flavor = CheckFlavorName(a.signal.flavor);
+    trace->optimize_ms += a.optimize_ms;
+    trace->execute_ms += a.execute_ms;
+    trace->attempts.push_back(std::move(ta));
+  }
+}
+
+std::string QueryTrace::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("query_id").Int(query_id);
+  w.Key("query").String(query_name);
+  w.Key("session").Int(static_cast<int64_t>(session_id));
+  w.Key("priority").String(priority);
+  w.Key("outcome").String(outcome);
+  if (!status_message.empty()) w.Key("status").String(status_message);
+  w.Key("shared_feedback").Bool(shared_feedback);
+  w.Key("latency_ms")
+      .BeginObject()
+      .Key("queue")
+      .Double(queue_ms)
+      .Key("optimize")
+      .Double(optimize_ms)
+      .Key("execute")
+      .Double(execute_ms)
+      .Key("total")
+      .Double(total_ms)
+      .EndObject();
+  w.Key("work").Int(work);
+  w.Key("result_rows").Int(result_rows);
+  w.Key("reopts").Int(reopts);
+  w.Key("check_events").Int(check_events);
+  w.Key("checks_fired").Int(checks_fired);
+  w.Key("attempts").BeginArray();
+  for (const TraceAttempt& a : attempts) {
+    w.BeginObject();
+    w.Key("plan").String(a.plan_text);
+    w.Key("optimize_ms").Double(a.optimize_ms);
+    w.Key("execute_ms").Double(a.execute_ms);
+    w.Key("work").Int(a.work);
+    w.Key("rows_returned").Int(a.rows_returned);
+    w.Key("reoptimized").Bool(a.reoptimized);
+    if (a.reoptimized) w.Key("reopt_flavor").String(a.reopt_flavor);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+void CollectingTraceSink::Emit(const QueryTrace& trace) {
+  std::lock_guard<std::mutex> lock(mu_);
+  traces_.push_back(trace);
+}
+
+std::vector<QueryTrace> CollectingTraceSink::Drain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<QueryTrace> out = std::move(traces_);
+  traces_.clear();
+  return out;
+}
+
+int64_t CollectingTraceSink::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(traces_.size());
+}
+
+void StreamTraceSink::Emit(const QueryTrace& trace) {
+  const std::string line = trace.ToJson();
+  std::lock_guard<std::mutex> lock(mu_);
+  (*out_) << line << '\n';
+}
+
+}  // namespace popdb

@@ -1,0 +1,96 @@
+#ifndef POPDB_RUNTIME_TRACE_H_
+#define POPDB_RUNTIME_TRACE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/pop.h"
+
+namespace popdb {
+
+/// Per-attempt slice of a QueryTrace (one optimize+execute step of the
+/// progressive loop).
+struct TraceAttempt {
+  std::string plan_text;
+  double optimize_ms = 0.0;
+  double execute_ms = 0.0;
+  int64_t work = 0;
+  int64_t rows_returned = 0;
+  bool reoptimized = false;
+  std::string reopt_flavor;  ///< Check flavor that fired (when reoptimized).
+};
+
+/// Structured record of one query's trip through the QueryService, emitted
+/// to the configured TraceSink whenever a query finishes — successfully,
+/// with an error, cancelled, or past its deadline.
+struct QueryTrace {
+  int64_t query_id = 0;
+  std::string query_name;
+  uint64_t session_id = 0;
+  std::string priority;        ///< "high" or "normal".
+  std::string outcome;         ///< "ok", "error", "cancelled", "deadline".
+  std::string status_message;  ///< Status detail for non-ok outcomes.
+  bool shared_feedback = false;
+
+  // Latency breakdown (milliseconds).
+  double queue_ms = 0.0;     ///< Admission queue wait.
+  double optimize_ms = 0.0;  ///< Total across attempts.
+  double execute_ms = 0.0;   ///< Total across attempts.
+  double total_ms = 0.0;     ///< Submission to completion.
+
+  int64_t work = 0;  ///< Deterministic work units across attempts.
+  int64_t result_rows = 0;
+  int reopts = 0;
+  int64_t check_events = 0;  ///< Checkpoint evaluations observed.
+  int64_t checks_fired = 0;
+
+  std::vector<TraceAttempt> attempts;
+
+  /// Compact single-line JSON rendering of the whole trace.
+  std::string ToJson() const;
+};
+
+/// Copies the progressive executor's diagnostics into a trace (attempts,
+/// work counters, check-event tallies, per-phase latencies).
+void FillTraceFromStats(const ExecutionStats& stats, QueryTrace* trace);
+
+/// Receives completed-query traces. Implementations must be thread safe:
+/// worker threads emit concurrently.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void Emit(const QueryTrace& trace) = 0;
+};
+
+/// Buffers traces in memory, in completion order (tests, examples).
+class CollectingTraceSink : public TraceSink {
+ public:
+  void Emit(const QueryTrace& trace) override;
+
+  /// Returns all buffered traces and clears the buffer.
+  std::vector<QueryTrace> Drain();
+  int64_t count() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<QueryTrace> traces_;
+};
+
+/// Writes each trace as one JSON line (JSONL) to a stream. The stream is
+/// not owned and must outlive the sink.
+class StreamTraceSink : public TraceSink {
+ public:
+  explicit StreamTraceSink(std::ostream* out) : out_(out) {}
+  void Emit(const QueryTrace& trace) override;
+
+ private:
+  std::mutex mu_;
+  std::ostream* out_;
+};
+
+}  // namespace popdb
+
+#endif  // POPDB_RUNTIME_TRACE_H_

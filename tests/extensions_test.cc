@@ -316,8 +316,8 @@ TEST(QueryFeedbackStoreTest, AbsorbAndSeedRoundTrip) {
   EXPECT_EQ(1, store.size());
   FeedbackCache seeded;
   store.Seed(q, &seeded);
-  ASSERT_EQ(1u, seeded.map().size());
-  EXPECT_DOUBLE_EQ(123.0, seeded.map().at(TableBit(t)).exact);
+  ASSERT_EQ(1u, seeded.Snapshot().size());
+  EXPECT_DOUBLE_EQ(123.0, seeded.Snapshot().at(TableBit(t)).exact);
 }
 
 TEST(QueryFeedbackStoreTest, SecondExecutionAvoidsReoptimization) {

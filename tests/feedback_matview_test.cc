@@ -12,15 +12,15 @@ TEST(FeedbackCacheTest, RecordExact) {
   FeedbackCache fb;
   EXPECT_TRUE(fb.empty());
   fb.RecordExact(0b11, 120.0);
-  ASSERT_EQ(1u, fb.map().size());
-  EXPECT_DOUBLE_EQ(120.0, fb.map().at(0b11).exact);
+  ASSERT_EQ(1u, fb.Snapshot().size());
+  EXPECT_DOUBLE_EQ(120.0, fb.Snapshot().at(0b11).exact);
 }
 
 TEST(FeedbackCacheTest, ExactOverwritesExact) {
   FeedbackCache fb;
   fb.RecordExact(0b1, 10.0);
   fb.RecordExact(0b1, 25.0);
-  EXPECT_DOUBLE_EQ(25.0, fb.map().at(0b1).exact);
+  EXPECT_DOUBLE_EQ(25.0, fb.Snapshot().at(0b1).exact);
 }
 
 TEST(FeedbackCacheTest, LowerBoundsKeepMaximum) {
@@ -28,15 +28,15 @@ TEST(FeedbackCacheTest, LowerBoundsKeepMaximum) {
   fb.RecordLowerBound(0b1, 10.0);
   fb.RecordLowerBound(0b1, 50.0);
   fb.RecordLowerBound(0b1, 30.0);
-  EXPECT_DOUBLE_EQ(50.0, fb.map().at(0b1).lower_bound);
-  EXPECT_LT(fb.map().at(0b1).exact, 0);
+  EXPECT_DOUBLE_EQ(50.0, fb.Snapshot().at(0b1).lower_bound);
+  EXPECT_LT(fb.Snapshot().at(0b1).exact, 0);
 }
 
 TEST(FeedbackCacheTest, ExactDominatesLowerBound) {
   FeedbackCache fb;
   fb.RecordExact(0b1, 20.0);
   fb.RecordLowerBound(0b1, 500.0);
-  EXPECT_DOUBLE_EQ(20.0, fb.map().at(0b1).exact);
+  EXPECT_DOUBLE_EQ(20.0, fb.Snapshot().at(0b1).exact);
 }
 
 TEST(FeedbackCacheTest, ClearEmpties) {
