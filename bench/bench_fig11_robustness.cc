@@ -41,6 +41,18 @@ void Run() {
                    "pop_ms", "static_ms", "optimal_ms", "reopts",
                    "static/opt", "pop/opt", "optimal_plan"});
 
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("name").String("fig11_robustness");
+  json.Key("config")
+      .BeginObject()
+      .Key("tpch_scale")
+      .Double(gen.scale)
+      .Key("default_range_selectivity")
+      .Double(MakeOptConfig().estimator.default_range_selectivity)
+      .EndObject();
+  json.Key("points").BeginArray();
+
   for (int sel = 0; sel <= 100; sel += 10) {
     // (a) POP with parameter marker.
     QuerySpec q_marker = tpch::MakeQ10Selectivity(sel, /*use_marker=*/true);
@@ -81,7 +93,35 @@ void Run() {
                StrFormat("%.2f", static_cast<double>(pop_stats.total_work) /
                                      static_cast<double>(opt_stats.total_work)),
                bench::JoinShape(*opt_plan.value().root)});
+    json.BeginObject()
+        .Key("actual_sel_pct")
+        .Int(sel)
+        .Key("pop_work")
+        .Int(pop_stats.total_work)
+        .Key("static_work")
+        .Int(static_stats.total_work)
+        .Key("optimal_work")
+        .Int(opt_stats.total_work)
+        .Key("pop_ms")
+        .Double(pop_stats.total_ms)
+        .Key("static_ms")
+        .Double(static_stats.total_ms)
+        .Key("optimal_ms")
+        .Double(opt_stats.total_ms)
+        .Key("reopts")
+        .Int(pop_stats.reopts)
+        .Key("static_over_optimal")
+        .Double(static_cast<double>(static_stats.total_work) /
+                static_cast<double>(opt_stats.total_work))
+        .Key("pop_over_optimal")
+        .Double(static_cast<double>(pop_stats.total_work) /
+                static_cast<double>(opt_stats.total_work))
+        .Key("optimal_plan")
+        .String(bench::JoinShape(*opt_plan.value().root))
+        .EndObject();
   }
+  json.EndArray().EndObject();
+  bench::WriteBenchJson("fig11_robustness", json.str());
   std::fputs(tp.ToString().c_str(), stdout);
   std::printf(
       "\nNote: 'work' counts rows touched (deterministic, machine\n"

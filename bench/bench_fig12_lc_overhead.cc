@@ -35,6 +35,18 @@ void Run() {
   TablePrinter tp({"query", "checkpoint", "before_reopt", "optimize",
                    "after_reopt", "total_norm", "reopts"});
 
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("name").String("fig12_lc_overhead");
+  json.Key("config")
+      .BeginObject()
+      .Key("tpch_scale")
+      .Double(gen.scale)
+      .Key("hash_join_enabled")
+      .Bool(false)
+      .EndObject();
+  json.Key("points").BeginArray();
+
   for (int qnum : {3, 4, 5, 7, 9}) {
     const QuerySpec query = tpch::MakeQuery(qnum);
 
@@ -96,8 +108,26 @@ void Run() {
                  StrFormat("%.3f",
                            static_cast<double>(stats.total_work) / t_plain),
                  StrFormat("%d", stats.reopts)});
+      json.BeginObject()
+          .Key("query")
+          .String(StrFormat("Q%d", qnum))
+          .Key("checkpoint")
+          .Int(k)
+          .Key("before_reopt")
+          .Double(before)
+          .Key("optimize")
+          .Double(opt_ms_frac)
+          .Key("after_reopt")
+          .Double(after)
+          .Key("total_norm")
+          .Double(static_cast<double>(stats.total_work) / t_plain)
+          .Key("reopts")
+          .Int(stats.reopts)
+          .EndObject();
     }
   }
+  json.EndArray().EndObject();
+  bench::WriteBenchJson("fig12_lc_overhead", json.str());
   std::fputs(tp.ToString().c_str(), stdout);
   std::printf(
       "\n'before_reopt'/'after_reopt' are the work shares of the two\n"

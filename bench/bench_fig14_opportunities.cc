@@ -42,6 +42,13 @@ void Run() {
   TablePrinter tp({"query", "checkpoint", "frac_first", "frac_eval",
                    "rows_seen"});
 
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("name").String("fig14_opportunities");
+  json.Key("config").BeginObject().Key("tpch_scale").Double(gen.scale)
+      .Key("observe_only").Bool(true).EndObject();
+  json.Key("points").BeginArray();
+
   for (int qnum : {2, 3, 4, 5, 7, 8, 11, 18}) {
     const QuerySpec query = tpch::MakeQuery(qnum);
     OptimizerConfig opt;
@@ -66,8 +73,25 @@ void Run() {
                  f_first < 0 ? std::string("-") : StrFormat("%.3f", f_first),
                  StrFormat("%.3f", f_eval),
                  StrFormat("%lld", static_cast<long long>(ev.count))});
+      json.BeginObject()
+          .Key("query")
+          .String(StrFormat("Q%d", qnum))
+          .Key("checkpoint")
+          .String(SiteName(ev));
+      if (f_first < 0) {
+        json.Key("frac_first").Null();
+      } else {
+        json.Key("frac_first").Double(f_first);
+      }
+      json.Key("frac_eval")
+          .Double(f_eval)
+          .Key("rows_seen")
+          .Int(ev.count)
+          .EndObject();
     }
   }
+  json.EndArray().EndObject();
+  bench::WriteBenchJson("fig14_opportunities", json.str());
   std::fputs(tp.ToString().c_str(), stdout);
   std::printf(
       "\n'frac_eval' is the fraction of total query work completed when the\n"

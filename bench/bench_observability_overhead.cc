@@ -1,0 +1,160 @@
+// Measures the cost of the observability layer: the same progressive
+// workload runs with span tracing disabled (the default) and enabled, and
+// the slowdown is reported normalized by work done (rows touched), so a
+// plan change between rounds cannot masquerade as instrumentation cost.
+// Operator stats and EXPLAIN ANALYZE profiles are always on; what the
+// toggle adds is span recording in every Open/Close, checkpoint instants,
+// and the optimizer-phase spans. Target: < 5% work-normalized overhead.
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/span.h"
+#include "common/table_printer.h"
+#include "core/pop.h"
+#include "tpch/tpch_gen.h"
+#include "tpch/tpch_queries.h"
+
+namespace popdb {
+namespace {
+
+double WallMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct RoundResult {
+  double ms = 0.0;
+  int64_t work = 0;
+  int64_t spans = 0;
+};
+
+/// One pass over the workload: a mix of TPC-H queries executed
+/// progressively, some of which re-optimize. Returns wall time and total
+/// work; the tracer (if enabled) is cleared first so span counts are
+/// per-round.
+RoundResult RunRound(const Catalog& catalog, int repeats) {
+  SpanTracer& tracer = SpanTracer::Global();
+  tracer.Clear();
+  RoundResult r;
+  const double t0 = WallMs();
+  for (int rep = 0; rep < repeats; ++rep) {
+    for (int qnum : {3, 4, 5, 10}) {
+      ProgressiveExecutor exec(catalog, OptimizerConfig{}, PopConfig{});
+      ExecutionStats stats;
+      Result<std::vector<Row>> rows =
+          exec.Execute(tpch::MakeQuery(qnum), &stats);
+      POPDB_DCHECK(rows.ok());
+      r.work += stats.total_work;
+    }
+  }
+  r.ms = WallMs() - t0;
+  r.spans = tracer.event_count();
+  return r;
+}
+
+void Run() {
+  bench::PrintHeader("Observability overhead: span tracing on vs off",
+                     "instrumentation-cost check (ISSUE PR 2)");
+  Catalog catalog;
+  tpch::GenConfig gen;
+  gen.scale = bench::EnvScale("POPDB_TPCH_SCALE", gen.scale);
+  POPDB_DCHECK(tpch::BuildCatalog(gen, &catalog).ok());
+
+  const int repeats = 6;
+  SpanTracer& tracer = SpanTracer::Global();
+
+  // Warm-up (touches the buffer pool, feedback caches cold each round
+  // because every executor is fresh).
+  tracer.Disable();
+  RunRound(catalog, 1);
+
+  // Interleave off/on rounds and keep the best (min ms/work) of each mode
+  // so scheduler noise doesn't decide the verdict.
+  double best_off = -1.0, best_on = -1.0;
+  RoundResult off_round, on_round;
+  for (int trial = 0; trial < 3; ++trial) {
+    tracer.Disable();
+    const RoundResult off = RunRound(catalog, repeats);
+    const double off_rate = off.ms / static_cast<double>(off.work);
+    if (best_off < 0 || off_rate < best_off) {
+      best_off = off_rate;
+      off_round = off;
+    }
+    tracer.Enable();
+    const RoundResult on = RunRound(catalog, repeats);
+    const double on_rate = on.ms / static_cast<double>(on.work);
+    if (best_on < 0 || on_rate < best_on) {
+      best_on = on_rate;
+      on_round = on;
+    }
+  }
+  tracer.Disable();
+  tracer.Clear();
+
+  const double overhead_pct = (best_on / best_off - 1.0) * 100.0;
+
+  TablePrinter tp({"tracing", "ms", "work", "ns_per_work_unit", "spans"});
+  tp.AddRow({"off", StrFormat("%.1f", off_round.ms),
+             StrFormat("%lld", static_cast<long long>(off_round.work)),
+             StrFormat("%.2f", best_off * 1e6), "0"});
+  tp.AddRow({"on", StrFormat("%.1f", on_round.ms),
+             StrFormat("%lld", static_cast<long long>(on_round.work)),
+             StrFormat("%.2f", best_on * 1e6),
+             StrFormat("%lld", static_cast<long long>(on_round.spans))});
+  std::fputs(tp.ToString().c_str(), stdout);
+  std::printf(
+      "\nwork-normalized tracing overhead: %+.2f%% (target < 5%%)\n"
+      "%s\n",
+      overhead_pct,
+      overhead_pct < 5.0 ? "PASS: within the 5% budget"
+                         : "WARN: above the 5% budget");
+
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("name").String("observability_overhead");
+  json.Key("config")
+      .BeginObject()
+      .Key("tpch_scale")
+      .Double(gen.scale)
+      .Key("repeats")
+      .Int(repeats)
+      .Key("trials")
+      .Int(3)
+      .EndObject();
+  json.Key("tracing_off")
+      .BeginObject()
+      .Key("ms")
+      .Double(off_round.ms)
+      .Key("work")
+      .Int(off_round.work)
+      .Key("ns_per_work_unit")
+      .Double(best_off * 1e6)
+      .EndObject();
+  json.Key("tracing_on")
+      .BeginObject()
+      .Key("ms")
+      .Double(on_round.ms)
+      .Key("work")
+      .Int(on_round.work)
+      .Key("ns_per_work_unit")
+      .Double(best_on * 1e6)
+      .Key("spans_recorded")
+      .Int(on_round.spans)
+      .EndObject();
+  json.Key("overhead_pct").Double(overhead_pct);
+  json.Key("within_budget").Bool(overhead_pct < 5.0);
+  json.EndObject();
+  bench::WriteBenchJson("observability", json.str());
+}
+
+}  // namespace
+}  // namespace popdb
+
+int main() {
+  popdb::Run();
+  return 0;
+}

@@ -155,7 +155,7 @@ ScalingPoint RunBatch(const Catalog& catalog, int workers, int num_queries,
   return point;
 }
 
-void RunScaling() {
+void RunScaling(JsonWriter* json) {
   bench::PrintHeader(
       "QueryService throughput scaling (worker pool size sweep)",
       "the runtime companion to Markl et al., SIGMOD 2004");
@@ -173,6 +173,14 @@ void RunScaling() {
   std::printf("batch=%d queries, simulated I/O stall=%.1f ms/query\n",
               num_queries, io_stall_ms);
 
+  json->Key("config")
+      .BeginObject()
+      .Key("batch")
+      .Int(num_queries)
+      .Key("io_stall_ms")
+      .Double(io_stall_ms)
+      .EndObject();
+  json->Key("scaling").BeginArray();
   TablePrinter tp({"workers", "qps", "speedup_vs_1", "p50_ms", "p95_ms"});
   double base_qps = 0.0;
   double speedup_at_8 = 0.0;
@@ -185,7 +193,20 @@ void RunScaling() {
     tp.AddRow({std::to_string(workers), StrFormat("%.1f", p.qps),
                StrFormat("%.2fx", speedup), StrFormat("%.2f", p.p50_ms),
                StrFormat("%.2f", p.p95_ms)});
+    json->BeginObject()
+        .Key("workers")
+        .Int(workers)
+        .Key("qps")
+        .Double(p.qps)
+        .Key("speedup_vs_1")
+        .Double(speedup)
+        .Key("p50_ms")
+        .Double(p.p50_ms)
+        .Key("p95_ms")
+        .Double(p.p95_ms)
+        .EndObject();
   }
+  json->EndArray();
   std::printf("%s\n", tp.ToString().c_str());
   std::printf("scaling 1 -> 8 workers: %.2fx queries/sec (target > 3x)\n",
               speedup_at_8);
@@ -193,7 +214,7 @@ void RunScaling() {
 
 // ------------------------------------------------- shared-feedback value.
 
-void RunFeedbackAblation() {
+void RunFeedbackAblation(JsonWriter* json) {
   bench::PrintHeader(
       "Shared re-optimization feedback: one store vs per-session stores",
       "LEO-style cross-query learning, Sec. 6 'exploiting feedback'");
@@ -204,6 +225,7 @@ void RunFeedbackAblation() {
 
   TablePrinter tp({"feedback", "queries", "reopt_queries", "reopt_attempts",
                    "total_ms", "ms/query"});
+  json->Key("feedback_ablation").BeginArray();
   for (const bool shared : {true, false}) {
     ServiceConfig config;
     config.num_workers = 1;  // Serialize so learning order is deterministic.
@@ -229,13 +251,31 @@ void RunFeedbackAblation() {
                std::to_string(stats.reopt_attempts),
                StrFormat("%.1f", elapsed_ms),
                StrFormat("%.2f", elapsed_ms / repeats)});
+    json->BeginObject()
+        .Key("mode")
+        .String(shared ? "shared" : "per-session")
+        .Key("queries")
+        .Int(repeats)
+        .Key("reopt_queries")
+        .Int(stats.reoptimized_queries)
+        .Key("reopt_attempts")
+        .Int(stats.reopt_attempts)
+        .Key("total_ms")
+        .Double(elapsed_ms)
+        .EndObject();
   }
+  json->EndArray();
   std::printf("%s\n", tp.ToString().c_str());
 }
 
 void Run() {
-  RunScaling();
-  RunFeedbackAblation();
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("name").String("runtime_throughput");
+  RunScaling(&json);
+  RunFeedbackAblation(&json);
+  json.EndObject();
+  bench::WriteBenchJson("runtime_throughput", json.str());
 }
 
 }  // namespace

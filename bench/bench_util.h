@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "common/json.h"
 #include "common/string_util.h"
 #include "common/table_printer.h"
 #include "core/pop.h"
@@ -48,6 +49,33 @@ inline void PrintHeader(const char* title, const char* paper_ref) {
   std::printf("%s\n", title);
   std::printf("(reproduces %s)\n", paper_ref);
   std::printf("================================================================\n");
+}
+
+/// Destination for machine-readable results: BENCH_<name>.json in the
+/// working directory, or in $POPDB_BENCH_JSON_DIR when set.
+inline std::string BenchJsonPath(const char* name) {
+  const char* dir = std::getenv("POPDB_BENCH_JSON_DIR");
+  std::string path = (dir != nullptr && *dir != '\0')
+                         ? std::string(dir) + "/"
+                         : std::string();
+  return path + "BENCH_" + name + ".json";
+}
+
+/// Writes a benchmark's results (a complete JSON document, typically built
+/// with JsonWriter) to BENCH_<name>.json so the perf trajectory can be
+/// tracked across commits. Prints the destination; failures are reported
+/// but non-fatal (benchmarks still print their tables).
+inline void WriteBenchJson(const char* name, const std::string& json) {
+  const std::string path = BenchJsonPath(name);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "WARN: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fputs(json.c_str(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::printf("results written to %s\n", path.c_str());
 }
 
 }  // namespace popdb::bench

@@ -1,14 +1,19 @@
 #!/usr/bin/env bash
 # CI entry point: release build + full test suite, then a ThreadSanitizer
 # build that hammers the concurrent pieces (runtime query service, shared
-# feedback stores, parallel executors).
+# feedback stores, parallel executors, metrics registry, span tracer), then
+# a UBSan build over the tracing/metrics/runtime suites.
 #
-# Usage: ./ci.sh [--skip-tsan]
+# Usage: ./ci.sh [--skip-tsan] [--skip-ubsan]
 set -euo pipefail
 cd "$(dirname "$0")"
 
 SKIP_TSAN=0
-[[ "${1:-}" == "--skip-tsan" ]] && SKIP_TSAN=1
+SKIP_UBSAN=0
+for arg in "$@"; do
+  [[ "$arg" == "--skip-tsan" ]] && SKIP_TSAN=1
+  [[ "$arg" == "--skip-ubsan" ]] && SKIP_UBSAN=1
+done
 
 echo "=== release build + full ctest ==="
 cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
@@ -17,14 +22,29 @@ ctest --test-dir build --output-on-failure -j "$(nproc)"
 
 if [[ "$SKIP_TSAN" == "1" ]]; then
   echo "=== TSan stage skipped (--skip-tsan) ==="
-  exit 0
+else
+  echo "=== ThreadSanitizer build + concurrency tests ==="
+  cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DPOPDB_SANITIZE=thread
+  cmake --build build-tsan -j \
+        --target runtime_test concurrency_test observability_test
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/runtime_test
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/concurrency_test
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/observability_test
 fi
 
-echo "=== ThreadSanitizer build + concurrency tests ==="
-cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-      -DPOPDB_SANITIZE=thread
-cmake --build build-tsan -j --target runtime_test concurrency_test
-TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/runtime_test
-TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/concurrency_test
+if [[ "$SKIP_UBSAN" == "1" ]]; then
+  echo "=== UBSan stage skipped (--skip-ubsan) ==="
+else
+  echo "=== UndefinedBehaviorSanitizer build + observability/runtime tests ==="
+  cmake -B build-ubsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DPOPDB_SANITIZE=undefined
+  cmake --build build-ubsan -j \
+        --target runtime_test observability_test operator_test pop_test
+  UBSAN_OPTIONS="halt_on_error=1" ./build-ubsan/tests/observability_test
+  UBSAN_OPTIONS="halt_on_error=1" ./build-ubsan/tests/runtime_test
+  UBSAN_OPTIONS="halt_on_error=1" ./build-ubsan/tests/operator_test
+  UBSAN_OPTIONS="halt_on_error=1" ./build-ubsan/tests/pop_test
+fi
 
 echo "=== ci.sh: all stages passed ==="

@@ -1,0 +1,126 @@
+// Observability tour: EXPLAIN ANALYZE, span tracing with Perfetto export,
+// and the Prometheus metrics endpoint --
+//   1. run a query whose cardinality estimate is badly off and read the
+//      EXPLAIN ANALYZE output: per-operator est vs. actual rows, Q-error,
+//      and the CHECK firing that triggered re-optimization,
+//   2. capture the same run as spans and write popdb_trace.json -- open it
+//      at https://ui.perfetto.dev (or chrome://tracing) to see optimizer
+//      phases, operator lifetimes, and checkpoint instants on a timeline,
+//   3. serve the workload through QueryService and print the Prometheus
+//      text exposition a /metrics endpoint would return.
+//
+// Build & run:  cmake --build build && ./build/examples/observability
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include "common/span.h"
+#include "runtime/query_service.h"
+
+using namespace popdb;  // NOLINT: example brevity.
+
+namespace {
+
+// Orders/items with correlated predicates (same trap as runtime_service):
+// the independence assumption underestimates the filtered orders
+// cardinality ~200x, so the first progressive run re-optimizes.
+void BuildCatalog(Catalog* catalog) {
+  Rng rng(5);
+  Table orders("orders", Schema({{"o_id", ValueType::kInt},
+                                 {"clazz", ValueType::kInt},
+                                 {"subclass", ValueType::kInt}}));
+  for (int64_t i = 0; i < 4000; ++i) {
+    const int64_t sub = rng.UniformInt(0, 199);
+    orders.AppendRow({Value::Int(i), Value::Int(sub / 10), Value::Int(sub)});
+  }
+  POPDB_DCHECK(catalog->AddTable(std::move(orders)).ok());
+  Table items("items", Schema({{"i_order", ValueType::kInt},
+                               {"qty", ValueType::kInt}}));
+  for (int64_t i = 0; i < 12000; ++i) {
+    items.AppendRow({Value::Int(rng.UniformInt(0, 3999)),
+                     Value::Int(rng.UniformInt(1, 50))});
+  }
+  POPDB_DCHECK(catalog->AddTable(std::move(items)).ok());
+  catalog->AnalyzeAll();
+}
+
+QuerySpec TrapQuery(const std::string& name) {
+  QuerySpec q(name);
+  const int o = q.AddTable("orders");
+  const int it = q.AddTable("items");
+  q.AddJoin({o, 0}, {it, 0});
+  q.AddPred({o, 1}, PredKind::kEq, Value::Int(7));
+  q.AddPred({o, 2}, PredKind::kEq, Value::Int(77));
+  q.AddGroupBy({o, 1});
+  q.AddAgg(AggFunc::kCount);
+  return q;
+}
+
+}  // namespace
+
+int main() {
+  Catalog catalog;
+  BuildCatalog(&catalog);
+
+  // ---- 1. EXPLAIN ANALYZE: est vs. actual per operator, per attempt.
+  std::printf("==== EXPLAIN ANALYZE ====\n");
+  {
+    ProgressiveExecutor exec(catalog, OptimizerConfig{}, PopConfig{});
+    Result<std::string> text = exec.ExplainAnalyze(TrapQuery("explained"));
+    POPDB_DCHECK(text.ok());
+    std::fputs(text.value().c_str(), stdout);
+    std::printf(
+        "\nReading it: 'est_rows' is the optimizer's guess, 'act_rows' what\n"
+        "the operator produced, 'q' their Q-error. Attempt 1 stops at the\n"
+        "CHECK firing; attempt 2 replans with the observed cardinality\n"
+        "(note the q values collapsing to ~1).\n\n");
+  }
+
+  // ---- 2. Span capture + Chrome-trace export for Perfetto.
+  std::printf("==== span capture ====\n");
+  SpanTracer& tracer = SpanTracer::Global();
+  tracer.Clear();
+  tracer.Enable();
+  {
+    ProgressiveExecutor exec(catalog, OptimizerConfig{}, PopConfig{});
+    ExecutionStats stats;
+    POPDB_DCHECK(exec.Execute(TrapQuery("traced"), &stats).ok());
+    std::printf("captured %lld events over %d attempt(s)\n",
+                static_cast<long long>(tracer.event_count()),
+                static_cast<int>(stats.attempts.size()));
+  }
+  tracer.Disable();
+  {
+    const char* path = "popdb_trace.json";
+    std::FILE* f = std::fopen(path, "w");
+    if (f != nullptr) {
+      const std::string json = tracer.ExportChromeTrace();
+      std::fputs(json.c_str(), f);
+      std::fclose(f);
+      std::printf(
+          "wrote %s -- drag it into https://ui.perfetto.dev and look for:\n"
+          "  - 'optimize' / 'execute_attempt' spans, one pair per attempt,\n"
+          "  - operator spans (TBSCAN, HSJN, GRPBY...) nested inside,\n"
+          "  - 'checkpoint_fired' / 'check_fired' instants at the "
+          "re-optimization point.\n\n",
+          path);
+    }
+  }
+  tracer.Clear();
+
+  // ---- 3. Prometheus metrics from the query service.
+  std::printf("==== /metrics ====\n");
+  ServiceConfig config;
+  config.num_workers = 2;
+  QueryService service(catalog, config);
+  POPDB_DCHECK(service.ExecuteSync(TrapQuery("svc_a")).status.ok());
+  POPDB_DCHECK(service.ExecuteSync(TrapQuery("svc_b")).status.ok());
+  service.Shutdown();
+  std::fputs(service.MetricsText().c_str(), stdout);
+  std::printf(
+      "\nHighlights: popdb_checks_fired_by_flavor_total breaks firings out\n"
+      "by checkpoint flavor, popdb_operator_qerror is the estimate-quality\n"
+      "distribution, popdb_feedback_seed_hits shows query 2 planning with\n"
+      "query 1's learned cardinalities.\n");
+  return 0;
+}

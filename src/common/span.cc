@@ -1,0 +1,156 @@
+#include "common/span.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/json.h"
+
+namespace popdb {
+
+namespace {
+int64_t MonotonicNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+SpanTracer& SpanTracer::Global() {
+  static SpanTracer* tracer = new SpanTracer();  // Never destroyed.
+  return *tracer;
+}
+
+SpanTracer::SpanTracer() : epoch_ns_(MonotonicNanos()) {}
+
+int64_t SpanTracer::NowUs() const {
+  return (MonotonicNanos() - epoch_ns_) / 1000;
+}
+
+SpanTracer::ThreadLog* SpanTracer::LogForThisThread() {
+  // One log per (tracer, thread). The raw pointer stays valid after thread
+  // exit because the tracer owns the log; the global tracer lives forever.
+  thread_local ThreadLog* cached = nullptr;
+  thread_local const SpanTracer* cached_owner = nullptr;
+  if (cached == nullptr || cached_owner != this) {
+    std::lock_guard<std::mutex> lock(logs_mu_);
+    logs_.push_back(std::make_unique<ThreadLog>());
+    logs_.back()->tid = next_tid_++;
+    cached = logs_.back().get();
+    cached_owner = this;
+  }
+  return cached;
+}
+
+void SpanTracer::RecordSpan(const char* name, const char* category,
+                            int64_t ts_us, int64_t dur_us,
+                            const char* arg_name, int64_t arg) {
+  ThreadLog* log = LogForThisThread();
+  SpanEvent ev;
+  ev.name = name;
+  ev.category = category;
+  ev.tid = log->tid;
+  ev.ts_us = ts_us;
+  ev.dur_us = dur_us < 0 ? 0 : dur_us;
+  ev.arg_name = arg_name;
+  ev.arg = arg;
+  std::lock_guard<std::mutex> lock(log->mu);
+  log->events.push_back(ev);
+}
+
+void SpanTracer::RecordInstant(const char* name, const char* category,
+                               const char* arg_name, int64_t arg) {
+  ThreadLog* log = LogForThisThread();
+  SpanEvent ev;
+  ev.name = name;
+  ev.category = category;
+  ev.tid = log->tid;
+  ev.ts_us = NowUs();
+  ev.dur_us = -1;
+  ev.arg_name = arg_name;
+  ev.arg = arg;
+  std::lock_guard<std::mutex> lock(log->mu);
+  log->events.push_back(ev);
+}
+
+std::vector<SpanEvent> SpanTracer::Snapshot() const {
+  std::vector<SpanEvent> out;
+  {
+    std::lock_guard<std::mutex> lock(logs_mu_);
+    for (const auto& log : logs_) {
+      std::lock_guard<std::mutex> log_lock(log->mu);
+      out.insert(out.end(), log->events.begin(), log->events.end());
+    }
+  }
+  // Parent-before-child order: by thread, then start time, then longest
+  // first so an enclosing span sorts ahead of the spans it contains.
+  std::sort(out.begin(), out.end(),
+            [](const SpanEvent& a, const SpanEvent& b) {
+              if (a.tid != b.tid) return a.tid < b.tid;
+              if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+              return a.dur_us > b.dur_us;
+            });
+  return out;
+}
+
+void SpanTracer::Clear() {
+  std::lock_guard<std::mutex> lock(logs_mu_);
+  for (const auto& log : logs_) {
+    std::lock_guard<std::mutex> log_lock(log->mu);
+    log->events.clear();
+  }
+}
+
+int64_t SpanTracer::event_count() const {
+  int64_t n = 0;
+  std::lock_guard<std::mutex> lock(logs_mu_);
+  for (const auto& log : logs_) {
+    std::lock_guard<std::mutex> log_lock(log->mu);
+    n += static_cast<int64_t>(log->events.size());
+  }
+  return n;
+}
+
+namespace {
+void EventToJson(const SpanEvent& ev, JsonWriter* w) {
+  w->BeginObject();
+  w->Key("name").String(ev.name);
+  w->Key("cat").String(ev.category);
+  if (ev.IsInstant()) {
+    w->Key("ph").String("i");
+    w->Key("s").String("t");  // Thread-scoped instant.
+  } else {
+    w->Key("ph").String("X");
+    w->Key("dur").Int(ev.dur_us);
+  }
+  w->Key("ts").Int(ev.ts_us);
+  w->Key("pid").Int(0);
+  w->Key("tid").Int(static_cast<int64_t>(ev.tid));
+  if (ev.arg_name != nullptr) {
+    w->Key("args").BeginObject().Key(ev.arg_name).Int(ev.arg).EndObject();
+  }
+  w->EndObject();
+}
+}  // namespace
+
+std::string SpanTracer::ExportChromeTrace() const {
+  const std::vector<SpanEvent> events = Snapshot();
+  JsonWriter w;
+  w.BeginArray();
+  for (const SpanEvent& ev : events) EventToJson(ev, &w);
+  w.EndArray();
+  return w.str();
+}
+
+std::string SpanTracer::ExportJsonl() const {
+  const std::vector<SpanEvent> events = Snapshot();
+  std::string out;
+  for (const SpanEvent& ev : events) {
+    JsonWriter w;
+    EventToJson(ev, &w);
+    out += w.str();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace popdb

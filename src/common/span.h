@@ -1,0 +1,179 @@
+#ifndef POPDB_COMMON_SPAN_H_
+#define POPDB_COMMON_SPAN_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace popdb {
+
+/// One recorded trace event. `name` and `category` are pointers to string
+/// literals (the macros below only accept literals), so events are
+/// trivially copyable and recording never allocates for the strings.
+struct SpanEvent {
+  const char* name = "";
+  const char* category = "popdb";
+  uint32_t tid = 0;       ///< Tracer-assigned dense thread id.
+  int64_t ts_us = 0;      ///< Start, microseconds since tracer epoch.
+  int64_t dur_us = -1;    ///< Duration; -1 marks an instant event.
+  int64_t arg = 0;        ///< Optional numeric payload (see arg_name).
+  const char* arg_name = nullptr;  ///< Null when no payload.
+
+  bool IsInstant() const { return dur_us < 0; }
+  /// True if `other` lies entirely within this span (same thread).
+  bool Encloses(const SpanEvent& other) const {
+    return tid == other.tid && ts_us <= other.ts_us &&
+           other.ts_us + (other.dur_us < 0 ? 0 : other.dur_us) <=
+               ts_us + dur_us;
+  }
+};
+
+/// Process-wide low-overhead span collector. Threads record into
+/// thread-local buffers (one uncontended mutex acquisition per event, only
+/// taken against a concurrent Snapshot/Clear); when tracing is disabled the
+/// cost of an instrumentation point is a single relaxed atomic load.
+///
+/// Exports the collected events as Chrome `trace_event` JSON ("complete"
+/// X events plus instant i events) loadable in Perfetto / chrome://tracing,
+/// or as one-JSON-object-per-line JSONL.
+class SpanTracer {
+ public:
+  /// The process-wide tracer used by the TRACE_* macros.
+  static SpanTracer& Global();
+
+  SpanTracer();
+  SpanTracer(const SpanTracer&) = delete;
+  SpanTracer& operator=(const SpanTracer&) = delete;
+
+  void Enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void Disable() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Microseconds since the tracer's epoch (monotonic clock).
+  int64_t NowUs() const;
+
+  /// Records a completed span. `name`/`category`/`arg_name` must be string
+  /// literals (or otherwise outlive the tracer).
+  void RecordSpan(const char* name, const char* category, int64_t ts_us,
+                  int64_t dur_us, const char* arg_name = nullptr,
+                  int64_t arg = 0);
+
+  /// Records an instant event at the current time.
+  void RecordInstant(const char* name, const char* category,
+                     const char* arg_name = nullptr, int64_t arg = 0);
+
+  /// Point-in-time copy of all recorded events, sorted by (tid, ts, -dur)
+  /// so a parent span always precedes the spans it encloses.
+  std::vector<SpanEvent> Snapshot() const;
+
+  /// Drops all recorded events (buffers of finished threads included).
+  void Clear();
+
+  int64_t event_count() const;
+
+  /// Chrome trace_event JSON: an array of objects with ph/ts/dur/pid/tid.
+  std::string ExportChromeTrace() const;
+
+  /// One JSON object per line (name, cat, tid, ts_us, dur_us, arg).
+  std::string ExportJsonl() const;
+
+ private:
+  struct ThreadLog {
+    mutable std::mutex mu;
+    uint32_t tid = 0;
+    std::vector<SpanEvent> events;
+  };
+
+  ThreadLog* LogForThisThread();
+
+  std::atomic<bool> enabled_{false};
+  int64_t epoch_ns_ = 0;
+
+  mutable std::mutex logs_mu_;
+  /// Owned logs, one per thread that ever recorded; kept after thread exit
+  /// so late Snapshots still see their events.
+  std::vector<std::unique_ptr<ThreadLog>> logs_;
+  uint32_t next_tid_ = 0;
+};
+
+/// RAII guard recording one span from construction to destruction on the
+/// global tracer. Near-zero cost when tracing is disabled.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, const char* category = "popdb")
+      : name_(name), category_(category) {
+    SpanTracer& tracer = SpanTracer::Global();
+    if (tracer.enabled()) {
+      active_ = true;
+      start_us_ = tracer.NowUs();
+    }
+  }
+  TraceSpan(const char* name, const char* category, const char* arg_name,
+            int64_t arg)
+      : TraceSpan(name, category) {
+    arg_name_ = arg_name;
+    arg_ = arg;
+  }
+  ~TraceSpan() {
+    if (active_) {
+      SpanTracer& tracer = SpanTracer::Global();
+      tracer.RecordSpan(name_, category_, start_us_,
+                        tracer.NowUs() - start_us_, arg_name_, arg_);
+    }
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Attaches/updates the numeric payload before the span closes.
+  void SetArg(const char* arg_name, int64_t arg) {
+    arg_name_ = arg_name;
+    arg_ = arg;
+  }
+
+ private:
+  const char* name_;
+  const char* category_;
+  const char* arg_name_ = nullptr;
+  int64_t arg_ = 0;
+  int64_t start_us_ = 0;
+  bool active_ = false;
+};
+
+#define POPDB_SPAN_CONCAT2(a, b) a##b
+#define POPDB_SPAN_CONCAT(a, b) POPDB_SPAN_CONCAT2(a, b)
+
+/// Scoped span covering the rest of the enclosing block:
+///   TRACE_SPAN("dp_enumeration");
+///   TRACE_SPAN("optimize", "opt");
+#define TRACE_SPAN(...) \
+  ::popdb::TraceSpan POPDB_SPAN_CONCAT(popdb_span_, __LINE__)(__VA_ARGS__)
+
+/// Named scoped span (when the guard must be referenced, e.g. SetArg):
+///   TRACE_SPAN_NAMED(span, "execute_attempt", "pop");
+///   span.SetArg("rows", n);
+#define TRACE_SPAN_NAMED(var, ...) ::popdb::TraceSpan var(__VA_ARGS__)
+
+/// Instant event:
+///   TRACE_INSTANT("check_fired", "pop");
+///   TRACE_INSTANT_ARG("check_fired", "pop", "rows", observed);
+#define TRACE_INSTANT(name, category)                                \
+  do {                                                               \
+    ::popdb::SpanTracer& popdb_tracer = ::popdb::SpanTracer::Global(); \
+    if (popdb_tracer.enabled())                                      \
+      popdb_tracer.RecordInstant((name), (category));                \
+  } while (0)
+
+#define TRACE_INSTANT_ARG(name, category, arg_name, arg_value)       \
+  do {                                                               \
+    ::popdb::SpanTracer& popdb_tracer = ::popdb::SpanTracer::Global(); \
+    if (popdb_tracer.enabled())                                      \
+      popdb_tracer.RecordInstant((name), (category), (arg_name),     \
+                                 static_cast<int64_t>(arg_value));   \
+  } while (0)
+
+}  // namespace popdb
+
+#endif  // POPDB_COMMON_SPAN_H_

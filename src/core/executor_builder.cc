@@ -1,5 +1,6 @@
 #include "core/executor_builder.h"
 
+#include "common/string_util.h"
 #include "exec/agg.h"
 #include "exec/check.h"
 #include "exec/join.h"
@@ -81,6 +82,9 @@ Result<std::unique_ptr<Operator>> ExecutorBuilder::BuildNode(
       if (node.mv_rows == nullptr) {
         return Status::Internal("matview scan without rows: " + node.mv_name);
       }
+      // The optimizer chose to reuse a harvested intermediate result.
+      TRACE_INSTANT_ARG("matview_reused", "pop", "rows",
+                        static_cast<int64_t>(node.mv_rows->size()));
       op = std::make_unique<MatViewScanOp>(node.mv_rows, node.set);
       break;
     }
@@ -245,10 +249,42 @@ Result<std::unique_ptr<Operator>> ExecutorBuilder::BuildNode(
   if (op == nullptr) {
     return Status::Internal("unhandled plan operator");
   }
+  // Attach the optimizer's per-node estimates so EXPLAIN ANALYZE can report
+  // estimated vs. actual rows for the executed tree.
+  op->AnnotateEstimates(node.card, node.cost, NodeDetail(node));
   if (node.set != 0 && !suppress_edges_) {
     edges_.emplace_back(node.set, op.get());
   }
   return op;
+}
+
+std::string ExecutorBuilder::NodeDetail(const PlanNode& node) {
+  switch (node.kind) {
+    case PlanOpKind::kTableScan:
+      return node.table_name;
+    case PlanOpKind::kMatViewScan:
+      return node.mv_name;
+    case PlanOpKind::kNljn: {
+      std::string detail = node.use_index ? "ix" : "scan";
+      const PlanNode& inner = *node.children[1];
+      detail += ":" + (inner.kind == PlanOpKind::kMatViewScan
+                           ? inner.mv_name
+                           : inner.table_name);
+      return detail;
+    }
+    case PlanOpKind::kCheck:
+    case PlanOpKind::kCheckMat:
+    case PlanOpKind::kBufCheck:
+      if (node.check.enabled) {
+        return StrFormat("%s [%.4g, %.4g]", CheckFlavorName(node.check.flavor),
+                         node.check.lo, node.check.hi);
+      }
+      return "disabled";
+    case PlanOpKind::kWorkBound:
+      return StrFormat("budget=%.4g", node.work_budget);
+    default:
+      return std::string();
+  }
 }
 
 }  // namespace popdb

@@ -42,6 +42,9 @@ class ExecutorBuilder {
 
  private:
   Result<std::unique_ptr<Operator>> BuildNode(const PlanNode& node);
+  /// Human-readable payload for EXPLAIN ANALYZE (table name, index use,
+  /// check flavor and range, work budget).
+  static std::string NodeDetail(const PlanNode& node);
   RowLayout LayoutFor(TableSet set) const;
   std::vector<ResolvedPredicate> ResolveTablePreds(
       const std::vector<int>& pred_ids) const;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "common/span.h"
 #include "common/string_util.h"
 
 namespace popdb {
@@ -84,20 +85,29 @@ void QueryFeedbackStore::Absorb(const QuerySpec& query,
 void QueryFeedbackStore::Seed(const QuerySpec& query,
                               FeedbackCache* out) const {
   std::lock_guard<std::mutex> lock(mu_);
+  ++seed_lookups_;
   if (store_.empty()) return;
   // Enumerate connected-ish subsets lazily: signatures are computed per
   // subset; queries are small (<= ~12 tables), so the full power set is
   // affordable and simpler than tracking connectivity.
   const TableSet full = query.AllTables();
   if (query.num_tables() > 16) return;  // Guard pathological inputs.
+  int64_t seeded = 0;
   for (TableSet set = 1; set <= full; ++set) {
     auto it = store_.find(SubplanSignature(query, set));
     if (it == store_.end()) continue;
     if (it->second.exact >= 0) {
       out->RecordExact(set, it->second.exact);
+      ++seeded;
     } else if (it->second.lower_bound >= 0) {
       out->RecordLowerBound(set, it->second.lower_bound);
+      ++seeded;
     }
+  }
+  if (seeded > 0) {
+    ++seed_hits_;
+    seeded_cards_ += seeded;
+    TRACE_INSTANT_ARG("feedback_seeded", "pop", "entries", seeded);
   }
 }
 

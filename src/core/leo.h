@@ -53,9 +53,29 @@ class QueryFeedbackStore {
     store_.clear();
   }
 
+  /// Seed() calls made (one per query compilation that consulted the
+  /// store) and how many of them found at least one learned cardinality —
+  /// the service's feedback-cache hit rate.
+  int64_t seed_lookups() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return seed_lookups_;
+  }
+  int64_t seed_hits() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return seed_hits_;
+  }
+  /// Total learned cardinalities handed out across all Seed() calls.
+  int64_t seeded_cards() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return seeded_cards_;
+  }
+
  private:
   mutable std::mutex mu_;
   std::map<std::string, CardFeedback> store_;
+  mutable int64_t seed_lookups_ = 0;
+  mutable int64_t seed_hits_ = 0;
+  mutable int64_t seeded_cards_ = 0;
 };
 
 }  // namespace popdb

@@ -2,6 +2,9 @@
 
 #include <chrono>
 
+#include "common/span.h"
+#include "common/string_util.h"
+
 namespace popdb {
 
 namespace {
@@ -48,6 +51,7 @@ void ProgressiveExecutor::Harvest(const ExecContext& ctx,
                                   const BuiltPlan& built,
                                   bool compensation_present,
                                   ExecutionStats* stats) {
+  TRACE_SPAN("harvest_feedback", "pop");
   // Materialized intermediate results: exact cardinalities always, rows as
   // temporary MVs when complete and reuse is on (Section 2.3; the
   // prototype reuses TEMP and SORT results).
@@ -59,6 +63,7 @@ void ProgressiveExecutor::Harvest(const ExecContext& ctx,
       if (pop_config_.reuse_matviews && info.rows != nullptr) {
         matviews_.Register(info.table_set, *info.rows,
                            info.sorted_positions);
+        TRACE_INSTANT_ARG("matview_registered", "pop", "rows", info.count);
         if (stats != nullptr) stats->mv_rows_harvested += info.count;
       }
     } else {
@@ -117,10 +122,13 @@ Result<std::vector<Row>> ProgressiveExecutor::Run(const QuerySpec& query,
 
     ValidityRangeAnalyzer analyzer(cost_model, pop_config_.validity);
     const FeedbackMap feedback_snapshot = feedback_.Snapshot();
-    Result<OptimizedPlan> planned = optimizer_.Optimize(
-        query, feedback_snapshot.empty() ? nullptr : &feedback_snapshot,
-        matviews_.empty() ? nullptr : &matviews_.views(),
-        pop_enabled ? &analyzer : nullptr);
+    Result<OptimizedPlan> planned = [&] {
+      TRACE_SPAN("optimize", "pop", "attempt", attempt);
+      return optimizer_.Optimize(
+          query, feedback_snapshot.empty() ? nullptr : &feedback_snapshot,
+          matviews_.empty() ? nullptr : &matviews_.views(),
+          pop_enabled ? &analyzer : nullptr);
+    }();
     if (!planned.ok()) return planned.status();
     std::shared_ptr<PlanNode> root = planned.value().root;
     info.candidates = planned.value().candidates;
@@ -129,6 +137,7 @@ Result<std::vector<Row>> ProgressiveExecutor::Run(const QuerySpec& query,
     // always terminates (Section 7).
     const bool place_checks = pop_enabled && attempt < pop_config_.max_reopts;
     if (place_checks) {
+      TRACE_SPAN("place_checkpoints", "pop");
       info.checks =
           PlaceCheckpoints(&root, pop_config_, cost_model, query_is_spj);
     }
@@ -141,7 +150,10 @@ Result<std::vector<Row>> ProgressiveExecutor::Run(const QuerySpec& query,
 
     ExecutorBuilder builder(catalog_, query, &returned_so_far,
                             pop_config_.reuse_hsjn_builds);
-    Result<BuiltPlan> built = builder.Build(*root);
+    Result<BuiltPlan> built = [&] {
+      TRACE_SPAN("build_executor", "pop");
+      return builder.Build(*root);
+    }();
     if (!built.ok()) return built.status();
 
     ExecContext ctx;
@@ -151,11 +163,19 @@ Result<std::vector<Row>> ProgressiveExecutor::Run(const QuerySpec& query,
 
     const double t_exec = NowMs();
     std::vector<Row> attempt_rows;
-    const ExecStatus status =
-        RunToCompletion(built.value().root.get(), &ctx, &attempt_rows);
+    const ExecStatus status = [&] {
+      TRACE_SPAN("execute_attempt", "pop", "attempt", attempt);
+      return RunToCompletion(built.value().root.get(), &ctx, &attempt_rows);
+    }();
     info.execute_ms = NowMs() - t_exec;
     info.work = ctx.work;
     info.rows_returned = static_cast<int64_t>(attempt_rows.size());
+    if (stats != nullptr) {
+      // The tree is closed; its counters are final. Snapshot before the
+      // operators are destroyed at the end of this iteration.
+      info.profile = ProfileOperatorTree(*built.value().root);
+      info.has_profile = true;
+    }
 
     if (stats != nullptr) {
       stats->total_work += ctx.work;
@@ -183,6 +203,8 @@ Result<std::vector<Row>> ProgressiveExecutor::Run(const QuerySpec& query,
     }
     if (status == ExecStatus::kReoptimize) {
       POPDB_DCHECK(ctx.reopt.triggered);
+      TRACE_INSTANT_ARG("check_fired", "pop", "observed_rows",
+                        ctx.reopt.observed_rows);
       info.reoptimized = true;
       info.signal = ctx.reopt;
       Harvest(ctx, built.value(), !returned_so_far.empty(), stats);
@@ -217,6 +239,47 @@ Result<std::vector<Row>> ProgressiveExecutor::Run(const QuerySpec& query,
     return result;
   }
   return Status::Internal("re-optimization loop did not terminate");
+}
+
+Result<std::string> ProgressiveExecutor::ExplainAnalyze(
+    const QuerySpec& query, ExecutionStats* stats) {
+  ExecutionStats local;
+  ExecutionStats* out = stats != nullptr ? stats : &local;
+  Result<std::vector<Row>> rows = Execute(query, out);
+  if (!rows.ok()) return rows.status();
+  return RenderExplainAnalyze(*out);
+}
+
+std::string RenderExplainAnalyze(const ExecutionStats& stats) {
+  std::string out;
+  for (size_t i = 0; i < stats.attempts.size(); ++i) {
+    const AttemptInfo& a = stats.attempts[i];
+    out += StrFormat("=== Attempt %d  (optimize %.3fms, execute %.3fms, "
+                     "work=%lld, rows=%lld)\n",
+                     static_cast<int>(i + 1), a.optimize_ms, a.execute_ms,
+                     static_cast<long long>(a.work),
+                     static_cast<long long>(a.rows_returned));
+    if (a.has_profile) {
+      out += RenderProfileText(a.profile);
+    } else {
+      out += a.plan_text;
+    }
+    if (a.reoptimized) {
+      out += StrFormat(
+          "--> CHECK fired: %s on edge set %llu, observed %lld rows "
+          "(%s) outside [%.4g, %.4g]; re-optimizing\n",
+          CheckFlavorName(a.signal.flavor),
+          static_cast<unsigned long long>(a.signal.edge_set),
+          static_cast<long long>(a.signal.observed_rows),
+          a.signal.exact ? "exact" : "lower bound", a.signal.check_lo,
+          a.signal.check_hi);
+    }
+  }
+  out += StrFormat("=== Done: %d attempt(s), %d re-optimization(s), "
+                   "%lld rows, %.3fms total\n",
+                   static_cast<int>(stats.attempts.size()), stats.reopts,
+                   static_cast<long long>(stats.result_rows), stats.total_ms);
+  return out;
 }
 
 }  // namespace popdb

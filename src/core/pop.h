@@ -9,6 +9,7 @@
 #include "common/cancel.h"
 #include "common/status.h"
 #include "core/executor_builder.h"
+#include "core/explain.h"
 #include "core/feedback.h"
 #include "core/leo.h"
 #include "core/matview.h"
@@ -31,6 +32,10 @@ struct AttemptInfo {
   bool reoptimized = false;     ///< True if a CHECK fired.
   ReoptSignal signal;           ///< Valid when reoptimized.
   int64_t rows_returned = 0;    ///< Rows pipelined to the app this attempt.
+  /// Post-execution snapshot of the operator tree with the optimizer's
+  /// estimates next to the recorded actuals (EXPLAIN ANALYZE source).
+  PlanProfileNode profile;
+  bool has_profile = false;
 };
 
 /// Diagnostics for a full progressive execution.
@@ -78,6 +83,12 @@ class ProgressiveExecutor {
   /// Optimizes only (with validity-range analysis) — for plan inspection.
   Result<OptimizedPlan> Plan(const QuerySpec& query) const;
 
+  /// Executes `query` progressively and returns the annotated plan-tree
+  /// report: one section per attempt showing estimated vs. actual rows and
+  /// Q-error per operator, plus why each re-optimization fired.
+  Result<std::string> ExplainAnalyze(const QuerySpec& query,
+                                     ExecutionStats* stats = nullptr);
+
   void set_plan_hook(PlanHook hook) { plan_hook_ = std::move(hook); }
 
   /// Optional LEO-style cross-query feedback store (Section 7 "Learning
@@ -120,6 +131,11 @@ class ProgressiveExecutor {
 
 /// Monotonic wall-clock milliseconds (benchmark helper).
 double NowMs();
+
+/// Renders the EXPLAIN ANALYZE report for a finished execution: per
+/// attempt, the annotated operator tree (estimated vs. actual rows,
+/// Q-error, timings) and the checkpoint that ended the attempt.
+std::string RenderExplainAnalyze(const ExecutionStats& stats);
 
 }  // namespace popdb
 

@@ -26,7 +26,7 @@ HashAggOp::HashAggOp(std::unique_ptr<Operator> child,
       group_pos_(std::move(group_pos)),
       aggs_(std::move(aggs)) {}
 
-ExecStatus HashAggOp::Open(ExecContext* ctx) {
+ExecStatus HashAggOp::OpenImpl(ExecContext* ctx) {
   ExecStatus s = child_->Open(ctx);
   if (s != ExecStatus::kOk) return s;
 
@@ -88,17 +88,15 @@ ExecStatus HashAggOp::Open(ExecContext* ctx) {
   return ExecStatus::kOk;
 }
 
-ExecStatus HashAggOp::Next(ExecContext* ctx, Row* out) {
+ExecStatus HashAggOp::NextImpl(ExecContext* ctx, Row* out) {
   if (next_ < results_.size()) {
     ++ctx->work;
     *out = results_[next_++];
-    CountRow();
     return ExecStatus::kRow;
   }
-  MarkEof();
   return ExecStatus::kEof;
 }
 
-void HashAggOp::Close(ExecContext* ctx) { (void)ctx; }
+void HashAggOp::CloseImpl(ExecContext* ctx) { (void)ctx; }
 
 }  // namespace popdb

@@ -28,10 +28,13 @@ class HashAggOp : public Operator {
   HashAggOp(std::unique_ptr<Operator> child, std::vector<int> group_pos,
             std::vector<ResolvedAgg> aggs);
 
-  ExecStatus Open(ExecContext* ctx) override;
-  ExecStatus Next(ExecContext* ctx, Row* out) override;
-  void Close(ExecContext* ctx) override;
+  ExecStatus OpenImpl(ExecContext* ctx) override;
+  ExecStatus NextImpl(ExecContext* ctx, Row* out) override;
+  void CloseImpl(ExecContext* ctx) override;
   const char* name() const override { return "GRPBY"; }
+  std::vector<const Operator*> children() const override {
+    return {child_.get()};
+  }
 
  private:
   struct AggState {

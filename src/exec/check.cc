@@ -9,10 +9,14 @@ namespace popdb {
 CheckOp::CheckOp(std::unique_ptr<Operator> child, CheckSpec spec)
     : Operator(child->table_set()), child_(std::move(child)), spec_(spec) {}
 
-ExecStatus CheckOp::Open(ExecContext* ctx) {
+ExecStatus CheckOp::OpenImpl(ExecContext* ctx) {
   count_ = 0;
   work_first_ = -1;
   event_recorded_ = false;
+  if (spec_.enabled) {
+    TRACE_INSTANT_ARG("checkpoint_armed", "exec", "edge_set",
+                      spec_.edge_set);
+  }
   return child_->Open(ctx);
 }
 
@@ -30,6 +34,8 @@ void CheckOp::RecordEvent(ExecContext* ctx, bool fired) {
   ev.count = count_;
   ev.fired = fired;
   ctx->check_events.push_back(ev);
+  TRACE_INSTANT_ARG(ev.fired ? "checkpoint_fired" : "checkpoint_evaluated",
+                    "exec", "count", ev.count);
 }
 
 ExecStatus CheckOp::Fire(ExecContext* ctx, bool exact) {
@@ -48,7 +54,7 @@ ExecStatus CheckOp::Fire(ExecContext* ctx, bool exact) {
   return ExecStatus::kReoptimize;
 }
 
-ExecStatus CheckOp::Next(ExecContext* ctx, Row* out) {
+ExecStatus CheckOp::NextImpl(ExecContext* ctx, Row* out) {
   const ExecStatus s = child_->Next(ctx, out);
   if (s == ExecStatus::kRow) {
     if (count_ == 0) work_first_ = ctx->work;
@@ -59,7 +65,6 @@ ExecStatus CheckOp::Next(ExecContext* ctx, Row* out) {
       const ExecStatus fired = Fire(ctx, /*exact=*/false);
       if (fired == ExecStatus::kReoptimize) return fired;
     }
-    CountRow();
     return ExecStatus::kRow;
   }
   if (s == ExecStatus::kEof) {
@@ -69,7 +74,6 @@ ExecStatus CheckOp::Next(ExecContext* ctx, Row* out) {
     } else if (spec_.enabled) {
       RecordEvent(ctx, /*fired=*/false);
     }
-    MarkEof();
   }
   return s;
 }
@@ -89,6 +93,8 @@ void BufCheckOp::RecordEvent(ExecContext* ctx, bool fired) {
   ev.count = count_;
   ev.fired = fired;
   ctx->check_events.push_back(ev);
+  TRACE_INSTANT_ARG(ev.fired ? "checkpoint_fired" : "checkpoint_evaluated",
+                    "exec", "count", ev.count);
 }
 
 ExecStatus BufCheckOp::Fire(ExecContext* ctx, bool exact) {
@@ -107,7 +113,7 @@ ExecStatus BufCheckOp::Fire(ExecContext* ctx, bool exact) {
   return ExecStatus::kReoptimize;
 }
 
-ExecStatus BufCheckOp::Open(ExecContext* ctx) {
+ExecStatus BufCheckOp::OpenImpl(ExecContext* ctx) {
   ctx->materializers.push_back(this);
   count_ = 0;
   buffer_.clear();
@@ -116,6 +122,10 @@ ExecStatus BufCheckOp::Open(ExecContext* ctx) {
   child_eof_ = false;
   event_recorded_ = false;
   work_first_ = -1;
+  if (spec_.enabled) {
+    TRACE_INSTANT_ARG("checkpoint_armed", "exec", "edge_set",
+                      spec_.edge_set);
+  }
   const ExecStatus s = child_->Open(ctx);
   if (s != ExecStatus::kOk) return s;
   if (!spec_.enabled) {
@@ -156,23 +166,19 @@ ExecStatus BufCheckOp::Open(ExecContext* ctx) {
   return ExecStatus::kOk;
 }
 
-ExecStatus BufCheckOp::Next(ExecContext* ctx, Row* out) {
+ExecStatus BufCheckOp::NextImpl(ExecContext* ctx, Row* out) {
   if (buffer_pos_ < buffer_.size()) {
     ++ctx->work;
     *out = buffer_[buffer_pos_++];
-    CountRow();
     return ExecStatus::kRow;
   }
   if (child_eof_) {
-    MarkEof();
     return ExecStatus::kEof;
   }
   const ExecStatus s = child_->Next(ctx, out);
   if (s == ExecStatus::kRow) {
     ++count_;
-    CountRow();
   } else if (s == ExecStatus::kEof) {
-    MarkEof();
   }
   return s;
 }
@@ -195,12 +201,12 @@ WorkBoundOp::WorkBoundOp(std::unique_ptr<Operator> child, double work_budget,
       work_budget_(work_budget),
       edge_set_(edge_set) {}
 
-ExecStatus WorkBoundOp::Open(ExecContext* ctx) {
+ExecStatus WorkBoundOp::OpenImpl(ExecContext* ctx) {
   count_ = 0;
   return child_->Open(ctx);
 }
 
-ExecStatus WorkBoundOp::Next(ExecContext* ctx, Row* out) {
+ExecStatus WorkBoundOp::NextImpl(ExecContext* ctx, Row* out) {
   const ExecStatus s = child_->Next(ctx, out);
   if (s == ExecStatus::kRow) {
     ++count_;
@@ -214,9 +220,7 @@ ExecStatus WorkBoundOp::Next(ExecContext* ctx, Row* out) {
       ctx->reopt.check_hi = work_budget_;
       return ExecStatus::kReoptimize;
     }
-    CountRow();
   } else if (s == ExecStatus::kEof) {
-    MarkEof();
   }
   return s;
 }
@@ -225,7 +229,7 @@ CheckMaterializedOp::CheckMaterializedOp(std::unique_ptr<Operator> child,
                                          CheckSpec spec)
     : Operator(child->table_set()), child_(std::move(child)), spec_(spec) {}
 
-ExecStatus CheckMaterializedOp::Open(ExecContext* ctx) {
+ExecStatus CheckMaterializedOp::OpenImpl(ExecContext* ctx) {
   const ExecStatus s = child_->Open(ctx);
   if (s != ExecStatus::kOk) return s;
   HarvestedResult info;
@@ -245,6 +249,8 @@ ExecStatus CheckMaterializedOp::Open(ExecContext* ctx) {
     ev.count = info.count;
     ev.fired = violated;
     ctx->check_events.push_back(ev);
+    TRACE_INSTANT_ARG(ev.fired ? "checkpoint_fired" : "checkpoint_evaluated",
+                      "exec", "count", ev.count);
     if (violated && !spec_.observe_only) {
       ctx->reopt.triggered = true;
       ctx->reopt.edge_set = spec_.edge_set;
@@ -259,23 +265,19 @@ ExecStatus CheckMaterializedOp::Open(ExecContext* ctx) {
   return ExecStatus::kOk;
 }
 
-ExecStatus CheckMaterializedOp::Next(ExecContext* ctx, Row* out) {
+ExecStatus CheckMaterializedOp::NextImpl(ExecContext* ctx, Row* out) {
   const ExecStatus s = child_->Next(ctx, out);
   if (s == ExecStatus::kRow) {
-    CountRow();
   } else if (s == ExecStatus::kEof) {
-    MarkEof();
   }
   return s;
 }
 
-ExecStatus RidTrackOp::Next(ExecContext* ctx, Row* out) {
+ExecStatus RidTrackOp::NextImpl(ExecContext* ctx, Row* out) {
   const ExecStatus s = child_->Next(ctx, out);
   if (s == ExecStatus::kRow) {
     ctx->returned_rows.push_back(*out);
-    CountRow();
   } else if (s == ExecStatus::kEof) {
-    MarkEof();
   }
   return s;
 }
@@ -287,11 +289,10 @@ AntiCompensateOp::AntiCompensateOp(std::unique_ptr<Operator> child,
   for (const Row& row : already_returned) ++remaining_[row];
 }
 
-ExecStatus AntiCompensateOp::Next(ExecContext* ctx, Row* out) {
+ExecStatus AntiCompensateOp::NextImpl(ExecContext* ctx, Row* out) {
   while (true) {
     const ExecStatus s = child_->Next(ctx, out);
     if (s != ExecStatus::kRow) {
-      if (s == ExecStatus::kEof) MarkEof();
       return s;
     }
     ++ctx->work;
@@ -300,7 +301,6 @@ ExecStatus AntiCompensateOp::Next(ExecContext* ctx, Row* out) {
       --it->second;  // Suppress one previously returned duplicate.
       continue;
     }
-    CountRow();
     return ExecStatus::kRow;
   }
 }

@@ -19,10 +19,13 @@ class CheckOp : public Operator {
  public:
   CheckOp(std::unique_ptr<Operator> child, CheckSpec spec);
 
-  ExecStatus Open(ExecContext* ctx) override;
-  ExecStatus Next(ExecContext* ctx, Row* out) override;
-  void Close(ExecContext* ctx) override { child_->Close(ctx); }
+  ExecStatus OpenImpl(ExecContext* ctx) override;
+  ExecStatus NextImpl(ExecContext* ctx, Row* out) override;
+  void CloseImpl(ExecContext* ctx) override { child_->Close(ctx); }
   const char* name() const override { return "CHECK"; }
+  std::vector<const Operator*> children() const override {
+    return {child_.get()};
+  }
 
   int64_t count() const { return count_; }
 
@@ -51,11 +54,14 @@ class BufCheckOp : public Operator {
  public:
   BufCheckOp(std::unique_ptr<Operator> child, CheckSpec spec);
 
-  ExecStatus Open(ExecContext* ctx) override;
-  ExecStatus Next(ExecContext* ctx, Row* out) override;
-  void Close(ExecContext* ctx) override { child_->Close(ctx); }
+  ExecStatus OpenImpl(ExecContext* ctx) override;
+  ExecStatus NextImpl(ExecContext* ctx, Row* out) override;
+  void CloseImpl(ExecContext* ctx) override { child_->Close(ctx); }
   bool HarvestInfo(HarvestedResult* out) const override;
   const char* name() const override { return "BUFCHECK"; }
+  std::vector<const Operator*> children() const override {
+    return {child_.get()};
+  }
 
   int64_t count() const { return count_; }
 
@@ -84,10 +90,13 @@ class WorkBoundOp : public Operator {
   WorkBoundOp(std::unique_ptr<Operator> child, double work_budget,
               TableSet edge_set);
 
-  ExecStatus Open(ExecContext* ctx) override;
-  ExecStatus Next(ExecContext* ctx, Row* out) override;
-  void Close(ExecContext* ctx) override { child_->Close(ctx); }
+  ExecStatus OpenImpl(ExecContext* ctx) override;
+  ExecStatus NextImpl(ExecContext* ctx, Row* out) override;
+  void CloseImpl(ExecContext* ctx) override { child_->Close(ctx); }
   const char* name() const override { return "WORKBOUND"; }
+  std::vector<const Operator*> children() const override {
+    return {child_.get()};
+  }
 
  private:
   std::unique_ptr<Operator> child_;
@@ -105,10 +114,13 @@ class CheckMaterializedOp : public Operator {
  public:
   CheckMaterializedOp(std::unique_ptr<Operator> child, CheckSpec spec);
 
-  ExecStatus Open(ExecContext* ctx) override;
-  ExecStatus Next(ExecContext* ctx, Row* out) override;
-  void Close(ExecContext* ctx) override { child_->Close(ctx); }
+  ExecStatus OpenImpl(ExecContext* ctx) override;
+  ExecStatus NextImpl(ExecContext* ctx, Row* out) override;
+  void CloseImpl(ExecContext* ctx) override { child_->Close(ctx); }
   const char* name() const override { return "CHECKM"; }
+  std::vector<const Operator*> children() const override {
+    return {child_.get()};
+  }
 
  private:
   std::unique_ptr<Operator> child_;
@@ -125,10 +137,13 @@ class RidTrackOp : public Operator {
   RidTrackOp(std::unique_ptr<Operator> child, TableSet table_set)
       : Operator(table_set), child_(std::move(child)) {}
 
-  ExecStatus Open(ExecContext* ctx) override { return child_->Open(ctx); }
-  ExecStatus Next(ExecContext* ctx, Row* out) override;
-  void Close(ExecContext* ctx) override { child_->Close(ctx); }
+  ExecStatus OpenImpl(ExecContext* ctx) override { return child_->Open(ctx); }
+  ExecStatus NextImpl(ExecContext* ctx, Row* out) override;
+  void CloseImpl(ExecContext* ctx) override { child_->Close(ctx); }
   const char* name() const override { return "INSERT(S)"; }
+  std::vector<const Operator*> children() const override {
+    return {child_.get()};
+  }
 
  private:
   std::unique_ptr<Operator> child_;
@@ -144,10 +159,13 @@ class AntiCompensateOp : public Operator {
                    const std::vector<Row>& already_returned,
                    TableSet table_set);
 
-  ExecStatus Open(ExecContext* ctx) override { return child_->Open(ctx); }
-  ExecStatus Next(ExecContext* ctx, Row* out) override;
-  void Close(ExecContext* ctx) override { child_->Close(ctx); }
+  ExecStatus OpenImpl(ExecContext* ctx) override { return child_->Open(ctx); }
+  ExecStatus NextImpl(ExecContext* ctx, Row* out) override;
+  void CloseImpl(ExecContext* ctx) override { child_->Close(ctx); }
   const char* name() const override { return "ANTIJOIN(S)"; }
+  std::vector<const Operator*> children() const override {
+    return {child_.get()};
+  }
 
  private:
   std::unique_ptr<Operator> child_;

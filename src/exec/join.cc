@@ -27,13 +27,14 @@ int64_t NljnOp::NumInnerRows() const {
   return inner_.table->num_rows();
 }
 
-ExecStatus NljnOp::Open(ExecContext* ctx) {
+ExecStatus NljnOp::OpenImpl(ExecContext* ctx) {
   outer_valid_ = false;
   return outer_->Open(ctx);
 }
 
 void NljnOp::StartProbe(ExecContext* ctx) {
   ++ctx->work;
+  ++mutable_stats().loops;
   if (inner_.index != nullptr) {
     POPDB_DCHECK(!inner_.join_conds.empty());
     const Value& key =
@@ -45,12 +46,11 @@ void NljnOp::StartProbe(ExecContext* ctx) {
   }
 }
 
-ExecStatus NljnOp::Next(ExecContext* ctx, Row* out) {
+ExecStatus NljnOp::NextImpl(ExecContext* ctx, Row* out) {
   while (true) {
     if (!outer_valid_) {
       const ExecStatus s = outer_->Next(ctx, &outer_row_);
       if (s != ExecStatus::kRow) {
-        if (s == ExecStatus::kEof) MarkEof();
         return s;
       }
       outer_valid_ = true;
@@ -90,7 +90,6 @@ ExecStatus NljnOp::Next(ExecContext* ctx, Row* out) {
       }
       if (pass) {
         *out = merge_.Merge(outer_row_, inner_row);
-        CountRow();
         return ExecStatus::kRow;
       }
     }
@@ -98,7 +97,7 @@ ExecStatus NljnOp::Next(ExecContext* ctx, Row* out) {
   }
 }
 
-void NljnOp::Close(ExecContext* ctx) { outer_->Close(ctx); }
+void NljnOp::CloseImpl(ExecContext* ctx) { outer_->Close(ctx); }
 
 // ---------------------------------------------------------------- HsjnOp
 
@@ -130,7 +129,7 @@ Row HsjnOp::ProbeKey(const Row& row) const {
   return key;
 }
 
-ExecStatus HsjnOp::Open(ExecContext* ctx) {
+ExecStatus HsjnOp::OpenImpl(ExecContext* ctx) {
   ctx->materializers.push_back(this);
   ExecStatus s = build_->Open(ctx);
   if (s != ExecStatus::kOk) return s;
@@ -157,6 +156,8 @@ ExecStatus HsjnOp::Open(ExecContext* ctx) {
     ev.count = static_cast<int64_t>(build_rows_.size());
     ev.fired = violated;
     ctx->check_events.push_back(ev);
+    TRACE_INSTANT_ARG(ev.fired ? "checkpoint_fired" : "checkpoint_evaluated",
+                      "exec", "count", ev.count);
     if (violated && !build_check_.observe_only) {
       ctx->reopt.triggered = true;
       ctx->reopt.edge_set = build_check_.edge_set;
@@ -202,6 +203,7 @@ ExecStatus HsjnOp::Open(ExecContext* ctx) {
 ExecStatus HsjnOp::Join(ExecContext* ctx, std::vector<Row>* build,
                         std::vector<Row>* probe, int depth) {
   if (static_cast<int64_t>(build->size()) <= ctx->mem_rows || depth > 8) {
+    if (depth > 0) ++mutable_stats().partitions;
     KeyMap map;
     map.reserve(build->size());
     for (size_t i = 0; i < build->size(); ++i) {
@@ -220,6 +222,7 @@ ExecStatus HsjnOp::Join(ExecContext* ctx, std::vector<Row>* build,
   }
   // One extra partitioning pass over both inputs (a "stage" in the paper's
   // multi-stage hash join terminology).
+  ++mutable_stats().spills;
   std::vector<std::vector<Row>> bparts(kFanOut), pparts(kFanOut);
   const uint64_t salt = 0x9e3779b9u * static_cast<uint64_t>(depth + 1);
   for (Row& r : *build) {
@@ -241,19 +244,17 @@ ExecStatus HsjnOp::Join(ExecContext* ctx, std::vector<Row>* build,
   return ExecStatus::kOk;
 }
 
-ExecStatus HsjnOp::Next(ExecContext* ctx, Row* out) {
+ExecStatus HsjnOp::NextImpl(ExecContext* ctx, Row* out) {
   if (in_memory_mode_) {
     while (true) {
       if (ctx->CancelPending()) return ExecStatus::kCancelled;
       if (matches_ != nullptr && match_pos_ < matches_->size()) {
         *out = merge_.Merge(probe_row_, build_rows_[(*matches_)[match_pos_]]);
         ++match_pos_;
-        CountRow();
         return ExecStatus::kRow;
       }
       const ExecStatus s = probe_->Next(ctx, &probe_row_);
       if (s != ExecStatus::kRow) {
-        if (s == ExecStatus::kEof) MarkEof();
         return s;
       }
       ++ctx->work;
@@ -268,14 +269,12 @@ ExecStatus HsjnOp::Next(ExecContext* ctx, Row* out) {
   }
   if (next_out_ < output_.size()) {
     *out = output_[next_out_++];
-    CountRow();
     return ExecStatus::kRow;
   }
-  MarkEof();
   return ExecStatus::kEof;
 }
 
-void HsjnOp::Close(ExecContext* ctx) {
+void HsjnOp::CloseImpl(ExecContext* ctx) {
   if (in_memory_mode_) probe_->Close(ctx);
 }
 
@@ -309,7 +308,7 @@ int MgjnOp::CompareKeys(const Row& l, const Row& r) const {
   return 0;
 }
 
-ExecStatus MgjnOp::Open(ExecContext* ctx) {
+ExecStatus MgjnOp::OpenImpl(ExecContext* ctx) {
   ExecStatus s = left_->Open(ctx);
   if (s != ExecStatus::kOk) return s;
   s = right_->Open(ctx);
@@ -348,14 +347,13 @@ ExecStatus MgjnOp::AdvanceRight(ExecContext* ctx) {
   return s;
 }
 
-ExecStatus MgjnOp::Next(ExecContext* ctx, Row* out) {
+ExecStatus MgjnOp::NextImpl(ExecContext* ctx, Row* out) {
   while (true) {
     if (ctx->CancelPending()) return ExecStatus::kCancelled;
     if (in_group_) {
       if (group_pos_ < right_group_.size()) {
         *out = merge_.Merge(left_row_, right_group_[group_pos_]);
         ++group_pos_;
-        CountRow();
         return ExecStatus::kRow;
       }
       // Current left row finished its group; see if the next left row has
@@ -372,11 +370,9 @@ ExecStatus MgjnOp::Next(ExecContext* ctx, Row* out) {
     }
     if (!left_valid_ || (!right_valid_ && right_group_.empty())) {
       if (left_eof_ || (right_eof_ && right_group_.empty() && !right_valid_)) {
-        MarkEof();
         return ExecStatus::kEof;
       }
       // A child returned a non-row status other than EOF earlier.
-      MarkEof();
       return ExecStatus::kEof;
     }
     const int cmp = CompareKeys(left_row_, right_row_);
@@ -384,14 +380,12 @@ ExecStatus MgjnOp::Next(ExecContext* ctx, Row* out) {
       const ExecStatus s = AdvanceLeft(ctx);
       if (IsAbortStatus(s)) return s;
       if (!left_valid_) {
-        MarkEof();
         return ExecStatus::kEof;
       }
     } else if (cmp > 0) {
       const ExecStatus s = AdvanceRight(ctx);
       if (IsAbortStatus(s)) return s;
       if (!right_valid_) {
-        MarkEof();
         return ExecStatus::kEof;
       }
     } else {
@@ -411,7 +405,7 @@ ExecStatus MgjnOp::Next(ExecContext* ctx, Row* out) {
   }
 }
 
-void MgjnOp::Close(ExecContext* ctx) {
+void MgjnOp::CloseImpl(ExecContext* ctx) {
   left_->Close(ctx);
   right_->Close(ctx);
 }

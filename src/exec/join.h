@@ -55,10 +55,13 @@ class NljnOp : public Operator {
   NljnOp(std::unique_ptr<Operator> outer, InnerAccess inner, MergeSpec merge,
          TableSet table_set);
 
-  ExecStatus Open(ExecContext* ctx) override;
-  ExecStatus Next(ExecContext* ctx, Row* out) override;
-  void Close(ExecContext* ctx) override;
+  ExecStatus OpenImpl(ExecContext* ctx) override;
+  ExecStatus NextImpl(ExecContext* ctx, Row* out) override;
+  void CloseImpl(ExecContext* ctx) override;
   const char* name() const override { return "NLJN"; }
+  std::vector<const Operator*> children() const override {
+    return {outer_.get()};
+  }
 
  private:
   /// Fetches candidate inner row ids for the current outer row.
@@ -93,11 +96,14 @@ class HsjnOp : public Operator {
          MergeSpec merge, TableSet table_set, CheckSpec build_check,
          bool offer_build_for_reuse);
 
-  ExecStatus Open(ExecContext* ctx) override;
-  ExecStatus Next(ExecContext* ctx, Row* out) override;
-  void Close(ExecContext* ctx) override;
+  ExecStatus OpenImpl(ExecContext* ctx) override;
+  ExecStatus NextImpl(ExecContext* ctx, Row* out) override;
+  void CloseImpl(ExecContext* ctx) override;
   bool HarvestInfo(HarvestedResult* out) const override;
   const char* name() const override { return "HSJN"; }
+  std::vector<const Operator*> children() const override {
+    return {probe_.get(), build_.get()};
+  }
 
  private:
   using KeyMap = std::unordered_map<Row, std::vector<size_t>, RowHash>;
@@ -138,10 +144,13 @@ class MgjnOp : public Operator {
          std::vector<int> left_keys, std::vector<int> right_keys,
          MergeSpec merge, TableSet table_set);
 
-  ExecStatus Open(ExecContext* ctx) override;
-  ExecStatus Next(ExecContext* ctx, Row* out) override;
-  void Close(ExecContext* ctx) override;
+  ExecStatus OpenImpl(ExecContext* ctx) override;
+  ExecStatus NextImpl(ExecContext* ctx, Row* out) override;
+  void CloseImpl(ExecContext* ctx) override;
   const char* name() const override { return "MGJN"; }
+  std::vector<const Operator*> children() const override {
+    return {left_.get(), right_.get()};
+  }
 
  private:
   int CompareKeys(const Row& l, const Row& r) const;

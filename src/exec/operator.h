@@ -1,12 +1,14 @@
 #ifndef POPDB_EXEC_OPERATOR_H_
 #define POPDB_EXEC_OPERATOR_H_
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "common/cancel.h"
+#include "common/span.h"
 #include "common/value.h"
 #include "exec/layout.h"
 
@@ -145,9 +147,32 @@ struct ExecContext {
   int cancel_poll_countdown_ = 1;
 };
 
+/// Per-operator execution counters and (sampled) wall-clock timings, read
+/// by EXPLAIN ANALYZE after execution. Timing in the Next hot loop uses
+/// strided clock reads — one measured call out of kTimingStride, scaled —
+/// so instrumentation is compiled-in but cheap.
+struct OperatorStats {
+  int64_t next_calls = 0;  ///< Total Next invocations (including EOF).
+  int64_t open_ns = 0;     ///< Wall time inside Open (subtree included).
+  int64_t next_ns = 0;     ///< Estimated total wall time inside Next.
+  int64_t close_ns = 0;    ///< Wall time inside Close.
+  int64_t loops = 0;       ///< NLJN: outer rows probed against the inner.
+  int64_t partitions = 0;  ///< HSJN: leaf partitions joined after spilling.
+  int64_t spills = 0;      ///< Extra passes: sort run merges, hash repartitions.
+
+  double open_ms() const { return static_cast<double>(open_ns) / 1e6; }
+  double next_ms() const { return static_cast<double>(next_ns) / 1e6; }
+  double close_ms() const { return static_cast<double>(close_ns) / 1e6; }
+};
+
 /// Base class for Volcano-style iterators (open/next/close; Figure 10 of
 /// the paper uses the same model). Single-threaded; an operator tree is
 /// driven by repeatedly calling Next on the root.
+///
+/// The public Open/Next/Close entry points are non-virtual wrappers that
+/// maintain OperatorStats (row counts, strided wall-clock timings), emit
+/// one tracer span per operator lifetime, and centralize the row/EOF
+/// accounting; subclasses implement OpenImpl/NextImpl/CloseImpl.
 ///
 /// Every operator counts the rows it produces (`rows_produced`) and whether
 /// it ran to completion (`eof_seen`); the POP controller turns these into
@@ -162,14 +187,52 @@ class Operator {
 
   /// Prepares the operator (and its subtree). May return kReoptimize when a
   /// checkpoint fires during eager materialization.
-  virtual ExecStatus Open(ExecContext* ctx) = 0;
+  ExecStatus Open(ExecContext* ctx) {
+    const int64_t t0 = ClockNs();
+    if (SpanTracer::Global().enabled()) span_start_us_ = SpanTracer::Global().NowUs();
+    const ExecStatus s = OpenImpl(ctx);
+    stats_.open_ns += ClockNs() - t0;
+    return s;
+  }
 
   /// Produces the next row into `*out`. Returns kRow, kEof, kReoptimize,
   /// kCancelled or kError. After kEof the call must not be repeated.
-  virtual ExecStatus Next(ExecContext* ctx, Row* out) = 0;
+  ExecStatus Next(ExecContext* ctx, Row* out) {
+    // Strided clock reads: every kTimingStride-th call is measured and
+    // scaled up, so the common case pays one increment and one mask.
+    if ((++stats_.next_calls & (kTimingStride - 1)) != 0) {
+      const ExecStatus s = NextImpl(ctx, out);
+      if (s == ExecStatus::kRow) {
+        ++rows_produced_;
+      } else if (s == ExecStatus::kEof) {
+        eof_seen_ = true;
+      }
+      return s;
+    }
+    const int64_t t0 = ClockNs();
+    const ExecStatus s = NextImpl(ctx, out);
+    stats_.next_ns += (ClockNs() - t0) * kTimingStride;
+    if (s == ExecStatus::kRow) {
+      ++rows_produced_;
+    } else if (s == ExecStatus::kEof) {
+      eof_seen_ = true;
+    }
+    return s;
+  }
 
   /// Releases resources. Must be safe to call after any status.
-  virtual void Close(ExecContext* ctx) = 0;
+  void Close(ExecContext* ctx) {
+    const int64_t t0 = ClockNs();
+    CloseImpl(ctx);
+    stats_.close_ns += ClockNs() - t0;
+    SpanTracer& tracer = SpanTracer::Global();
+    if (span_start_us_ >= 0 && !span_emitted_ && tracer.enabled()) {
+      span_emitted_ = true;
+      tracer.RecordSpan(name(), "exec", span_start_us_,
+                        tracer.NowUs() - span_start_us_, "rows",
+                        rows_produced_);
+    }
+  }
 
   /// Table set this operator produces rows for (0 for post-join operators
   /// such as aggregation whose output is no longer a canonical table-set
@@ -178,6 +241,12 @@ class Operator {
 
   int64_t rows_produced() const { return rows_produced_; }
   bool eof_seen() const { return eof_seen_; }
+  const OperatorStats& stats() const { return stats_; }
+
+  /// Child operators in plan order (empty for leaves). Used by EXPLAIN
+  /// ANALYZE to walk the executed tree; the iterator interface itself never
+  /// needs it.
+  virtual std::vector<const Operator*> children() const { return {}; }
 
   /// If this operator holds a completed or in-progress materialization,
   /// fills `*out` and returns true (see HarvestedResult).
@@ -189,17 +258,50 @@ class Operator {
   /// Operator name for plan/debug printing.
   virtual const char* name() const = 0;
 
+  /// Optimizer annotations attached by the ExecutorBuilder so EXPLAIN
+  /// ANALYZE can report estimated vs. actual rows per executed operator.
+  void AnnotateEstimates(double est_rows, double est_cost,
+                         std::string detail) {
+    est_rows_ = est_rows;
+    est_cost_ = est_cost;
+    detail_ = std::move(detail);
+    annotated_ = true;
+  }
+  bool annotated() const { return annotated_; }
+  double est_rows() const { return est_rows_; }
+  double est_cost() const { return est_cost_; }
+  const std::string& detail() const { return detail_; }
+
  protected:
   explicit Operator(TableSet table_set) : table_set_(table_set) {}
 
-  /// Subclass helper: record a produced row.
-  void CountRow() { ++rows_produced_; }
-  void MarkEof() { eof_seen_ = true; }
+  virtual ExecStatus OpenImpl(ExecContext* ctx) = 0;
+  virtual ExecStatus NextImpl(ExecContext* ctx, Row* out) = 0;
+  virtual void CloseImpl(ExecContext* ctx) = 0;
+
+  /// Mutable counters for subclass-specific detail (loops/partitions/
+  /// spills).
+  OperatorStats& mutable_stats() { return stats_; }
+
+  static int64_t ClockNs() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
 
  private:
+  static constexpr int64_t kTimingStride = 32;  // Must be a power of two.
+
   TableSet table_set_;
   int64_t rows_produced_ = 0;
   bool eof_seen_ = false;
+  OperatorStats stats_;
+  double est_rows_ = -1.0;
+  double est_cost_ = -1.0;
+  std::string detail_;
+  bool annotated_ = false;
+  int64_t span_start_us_ = -1;
+  bool span_emitted_ = false;
 };
 
 /// Runs `root` to completion, appending produced rows to `*out_rows`.

@@ -2,26 +2,23 @@
 
 namespace popdb {
 
-ExecStatus ProjectOp::Next(ExecContext* ctx, Row* out) {
+ExecStatus ProjectOp::NextImpl(ExecContext* ctx, Row* out) {
   Row row;
   const ExecStatus s = child_->Next(ctx, &row);
   if (s != ExecStatus::kRow) {
-    if (s == ExecStatus::kEof) MarkEof();
     return s;
   }
   ++ctx->work;
   out->clear();
   out->reserve(positions_.size());
   for (int pos : positions_) out->push_back(row[static_cast<size_t>(pos)]);
-  CountRow();
   return ExecStatus::kRow;
 }
 
-ExecStatus FilterOp::Next(ExecContext* ctx, Row* out) {
+ExecStatus FilterOp::NextImpl(ExecContext* ctx, Row* out) {
   while (true) {
     const ExecStatus s = child_->Next(ctx, out);
     if (s != ExecStatus::kRow) {
-      if (s == ExecStatus::kEof) MarkEof();
       return s;
     }
     ++ctx->work;
@@ -33,7 +30,6 @@ ExecStatus FilterOp::Next(ExecContext* ctx, Row* out) {
       }
     }
     if (pass) {
-      CountRow();
       return ExecStatus::kRow;
     }
   }

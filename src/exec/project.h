@@ -16,10 +16,13 @@ class ProjectOp : public Operator {
   ProjectOp(std::unique_ptr<Operator> child, std::vector<int> positions)
       : Operator(0), child_(std::move(child)), positions_(std::move(positions)) {}
 
-  ExecStatus Open(ExecContext* ctx) override { return child_->Open(ctx); }
-  ExecStatus Next(ExecContext* ctx, Row* out) override;
-  void Close(ExecContext* ctx) override { child_->Close(ctx); }
+  ExecStatus OpenImpl(ExecContext* ctx) override { return child_->Open(ctx); }
+  ExecStatus NextImpl(ExecContext* ctx, Row* out) override;
+  void CloseImpl(ExecContext* ctx) override { child_->Close(ctx); }
   const char* name() const override { return "PROJECT"; }
+  std::vector<const Operator*> children() const override {
+    return {child_.get()};
+  }
 
  private:
   std::unique_ptr<Operator> child_;
@@ -35,10 +38,13 @@ class FilterOp : public Operator {
            std::vector<ResolvedPredicate> preds, TableSet table_set)
       : Operator(table_set), child_(std::move(child)), preds_(std::move(preds)) {}
 
-  ExecStatus Open(ExecContext* ctx) override { return child_->Open(ctx); }
-  ExecStatus Next(ExecContext* ctx, Row* out) override;
-  void Close(ExecContext* ctx) override { child_->Close(ctx); }
+  ExecStatus OpenImpl(ExecContext* ctx) override { return child_->Open(ctx); }
+  ExecStatus NextImpl(ExecContext* ctx, Row* out) override;
+  void CloseImpl(ExecContext* ctx) override { child_->Close(ctx); }
   const char* name() const override { return "FILTER"; }
+  std::vector<const Operator*> children() const override {
+    return {child_.get()};
+  }
 
  private:
   std::unique_ptr<Operator> child_;

@@ -2,13 +2,13 @@
 
 namespace popdb {
 
-ExecStatus TableScanOp::Open(ExecContext* ctx) {
+ExecStatus TableScanOp::OpenImpl(ExecContext* ctx) {
   (void)ctx;
   next_rid_ = 0;
   return ExecStatus::kOk;
 }
 
-ExecStatus TableScanOp::Next(ExecContext* ctx, Row* out) {
+ExecStatus TableScanOp::NextImpl(ExecContext* ctx, Row* out) {
   while (next_rid_ < table_->num_rows()) {
     if (ctx->CancelPending()) return ExecStatus::kCancelled;
     const Row& row = table_->row(next_rid_);
@@ -23,34 +23,30 @@ ExecStatus TableScanOp::Next(ExecContext* ctx, Row* out) {
     }
     if (pass) {
       *out = row;
-      CountRow();
       return ExecStatus::kRow;
     }
   }
-  MarkEof();
   return ExecStatus::kEof;
 }
 
-void TableScanOp::Close(ExecContext* ctx) { (void)ctx; }
+void TableScanOp::CloseImpl(ExecContext* ctx) { (void)ctx; }
 
-ExecStatus MatViewScanOp::Open(ExecContext* ctx) {
+ExecStatus MatViewScanOp::OpenImpl(ExecContext* ctx) {
   (void)ctx;
   next_ = 0;
   return ExecStatus::kOk;
 }
 
-ExecStatus MatViewScanOp::Next(ExecContext* ctx, Row* out) {
+ExecStatus MatViewScanOp::NextImpl(ExecContext* ctx, Row* out) {
   if (next_ < rows_->size()) {
     ++ctx->work;
     *out = (*rows_)[next_];
     ++next_;
-    CountRow();
     return ExecStatus::kRow;
   }
-  MarkEof();
   return ExecStatus::kEof;
 }
 
-void MatViewScanOp::Close(ExecContext* ctx) { (void)ctx; }
+void MatViewScanOp::CloseImpl(ExecContext* ctx) { (void)ctx; }
 
 }  // namespace popdb

@@ -18,9 +18,9 @@ class TableScanOp : public Operator {
               std::vector<ResolvedPredicate> preds)
       : Operator(TableBit(table_id)), table_(table), preds_(std::move(preds)) {}
 
-  ExecStatus Open(ExecContext* ctx) override;
-  ExecStatus Next(ExecContext* ctx, Row* out) override;
-  void Close(ExecContext* ctx) override;
+  ExecStatus OpenImpl(ExecContext* ctx) override;
+  ExecStatus NextImpl(ExecContext* ctx, Row* out) override;
+  void CloseImpl(ExecContext* ctx) override;
   const char* name() const override { return "TBSCAN"; }
 
  private:
@@ -37,9 +37,9 @@ class MatViewScanOp : public Operator {
   MatViewScanOp(const std::vector<Row>* rows, TableSet table_set)
       : Operator(table_set), rows_(rows) {}
 
-  ExecStatus Open(ExecContext* ctx) override;
-  ExecStatus Next(ExecContext* ctx, Row* out) override;
-  void Close(ExecContext* ctx) override;
+  ExecStatus OpenImpl(ExecContext* ctx) override;
+  ExecStatus NextImpl(ExecContext* ctx, Row* out) override;
+  void CloseImpl(ExecContext* ctx) override;
   const char* name() const override { return "MVSCAN"; }
 
  private:

@@ -19,7 +19,7 @@ SortOp::SortOp(std::unique_ptr<Operator> child, std::vector<SortKey> keys,
                TableSet table_set)
     : Operator(table_set), child_(std::move(child)), keys_(std::move(keys)) {}
 
-ExecStatus SortOp::Open(ExecContext* ctx) {
+ExecStatus SortOp::OpenImpl(ExecContext* ctx) {
   ctx->materializers.push_back(this);
   ExecStatus s = child_->Open(ctx);
   if (s != ExecStatus::kOk) return s;
@@ -50,6 +50,7 @@ ExecStatus SortOp::Open(ExecContext* ctx) {
       std::sort(rows_.begin() + begin, rows_.begin() + end, cmp);
       runs.emplace_back(static_cast<size_t>(begin), static_cast<size_t>(end));
     }
+    mutable_stats().spills += static_cast<int64_t>(runs.size());
     std::vector<Row> merged;
     merged.reserve(rows_.size());
     using HeapItem = std::pair<size_t, size_t>;  // (cursor, run index)
@@ -77,19 +78,17 @@ ExecStatus SortOp::Open(ExecContext* ctx) {
   return ExecStatus::kOk;
 }
 
-ExecStatus SortOp::Next(ExecContext* ctx, Row* out) {
+ExecStatus SortOp::NextImpl(ExecContext* ctx, Row* out) {
   if (ctx->CancelPending()) return ExecStatus::kCancelled;
   if (next_ < rows_.size()) {
     ++ctx->work;
     *out = rows_[next_++];
-    CountRow();
     return ExecStatus::kRow;
   }
-  MarkEof();
   return ExecStatus::kEof;
 }
 
-void SortOp::Close(ExecContext* ctx) { (void)ctx; }
+void SortOp::CloseImpl(ExecContext* ctx) { (void)ctx; }
 
 bool SortOp::HarvestInfo(HarvestedResult* out) const {
   out->table_set = table_set();
@@ -107,7 +106,7 @@ bool SortOp::HarvestInfo(HarvestedResult* out) const {
 TempOp::TempOp(std::unique_ptr<Operator> child, TableSet table_set)
     : Operator(table_set), child_(std::move(child)) {}
 
-ExecStatus TempOp::Open(ExecContext* ctx) {
+ExecStatus TempOp::OpenImpl(ExecContext* ctx) {
   ctx->materializers.push_back(this);
   ExecStatus s = child_->Open(ctx);
   if (s != ExecStatus::kOk) return s;
@@ -125,19 +124,17 @@ ExecStatus TempOp::Open(ExecContext* ctx) {
   return ExecStatus::kOk;
 }
 
-ExecStatus TempOp::Next(ExecContext* ctx, Row* out) {
+ExecStatus TempOp::NextImpl(ExecContext* ctx, Row* out) {
   if (ctx->CancelPending()) return ExecStatus::kCancelled;
   if (next_ < rows_.size()) {
     ++ctx->work;
     *out = rows_[next_++];
-    CountRow();
     return ExecStatus::kRow;
   }
-  MarkEof();
   return ExecStatus::kEof;
 }
 
-void TempOp::Close(ExecContext* ctx) { (void)ctx; }
+void TempOp::CloseImpl(ExecContext* ctx) { (void)ctx; }
 
 bool TempOp::HarvestInfo(HarvestedResult* out) const {
   out->table_set = table_set();

@@ -27,11 +27,14 @@ class SortOp : public Operator {
   SortOp(std::unique_ptr<Operator> child, std::vector<SortKey> keys,
          TableSet table_set);
 
-  ExecStatus Open(ExecContext* ctx) override;
-  ExecStatus Next(ExecContext* ctx, Row* out) override;
-  void Close(ExecContext* ctx) override;
+  ExecStatus OpenImpl(ExecContext* ctx) override;
+  ExecStatus NextImpl(ExecContext* ctx, Row* out) override;
+  void CloseImpl(ExecContext* ctx) override;
   bool HarvestInfo(HarvestedResult* out) const override;
   const char* name() const override { return "SORT"; }
+  std::vector<const Operator*> children() const override {
+    return {child_.get()};
+  }
 
   int64_t materialized_count() const {
     return static_cast<int64_t>(rows_.size());
@@ -55,11 +58,14 @@ class TempOp : public Operator {
  public:
   TempOp(std::unique_ptr<Operator> child, TableSet table_set);
 
-  ExecStatus Open(ExecContext* ctx) override;
-  ExecStatus Next(ExecContext* ctx, Row* out) override;
-  void Close(ExecContext* ctx) override;
+  ExecStatus OpenImpl(ExecContext* ctx) override;
+  ExecStatus NextImpl(ExecContext* ctx, Row* out) override;
+  void CloseImpl(ExecContext* ctx) override;
   bool HarvestInfo(HarvestedResult* out) const override;
   const char* name() const override { return "TEMP"; }
+  std::vector<const Operator*> children() const override {
+    return {child_.get()};
+  }
 
   int64_t materialized_count() const {
     return static_cast<int64_t>(rows_.size());

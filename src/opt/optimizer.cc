@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/span.h"
+
 namespace popdb {
 
 std::vector<int> QueryTableWidths(const Catalog& catalog,
@@ -20,23 +22,36 @@ Result<OptimizedPlan> Optimizer::Optimize(
     const QuerySpec& query, const FeedbackMap* feedback,
     const std::vector<AvailableMatView>* matviews,
     PruneObserver* observer) const {
+  SpanTracer& tracer = SpanTracer::Global();
+  // The estimator front-loads base-table cardinality estimation (local
+  // predicates, feedback overrides) in its constructor.
+  const int64_t card_t0 = tracer.enabled() ? tracer.NowUs() : -1;
   CardinalityEstimator estimator(catalog_, query, feedback,
                                  config_.estimator);
   CostModel cost_model(config_.cost);
+  if (card_t0 >= 0) {
+    tracer.RecordSpan("card_estimation", "opt", card_t0,
+                      tracer.NowUs() - card_t0);
+  }
   // Dynamic programming runs without the narrowing observer: by the
   // structural-equivalence theorem, validity ranges are only needed on the
   // final plan's edges, so the sensitivity analysis runs as a cheap
   // post-pass over the chosen tree instead of on every pruned candidate.
   JoinEnumerator enumerator(catalog_, query, estimator, cost_model,
                             config_.methods, matviews, nullptr);
-  Result<std::shared_ptr<PlanNode>> join_tree =
-      enumerator.EnumerateJoinTree();
+  Result<std::shared_ptr<PlanNode>> join_tree = [&] {
+    TRACE_SPAN_NAMED(dp_span, "dp_enumeration", "opt");
+    Result<std::shared_ptr<PlanNode>> tree = enumerator.EnumerateJoinTree();
+    dp_span.SetArg("candidates", enumerator.candidates_considered());
+    return tree;
+  }();
   if (!join_tree.ok()) return join_tree.status();
 
   // Deep-clone so downstream passes (checkpoint placement) can mutate the
   // tree without affecting the enumerator's shared memo entries.
   std::shared_ptr<PlanNode> root = join_tree.value()->Clone();
   if (observer != nullptr) {
+    TRACE_SPAN("validity_ranges", "opt");
     enumerator.NarrowPlanRanges(root.get(), observer);
   }
 

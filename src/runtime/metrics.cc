@@ -1,50 +1,55 @@
 #include "runtime/metrics.h"
 
-#include <algorithm>
-
 namespace popdb {
 
-void ServiceMetrics::RecordLatency(double ms) {
-  std::lock_guard<std::mutex> lock(latency_mu_);
-  if (latencies_.size() < kLatencyWindow) {
-    latencies_.push_back(ms);
-  } else {
-    latencies_[latency_next_] = ms;
-    latency_wrapped_ = true;
-  }
-  latency_next_ = (latency_next_ + 1) % kLatencyWindow;
+ServiceMetrics::ServiceMetrics() {
+  submitted_ = registry_.GetCounter("popdb_queries_submitted_total",
+                                    "Queries submitted to the service.");
+  admitted_ = registry_.GetCounter("popdb_queries_admitted_total",
+                                   "Queries accepted into the queue.");
+  rejected_ = registry_.GetCounter(
+      "popdb_queries_rejected_total",
+      "Queries bounced by admission control (queue full or shut down).");
+  completed_ = registry_.GetCounter("popdb_queries_completed_total",
+                                    "Queries finished successfully.");
+  failed_ = registry_.GetCounter("popdb_queries_failed_total",
+                                 "Queries finished with an error.");
+  cancelled_ = registry_.GetCounter("popdb_queries_cancelled_total",
+                                    "Queries cancelled by the client.");
+  deadline_expired_ =
+      registry_.GetCounter("popdb_queries_deadline_expired_total",
+                           "Queries that exceeded their deadline.");
+  reoptimized_queries_ = registry_.GetCounter(
+      "popdb_queries_reoptimized_total",
+      "Queries that re-optimized at least once.");
+  reopt_attempts_ = registry_.GetCounter(
+      "popdb_reopt_attempts_total", "Re-optimization attempts served.");
+  checks_fired_ = registry_.GetCounter("popdb_checks_fired_total",
+                                       "CHECK violations across queries.");
+  in_flight_ = registry_.GetGauge("popdb_queries_in_flight",
+                                  "Admitted queries not yet finished.");
+  // 0.25ms .. ~8.2s in 16 doubling buckets (plus +Inf).
+  latency_ = registry_.GetHistogram(
+      "popdb_query_latency_ms",
+      "End-to-end (submit to finish) query latency in milliseconds.",
+      Histogram::LogBuckets(0.25, 2.0, 16));
 }
-
-namespace {
-double Percentile(std::vector<double>* sorted_in_place, double p) {
-  std::vector<double>& v = *sorted_in_place;
-  if (v.empty()) return 0.0;
-  std::sort(v.begin(), v.end());
-  const size_t idx = static_cast<size_t>(p * static_cast<double>(v.size() - 1));
-  return v[idx];
-}
-}  // namespace
 
 ServiceStatsSnapshot ServiceMetrics::Snapshot() const {
   ServiceStatsSnapshot s;
-  s.submitted = submitted_.load();
-  s.admitted = admitted_.load();
-  s.rejected = rejected_.load();
-  s.completed = completed_.load();
-  s.failed = failed_.load();
-  s.cancelled = cancelled_.load();
-  s.deadline_expired = deadline_expired_.load();
-  s.reoptimized_queries = reoptimized_queries_.load();
-  s.reopt_attempts = reopt_attempts_.load();
-  s.checks_fired = checks_fired_.load();
-  s.queries_in_flight = in_flight_.load();
-  std::vector<double> samples;
-  {
-    std::lock_guard<std::mutex> lock(latency_mu_);
-    samples = latencies_;
-  }
-  s.p50_latency_ms = Percentile(&samples, 0.50);
-  s.p95_latency_ms = Percentile(&samples, 0.95);
+  s.submitted = submitted_->value();
+  s.admitted = admitted_->value();
+  s.rejected = rejected_->value();
+  s.completed = completed_->value();
+  s.failed = failed_->value();
+  s.cancelled = cancelled_->value();
+  s.deadline_expired = deadline_expired_->value();
+  s.reoptimized_queries = reoptimized_queries_->value();
+  s.reopt_attempts = reopt_attempts_->value();
+  s.checks_fired = checks_fired_->value();
+  s.queries_in_flight = in_flight_->value();
+  s.p50_latency_ms = latency_->Quantile(0.50);
+  s.p95_latency_ms = latency_->Quantile(0.95);
   return s;
 }
 

@@ -1,15 +1,16 @@
 #ifndef POPDB_RUNTIME_METRICS_H_
 #define POPDB_RUNTIME_METRICS_H_
 
-#include <atomic>
 #include <cstdint>
-#include <mutex>
-#include <vector>
+
+#include "runtime/metrics_registry.h"
 
 namespace popdb {
 
 /// Point-in-time view of a QueryService's aggregate counters. All counters
-/// are monotonically increasing except queries_in_flight.
+/// are monotonically increasing except queries_in_flight. The latency
+/// percentiles are estimated from a log-bucketed histogram; they are NaN
+/// until the first sample is recorded (an empty window is not "0 ms").
 struct ServiceStatsSnapshot {
   int64_t submitted = 0;
   int64_t admitted = 0;
@@ -22,63 +23,70 @@ struct ServiceStatsSnapshot {
   int64_t reopt_attempts = 0;       ///< Total re-optimizations served.
   int64_t checks_fired = 0;
   int64_t queries_in_flight = 0;  ///< Admitted, not yet finished.
-  double p50_latency_ms = 0.0;    ///< Over recent end-to-end latencies.
-  double p95_latency_ms = 0.0;
+  double p50_latency_ms = 0.0;    ///< NaN when no query finished yet.
+  double p95_latency_ms = 0.0;    ///< NaN when no query finished yet.
 };
 
-/// Thread-safe counter and latency aggregation for the QueryService.
-/// Counters are lock-free atomics; latencies go into a bounded ring of
-/// recent samples (percentiles computed on demand from the ring).
+/// The QueryService's counters, backed by a MetricsRegistry so the same
+/// values serve the programmatic Snapshot() API and the Prometheus text
+/// exposition. All update paths are lock-free (relaxed atomics); latencies
+/// go into a log-bucketed histogram instead of a bounded sample ring, so
+/// no observation is ever dropped.
 class ServiceMetrics {
  public:
-  void OnSubmitted() { ++submitted_; }
+  ServiceMetrics();
+  ServiceMetrics(const ServiceMetrics&) = delete;
+  ServiceMetrics& operator=(const ServiceMetrics&) = delete;
+
+  void OnSubmitted() { submitted_->Increment(); }
   void OnAdmitted() {
-    ++admitted_;
-    ++in_flight_;
+    admitted_->Increment();
+    in_flight_->Increment();
   }
-  void OnRejected() { ++rejected_; }
-  void OnCompleted() { Finish(&completed_); }
-  void OnFailed() { Finish(&failed_); }
-  void OnCancelled() { Finish(&cancelled_); }
-  void OnDeadlineExpired() { Finish(&deadline_expired_); }
+  void OnRejected() { rejected_->Increment(); }
+  void OnCompleted() { Finish(completed_); }
+  void OnFailed() { Finish(failed_); }
+  void OnCancelled() { Finish(cancelled_); }
+  void OnDeadlineExpired() { Finish(deadline_expired_); }
 
   void OnReopts(int reopts, int64_t fired) {
     if (reopts > 0) {
-      ++reoptimized_queries_;
-      reopt_attempts_ += reopts;
+      reoptimized_queries_->Increment();
+      reopt_attempts_->Increment(reopts);
     }
-    checks_fired_ += fired;
+    if (fired > 0) checks_fired_->Increment(fired);
   }
 
-  /// Records one end-to-end (submit → finish) latency sample.
-  void RecordLatency(double ms);
+  /// Records one end-to-end (submit -> finish) latency sample.
+  void RecordLatency(double ms) { latency_->Observe(ms); }
 
   ServiceStatsSnapshot Snapshot() const;
 
+  /// The underlying registry — engine-level metrics (check flavors,
+  /// Q-error distribution, queue depth) register here so one Prometheus
+  /// render covers the whole service.
+  MetricsRegistry& registry() { return registry_; }
+  const MetricsRegistry& registry() const { return registry_; }
+
  private:
-  void Finish(std::atomic<int64_t>* counter) {
-    ++*counter;
-    --in_flight_;
+  void Finish(Counter* counter) {
+    counter->Increment();
+    in_flight_->Decrement();
   }
 
-  static constexpr size_t kLatencyWindow = 4096;
-
-  std::atomic<int64_t> submitted_{0};
-  std::atomic<int64_t> admitted_{0};
-  std::atomic<int64_t> rejected_{0};
-  std::atomic<int64_t> completed_{0};
-  std::atomic<int64_t> failed_{0};
-  std::atomic<int64_t> cancelled_{0};
-  std::atomic<int64_t> deadline_expired_{0};
-  std::atomic<int64_t> reoptimized_queries_{0};
-  std::atomic<int64_t> reopt_attempts_{0};
-  std::atomic<int64_t> checks_fired_{0};
-  std::atomic<int64_t> in_flight_{0};
-
-  mutable std::mutex latency_mu_;
-  std::vector<double> latencies_;  ///< Ring buffer of recent samples.
-  size_t latency_next_ = 0;
-  bool latency_wrapped_ = false;
+  MetricsRegistry registry_;
+  Counter* submitted_;
+  Counter* admitted_;
+  Counter* rejected_;
+  Counter* completed_;
+  Counter* failed_;
+  Counter* cancelled_;
+  Counter* deadline_expired_;
+  Counter* reoptimized_queries_;
+  Counter* reopt_attempts_;
+  Counter* checks_fired_;
+  Gauge* in_flight_;
+  Histogram* latency_;
 };
 
 }  // namespace popdb

@@ -52,6 +52,33 @@ QueryService::QueryService(const Catalog& catalog, ServiceConfig config)
     : catalog_(catalog), config_(std::move(config)) {
   if (config_.num_workers < 1) config_.num_workers = 1;
   if (config_.queue_capacity < 1) config_.queue_capacity = 1;
+
+  MetricsRegistry& registry = metrics_.registry();
+  for (int f = 0; f < 6; ++f) {
+    flavor_fired_[f] = registry.GetCounter(
+        "popdb_checks_fired_by_flavor_total",
+        "CHECK violations by checkpoint flavor.",
+        std::string("flavor=\"") +
+            CheckFlavorName(static_cast<CheckFlavor>(f)) + "\"");
+  }
+  // Q-error is >= 1 by definition; 1..~1e6 in doubling buckets.
+  qerror_hist_ = registry.GetHistogram(
+      "popdb_operator_qerror",
+      "Per-operator cardinality Q-error (max(est/act, act/est)) observed "
+      "by EXPLAIN ANALYZE profiles.",
+      Histogram::LogBuckets(1.0, 2.0, 20));
+  queue_depth_ = registry.GetGauge("popdb_admission_queue_depth",
+                                   "Queries queued, not yet dispatched.");
+  feedback_lookups_ = registry.GetGauge(
+      "popdb_feedback_seed_lookups",
+      "Compilations that consulted the shared feedback store.");
+  feedback_hits_ = registry.GetGauge(
+      "popdb_feedback_seed_hits",
+      "Compilations seeded with at least one learned cardinality.");
+  feedback_seeded_ = registry.GetGauge(
+      "popdb_feedback_seeded_cards",
+      "Learned cardinalities handed to compilations in total.");
+
   workers_.reserve(static_cast<size_t>(config_.num_workers));
   for (int i = 0; i < config_.num_workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -87,6 +114,8 @@ Result<std::shared_ptr<QueryTicket>> QueryService::Submit(
     }
     lanes_[static_cast<int>(ticket->priority_)].push_back(ticket);
     metrics_.OnAdmitted();
+    queue_depth_->Set(static_cast<int64_t>(lanes_[0].size()) +
+                      static_cast<int64_t>(lanes_[1].size()));
   }
   cv_.notify_one();
   return ticket;
@@ -154,6 +183,8 @@ void QueryService::WorkerLoop() {
       } else {
         return;  // shutdown_ and both lanes empty
       }
+      queue_depth_->Set(static_cast<int64_t>(lanes_[0].size()) +
+                        static_cast<int64_t>(lanes_[1].size()));
     }
     RunOne(ticket);
   }
@@ -217,6 +248,12 @@ void QueryService::RunOne(const std::shared_ptr<QueryTicket>& ticket) {
                                                               ev.edge_set)];
       }
     }
+    for (const CheckEvent& ev : stats.check_events) {
+      if (ev.fired) flavor_fired_[static_cast<int>(ev.flavor)]->Increment();
+    }
+    for (const AttemptInfo& a : stats.attempts) {
+      if (a.has_profile) ObserveQErrors(a.profile);
+    }
   }
 
   FinishTicket(ticket, std::move(result), std::move(trace));
@@ -252,6 +289,22 @@ void QueryService::FinishTicket(const std::shared_ptr<QueryTicket>& ticket,
     ticket->done_ = true;
   }
   ticket->cv_.notify_all();
+}
+
+void QueryService::ObserveQErrors(const PlanProfileNode& node) {
+  const double q = node.QError();
+  if (q >= 0) qerror_hist_->Observe(q);
+  for (const PlanProfileNode& child : node.children) ObserveQErrors(child);
+}
+
+std::string QueryService::MetricsText() {
+  // The feedback store keeps its own counters; mirror them into gauges at
+  // scrape time (per-session stores, used when share_feedback is off, are
+  // not aggregated here).
+  feedback_lookups_->Set(shared_feedback_.seed_lookups());
+  feedback_hits_->Set(shared_feedback_.seed_hits());
+  feedback_seeded_->Set(shared_feedback_.seeded_cards());
+  return metrics_.registry().RenderPrometheus();
 }
 
 std::map<std::string, int64_t> QueryService::CheckHistory() const {

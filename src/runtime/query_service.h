@@ -160,6 +160,17 @@ class QueryService {
   /// Aggregate counters and latency percentiles.
   ServiceStatsSnapshot Stats() const { return metrics_.Snapshot(); }
 
+  /// Prometheus text exposition of every service and engine metric:
+  /// service counters, the latency histogram, checks fired by flavor, the
+  /// per-operator Q-error distribution, admission queue depth, and
+  /// feedback-store effectiveness. Ready to serve from a /metrics
+  /// endpoint.
+  std::string MetricsText();
+
+  /// The registry backing MetricsText() (for registering extra metrics or
+  /// inspecting individual families in tests).
+  MetricsRegistry& metrics_registry() { return metrics_.registry(); }
+
   /// Process-wide check-firing history: canonical subplan signature of the
   /// guarded edge -> number of times a checkpoint on it fired. Shared
   /// diagnostic memory of where the optimizer's estimates break.
@@ -172,12 +183,23 @@ class QueryService {
   void RunOne(const std::shared_ptr<QueryTicket>& ticket);
   void FinishTicket(const std::shared_ptr<QueryTicket>& ticket,
                     QueryResult result, QueryTrace trace);
+  /// Feeds every annotated operator's Q-error into qerror_hist_.
+  void ObserveQErrors(const PlanProfileNode& node);
   /// Store for a session (the shared store, or the per-session one).
   QueryFeedbackStore* FeedbackFor(uint64_t session_id);
 
   const Catalog& catalog_;
   ServiceConfig config_;
   ServiceMetrics metrics_;
+
+  // Engine-level metrics, registered in metrics_.registry() (cached raw
+  // pointers; the registry owns them).
+  Counter* flavor_fired_[6] = {};       ///< Indexed by CheckFlavor.
+  Histogram* qerror_hist_ = nullptr;    ///< Per-operator Q-error.
+  Gauge* queue_depth_ = nullptr;        ///< Queued, not yet dispatched.
+  Gauge* feedback_lookups_ = nullptr;   ///< Shared-store Seed() calls.
+  Gauge* feedback_hits_ = nullptr;      ///< ... that found cardinalities.
+  Gauge* feedback_seeded_ = nullptr;    ///< Cardinalities handed out.
 
   std::mutex mu_;
   std::condition_variable cv_;

@@ -26,6 +26,8 @@ void FillTraceFromStats(const ExecutionStats& stats, QueryTrace* trace) {
     ta.rows_returned = a.rows_returned;
     ta.reoptimized = a.reoptimized;
     if (a.reoptimized) ta.reopt_flavor = CheckFlavorName(a.signal.flavor);
+    ta.profile = a.profile;
+    ta.has_profile = a.has_profile;
     trace->optimize_ms += a.optimize_ms;
     trace->execute_ms += a.execute_ms;
     trace->attempts.push_back(std::move(ta));
@@ -68,6 +70,10 @@ std::string QueryTrace::ToJson() const {
     w.Key("rows_returned").Int(a.rows_returned);
     w.Key("reoptimized").Bool(a.reoptimized);
     if (a.reoptimized) w.Key("reopt_flavor").String(a.reopt_flavor);
+    if (a.has_profile) {
+      w.Key("profile");
+      ProfileToJson(a.profile, &w);
+    }
     w.EndObject();
   }
   w.EndArray();

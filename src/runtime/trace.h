@@ -21,6 +21,10 @@ struct TraceAttempt {
   int64_t rows_returned = 0;
   bool reoptimized = false;
   std::string reopt_flavor;  ///< Check flavor that fired (when reoptimized).
+  /// EXPLAIN ANALYZE snapshot of the executed tree (estimated vs. actual
+  /// rows, Q-error, timings per operator).
+  PlanProfileNode profile;
+  bool has_profile = false;
 };
 
 /// Structured record of one query's trip through the QueryService, emitted

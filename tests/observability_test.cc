@@ -1,0 +1,476 @@
+// End-to-end observability: EXPLAIN ANALYZE profiles (est vs. actual rows
+// with Q-error per operator), span tracing with Chrome-trace export, the
+// Prometheus metrics registry, and the JSONL trace escaping guarantees.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/span.h"
+#include "core/explain.h"
+#include "core/pop.h"
+#include "runtime/metrics_registry.h"
+#include "runtime/query_service.h"
+#include "runtime/trace.h"
+#include "tests/test_util.h"
+
+namespace popdb {
+namespace {
+
+using ::popdb::testing::BuildToyCatalog;
+
+/// Correlated-predicate trap (see runtime_test.cc): the static optimizer
+/// multiplies the two predicate selectivities, underestimates badly, and
+/// the first progressive run re-optimizes at least once.
+void BuildTrapCatalog(Catalog* catalog) {
+  Rng rng(5);
+  Table orders("orders", Schema({{"o_id", ValueType::kInt},
+                                 {"clazz", ValueType::kInt},
+                                 {"subclass", ValueType::kInt}}));
+  for (int64_t i = 0; i < 4000; ++i) {
+    const int64_t sub = rng.UniformInt(0, 199);
+    orders.AppendRow({Value::Int(i), Value::Int(sub / 10), Value::Int(sub)});
+  }
+  POPDB_DCHECK(catalog->AddTable(std::move(orders)).ok());
+  Table items("items", Schema({{"i_order", ValueType::kInt},
+                               {"qty", ValueType::kInt}}));
+  for (int64_t i = 0; i < 12000; ++i) {
+    items.AppendRow({Value::Int(rng.UniformInt(0, 3999)),
+                     Value::Int(rng.UniformInt(1, 50))});
+  }
+  POPDB_DCHECK(catalog->AddTable(std::move(items)).ok());
+  catalog->AnalyzeAll();
+}
+
+QuerySpec TrapQuery(const std::string& name = "trap") {
+  QuerySpec q(name);
+  const int o = q.AddTable("orders");
+  const int it = q.AddTable("items");
+  q.AddJoin({o, 0}, {it, 0});
+  q.AddPred({o, 1}, PredKind::kEq, Value::Int(7));
+  q.AddPred({o, 2}, PredKind::kEq, Value::Int(77));
+  q.AddGroupBy({o, 1});
+  q.AddAgg(AggFunc::kCount);
+  return q;
+}
+
+/// Depth-first search for a profile node matching (name prefix, detail).
+const PlanProfileNode* FindNode(const PlanProfileNode& node,
+                                const std::string& name_prefix,
+                                const std::string& detail) {
+  if (node.name.rfind(name_prefix, 0) == 0 &&
+      (detail.empty() || node.detail.find(detail) != std::string::npos)) {
+    return &node;
+  }
+  for (const PlanProfileNode& child : node.children) {
+    if (const PlanProfileNode* hit = FindNode(child, name_prefix, detail)) {
+      return hit;
+    }
+  }
+  return nullptr;
+}
+
+// ------------------------------------------------------- EXPLAIN ANALYZE.
+
+TEST(ExplainAnalyzeTest, ScanEstimateMatchesActualOnAnalyzedTable) {
+  Catalog catalog;
+  BuildToyCatalog(&catalog);
+  ProgressiveExecutor exec(catalog, OptimizerConfig{}, PopConfig{});
+
+  QuerySpec q("scan_dept");
+  q.AddTable("dept");
+
+  ExecutionStats stats;
+  ASSERT_TRUE(exec.Execute(q, &stats).ok());
+  ASSERT_EQ(1u, stats.attempts.size());
+  ASSERT_TRUE(stats.attempts[0].has_profile);
+
+  const PlanProfileNode* scan =
+      FindNode(stats.attempts[0].profile, "TBSCAN", "dept");
+  ASSERT_NE(nullptr, scan);
+  EXPECT_TRUE(scan->completed);
+  EXPECT_EQ(8, scan->actual_rows);  // dept has exactly 8 rows.
+  ASSERT_TRUE(scan->has_estimates());
+  // ANALYZE collected the exact table cardinality, so the estimate is
+  // perfect and the Q-error is 1.
+  EXPECT_NEAR(1.0, scan->QError(), 1e-9);
+  EXPECT_GT(scan->next_calls, 0);
+}
+
+TEST(ExplainAnalyzeTest, KnownCardinalityJoinHasLowQError) {
+  Catalog catalog;
+  BuildToyCatalog(&catalog);  // Every emp row matches exactly one dept.
+  ProgressiveExecutor exec(catalog, OptimizerConfig{}, PopConfig{});
+
+  QuerySpec q("fk_join");
+  const int d = q.AddTable("dept");
+  const int e = q.AddTable("emp");
+  q.AddJoin({e, 1}, {d, 0});
+
+  ExecutionStats stats;
+  Result<std::vector<Row>> rows = exec.Execute(q, &stats);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(200u, rows.value().size());
+  ASSERT_TRUE(stats.attempts.back().has_profile);
+
+  // The topmost join produced the full FK-join result; with uniform keys
+  // the estimator should be close to exact.
+  const PlanProfileNode* join = FindNode(stats.attempts.back().profile, "", "");
+  ASSERT_NE(nullptr, join);  // Root.
+  const PlanProfileNode* join_node = nullptr;
+  for (const std::string name : {"NLJN", "HSJN", "MGJN"}) {
+    if ((join_node = FindNode(stats.attempts.back().profile, name, ""))) break;
+  }
+  ASSERT_NE(nullptr, join_node);
+  EXPECT_TRUE(join_node->completed);
+  EXPECT_EQ(200, join_node->actual_rows);
+  ASSERT_TRUE(join_node->has_estimates());
+  EXPECT_LE(join_node->QError(), 2.0);
+}
+
+TEST(ExplainAnalyzeTest, RendersEveryAttemptWithCheckFiring) {
+  Catalog catalog;
+  BuildTrapCatalog(&catalog);
+  ProgressiveExecutor exec(catalog, OptimizerConfig{}, PopConfig{});
+
+  ExecutionStats stats;
+  Result<std::string> text = exec.ExplainAnalyze(TrapQuery(), &stats);
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  ASSERT_GE(stats.reopts, 1);
+
+  // Every attempt carries a profile, including the aborted first one.
+  for (const AttemptInfo& a : stats.attempts) {
+    EXPECT_TRUE(a.has_profile);
+  }
+
+  const std::string& out = text.value();
+  EXPECT_NE(std::string::npos, out.find("=== Attempt 1"));
+  EXPECT_NE(std::string::npos, out.find("=== Attempt 2"));
+  EXPECT_NE(std::string::npos, out.find("CHECK fired"));
+  EXPECT_NE(std::string::npos, out.find("re-optimizing"));
+  EXPECT_NE(std::string::npos, out.find("est_rows="));
+  EXPECT_NE(std::string::npos, out.find("act_rows="));
+  EXPECT_NE(std::string::npos, out.find("q="));
+  EXPECT_NE(std::string::npos, out.find("=== Done"));
+}
+
+TEST(ExplainAnalyzeTest, ProfileJsonIsWellFormed) {
+  Catalog catalog;
+  BuildToyCatalog(&catalog);
+  ProgressiveExecutor exec(catalog, OptimizerConfig{}, PopConfig{});
+
+  QuerySpec q("json_probe");
+  const int d = q.AddTable("dept");
+  const int e = q.AddTable("emp");
+  q.AddJoin({e, 1}, {d, 0});
+  q.AddGroupBy({d, 1});
+  q.AddAgg(AggFunc::kCount);
+
+  ExecutionStats stats;
+  ASSERT_TRUE(exec.Execute(q, &stats).ok());
+  ASSERT_TRUE(stats.attempts[0].has_profile);
+  const std::string json = ProfileToJsonString(stats.attempts[0].profile);
+  EXPECT_EQ('{', json.front());
+  EXPECT_EQ('}', json.back());
+  EXPECT_NE(std::string::npos, json.find("\"op\":"));
+  EXPECT_NE(std::string::npos, json.find("\"est_rows\":"));
+  EXPECT_NE(std::string::npos, json.find("\"act_rows\":"));
+  EXPECT_NE(std::string::npos, json.find("\"children\":["));
+}
+
+// ------------------------------------------------------------ span tracer.
+
+TEST(SpanTracerTest, SpansNestAcrossReoptimization) {
+  Catalog catalog;
+  BuildTrapCatalog(&catalog);
+
+  SpanTracer& tracer = SpanTracer::Global();
+  tracer.Clear();
+  tracer.Enable();
+  ProgressiveExecutor exec(catalog, OptimizerConfig{}, PopConfig{});
+  ExecutionStats stats;
+  ASSERT_TRUE(exec.Execute(TrapQuery(), &stats).ok());
+  tracer.Disable();
+  ASSERT_GE(stats.reopts, 1);
+
+  const std::vector<SpanEvent> events = tracer.Snapshot();
+  int optimize_spans = 0, attempt_spans = 0, check_fired = 0, exec_spans = 0;
+  for (const SpanEvent& ev : events) {
+    const std::string name = ev.name;
+    if (name == "optimize") ++optimize_spans;
+    if (name == "execute_attempt") ++attempt_spans;
+    if (name == "check_fired") {
+      ++check_fired;
+      EXPECT_TRUE(ev.IsInstant());
+      ASSERT_NE(nullptr, ev.arg_name);
+      EXPECT_EQ(std::string("observed_rows"), ev.arg_name);
+    }
+    if (std::string(ev.category) == "exec" && !ev.IsInstant()) ++exec_spans;
+  }
+  // One optimize + one execute span per attempt; the re-optimization left
+  // an instant marking why.
+  EXPECT_GE(optimize_spans, 2);
+  EXPECT_GE(attempt_spans, 2);
+  EXPECT_GE(check_fired, 1);
+  EXPECT_GT(exec_spans, 0);
+
+  // Nesting: every operator span lies entirely inside some execute_attempt
+  // span. (The snapshot sort puts parents first, but a root operator span
+  // can tie with its attempt span at microsecond granularity, so enclosure
+  // is checked over all events rather than only preceding ones.)
+  for (const SpanEvent& ev : events) {
+    if (std::string(ev.category) != "exec" || ev.IsInstant()) continue;
+    bool enclosed = false;
+    for (const SpanEvent& parent : events) {
+      if (std::string(parent.name) == "execute_attempt" &&
+          parent.Encloses(ev)) {
+        enclosed = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(enclosed) << "operator span '" << ev.name
+                          << "' not enclosed by any execute_attempt";
+  }
+  tracer.Clear();
+}
+
+TEST(SpanTracerTest, ChromeTraceExportIsValidTraceEventJson) {
+  SpanTracer& tracer = SpanTracer::Global();
+  tracer.Clear();
+  tracer.Enable();
+  {
+    TRACE_SPAN_NAMED(outer, "outer", "test");
+    TRACE_SPAN("inner", "test");
+    TRACE_INSTANT_ARG("marker", "test", "count", 3);
+  }
+  tracer.Disable();
+
+  const std::string json = tracer.ExportChromeTrace();
+  EXPECT_EQ('[', json.front());
+  EXPECT_EQ(']', json[json.find_last_not_of('\n')]);
+  EXPECT_NE(std::string::npos, json.find("\"ph\":\"X\""));  // Complete spans.
+  EXPECT_NE(std::string::npos, json.find("\"ph\":\"i\""));  // Instant.
+  EXPECT_NE(std::string::npos, json.find("\"name\":\"outer\""));
+  EXPECT_NE(std::string::npos, json.find("\"args\":{\"count\":3}"));
+
+  const std::string jsonl = tracer.ExportJsonl();
+  int lines = 0;
+  size_t pos = 0;
+  while (pos < jsonl.size()) {
+    size_t end = jsonl.find('\n', pos);
+    if (end == std::string::npos) end = jsonl.size();
+    const std::string line = jsonl.substr(pos, end - pos);
+    if (!line.empty()) {
+      EXPECT_EQ('{', line.front());
+      EXPECT_EQ('}', line.back());
+      ++lines;
+    }
+    pos = end + 1;
+  }
+  EXPECT_EQ(3, lines);
+  tracer.Clear();
+}
+
+TEST(SpanTracerTest, DisabledTracerRecordsNothing) {
+  SpanTracer& tracer = SpanTracer::Global();
+  tracer.Clear();
+  tracer.Disable();
+  {
+    TRACE_SPAN("ignored", "test");
+    TRACE_INSTANT("ignored_too", "test");
+  }
+  EXPECT_EQ(0, tracer.event_count());
+}
+
+// ------------------------------------------------------- metrics registry.
+
+TEST(MetricsRegistryTest, PrometheusExpositionGolden) {
+  MetricsRegistry reg;
+  reg.GetCounter("demo_requests_total", "Requests served.")->Increment(3);
+  reg.GetCounter("demo_errors_total", "Errors by kind.", "kind=\"parse\"")
+      ->Increment(2);
+  reg.GetCounter("demo_errors_total", "Errors by kind.", "kind=\"io\"");
+  reg.GetGauge("demo_in_flight", "In-flight requests.")->Set(7);
+  Histogram* h = reg.GetHistogram("demo_latency_ms", "Request latency.",
+                                  {1.0, 10.0, 100.0});
+  h->Observe(0.5);
+  h->Observe(5.0);
+  h->Observe(50.0);
+  h->Observe(500.0);
+
+  const std::string expected =
+      "# HELP demo_requests_total Requests served.\n"
+      "# TYPE demo_requests_total counter\n"
+      "demo_requests_total 3\n"
+      "# HELP demo_errors_total Errors by kind.\n"
+      "# TYPE demo_errors_total counter\n"
+      "demo_errors_total{kind=\"parse\"} 2\n"
+      "demo_errors_total{kind=\"io\"} 0\n"
+      "# HELP demo_in_flight In-flight requests.\n"
+      "# TYPE demo_in_flight gauge\n"
+      "demo_in_flight 7\n"
+      "# HELP demo_latency_ms Request latency.\n"
+      "# TYPE demo_latency_ms histogram\n"
+      "demo_latency_ms_bucket{le=\"1\"} 1\n"
+      "demo_latency_ms_bucket{le=\"10\"} 2\n"
+      "demo_latency_ms_bucket{le=\"100\"} 3\n"
+      "demo_latency_ms_bucket{le=\"+Inf\"} 4\n"
+      "demo_latency_ms_sum 555.5\n"
+      "demo_latency_ms_count 4\n";
+  EXPECT_EQ(expected, reg.RenderPrometheus());
+}
+
+TEST(MetricsRegistryTest, HistogramQuantilesAndEmptyWindow) {
+  MetricsRegistry reg;
+  Histogram& h = *reg.GetHistogram(
+      "q_hist", "h", Histogram::LogBuckets(1.0, 2.0, 6));  // 1,2,...,32.
+  EXPECT_TRUE(std::isnan(h.Quantile(0.5)));
+  EXPECT_TRUE(std::isnan(h.Quantile(0.95)));
+
+  for (int i = 0; i < 90; ++i) h.Observe(1.5);  // -> le="2" bucket.
+  for (int i = 0; i < 10; ++i) h.Observe(30.0);  // -> le="32" bucket.
+  EXPECT_EQ(100, h.count());
+  EXPECT_DOUBLE_EQ(2.0, h.Quantile(0.5));
+  EXPECT_DOUBLE_EQ(32.0, h.Quantile(0.95));
+  // Beyond the last finite bound the largest finite boundary is reported.
+  h.Observe(1e9);
+  EXPECT_DOUBLE_EQ(32.0, h.Quantile(1.0));
+}
+
+TEST(MetricsRegistryTest, SameNameSameLabelsReturnsSameInstance) {
+  MetricsRegistry reg;
+  Counter* a = reg.GetCounter("c_total", "c");
+  Counter* b = reg.GetCounter("c_total", "c");
+  EXPECT_EQ(a, b);
+  // Same name with a different type is rejected rather than clobbered.
+  EXPECT_EQ(nullptr, reg.GetGauge("c_total", "c"));
+}
+
+// ---------------------------------------------------- service-level wiring.
+
+TEST(ServiceObservabilityTest, MetricsTextExposesServiceAndEngineMetrics) {
+  Catalog catalog;
+  BuildTrapCatalog(&catalog);
+  ServiceConfig config;
+  config.num_workers = 1;
+  QueryService service(catalog, config);
+
+  ASSERT_TRUE(service.ExecuteSync(TrapQuery("t1")).status.ok());
+  ASSERT_TRUE(service.ExecuteSync(TrapQuery("t2")).status.ok());
+  service.Shutdown();
+
+  const ServiceStatsSnapshot stats = service.Stats();
+  ASSERT_GE(stats.checks_fired, 1);  // The trap fired at least once.
+
+  const std::string text = service.MetricsText();
+  EXPECT_NE(std::string::npos,
+            text.find("# TYPE popdb_queries_submitted_total counter"));
+  EXPECT_NE(std::string::npos, text.find("popdb_queries_submitted_total 2"));
+  EXPECT_NE(std::string::npos, text.find("popdb_queries_completed_total 2"));
+  // Check firings broken out by flavor; the trap fires at least one LC or
+  // LCEM checkpoint.
+  EXPECT_NE(std::string::npos,
+            text.find("popdb_checks_fired_by_flavor_total{flavor=\"LC\"}"));
+  EXPECT_NE(std::string::npos,
+            text.find("popdb_checks_fired_by_flavor_total{flavor=\"ECB\"}"));
+  // Latency histogram with both queries accounted for.
+  EXPECT_NE(std::string::npos,
+            text.find("popdb_query_latency_ms_bucket{le=\""));
+  EXPECT_NE(std::string::npos, text.find("popdb_query_latency_ms_count 2"));
+  // Q-errors harvested from the EXPLAIN ANALYZE profiles.
+  EXPECT_NE(std::string::npos, text.find("# TYPE popdb_operator_qerror"));
+  // Feedback-store effectiveness: both compilations consulted the store,
+  // the second was seeded from the first run's harvest.
+  EXPECT_NE(std::string::npos, text.find("popdb_feedback_seed_lookups 2"));
+  EXPECT_NE(std::string::npos, text.find("popdb_admission_queue_depth 0"));
+
+  // The Q-error histogram saw at least one observation.
+  Histogram* qerr = service.metrics_registry().GetHistogram(
+      "popdb_operator_qerror", "", Histogram::LogBuckets(1.0, 2.0, 20));
+  ASSERT_NE(nullptr, qerr);
+  EXPECT_GT(qerr->count(), 0);
+}
+
+TEST(ServiceObservabilityTest, PercentilesAreNaNWithNoCompletedQueries) {
+  Catalog catalog;
+  BuildToyCatalog(&catalog);
+  QueryService service(catalog, ServiceConfig{});
+  const ServiceStatsSnapshot stats = service.Stats();
+  EXPECT_TRUE(std::isnan(stats.p50_latency_ms));
+  EXPECT_TRUE(std::isnan(stats.p95_latency_ms));
+  service.Shutdown();
+}
+
+// ------------------------------------------------- JSONL trace escaping.
+
+TEST(TraceJsonTest, EscapesQuotesNewlinesAndBackslashes) {
+  QueryTrace trace;
+  trace.query_id = 7;
+  trace.query_name = "q\"uote\nline\\slash";
+  trace.outcome = "error";
+  trace.status_message = "tab\there";
+
+  const std::string json = trace.ToJson();
+  // A JSONL consumer reads one object per line: no raw control characters.
+  EXPECT_EQ(std::string::npos, json.find('\n'));
+  EXPECT_EQ(std::string::npos, json.find('\t'));
+  EXPECT_NE(std::string::npos, json.find("q\\\"uote\\nline\\\\slash"));
+  EXPECT_NE(std::string::npos, json.find("tab\\there"));
+}
+
+// ------------------------------------------------- multithreaded hammer.
+
+TEST(ObservabilityConcurrencyTest, RegistryAndTracerHammer) {
+  MetricsRegistry reg;
+  Counter* counter = reg.GetCounter("hammer_total", "Hammered counter.");
+  Gauge* gauge = reg.GetGauge("hammer_gauge", "Hammered gauge.");
+  Histogram* hist = reg.GetHistogram("hammer_hist", "Hammered histogram.",
+                                     Histogram::LogBuckets(1.0, 2.0, 10));
+
+  SpanTracer& tracer = SpanTracer::Global();
+  tracer.Clear();
+  tracer.Enable();
+
+  constexpr int kThreads = 4;
+  constexpr int kIters = 2000;
+  std::atomic<int64_t> renders{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t]() {
+      for (int i = 0; i < kIters; ++i) {
+        counter->Increment();
+        gauge->Increment();
+        hist->Observe(static_cast<double>(i % 37));
+        gauge->Decrement();
+        // Re-registration from many threads must return the same cell.
+        if (i % 64 == 0) {
+          Counter* again = reg.GetCounter("hammer_total", "Hammered counter.");
+          if (again != counter) std::abort();
+        }
+        const int64_t t0 = tracer.NowUs();
+        tracer.RecordSpan("hammer_span", "test", t0, 1, "iter", i);
+        if (i % 512 == t) {
+          renders += static_cast<int64_t>(reg.RenderPrometheus().size());
+          renders += static_cast<int64_t>(tracer.Snapshot().size());
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  tracer.Disable();
+
+  EXPECT_EQ(kThreads * kIters, counter->value());
+  EXPECT_EQ(0, gauge->value());
+  EXPECT_EQ(kThreads * kIters, hist->count());
+  EXPECT_EQ(kThreads * kIters, tracer.event_count());
+  EXPECT_GT(renders.load(), 0);
+  tracer.Clear();
+}
+
+}  // namespace
+}  // namespace popdb
