@@ -1,8 +1,14 @@
 #!/usr/bin/env bash
 # CI entry point: release build + full test suite, then a ThreadSanitizer
-# build that hammers the concurrent pieces (runtime query service, shared
-# feedback stores, parallel executors, metrics registry, span tracer), then
-# a UBSan build over the tracing/metrics/runtime suites.
+# build that hammers the concurrent pieces (runtime query service, morsel
+# parallelism, shared feedback stores, parallel executors, metrics
+# registry, span tracer), then a UBSan build over the tracing/metrics/
+# runtime/parallel suites.
+#
+# The release ctest runs everything including tests labeled "slow"
+# (parallel_stress_test); use `ctest -L fast` locally for the quick loop.
+# The TSan stage runs the parallel-equivalence suite in light mode
+# (POPDB_EQUIV_LIGHT=1) — the full corpus sweep is release-only.
 #
 # Usage: ./ci.sh [--skip-tsan] [--skip-ubsan]
 set -euo pipefail
@@ -27,10 +33,15 @@ else
   cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
         -DPOPDB_SANITIZE=thread
   cmake --build build-tsan -j \
-        --target runtime_test concurrency_test observability_test
+        --target runtime_test concurrency_test observability_test \
+        morsel_test parallel_equivalence_test parallel_stress_test
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/runtime_test
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/concurrency_test
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/observability_test
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/morsel_test
+  TSAN_OPTIONS="halt_on_error=1" POPDB_EQUIV_LIGHT=1 \
+      ./build-tsan/tests/parallel_equivalence_test
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/parallel_stress_test
 fi
 
 if [[ "$SKIP_UBSAN" == "1" ]]; then
@@ -40,11 +51,15 @@ else
   cmake -B build-ubsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
         -DPOPDB_SANITIZE=undefined
   cmake --build build-ubsan -j \
-        --target runtime_test observability_test operator_test pop_test
+        --target runtime_test observability_test operator_test pop_test \
+        morsel_test parallel_equivalence_test
   UBSAN_OPTIONS="halt_on_error=1" ./build-ubsan/tests/observability_test
   UBSAN_OPTIONS="halt_on_error=1" ./build-ubsan/tests/runtime_test
   UBSAN_OPTIONS="halt_on_error=1" ./build-ubsan/tests/operator_test
   UBSAN_OPTIONS="halt_on_error=1" ./build-ubsan/tests/pop_test
+  UBSAN_OPTIONS="halt_on_error=1" ./build-ubsan/tests/morsel_test
+  UBSAN_OPTIONS="halt_on_error=1" \
+      ./build-ubsan/tests/parallel_equivalence_test
 fi
 
 echo "=== ci.sh: all stages passed ==="

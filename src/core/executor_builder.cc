@@ -14,11 +14,13 @@ namespace popdb {
 ExecutorBuilder::ExecutorBuilder(const Catalog& catalog,
                                  const QuerySpec& query,
                                  const std::vector<Row>* already_returned,
-                                 bool offer_hsjn_builds)
+                                 bool offer_hsjn_builds,
+                                 ParallelPolicy parallel)
     : catalog_(catalog),
       query_(query),
       already_returned_(already_returned),
       offer_hsjn_builds_(offer_hsjn_builds),
+      parallel_(parallel),
       widths_(QueryTableWidths(catalog, query)) {}
 
 RowLayout ExecutorBuilder::LayoutFor(TableSet set) const {
@@ -74,8 +76,29 @@ Result<std::unique_ptr<Operator>> ExecutorBuilder::BuildNode(
       if (table == nullptr) {
         return Status::NotFound("no such table: " + node.table_name);
       }
-      op = std::make_unique<TableScanOp>(table, node.table_id,
-                                         ResolveTablePreds(node.pred_ids));
+      std::vector<ResolvedPredicate> preds = ResolveTablePreds(node.pred_ids);
+      // With a modeled per-morsel I/O stall, even dop=1 goes through the
+      // morsel loop (a serial engine reads the same pages one at a time),
+      // so scaling benchmarks compare against an honest serial baseline.
+      const bool morselize =
+          parallel_.enabled() || parallel_.morsel_stall_ms > 0;
+      if (morselize && table->num_rows() >= parallel_.min_parallel_rows) {
+        // Morsel-parallel fragment: the scan (with its pushed-down
+        // predicates) runs once per rid-range morsel; the exchange merges
+        // in rid order, so consumers see the serial row stream.
+        const int table_id = node.table_id;
+        auto shared_preds = std::make_shared<
+            const std::vector<ResolvedPredicate>>(std::move(preds));
+        op = std::make_unique<MorselExchangeOp>(
+            [table, table_id, shared_preds](int64_t begin, int64_t end) {
+              return std::make_unique<TableScanOp>(table, table_id,
+                                                   *shared_preds, begin, end);
+            },
+            table->num_rows(), TableBit(node.table_id), parallel_);
+      } else {
+        op = std::make_unique<TableScanOp>(table, node.table_id,
+                                           std::move(preds));
+      }
       break;
     }
     case PlanOpKind::kMatViewScan: {

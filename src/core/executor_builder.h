@@ -7,6 +7,7 @@
 
 #include "common/status.h"
 #include "exec/operator.h"
+#include "exec/parallel.h"
 #include "opt/plan.h"
 #include "opt/query.h"
 #include "storage/catalog.h"
@@ -33,10 +34,15 @@ class ExecutorBuilder {
  public:
   /// `already_returned` backs kAntiComp nodes (may be null when the plan
   /// has none). `offer_hsjn_builds` lets hash joins expose their build
-  /// sides for reuse.
+  /// sides for reuse. `parallel` (default: serial) makes the builder wrap
+  /// eligible base-table scans — at least `min_parallel_rows` rows — in a
+  /// MorselExchangeOp so they fan out over morsel tasks; every other
+  /// operator stays in the serial tail above the exchange, which is what
+  /// keeps CHECK thresholds and harvested feedback identical to serial
+  /// execution.
   ExecutorBuilder(const Catalog& catalog, const QuerySpec& query,
                   const std::vector<Row>* already_returned,
-                  bool offer_hsjn_builds);
+                  bool offer_hsjn_builds, ParallelPolicy parallel = {});
 
   Result<BuiltPlan> Build(const PlanNode& plan);
 
@@ -57,6 +63,7 @@ class ExecutorBuilder {
   const QuerySpec& query_;
   const std::vector<Row>* already_returned_;
   bool offer_hsjn_builds_;
+  ParallelPolicy parallel_;
   std::vector<int> widths_;
   std::vector<std::pair<TableSet, Operator*>> edges_;
   std::vector<std::unique_ptr<HashIndex>> owned_indexes_;

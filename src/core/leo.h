@@ -53,6 +53,14 @@ class QueryFeedbackStore {
     store_.clear();
   }
 
+  /// Point-in-time copy of everything learned, keyed by subplan
+  /// signature. Differential tests compare stores across execution modes
+  /// (e.g. serial vs morsel-parallel) entry by entry.
+  std::map<std::string, CardFeedback> Dump() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return store_;
+  }
+
   /// Seed() calls made (one per query compilation that consulted the
   /// store) and how many of them found at least one learned cardinality —
   /// the service's feedback-cache hit rate.

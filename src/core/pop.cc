@@ -148,8 +148,10 @@ Result<std::vector<Row>> ProgressiveExecutor::Run(const QuerySpec& query,
     info.plan_text = root->ToString();
     info.optimize_ms = NowMs() - t_opt;
 
+    const ParallelPolicy parallel =
+        task_runner_ != nullptr ? parallel_ : ParallelPolicy{};
     ExecutorBuilder builder(catalog_, query, &returned_so_far,
-                            pop_config_.reuse_hsjn_builds);
+                            pop_config_.reuse_hsjn_builds, parallel);
     Result<BuiltPlan> built = [&] {
       TRACE_SPAN("build_executor", "pop");
       return builder.Build(*root);
@@ -160,6 +162,10 @@ Result<std::vector<Row>> ProgressiveExecutor::Run(const QuerySpec& query,
     ctx.params = query.params();
     ctx.mem_rows = static_cast<int64_t>(optimizer_.config().cost.mem_rows);
     ctx.cancel = cancel_token_;
+    if (parallel.enabled()) {
+      ctx.tasks = task_runner_;
+      ctx.dop = parallel.dop;
+    }
 
     const double t_exec = NowMs();
     std::vector<Row> attempt_rows;
@@ -179,6 +185,8 @@ Result<std::vector<Row>> ProgressiveExecutor::Run(const QuerySpec& query,
 
     if (stats != nullptr) {
       stats->total_work += ctx.work;
+      stats->morsels_dispatched += ctx.morsels_dispatched;
+      stats->parallel_work += ctx.parallel_work;
       stats->check_events.insert(stats->check_events.end(),
                                  ctx.check_events.begin(),
                                  ctx.check_events.end());

@@ -46,6 +46,11 @@ struct ExecutionStats {
   int64_t result_rows = 0;
   int reopts = 0;
   int64_t mv_rows_harvested = 0;
+  /// Morsel-parallel execution (set_parallel): morsels run across all
+  /// attempts and the work units spent inside morsel tasks.
+  /// parallel_work / total_work is the query's parallel fraction.
+  int64_t morsels_dispatched = 0;
+  int64_t parallel_work = 0;
   std::vector<CheckEvent> check_events;  ///< Accumulated over attempts.
 
   const AttemptInfo& last_attempt() const { return attempts.back(); }
@@ -105,6 +110,18 @@ class ProgressiveExecutor {
   /// the token's reason. Not owned; may be null.
   void set_cancel_token(CancelToken* token) { cancel_token_ = token; }
 
+  /// Morsel-driven intra-query parallelism: eligible base-table scans fan
+  /// out over `runner` with at most `policy.dop` workers including the
+  /// query's own thread (exec/parallel.h). Execution results, CHECK
+  /// decisions, and harvested feedback are identical to serial execution;
+  /// every task group joins inside the attempt, so re-optimization never
+  /// overlaps in-flight morsel tasks. `runner` is not owned and may be
+  /// null (serial).
+  void set_parallel(TaskRunner* runner, ParallelPolicy policy) {
+    task_runner_ = runner;
+    parallel_ = policy;
+  }
+
   const PopConfig& pop_config() const { return pop_config_; }
   const OptimizerConfig& optimizer_config() const {
     return optimizer_.config();
@@ -127,6 +144,8 @@ class ProgressiveExecutor {
   MatViewRegistry matviews_;
   QueryFeedbackStore* cross_query_store_ = nullptr;
   CancelToken* cancel_token_ = nullptr;
+  TaskRunner* task_runner_ = nullptr;
+  ParallelPolicy parallel_;
 };
 
 /// Monotonic wall-clock milliseconds (benchmark helper).

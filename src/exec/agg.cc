@@ -1,5 +1,9 @@
 #include "exec/agg.h"
 
+#include <algorithm>
+
+#include "exec/parallel.h"
+
 namespace popdb {
 
 const char* AggFuncName(AggFunc func) {
@@ -26,40 +30,40 @@ HashAggOp::HashAggOp(std::unique_ptr<Operator> child,
       group_pos_(std::move(group_pos)),
       aggs_(std::move(aggs)) {}
 
-ExecStatus HashAggOp::OpenImpl(ExecContext* ctx) {
-  ExecStatus s = child_->Open(ctx);
-  if (s != ExecStatus::kOk) return s;
-
-  std::unordered_map<Row, std::vector<AggState>, RowHash> groups;
-  Row row;
-  while (true) {
-    if (ctx->CancelPending()) return ExecStatus::kCancelled;
-    s = child_->Next(ctx, &row);
-    if (s == ExecStatus::kEof) break;
-    if (s != ExecStatus::kRow) return s;
-    ++ctx->work;
-    Row key;
-    key.reserve(group_pos_.size());
-    for (int pos : group_pos_) key.push_back(row[static_cast<size_t>(pos)]);
-    std::vector<AggState>& states = groups[std::move(key)];
-    if (states.empty()) states.resize(aggs_.size());
-    for (size_t a = 0; a < aggs_.size(); ++a) {
-      AggState& st = states[a];
-      ++st.count;
-      if (aggs_[a].func == AggFunc::kCount) continue;
-      const Value& v = row[static_cast<size_t>(aggs_[a].pos)];
-      if (v.is_null()) continue;
-      if (aggs_[a].func == AggFunc::kSum || aggs_[a].func == AggFunc::kAvg) {
-        st.sum += v.AsNumeric();
-      }
-      if (st.min.is_null() || v < st.min) st.min = v;
-      if (st.max.is_null() || v > st.max) st.max = v;
+void HashAggOp::Accumulate(const Row& row, GroupMap* groups) const {
+  Row key;
+  key.reserve(group_pos_.size());
+  for (int pos : group_pos_) key.push_back(row[static_cast<size_t>(pos)]);
+  std::vector<AggState>& states = (*groups)[std::move(key)];
+  if (states.empty()) states.resize(aggs_.size());
+  for (size_t a = 0; a < aggs_.size(); ++a) {
+    AggState& st = states[a];
+    ++st.count;
+    if (aggs_[a].func == AggFunc::kCount) continue;
+    const Value& v = row[static_cast<size_t>(aggs_[a].pos)];
+    if (v.is_null()) continue;
+    if (aggs_[a].func == AggFunc::kSum || aggs_[a].func == AggFunc::kAvg) {
+      st.sum += v.AsNumeric();
     }
+    if (st.min.is_null() || v < st.min) st.min = v;
+    if (st.max.is_null() || v > st.max) st.max = v;
   }
-  child_->Close(ctx);
+}
 
-  results_.reserve(groups.size());
-  for (auto& [key, states] : groups) {
+void HashAggOp::MergeState(const AggState& from, AggState* into) {
+  into->count += from.count;
+  into->sum += from.sum;
+  if (!from.min.is_null() && (into->min.is_null() || from.min < into->min)) {
+    into->min = from.min;
+  }
+  if (!from.max.is_null() && (into->max.is_null() || from.max > into->max)) {
+    into->max = from.max;
+  }
+}
+
+void HashAggOp::EmitResults(GroupMap* groups) {
+  results_.reserve(groups->size());
+  for (auto& [key, states] : *groups) {
     Row out = key;
     for (size_t a = 0; a < aggs_.size(); ++a) {
       const AggState& st = states[a];
@@ -85,6 +89,72 @@ ExecStatus HashAggOp::OpenImpl(ExecContext* ctx) {
     results_.push_back(std::move(out));
   }
   next_ = 0;
+}
+
+ExecStatus HashAggOp::OpenPreAggregated(ExecContext* ctx,
+                                        MorselExchangeOp* exchange) {
+  const int workers = std::max(1, ctx->dop);
+  // One partial table per worker index; a worker never runs two morsels
+  // concurrently, so each partial is single-threaded. The exchange charges
+  // the per-row work the serial drain loop would have.
+  std::vector<GroupMap> partial(static_cast<size_t>(workers));
+  exchange->SetRowSink([this, &partial](int worker, const Row& row) {
+    Accumulate(row, &partial[static_cast<size_t>(worker)]);
+  });
+  ExecStatus s = child_->Open(ctx);
+  exchange->SetRowSink(nullptr);
+  if (s != ExecStatus::kOk) return s;
+  // Drain the (now empty) stream so the exchange records a normal
+  // pull-to-EOF and feedback harvesting sees the exact cardinality.
+  Row row;
+  s = child_->Next(ctx, &row);
+  if (s != ExecStatus::kEof) {
+    return s == ExecStatus::kRow ? ExecStatus::kError : s;
+  }
+  child_->Close(ctx);
+
+  // Merge in worker order; which rows each worker saw depends on morsel
+  // claiming, so the output *order* is unspecified (the multiset is not).
+  GroupMap groups;
+  for (GroupMap& p : partial) {
+    for (auto& [key, states] : p) {
+      std::vector<AggState>& into = groups[key];
+      if (into.empty()) {
+        into = std::move(states);
+      } else {
+        for (size_t a = 0; a < aggs_.size(); ++a) {
+          MergeState(states[a], &into[a]);
+        }
+      }
+    }
+  }
+  EmitResults(&groups);
+  return ExecStatus::kOk;
+}
+
+ExecStatus HashAggOp::OpenImpl(ExecContext* ctx) {
+  results_.clear();
+  next_ = 0;
+  auto* exchange = dynamic_cast<MorselExchangeOp*>(child_.get());
+  if (exchange != nullptr && exchange->policy().preaggregate &&
+      ctx->tasks != nullptr && ctx->dop > 1) {
+    return OpenPreAggregated(ctx, exchange);
+  }
+
+  ExecStatus s = child_->Open(ctx);
+  if (s != ExecStatus::kOk) return s;
+  GroupMap groups;
+  Row row;
+  while (true) {
+    if (ctx->CancelPending()) return ExecStatus::kCancelled;
+    s = child_->Next(ctx, &row);
+    if (s == ExecStatus::kEof) break;
+    if (s != ExecStatus::kRow) return s;
+    ++ctx->work;
+    Accumulate(row, &groups);
+  }
+  child_->Close(ctx);
+  EmitResults(&groups);
   return ExecStatus::kOk;
 }
 

@@ -1,6 +1,10 @@
 #include "exec/join.h"
 
+#include <algorithm>
+#include <atomic>
+
 #include "common/status.h"
+#include "exec/parallel.h"
 
 namespace popdb {
 
@@ -173,9 +177,16 @@ ExecStatus HsjnOp::OpenImpl(ExecContext* ctx) {
   if (static_cast<int64_t>(build_rows_.size()) <= ctx->mem_rows) {
     // Streaming in-memory mode.
     in_memory_mode_ = true;
-    map_.reserve(build_rows_.size());
-    for (size_t i = 0; i < build_rows_.size(); ++i) {
-      map_[BuildKey(build_rows_[i])].push_back(i);
+    partitioned_ = ctx->tasks != nullptr && ctx->dop > 1 &&
+                   static_cast<int64_t>(build_rows_.size()) >=
+                       kMinParallelBuildRows;
+    if (partitioned_) {
+      ParallelBuild(ctx);
+    } else {
+      map_.reserve(build_rows_.size());
+      for (size_t i = 0; i < build_rows_.size(); ++i) {
+        map_[BuildKey(build_rows_[i])].push_back(i);
+      }
     }
     matches_ = nullptr;
     return probe_->Open(ctx);
@@ -198,6 +209,48 @@ ExecStatus HsjnOp::OpenImpl(ExecContext* ctx) {
   // Join from a copy so build_rows_ stays harvestable.
   std::vector<Row> build_copy = build_rows_;
   return Join(ctx, &build_copy, &probe_rows, 0);
+}
+
+void HsjnOp::ParallelBuild(ExecContext* ctx) {
+  const size_t n = build_rows_.size();
+  const int workers = std::max(1, ctx->dop);
+  // Phase 1: per-thread insert buffers. Each worker hashes a contiguous
+  // slice of the build side into per-partition row-index lists; nothing is
+  // shared between workers.
+  std::vector<std::vector<std::vector<size_t>>> buffers(
+      static_cast<size_t>(workers),
+      std::vector<std::vector<size_t>>(kBuildPartitions));
+  TaskGroup::Run(ctx->tasks, workers, [&](int w) {
+    const size_t lo = n * static_cast<size_t>(w) /
+                      static_cast<size_t>(workers);
+    const size_t hi = n * static_cast<size_t>(w + 1) /
+                      static_cast<size_t>(workers);
+    std::vector<std::vector<size_t>>& mine =
+        buffers[static_cast<size_t>(w)];
+    for (size_t i = lo; i < hi; ++i) {
+      const size_t p =
+          HashRow(BuildKey(build_rows_[i])) & (kBuildPartitions - 1);
+      mine[p].push_back(i);
+    }
+  });
+  // Phase 2: partitions are claimed dynamically; each partition map is
+  // filled walking the insert buffers in worker order (= ascending
+  // build-row index), preserving the serial per-key match order.
+  part_maps_.assign(kBuildPartitions, KeyMap{});
+  std::atomic<int> next_part{0};
+  TaskGroup::Run(ctx->tasks, workers, [&](int) {
+    while (true) {
+      const int p = next_part.fetch_add(1, std::memory_order_relaxed);
+      if (p >= kBuildPartitions) break;
+      KeyMap& map = part_maps_[static_cast<size_t>(p)];
+      for (int w = 0; w < workers; ++w) {
+        for (size_t i :
+             buffers[static_cast<size_t>(w)][static_cast<size_t>(p)]) {
+          map[BuildKey(build_rows_[i])].push_back(i);
+        }
+      }
+    }
+  });
 }
 
 ExecStatus HsjnOp::Join(ExecContext* ctx, std::vector<Row>* build,
@@ -258,8 +311,13 @@ ExecStatus HsjnOp::NextImpl(ExecContext* ctx, Row* out) {
         return s;
       }
       ++ctx->work;
-      auto it = map_.find(ProbeKey(probe_row_));
-      if (it == map_.end()) {
+      const Row key = ProbeKey(probe_row_);
+      const KeyMap& map =
+          partitioned_
+              ? part_maps_[HashRow(key) & (kBuildPartitions - 1)]
+              : map_;
+      auto it = map.find(key);
+      if (it == map.end()) {
         matches_ = nullptr;
         continue;
       }

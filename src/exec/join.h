@@ -90,6 +90,13 @@ class NljnOp : public Operator {
 class HsjnOp : public Operator {
  public:
   static constexpr int kFanOut = 16;
+  /// Parallel in-memory build (exec/parallel.h): hash partitions of the
+  /// shared table (power of two, addressed by key-hash mask) and the
+  /// minimum build size worth the task-group handshake. Builds below the
+  /// threshold — or any execution without a task runner — use the serial
+  /// single-map path, bit-identically.
+  static constexpr int kBuildPartitions = 32;
+  static constexpr int64_t kMinParallelBuildRows = 1024;
 
   HsjnOp(std::unique_ptr<Operator> probe, std::unique_ptr<Operator> build,
          std::vector<int> probe_keys, std::vector<int> build_keys,
@@ -114,6 +121,13 @@ class HsjnOp : public Operator {
   /// fits in memory, charging one work unit per row per level.
   ExecStatus Join(ExecContext* ctx, std::vector<Row>* build,
                   std::vector<Row>* probe, int depth);
+  /// Two-phase parallel hash build over the materialized build side:
+  /// per-task contiguous slices fill per-task per-partition insert
+  /// buffers, then partitions are claimed dynamically and each partition
+  /// map is filled walking the buffers in worker order — ascending
+  /// build-row index — so per-key match lists keep the exact serial
+  /// insertion order and probe output is bit-identical.
+  void ParallelBuild(ExecContext* ctx);
 
   std::unique_ptr<Operator> probe_;
   std::unique_ptr<Operator> build_;
@@ -128,8 +142,11 @@ class HsjnOp : public Operator {
   std::vector<Row> output_;  ///< Joined rows (computed in Open).
   size_t next_out_ = 0;
   bool in_memory_mode_ = false;
-  // Streaming (in-memory) mode state.
+  // Streaming (in-memory) mode state. `partitioned_` selects between the
+  // serial single map and the parallel-built per-partition maps.
   KeyMap map_;
+  std::vector<KeyMap> part_maps_;
+  bool partitioned_ = false;
   Row probe_row_;
   const std::vector<size_t>* matches_ = nullptr;
   size_t match_pos_ = 0;

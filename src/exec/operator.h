@@ -94,6 +94,7 @@ struct HarvestedResult {
 };
 
 class Operator;
+class TaskRunner;
 
 /// Shared mutable state for one plan execution.
 struct ExecContext {
@@ -130,6 +131,19 @@ struct ExecContext {
   /// Cooperative cancellation token, polled by operators in their row loops
   /// (scans, NLJN inner loops, spill passes). Not owned; may be null.
   CancelToken* cancel = nullptr;
+
+  /// Intra-query parallelism: morsel tasks fan out through this runner
+  /// (exec/parallel.h). Not owned; null = serial execution. `dop` bounds
+  /// the workers one parallel fragment may occupy, including the query's
+  /// own thread. Exchange operators give their tasks private contexts —
+  /// only `cancel` (thread safe) is shared — and fold the task totals back
+  /// in at join, so everything else in this struct stays single-threaded.
+  TaskRunner* tasks = nullptr;
+  int dop = 1;
+
+  /// Morsel accounting, aggregated when a fragment's task group joins.
+  int64_t morsels_dispatched = 0;
+  int64_t parallel_work = 0;  ///< Work units spent inside morsel tasks.
 
   /// Strided poll: checks the token every kCancelPollStride calls so the
   /// per-row cost is a decrement on the fast path. Returns true once the
@@ -282,6 +296,12 @@ class Operator {
   /// Mutable counters for subclass-specific detail (loops/partitions/
   /// spills).
   OperatorStats& mutable_stats() { return stats_; }
+
+  /// For exchange-style operators whose rows are consumed inside worker
+  /// tasks (hash-agg pre-aggregation) instead of being pulled through
+  /// Next: folds the externally consumed count into rows_produced so
+  /// feedback harvesting sees the true fragment cardinality.
+  void CreditExternalRows(int64_t n) { rows_produced_ += n; }
 
   static int64_t ClockNs() {
     return std::chrono::duration_cast<std::chrono::nanoseconds>(

@@ -1,15 +1,19 @@
 #include "exec/scan.h"
 
+#include <algorithm>
+
 namespace popdb {
 
 ExecStatus TableScanOp::OpenImpl(ExecContext* ctx) {
   (void)ctx;
-  next_rid_ = 0;
+  next_rid_ = begin_rid_;
+  stop_rid_ = end_rid_ < 0 ? table_->num_rows()
+                           : std::min(end_rid_, table_->num_rows());
   return ExecStatus::kOk;
 }
 
 ExecStatus TableScanOp::NextImpl(ExecContext* ctx, Row* out) {
-  while (next_rid_ < table_->num_rows()) {
+  while (next_rid_ < stop_rid_) {
     if (ctx->CancelPending()) return ExecStatus::kCancelled;
     const Row& row = table_->row(next_rid_);
     ++next_rid_;

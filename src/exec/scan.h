@@ -11,12 +11,19 @@ namespace popdb {
 
 /// Sequential scan over a base table, applying resolved local predicates.
 /// Output layout is the table's own columns (canonical for a singleton
-/// table set).
+/// table set). An optional rid range [begin_rid, end_rid) restricts the
+/// scan to one morsel of the table (exec/parallel.h); end_rid < 0 means
+/// "through the last row".
 class TableScanOp : public Operator {
  public:
   TableScanOp(const Table* table, int table_id,
-              std::vector<ResolvedPredicate> preds)
-      : Operator(TableBit(table_id)), table_(table), preds_(std::move(preds)) {}
+              std::vector<ResolvedPredicate> preds, int64_t begin_rid = 0,
+              int64_t end_rid = -1)
+      : Operator(TableBit(table_id)),
+        table_(table),
+        preds_(std::move(preds)),
+        begin_rid_(begin_rid),
+        end_rid_(end_rid) {}
 
   ExecStatus OpenImpl(ExecContext* ctx) override;
   ExecStatus NextImpl(ExecContext* ctx, Row* out) override;
@@ -26,7 +33,10 @@ class TableScanOp : public Operator {
  private:
   const Table* table_;
   std::vector<ResolvedPredicate> preds_;
+  int64_t begin_rid_ = 0;
+  int64_t end_rid_ = -1;   ///< Exclusive; negative = table size.
   int64_t next_rid_ = 0;
+  int64_t stop_rid_ = 0;   ///< Resolved end bound (set at Open).
 };
 
 /// Scan over an in-memory row vector (a temporary materialized view created

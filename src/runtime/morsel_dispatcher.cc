@@ -1,0 +1,118 @@
+#include "runtime/morsel_dispatcher.h"
+
+#include <utility>
+
+namespace popdb {
+
+MorselDispatcher::MorselDispatcher(int helper_threads, int queue_capacity)
+    : queue_capacity_(queue_capacity < 1 ? 1 : queue_capacity) {
+  if (helper_threads < 0) helper_threads = 0;
+  helpers_.reserve(static_cast<size_t>(helper_threads));
+  for (int i = 0; i < helper_threads; ++i) {
+    helpers_.emplace_back([this] { HelperLoop(); });
+  }
+}
+
+MorselDispatcher::MorselDispatcher(ExternalWorkersTag, int queue_capacity)
+    : queue_capacity_(queue_capacity < 1 ? 1 : queue_capacity) {}
+
+MorselDispatcher::~MorselDispatcher() { Shutdown(); }
+
+void MorselDispatcher::set_notify(std::function<void()> notify) {
+  std::lock_guard<std::mutex> lock(mu_);
+  notify_ = std::move(notify);
+}
+
+bool MorselDispatcher::TrySubmit(std::shared_ptr<ParallelTask> task) {
+  std::function<void()> notify;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_ ||
+        static_cast<int>(queue_.size()) >= queue_capacity_) {
+      ++rejected_;
+      return false;
+    }
+    queue_.push_back(std::move(task));
+    ++submitted_;
+    notify = notify_;
+  }
+  cv_.notify_one();
+  if (notify) notify();
+  return true;
+}
+
+bool MorselDispatcher::TryRunOne() {
+  std::shared_ptr<ParallelTask> task;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  active_.fetch_add(1, std::memory_order_relaxed);
+  if (task->RunIfUnclaimed()) {
+    ran_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    stale_.fetch_add(1, std::memory_order_relaxed);
+  }
+  active_.fetch_sub(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool MorselDispatcher::HasQueued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return !queue_.empty();
+}
+
+int64_t MorselDispatcher::queued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(queue_.size());
+}
+
+void MorselDispatcher::HelperLoop() {
+  while (true) {
+    std::shared_ptr<ParallelTask> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown_ with nothing left
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    active_.fetch_add(1, std::memory_order_relaxed);
+    if (task->RunIfUnclaimed()) {
+      ran_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      stale_.fetch_add(1, std::memory_order_relaxed);
+    }
+    active_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void MorselDispatcher::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+    // Dropped tasks are safe: the owning TaskGroup steals them back and
+    // runs them inline at join.
+    queue_.clear();
+  }
+  cv_.notify_all();
+  for (std::thread& t : helpers_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+MorselDispatcher::Stats MorselDispatcher::stats() const {
+  Stats s;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s.submitted = submitted_;
+    s.rejected = rejected_;
+  }
+  s.ran = ran_.load(std::memory_order_relaxed);
+  s.stale = stale_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace popdb

@@ -1,0 +1,98 @@
+#ifndef POPDB_RUNTIME_MORSEL_DISPATCHER_H_
+#define POPDB_RUNTIME_MORSEL_DISPATCHER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "exec/parallel.h"
+
+namespace popdb {
+
+/// Task pool behind intra-query (morsel) parallelism — the concrete
+/// TaskRunner the executors fan their fragment tasks through. Two modes:
+///
+///  - Owned threads: `MorselDispatcher(n)` spawns n helper threads that
+///    drain the queue (standalone executors, tests, benchmarks).
+///  - External workers: `MorselDispatcher(ExternalWorkersTag{})` holds no
+///    threads of its own; the QueryService's workers drain the queue via
+///    TryRunOne() whenever they are not running a query, so intra-query
+///    parallelism borrows exactly the capacity the inter-query scheduler
+///    is not using and degrades to serial execution under full load.
+///
+/// Submission is fire-and-forget and never blocks: TrySubmit rejects on
+/// backpressure, and because every TaskGroup reclaims unstarted tasks at
+/// join, a dropped or never-drained task costs parallelism only — no task
+/// is ever lost and nothing deadlocks even when submitters are themselves
+/// pool workers.
+class MorselDispatcher : public TaskRunner {
+ public:
+  struct Stats {
+    int64_t submitted = 0;  ///< Tasks accepted into the queue.
+    int64_t rejected = 0;   ///< TrySubmit refusals (queue full / shutdown).
+    int64_t ran = 0;        ///< Tasks this dispatcher claimed and ran.
+    int64_t stale = 0;      ///< Dequeued after the owner stole them back.
+  };
+
+  struct ExternalWorkersTag {};
+
+  /// Owned-thread mode: spawns `helper_threads` drainers.
+  explicit MorselDispatcher(int helper_threads, int queue_capacity = 256);
+  /// External-worker mode: no threads; drain through TryRunOne().
+  explicit MorselDispatcher(ExternalWorkersTag, int queue_capacity = 256);
+
+  ~MorselDispatcher() override;
+
+  MorselDispatcher(const MorselDispatcher&) = delete;
+  MorselDispatcher& operator=(const MorselDispatcher&) = delete;
+
+  bool TrySubmit(std::shared_ptr<ParallelTask> task) override;
+
+  /// Dequeues and runs one task if any is queued (external-worker mode).
+  /// Returns true if a task was dequeued, whether or not it still needed
+  /// running.
+  bool TryRunOne();
+
+  bool HasQueued() const;
+  int64_t queued() const;
+
+  /// Invoked (without internal locks held) after every successful enqueue
+  /// so external workers can be woken. Set once, before first use.
+  void set_notify(std::function<void()> notify);
+
+  /// Stops accepting tasks and joins owned helper threads. Queued tasks
+  /// are dropped — their owning TaskGroups run them inline. Idempotent.
+  void Shutdown();
+
+  Stats stats() const;
+  /// Helpers currently inside a task (thread-occupancy gauge source).
+  int active() const { return active_.load(std::memory_order_relaxed); }
+
+ private:
+  void HelperLoop();
+
+  const int queue_capacity_;
+  std::function<void()> notify_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::shared_ptr<ParallelTask>> queue_;
+  bool shutdown_ = false;
+  int64_t submitted_ = 0;
+  int64_t rejected_ = 0;
+  std::vector<std::thread> helpers_;
+
+  std::atomic<int64_t> ran_{0};
+  std::atomic<int64_t> stale_{0};
+  std::atomic<int> active_{0};
+};
+
+}  // namespace popdb
+
+#endif  // POPDB_RUNTIME_MORSEL_DISPATCHER_H_

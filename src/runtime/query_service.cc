@@ -79,6 +79,49 @@ QueryService::QueryService(const Catalog& catalog, ServiceConfig config)
       "popdb_feedback_seeded_cards",
       "Learned cardinalities handed to compilations in total.");
 
+  if (config_.intra_query_dop > 1) {
+    // External-worker mode: the service's own workers drain the morsel
+    // queue whenever they are not running a query, so intra-query
+    // parallelism never over-subscribes the pool.
+    morsel_pool_ = std::make_unique<MorselDispatcher>(
+        MorselDispatcher::ExternalWorkersTag{},
+        /*queue_capacity=*/config_.num_workers * 8 + 64);
+    morsel_pool_->set_notify([this] { cv_.notify_all(); });
+
+    morsels_total_ = registry.GetCounter(
+        "popdb_morsels_dispatched_total",
+        "Morsels executed by parallel plan fragments.");
+    parallel_work_total_ = registry.GetCounter(
+        "popdb_parallel_work_units_total",
+        "Work units performed inside morsel-parallel fragments.");
+    work_total_ = registry.GetCounter(
+        "popdb_work_units_total",
+        "Work units performed by all queries (parallel-fraction "
+        "denominator).");
+    // Fraction in [0, 1]; eighth-wide linear buckets.
+    parallel_fraction_ = registry.GetHistogram(
+        "popdb_query_parallel_fraction",
+        "Per-query share of execution work done in parallel fragments.",
+        {0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1.0});
+    morsel_submitted_ = registry.GetGauge(
+        "popdb_morsel_tasks_submitted",
+        "Morsel tasks accepted by the dispatcher queue.");
+    morsel_rejected_ = registry.GetGauge(
+        "popdb_morsel_tasks_rejected",
+        "Morsel tasks refused on backpressure (ran inline instead).");
+    morsel_ran_ = registry.GetGauge(
+        "popdb_morsel_tasks_ran",
+        "Morsel tasks claimed and run by helper workers.");
+    morsel_stale_ = registry.GetGauge(
+        "popdb_morsel_tasks_stale",
+        "Morsel tasks stolen back by their owner before a helper got "
+        "there.");
+    morsel_active_ = registry.GetGauge(
+        "popdb_morsel_workers_active",
+        "Workers currently inside a helper-claimed morsel task "
+        "(per-pipeline thread occupancy).");
+  }
+
   workers_.reserve(static_cast<size_t>(config_.num_workers));
   for (int i = 0; i < config_.num_workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -163,6 +206,9 @@ void QueryService::Shutdown(bool drain) {
   for (std::thread& w : workers_) {
     if (w.joinable()) w.join();
   }
+  // All queries are done; stop accepting morsel tasks. Anything still
+  // queued is stolen back and run inline by its owning TaskGroup.
+  if (morsel_pool_ != nullptr) morsel_pool_->Shutdown();
 }
 
 void QueryService::WorkerLoop() {
@@ -171,8 +217,17 @@ void QueryService::WorkerLoop() {
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] {
-        return shutdown_ || !lanes_[0].empty() || !lanes_[1].empty();
+        return shutdown_ || !lanes_[0].empty() || !lanes_[1].empty() ||
+               (morsel_pool_ != nullptr && morsel_pool_->HasQueued());
       });
+      // Morsel tasks first: finishing in-flight queries beats admitting
+      // new ones, and every queued morsel has a worker blocked on it.
+      if (morsel_pool_ != nullptr && morsel_pool_->HasQueued()) {
+        lock.unlock();
+        while (morsel_pool_->TryRunOne()) {
+        }
+        continue;
+      }
       // High lane first; FIFO within a lane.
       if (!lanes_[1].empty()) {
         ticket = std::move(lanes_[1].front());
@@ -231,6 +286,13 @@ void QueryService::RunOne(const std::shared_ptr<QueryTicket>& ticket) {
     ProgressiveExecutor exec(catalog_, config_.optimizer, config_.pop);
     exec.set_cross_query_store(FeedbackFor(ticket->session_id_));
     exec.set_cancel_token(&ticket->cancel_);
+    if (morsel_pool_ != nullptr) {
+      ParallelPolicy parallel;
+      parallel.dop = config_.intra_query_dop;
+      parallel.morsel_rows = config_.morsel_rows;
+      parallel.min_parallel_rows = config_.min_parallel_rows;
+      exec.set_parallel(morsel_pool_.get(), parallel);
+    }
     ExecutionStats stats;
     Result<std::vector<Row>> rows =
         config_.use_pop ? exec.Execute(ticket->query_, &stats)
@@ -239,6 +301,15 @@ void QueryService::RunOne(const std::shared_ptr<QueryTicket>& ticket) {
     result.status = rows.status();
     if (rows.ok()) result.rows = std::move(rows).TakeValue();
 
+    if (morsel_pool_ != nullptr) {
+      morsels_total_->Increment(stats.morsels_dispatched);
+      parallel_work_total_->Increment(stats.parallel_work);
+      work_total_->Increment(stats.total_work);
+      if (stats.total_work > 0) {
+        parallel_fraction_->Observe(static_cast<double>(stats.parallel_work) /
+                                    static_cast<double>(stats.total_work));
+      }
+    }
     metrics_.OnReopts(stats.reopts, trace.checks_fired);
     if (trace.checks_fired > 0) {
       std::lock_guard<std::mutex> lock(history_mu_);
@@ -304,6 +375,14 @@ std::string QueryService::MetricsText() {
   feedback_lookups_->Set(shared_feedback_.seed_lookups());
   feedback_hits_->Set(shared_feedback_.seed_hits());
   feedback_seeded_->Set(shared_feedback_.seeded_cards());
+  if (morsel_pool_ != nullptr) {
+    const MorselDispatcher::Stats ms = morsel_pool_->stats();
+    morsel_submitted_->Set(ms.submitted);
+    morsel_rejected_->Set(ms.rejected);
+    morsel_ran_->Set(ms.ran);
+    morsel_stale_->Set(ms.stale);
+    morsel_active_->Set(morsel_pool_->active());
+  }
   return metrics_.registry().RenderPrometheus();
 }
 

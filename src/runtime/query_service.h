@@ -14,6 +14,7 @@
 #include "common/status.h"
 #include "core/pop.h"
 #include "runtime/metrics.h"
+#include "runtime/morsel_dispatcher.h"
 #include "runtime/trace.h"
 #include "storage/catalog.h"
 
@@ -50,6 +51,20 @@ struct ServiceConfig {
   /// engine so scheduler experiments (bench_runtime_throughput) can
   /// measure dispatch scaling independent of core count; 0 = off.
   double io_stall_ms = 0.0;
+
+  /// Intra-query (morsel) degree of parallelism. When > 1, parallelizable
+  /// plan fragments fan out over the service's own worker pool: idle
+  /// workers double as morsel helpers, so intra-query parallelism uses
+  /// exactly the capacity inter-query scheduling leaves free and degrades
+  /// to serial execution under full load. 1 = serial (default).
+  int intra_query_dop = 1;
+
+  /// Rows per morsel when intra_query_dop > 1.
+  int64_t morsel_rows = 2048;
+
+  /// Tables below this size are never morsel-parallelized (fan-out
+  /// overhead would dominate).
+  int64_t min_parallel_rows = 4096;
 
   OptimizerConfig optimizer;
   PopConfig pop;
@@ -201,12 +216,29 @@ class QueryService {
   Gauge* feedback_hits_ = nullptr;      ///< ... that found cardinalities.
   Gauge* feedback_seeded_ = nullptr;    ///< Cardinalities handed out.
 
+  // Morsel-parallelism metrics (registered only when intra_query_dop > 1).
+  Counter* morsels_total_ = nullptr;        ///< Morsels executed.
+  Counter* parallel_work_total_ = nullptr;  ///< Work units done in parallel
+                                            ///< fragments.
+  Counter* work_total_ = nullptr;           ///< All work units (parallel
+                                            ///< fraction denominator).
+  Histogram* parallel_fraction_ = nullptr;  ///< Per-query parallel share.
+  Gauge* morsel_submitted_ = nullptr;       ///< Dispatcher: accepted tasks.
+  Gauge* morsel_rejected_ = nullptr;        ///< Dispatcher: backpressure.
+  Gauge* morsel_ran_ = nullptr;             ///< Tasks run by helpers.
+  Gauge* morsel_stale_ = nullptr;           ///< Stolen back before helper.
+  Gauge* morsel_active_ = nullptr;          ///< Workers inside a morsel.
+
   std::mutex mu_;
   std::condition_variable cv_;
   /// Index 0 = normal lane, 1 = high lane; each FIFO.
   std::deque<std::shared_ptr<QueryTicket>> lanes_[2];
   bool shutdown_ = false;
   std::vector<std::thread> workers_;
+
+  /// Shared fan-out point for intra-query parallelism; null when
+  /// intra_query_dop <= 1. External-worker mode: WorkerLoop drains it.
+  std::unique_ptr<MorselDispatcher> morsel_pool_;
 
   QueryFeedbackStore shared_feedback_;
   std::mutex sessions_mu_;

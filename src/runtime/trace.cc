@@ -6,6 +6,8 @@ namespace popdb {
 
 void FillTraceFromStats(const ExecutionStats& stats, QueryTrace* trace) {
   trace->work = stats.total_work;
+  trace->morsels = stats.morsels_dispatched;
+  trace->parallel_work = stats.parallel_work;
   trace->result_rows = stats.result_rows;
   trace->reopts = stats.reopts;
   trace->check_events = static_cast<int64_t>(stats.check_events.size());
@@ -56,6 +58,8 @@ std::string QueryTrace::ToJson() const {
       .Double(total_ms)
       .EndObject();
   w.Key("work").Int(work);
+  w.Key("morsels").Int(morsels);
+  w.Key("parallel_work").Int(parallel_work);
   w.Key("result_rows").Int(result_rows);
   w.Key("reopts").Int(reopts);
   w.Key("check_events").Int(check_events);

@@ -46,6 +46,8 @@ struct QueryTrace {
   double total_ms = 0.0;     ///< Submission to completion.
 
   int64_t work = 0;  ///< Deterministic work units across attempts.
+  int64_t morsels = 0;        ///< Morsels dispatched by parallel fragments.
+  int64_t parallel_work = 0;  ///< Work units done inside those fragments.
   int64_t result_rows = 0;
   int reopts = 0;
   int64_t check_events = 0;  ///< Checkpoint evaluations observed.

@@ -1,0 +1,330 @@
+// Unit tests for morsel-driven intra-query parallelism: the TaskGroup
+// join/steal-back protocol, the rid-range scan, the order-preserving
+// MorselExchangeOp, CHECK semantics above a parallel fragment (fire once,
+// at the aggregated count), cancellation propagation out of morsel
+// workers, and hash-agg pre-aggregation.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/pop.h"
+#include "exec/check.h"
+#include "exec/parallel.h"
+#include "exec/scan.h"
+#include "runtime/morsel_dispatcher.h"
+#include "tests/test_util.h"
+
+namespace popdb {
+namespace {
+
+using ::popdb::testing::BuildToyCatalog;
+using ::popdb::testing::Canonicalize;
+
+class MorselTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    catalog_ = new Catalog();
+    BuildToyCatalog(catalog_, /*emp_rows=*/300, /*sale_rows=*/3000);
+  }
+  static void TearDownTestSuite() {
+    delete catalog_;
+    catalog_ = nullptr;
+  }
+
+  static Catalog* catalog_;
+};
+
+Catalog* MorselTest::catalog_ = nullptr;
+
+// ------------------------------------------------------------- TaskGroup
+
+TEST_F(MorselTest, TaskGroupDegradesToSerialWithoutRunner) {
+  std::vector<int> seen;
+  TaskGroup::Run(nullptr, 8, [&](int idx) { seen.push_back(idx); });
+  ASSERT_EQ(1u, seen.size());
+  EXPECT_EQ(0, seen[0]);
+}
+
+TEST_F(MorselTest, TaskGroupRunsEveryWorkerExactlyOnce) {
+  MorselDispatcher pool(/*helper_threads=*/3);
+  constexpr int kWorkers = 4;
+  std::atomic<int> calls[kWorkers] = {};
+  TaskGroup::Run(&pool, kWorkers, [&](int idx) {
+    calls[idx].fetch_add(1);
+  });
+  for (int i = 0; i < kWorkers; ++i) {
+    EXPECT_EQ(1, calls[i].load()) << "worker " << i;
+  }
+}
+
+TEST_F(MorselTest, TaskGroupStealsBackUndrainedTasks) {
+  // External-worker dispatcher that nobody ever drains: the caller must
+  // reclaim all offered tasks itself — no lost tasks, no deadlock.
+  MorselDispatcher pool(MorselDispatcher::ExternalWorkersTag{});
+  std::atomic<int> total{0};
+  TaskGroup::Run(&pool, 4, [&](int) { total.fetch_add(1); });
+  EXPECT_EQ(4, total.load());
+  EXPECT_EQ(3, pool.stats().submitted);
+  EXPECT_EQ(0, pool.stats().ran);
+  // Draining afterwards finds only stale (already-claimed) tasks.
+  while (pool.TryRunOne()) {
+  }
+  EXPECT_EQ(3, pool.stats().stale);
+  EXPECT_EQ(4, total.load());
+}
+
+TEST_F(MorselTest, TaskGroupSurvivesSubmitRejection) {
+  // Capacity-1 queue: most offers bounce, so fewer worker instances run —
+  // but the shared work supply is still fully drained (rejection costs
+  // parallelism, never work). This mirrors how the exchange pulls morsels
+  // from a shared counter.
+  MorselDispatcher pool(MorselDispatcher::ExternalWorkersTag{},
+                        /*queue_capacity=*/1);
+  constexpr int kItems = 100;
+  std::atomic<int> next{0};
+  std::atomic<int> done{0};
+  TaskGroup::Run(&pool, 8, [&](int) {
+    while (next.fetch_add(1) < kItems) done.fetch_add(1);
+  });
+  EXPECT_EQ(kItems, done.load());
+  EXPECT_GE(pool.stats().rejected, 1);
+}
+
+// --------------------------------------------------------- rid-range scan
+
+TEST_F(MorselTest, RangeScansPartitionTheTable) {
+  const Table* sale = catalog_->GetTable("sale");
+  const int64_t n = sale->num_rows();
+
+  const auto scan_range = [&](int64_t begin, int64_t end) {
+    TableScanOp scan(sale, 0, {}, begin, end);
+    ExecContext ctx;
+    std::vector<Row> rows;
+    EXPECT_EQ(ExecStatus::kEof, RunToCompletion(&scan, &ctx, &rows));
+    return rows;
+  };
+
+  const std::vector<Row> full = scan_range(0, -1);
+  ASSERT_EQ(n, static_cast<int64_t>(full.size()));
+
+  std::vector<Row> pieced;
+  const int64_t cuts[] = {0, 7, n / 3, n / 2 + 1, n};
+  for (size_t i = 0; i + 1 < sizeof(cuts) / sizeof(cuts[0]); ++i) {
+    const std::vector<Row> piece = scan_range(cuts[i], cuts[i + 1]);
+    pieced.insert(pieced.end(), piece.begin(), piece.end());
+  }
+  ASSERT_EQ(full.size(), pieced.size());
+  for (size_t i = 0; i < full.size(); ++i) {
+    EXPECT_EQ(full[i], pieced[i]) << "row " << i;
+  }
+  // An end bound past the table clamps; an empty range yields nothing.
+  EXPECT_EQ(static_cast<size_t>(n), scan_range(0, n + 1000).size());
+  EXPECT_TRUE(scan_range(5, 5).empty());
+}
+
+// -------------------------------------------------------- MorselExchangeOp
+
+std::unique_ptr<MorselExchangeOp> MakeSaleExchange(const Table* sale,
+                                                   ParallelPolicy policy) {
+  // s_amount (pos 1) >= 500.0 — selective enough that morsels produce
+  // different row counts.
+  ResolvedPredicate pred;
+  pred.pos = 1;
+  pred.kind = PredKind::kGe;
+  pred.operand = Value::Double(500.0);
+  return std::make_unique<MorselExchangeOp>(
+      [sale, pred](int64_t begin, int64_t end) {
+        return std::make_unique<TableScanOp>(
+            sale, 0, std::vector<ResolvedPredicate>{pred}, begin, end);
+      },
+      sale->num_rows(), TableBit(0), policy);
+}
+
+TEST_F(MorselTest, ExchangeMatchesSerialScanExactly) {
+  const Table* sale = catalog_->GetTable("sale");
+
+  // Serial baseline.
+  ResolvedPredicate pred;
+  pred.pos = 1;
+  pred.kind = PredKind::kGe;
+  pred.operand = Value::Double(500.0);
+  TableScanOp serial(sale, 0, {pred});
+  ExecContext sctx;
+  std::vector<Row> serial_rows;
+  ASSERT_EQ(ExecStatus::kEof, RunToCompletion(&serial, &sctx, &serial_rows));
+
+  Rng rng(42);
+  MorselDispatcher pool(/*helper_threads=*/3);
+  for (int trial = 0; trial < 4; ++trial) {
+    ParallelPolicy policy;
+    policy.dop = 4;
+    policy.morsel_rows = rng.UniformInt(16, 517);
+    auto exchange = MakeSaleExchange(sale, policy);
+
+    ExecContext ctx;
+    ctx.tasks = &pool;
+    ctx.dop = policy.dop;
+    std::vector<Row> rows;
+    ASSERT_EQ(ExecStatus::kEof, RunToCompletion(exchange.get(), &ctx, &rows));
+
+    // Bit-identical row stream in serial rid order.
+    ASSERT_EQ(serial_rows.size(), rows.size())
+        << "morsel_rows=" << policy.morsel_rows;
+    for (size_t i = 0; i < rows.size(); ++i) {
+      ASSERT_EQ(serial_rows[i], rows[i]) << "row " << i;
+    }
+    // Counter parity: the exchange's pull-driven rows_produced and the
+    // work charged inside the tasks match the serial scan.
+    EXPECT_EQ(serial.rows_produced(), exchange->rows_produced());
+    EXPECT_TRUE(exchange->eof_seen());
+    EXPECT_EQ(sctx.work, ctx.work);
+    EXPECT_EQ(ctx.work, ctx.parallel_work);
+    const int64_t expect_morsels =
+        (sale->num_rows() + policy.morsel_rows - 1) / policy.morsel_rows;
+    EXPECT_EQ(expect_morsels, exchange->morsels_run());
+    EXPECT_EQ(expect_morsels, ctx.morsels_dispatched);
+  }
+}
+
+TEST_F(MorselTest, ExchangeRunsSeriallyWithoutTaskRunner) {
+  const Table* sale = catalog_->GetTable("sale");
+  ParallelPolicy policy;
+  policy.dop = 4;
+  policy.morsel_rows = 100;
+  auto exchange = MakeSaleExchange(sale, policy);
+  ExecContext ctx;  // No ctx.tasks: everything runs on this thread.
+  std::vector<Row> rows;
+  ASSERT_EQ(ExecStatus::kEof, RunToCompletion(exchange.get(), &ctx, &rows));
+  EXPECT_GT(rows.size(), 0u);
+  EXPECT_EQ(1, exchange->workers_used());
+  EXPECT_EQ(0, ctx.parallel_work);  // Serial fallback charges no parallel work.
+  EXPECT_GT(ctx.work, 0);
+}
+
+// ------------------------------------------ CHECK above a parallel scan
+
+TEST_F(MorselTest, CheckAboveExchangeFiresOnceAtAggregatedThreshold) {
+  const Table* sale = catalog_->GetTable("sale");
+  const int64_t kHi = 100;  // Far below the table's matching rows.
+
+  const auto run_checked = [&](std::unique_ptr<Operator> child,
+                               ExecContext* ctx) {
+    CheckSpec spec;
+    spec.enabled = true;
+    spec.lo = 0;
+    spec.hi = static_cast<double>(kHi);
+    spec.flavor = CheckFlavor::kLazy;
+    spec.edge_set = TableBit(0);
+    CheckOp check(std::move(child), spec);
+    std::vector<Row> rows;
+    return RunToCompletion(&check, ctx, &rows);
+  };
+
+  // Serial baseline: CHECK over the full scan.
+  ExecContext sctx;
+  ResolvedPredicate pred;
+  pred.pos = 1;
+  pred.kind = PredKind::kGe;
+  pred.operand = Value::Double(500.0);
+  ASSERT_EQ(ExecStatus::kReoptimize,
+            run_checked(std::make_unique<TableScanOp>(
+                            sale, 0, std::vector<ResolvedPredicate>{pred}),
+                        &sctx));
+  ASSERT_TRUE(sctx.reopt.triggered);
+
+  Rng rng(2004);
+  MorselDispatcher pool(/*helper_threads=*/3);
+  for (int trial = 0; trial < 4; ++trial) {
+    ParallelPolicy policy;
+    policy.dop = 4;
+    policy.morsel_rows = rng.UniformInt(16, 301);
+    ExecContext ctx;
+    ctx.tasks = &pool;
+    ctx.dop = policy.dop;
+    ASSERT_EQ(ExecStatus::kReoptimize,
+              run_checked(MakeSaleExchange(sale, policy), &ctx))
+        << "morsel_rows=" << policy.morsel_rows;
+
+    // The CHECK sits above the exchange's merge point, so it fires exactly
+    // once, at the same aggregated count as serial execution — never once
+    // per morsel.
+    ASSERT_EQ(1u, ctx.check_events.size());
+    EXPECT_TRUE(ctx.check_events[0].fired);
+    EXPECT_EQ(sctx.check_events[0].count, ctx.check_events[0].count);
+    ASSERT_TRUE(ctx.reopt.triggered);
+    EXPECT_EQ(sctx.reopt.observed_rows, ctx.reopt.observed_rows);
+    EXPECT_EQ(sctx.reopt.exact, ctx.reopt.exact);
+    EXPECT_EQ(sctx.reopt.edge_set, ctx.reopt.edge_set);
+  }
+}
+
+// ------------------------------------------------------------ cancellation
+
+TEST_F(MorselTest, CancelPropagatesFromMorselWorkers) {
+  const Table* sale = catalog_->GetTable("sale");
+  ParallelPolicy policy;
+  policy.dop = 4;
+  policy.morsel_rows = 64;
+  policy.morsel_stall_ms = 0.5;  // Give the canceller a window.
+
+  MorselDispatcher pool(/*helper_threads=*/3);
+  CancelToken token;
+  ExecContext ctx;
+  ctx.tasks = &pool;
+  ctx.dop = policy.dop;
+  ctx.cancel = &token;
+
+  auto exchange = MakeSaleExchange(sale, policy);
+  std::thread canceller([&token] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    token.RequestCancel();
+  });
+  std::vector<Row> rows;
+  const ExecStatus s = RunToCompletion(exchange.get(), &ctx, &rows);
+  canceller.join();
+  EXPECT_EQ(ExecStatus::kCancelled, s);
+  EXPECT_FALSE(exchange->eof_seen());
+}
+
+// ------------------------------------------------- hash-agg pre-aggregation
+
+TEST_F(MorselTest, PreaggregationMatchesSerialMultiset) {
+  // Integer aggregates only (COUNT/SUM/MIN/MAX over ints): partial-merge
+  // order cannot perturb the values, so the multiset must match exactly.
+  QuerySpec q("preagg_emp");
+  const int e = q.AddTable("emp");
+  q.AddPred({e, 2}, PredKind::kGe, Value::Int(30));  // e_age >= 30
+  q.AddGroupBy({e, 1});                              // by e_dept
+  q.AddAgg(AggFunc::kCount);
+  q.AddAgg(AggFunc::kSum, {e, 2});
+  q.AddAgg(AggFunc::kMin, {e, 0});
+  q.AddAgg(AggFunc::kMax, {e, 0});
+
+  ProgressiveExecutor serial(*catalog_, OptimizerConfig{}, PopConfig{});
+  Result<std::vector<Row>> serial_rows = serial.Execute(q);
+  ASSERT_TRUE(serial_rows.ok()) << serial_rows.status().ToString();
+
+  MorselDispatcher pool(/*helper_threads=*/3);
+  ParallelPolicy policy;
+  policy.dop = 4;
+  policy.morsel_rows = 32;
+  policy.min_parallel_rows = 1;
+  policy.preaggregate = true;
+  ProgressiveExecutor parallel(*catalog_, OptimizerConfig{}, PopConfig{});
+  parallel.set_parallel(&pool, policy);
+  ExecutionStats stats;
+  Result<std::vector<Row>> par_rows = parallel.Execute(q, &stats);
+  ASSERT_TRUE(par_rows.ok()) << par_rows.status().ToString();
+
+  EXPECT_EQ(Canonicalize(serial_rows.value()),
+            Canonicalize(par_rows.value()));
+  EXPECT_GT(stats.morsels_dispatched, 1);
+}
+
+}  // namespace
+}  // namespace popdb

@@ -1,0 +1,232 @@
+// Concurrency stress for morsel-parallel execution, intended to run under
+// TSan (ci.sh builds it with -DPOPDB_SANITIZE=thread): concurrent
+// QueryService submissions running morsel-parallel plans with mid-flight
+// Cancel() and deadline expiry, and concurrent ProgressiveExecutors
+// sharing one dispatcher. Asserts no lost tasks (every ticket completes),
+// accounting consistency, and that kCancelled propagates out of morsel
+// workers. Labeled "slow" in CMake so `ctest -L fast` skips it.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/pop.h"
+#include "runtime/morsel_dispatcher.h"
+#include "runtime/query_service.h"
+#include "tests/test_util.h"
+
+namespace popdb {
+namespace {
+
+using ::popdb::testing::BuildToyCatalog;
+using ::popdb::testing::Canonicalize;
+
+/// Join + aggregation whose base tables are large enough to fan out.
+QuerySpec MakeJoinQuery() {
+  QuerySpec q("stress_join");
+  const int e = q.AddTable("emp");
+  const int s = q.AddTable("sale");
+  q.AddJoin({e, 0}, {s, 0});                          // e_id = s_emp
+  q.AddPred({s, 2}, PredKind::kGe, Value::Int(2001));  // s_year >= 2001
+  q.AddGroupBy({e, 1});                                // by e_dept
+  q.AddAgg(AggFunc::kCount);
+  q.AddAgg(AggFunc::kMax, {s, 2});
+  return q;
+}
+
+QuerySpec MakeScanQuery() {
+  QuerySpec q("stress_scan");
+  const int s = q.AddTable("sale");
+  q.AddPred({s, 1}, PredKind::kGe, Value::Double(250.0));
+  q.AddGroupBy({s, 2});
+  q.AddAgg(AggFunc::kCount);
+  q.AddAgg(AggFunc::kMin, {s, 0});
+  return q;
+}
+
+class ParallelStressTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    catalog_ = new Catalog();
+    BuildToyCatalog(catalog_, /*emp_rows=*/500, /*sale_rows=*/6000);
+  }
+  static void TearDownTestSuite() {
+    delete catalog_;
+    catalog_ = nullptr;
+  }
+
+  static Catalog* catalog_;
+};
+
+Catalog* ParallelStressTest::catalog_ = nullptr;
+
+TEST_F(ParallelStressTest, ServiceSurvivesConcurrentParallelQueries) {
+  ServiceConfig config;
+  config.num_workers = 4;
+  config.queue_capacity = 256;
+  config.intra_query_dop = 4;
+  config.morsel_rows = 64;
+  config.min_parallel_rows = 128;
+  QueryService service(*catalog_, config);
+
+  // Expected results, computed serially up front.
+  ProgressiveExecutor ref(*catalog_, OptimizerConfig{}, PopConfig{});
+  Result<std::vector<Row>> join_ref = ref.Execute(MakeJoinQuery());
+  Result<std::vector<Row>> scan_ref = ref.Execute(MakeScanQuery());
+  ASSERT_TRUE(join_ref.ok());
+  ASSERT_TRUE(scan_ref.ok());
+  const std::vector<std::string> join_rows = Canonicalize(join_ref.value());
+  const std::vector<std::string> scan_rows = Canonicalize(scan_ref.value());
+
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 24;
+  std::atomic<int> wrong_results{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Rng rng(1000 + static_cast<uint64_t>(c));
+      for (int i = 0; i < kPerClient; ++i) {
+        const bool join = rng.Bernoulli(0.5);
+        SubmitOptions opts;
+        if (rng.Bernoulli(0.25)) opts.priority = QueryPriority::kHigh;
+        const int fate = static_cast<int>(rng.UniformInt(0, 3));
+        if (fate == 1) opts.deadline_ms = rng.UniformDouble() * 4.0;
+        Result<std::shared_ptr<QueryTicket>> ticket = service.Submit(
+            join ? MakeJoinQuery() : MakeScanQuery(), opts);
+        if (!ticket.ok()) continue;  // Admission bounce is acceptable.
+        if (fate == 2) {
+          // Mid-flight cancel from the client thread.
+          std::this_thread::sleep_for(std::chrono::microseconds(
+              rng.UniformInt(0, 2000)));
+          ticket.value()->Cancel();
+        }
+        const QueryResult& result = ticket.value()->Wait();
+        switch (result.status.code()) {
+          case StatusCode::kOk:
+            if (Canonicalize(result.rows) != (join ? join_rows : scan_rows)) {
+              wrong_results.fetch_add(1);
+            }
+            break;
+          case StatusCode::kCancelled:
+          case StatusCode::kDeadlineExceeded:
+            break;  // Expected fates under cancel/deadline pressure.
+          default:
+            wrong_results.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  service.Shutdown();
+
+  EXPECT_EQ(0, wrong_results.load());
+  const ServiceStatsSnapshot stats = service.Stats();
+  // No lost tickets: every admitted query reached exactly one terminal
+  // state.
+  EXPECT_EQ(stats.admitted, stats.completed + stats.cancelled +
+                                stats.deadline_expired + stats.failed);
+  EXPECT_EQ(0, stats.failed);
+  EXPECT_EQ(0, stats.queries_in_flight);
+  EXPECT_GT(stats.completed, 0);
+
+  // The morsel metrics are exported and consistent with execution.
+  const std::string text = service.MetricsText();
+  EXPECT_NE(std::string::npos, text.find("popdb_morsels_dispatched_total"));
+  EXPECT_NE(std::string::npos, text.find("popdb_morsel_tasks_submitted"));
+}
+
+TEST_F(ParallelStressTest, ExecutorsShareOneDispatcher) {
+  // Several independent ProgressiveExecutors hammer one owned-thread
+  // dispatcher concurrently; each must still observe its own correct
+  // result (task groups never leak work across queries).
+  MorselDispatcher pool(/*helper_threads=*/3);
+
+  ProgressiveExecutor ref(*catalog_, OptimizerConfig{}, PopConfig{});
+  Result<std::vector<Row>> scan_ref = ref.Execute(MakeScanQuery());
+  ASSERT_TRUE(scan_ref.ok());
+  const std::vector<std::string> want = Canonicalize(scan_ref.value());
+
+  constexpr int kThreads = 4;
+  constexpr int kRepeats = 12;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(77 + static_cast<uint64_t>(t));
+      for (int i = 0; i < kRepeats; ++i) {
+        ParallelPolicy policy;
+        policy.dop = 4;
+        policy.morsel_rows = rng.UniformInt(32, 256);
+        policy.min_parallel_rows = 1;
+        ProgressiveExecutor exec(*catalog_, OptimizerConfig{}, PopConfig{});
+        exec.set_parallel(&pool, policy);
+        Result<std::vector<Row>> rows = exec.Execute(MakeScanQuery());
+        if (!rows.ok() || Canonicalize(rows.value()) != want) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(0, mismatches.load());
+}
+
+TEST_F(ParallelStressTest, CancelledPropagatesFromAnyMorselWorker) {
+  MorselDispatcher pool(/*helper_threads=*/3);
+  Rng rng(9);
+  for (int i = 0; i < 8; ++i) {
+    ParallelPolicy policy;
+    policy.dop = 4;
+    policy.morsel_rows = 32;
+    policy.min_parallel_rows = 1;
+    policy.morsel_stall_ms = 0.5;  // Stretch execution into the cancel window.
+
+    CancelToken token;
+    ProgressiveExecutor exec(*catalog_, OptimizerConfig{}, PopConfig{});
+    exec.set_parallel(&pool, policy);
+    exec.set_cancel_token(&token);
+
+    const int64_t delay_us = rng.UniformInt(0, 4000);
+    std::thread canceller([&token, delay_us] {
+      std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+      token.RequestCancel();
+    });
+    Result<std::vector<Row>> rows = exec.Execute(MakeScanQuery());
+    canceller.join();
+    // Either the query finished before the cancel landed, or it unwound as
+    // cancelled — never an error, never a hang.
+    if (!rows.ok()) {
+      EXPECT_EQ(StatusCode::kCancelled, rows.status().code())
+          << rows.status().ToString();
+    }
+  }
+}
+
+TEST_F(ParallelStressTest, ShutdownWithQueuedMorselTasksLosesNothing) {
+  // Dispatcher shut down while a task group still has offered tasks: the
+  // group steals everything back and completes.
+  for (int i = 0; i < 16; ++i) {
+    auto pool = std::make_unique<MorselDispatcher>(
+        MorselDispatcher::ExternalWorkersTag{});
+    constexpr int kItems = 64;
+    std::atomic<int> next{0};
+    std::atomic<int> done{0};
+    std::thread worker([&] {
+      TaskGroup::Run(pool.get(), 8, [&](int) {
+        while (next.fetch_add(1) < kItems) done.fetch_add(1);
+      });
+    });
+    pool->Shutdown();  // Races with the submissions above.
+    worker.join();
+    EXPECT_EQ(kItems, done.load());
+  }
+}
+
+}  // namespace
+}  // namespace popdb
