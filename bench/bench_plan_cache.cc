@@ -1,0 +1,236 @@
+// Plan-cache benchmark: submit-to-execute latency (the attempt-0 window
+// from submission until execution starts: cache lookup, DP enumeration or
+// skeleton clone, checkpoint placement) with the plan cache on vs. off.
+//
+// Two workload mixes over the TPC-H paper queries:
+//   repeat95 -- 95% of submissions re-issue one of the ten prepared
+//               templates (marker variants, so bindings churn while the
+//               cache key stays fixed); 5% are ad-hoc one-off queries.
+//               The steady-state regime a plan cache exists for: expect
+//               >= 5x lower submit-to-execute latency.
+//   unique0  -- every submission is a query the cache has never seen, so
+//               caching can only add overhead (signature computation,
+//               lookup, install, skeleton clone). Expect < 2%.
+//
+// End-to-end wall time per Execute() call is reported alongside so the
+// optimizer-phase win is kept honest against total latency.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/json.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "core/pop.h"
+#include "tpch/tpch_gen.h"
+#include "tpch/tpch_queries.h"
+
+namespace popdb {
+namespace {
+
+double WallMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct WorldResult {
+  double submit_to_exec_ms = 0.0;  ///< Sum of attempt-0 optimize windows.
+  double wall_ms = 0.0;            ///< Sum of full Execute() wall times.
+  int64_t runs = 0;
+  PlanCache::Stats cache;
+};
+
+/// Replays `stream` through one fresh world (executor + feedback store,
+/// plus a plan cache when `with_cache`). The first `warmup` submissions
+/// are executed but not measured.
+WorldResult RunWorld(const Catalog& catalog,
+                     const std::vector<QuerySpec>& stream, size_t warmup,
+                     bool with_cache) {
+  ProgressiveExecutor exec(catalog, OptimizerConfig{}, PopConfig{});
+  QueryFeedbackStore store;
+  exec.set_cross_query_store(&store);
+  PlanCache cache;
+  if (with_cache) exec.set_plan_cache(&cache);
+
+  WorldResult r;
+  for (size_t i = 0; i < stream.size(); ++i) {
+    ExecutionStats stats;
+    const double t0 = WallMs();
+    Result<std::vector<Row>> rows = exec.Execute(stream[i], &stats);
+    const double wall = WallMs() - t0;
+    if (!rows.ok()) {
+      std::fprintf(stderr, "ERROR: %s failed: %s\n",
+                   stream[i].name().c_str(),
+                   rows.status().ToString().c_str());
+      continue;
+    }
+    if (i < warmup) continue;
+    r.submit_to_exec_ms += stats.attempts[0].optimize_ms;
+    r.wall_ms += wall;
+    ++r.runs;
+  }
+  r.cache = cache.stats();
+  return r;
+}
+
+/// One ad-hoc query the cache has never seen: a paper-query shape with a
+/// unique literal (a LIMIT far above any result size, so execution and the
+/// join-enumeration work are unchanged while the cache signature is new).
+QuerySpec AdHocQuery(const std::vector<QuerySpec>& templates, int i) {
+  QuerySpec q = templates[static_cast<size_t>(i) % templates.size()];
+  q.SetLimit(1000000 + i);
+  return q;
+}
+
+struct MixResult {
+  std::string name;
+  WorldResult off;
+  WorldResult on;
+
+  double Speedup() const {
+    return on.submit_to_exec_ms > 0
+               ? off.submit_to_exec_ms / on.submit_to_exec_ms
+               : 0.0;
+  }
+  double OverheadPct() const {
+    return off.submit_to_exec_ms > 0
+               ? 100.0 * (on.submit_to_exec_ms - off.submit_to_exec_ms) /
+                     off.submit_to_exec_ms
+               : 0.0;
+  }
+  double HitRate() const {
+    return on.cache.lookups > 0
+               ? static_cast<double>(on.cache.hits + on.cache.validity_hits) /
+                     static_cast<double>(on.cache.lookups)
+               : 0.0;
+  }
+};
+
+}  // namespace
+
+int BenchMain() {
+  bench::PrintHeader(
+      "Plan-cache submit-to-execute latency: repeat-heavy vs. ad-hoc mixes",
+      "the progressive-optimization compilation path, Section 7 "
+      "\"Learning for the Future\"");
+
+  Catalog catalog;
+  tpch::GenConfig gen;
+  gen.scale = bench::EnvScale("POPDB_TPCH_SCALE", 0.002);
+  if (!tpch::BuildCatalog(gen, &catalog).ok()) {
+    std::fprintf(stderr, "ERROR: catalog build failed\n");
+    return 1;
+  }
+
+  // Prepared templates: marker variants, so repeat submissions model a
+  // prepared statement re-executed with fresh bindings.
+  tpch::QueryOptions marked;
+  marked.param_markers = true;
+  std::vector<QuerySpec> templates;
+  for (int qnum : tpch::PaperQueries()) {
+    templates.push_back(tpch::MakeQuery(qnum, marked));
+  }
+
+  // repeat95: 4 warm-up passes over the templates, then 400 submissions of
+  // which every 20th is ad-hoc.
+  std::vector<QuerySpec> repeat_stream;
+  for (int pass = 0; pass < 4; ++pass) {
+    for (const QuerySpec& q : templates) repeat_stream.push_back(q);
+  }
+  const size_t warmup = repeat_stream.size();
+  int adhoc = 0;
+  for (int i = 0; i < 400; ++i) {
+    if (i % 20 == 19) {
+      repeat_stream.push_back(AdHocQuery(templates, adhoc++));
+    } else {
+      repeat_stream.push_back(
+          templates[static_cast<size_t>(i) % templates.size()]);
+    }
+  }
+
+  // unique0: every measured submission is new to the cache.
+  std::vector<QuerySpec> unique_stream;
+  for (int i = 0; i < 200; ++i) {
+    unique_stream.push_back(AdHocQuery(templates, i));
+  }
+
+  std::vector<MixResult> mixes;
+  {
+    MixResult m;
+    m.name = "repeat95";
+    m.off = RunWorld(catalog, repeat_stream, warmup, /*with_cache=*/false);
+    m.on = RunWorld(catalog, repeat_stream, warmup, /*with_cache=*/true);
+    mixes.push_back(std::move(m));
+  }
+  {
+    MixResult m;
+    m.name = "unique0";
+    m.off = RunWorld(catalog, unique_stream, 0, /*with_cache=*/false);
+    m.on = RunWorld(catalog, unique_stream, 0, /*with_cache=*/true);
+    mixes.push_back(std::move(m));
+  }
+
+  TablePrinter table({"mix", "runs", "opt ms (off)", "opt ms (on)",
+                      "speedup", "overhead %", "hit rate",
+                      "wall ms (off)", "wall ms (on)"});
+  for (const MixResult& m : mixes) {
+    table.AddRow(
+        {m.name, StrFormat("%lld", static_cast<long long>(m.on.runs)),
+         StrFormat("%.2f", m.off.submit_to_exec_ms),
+         StrFormat("%.2f", m.on.submit_to_exec_ms),
+         StrFormat("%.1fx", m.Speedup()),
+         StrFormat("%+.2f", m.OverheadPct()),
+         StrFormat("%.0f%%", 100.0 * m.HitRate()),
+         StrFormat("%.2f", m.off.wall_ms),
+         StrFormat("%.2f", m.on.wall_ms)});
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "\nrepeat95 target: >= 5x lower submit-to-execute latency; unique0 "
+      "target: < 2%% overhead.\n");
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("bench").String("plan_cache");
+  w.Key("tpch_scale").Double(gen.scale);
+  w.Key("mixes").BeginArray();
+  for (const MixResult& m : mixes) {
+    w.BeginObject();
+    w.Key("name").String(m.name);
+    w.Key("measured_runs").Int(m.on.runs);
+    w.Key("submit_to_exec_ms_off").Double(m.off.submit_to_exec_ms);
+    w.Key("submit_to_exec_ms_on").Double(m.on.submit_to_exec_ms);
+    w.Key("speedup").Double(m.Speedup());
+    w.Key("overhead_pct").Double(m.OverheadPct());
+    w.Key("wall_ms_off").Double(m.off.wall_ms);
+    w.Key("wall_ms_on").Double(m.on.wall_ms);
+    w.Key("cache")
+        .BeginObject()
+        .Key("lookups")
+        .Int(m.on.cache.lookups)
+        .Key("hits")
+        .Int(m.on.cache.hits)
+        .Key("misses_cold")
+        .Int(m.on.cache.misses_cold)
+        .Key("misses_stale")
+        .Int(m.on.cache.misses_stale)
+        .Key("installs")
+        .Int(m.on.cache.installs)
+        .Key("hit_rate")
+        .Double(m.HitRate())
+        .EndObject();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  bench::WriteBenchJson("plan_cache", w.str());
+  return 0;
+}
+
+}  // namespace popdb
+
+int main() { return popdb::BenchMain(); }

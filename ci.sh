@@ -7,8 +7,9 @@
 #
 # The release ctest runs everything including tests labeled "slow"
 # (parallel_stress_test); use `ctest -L fast` locally for the quick loop.
-# The TSan stage runs the parallel-equivalence suite in light mode
-# (POPDB_EQUIV_LIGHT=1) — the full corpus sweep is release-only.
+# The TSan stage runs the parallel- and plan-cache-equivalence suites in
+# light mode (POPDB_EQUIV_LIGHT=1) — the full corpus sweeps are
+# release-only.
 #
 # Usage: ./ci.sh [--skip-tsan] [--skip-ubsan]
 set -euo pipefail
@@ -34,13 +35,17 @@ else
         -DPOPDB_SANITIZE=thread
   cmake --build build-tsan -j \
         --target runtime_test concurrency_test observability_test \
-        morsel_test parallel_equivalence_test parallel_stress_test
+        morsel_test parallel_equivalence_test plan_cache_test \
+        plan_cache_equivalence_test parallel_stress_test
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/runtime_test
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/concurrency_test
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/observability_test
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/morsel_test
   TSAN_OPTIONS="halt_on_error=1" POPDB_EQUIV_LIGHT=1 \
       ./build-tsan/tests/parallel_equivalence_test
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/plan_cache_test
+  TSAN_OPTIONS="halt_on_error=1" POPDB_EQUIV_LIGHT=1 \
+      ./build-tsan/tests/plan_cache_equivalence_test
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/parallel_stress_test
 fi
 
@@ -52,7 +57,8 @@ else
         -DPOPDB_SANITIZE=undefined
   cmake --build build-ubsan -j \
         --target runtime_test observability_test operator_test pop_test \
-        morsel_test parallel_equivalence_test
+        morsel_test parallel_equivalence_test plan_cache_test \
+        plan_cache_equivalence_test
   UBSAN_OPTIONS="halt_on_error=1" ./build-ubsan/tests/observability_test
   UBSAN_OPTIONS="halt_on_error=1" ./build-ubsan/tests/runtime_test
   UBSAN_OPTIONS="halt_on_error=1" ./build-ubsan/tests/operator_test
@@ -60,6 +66,9 @@ else
   UBSAN_OPTIONS="halt_on_error=1" ./build-ubsan/tests/morsel_test
   UBSAN_OPTIONS="halt_on_error=1" \
       ./build-ubsan/tests/parallel_equivalence_test
+  UBSAN_OPTIONS="halt_on_error=1" ./build-ubsan/tests/plan_cache_test
+  UBSAN_OPTIONS="halt_on_error=1" POPDB_EQUIV_LIGHT=1 \
+      ./build-ubsan/tests/plan_cache_equivalence_test
 fi
 
 echo "=== ci.sh: all stages passed ==="

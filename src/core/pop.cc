@@ -15,6 +15,16 @@ Status CancelledStatus(const CancelToken& token, const std::string& name) {
   }
   return Status::Cancelled("query '" + name + "' was cancelled");
 }
+
+/// 64-bit FNV-1a over a byte string (config fingerprinting).
+uint64_t FnvHash(const std::string& bytes) {
+  uint64_t h = 1469598103934665603ull;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
 }  // namespace
 
 double NowMs() {
@@ -29,6 +39,33 @@ ProgressiveExecutor::ProgressiveExecutor(const Catalog& catalog,
     : catalog_(catalog),
       optimizer_(catalog, std::move(opt_config)),
       pop_config_(std::move(pop_config)) {}
+
+std::string ProgressiveExecutor::PlanCacheKey(const QuerySpec& query) const {
+  const OptimizerConfig& cfg = optimizer_.config();
+  const CostParams& c = cfg.cost;
+  const EstimatorConfig& e = cfg.estimator;
+  const ValidityConfig& v = pop_config_.validity;
+  // Every knob the optimizer (or the validity analysis whose ranges the
+  // cached skeleton carries) reads; two executors differing in any of them
+  // must never share an entry.
+  const std::string knobs = StrFormat(
+      "%d%d%d%d|%g|%g,%g,%g,%g,%g,%g,%g,%g,%g,%g,%g,%g,%g,%g,%g,%d|"
+      "%g,%g,%g,%g,%d|%d,%g,%g,%g,%g",
+      cfg.methods.enable_nljn ? 1 : 0, cfg.methods.enable_hsjn ? 1 : 0,
+      cfg.methods.enable_mgjn ? 1 : 0, cfg.methods.consider_matviews ? 1 : 0,
+      cfg.methods.volatile_mode_bias, c.mem_rows, c.scan_per_row,
+      c.mv_scan_per_row, c.temp_per_row, c.hash_build_per_row,
+      c.hash_probe_per_row, c.partition_per_row, c.sort_per_compare,
+      c.sort_merge_pass_per_row, c.mgjn_per_row, c.nljn_outer_per_row,
+      c.nljn_probe_per_match, c.nljn_scan_per_inner_row, c.agg_per_row,
+      c.check_per_row, c.hash_fanout, e.default_eq_selectivity,
+      e.default_range_selectivity, e.default_like_selectivity,
+      e.default_join_selectivity, e.histogram_buckets, v.max_iterations,
+      v.probe_step, v.divergence_jump, v.damping, v.max_card);
+  return QueryCacheSignature(query) +
+         StrFormat("|cfg:%016llx",
+                   static_cast<unsigned long long>(FnvHash(knobs)));
+}
 
 Result<OptimizedPlan> ProgressiveExecutor::Plan(
     const QuerySpec& query) const {
@@ -109,6 +146,13 @@ Result<std::vector<Row>> ProgressiveExecutor::Run(const QuerySpec& query,
   const bool query_is_spj = !query.has_aggregation();
   const int max_attempts = pop_enabled ? pop_config_.max_reopts + 1 : 1;
 
+  // Plan-cache inputs for attempt 0 (re-optimization attempts carry
+  // execution-scoped feedback and matviews, so they never consult the
+  // cache). Computed lazily below inside the attempt-0 branch.
+  const bool use_plan_cache = pop_enabled && plan_cache_ != nullptr;
+  const std::string cache_key =
+      use_plan_cache ? PlanCacheKey(query) : std::string();
+
   std::vector<Row> result;
   std::vector<Row> returned_so_far;  // Canonical rows (ECDC compensation).
   const double t_begin = NowMs();
@@ -122,16 +166,51 @@ Result<std::vector<Row>> ProgressiveExecutor::Run(const QuerySpec& query,
 
     ValidityRangeAnalyzer analyzer(cost_model, pop_config_.validity);
     const FeedbackMap feedback_snapshot = feedback_.Snapshot();
-    Result<OptimizedPlan> planned = [&] {
-      TRACE_SPAN("optimize", "pop", "attempt", attempt);
-      return optimizer_.Optimize(
-          query, feedback_snapshot.empty() ? nullptr : &feedback_snapshot,
-          matviews_.empty() ? nullptr : &matviews_.views(),
-          pop_enabled ? &analyzer : nullptr);
-    }();
-    if (!planned.ok()) return planned.status();
-    std::shared_ptr<PlanNode> root = planned.value().root;
-    info.candidates = planned.value().candidates;
+
+    std::shared_ptr<PlanNode> root;
+    uint64_t cache_digest = 0;
+    int64_t cache_external_epoch = 0;
+    const bool consult_cache = use_plan_cache && attempt == 0;
+    if (consult_cache) {
+      cache_digest = DigestFeedback(feedback_snapshot);
+      cache_external_epoch = cross_query_store_ != nullptr
+                                 ? cross_query_store_->external_epoch()
+                                 : 0;
+      PlanCache::LookupResult cached = plan_cache_->Lookup(
+          cache_key, cache_external_epoch, catalog_.stats_version(),
+          cache_digest, feedback_snapshot);
+      if (stats != nullptr) {
+        stats->plan_cache = cached.outcome;
+        stats->plan_cache_age_ms = cached.age_ms;
+      }
+      if (cached.hit()) {
+        // The skeleton (with its validity ranges) is exactly what a fresh
+        // optimization would produce; clone it and skip DP enumeration.
+        root = cached.plan->Clone();
+        info.candidates = cached.candidates;
+      }
+    }
+    if (root == nullptr) {
+      Result<OptimizedPlan> planned = [&] {
+        TRACE_SPAN("optimize", "pop", "attempt", attempt);
+        return optimizer_.Optimize(
+            query, feedback_snapshot.empty() ? nullptr : &feedback_snapshot,
+            matviews_.empty() ? nullptr : &matviews_.views(),
+            pop_enabled ? &analyzer : nullptr);
+      }();
+      if (!planned.ok()) return planned.status();
+      root = planned.value().root;
+      info.candidates = planned.value().candidates;
+      if (consult_cache) {
+        // Install the pre-checkpoint skeleton under the same gating values
+        // the lookup used, so the next identical submission hits.
+        plan_cache_->Install(cache_key, root->Clone(), cache_external_epoch,
+                             catalog_.stats_version(), cache_digest,
+                             planned.value().candidates,
+                             planned.value().est_cost,
+                             planned.value().est_card);
+      }
+    }
 
     // The last permitted attempt runs without checkpoints so the query
     // always terminates (Section 7).

@@ -16,6 +16,7 @@
 #include "core/placement.h"
 #include "core/validity.h"
 #include "opt/optimizer.h"
+#include "opt/plan_cache.h"
 #include "opt/query.h"
 #include "storage/catalog.h"
 
@@ -52,6 +53,11 @@ struct ExecutionStats {
   int64_t morsels_dispatched = 0;
   int64_t parallel_work = 0;
   std::vector<CheckEvent> check_events;  ///< Accumulated over attempts.
+  /// Plan-cache decision for the first attempt (kNone when no cache is
+  /// attached or the run is non-progressive) and, on a hit, the age of the
+  /// served entry.
+  PlanCacheOutcome plan_cache = PlanCacheOutcome::kNone;
+  double plan_cache_age_ms = 0.0;
 
   const AttemptInfo& last_attempt() const { return attempts.back(); }
 };
@@ -104,6 +110,16 @@ class ProgressiveExecutor {
     cross_query_store_ = store;
   }
 
+  /// Optional shared plan cache: when set, the first optimization of a
+  /// progressive execution is preceded by a cache lookup keyed on the
+  /// query's canonical signature plus this executor's optimizer-config
+  /// fingerprint; a hit skips DP enumeration and goes straight to
+  /// checkpoint placement over the cached skeleton, a miss installs the
+  /// freshly optimized plan. Re-optimization attempts never consult the
+  /// cache (their in-query feedback and matviews are execution-scoped).
+  /// Not owned; may be null.
+  void set_plan_cache(PlanCache* cache) { plan_cache_ = cache; }
+
   /// Cooperative cancellation: when set, the token is polled during
   /// execution (and between optimization attempts); a tripped token makes
   /// Execute return Status::Cancelled or Status::DeadlineExceeded, matching
@@ -130,6 +146,10 @@ class ProgressiveExecutor {
  private:
   Result<std::vector<Row>> Run(const QuerySpec& query, bool pop_enabled,
                                ExecutionStats* stats);
+  /// Plan-cache key: canonical query signature + optimizer-config
+  /// fingerprint (so one cache shared across differently configured
+  /// executors can never serve a plan chosen under other knobs).
+  std::string PlanCacheKey(const QuerySpec& query) const;
   /// Harvests feedback and reusable intermediate results after a CHECK
   /// fired.
   void Harvest(const ExecContext& ctx, const BuiltPlan& built,
@@ -143,6 +163,7 @@ class ProgressiveExecutor {
   FeedbackCache feedback_;
   MatViewRegistry matviews_;
   QueryFeedbackStore* cross_query_store_ = nullptr;
+  PlanCache* plan_cache_ = nullptr;
   CancelToken* cancel_token_ = nullptr;
   TaskRunner* task_runner_ = nullptr;
   ParallelPolicy parallel_;

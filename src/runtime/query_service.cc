@@ -79,6 +79,39 @@ QueryService::QueryService(const Catalog& catalog, ServiceConfig config)
       "popdb_feedback_seeded_cards",
       "Learned cardinalities handed to compilations in total.");
 
+  if (config_.use_pop && config_.plan_cache_entries > 0) {
+    PlanCacheConfig cache_config;
+    cache_config.max_entries = config_.plan_cache_entries;
+    cache_config.validity_hits = config_.plan_cache_validity_hits;
+    plan_cache_ = std::make_unique<PlanCache>(cache_config);
+
+    plan_cache_lookups_ = registry.GetGauge(
+        "popdb_plan_cache_lookups",
+        "Plan-cache lookups (first optimization attempts).");
+    plan_cache_hits_ = registry.GetGauge(
+        "popdb_plan_cache_hits",
+        "Lookups served from the plan cache (DP enumeration skipped).");
+    plan_cache_misses_ = registry.GetGauge(
+        "popdb_plan_cache_misses",
+        "Lookups that fell through to full optimization (cold, stale, "
+        "epoch-invalidated, or validity-violated).");
+    plan_cache_invalidations_ = registry.GetGauge(
+        "popdb_plan_cache_invalidations",
+        "Entries evicted as invalid (stats refresh / matview DDL epoch "
+        "bumps and validity-range violations).");
+    plan_cache_installs_ = registry.GetGauge(
+        "popdb_plan_cache_installs",
+        "Optimized plan skeletons installed into the cache.");
+    plan_cache_size_ = registry.GetGauge(
+        "popdb_plan_cache_size", "Plan-cache entries currently resident.");
+    // Entry ages span sub-ms re-submissions to long-lived sessions;
+    // 0.5ms..~4.4min in doubling buckets.
+    plan_cache_hit_age_ = registry.GetHistogram(
+        "popdb_plan_cache_hit_age_ms",
+        "Age of plan-cache entries at the moment they were served.",
+        Histogram::LogBuckets(0.5, 2.0, 20));
+  }
+
   if (config_.intra_query_dop > 1) {
     // External-worker mode: the service's own workers drain the morsel
     // queue whenever they are not running a query, so intra-query
@@ -285,6 +318,7 @@ void QueryService::RunOne(const std::shared_ptr<QueryTicket>& ticket) {
   } else {
     ProgressiveExecutor exec(catalog_, config_.optimizer, config_.pop);
     exec.set_cross_query_store(FeedbackFor(ticket->session_id_));
+    exec.set_plan_cache(plan_cache_.get());
     exec.set_cancel_token(&ticket->cancel_);
     if (morsel_pool_ != nullptr) {
       ParallelPolicy parallel;
@@ -309,6 +343,11 @@ void QueryService::RunOne(const std::shared_ptr<QueryTicket>& ticket) {
         parallel_fraction_->Observe(static_cast<double>(stats.parallel_work) /
                                     static_cast<double>(stats.total_work));
       }
+    }
+    if (plan_cache_ != nullptr &&
+        (stats.plan_cache == PlanCacheOutcome::kHit ||
+         stats.plan_cache == PlanCacheOutcome::kValidityHit)) {
+      plan_cache_hit_age_->Observe(stats.plan_cache_age_ms);
     }
     metrics_.OnReopts(stats.reopts, trace.checks_fired);
     if (trace.checks_fired > 0) {
@@ -375,6 +414,15 @@ std::string QueryService::MetricsText() {
   feedback_lookups_->Set(shared_feedback_.seed_lookups());
   feedback_hits_->Set(shared_feedback_.seed_hits());
   feedback_seeded_->Set(shared_feedback_.seeded_cards());
+  if (plan_cache_ != nullptr) {
+    const PlanCache::Stats ps = plan_cache_->stats();
+    plan_cache_lookups_->Set(ps.lookups);
+    plan_cache_hits_->Set(ps.hits + ps.validity_hits);
+    plan_cache_misses_->Set(ps.misses());
+    plan_cache_invalidations_->Set(ps.evictions_invalid);
+    plan_cache_installs_->Set(ps.installs);
+    plan_cache_size_->Set(plan_cache_->size());
+  }
   if (morsel_pool_ != nullptr) {
     const MorselDispatcher::Stats ms = morsel_pool_->stats();
     morsel_submitted_->Set(ms.submitted);

@@ -66,6 +66,19 @@ struct ServiceConfig {
   /// overhead would dominate).
   int64_t min_parallel_rows = 4096;
 
+  /// Shared plan-cache capacity in entries; <= 0 disables plan caching.
+  /// The cache is keyed by canonical query signature and gated by the
+  /// feedback epoch/digest, so repeat submissions (prepared statements
+  /// with different bindings included) skip DP enumeration while hits
+  /// remain provably identical to fresh optimizations. Only effective
+  /// when use_pop is true (static runs never consult the cache).
+  int64_t plan_cache_entries = 256;
+
+  /// Relaxed reuse: serve entries whose feedback digest moved as long as
+  /// every current cardinality stays inside the cached plan's validity
+  /// ranges (PlanCacheConfig::validity_hits). Off by default.
+  bool plan_cache_validity_hits = false;
+
   OptimizerConfig optimizer;
   PopConfig pop;
 
@@ -193,6 +206,14 @@ class QueryService {
 
   const ServiceConfig& config() const { return config_; }
 
+  /// The shared plan cache, or null when plan_cache_entries <= 0 (tests:
+  /// inspect hit/miss counters, force invalidations).
+  PlanCache* plan_cache() { return plan_cache_.get(); }
+
+  /// The process-wide shared feedback store (tests: bump the external
+  /// epoch to model a stats refresh, inspect learned cardinalities).
+  QueryFeedbackStore& shared_feedback() { return shared_feedback_; }
+
  private:
   void WorkerLoop();
   void RunOne(const std::shared_ptr<QueryTicket>& ticket);
@@ -229,6 +250,17 @@ class QueryService {
   Gauge* morsel_stale_ = nullptr;           ///< Stolen back before helper.
   Gauge* morsel_active_ = nullptr;          ///< Workers inside a morsel.
 
+  // Plan-cache metrics (registered only when the cache is enabled).
+  // Counters are mirrored from PlanCache::stats() at scrape time.
+  Gauge* plan_cache_lookups_ = nullptr;
+  Gauge* plan_cache_hits_ = nullptr;         ///< Exact + validity hits.
+  Gauge* plan_cache_misses_ = nullptr;       ///< All miss kinds.
+  Gauge* plan_cache_invalidations_ = nullptr;  ///< Entries evicted as
+                                               ///< stale (epoch/validity).
+  Gauge* plan_cache_installs_ = nullptr;
+  Gauge* plan_cache_size_ = nullptr;         ///< Entries resident now.
+  Histogram* plan_cache_hit_age_ = nullptr;  ///< Age of served entries.
+
   std::mutex mu_;
   std::condition_variable cv_;
   /// Index 0 = normal lane, 1 = high lane; each FIFO.
@@ -239,6 +271,14 @@ class QueryService {
   /// Shared fan-out point for intra-query parallelism; null when
   /// intra_query_dop <= 1. External-worker mode: WorkerLoop drains it.
   std::unique_ptr<MorselDispatcher> morsel_pool_;
+
+  /// Shared across all workers and sessions; null when disabled. Each
+  /// executor gates lookups on the external epoch of *its* feedback store
+  /// (the shared store, or the per-session one when share_feedback is
+  /// off); the feedback digest keeps cross-session reuse sound either
+  /// way, since a hit requires the exact optimizer inputs that installed
+  /// the entry.
+  std::unique_ptr<PlanCache> plan_cache_;
 
   QueryFeedbackStore shared_feedback_;
   std::mutex sessions_mu_;

@@ -11,6 +11,8 @@ void FillTraceFromStats(const ExecutionStats& stats, QueryTrace* trace) {
   trace->result_rows = stats.result_rows;
   trace->reopts = stats.reopts;
   trace->check_events = static_cast<int64_t>(stats.check_events.size());
+  trace->plan_cache = PlanCacheOutcomeName(stats.plan_cache);
+  trace->plan_cache_age_ms = stats.plan_cache_age_ms;
   trace->checks_fired = 0;
   for (const CheckEvent& ev : stats.check_events) {
     if (ev.fired) ++trace->checks_fired;
@@ -64,6 +66,10 @@ std::string QueryTrace::ToJson() const {
   w.Key("reopts").Int(reopts);
   w.Key("check_events").Int(check_events);
   w.Key("checks_fired").Int(checks_fired);
+  w.Key("plan_cache").String(plan_cache);
+  if (plan_cache_age_ms > 0) {
+    w.Key("plan_cache_age_ms").Double(plan_cache_age_ms);
+  }
   w.Key("attempts").BeginArray();
   for (const TraceAttempt& a : attempts) {
     w.BeginObject();

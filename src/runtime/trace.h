@@ -53,6 +53,12 @@ struct QueryTrace {
   int64_t check_events = 0;  ///< Checkpoint evaluations observed.
   int64_t checks_fired = 0;
 
+  /// Plan-cache decision for the first optimization attempt
+  /// (PlanCacheOutcomeName: "none" when no cache was consulted) and, on a
+  /// hit, the age of the served entry.
+  std::string plan_cache = "none";
+  double plan_cache_age_ms = 0.0;
+
   std::vector<TraceAttempt> attempts;
 
   /// Compact single-line JSON rendering of the whole trace.

@@ -10,6 +10,7 @@ Status Catalog::AddTable(Table table) {
   Entry entry;
   entry.table = std::make_unique<Table>(std::move(table));
   entries_.emplace(name, std::move(entry));
+  ++stats_version_;
   return Status::Ok();
 }
 
@@ -45,6 +46,7 @@ Status Catalog::AnalyzeTable(const std::string& name, int histogram_buckets) {
   if (e == nullptr) return Status::NotFound("no such table: " + name);
   e->stats = std::make_unique<TableStats>(
       CollectTableStats(*e->table, histogram_buckets));
+  ++stats_version_;
   return Status::Ok();
 }
 
@@ -55,6 +57,7 @@ Status Catalog::AnalyzeTableSampled(const std::string& name,
   if (e == nullptr) return Status::NotFound("no such table: " + name);
   e->stats = std::make_unique<TableStats>(CollectTableStatsSampled(
       *e->table, sample_fraction, seed, histogram_buckets));
+  ++stats_version_;
   return Status::Ok();
 }
 
@@ -63,6 +66,7 @@ void Catalog::AnalyzeAll(int histogram_buckets) {
     entry.stats = std::make_unique<TableStats>(
         CollectTableStats(*entry.table, histogram_buckets));
   }
+  ++stats_version_;
 }
 
 const TableStats* Catalog::GetStats(const std::string& name) const {
@@ -82,6 +86,7 @@ Status Catalog::CreateIndex(const std::string& table,
     if (idx->column() == col) return Status::Ok();
   }
   e->indexes.push_back(std::make_unique<HashIndex>(*e->table, col));
+  ++stats_version_;
   return Status::Ok();
 }
 

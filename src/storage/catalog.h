@@ -51,6 +51,13 @@ class Catalog {
   /// Returns the hash index on (table, column), or nullptr.
   const HashIndex* FindIndex(const std::string& table, int column) const;
 
+  /// Monotone version of everything the optimizer reads from the catalog:
+  /// bumped by AddTable, AnalyzeTable/AnalyzeTableSampled/AnalyzeAll
+  /// (RUNSTATS) and CreateIndex. Plan-cache entries record the version at
+  /// install and are bypassed once it moves — a stats refresh must never
+  /// serve a plan chosen under the old statistics.
+  int64_t stats_version() const { return stats_version_; }
+
  private:
   struct Entry {
     std::unique_ptr<Table> table;
@@ -62,6 +69,7 @@ class Catalog {
   Entry* FindEntry(const std::string& name);
 
   std::map<std::string, Entry> entries_;
+  int64_t stats_version_ = 0;
 };
 
 }  // namespace popdb

@@ -192,6 +192,62 @@ TEST_P(FuzzTest, PopMatchesOracleUnderRandomConfig) {
   }
 }
 
+/// Differential fuzz for the plan cache: every random query runs through a
+/// cached world and an uncached world (each with its own persistent
+/// feedback store evolving identically), twice per round so repeats can be
+/// served from the cache. One PlanCache instance is shared across all
+/// rounds and optimizer configs of a seed — a signature-canonicalization
+/// collision between two structurally different random queries (or two
+/// configs) would surface as a result mismatch here.
+TEST_P(FuzzTest, PlanCacheOnOffAgree) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 2654435761u + 9001);
+  PlanCache cache;
+  QueryFeedbackStore store_on, store_off;
+  for (int round = 0; round < 6; ++round) {
+    const QuerySpec q = RandomQuery(&rng);
+    OptimizerConfig opt;
+    opt.methods.enable_nljn = rng.Bernoulli(0.9);
+    opt.methods.enable_hsjn = rng.Bernoulli(0.9);
+    opt.methods.enable_mgjn = rng.Bernoulli(0.9);
+    if (!opt.methods.enable_nljn && !opt.methods.enable_hsjn &&
+        !opt.methods.enable_mgjn) {
+      opt.methods.enable_hsjn = true;
+    }
+    if (rng.Bernoulli(0.3)) opt.cost.mem_rows = 64;
+    const PopConfig pop = RandomPopConfig(&rng);
+
+    const std::vector<std::string> expected =
+        Canonicalize(ReferenceExecute(*catalog_, q));
+    ProgressiveExecutor exec_off(*catalog_, opt, pop);
+    exec_off.set_cross_query_store(&store_off);
+    ProgressiveExecutor exec_on(*catalog_, opt, pop);
+    exec_on.set_cross_query_store(&store_on);
+    exec_on.set_plan_cache(&cache);
+
+    for (int repeat = 0; repeat < 2; ++repeat) {
+      ExecutionStats stats_off, stats_on;
+      Result<std::vector<Row>> rows_off = exec_off.Execute(q, &stats_off);
+      Result<std::vector<Row>> rows_on = exec_on.Execute(q, &stats_on);
+      ASSERT_TRUE(rows_off.ok()) << rows_off.status().ToString();
+      ASSERT_TRUE(rows_on.ok()) << rows_on.status().ToString();
+      const std::string label = "seed=" + std::to_string(GetParam()) +
+                                " round=" + std::to_string(round) +
+                                " repeat=" + std::to_string(repeat) + "\n" +
+                                q.ToString();
+      EXPECT_EQ(expected, Canonicalize(rows_on.value())) << label;
+      EXPECT_EQ(Canonicalize(rows_off.value()),
+                Canonicalize(rows_on.value()))
+          << label;
+      EXPECT_EQ(stats_off.reopts, stats_on.reopts) << label;
+      EXPECT_EQ(stats_off.attempts.size(), stats_on.attempts.size())
+          << label;
+    }
+  }
+  const PlanCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.lookups,
+            stats.hits + stats.validity_hits + stats.misses());
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest, ::testing::Range(0, 25));
 
 }  // namespace

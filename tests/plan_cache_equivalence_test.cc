@@ -1,0 +1,221 @@
+// Differential test for the plan cache: the TPC-H paper-query subset
+// (plain and parameter-marker variants) and the DMV workload are replayed
+// for several passes against three worlds — no cache, cache at dop 1, and
+// cache at dop 4 — each with its own persistent cross-query feedback
+// store. Every run must produce identical sorted result sets, identical
+// per-attempt plan texts, identical CHECK decisions and re-optimization
+// counts, and identical learned feedback, whether the first optimization
+// came from the cache or from DP enumeration. By the last pass the cached
+// worlds must actually be serving hits (the test is vacuous otherwise).
+//
+// Set POPDB_EQUIV_LIGHT=1 to run a reduced corpus (used by the TSan CI
+// stage, where the full sweep is too slow).
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/pop.h"
+#include "dmv/dmv_gen.h"
+#include "dmv/dmv_queries.h"
+#include "runtime/morsel_dispatcher.h"
+#include "tests/test_util.h"
+#include "tpch/tpch_gen.h"
+#include "tpch/tpch_queries.h"
+
+namespace popdb {
+namespace {
+
+using ::popdb::testing::Canonicalize;
+
+bool LightMode() {
+  const char* v = std::getenv("POPDB_EQUIV_LIGHT");
+  return v != nullptr && *v != '\0' && *v != '0';
+}
+
+/// Everything about one execution that must be cache-invariant.
+struct Outcome {
+  bool ok = false;
+  std::string status;
+  std::vector<std::string> rows;  // Canonicalized (sorted) result set.
+  int reopts = 0;
+  size_t attempts = 0;
+  std::vector<std::string> plan_texts;  // One per attempt.
+  /// (edge_set, flavor, site, count, fired) per checkpoint evaluation.
+  std::vector<std::tuple<TableSet, int, int, int64_t, bool>> check_events;
+  /// Learned cardinalities by subplan signature: (exact, lower_bound).
+  std::map<std::string, std::pair<double, double>> learned;
+};
+
+/// One executor + feedback store, optionally with a plan cache and morsel
+/// parallelism, persistent across the whole replay.
+struct World {
+  World(const Catalog& catalog, bool with_cache, TaskRunner* runner,
+        int dop) {
+    exec = std::make_unique<ProgressiveExecutor>(catalog, OptimizerConfig{},
+                                                 PopConfig{});
+    exec->set_cross_query_store(&store);
+    if (with_cache) {
+      cache = std::make_unique<PlanCache>();
+      exec->set_plan_cache(cache.get());
+    }
+    if (runner != nullptr) {
+      ParallelPolicy policy;
+      policy.dop = dop;
+      policy.morsel_rows = 128;
+      policy.min_parallel_rows = 1;
+      exec->set_parallel(runner, policy);
+    }
+  }
+
+  QueryFeedbackStore store;
+  std::unique_ptr<PlanCache> cache;
+  std::unique_ptr<ProgressiveExecutor> exec;
+};
+
+Outcome RunOnce(World* world, const QuerySpec& query) {
+  ExecutionStats stats;
+  Result<std::vector<Row>> rows = world->exec->Execute(query, &stats);
+
+  Outcome o;
+  o.ok = rows.ok();
+  o.status = rows.ok() ? "" : rows.status().ToString();
+  if (rows.ok()) o.rows = Canonicalize(rows.value());
+  o.reopts = stats.reopts;
+  o.attempts = stats.attempts.size();
+  for (const AttemptInfo& a : stats.attempts) {
+    o.plan_texts.push_back(a.plan_text);
+  }
+  for (const CheckEvent& ev : stats.check_events) {
+    o.check_events.emplace_back(ev.edge_set, static_cast<int>(ev.flavor),
+                                static_cast<int>(ev.site), ev.count,
+                                ev.fired);
+  }
+  for (const auto& [sig, fb] : world->store.Dump()) {
+    o.learned.emplace(sig, std::make_pair(fb.exact, fb.lower_bound));
+  }
+  return o;
+}
+
+void ExpectSameOutcome(const Outcome& uncached, const Outcome& cached,
+                       const std::string& label) {
+  ASSERT_EQ(uncached.ok, cached.ok)
+      << label << ": " << uncached.status << " vs " << cached.status;
+  if (!uncached.ok) return;
+  EXPECT_EQ(uncached.rows, cached.rows) << label << ": result rows differ";
+  EXPECT_EQ(uncached.reopts, cached.reopts)
+      << label << ": re-optimization count differs";
+  EXPECT_EQ(uncached.attempts, cached.attempts)
+      << label << ": attempt count differs";
+  EXPECT_EQ(uncached.plan_texts, cached.plan_texts)
+      << label << ": chosen plans differ";
+  EXPECT_EQ(uncached.check_events, cached.check_events)
+      << label << ": CHECK decisions differ";
+  EXPECT_EQ(uncached.learned, cached.learned)
+      << label << ": harvested feedback differs";
+}
+
+/// Replays `corpus` for several passes through all three worlds, comparing
+/// every run against the uncached baseline.
+void SweepCorpus(const Catalog& catalog,
+                 const std::vector<QuerySpec>& corpus, const char* tag) {
+  const int passes = LightMode() ? 3 : 4;
+  MorselDispatcher pool(/*helper_threads=*/3);
+  World base(catalog, /*with_cache=*/false, nullptr, 1);
+  World cached(catalog, /*with_cache=*/true, nullptr, 1);
+  World cached_dop4(catalog, /*with_cache=*/true, &pool, 4);
+
+  for (int pass = 0; pass < passes; ++pass) {
+    for (const QuerySpec& q : corpus) {
+      SCOPED_TRACE(std::string(tag) + "/" + q.name() + " pass=" +
+                   std::to_string(pass));
+      const Outcome uncached = RunOnce(&base, q);
+      ExpectSameOutcome(uncached, RunOnce(&cached, q),
+                        std::string(tag) + "/" + q.name() + "/dop1");
+      ExpectSameOutcome(uncached, RunOnce(&cached_dop4, q),
+                        std::string(tag) + "/" + q.name() + "/dop4");
+    }
+  }
+
+  // The worlds converge: after the warm-up passes resubmissions must be
+  // served from the cache (the equivalence above would hold vacuously if
+  // the cache never hit). Light mode runs fewer passes than some DMV
+  // queries need for the shared store to stop moving, so it only requires
+  // that hits happened at all.
+  const PlanCache::Stats serial = cached.cache->stats();
+  const int64_t min_hits =
+      LightMode() ? 1 : static_cast<int64_t>(corpus.size());
+  EXPECT_GE(serial.hits, min_hits)
+      << tag << ": serial cached world never reached the steady state";
+  EXPECT_GT(cached_dop4.cache->stats().hits, 0)
+      << tag << ": parallel cached world never hit";
+  EXPECT_EQ(serial.lookups,
+            serial.hits + serial.validity_hits + serial.misses());
+}
+
+TEST(PlanCacheEquivalenceTest, TpchPaperQueries) {
+  Catalog catalog;
+  tpch::GenConfig gen;
+  gen.scale = 0.002;
+  ASSERT_TRUE(tpch::BuildCatalog(gen, &catalog).ok());
+
+  std::vector<QuerySpec> corpus;
+  for (int qnum : tpch::PaperQueries()) {
+    corpus.push_back(tpch::MakeQuery(qnum));
+    if (LightMode()) break;
+  }
+  // Parameter-marker variants: estimation errors make checks fire, so the
+  // cache has to stay equivalent across re-optimizing executions too.
+  tpch::QueryOptions marked;
+  marked.param_markers = true;
+  for (int qnum : tpch::PaperQueries()) {
+    corpus.push_back(tpch::MakeQuery(qnum, marked));
+    if (LightMode()) break;
+  }
+  SweepCorpus(catalog, corpus, "tpch");
+}
+
+TEST(PlanCacheEquivalenceTest, DmvWorkload) {
+  Catalog catalog;
+  dmv::GenConfig gen;
+  gen.scale = 0.2;
+  ASSERT_TRUE(dmv::BuildCatalog(gen, &catalog).ok());
+
+  dmv::WorkloadConfig wl;
+  if (LightMode()) wl.num_queries = 4;
+  SweepCorpus(catalog, dmv::MakeWorkload(wl), "dmv");
+}
+
+TEST(PlanCacheEquivalenceTest, MarkerRebindingSharesEntriesAndStaysCorrect) {
+  // Prepared-statement pattern: the same query shape resubmitted with
+  // different parameter bindings must share one cache entry, and every
+  // binding's result must match its own uncached execution.
+  Catalog catalog;
+  tpch::GenConfig gen;
+  gen.scale = 0.002;
+  ASSERT_TRUE(tpch::BuildCatalog(gen, &catalog).ok());
+
+  World base(catalog, /*with_cache=*/false, nullptr, 1);
+  World cached(catalog, /*with_cache=*/true, nullptr, 1);
+
+  const std::vector<int> sels =
+      LightMode() ? std::vector<int>{50, 50, 50}
+                  : std::vector<int>{1, 10, 50, 90, 50, 10, 1};
+  int round = 0;
+  for (int sel : sels) {
+    const QuerySpec q = tpch::MakeQ10Selectivity(sel, /*use_marker=*/true);
+    SCOPED_TRACE("q10 sel=" + std::to_string(sel) + " round=" +
+                 std::to_string(round++));
+    ExpectSameOutcome(RunOnce(&base, q), RunOnce(&cached, q), "q10");
+  }
+  // All bindings share one signature, so at most a handful of installs.
+  EXPECT_EQ(1, cached.cache->size());
+}
+
+}  // namespace
+}  // namespace popdb

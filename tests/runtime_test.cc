@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <string>
 #include <thread>
@@ -464,6 +465,113 @@ TEST(QueryServiceTest, MixedEightThreadSoak) {
   EXPECT_EQ(kSubmitters * kPerThread, stats.completed);
   EXPECT_EQ(0, stats.queries_in_flight);
   EXPECT_EQ(kSubmitters * kPerThread, sink.count());
+}
+
+// ------------------------------------------------------------ plan cache.
+
+TEST(QueryServiceTest, PlanCacheServesRepeatsAndReportsInTrace) {
+  Catalog catalog;
+  BuildToyCatalog(&catalog);
+  const std::vector<std::string> expected =
+      Canonicalize(ReferenceExecute(catalog, ToyQuery(1)));
+
+  QueryService service(catalog, ServiceConfig{});  // Cache on by default.
+  ASSERT_NE(nullptr, service.plan_cache());
+
+  std::vector<std::string> outcomes;
+  for (int i = 0; i < 6; ++i) {
+    QueryResult r = service.ExecuteSync(ToyQuery(1));
+    ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+    EXPECT_EQ(expected, Canonicalize(r.rows));
+    outcomes.push_back(r.trace.plan_cache);
+  }
+  // Warm-up: cold install, then digest-stale reinstalls while the shared
+  // store converges, then steady-state hits.
+  EXPECT_EQ("miss_cold", outcomes[0]);
+  EXPECT_EQ("hit", outcomes[4]);
+  EXPECT_EQ("hit", outcomes[5]);
+  EXPECT_NE(std::string::npos,
+            service.ExecuteSync(ToyQuery(1)).trace.ToJson().find(
+                "\"plan_cache\":\"hit\""));
+
+  const std::string metrics = service.MetricsText();
+  EXPECT_NE(std::string::npos, metrics.find("popdb_plan_cache_hits"));
+  EXPECT_NE(std::string::npos, metrics.find("popdb_plan_cache_hit_age_ms"));
+  EXPECT_GE(service.plan_cache()->stats().hits, 2);
+  service.Shutdown();
+}
+
+TEST(QueryServiceTest, PlanCacheCanBeDisabled) {
+  Catalog catalog;
+  BuildToyCatalog(&catalog);
+  ServiceConfig config;
+  config.plan_cache_entries = 0;
+  QueryService service(catalog, config);
+  EXPECT_EQ(nullptr, service.plan_cache());
+
+  QueryResult r = service.ExecuteSync(ToyQuery(0));
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ("none", r.trace.plan_cache);
+  EXPECT_EQ(std::string::npos,
+            service.MetricsText().find("popdb_plan_cache"));
+  service.Shutdown();
+}
+
+/// N submitters hammer one query signature while a writer thread bumps the
+/// shared store's external epoch (modelling concurrent stats refreshes):
+/// no torn entries, consistent counters, correct results throughout. Run
+/// under TSan in CI.
+TEST(QueryServiceTest, PlanCacheConcurrentHammerWithEpochWriter) {
+  Catalog catalog;
+  BuildToyCatalog(&catalog);
+  const std::vector<std::string> expected =
+      Canonicalize(ReferenceExecute(catalog, ToyQuery(2)));
+
+  ServiceConfig config;
+  config.num_workers = 4;
+  config.queue_capacity = 256;
+  QueryService service(catalog, config);
+
+  constexpr int kSubmitters = 4;
+  constexpr int kPerThread = 20;
+  std::atomic<int> mismatches{0};
+  std::atomic<int> failures{0};
+  std::atomic<bool> stop{false};
+
+  std::thread writer([&] {
+    while (!stop.load()) {
+      service.shared_feedback().BumpEpoch();
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        QueryResult r = service.ExecuteSync(ToyQuery(2));
+        if (!r.status.ok()) {
+          ++failures;
+        } else if (Canonicalize(r.rows) != expected) {
+          ++mismatches;
+        }
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+  stop.store(true);
+  writer.join();
+  service.Shutdown();
+
+  EXPECT_EQ(0, failures.load());
+  EXPECT_EQ(0, mismatches.load());
+  const PlanCache::Stats stats = service.plan_cache()->stats();
+  EXPECT_EQ(kSubmitters * kPerThread, stats.lookups);
+  EXPECT_EQ(stats.lookups,
+            stats.hits + stats.validity_hits + stats.misses());
+  // The epoch writer forces invalidations but can never corrupt entries;
+  // at most one entry exists for the single signature.
+  EXPECT_LE(service.plan_cache()->size(), 1);
 }
 
 // -------------------------------------------- FeedbackCache thread safety.
