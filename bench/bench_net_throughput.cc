@@ -1,0 +1,219 @@
+// Throughput and latency of the network front end: a fixed aggregation
+// query is pushed through the wire protocol (TCP loopback, length-prefixed
+// JSON frames, SQL text) at 1, 4, and 16 concurrent client connections,
+// and queries/sec plus tail latency are compared against an in-process
+// baseline that calls QueryService::ExecuteSync directly with the same
+// parse step. The gap between the two isolates what the protocol layer
+// costs: framing, JSON encode/decode of row batches, and one socket round
+// trip per query.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "runtime/query_service.h"
+#include "sql/binder.h"
+
+namespace popdb {
+namespace {
+
+double WallMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Orders table sized so one aggregation is cheap enough that protocol
+/// overhead is visible, but not so cheap the measurement is all noise.
+void BuildCatalog(Catalog* catalog) {
+  Rng rng(11);
+  Table orders("orders", Schema({{"o_id", ValueType::kInt},
+                                 {"o_class", ValueType::kInt},
+                                 {"o_amount", ValueType::kDouble}}));
+  for (int64_t i = 0; i < 20000; ++i) {
+    orders.AppendRow({Value::Int(i), Value::Int(rng.UniformInt(0, 19)),
+                      Value::Double(rng.UniformDouble() * 100.0)});
+  }
+  POPDB_DCHECK(catalog->AddTable(std::move(orders)).ok());
+  catalog->AnalyzeAll();
+}
+
+constexpr const char* kSql =
+    "SELECT o_class, COUNT(*) FROM orders GROUP BY o_class ORDER BY 1";
+
+struct Point {
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+};
+
+Point Summarize(std::vector<double> latencies, double elapsed_ms) {
+  Point p;
+  p.qps = 1000.0 * static_cast<double>(latencies.size()) / elapsed_ms;
+  std::sort(latencies.begin(), latencies.end());
+  const size_t n = latencies.size();
+  p.p50_ms = latencies[n / 2];
+  p.p95_ms = latencies[static_cast<size_t>(0.95 * static_cast<double>(n - 1))];
+  return p;
+}
+
+/// In-process baseline: same SQL parse + ExecuteSync, no sockets.
+Point RunInProcess(QueryService* service, const Catalog& catalog,
+                   int num_queries) {
+  std::vector<double> latencies;
+  latencies.reserve(static_cast<size_t>(num_queries));
+  const double t0 = WallMs();
+  for (int i = 0; i < num_queries; ++i) {
+    const double q0 = WallMs();
+    Result<sql::BoundStatement> bound = sql::ParseSql(catalog, kSql);
+    POPDB_DCHECK(bound.ok());
+    const QueryResult r = service->ExecuteSync(std::move(bound.value().query));
+    POPDB_DCHECK(r.status.ok());
+    latencies.push_back(WallMs() - q0);
+  }
+  const double elapsed_ms = WallMs() - t0;
+  return Summarize(std::move(latencies), elapsed_ms);
+}
+
+/// `connections` clients hammer the server concurrently, `per_conn`
+/// queries each; per-query latency is the full wire round trip.
+Point RunNetworked(int port, int connections, int per_conn) {
+  std::vector<std::vector<double>> per_thread(
+      static_cast<size_t>(connections));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(connections));
+  const double t0 = WallMs();
+  for (int c = 0; c < connections; ++c) {
+    threads.emplace_back([port, per_conn, &lat = per_thread[c]]() {
+      Result<net::Client> client = net::Client::Connect("127.0.0.1", port);
+      POPDB_DCHECK(client.ok());
+      lat.reserve(static_cast<size_t>(per_conn));
+      for (int i = 0; i < per_conn; ++i) {
+        const double q0 = WallMs();
+        const net::ClientQueryResult r = client.value().Query(kSql);
+        POPDB_DCHECK(r.status.ok());
+        POPDB_DCHECK(r.rows.size() == 20);
+        lat.push_back(WallMs() - q0);
+      }
+      client.value().Close();
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double elapsed_ms = WallMs() - t0;
+  std::vector<double> latencies;
+  for (auto& lat : per_thread) {
+    latencies.insert(latencies.end(), lat.begin(), lat.end());
+  }
+  return Summarize(std::move(latencies), elapsed_ms);
+}
+
+void Run() {
+  bench::PrintHeader(
+      "Wire-protocol throughput: networked clients vs in-process calls",
+      "the service front end for Markl et al., SIGMOD 2004");
+
+  Catalog catalog;
+  BuildCatalog(&catalog);
+
+  ServiceConfig service_config;
+  service_config.num_workers = 8;
+  service_config.share_feedback = true;
+  QueryService service(catalog, service_config);
+
+  net::NetServerConfig net_config;
+  net_config.host = "127.0.0.1";
+  net_config.port = 0;
+  net_config.num_workers = 16;  // One connection per worker; covers the sweep.
+  net::NetServer server(&service, /*traces=*/nullptr, net_config);
+  const Status started = server.Start();
+  POPDB_DCHECK(started.ok());
+
+  const int total_queries = static_cast<int>(
+      bench::EnvScale("POPDB_NET_BENCH_QUERIES", 320));
+
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("name").String("net_throughput");
+  json.Key("config")
+      .BeginObject()
+      .Key("queries_per_point")
+      .Int(total_queries)
+      .Key("sql")
+      .String(kSql)
+      .EndObject();
+
+  // Warm the plan cache and feedback store so neither mode pays the
+  // one-time optimization cost inside its measured window.
+  RunInProcess(&service, catalog, 16);
+
+  const Point base = RunInProcess(&service, catalog, total_queries);
+  json.Key("in_process")
+      .BeginObject()
+      .Key("qps")
+      .Double(base.qps)
+      .Key("p50_ms")
+      .Double(base.p50_ms)
+      .Key("p95_ms")
+      .Double(base.p95_ms)
+      .EndObject();
+
+  TablePrinter tp({"mode", "connections", "qps", "p50_ms", "p95_ms",
+                   "qps_vs_inproc"});
+  tp.AddRow({"in-process", "-", StrFormat("%.1f", base.qps),
+             StrFormat("%.3f", base.p50_ms), StrFormat("%.3f", base.p95_ms),
+             "1.00x"});
+
+  json.Key("networked").BeginArray();
+  for (int connections : {1, 4, 16}) {
+    const int per_conn = std::max(1, total_queries / connections);
+    const Point p = RunNetworked(server.port(), connections, per_conn);
+    const double ratio = base.qps > 0 ? p.qps / base.qps : 0.0;
+    tp.AddRow({"networked", std::to_string(connections),
+               StrFormat("%.1f", p.qps), StrFormat("%.3f", p.p50_ms),
+               StrFormat("%.3f", p.p95_ms), StrFormat("%.2fx", ratio)});
+    json.BeginObject()
+        .Key("connections")
+        .Int(connections)
+        .Key("queries")
+        .Int(per_conn * connections)
+        .Key("qps")
+        .Double(p.qps)
+        .Key("p50_ms")
+        .Double(p.p50_ms)
+        .Key("p95_ms")
+        .Double(p.p95_ms)
+        .Key("qps_vs_in_process")
+        .Double(ratio)
+        .EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+
+  std::printf("%s\n", tp.ToString().c_str());
+  std::printf(
+      "protocol cost = in-process qps / 1-connection networked qps; "
+      "concurrency should close the gap\n");
+
+  server.Shutdown();
+  service.Shutdown();
+  bench::WriteBenchJson("net_throughput", json.str());
+}
+
+}  // namespace
+}  // namespace popdb
+
+int main() {
+  popdb::Run();
+  return 0;
+}

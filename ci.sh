@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
-# CI entry point: release build + full test suite, then a ThreadSanitizer
-# build that hammers the concurrent pieces (runtime query service, morsel
-# parallelism, shared feedback stores, parallel executors, metrics
-# registry, span tracer), then a UBSan build over the tracing/metrics/
-# runtime/parallel suites.
+# CI entry point: release build + full test suite + a loopback network
+# smoke (popdb_server driven by the scripted popdb_client session), then a
+# ThreadSanitizer build that hammers the concurrent pieces (runtime query
+# service, network front end, morsel parallelism, shared feedback stores,
+# parallel executors, metrics registry, span tracer), then a UBSan build
+# over the tracing/metrics/runtime/parallel/network suites.
 #
 # The release ctest runs everything including tests labeled "slow"
 # (parallel_stress_test); use `ctest -L fast` locally for the quick loop.
@@ -27,6 +28,22 @@ cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build -j
 ctest --test-dir build --output-on-failure -j "$(nproc)"
 
+echo "=== network smoke: popdb_server + scripted client on loopback ==="
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+./build/examples/popdb_server toy --quiet --allow-shutdown \
+    --port-file "$SMOKE_DIR/port" &
+SERVER_PID=$!
+for _ in $(seq 1 100); do
+  [[ -s "$SMOKE_DIR/port" ]] && break
+  sleep 0.1
+done
+[[ -s "$SMOKE_DIR/port" ]] || { echo "server never wrote its port file"; exit 1; }
+./build/examples/popdb_client --port-file "$SMOKE_DIR/port" --smoke
+# The smoke script ends with a wire `shutdown` request; the server must
+# exit 0 on its own (clean shutdown, no leaked threads keeping it alive).
+wait "$SERVER_PID"
+
 if [[ "$SKIP_TSAN" == "1" ]]; then
   echo "=== TSan stage skipped (--skip-tsan) ==="
 else
@@ -36,7 +53,7 @@ else
   cmake --build build-tsan -j \
         --target runtime_test concurrency_test observability_test \
         morsel_test parallel_equivalence_test plan_cache_test \
-        plan_cache_equivalence_test parallel_stress_test
+        plan_cache_equivalence_test parallel_stress_test net_test
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/runtime_test
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/concurrency_test
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/observability_test
@@ -47,6 +64,7 @@ else
   TSAN_OPTIONS="halt_on_error=1" POPDB_EQUIV_LIGHT=1 \
       ./build-tsan/tests/plan_cache_equivalence_test
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/parallel_stress_test
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/net_test
 fi
 
 if [[ "$SKIP_UBSAN" == "1" ]]; then
@@ -58,7 +76,7 @@ else
   cmake --build build-ubsan -j \
         --target runtime_test observability_test operator_test pop_test \
         morsel_test parallel_equivalence_test plan_cache_test \
-        plan_cache_equivalence_test
+        plan_cache_equivalence_test net_test
   UBSAN_OPTIONS="halt_on_error=1" ./build-ubsan/tests/observability_test
   UBSAN_OPTIONS="halt_on_error=1" ./build-ubsan/tests/runtime_test
   UBSAN_OPTIONS="halt_on_error=1" ./build-ubsan/tests/operator_test
@@ -69,6 +87,7 @@ else
   UBSAN_OPTIONS="halt_on_error=1" ./build-ubsan/tests/plan_cache_test
   UBSAN_OPTIONS="halt_on_error=1" POPDB_EQUIV_LIGHT=1 \
       ./build-ubsan/tests/plan_cache_equivalence_test
+  UBSAN_OPTIONS="halt_on_error=1" ./build-ubsan/tests/net_test
 fi
 
 echo "=== ci.sh: all stages passed ==="

@@ -1,0 +1,149 @@
+// popdb-server: the network front end as a standalone process. Loads a
+// dataset, stands up a QueryService, and serves the length-prefixed JSON
+// wire protocol on a TCP port until interrupted (or, with
+// --allow-shutdown, until a client sends a `shutdown` request).
+//
+//   ./build/examples/popdb_server [tpch|dmv|toy]
+//       [--port N]         bind port (default 0 = ephemeral)
+//       [--port-file PATH] write the resolved port to PATH (for scripts)
+//       [--workers N]      connection workers (default 4)
+//       [--allow-shutdown] honor the wire `shutdown` request
+//       [--quiet]          suppress startup chatter
+//
+// Talk to it with ./build/examples/popdb_client or any client speaking the
+// protocol documented in src/net/wire.h.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/rng.h"
+#include "dmv/dmv_gen.h"
+#include "net/server.h"
+#include "tpch/tpch_gen.h"
+
+using namespace popdb;  // NOLINT: example brevity.
+
+namespace {
+
+std::sig_atomic_t g_interrupted = 0;
+
+void OnSignal(int) { g_interrupted = 1; }
+
+// Same correlated toy schema as the runtime_service example: orders/items
+// re-optimize under POP, big_a/big_b joins run long enough to cancel.
+void BuildToy(Catalog* catalog) {
+  Rng rng(5);
+  Table orders("orders", Schema({{"o_id", ValueType::kInt},
+                                 {"o_class", ValueType::kInt},
+                                 {"o_subclass", ValueType::kInt}}));
+  for (int64_t i = 0; i < 4000; ++i) {
+    const int64_t sub = rng.UniformInt(0, 199);
+    orders.AppendRow({Value::Int(i), Value::Int(sub / 10), Value::Int(sub)});
+  }
+  POPDB_DCHECK(catalog->AddTable(std::move(orders)).ok());
+  Table items("items", Schema({{"i_order", ValueType::kInt},
+                               {"i_qty", ValueType::kInt}}));
+  for (int64_t i = 0; i < 12000; ++i) {
+    items.AppendRow({Value::Int(rng.UniformInt(0, 3999)),
+                     Value::Int(rng.UniformInt(1, 50))});
+  }
+  POPDB_DCHECK(catalog->AddTable(std::move(items)).ok());
+  Table big_a("big_a",
+              Schema({{"a_k", ValueType::kInt}, {"a_v", ValueType::kInt}}));
+  Table big_b("big_b",
+              Schema({{"b_k", ValueType::kInt}, {"b_v", ValueType::kInt}}));
+  for (int64_t i = 0; i < 4000; ++i) {
+    big_a.AppendRow({Value::Int(rng.UniformInt(0, 49)), Value::Int(i)});
+    big_b.AppendRow({Value::Int(rng.UniformInt(0, 49)), Value::Int(i)});
+  }
+  POPDB_DCHECK(catalog->AddTable(std::move(big_a)).ok());
+  POPDB_DCHECK(catalog->AddTable(std::move(big_b)).ok());
+  catalog->AnalyzeAll();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dataset = "toy";
+  std::string port_file;
+  net::NetServerConfig net_config;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--port" && i + 1 < argc) {
+      net_config.port = std::atoi(argv[++i]);
+    } else if (arg == "--port-file" && i + 1 < argc) {
+      port_file = argv[++i];
+    } else if (arg == "--workers" && i + 1 < argc) {
+      net_config.num_workers = std::atoi(argv[++i]);
+    } else if (arg == "--allow-shutdown") {
+      net_config.allow_shutdown_request = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg[0] != '-') {
+      dataset = arg;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  Catalog catalog;
+  if (dataset == "tpch") {
+    if (!quiet) std::printf("loading TPC-H...\n");
+    POPDB_DCHECK(tpch::BuildCatalog(tpch::GenConfig{}, &catalog).ok());
+  } else if (dataset == "dmv") {
+    if (!quiet) std::printf("loading the DMV case-study database...\n");
+    POPDB_DCHECK(dmv::BuildCatalog(dmv::GenConfig{}, &catalog).ok());
+  } else {
+    if (!quiet) std::printf("loading the toy database...\n");
+    BuildToy(&catalog);
+  }
+
+  // The trace store backs the wire `trace` request: every finished query's
+  // QueryTrace is retained (bounded FIFO) keyed by query id.
+  TraceStore traces(/*capacity=*/1024);
+  ServiceConfig service_config;
+  service_config.share_feedback = true;
+  service_config.trace_sink = &traces;
+  QueryService service(catalog, service_config);
+
+  net::NetServer server(&service, &traces, net_config);
+  const Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "bind failed: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  if (!port_file.empty()) {
+    std::FILE* f = std::fopen(port_file.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", port_file.c_str());
+      return 1;
+    }
+    std::fprintf(f, "%d\n", server.port());
+    std::fclose(f);
+  }
+  if (!quiet) {
+    std::printf("popdb-server: dataset=%s port=%d workers=%d%s\n",
+                dataset.c_str(), server.port(), net_config.num_workers,
+                net_config.allow_shutdown_request ? " (shutdown enabled)"
+                                                  : "");
+  }
+  std::fflush(stdout);
+
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+
+  // Serve until a signal arrives or a client asks us to stop.
+  while (g_interrupted == 0 && !server.WaitForShutdownRequest(200.0)) {
+  }
+
+  if (!quiet) std::printf("popdb-server: shutting down\n");
+  server.Shutdown();
+  service.Shutdown(/*drain=*/false);
+  return 0;
+}

@@ -1,6 +1,8 @@
 #include "common/json.h"
 
+#include <cerrno>
 #include <cmath>
+#include <cstdlib>
 
 #include "common/string_util.h"
 
@@ -126,6 +128,429 @@ JsonWriter& JsonWriter::Raw(std::string_view json) {
   BeforeValue();
   out_ += json;
   return *this;
+}
+
+// ------------------------------------------------------------- JsonValue
+
+JsonValue JsonValue::MakeBool(bool v) {
+  JsonValue j;
+  j.kind_ = Kind::kBool;
+  j.bool_ = v;
+  return j;
+}
+
+JsonValue JsonValue::MakeInt(int64_t v) {
+  JsonValue j;
+  j.kind_ = Kind::kInt;
+  j.int_ = v;
+  return j;
+}
+
+JsonValue JsonValue::MakeDouble(double v) {
+  JsonValue j;
+  j.kind_ = Kind::kDouble;
+  j.double_ = v;
+  return j;
+}
+
+JsonValue JsonValue::MakeString(std::string v) {
+  JsonValue j;
+  j.kind_ = Kind::kString;
+  j.string_ = std::move(v);
+  return j;
+}
+
+bool JsonValue::AsBool() const {
+  POPDB_DCHECK(kind_ == Kind::kBool);
+  return bool_;
+}
+
+int64_t JsonValue::AsInt() const {
+  POPDB_DCHECK(kind_ == Kind::kInt);
+  return int_;
+}
+
+double JsonValue::AsDouble() const {
+  POPDB_DCHECK(is_number());
+  return kind_ == Kind::kInt ? static_cast<double>(int_) : double_;
+}
+
+const std::string& JsonValue::AsString() const {
+  POPDB_DCHECK(kind_ == Kind::kString);
+  return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::items() const {
+  POPDB_DCHECK(kind_ == Kind::kArray);
+  return items_;
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::members()
+    const {
+  POPDB_DCHECK(kind_ == Kind::kObject);
+  return members_;
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [name, value] : members_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+std::string JsonValue::GetString(std::string_view key,
+                                 std::string fallback) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->kind_ == Kind::kString ? v->string_
+                                                   : std::move(fallback);
+}
+
+int64_t JsonValue::GetInt(std::string_view key, int64_t fallback) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->kind_ == Kind::kInt ? v->int_ : fallback;
+}
+
+double JsonValue::GetNumber(std::string_view key, double fallback) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->is_number() ? v->AsDouble() : fallback;
+}
+
+bool JsonValue::GetBool(std::string_view key, bool fallback) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->kind_ == Kind::kBool ? v->bool_ : fallback;
+}
+
+void JsonValue::WriteTo(JsonWriter* w) const {
+  switch (kind_) {
+    case Kind::kNull:
+      w->Null();
+      break;
+    case Kind::kBool:
+      w->Bool(bool_);
+      break;
+    case Kind::kInt:
+      w->Int(int_);
+      break;
+    case Kind::kDouble:
+      if (std::isfinite(double_)) {
+        // %.17g round-trips every finite double exactly.
+        w->Raw(StrFormat("%.17g", double_));
+      } else {
+        w->Null();
+      }
+      break;
+    case Kind::kString:
+      w->String(string_);
+      break;
+    case Kind::kArray:
+      w->BeginArray();
+      for (const JsonValue& item : items_) item.WriteTo(w);
+      w->EndArray();
+      break;
+    case Kind::kObject:
+      w->BeginObject();
+      for (const auto& [key, value] : members_) {
+        w->Key(key);
+        value.WriteTo(w);
+      }
+      w->EndObject();
+      break;
+  }
+}
+
+std::string JsonValue::ToJsonString() const {
+  JsonWriter w;
+  WriteTo(&w);
+  return w.str();
+}
+
+// ------------------------------------------------------------ JsonParser
+
+/// Recursive-descent parser over a string_view; all methods leave `pos_`
+/// on the first unconsumed byte. Friended by JsonValue so it can fill the
+/// representation directly.
+class JsonParser {
+ public:
+  JsonParser(std::string_view text, JsonParseLimits limits)
+      : text_(text), limits_(limits) {}
+
+  Result<JsonValue> Parse() {
+    JsonValue root;
+    Status s = ParseValue(&root, 0);
+    if (!s.ok()) return s;
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Error("trailing content after JSON value");
+    }
+    return root;
+  }
+
+ private:
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument(
+        StrFormat("JSON parse error at byte %zu: %s", pos_, what.c_str()));
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(JsonValue* out, int depth) {
+    if (depth > limits_.max_depth) return Error("nesting too deep");
+    if (++nodes_ > limits_.max_nodes) return Error("too many values");
+    SkipSpace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"':
+        out->kind_ = JsonValue::Kind::kString;
+        return ParseString(&out->string_);
+      case 't':
+      case 'f':
+        return ParseLiteral(out);
+      case 'n':
+        return ParseLiteral(out);
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status ParseLiteral(JsonValue* out) {
+    const std::string_view rest = text_.substr(pos_);
+    if (rest.rfind("true", 0) == 0) {
+      pos_ += 4;
+      *out = JsonValue::MakeBool(true);
+      return Status::Ok();
+    }
+    if (rest.rfind("false", 0) == 0) {
+      pos_ += 5;
+      *out = JsonValue::MakeBool(false);
+      return Status::Ok();
+    }
+    if (rest.rfind("null", 0) == 0) {
+      pos_ += 4;
+      *out = JsonValue();
+      return Status::Ok();
+    }
+    return Error("invalid literal");
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    bool is_double = false;
+    if (Consume('-')) {
+    }
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      ++pos_;
+    }
+    if (pos_ == start || (text_[start] == '-' && pos_ == start + 1)) {
+      return Error("invalid number");
+    }
+    const size_t int_start = text_[start] == '-' ? start + 1 : start;
+    if (text_[int_start] == '0' && pos_ - int_start > 1) {
+      return Error("leading zeros are not allowed");
+    }
+    if (Consume('.')) {
+      is_double = true;
+      const size_t frac = pos_;
+      while (pos_ < text_.size() && text_[pos_] >= '0' &&
+             text_[pos_] <= '9') {
+        ++pos_;
+      }
+      if (pos_ == frac) return Error("digits required after decimal point");
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      is_double = true;
+      ++pos_;
+      if (pos_ < text_.size() &&
+          (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      const size_t exp = pos_;
+      while (pos_ < text_.size() && text_[pos_] >= '0' &&
+             text_[pos_] <= '9') {
+        ++pos_;
+      }
+      if (pos_ == exp) return Error("digits required in exponent");
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    errno = 0;
+    if (is_double) {
+      *out = JsonValue::MakeDouble(std::strtod(token.c_str(), nullptr));
+      return Status::Ok();
+    }
+    char* end = nullptr;
+    const long long v = std::strtoll(token.c_str(), &end, 10);
+    if (errno == ERANGE) {
+      // Out of int64 range: fall back to double (JSON numbers are one
+      // type; we only keep the distinction when it is exact).
+      *out = JsonValue::MakeDouble(std::strtod(token.c_str(), nullptr));
+      return Status::Ok();
+    }
+    *out = JsonValue::MakeInt(static_cast<int64_t>(v));
+    return Status::Ok();
+  }
+
+  /// Appends the UTF-8 encoding of `cp` to `out`.
+  static void AppendUtf8(uint32_t cp, std::string* out) {
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  Status ParseHex4(uint32_t* out) {
+    if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + static_cast<size_t>(i)];
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return Error("invalid \\u escape digit");
+      }
+    }
+    pos_ += 4;
+    *out = v;
+    return Status::Ok();
+  }
+
+  Status ParseString(std::string* out) {
+    if (!Consume('"')) return Error("expected '\"'");
+    out->clear();
+    while (true) {
+      if (pos_ >= text_.size()) return Error("unterminated string");
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return Status::Ok();
+      }
+      if (c < 0x20) return Error("unescaped control character in string");
+      if (c != '\\') {
+        out->push_back(static_cast<char>(c));
+        ++pos_;
+        continue;
+      }
+      ++pos_;  // Backslash.
+      if (pos_ >= text_.size()) return Error("truncated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':  out->push_back('"');  break;
+        case '\\': out->push_back('\\'); break;
+        case '/':  out->push_back('/');  break;
+        case 'b':  out->push_back('\b'); break;
+        case 'f':  out->push_back('\f'); break;
+        case 'n':  out->push_back('\n'); break;
+        case 'r':  out->push_back('\r'); break;
+        case 't':  out->push_back('\t'); break;
+        case 'u': {
+          uint32_t cp = 0;
+          Status s = ParseHex4(&cp);
+          if (!s.ok()) return s;
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: require the paired low surrogate.
+            if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              return Error("unpaired high surrogate");
+            }
+            pos_ += 2;
+            uint32_t low = 0;
+            s = ParseHex4(&low);
+            if (!s.ok()) return s;
+            if (low < 0xDC00 || low > 0xDFFF) {
+              return Error("invalid low surrogate");
+            }
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return Error("unpaired low surrogate");
+          }
+          AppendUtf8(cp, out);
+          break;
+        }
+        default:
+          return Error("invalid escape character");
+      }
+    }
+  }
+
+  Status ParseArray(JsonValue* out, int depth) {
+    Consume('[');
+    out->kind_ = JsonValue::Kind::kArray;
+    SkipSpace();
+    if (Consume(']')) return Status::Ok();
+    while (true) {
+      JsonValue item;
+      Status s = ParseValue(&item, depth + 1);
+      if (!s.ok()) return s;
+      out->items_.push_back(std::move(item));
+      SkipSpace();
+      if (Consume(']')) return Status::Ok();
+      if (!Consume(',')) return Error("expected ',' or ']' in array");
+    }
+  }
+
+  Status ParseObject(JsonValue* out, int depth) {
+    Consume('{');
+    out->kind_ = JsonValue::Kind::kObject;
+    SkipSpace();
+    if (Consume('}')) return Status::Ok();
+    while (true) {
+      SkipSpace();
+      std::string key;
+      Status s = ParseString(&key);
+      if (!s.ok()) return s;
+      SkipSpace();
+      if (!Consume(':')) return Error("expected ':' after object key");
+      JsonValue value;
+      s = ParseValue(&value, depth + 1);
+      if (!s.ok()) return s;
+      out->members_.emplace_back(std::move(key), std::move(value));
+      SkipSpace();
+      if (Consume('}')) return Status::Ok();
+      if (!Consume(',')) return Error("expected ',' or '}' in object");
+    }
+  }
+
+  std::string_view text_;
+  JsonParseLimits limits_;
+  size_t pos_ = 0;
+  int64_t nodes_ = 0;
+};
+
+Result<JsonValue> JsonParse(std::string_view text, JsonParseLimits limits) {
+  return JsonParser(text, limits).Parse();
 }
 
 }  // namespace popdb

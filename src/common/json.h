@@ -2,9 +2,13 @@
 #define POPDB_COMMON_JSON_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
+
+#include "common/status.h"
 
 namespace popdb {
 
@@ -52,6 +56,78 @@ class JsonWriter {
   std::vector<bool> wrote_value_;
   bool pending_key_ = false;
 };
+
+/// A parsed JSON document node. Numbers keep the int/double distinction
+/// from the source text (no decimal point or exponent = kInt) so integral
+/// ids survive a round trip exactly; object members preserve source order
+/// and are looked up linearly (wire-protocol messages are small).
+class JsonValue {
+ public:
+  enum class Kind { kNull = 0, kBool, kInt, kDouble, kString, kArray,
+                    kObject };
+
+  JsonValue() = default;
+
+  static JsonValue MakeNull() { return JsonValue(); }
+  static JsonValue MakeBool(bool v);
+  static JsonValue MakeInt(int64_t v);
+  static JsonValue MakeDouble(double v);
+  static JsonValue MakeString(std::string v);
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_number() const {
+    return kind_ == Kind::kInt || kind_ == Kind::kDouble;
+  }
+
+  /// Accessors. Preconditions: the node holds the requested kind
+  /// (AsDouble also accepts kInt and coerces).
+  bool AsBool() const;
+  int64_t AsInt() const;
+  double AsDouble() const;
+  const std::string& AsString() const;
+  const std::vector<JsonValue>& items() const;
+  const std::vector<std::pair<std::string, JsonValue>>& members() const;
+
+  /// Object member by key, or nullptr (also when this is not an object).
+  const JsonValue* Find(std::string_view key) const;
+
+  /// Typed object-member lookups with defaults: missing key (or kind
+  /// mismatch) returns `fallback`. GetNumber accepts kInt and kDouble.
+  std::string GetString(std::string_view key, std::string fallback) const;
+  int64_t GetInt(std::string_view key, int64_t fallback) const;
+  double GetNumber(std::string_view key, double fallback) const;
+  bool GetBool(std::string_view key, bool fallback) const;
+
+  /// Re-serializes this node as compact JSON (parse → ToJsonString is a
+  /// semantic round trip; key order and number formatting may differ from
+  /// the source text).
+  void WriteTo(JsonWriter* w) const;
+  std::string ToJsonString() const;
+
+ private:
+  friend class JsonParser;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Limits applied while parsing untrusted JSON (wire frames).
+struct JsonParseLimits {
+  int max_depth = 64;           ///< Nesting depth of arrays/objects.
+  int64_t max_nodes = 1 << 20;  ///< Total values in the document.
+};
+
+/// Strict parser: one JSON value covering the whole input (trailing
+/// whitespace allowed, trailing content rejected), no comments, no
+/// trailing commas, \uXXXX escapes (including surrogate pairs) decoded to
+/// UTF-8. Errors carry the byte offset of the offending character.
+Result<JsonValue> JsonParse(std::string_view text, JsonParseLimits limits = {});
 
 }  // namespace popdb
 

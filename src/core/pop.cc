@@ -45,12 +45,14 @@ std::string ProgressiveExecutor::PlanCacheKey(const QuerySpec& query) const {
   const CostParams& c = cfg.cost;
   const EstimatorConfig& e = cfg.estimator;
   const ValidityConfig& v = pop_config_.validity;
+  const PopConfig& p = pop_config_;
   // Every knob the optimizer (or the validity analysis whose ranges the
   // cached skeleton carries) reads; two executors differing in any of them
-  // must never share an entry.
+  // must never share an entry. Placement knobs are included too: entries
+  // also carry the checkpoint-placed plan, which depends on them.
   const std::string knobs = StrFormat(
       "%d%d%d%d|%g|%g,%g,%g,%g,%g,%g,%g,%g,%g,%g,%g,%g,%g,%g,%g,%d|"
-      "%g,%g,%g,%g,%d|%d,%g,%g,%g,%g",
+      "%g,%g,%g,%g,%d|%d,%g,%g,%g,%g|%d%d%d%d%d%d%d,%g,%g,%g,%d,%g,%d",
       cfg.methods.enable_nljn ? 1 : 0, cfg.methods.enable_hsjn ? 1 : 0,
       cfg.methods.enable_mgjn ? 1 : 0, cfg.methods.consider_matviews ? 1 : 0,
       cfg.methods.volatile_mode_bias, c.mem_rows, c.scan_per_row,
@@ -61,7 +63,13 @@ std::string ProgressiveExecutor::PlanCacheKey(const QuerySpec& query) const {
       c.check_per_row, c.hash_fanout, e.default_eq_selectivity,
       e.default_range_selectivity, e.default_like_selectivity,
       e.default_join_selectivity, e.histogram_buckets, v.max_iterations,
-      v.probe_step, v.divergence_jump, v.damping, v.max_card);
+      v.probe_step, v.divergence_jump, v.damping, v.max_card,
+      p.enable_lc ? 1 : 0, p.enable_lcem ? 1 : 0, p.enable_ecb ? 1 : 0,
+      p.enable_ecwc ? 1 : 0, p.enable_ecdc ? 1 : 0,
+      p.require_narrowed_range ? 1 : 0, p.observe_only ? 1 : 0,
+      p.min_plan_cost_for_checks, p.check_safety_factor,
+      p.lcem_budget_fraction, p.max_reopts, p.work_bound_factor,
+      p.min_assumptions_for_checks);
   return QueryCacheSignature(query) +
          StrFormat("|cfg:%016llx",
                    static_cast<unsigned long long>(FnvHash(knobs)));
@@ -170,6 +178,7 @@ Result<std::vector<Row>> ProgressiveExecutor::Run(const QuerySpec& query,
     std::shared_ptr<PlanNode> root;
     uint64_t cache_digest = 0;
     int64_t cache_external_epoch = 0;
+    bool placement_from_cache = false;
     const bool consult_cache = use_plan_cache && attempt == 0;
     if (consult_cache) {
       cache_digest = DigestFeedback(feedback_snapshot);
@@ -184,9 +193,23 @@ Result<std::vector<Row>> ProgressiveExecutor::Run(const QuerySpec& query,
         stats->plan_cache_age_ms = cached.age_ms;
       }
       if (cached.hit()) {
-        // The skeleton (with its validity ranges) is exactly what a fresh
-        // optimization would produce; clone it and skip DP enumeration.
-        root = cached.plan->Clone();
+        if (cached.placed_plan != nullptr) {
+          // Exact hit with a recorded placement: both DP enumeration and
+          // the placement pass reduce to one clone.
+          root = cached.placed_plan->Clone();
+          placement_from_cache = true;
+          info.checks.lc = cached.placed_checks.lc;
+          info.checks.lcem = cached.placed_checks.lcem;
+          info.checks.ecb = cached.placed_checks.ecb;
+          info.checks.ecwc = cached.placed_checks.ecwc;
+          info.checks.ecdc = cached.placed_checks.ecdc;
+          info.checks.work_bound = cached.placed_checks.work_bound;
+        } else {
+          // The skeleton (with its validity ranges) is exactly what a
+          // fresh optimization would produce; clone it and skip DP
+          // enumeration.
+          root = cached.plan->Clone();
+        }
         info.candidates = cached.candidates;
       }
     }
@@ -215,10 +238,28 @@ Result<std::vector<Row>> ProgressiveExecutor::Run(const QuerySpec& query,
     // The last permitted attempt runs without checkpoints so the query
     // always terminates (Section 7).
     const bool place_checks = pop_enabled && attempt < pop_config_.max_reopts;
-    if (place_checks) {
-      TRACE_SPAN("place_checkpoints", "pop");
-      info.checks =
-          PlaceCheckpoints(&root, pop_config_, cost_model, query_is_spj);
+    if (place_checks && !placement_from_cache) {
+      {
+        TRACE_SPAN("place_checkpoints", "pop");
+        info.checks =
+            PlaceCheckpoints(&root, pop_config_, cost_model, query_is_spj);
+      }
+      if (consult_cache) {
+        // Placement is deterministic given the skeleton and the placement
+        // knobs (both pinned by the cache key), so attach the placed plan
+        // to the entry: the next identical submission skips this pass too.
+        PlacedCheckCounts counts;
+        counts.lc = info.checks.lc;
+        counts.lcem = info.checks.lcem;
+        counts.ecb = info.checks.ecb;
+        counts.ecwc = info.checks.ecwc;
+        counts.ecdc = info.checks.ecdc;
+        counts.work_bound = info.checks.work_bound;
+        plan_cache_->InstallPlacement(cache_key, root->Clone(),
+                                      cache_external_epoch,
+                                      catalog_.stats_version(), cache_digest,
+                                      counts);
+      }
     }
     if (!returned_so_far.empty()) {
       InsertCompensation(&root);

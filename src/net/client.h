@@ -1,0 +1,115 @@
+#ifndef POPDB_NET_CLIENT_H_
+#define POPDB_NET_CLIENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+#include "net/wire.h"
+
+namespace popdb::net {
+
+/// Result of one query round trip over the wire.
+struct ClientQueryResult {
+  Status status;            ///< Decoded from the query_done/error frame.
+  std::vector<Row> rows;    ///< Concatenation of every row_batch.
+  int64_t query_id = -1;
+  std::string outcome;      ///< Server-side outcome ("ok", "cancelled", ...).
+  int reopts = 0;
+  double total_ms = 0.0;
+  double queue_ms = 0.0;
+  std::string plan_cache;   ///< Plan-cache disposition ("hit", "miss", ...).
+};
+
+/// Options for Client::Query / Client::QueryAsync.
+struct ClientQueryOptions {
+  std::vector<Value> params;
+  double deadline_ms = -1.0;   ///< -1 = server default, 0 = none.
+  int64_t batch_rows = 0;      ///< <= 0 = server default.
+  bool high_priority = false;
+};
+
+/// Blocking client for the popdb wire protocol (net/wire.h). One Client
+/// owns one TCP connection and one server session; it is NOT thread safe —
+/// use one Client per thread (sessions are cheap).
+///
+/// Example:
+///   auto client = Client::Connect("127.0.0.1", port);
+///   ClientQueryResult r = client.value().Query("SELECT ...");
+///   client.value().Close();
+class Client {
+ public:
+  /// Connects and performs the hello handshake. `timeout_ms` covers the
+  /// TCP connect and each subsequent frame round trip (<= 0 = no timeout).
+  static Result<Client> Connect(const std::string& host, int port,
+                                double timeout_ms = 10000.0);
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  ~Client();
+
+  /// Runs `sql` synchronously: submits, then consumes row_batch frames
+  /// until query_done. A transport failure or protocol error frame is
+  /// reported in the result's status.
+  ClientQueryResult Query(const std::string& sql,
+                          ClientQueryOptions options = {});
+
+  /// Submits `sql` without waiting; returns the server-assigned query id.
+  /// Collect the result later with Wait() (same connection), or Cancel()
+  /// it from any connection.
+  Result<int64_t> QueryAsync(const std::string& sql,
+                             ClientQueryOptions options = {});
+
+  /// Streams the result of a query started with QueryAsync.
+  ClientQueryResult Wait(int64_t query_id, int64_t batch_rows = 0);
+
+  /// Cancels by server query id. Returns true when the server still knew
+  /// the query (it was in flight in some session).
+  Result<bool> Cancel(int64_t query_id);
+
+  /// Fetches the stored QueryTrace JSON for a finished query.
+  Result<std::string> Trace(int64_t query_id);
+
+  /// Fetches the server's Prometheus metrics text.
+  Result<std::string> Metrics();
+
+  /// Asks the server process to shut down (requires
+  /// NetServerConfig::allow_shutdown_request on the server).
+  Status RequestShutdown();
+
+  /// Sends goodbye and closes the socket. Safe to call twice.
+  void Close();
+
+  bool connected() const { return fd_ >= 0; }
+  uint64_t session_id() const { return session_id_; }
+
+  /// Test hook: sends a raw pre-encoded frame payload as-is.
+  Status SendRaw(std::string_view payload);
+  /// Test hook: sends `bytes` verbatim on the socket (no length prefix) —
+  /// for exercising the server's malformed-framing paths.
+  Status SendBytes(std::string_view bytes);
+  /// Test hook: reads one frame payload.
+  FrameResult ReadRaw();
+
+ private:
+  Client() = default;
+
+  /// Sends `payload`, then reads frames until `done` returns true (error
+  /// frames short-circuit). Returns the terminal frame's JSON.
+  Result<JsonValue> RoundTrip(const std::string& payload);
+
+  /// Reads row_batch frames into `out` until query_done / error.
+  ClientQueryResult ConsumeResult(int64_t expect_query_id);
+
+  int fd_ = -1;
+  double timeout_ms_ = 10000.0;
+  uint64_t session_id_ = 0;
+};
+
+}  // namespace popdb::net
+
+#endif  // POPDB_NET_CLIENT_H_

@@ -1,0 +1,418 @@
+#include "net/wire.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace popdb::net {
+
+namespace {
+
+/// Poll slice so blocked I/O notices the stop flag promptly.
+constexpr int kPollSliceMs = 50;
+
+double NowMsLocal() {
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<double>(ts.tv_sec) * 1e3 +
+         static_cast<double>(ts.tv_nsec) / 1e6;
+}
+
+/// Waits for `events` on `fd`. Returns 1 = ready, 0 = deadline passed or
+/// stop tripped (sets *stopped), -1 = poll error.
+int WaitFd(int fd, short events, double deadline_ms,
+           const std::atomic<bool>* stop, bool* stopped) {
+  *stopped = false;
+  while (true) {
+    if (stop != nullptr && stop->load(std::memory_order_acquire)) {
+      *stopped = true;
+      return 0;
+    }
+    int slice = kPollSliceMs;
+    if (deadline_ms > 0) {
+      const double remaining = deadline_ms - NowMsLocal();
+      if (remaining <= 0) return 0;
+      if (remaining < slice) slice = static_cast<int>(remaining) + 1;
+    }
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = events;
+    pfd.revents = 0;
+    const int rc = ::poll(&pfd, 1, slice);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    if (rc > 0) return 1;
+  }
+}
+
+/// Reads exactly `len` bytes. Returns kOk, or the failure kind; `first`
+/// selects whether a clean immediate EOF is kEof (frame boundary) or
+/// kError (mid-frame truncation).
+FrameStatus ReadExact(int fd, char* buf, size_t len, double deadline_ms,
+                      const std::atomic<bool>* stop,
+                      std::atomic<int64_t>* bytes_read, bool at_boundary,
+                      std::string* error) {
+  size_t got = 0;
+  while (got < len) {
+    bool stopped = false;
+    const int ready = WaitFd(fd, POLLIN, deadline_ms, stop, &stopped);
+    if (ready < 0) {
+      *error = StrFormat("poll failed: %s", std::strerror(errno));
+      return FrameStatus::kError;
+    }
+    if (ready == 0) {
+      return stopped ? FrameStatus::kStopped : FrameStatus::kTimeout;
+    }
+    const ssize_t n = ::recv(fd, buf + got, len - got, 0);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+        continue;
+      }
+      *error = StrFormat("recv failed: %s", std::strerror(errno));
+      return FrameStatus::kError;
+    }
+    if (n == 0) {
+      if (at_boundary && got == 0) return FrameStatus::kEof;
+      *error = "connection closed mid-frame";
+      return FrameStatus::kError;
+    }
+    got += static_cast<size_t>(n);
+    if (bytes_read != nullptr) {
+      bytes_read->fetch_add(n, std::memory_order_relaxed);
+    }
+  }
+  return FrameStatus::kOk;
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::Internal(StrFormat("fcntl(O_NONBLOCK) failed: %s",
+                                      std::strerror(errno)));
+  }
+  return Status::Ok();
+}
+
+Result<struct sockaddr_in> ResolveV4(const std::string& host, int port) {
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  // Numeric IPv4 only: the engine serves loopback / explicit addresses;
+  // name resolution stays out of the wire layer.
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("not a numeric IPv4 address: " + host);
+  }
+  return addr;
+}
+
+}  // namespace
+
+const char* StatusCodeWireName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid_argument";
+    case StatusCode::kNotFound:
+      return "not_found";
+    case StatusCode::kAlreadyExists:
+      return "already_exists";
+    case StatusCode::kInternal:
+      return "internal";
+    case StatusCode::kResourceExhausted:
+      return "resource_exhausted";
+    case StatusCode::kUnimplemented:
+      return "unimplemented";
+    case StatusCode::kCancelled:
+      return "cancelled";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline_exceeded";
+  }
+  return "internal";
+}
+
+StatusCode StatusCodeFromWireName(std::string_view name) {
+  if (name == "ok") return StatusCode::kOk;
+  if (name == "invalid_argument") return StatusCode::kInvalidArgument;
+  if (name == "not_found") return StatusCode::kNotFound;
+  if (name == "already_exists") return StatusCode::kAlreadyExists;
+  if (name == "resource_exhausted") return StatusCode::kResourceExhausted;
+  if (name == "unimplemented") return StatusCode::kUnimplemented;
+  if (name == "cancelled") return StatusCode::kCancelled;
+  if (name == "deadline_exceeded") return StatusCode::kDeadlineExceeded;
+  return StatusCode::kInternal;
+}
+
+Result<Listener> ListenTcp(const std::string& host, int port, int backlog) {
+  Result<struct sockaddr_in> addr = ResolveV4(host, port);
+  if (!addr.ok()) return addr.status();
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(StrFormat("socket failed: %s",
+                                      std::strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<const struct sockaddr*>(&addr.value()),
+             sizeof(addr.value())) < 0) {
+    const Status s = Status::Internal(StrFormat(
+        "bind %s:%d failed: %s", host.c_str(), port, std::strerror(errno)));
+    CloseFd(fd);
+    return s;
+  }
+  if (::listen(fd, backlog) < 0) {
+    const Status s = Status::Internal(StrFormat("listen failed: %s",
+                                                std::strerror(errno)));
+    CloseFd(fd);
+    return s;
+  }
+  Status nb = SetNonBlocking(fd);
+  if (!nb.ok()) {
+    CloseFd(fd);
+    return nb;
+  }
+
+  struct sockaddr_in bound;
+  socklen_t bound_len = sizeof(bound);
+  Listener listener;
+  listener.fd = fd;
+  listener.port = port;
+  if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&bound),
+                    &bound_len) == 0) {
+    listener.port = ntohs(bound.sin_port);
+  }
+  return listener;
+}
+
+Result<int> ConnectTcp(const std::string& host, int port,
+                       double timeout_ms) {
+  Result<struct sockaddr_in> addr = ResolveV4(host, port);
+  if (!addr.ok()) return addr.status();
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(StrFormat("socket failed: %s",
+                                      std::strerror(errno)));
+  }
+  Status nb = SetNonBlocking(fd);
+  if (!nb.ok()) {
+    CloseFd(fd);
+    return nb;
+  }
+  const int rc =
+      ::connect(fd, reinterpret_cast<const struct sockaddr*>(&addr.value()),
+                sizeof(addr.value()));
+  if (rc < 0 && errno != EINPROGRESS) {
+    const Status s = Status::Internal(StrFormat(
+        "connect %s:%d failed: %s", host.c_str(), port,
+        std::strerror(errno)));
+    CloseFd(fd);
+    return s;
+  }
+  if (rc < 0) {
+    // Await the asynchronous connect result.
+    const double deadline =
+        timeout_ms > 0 ? NowMsLocal() + timeout_ms : 0.0;
+    bool stopped = false;
+    const int ready = WaitFd(fd, POLLOUT, deadline, nullptr, &stopped);
+    int soerr = 0;
+    socklen_t len = sizeof(soerr);
+    if (ready <= 0 ||
+        ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &len) < 0 ||
+        soerr != 0) {
+      const Status s =
+          ready == 0
+              ? Status::DeadlineExceeded(StrFormat(
+                    "connect %s:%d timed out", host.c_str(), port))
+              : Status::Internal(StrFormat("connect %s:%d failed: %s",
+                                           host.c_str(), port,
+                                           std::strerror(soerr != 0 ? soerr
+                                                                    : errno)));
+      CloseFd(fd);
+      return s;
+    }
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+void ShutdownFd(int fd) {
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+}
+
+void CloseFd(int fd) {
+  if (fd < 0) return;
+  while (::close(fd) < 0 && errno == EINTR) {
+  }
+}
+
+FrameResult ReadFrame(int fd, uint32_t max_frame_bytes, double timeout_ms,
+                      const std::atomic<bool>* stop,
+                      std::atomic<int64_t>* bytes_read) {
+  FrameResult result;
+  const double deadline =
+      timeout_ms > 0 ? NowMsLocal() + timeout_ms : 0.0;
+
+  unsigned char header[4];
+  result.status =
+      ReadExact(fd, reinterpret_cast<char*>(header), sizeof(header),
+                deadline, stop, bytes_read, /*at_boundary=*/true,
+                &result.error);
+  if (result.status != FrameStatus::kOk) return result;
+
+  const uint32_t len = (static_cast<uint32_t>(header[0]) << 24) |
+                       (static_cast<uint32_t>(header[1]) << 16) |
+                       (static_cast<uint32_t>(header[2]) << 8) |
+                       static_cast<uint32_t>(header[3]);
+  const uint32_t cap =
+      max_frame_bytes < kAbsoluteMaxFrameBytes ? max_frame_bytes
+                                               : kAbsoluteMaxFrameBytes;
+  if (len > cap) {
+    result.status = FrameStatus::kTooLarge;
+    result.error = StrFormat("frame of %u bytes exceeds the %u-byte cap",
+                             len, cap);
+    return result;
+  }
+  result.payload.resize(len);
+  if (len > 0) {
+    result.status =
+        ReadExact(fd, result.payload.data(), len, deadline, stop,
+                  bytes_read, /*at_boundary=*/false, &result.error);
+    if (result.status != FrameStatus::kOk) {
+      result.payload.clear();
+      return result;
+    }
+  }
+  result.status = FrameStatus::kOk;
+  return result;
+}
+
+Status WriteFrame(int fd, std::string_view payload, double timeout_ms,
+                  const std::atomic<bool>* stop,
+                  std::atomic<int64_t>* bytes_written) {
+  if (payload.size() > kAbsoluteMaxFrameBytes) {
+    return Status::InvalidArgument("frame payload exceeds 64 MiB");
+  }
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  std::string buf;
+  buf.reserve(payload.size() + 4);
+  buf.push_back(static_cast<char>((len >> 24) & 0xFF));
+  buf.push_back(static_cast<char>((len >> 16) & 0xFF));
+  buf.push_back(static_cast<char>((len >> 8) & 0xFF));
+  buf.push_back(static_cast<char>(len & 0xFF));
+  buf.append(payload);
+
+  const double deadline =
+      timeout_ms > 0 ? NowMsLocal() + timeout_ms : 0.0;
+  size_t sent = 0;
+  while (sent < buf.size()) {
+    bool stopped = false;
+    const int ready = WaitFd(fd, POLLOUT, deadline, stop, &stopped);
+    if (ready < 0) {
+      return Status::Internal(StrFormat("poll failed: %s",
+                                        std::strerror(errno)));
+    }
+    if (ready == 0) {
+      return stopped
+                 ? Status::Cancelled("write aborted: server stopping")
+                 : Status::DeadlineExceeded("write timed out");
+    }
+#ifdef MSG_NOSIGNAL
+    const ssize_t n =
+        ::send(fd, buf.data() + sent, buf.size() - sent, MSG_NOSIGNAL);
+#else
+    const ssize_t n = ::send(fd, buf.data() + sent, buf.size() - sent, 0);
+#endif
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+        continue;
+      }
+      return Status::Internal(StrFormat("send failed: %s",
+                                        std::strerror(errno)));
+    }
+    sent += static_cast<size_t>(n);
+    if (bytes_written != nullptr) {
+      bytes_written->fetch_add(n, std::memory_order_relaxed);
+    }
+  }
+  return Status::Ok();
+}
+
+void AppendValueJson(const Value& value, JsonWriter* w) {
+  switch (value.type()) {
+    case ValueType::kNull:
+      w->Null();
+      return;
+    case ValueType::kInt:
+      w->Int(value.AsInt());
+      return;
+    case ValueType::kDouble: {
+      const double d = value.AsDouble();
+      if (!std::isfinite(d)) {
+        w->Null();
+      } else {
+        // Round-trip precision: wire rows must compare equal to the
+        // in-process result (JsonWriter::Double truncates to %.6g).
+        w->Raw(StrFormat("%.17g", d));
+      }
+      return;
+    }
+    case ValueType::kString:
+      w->String(value.AsString());
+      return;
+  }
+}
+
+void AppendRowJson(const Row& row, JsonWriter* w) {
+  w->BeginArray();
+  for (const Value& v : row) AppendValueJson(v, w);
+  w->EndArray();
+}
+
+Result<Value> ValueFromJson(const JsonValue& json) {
+  switch (json.kind()) {
+    case JsonValue::Kind::kNull:
+      return Value::Null();
+    case JsonValue::Kind::kInt:
+      return Value::Int(json.AsInt());
+    case JsonValue::Kind::kDouble:
+      return Value::Double(json.AsDouble());
+    case JsonValue::Kind::kString:
+      return Value::String(json.AsString());
+    default:
+      return Status::InvalidArgument(
+          "unsupported JSON kind for a SQL value (expected null, number, "
+          "or string)");
+  }
+}
+
+Result<Row> RowFromJson(const JsonValue& json) {
+  if (json.kind() != JsonValue::Kind::kArray) {
+    return Status::InvalidArgument("row must be a JSON array");
+  }
+  Row row;
+  row.reserve(json.items().size());
+  for (const JsonValue& item : json.items()) {
+    Result<Value> v = ValueFromJson(item);
+    if (!v.ok()) return v.status();
+    row.push_back(std::move(v).TakeValue());
+  }
+  return row;
+}
+
+}  // namespace popdb::net

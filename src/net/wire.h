@@ -1,0 +1,129 @@
+#ifndef POPDB_NET_WIRE_H_
+#define POPDB_NET_WIRE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/json.h"
+#include "common/status.h"
+#include "common/value.h"
+
+namespace popdb::net {
+
+/// popdb wire protocol, version 1.
+///
+/// Transport: TCP. Every message in either direction is one *frame*:
+///
+///   +----------------+---------------------------+
+///   | length (4B BE) | payload: one JSON object  |
+///   +----------------+---------------------------+
+///
+/// `length` is an unsigned 32-bit big-endian byte count of the payload
+/// (the prefix itself excluded). Payloads are UTF-8 JSON objects with a
+/// required `"type"` member. Requests (client -> server):
+///
+///   hello     {type, protocol, client?}         -> hello_ok {session_id,..}
+///   query     {type, sql, params?, deadline_ms?, batch_rows?, async?,
+///              priority?}                       -> row_batch* + query_done,
+///                                                  or query_accepted{query_id}
+///                                                  when async
+///   wait      {type, query_id}                  -> row_batch* + query_done
+///   cancel    {type, query_id}                  -> cancel_ok {found}
+///   trace     {type, query_id}                  -> trace_ok {trace}
+///   metrics   {type}                            -> metrics_ok {text}
+///   goodbye   {type}                            -> goodbye_ok (conn closes)
+///   shutdown  {type}                            -> shutdown_ok (server stops;
+///                                                  gated by server config)
+///
+/// Any request can instead produce {type:"error", code, message}. Protocol
+/// violations (oversized frame, malformed JSON, missing hello) produce an
+/// error frame; framing-level violations additionally close the
+/// connection, since the byte stream can no longer be trusted.
+inline constexpr int kProtocolVersion = 1;
+
+/// Hard ceiling a server will ever accept for one frame, independent of
+/// configuration (64 MiB).
+inline constexpr uint32_t kAbsoluteMaxFrameBytes = 64u << 20;
+
+/// Wire name of a status code ("ok", "invalid_argument", ...).
+const char* StatusCodeWireName(StatusCode code);
+
+/// Inverse of StatusCodeWireName; unknown names map to kInternal.
+StatusCode StatusCodeFromWireName(std::string_view name);
+
+// --------------------------------------------------------------- sockets
+
+/// A bound, listening TCP socket.
+struct Listener {
+  int fd = -1;
+  int port = 0;  ///< Actual port (resolves port 0 = ephemeral).
+};
+
+/// Opens a listener on `host:port` (port 0 picks an ephemeral port).
+Result<Listener> ListenTcp(const std::string& host, int port, int backlog);
+
+/// Blocking connect with a timeout; returns the connected fd.
+Result<int> ConnectTcp(const std::string& host, int port, double timeout_ms);
+
+/// Half-closes both directions (wakes a peer or a thread blocked in
+/// poll/recv on this fd) without releasing the descriptor.
+void ShutdownFd(int fd);
+
+/// Closes the descriptor (EINTR-safe).
+void CloseFd(int fd);
+
+// ---------------------------------------------------------------- frames
+
+enum class FrameStatus {
+  kOk = 0,
+  kEof,       ///< Peer closed cleanly between frames.
+  kTimeout,   ///< No (complete) frame within the timeout.
+  kTooLarge,  ///< Length prefix exceeds the cap; payload not read.
+  kStopped,   ///< The stop flag tripped while waiting.
+  kError,     ///< Socket error or mid-frame EOF (stream corrupt).
+};
+
+struct FrameResult {
+  FrameStatus status = FrameStatus::kError;
+  std::string payload;  ///< Set when status == kOk.
+  std::string error;    ///< Human-readable detail for kError/kTooLarge.
+
+  bool ok() const { return status == FrameStatus::kOk; }
+};
+
+/// Reads one length-prefixed frame from `fd`. `timeout_ms <= 0` waits
+/// forever; `stop` (optional) aborts the wait when set (server shutdown).
+/// `bytes_read`, when non-null, is incremented by every byte consumed.
+FrameResult ReadFrame(int fd, uint32_t max_frame_bytes, double timeout_ms,
+                      const std::atomic<bool>* stop = nullptr,
+                      std::atomic<int64_t>* bytes_read = nullptr);
+
+/// Writes one frame (length prefix + payload). `timeout_ms <= 0` waits
+/// forever. Partial writes are resumed; on timeout or error, the stream
+/// is corrupt and the connection must be closed.
+Status WriteFrame(int fd, std::string_view payload, double timeout_ms,
+                  const std::atomic<bool>* stop = nullptr,
+                  std::atomic<int64_t>* bytes_written = nullptr);
+
+// ------------------------------------------------------------ row coding
+
+/// Appends `value` as a JSON value. Doubles are rendered with round-trip
+/// precision (%.17g) so rows received over the wire compare equal to the
+/// in-process result; non-finite doubles degrade to null.
+void AppendValueJson(const Value& value, JsonWriter* w);
+
+/// Appends `row` as a JSON array of values.
+void AppendRowJson(const Row& row, JsonWriter* w);
+
+/// Decodes a JSON value into an engine Value (null/int/double/string;
+/// booleans and nested containers are rejected).
+Result<Value> ValueFromJson(const JsonValue& json);
+
+/// Decodes a JSON array into a Row.
+Result<Row> RowFromJson(const JsonValue& json);
+
+}  // namespace popdb::net
+
+#endif  // POPDB_NET_WIRE_H_

@@ -253,6 +253,13 @@ PlanCache::LookupResult PlanCache::Lookup(const std::string& signature,
       }
       if (result.hit()) {
         result.plan = entry.plan;
+        if (result.outcome == PlanCacheOutcome::kHit &&
+            entry.placed_plan != nullptr) {
+          // Identical digest: the placement pass would reproduce this
+          // placed plan bit for bit, so the hit skips placement too.
+          result.placed_plan = entry.placed_plan;
+          result.placed_checks = entry.placed_checks;
+        }
         result.candidates = entry.candidates;
         result.est_cost = entry.est_cost;
         result.est_card = entry.est_card;
@@ -288,6 +295,7 @@ PlanCache::LookupResult PlanCache::Lookup(const std::string& signature,
         break;
     }
     if (evicted_invalid) ++stats_.evictions_invalid;
+    if (result.placed_plan != nullptr) ++stats_.placement_hits;
   }
   if (result.hit()) {
     TRACE_INSTANT_ARG("plan_cache_hit", "opt", "age_ms",
@@ -344,6 +352,43 @@ void PlanCache::Install(const std::string& signature,
   }
   if (evictions > 0) {
     TRACE_INSTANT_ARG("plan_cache_evict", "opt", "count", evictions);
+  }
+}
+
+void PlanCache::InstallPlacement(const std::string& signature,
+                                 std::shared_ptr<const PlanNode> placed_plan,
+                                 int64_t external_epoch,
+                                 int64_t catalog_version,
+                                 uint64_t feedback_digest,
+                                 PlacedCheckCounts checks) {
+  if (placed_plan == nullptr || config_.max_entries <= 0) return;
+  if (ContainsMatViewScan(*placed_plan)) return;
+  // The placed plan carries extra CHECK/TEMP nodes; apply the same size
+  // cap as skeletons (a placement roughly doubling the node count signals
+  // a degenerate plan not worth caching).
+  if (CountPlanNodes(*placed_plan) > config_.max_plan_nodes) return;
+
+  bool installed = false;
+  {
+    Shard& shard = ShardFor(signature);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.entries.find(signature);
+    if (it == shard.entries.end()) return;
+    Entry& entry = it->second;
+    // The entry may have been replaced since the caller's lookup; attach
+    // the placement only when it belongs to exactly this entry.
+    if (entry.external_epoch != external_epoch ||
+        entry.catalog_version != catalog_version ||
+        entry.feedback_digest != feedback_digest) {
+      return;
+    }
+    entry.placed_plan = std::move(placed_plan);
+    entry.placed_checks = checks;
+    installed = true;
+  }
+  if (installed) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.placement_installs;
   }
 }
 

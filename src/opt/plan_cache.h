@@ -61,6 +61,17 @@ enum class PlanCacheOutcome {
 
 const char* PlanCacheOutcomeName(PlanCacheOutcome outcome);
 
+/// Checkpoint counts of a cached placement, mirrored from the placement
+/// pass as plain ints (the opt layer cannot see core's PlacementStats).
+struct PlacedCheckCounts {
+  int lc = 0;
+  int lcem = 0;
+  int ecb = 0;
+  int ecwc = 0;
+  int ecdc = 0;
+  int work_bound = 0;
+};
+
 struct PlanCacheConfig {
   /// Total entry cap across shards (LRU per shard). <= 0 disables installs.
   int64_t max_entries = 256;
@@ -104,6 +115,12 @@ class PlanCache {
     PlanCacheOutcome outcome = PlanCacheOutcome::kMissCold;
     /// Set on (validity-)hits; clone before mutating.
     std::shared_ptr<const PlanNode> plan;
+    /// Checkpoint-placed variant of `plan`, set only on exact hits (the
+    /// feedback digest is identical, so the placement pass would reproduce
+    /// it verbatim) when InstallPlacement recorded one. Validity hits
+    /// re-place: moved feedback can change check ranges.
+    std::shared_ptr<const PlanNode> placed_plan;
+    PlacedCheckCounts placed_checks;
     int64_t candidates = 0;  ///< DP candidates of the installing run.
     double est_cost = 0.0;
     double est_card = 0.0;
@@ -125,6 +142,8 @@ class PlanCache {
     int64_t misses_epoch = 0;
     int64_t misses_validity = 0;
     int64_t installs = 0;
+    int64_t placement_installs = 0;  ///< Placed plans attached to entries.
+    int64_t placement_hits = 0;      ///< Exact hits served with placement.
     int64_t evictions_lru = 0;
     int64_t evictions_invalid = 0;
 
@@ -154,6 +173,17 @@ class PlanCache {
                int64_t catalog_version, uint64_t feedback_digest,
                int64_t candidates, double est_cost, double est_card);
 
+  /// Attaches the checkpoint-placed variant of an installed skeleton.
+  /// No-op unless an entry for `signature` exists and its gating values
+  /// (epoch, catalog version, feedback digest) match `placed_plan`'s —
+  /// placement is deterministic given the skeleton and the placement
+  /// config (part of the signature), so an exact future hit may reuse the
+  /// placed plan and skip the placement pass too.
+  void InstallPlacement(const std::string& signature,
+                        std::shared_ptr<const PlanNode> placed_plan,
+                        int64_t external_epoch, int64_t catalog_version,
+                        uint64_t feedback_digest, PlacedCheckCounts checks);
+
   /// Drops every entry (DDL-style invalidation).
   void InvalidateAll();
 
@@ -164,6 +194,9 @@ class PlanCache {
  private:
   struct Entry {
     std::shared_ptr<const PlanNode> plan;
+    /// Checkpoint-placed variant (null until InstallPlacement).
+    std::shared_ptr<const PlanNode> placed_plan;
+    PlacedCheckCounts placed_checks;
     uint64_t feedback_digest = 0;
     int64_t external_epoch = 0;
     int64_t catalog_version = 0;

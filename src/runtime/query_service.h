@@ -206,6 +206,10 @@ class QueryService {
 
   const ServiceConfig& config() const { return config_; }
 
+  /// The catalog queries execute against (front ends bind SQL text against
+  /// it before submitting).
+  const Catalog& catalog() const { return catalog_; }
+
   /// The shared plan cache, or null when plan_cache_entries <= 0 (tests:
   /// inspect hit/miss counters, force invalidations).
   PlanCache* plan_cache() { return plan_cache_.get(); }

@@ -1,6 +1,8 @@
 #include "sql/binder.h"
 
 #include <algorithm>
+#include <cctype>
+#include <cstdlib>
 
 #include "common/string_util.h"
 #include "opt/optimizer.h"
@@ -320,6 +322,34 @@ Result<BoundStatement> ParseSql(const Catalog& catalog,
   Result<AstSelect> ast = Parse(sql);
   if (!ast.ok()) return ast.status();
   return Bind(catalog, ast.value(), std::move(params));
+}
+
+std::string AnnotateError(const std::string& sql, const Status& status) {
+  const std::string& message = status.message();
+  const std::string needle = "position ";
+  const size_t at = message.rfind(needle);
+  if (at == std::string::npos) return message;
+  size_t digits = at + needle.size();
+  long offset = -1;
+  if (digits < message.size() && std::isdigit(message[digits]) != 0) {
+    offset = std::strtol(message.c_str() + digits, nullptr, 10);
+  }
+  if (offset < 0 || static_cast<size_t>(offset) > sql.size()) {
+    return message;
+  }
+  // Single-line caret rendering; newlines in the statement are flattened
+  // so the caret column stays aligned.
+  std::string flat = sql;
+  for (char& c : flat) {
+    if (c == '\n' || c == '\r' || c == '\t') c = ' ';
+  }
+  std::string out = message;
+  out += "\n  ";
+  out += flat;
+  out += "\n  ";
+  out.append(static_cast<size_t>(offset), ' ');
+  out += "^";
+  return out;
 }
 
 }  // namespace popdb::sql

@@ -37,6 +37,13 @@ Result<BoundStatement> ParseSql(const Catalog& catalog,
                                 const std::string& sql,
                                 std::vector<Value> params = {});
 
+/// Renders a lex/parse/bind failure for presentation (shell output, wire
+/// error frames): the status message plus, when the message carries a
+/// "position N" byte offset into `sql`, the statement with a caret line
+/// marking the offending spot. Falls back to the plain message when no
+/// position is present.
+std::string AnnotateError(const std::string& sql, const Status& status);
+
 }  // namespace popdb::sql
 
 #endif  // POPDB_SQL_BINDER_H_

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/json.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/string_util.h"
@@ -254,6 +255,99 @@ TEST(TablePrinterTest, CsvOutput) {
   TablePrinter tp({"a", "b"});
   tp.AddRow({"1", "2"});
   EXPECT_EQ("a,b\n1,2\n", tp.ToCsv());
+}
+
+// ------------------------------------------------------------ JsonParse.
+
+TEST(JsonParseTest, ParsesScalarsWithIntDoubleDistinction) {
+  Result<JsonValue> v = JsonParse(
+      "{\"i\":42,\"d\":1.5,\"e\":2e3,\"neg\":-7,\"b\":true,\"n\":null,"
+      "\"s\":\"hi\"}");
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_EQ(JsonValue::Kind::kInt, v.value().Find("i")->kind());
+  EXPECT_EQ(42, v.value().Find("i")->AsInt());
+  EXPECT_EQ(JsonValue::Kind::kDouble, v.value().Find("d")->kind());
+  EXPECT_DOUBLE_EQ(1.5, v.value().Find("d")->AsDouble());
+  EXPECT_EQ(JsonValue::Kind::kDouble, v.value().Find("e")->kind());
+  EXPECT_DOUBLE_EQ(2000.0, v.value().Find("e")->AsDouble());
+  EXPECT_EQ(-7, v.value().Find("neg")->AsInt());
+  EXPECT_TRUE(v.value().Find("b")->AsBool());
+  EXPECT_TRUE(v.value().Find("n")->is_null());
+  EXPECT_EQ("hi", v.value().Find("s")->AsString());
+}
+
+TEST(JsonParseTest, RoundTripsWriterOutput) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("rows").BeginArray();
+  w.BeginArray().Int(1).String("a \"quoted\" str\n").Null().EndArray();
+  w.EndArray();
+  w.Key("nested").BeginObject().Key("x").Double(0.25).EndObject();
+  w.EndObject();
+  Result<JsonValue> v = JsonParse(w.str());
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  const JsonValue& row = v.value().Find("rows")->items()[0];
+  EXPECT_EQ(1, row.items()[0].AsInt());
+  EXPECT_EQ("a \"quoted\" str\n", row.items()[1].AsString());
+  EXPECT_TRUE(row.items()[2].is_null());
+  EXPECT_DOUBLE_EQ(0.25,
+                   v.value().Find("nested")->Find("x")->AsDouble());
+  // Serializer round trip: parse(serialize(v)) is semantically identical.
+  Result<JsonValue> again = JsonParse(v.value().ToJsonString());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(v.value().ToJsonString(), again.value().ToJsonString());
+}
+
+TEST(JsonParseTest, DecodesEscapesIncludingSurrogatePairs) {
+  Result<JsonValue> v =
+      JsonParse("\"\\u0041\\t\\\\\\\"\\u00e9\\ud83d\\ude00\"");
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_EQ("A\t\\\"\xc3\xa9\xf0\x9f\x98\x80", v.value().AsString());
+}
+
+TEST(JsonParseTest, RejectsMalformedDocuments) {
+  EXPECT_FALSE(JsonParse("").ok());
+  EXPECT_FALSE(JsonParse("{").ok());
+  EXPECT_FALSE(JsonParse("{\"a\":1,}").ok());     // Trailing comma.
+  EXPECT_FALSE(JsonParse("{\"a\" 1}").ok());      // Missing colon.
+  EXPECT_FALSE(JsonParse("[1 2]").ok());          // Missing comma.
+  EXPECT_FALSE(JsonParse("{\"a\":1} extra").ok());  // Trailing content.
+  EXPECT_FALSE(JsonParse("\"unterminated").ok());
+  EXPECT_FALSE(JsonParse("\"bad \x01 ctrl\"").ok());
+  EXPECT_FALSE(JsonParse("tru").ok());
+  EXPECT_FALSE(JsonParse("01").ok());             // Leading zero.
+  EXPECT_FALSE(JsonParse("\"\\ud83d\"").ok());    // Lone surrogate.
+}
+
+TEST(JsonParseTest, ErrorsCarryByteOffset) {
+  Result<JsonValue> v = JsonParse("{\"a\": ??}");
+  ASSERT_FALSE(v.ok());
+  EXPECT_NE(std::string::npos, v.status().message().find("at byte 6"));
+}
+
+TEST(JsonParseTest, EnforcesDepthAndNodeLimits) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += '[';
+  for (int i = 0; i < 100; ++i) deep += ']';
+  JsonParseLimits limits;
+  limits.max_depth = 16;
+  EXPECT_FALSE(JsonParse(deep, limits).ok());
+
+  JsonParseLimits tiny;
+  tiny.max_nodes = 4;
+  EXPECT_FALSE(JsonParse("[1,2,3,4,5,6,7]", tiny).ok());
+  EXPECT_TRUE(JsonParse("[1,2]", tiny).ok());
+}
+
+TEST(JsonParseTest, TypedGettersFallBackOnMismatch) {
+  Result<JsonValue> v = JsonParse("{\"n\":3,\"s\":\"x\",\"d\":2.5}");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(3, v.value().GetInt("n", -1));
+  EXPECT_EQ(-1, v.value().GetInt("s", -1));      // Kind mismatch.
+  EXPECT_EQ(-1, v.value().GetInt("missing", -1));
+  EXPECT_EQ("x", v.value().GetString("s", ""));
+  EXPECT_DOUBLE_EQ(3.0, v.value().GetNumber("n", 0.0));  // Int coerces.
+  EXPECT_DOUBLE_EQ(2.5, v.value().GetNumber("d", 0.0));
 }
 
 }  // namespace

@@ -495,6 +495,81 @@ TEST_F(PlanCacheExecutorTest, DifferentOptimizerConfigsDoNotShareEntries) {
   EXPECT_EQ(2, cache.size());
 }
 
+TEST_F(PlanCacheExecutorTest, ExactHitReusesCheckpointPlacement) {
+  // Place on every eligible edge (the toy plan's ranges are not narrowed
+  // enough for the default placement restriction to fire).
+  PopConfig pop;
+  pop.require_narrowed_range = false;
+  ProgressiveExecutor exec(catalog_, OptimizerConfig{}, pop);
+  QueryFeedbackStore store;
+  PlanCache cache;
+  exec.set_cross_query_store(&store);
+  exec.set_plan_cache(&cache);
+
+  // Observe the attempt-0 plan handed to the executor builder: on a
+  // placed hit it must already carry the cached CHECK operators.
+  std::string attempt0_plan;
+  exec.set_plan_hook([&](const PlanNode* root, int attempt) {
+    if (attempt == 0) attempt0_plan = root->ToString();
+  });
+
+  // dept -> emp with a selective dept predicate: its NLJN outer and
+  // materialization points give the placement pass real work.
+  const auto query = [] {
+    QuerySpec q("placed");
+    const int d = q.AddTable("dept");
+    const int e = q.AddTable("emp");
+    q.AddJoin({d, 0}, {e, 1});
+    q.AddPred({d, 0}, PredKind::kEq, Value::Int(2));
+    q.AddGroupBy({e, 1});
+    q.AddAgg(AggFunc::kCount);
+    return q;
+  };
+
+  std::vector<std::string> rows_miss, rows_hit;
+  ExecutionStats miss_stats, hit_stats;
+
+  // Warm up to the steady state (cold, then stale while feedback settles).
+  {
+    ExecutionStats cold_stats;
+    ASSERT_TRUE(exec.Execute(query(), &cold_stats).ok());
+    ASSERT_EQ(PlanCacheOutcome::kMissCold, cold_stats.plan_cache);
+  }
+  {
+    Result<std::vector<Row>> rows = exec.Execute(query(), &miss_stats);
+    ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+    rows_miss = Canonicalize(rows.value());
+  }
+  ASSERT_EQ(PlanCacheOutcome::kMissStale, miss_stats.plan_cache);
+  const std::string plan_after_miss_placement = attempt0_plan;
+  // Both miss runs placed checkpoints at attempt 0 and attached the
+  // placed plan to their entry.
+  EXPECT_EQ(2, cache.stats().placement_installs);
+  EXPECT_EQ(0, cache.stats().placement_hits);
+
+  {
+    Result<std::vector<Row>> rows = exec.Execute(query(), &hit_stats);
+    ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+    rows_hit = Canonicalize(rows.value());
+  }
+  ASSERT_EQ(PlanCacheOutcome::kHit, hit_stats.plan_cache);
+  EXPECT_EQ(1, cache.stats().placement_hits);
+  // No re-install on the hit: the placement pass was skipped entirely.
+  EXPECT_EQ(2, cache.stats().placement_installs);
+
+  // The served placed plan is exactly what the placement pass produced on
+  // the installing run: same plan text (checkpoints included), same
+  // per-flavor check counts, same rows.
+  EXPECT_EQ(plan_after_miss_placement, attempt0_plan);
+  EXPECT_GT(hit_stats.attempts[0].checks.total(), 0);
+  EXPECT_EQ(miss_stats.attempts[0].checks.total(),
+            hit_stats.attempts[0].checks.total());
+  EXPECT_EQ(miss_stats.attempts[0].checks.lc, hit_stats.attempts[0].checks.lc);
+  EXPECT_EQ(miss_stats.attempts[0].checks.lcem,
+            hit_stats.attempts[0].checks.lcem);
+  EXPECT_EQ(rows_miss, rows_hit);
+}
+
 TEST_F(PlanCacheExecutorTest, ConcurrentHammerKeepsCountersConsistent) {
   QueryFeedbackStore store;
   PlanCache cache;
