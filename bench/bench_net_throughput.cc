@@ -134,7 +134,9 @@ void Run() {
   net::NetServerConfig net_config;
   net_config.host = "127.0.0.1";
   net_config.port = 0;
-  net_config.num_workers = 16;  // One connection per worker; covers the sweep.
+  // One connection per worker: covers the 16-connection sweep plus the
+  // parked idle sessions of the memory measurement below.
+  net_config.num_workers = 48;
   net::NetServer server(&service, /*traces=*/nullptr, net_config);
   const Status started = server.Start();
   POPDB_DCHECK(started.ok());
@@ -198,6 +200,44 @@ void Run() {
         .EndObject();
   }
   json.EndArray();
+
+  // Per-idle-session server memory: park kIdleSessions connected clients
+  // that never issue a query and attribute the RSS delta to them. The
+  // server is in this process, so /proc/self reflects its session state
+  // (plus allocator slack — treat small numbers as noise).
+  constexpr int kIdleSessions = 32;
+  const int64_t rss_before = bench::SelfRssBytes();
+  {
+    std::vector<net::Client> idle;
+    idle.reserve(kIdleSessions);
+    for (int i = 0; i < kIdleSessions; ++i) {
+      Result<net::Client> c = net::Client::Connect("127.0.0.1",
+                                                   server.port());
+      POPDB_DCHECK(c.ok());
+      idle.push_back(std::move(c).TakeValue());
+    }
+    const int64_t rss_with = bench::SelfRssBytes();
+    const double per_session_kib =
+        static_cast<double>(rss_with - rss_before) / kIdleSessions / 1024.0;
+    std::printf(
+        "idle-session memory: %d parked sessions cost %.1f KiB each "
+        "(rss %lld -> %lld bytes)\n",
+        kIdleSessions, per_session_kib,
+        static_cast<long long>(rss_before),
+        static_cast<long long>(rss_with));
+    json.Key("idle_session_memory")
+        .BeginObject()
+        .Key("sessions")
+        .Int(kIdleSessions)
+        .Key("rss_before_bytes")
+        .Int(rss_before)
+        .Key("rss_with_bytes")
+        .Int(rss_with)
+        .Key("per_session_kib")
+        .Double(per_session_kib)
+        .EndObject();
+    for (net::Client& c : idle) c.Close();
+  }
   json.EndObject();
 
   std::printf("%s\n", tp.ToString().c_str());

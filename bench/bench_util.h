@@ -34,6 +34,20 @@ inline std::string JoinShape(const PlanNode& node) {
   }
 }
 
+/// Resident set size of this process in bytes (Linux /proc/self/statm;
+/// 0 elsewhere or on read failure). Used to attribute server memory to
+/// idle sessions in bench_net_throughput.
+inline int64_t SelfRssBytes() {
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  long long total = 0;
+  long long resident = 0;
+  const int fields = std::fscanf(f, "%lld %lld", &total, &resident);
+  std::fclose(f);
+  if (fields != 2) return 0;
+  return static_cast<int64_t>(resident) * 4096;
+}
+
 /// Reads a scale override from the environment (POPDB_TPCH_SCALE /
 /// POPDB_DMV_SCALE) so users can run the experiments at larger sizes
 /// without recompiling.

@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # CI entry point: release build + full test suite + a loopback network
-# smoke (popdb_server driven by the scripted popdb_client session), then a
+# smoke (popdb_server driven by the scripted popdb_client session), a
+# distributed smoke (2 shard processes + a scatter-gather coordinator,
+# including a kill -9 of one shard mid-query), then a
 # ThreadSanitizer build that hammers the concurrent pieces (runtime query
 # service, network front end, morsel parallelism, shared feedback stores,
 # parallel executors, metrics registry, span tracer), then a UBSan build
@@ -44,6 +46,70 @@ done
 # exit 0 on its own (clean shutdown, no leaked threads keeping it alive).
 wait "$SERVER_PID"
 
+echo "=== distributed smoke: 2 shards + coordinator, shard kill mid-query ==="
+# Two shard processes (stalled row batches so a mid-query kill reliably
+# lands mid-stream) and a coordinator scatter-gathering across them.
+./build/examples/popdb_server toy --quiet \
+    --shard-index 0 --shard-count 2 --subplan-stall-ms 20 \
+    --port-file "$SMOKE_DIR/shard0.port" &
+SHARD0_PID=$!
+./build/examples/popdb_server toy --quiet \
+    --shard-index 1 --shard-count 2 --subplan-stall-ms 20 \
+    --port-file "$SMOKE_DIR/shard1.port" &
+SHARD1_PID=$!
+for _ in $(seq 1 100); do
+  [[ -s "$SMOKE_DIR/shard0.port" && -s "$SMOKE_DIR/shard1.port" ]] && break
+  sleep 0.1
+done
+[[ -s "$SMOKE_DIR/shard0.port" && -s "$SMOKE_DIR/shard1.port" ]] \
+    || { echo "shards never wrote their port files"; exit 1; }
+# Small row batches + the per-batch stall make full-table scans take
+# seconds, so the kill below reliably lands mid-stream.
+./build/examples/popdb_server toy --quiet --coordinator \
+    --shards "127.0.0.1:$(cat "$SMOKE_DIR/shard0.port"),127.0.0.1:$(cat "$SMOKE_DIR/shard1.port")" \
+    --dist-batch-rows 32 --port-file "$SMOKE_DIR/coord.port" &
+COORD_PID=$!
+for _ in $(seq 1 100); do
+  [[ -s "$SMOKE_DIR/coord.port" ]] && break
+  sleep 0.1
+done
+[[ -s "$SMOKE_DIR/coord.port" ]] || { echo "coordinator never wrote its port file"; exit 1; }
+COORD_PORT="$(cat "$SMOKE_DIR/coord.port")"
+
+# Query mix: sharded aggregation, co-partitioned join with the correlated
+# predicate trap (drives a coordinator-level re-optimization), and a
+# non-shardable query that falls back to local execution.
+./build/examples/popdb_client --port "$COORD_PORT" \
+    "SELECT o_class, COUNT(*) FROM orders GROUP BY o_class ORDER BY 1"
+./build/examples/popdb_client --port "$COORD_PORT" \
+    "SELECT o_class, SUM(i_qty), AVG(i_qty) FROM orders, items WHERE o_id = i_order AND o_class = 7 AND o_subclass = 77 GROUP BY o_class"
+./build/examples/popdb_client --port "$COORD_PORT" \
+    "SELECT COUNT(*) FROM big_a, big_b WHERE a_k = b_k"
+
+# Kill shard 1 mid-query: the stalled scan takes seconds, the kill -9
+# lands mid-stream, and the client must get a clean error — not a hang.
+./build/examples/popdb_client --port "$COORD_PORT" \
+    "SELECT o_id, o_subclass FROM orders" > "$SMOKE_DIR/killed.out" 2>&1 &
+KILLED_CLIENT_PID=$!
+sleep 0.5
+kill -9 "$SHARD1_PID"
+KILLED_RC=0
+wait "$KILLED_CLIENT_PID" || KILLED_RC=$?
+[[ "$KILLED_RC" != "0" ]] \
+    || { echo "query against a killed shard unexpectedly succeeded"; exit 1; }
+grep -qi "unavailable\|shard" "$SMOKE_DIR/killed.out" \
+    || { echo "shard-kill error not surfaced:"; cat "$SMOKE_DIR/killed.out"; exit 1; }
+echo "shard kill surfaced cleanly: $(head -1 "$SMOKE_DIR/killed.out")"
+
+# The coordinator survives the shard death: local-fallback queries still
+# answer on the same server.
+./build/examples/popdb_client --port "$COORD_PORT" \
+    "SELECT COUNT(*) FROM big_a WHERE a_v < 100"
+
+kill "$COORD_PID" "$SHARD0_PID"
+wait "$COORD_PID" "$SHARD0_PID" 2>/dev/null || true
+wait "$SHARD1_PID" 2>/dev/null || true
+
 if [[ "$SKIP_TSAN" == "1" ]]; then
   echo "=== TSan stage skipped (--skip-tsan) ==="
 else
@@ -53,7 +119,8 @@ else
   cmake --build build-tsan -j \
         --target runtime_test concurrency_test observability_test \
         morsel_test parallel_equivalence_test plan_cache_test \
-        plan_cache_equivalence_test parallel_stress_test net_test
+        plan_cache_equivalence_test parallel_stress_test net_test \
+        dist_test
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/runtime_test
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/concurrency_test
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/observability_test
@@ -65,6 +132,7 @@ else
       ./build-tsan/tests/plan_cache_equivalence_test
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/parallel_stress_test
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/net_test
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/dist_test
 fi
 
 if [[ "$SKIP_UBSAN" == "1" ]]; then
@@ -76,7 +144,7 @@ else
   cmake --build build-ubsan -j \
         --target runtime_test observability_test operator_test pop_test \
         morsel_test parallel_equivalence_test plan_cache_test \
-        plan_cache_equivalence_test net_test
+        plan_cache_equivalence_test net_test dist_test
   UBSAN_OPTIONS="halt_on_error=1" ./build-ubsan/tests/observability_test
   UBSAN_OPTIONS="halt_on_error=1" ./build-ubsan/tests/runtime_test
   UBSAN_OPTIONS="halt_on_error=1" ./build-ubsan/tests/operator_test
@@ -88,6 +156,7 @@ else
   UBSAN_OPTIONS="halt_on_error=1" POPDB_EQUIV_LIGHT=1 \
       ./build-ubsan/tests/plan_cache_equivalence_test
   UBSAN_OPTIONS="halt_on_error=1" ./build-ubsan/tests/net_test
+  UBSAN_OPTIONS="halt_on_error=1" ./build-ubsan/tests/dist_test
 fi
 
 echo "=== ci.sh: all stages passed ==="

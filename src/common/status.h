@@ -19,6 +19,11 @@ enum class StatusCode {
   kUnimplemented,
   kCancelled,
   kDeadlineExceeded,
+  /// The target is (possibly transiently) unreachable: a refused TCP
+  /// connect, a shard process that died mid-query. Retry semantics are the
+  /// caller's call; the code exists so transport failures are
+  /// distinguishable from in-engine kInternal errors.
+  kUnavailable,
 };
 
 /// Lightweight status object carrying a code and a human-readable message.
@@ -62,6 +67,9 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -92,51 +92,61 @@ Result<std::vector<Row>> ProgressiveExecutor::ExecuteStatic(
   return Run(query, /*pop_enabled=*/false, stats);
 }
 
+std::vector<EdgeObservation> CollectEdgeObservations(const ExecContext& ctx,
+                                                     const BuiltPlan& built) {
+  std::vector<EdgeObservation> out;
+  // Materialized intermediate results know their exact cardinality when
+  // complete, a lower bound otherwise.
+  for (Operator* op : ctx.materializers) {
+    HarvestedResult info;
+    if (!op->HarvestInfo(&info)) continue;
+    out.push_back({info.table_set, static_cast<double>(info.count),
+                   info.complete});
+  }
+  // Every operator that ran to completion knows its exact output
+  // cardinality; partially executed ones supply lower bounds.
+  for (const auto& [set, op] : built.edges) {
+    if (op->eof_seen()) {
+      out.push_back({set, static_cast<double>(op->rows_produced()), true});
+    } else if (op->rows_produced() > 0) {
+      out.push_back({set, static_cast<double>(op->rows_produced()), false});
+    }
+  }
+  // The failing check itself.
+  if (ctx.reopt.triggered) {
+    out.push_back({ctx.reopt.edge_set,
+                   static_cast<double>(ctx.reopt.observed_rows),
+                   ctx.reopt.exact});
+  }
+  return out;
+}
+
 void ProgressiveExecutor::Harvest(const ExecContext& ctx,
                                   const BuiltPlan& built,
                                   bool compensation_present,
                                   ExecutionStats* stats) {
   TRACE_SPAN("harvest_feedback", "pop");
-  // Materialized intermediate results: exact cardinalities always, rows as
-  // temporary MVs when complete and reuse is on (Section 2.3; the
-  // prototype reuses TEMP and SORT results).
+  // Materialized intermediate rows become temporary MVs when complete and
+  // reuse is on (Section 2.3; the prototype reuses TEMP and SORT results).
   for (Operator* op : ctx.materializers) {
     HarvestedResult info;
     if (!op->HarvestInfo(&info)) continue;
-    if (info.complete) {
-      feedback_.RecordExact(info.table_set, static_cast<double>(info.count));
-      if (pop_config_.reuse_matviews && info.rows != nullptr) {
-        matviews_.Register(info.table_set, *info.rows,
-                           info.sorted_positions);
-        TRACE_INSTANT_ARG("matview_registered", "pop", "rows", info.count);
-        if (stats != nullptr) stats->mv_rows_harvested += info.count;
-      }
-    } else {
-      feedback_.RecordLowerBound(info.table_set,
-                                 static_cast<double>(info.count));
+    if (info.complete && pop_config_.reuse_matviews && info.rows != nullptr) {
+      matviews_.Register(info.table_set, *info.rows, info.sorted_positions);
+      TRACE_INSTANT_ARG("matview_registered", "pop", "rows", info.count);
+      if (stats != nullptr) stats->mv_rows_harvested += info.count;
     }
   }
-  // Every operator that ran to completion knows its exact output
-  // cardinality; partially executed ones supply lower bounds. With
-  // compensation in the plan, counts above the anti-join are not true
-  // subplan cardinalities, so the builder excluded those edges.
+  // Cardinality observations: materializer counts, completed/partial plan
+  // edges, and the failing check. With compensation in the plan, counts
+  // above the anti-join are not true subplan cardinalities, so the builder
+  // excluded those edges.
   (void)compensation_present;
-  for (const auto& [set, op] : built.edges) {
-    if (op->eof_seen()) {
-      feedback_.RecordExact(set, static_cast<double>(op->rows_produced()));
-    } else if (op->rows_produced() > 0) {
-      feedback_.RecordLowerBound(set,
-                                 static_cast<double>(op->rows_produced()));
-    }
-  }
-  // The failing check itself.
-  if (ctx.reopt.triggered) {
-    if (ctx.reopt.exact) {
-      feedback_.RecordExact(ctx.reopt.edge_set,
-                            static_cast<double>(ctx.reopt.observed_rows));
+  for (const EdgeObservation& obs : CollectEdgeObservations(ctx, built)) {
+    if (obs.exact) {
+      feedback_.RecordExact(obs.set, obs.rows);
     } else {
-      feedback_.RecordLowerBound(
-          ctx.reopt.edge_set, static_cast<double>(ctx.reopt.observed_rows));
+      feedback_.RecordLowerBound(obs.set, obs.rows);
     }
   }
 }

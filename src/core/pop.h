@@ -62,6 +62,24 @@ struct ExecutionStats {
   const AttemptInfo& last_attempt() const { return attempts.back(); }
 };
 
+/// One observed cardinality for a plan edge (subplan output), harvested
+/// after an execution attempt. `exact` means the operator ran to
+/// completion (EOF) so `rows` is the true cardinality; otherwise it is a
+/// lower bound. This is the unit a shard ships to the coordinator so
+/// cluster-level re-optimization can aggregate per-shard observations.
+struct EdgeObservation {
+  TableSet set = 0;
+  double rows = 0.0;
+  bool exact = false;
+};
+
+/// Collects every cardinality observation an executed (possibly aborted)
+/// operator tree can justify: materializer counts, completed/partial plan
+/// edges, and the failing check itself when one fired. Used by Harvest()
+/// locally and by shard servers to export observations over the wire.
+std::vector<EdgeObservation> CollectEdgeObservations(const ExecContext& ctx,
+                                                     const BuiltPlan& built);
+
 /// Progressive query executor (the paper's Figure 3 architecture): an
 /// optimize → add-checkpoints → execute loop that re-optimizes whenever a
 /// CHECK detects that the running plan left its validity range, feeding

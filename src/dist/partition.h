@@ -1,0 +1,64 @@
+#ifndef POPDB_DIST_PARTITION_H_
+#define POPDB_DIST_PARTITION_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/catalog.h"
+
+namespace popdb::dist {
+
+/// How a dataset is laid out across shards: the tables in `keys` are
+/// co-partitioned by contiguous ranges of one shared integer key domain
+/// (e.g. TPC-H orders and lineitem both on the order key), every other
+/// table is fully replicated on every shard. Co-partitioning is what makes
+/// shard-local joins on the partition key exhaustive: a key's rows from
+/// every partitioned table land on the same shard.
+struct PartitionSpec {
+  struct TableKey {
+    std::string table;
+    int column = 0;  ///< Partition-key column index in the table schema.
+  };
+  std::vector<TableKey> keys;
+  /// (table, column-name) indexes to rebuild on each shard catalog.
+  std::vector<std::pair<std::string, std::string>> indexes;
+
+  bool IsPartitioned(const std::string& table) const;
+  /// Partition-key column of `table`, or -1 when the table is replicated.
+  int KeyColumn(const std::string& table) const;
+};
+
+/// Built-in specs for the datasets popdb_server can host.
+PartitionSpec TpchPartitionSpec();
+PartitionSpec DmvPartitionSpec();
+PartitionSpec ToyPartitionSpec();
+
+/// Half-open key interval [lo, hi) owned by one shard.
+struct KeyRange {
+  int64_t lo = 0;
+  int64_t hi = 0;
+
+  bool Contains(int64_t key) const { return key >= lo && key < hi; }
+};
+
+/// Splits the partition-key domain observed in `full` (min/max over every
+/// partitioned table's key column) into `num_shards` contiguous ranges;
+/// the last range absorbs the tail so the union covers the domain.
+Result<std::vector<KeyRange>> ComputeRanges(const Catalog& full,
+                                            const PartitionSpec& spec,
+                                            int num_shards);
+
+/// Builds shard `shard`'s catalog from the full catalog: partitioned
+/// tables keep only the rows whose key falls in `ranges[shard]`,
+/// replicated tables are copied whole, statistics are recomputed over the
+/// shard-local data and the spec's indexes are rebuilt.
+Status BuildShardCatalog(const Catalog& full, const PartitionSpec& spec,
+                         const std::vector<KeyRange>& ranges, int shard,
+                         int histogram_buckets, Catalog* out);
+
+}  // namespace popdb::dist
+
+#endif  // POPDB_DIST_PARTITION_H_

@@ -1,0 +1,525 @@
+#include "dist/plan_json.h"
+
+#include <cmath>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "common/string_util.h"
+#include "net/wire.h"
+
+namespace popdb::dist {
+
+namespace {
+
+void AppendColRef(const ColRef& col, JsonWriter* w) {
+  w->BeginObject();
+  w->Key("t").Int(col.table_id);
+  w->Key("c").Int(col.column);
+  w->EndObject();
+}
+
+Result<ColRef> ColRefFromJson(const JsonValue& json) {
+  if (json.kind() != JsonValue::Kind::kObject) {
+    return Status::InvalidArgument("column ref must be an object");
+  }
+  ColRef col;
+  col.table_id = static_cast<int>(json.GetInt("t", -1));
+  col.column = static_cast<int>(json.GetInt("c", -1));
+  return col;
+}
+
+Result<Value> ValueField(const JsonValue& parent, std::string_view key) {
+  const JsonValue* v = parent.Find(key);
+  if (v == nullptr) return Value::Null();
+  return net::ValueFromJson(*v);
+}
+
+Result<std::vector<Value>> ValueList(const JsonValue* array) {
+  std::vector<Value> out;
+  if (array == nullptr) return out;
+  if (array->kind() != JsonValue::Kind::kArray) {
+    return Status::InvalidArgument("value list must be an array");
+  }
+  for (const JsonValue& item : array->items()) {
+    Result<Value> v = net::ValueFromJson(item);
+    if (!v.ok()) return v.status();
+    out.push_back(std::move(v).TakeValue());
+  }
+  return out;
+}
+
+Result<std::vector<int>> IntList(const JsonValue* array,
+                                 std::string_view what) {
+  std::vector<int> out;
+  if (array == nullptr) return out;
+  if (array->kind() != JsonValue::Kind::kArray) {
+    return Status::InvalidArgument(std::string(what) + " must be an array");
+  }
+  for (const JsonValue& item : array->items()) {
+    if (item.kind() != JsonValue::Kind::kInt) {
+      return Status::InvalidArgument(std::string(what) +
+                                     " entries must be integers");
+    }
+    out.push_back(static_cast<int>(item.AsInt()));
+  }
+  return out;
+}
+
+bool ValidEnum(int64_t v, int64_t max_inclusive) {
+  return v >= 0 && v <= max_inclusive;
+}
+
+void AppendResolvedPred(const ResolvedPredicate& pred, JsonWriter* w) {
+  w->BeginObject();
+  w->Key("pos").Int(pred.pos);
+  w->Key("kind").Int(static_cast<int>(pred.kind));
+  w->Key("operand");
+  net::AppendValueJson(pred.operand, w);
+  w->Key("operand2");
+  net::AppendValueJson(pred.operand2, w);
+  if (!pred.in_list.empty()) {
+    w->Key("in_list").BeginArray();
+    for (const Value& v : pred.in_list) net::AppendValueJson(v, w);
+    w->EndArray();
+  }
+  w->EndObject();
+}
+
+Result<ResolvedPredicate> ResolvedPredFromJson(const JsonValue& json) {
+  if (json.kind() != JsonValue::Kind::kObject) {
+    return Status::InvalidArgument("resolved predicate must be an object");
+  }
+  ResolvedPredicate pred;
+  pred.pos = static_cast<int>(json.GetInt("pos", -1));
+  const int64_t kind = json.GetInt("kind", -1);
+  if (!ValidEnum(kind, static_cast<int64_t>(PredKind::kLike))) {
+    return Status::InvalidArgument("bad predicate kind");
+  }
+  pred.kind = static_cast<PredKind>(kind);
+  Result<Value> operand = ValueField(json, "operand");
+  if (!operand.ok()) return operand.status();
+  pred.operand = std::move(operand).TakeValue();
+  Result<Value> operand2 = ValueField(json, "operand2");
+  if (!operand2.ok()) return operand2.status();
+  pred.operand2 = std::move(operand2).TakeValue();
+  Result<std::vector<Value>> in_list = ValueList(json.Find("in_list"));
+  if (!in_list.ok()) return in_list.status();
+  pred.in_list = std::move(in_list).TakeValue();
+  return pred;
+}
+
+}  // namespace
+
+void AppendQuerySpecJson(const QuerySpec& query, JsonWriter* w) {
+  w->BeginObject();
+  w->Key("name").String(query.name());
+  w->Key("tables").BeginArray();
+  for (const std::string& t : query.tables()) w->String(t);
+  w->EndArray();
+  w->Key("local_preds").BeginArray();
+  for (const Predicate& p : query.local_preds()) {
+    w->BeginObject();
+    w->Key("col");
+    AppendColRef(p.col, w);
+    w->Key("kind").Int(static_cast<int>(p.kind));
+    if (p.is_param) {
+      w->Key("param_index").Int(p.param_index);
+    } else {
+      w->Key("operand");
+      net::AppendValueJson(p.operand, w);
+      w->Key("operand2");
+      net::AppendValueJson(p.operand2, w);
+      if (p.kind == PredKind::kIn) {
+        w->Key("in_list").BeginArray();
+        for (const Value& v : p.in_list) net::AppendValueJson(v, w);
+        w->EndArray();
+      }
+    }
+    w->EndObject();
+  }
+  w->EndArray();
+  w->Key("join_preds").BeginArray();
+  for (const JoinPredicate& j : query.join_preds()) {
+    w->BeginObject();
+    w->Key("left");
+    AppendColRef(j.left, w);
+    w->Key("right");
+    AppendColRef(j.right, w);
+    w->EndObject();
+  }
+  w->EndArray();
+  w->Key("projections").BeginArray();
+  for (const ColRef& c : query.projections()) AppendColRef(c, w);
+  w->EndArray();
+  w->Key("group_by").BeginArray();
+  for (const ColRef& c : query.group_by()) AppendColRef(c, w);
+  w->EndArray();
+  w->Key("aggs").BeginArray();
+  for (const QuerySpec::Agg& a : query.aggs()) {
+    w->BeginObject();
+    w->Key("func").Int(static_cast<int>(a.func));
+    w->Key("arg");
+    AppendColRef(a.arg, w);
+    w->EndObject();
+  }
+  w->EndArray();
+  w->Key("order_by").BeginArray();
+  for (const QuerySpec::OrderKey& k : query.order_by()) {
+    w->BeginObject();
+    w->Key("pos").Int(k.output_pos);
+    w->Key("desc").Bool(k.descending);
+    w->EndObject();
+  }
+  w->EndArray();
+  w->Key("having").BeginArray();
+  for (const QuerySpec::HavingPred& h : query.having()) {
+    w->BeginObject();
+    w->Key("pos").Int(h.output_pos);
+    w->Key("kind").Int(static_cast<int>(h.kind));
+    w->Key("operand");
+    net::AppendValueJson(h.operand, w);
+    w->Key("operand2");
+    net::AppendValueJson(h.operand2, w);
+    w->EndObject();
+  }
+  w->EndArray();
+  w->Key("distinct").Bool(query.distinct());
+  w->Key("limit").Int(query.limit());
+  w->Key("params").BeginArray();
+  for (const Value& v : query.params()) net::AppendValueJson(v, w);
+  w->EndArray();
+  w->EndObject();
+}
+
+Result<QuerySpec> QuerySpecFromJson(const JsonValue& json) {
+  if (json.kind() != JsonValue::Kind::kObject) {
+    return Status::InvalidArgument("query spec must be an object");
+  }
+  QuerySpec query(json.GetString("name", "subplan"));
+
+  const JsonValue* tables = json.Find("tables");
+  if (tables == nullptr || tables->kind() != JsonValue::Kind::kArray) {
+    return Status::InvalidArgument("query spec missing tables array");
+  }
+  for (const JsonValue& t : tables->items()) {
+    if (t.kind() != JsonValue::Kind::kString) {
+      return Status::InvalidArgument("table names must be strings");
+    }
+    query.AddTable(t.AsString());
+  }
+
+  if (const JsonValue* preds = json.Find("local_preds"); preds != nullptr) {
+    if (preds->kind() != JsonValue::Kind::kArray) {
+      return Status::InvalidArgument("local_preds must be an array");
+    }
+    for (const JsonValue& p : preds->items()) {
+      const JsonValue* col_json = p.Find("col");
+      if (col_json == nullptr) {
+        return Status::InvalidArgument("predicate missing col");
+      }
+      Result<ColRef> col = ColRefFromJson(*col_json);
+      if (!col.ok()) return col.status();
+      const int64_t kind = p.GetInt("kind", -1);
+      if (!ValidEnum(kind, static_cast<int64_t>(PredKind::kLike))) {
+        return Status::InvalidArgument("bad predicate kind");
+      }
+      if (const JsonValue* pi = p.Find("param_index"); pi != nullptr) {
+        query.AddParamPred(col.value(), static_cast<PredKind>(kind),
+                           static_cast<int>(pi->AsInt()));
+        continue;
+      }
+      if (static_cast<PredKind>(kind) == PredKind::kIn) {
+        Result<std::vector<Value>> in_list = ValueList(p.Find("in_list"));
+        if (!in_list.ok()) return in_list.status();
+        query.AddInPred(col.value(), std::move(in_list).TakeValue());
+        continue;
+      }
+      Result<Value> operand = ValueField(p, "operand");
+      if (!operand.ok()) return operand.status();
+      Result<Value> operand2 = ValueField(p, "operand2");
+      if (!operand2.ok()) return operand2.status();
+      query.AddPred(col.value(), static_cast<PredKind>(kind),
+                    std::move(operand).TakeValue(),
+                    std::move(operand2).TakeValue());
+    }
+  }
+
+  if (const JsonValue* joins = json.Find("join_preds"); joins != nullptr) {
+    for (const JsonValue& j : joins->items()) {
+      const JsonValue* left = j.Find("left");
+      const JsonValue* right = j.Find("right");
+      if (left == nullptr || right == nullptr) {
+        return Status::InvalidArgument("join predicate missing side");
+      }
+      Result<ColRef> l = ColRefFromJson(*left);
+      if (!l.ok()) return l.status();
+      Result<ColRef> r = ColRefFromJson(*right);
+      if (!r.ok()) return r.status();
+      query.AddJoin(l.value(), r.value());
+    }
+  }
+
+  if (const JsonValue* projs = json.Find("projections"); projs != nullptr) {
+    for (const JsonValue& p : projs->items()) {
+      Result<ColRef> c = ColRefFromJson(p);
+      if (!c.ok()) return c.status();
+      query.AddProjection(c.value());
+    }
+  }
+  if (const JsonValue* groups = json.Find("group_by"); groups != nullptr) {
+    for (const JsonValue& g : groups->items()) {
+      Result<ColRef> c = ColRefFromJson(g);
+      if (!c.ok()) return c.status();
+      query.AddGroupBy(c.value());
+    }
+  }
+  if (const JsonValue* aggs = json.Find("aggs"); aggs != nullptr) {
+    for (const JsonValue& a : aggs->items()) {
+      const int64_t func = a.GetInt("func", -1);
+      if (!ValidEnum(func, static_cast<int64_t>(AggFunc::kAvg))) {
+        return Status::InvalidArgument("bad aggregate function");
+      }
+      ColRef arg;
+      if (const JsonValue* arg_json = a.Find("arg"); arg_json != nullptr) {
+        Result<ColRef> c = ColRefFromJson(*arg_json);
+        if (!c.ok()) return c.status();
+        arg = c.value();
+      }
+      query.AddAgg(static_cast<AggFunc>(func), arg);
+    }
+  }
+  if (const JsonValue* order = json.Find("order_by"); order != nullptr) {
+    for (const JsonValue& k : order->items()) {
+      query.AddOrderBy(static_cast<int>(k.GetInt("pos", 0)),
+                       k.GetBool("desc", false));
+    }
+  }
+  if (const JsonValue* having = json.Find("having"); having != nullptr) {
+    for (const JsonValue& h : having->items()) {
+      const int64_t kind = h.GetInt("kind", -1);
+      if (!ValidEnum(kind, static_cast<int64_t>(PredKind::kLike))) {
+        return Status::InvalidArgument("bad having kind");
+      }
+      Result<Value> operand = ValueField(h, "operand");
+      if (!operand.ok()) return operand.status();
+      Result<Value> operand2 = ValueField(h, "operand2");
+      if (!operand2.ok()) return operand2.status();
+      query.AddHaving(static_cast<int>(h.GetInt("pos", 0)),
+                      static_cast<PredKind>(kind),
+                      std::move(operand).TakeValue(),
+                      std::move(operand2).TakeValue());
+    }
+  }
+  query.SetDistinct(json.GetBool("distinct", false));
+  query.SetLimit(json.GetInt("limit", -1));
+  Result<std::vector<Value>> params = ValueList(json.Find("params"));
+  if (!params.ok()) return params.status();
+  for (Value& v : params.value()) query.BindParam(std::move(v));
+  return query;
+}
+
+Status AppendPlanJson(const PlanNode& node, JsonWriter* w) {
+  if (node.kind == PlanOpKind::kMatViewScan) {
+    return Status::InvalidArgument(
+        "matview scans cannot be serialized (execution-scoped rows)");
+  }
+  w->BeginObject();
+  w->Key("kind").Int(static_cast<int>(node.kind));
+  w->Key("set").Int(static_cast<int64_t>(node.set));
+  w->Key("card").Double(node.card);
+  w->Key("cost").Double(node.cost);
+  w->Key("op_cost").Double(node.op_cost);
+  if (node.assumptions != 0) w->Key("assumptions").Int(node.assumptions);
+  if (node.table_id >= 0) w->Key("table_id").Int(node.table_id);
+  if (!node.table_name.empty()) w->Key("table_name").String(node.table_name);
+  if (!node.pred_ids.empty()) {
+    w->Key("pred_ids").BeginArray();
+    for (const int id : node.pred_ids) w->Int(id);
+    w->EndArray();
+  }
+  if (!node.join_pred_ids.empty()) {
+    w->Key("join_pred_ids").BeginArray();
+    for (const int id : node.join_pred_ids) w->Int(id);
+    w->EndArray();
+  }
+  if (node.use_index) w->Key("use_index").Bool(true);
+  if (node.index_col >= 0) w->Key("index_col").Int(node.index_col);
+  if (node.per_probe_cost != 0) {
+    w->Key("per_probe_cost").Double(node.per_probe_cost);
+  }
+  if (!node.sort_keys.empty()) {
+    w->Key("sort_keys").BeginArray();
+    for (const SortKey& k : node.sort_keys) {
+      w->BeginObject();
+      w->Key("pos").Int(k.pos);
+      w->Key("desc").Bool(k.descending);
+      w->EndObject();
+    }
+    w->EndArray();
+  }
+  if (!node.group_positions.empty()) {
+    w->Key("group_positions").BeginArray();
+    for (const int p : node.group_positions) w->Int(p);
+    w->EndArray();
+  }
+  if (!node.agg_specs.empty()) {
+    w->Key("agg_specs").BeginArray();
+    for (const ResolvedAgg& a : node.agg_specs) {
+      w->BeginObject();
+      w->Key("func").Int(static_cast<int>(a.func));
+      w->Key("pos").Int(a.pos);
+      w->EndObject();
+    }
+    w->EndArray();
+  }
+  if (!node.positions.empty()) {
+    w->Key("positions").BeginArray();
+    for (const int p : node.positions) w->Int(p);
+    w->EndArray();
+  }
+  if (!node.filter_preds.empty()) {
+    w->Key("filter_preds").BeginArray();
+    for (const ResolvedPredicate& p : node.filter_preds) {
+      AppendResolvedPred(p, w);
+    }
+    w->EndArray();
+  }
+  if (node.check.enabled) {
+    w->Key("check").BeginObject();
+    w->Key("lo").Double(node.check.lo);
+    w->Key("hi").Double(node.check.hi);
+    w->Key("flavor").Int(static_cast<int>(node.check.flavor));
+    w->Key("edge_set").Int(static_cast<int64_t>(node.check.edge_set));
+    if (node.check.observe_only) w->Key("observe_only").Bool(true);
+    w->EndObject();
+  }
+  if (node.work_budget != 0) w->Key("work_budget").Double(node.work_budget);
+  w->Key("child_validity").BeginArray();
+  for (const ValidityRange& r : node.child_validity) {
+    w->BeginObject();
+    w->Key("lo").Double(r.lo);
+    w->Key("hi");
+    // Infinity (un-narrowed upper bound) is not representable in JSON.
+    if (std::isfinite(r.hi)) {
+      w->Double(r.hi);
+    } else {
+      w->Null();
+    }
+    w->EndObject();
+  }
+  w->EndArray();
+  w->Key("children").BeginArray();
+  for (const std::shared_ptr<PlanNode>& child : node.children) {
+    Status s = AppendPlanJson(*child, w);
+    if (!s.ok()) return s;
+  }
+  w->EndArray();
+  w->EndObject();
+  return Status::Ok();
+}
+
+Result<std::shared_ptr<PlanNode>> PlanFromJson(const JsonValue& json) {
+  if (json.kind() != JsonValue::Kind::kObject) {
+    return Status::InvalidArgument("plan node must be an object");
+  }
+  auto node = std::make_shared<PlanNode>();
+  const int64_t kind = json.GetInt("kind", -1);
+  if (!ValidEnum(kind, static_cast<int64_t>(PlanOpKind::kAntiComp))) {
+    return Status::InvalidArgument("bad plan node kind");
+  }
+  node->kind = static_cast<PlanOpKind>(kind);
+  if (node->kind == PlanOpKind::kMatViewScan) {
+    return Status::InvalidArgument("matview scans cannot cross the wire");
+  }
+  node->set = static_cast<TableSet>(json.GetInt("set", 0));
+  node->card = json.GetNumber("card", 0.0);
+  node->cost = json.GetNumber("cost", 0.0);
+  node->op_cost = json.GetNumber("op_cost", 0.0);
+  node->assumptions = static_cast<int>(json.GetInt("assumptions", 0));
+  node->table_id = static_cast<int>(json.GetInt("table_id", -1));
+  node->table_name = json.GetString("table_name", "");
+  Result<std::vector<int>> pred_ids = IntList(json.Find("pred_ids"),
+                                              "pred_ids");
+  if (!pred_ids.ok()) return pred_ids.status();
+  node->pred_ids = std::move(pred_ids).TakeValue();
+  Result<std::vector<int>> join_pred_ids =
+      IntList(json.Find("join_pred_ids"), "join_pred_ids");
+  if (!join_pred_ids.ok()) return join_pred_ids.status();
+  node->join_pred_ids = std::move(join_pred_ids).TakeValue();
+  node->use_index = json.GetBool("use_index", false);
+  node->index_col = static_cast<int>(json.GetInt("index_col", -1));
+  node->per_probe_cost = json.GetNumber("per_probe_cost", 0.0);
+  if (const JsonValue* keys = json.Find("sort_keys"); keys != nullptr) {
+    for (const JsonValue& k : keys->items()) {
+      SortKey key;
+      key.pos = static_cast<int>(k.GetInt("pos", -1));
+      key.descending = k.GetBool("desc", false);
+      node->sort_keys.push_back(key);
+    }
+  }
+  Result<std::vector<int>> groups = IntList(json.Find("group_positions"),
+                                            "group_positions");
+  if (!groups.ok()) return groups.status();
+  node->group_positions = std::move(groups).TakeValue();
+  if (const JsonValue* aggs = json.Find("agg_specs"); aggs != nullptr) {
+    for (const JsonValue& a : aggs->items()) {
+      const int64_t func = a.GetInt("func", -1);
+      if (!ValidEnum(func, static_cast<int64_t>(AggFunc::kAvg))) {
+        return Status::InvalidArgument("bad agg func in plan");
+      }
+      ResolvedAgg agg;
+      agg.func = static_cast<AggFunc>(func);
+      agg.pos = static_cast<int>(a.GetInt("pos", -1));
+      node->agg_specs.push_back(agg);
+    }
+  }
+  Result<std::vector<int>> positions = IntList(json.Find("positions"),
+                                               "positions");
+  if (!positions.ok()) return positions.status();
+  node->positions = std::move(positions).TakeValue();
+  if (const JsonValue* preds = json.Find("filter_preds"); preds != nullptr) {
+    for (const JsonValue& p : preds->items()) {
+      Result<ResolvedPredicate> pred = ResolvedPredFromJson(p);
+      if (!pred.ok()) return pred.status();
+      node->filter_preds.push_back(std::move(pred).TakeValue());
+    }
+  }
+  if (const JsonValue* check = json.Find("check"); check != nullptr) {
+    node->check.enabled = true;
+    node->check.lo = check->GetNumber("lo", 0.0);
+    node->check.hi = check->GetNumber("hi", 0.0);
+    const int64_t flavor = check->GetInt("flavor", 0);
+    if (!ValidEnum(flavor, static_cast<int64_t>(CheckFlavor::kWorkBound))) {
+      return Status::InvalidArgument("bad check flavor");
+    }
+    node->check.flavor = static_cast<CheckFlavor>(flavor);
+    node->check.edge_set =
+        static_cast<TableSet>(check->GetInt("edge_set", 0));
+    node->check.observe_only = check->GetBool("observe_only", false);
+  }
+  node->work_budget = json.GetNumber("work_budget", 0.0);
+  if (const JsonValue* validity = json.Find("child_validity");
+      validity != nullptr) {
+    for (const JsonValue& r : validity->items()) {
+      ValidityRange range;
+      range.lo = r.GetNumber("lo", 0.0);
+      const JsonValue* hi = r.Find("hi");
+      range.hi = (hi == nullptr || hi->is_null())
+                     ? std::numeric_limits<double>::infinity()
+                     : hi->AsDouble();
+      node->child_validity.push_back(range);
+    }
+  }
+  if (const JsonValue* children = json.Find("children");
+      children != nullptr) {
+    for (const JsonValue& c : children->items()) {
+      Result<std::shared_ptr<PlanNode>> child = PlanFromJson(c);
+      if (!child.ok()) return child.status();
+      node->children.push_back(std::move(child).TakeValue());
+    }
+  }
+  return node;
+}
+
+}  // namespace popdb::dist

@@ -1,0 +1,28 @@
+#ifndef POPDB_DIST_PLAN_JSON_H_
+#define POPDB_DIST_PLAN_JSON_H_
+
+#include <memory>
+
+#include "common/json.h"
+#include "common/status.h"
+#include "opt/plan.h"
+#include "opt/query.h"
+
+namespace popdb::dist {
+
+/// JSON (de)serialization of the logical query and the physical plan for
+/// the `subplan` wire request (docs/WIRE.md). Enums travel as integers;
+/// Values use the wire value encoding (net/wire.h) so doubles round-trip
+/// exactly. Infinity (un-narrowed validity upper bounds) is encoded as
+/// JSON null. kMatViewScan nodes are rejected: temporary matviews are
+/// execution-scoped pointers and never cross the wire.
+
+void AppendQuerySpecJson(const QuerySpec& query, JsonWriter* w);
+Result<QuerySpec> QuerySpecFromJson(const JsonValue& json);
+
+Status AppendPlanJson(const PlanNode& node, JsonWriter* w);
+Result<std::shared_ptr<PlanNode>> PlanFromJson(const JsonValue& json);
+
+}  // namespace popdb::dist
+
+#endif  // POPDB_DIST_PLAN_JSON_H_

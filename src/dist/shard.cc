@@ -1,0 +1,187 @@
+#include "dist/shard.h"
+
+#include <cmath>
+#include <memory>
+#include <utility>
+
+#include "common/json.h"
+#include "core/executor_builder.h"
+#include "core/pop.h"
+#include "dist/plan_json.h"
+
+namespace popdb::dist {
+
+namespace {
+
+void AppendFiniteOrNull(double v, JsonWriter* w) {
+  if (std::isfinite(v)) {
+    w->Double(v);
+  } else {
+    w->Null();
+  }
+}
+
+std::string ViolationJson(const ReoptSignal& signal) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("type").String("check_violation");
+  w.Key("edge_set").Int(static_cast<int64_t>(signal.edge_set));
+  w.Key("observed_rows").Double(signal.observed_rows);
+  w.Key("exact").Bool(signal.exact);
+  w.Key("flavor").Int(static_cast<int64_t>(signal.flavor));
+  w.Key("check_lo");
+  AppendFiniteOrNull(signal.check_lo, &w);
+  w.Key("check_hi");
+  AppendFiniteOrNull(signal.check_hi, &w);
+  w.EndObject();
+  return w.str();
+}
+
+std::string ObservationsJson(const std::vector<EdgeObservation>& obs) {
+  JsonWriter w;
+  w.BeginArray();
+  for (const EdgeObservation& o : obs) {
+    w.BeginObject();
+    w.Key("set").Int(static_cast<int64_t>(o.set));
+    w.Key("rows").Double(o.rows);
+    w.Key("exact").Bool(o.exact);
+    w.EndObject();
+  }
+  w.EndArray();
+  return w.str();
+}
+
+}  // namespace
+
+ShardExecutor::ShardExecutor(const Catalog& catalog,
+                             ShardExecutorConfig config)
+    : catalog_(catalog), config_(config) {}
+
+net::SubplanBackend::RunResult ShardExecutor::Run(
+    const JsonValue& request, CancelToken* cancel,
+    const std::function<bool(const std::vector<Row>&)>& emit) {
+  RunResult result;
+
+  const JsonValue* query_json = request.Find("query");
+  const JsonValue* plan_json = request.Find("plan");
+  if (query_json == nullptr || plan_json == nullptr) {
+    result.status = Status::InvalidArgument(
+        "subplan request needs \"query\" and \"plan\"");
+    result.outcome = "error";
+    return result;
+  }
+  Result<QuerySpec> query = QuerySpecFromJson(*query_json);
+  if (!query.ok()) {
+    result.status = query.status();
+    result.outcome = "error";
+    return result;
+  }
+  Result<std::shared_ptr<PlanNode>> plan = PlanFromJson(*plan_json);
+  if (!plan.ok()) {
+    result.status = plan.status();
+    result.outcome = "error";
+    return result;
+  }
+
+  int64_t batch_rows =
+      request.GetInt("batch_rows", config_.default_batch_rows);
+  if (batch_rows < 1) batch_rows = config_.default_batch_rows;
+  if (batch_rows > config_.max_batch_rows) {
+    batch_rows = config_.max_batch_rows;
+  }
+
+  ExecutorBuilder builder(catalog_, query.value(),
+                          /*already_returned=*/nullptr,
+                          /*offer_hsjn_builds=*/false);
+  Result<BuiltPlan> built = builder.Build(*plan.value());
+  if (!built.ok()) {
+    result.status = built.status();
+    result.outcome = "error";
+    return result;
+  }
+
+  ExecContext ctx;
+  ctx.params = query.value().params();
+  ctx.mem_rows = config_.mem_rows;
+  ctx.cancel = cancel;
+
+  // Hand-rolled RunToCompletion that streams batches as rows are produced
+  // (a shard result must not buffer: the coordinator merges N streams).
+  Operator* root = built.value().root.get();
+  ExecStatus status = root->Open(&ctx);
+  bool sink_broken = false;
+  std::vector<Row> batch;
+  if (status == ExecStatus::kOk) {
+    Row row;
+    while (true) {
+      status = root->Next(&ctx, &row);
+      if (status != ExecStatus::kRow) break;
+      batch.push_back(row);
+      if (static_cast<int64_t>(batch.size()) >= batch_rows) {
+        result.rows_sent += static_cast<int64_t>(batch.size());
+        if (!emit(batch)) {
+          sink_broken = true;
+          break;
+        }
+        batch.clear();
+      }
+    }
+  }
+  root->Close(&ctx);
+
+  if (sink_broken) {
+    result.status = Status::Cancelled("client connection lost mid-stream");
+    result.outcome = "cancelled";
+    return result;
+  }
+
+  switch (status) {
+    case ExecStatus::kEof:
+      if (!batch.empty()) {
+        result.rows_sent += static_cast<int64_t>(batch.size());
+        if (!emit(batch)) {
+          result.status =
+              Status::Cancelled("client connection lost mid-stream");
+          result.outcome = "cancelled";
+          return result;
+        }
+      }
+      result.outcome = "ok";
+      break;
+    case ExecStatus::kReoptimize:
+      // The coordinator discards every row of this attempt on violation,
+      // so no cross-wire compensation is needed.
+      result.outcome = "reoptimize";
+      result.violation_json = ViolationJson(ctx.reopt);
+      break;
+    case ExecStatus::kCancelled:
+      if (cancel != nullptr && cancel->reason() == CancelReason::kDeadline) {
+        result.status =
+            Status::DeadlineExceeded("subplan exceeded its deadline");
+        result.outcome = "deadline";
+      } else {
+        result.status = Status::Cancelled("subplan cancelled");
+        result.outcome = "cancelled";
+      }
+      break;
+    case ExecStatus::kError:
+      result.status = Status::Internal(ctx.error.empty()
+                                           ? "subplan execution failed"
+                                           : ctx.error);
+      result.outcome = "error";
+      break;
+    default:
+      result.status = Status::Internal("unexpected executor status");
+      result.outcome = "error";
+      break;
+  }
+
+  // Everything the (possibly aborted) run learned about true per-shard
+  // cardinalities; the coordinator aggregates these across shards into
+  // global feedback for its re-optimization.
+  result.observations_json =
+      ObservationsJson(CollectEdgeObservations(ctx, built.value()));
+  return result;
+}
+
+}  // namespace popdb::dist

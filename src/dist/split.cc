@@ -1,0 +1,287 @@
+#include "dist/split.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace popdb::dist {
+
+namespace {
+
+/// Lexicographic row order via Value::Compare (group-key map ordering).
+struct RowLess {
+  bool operator()(const Row& a, const Row& b) const {
+    const size_t n = std::min(a.size(), b.size());
+    for (size_t i = 0; i < n; ++i) {
+      const int c = a[i].Compare(b[i]);
+      if (c != 0) return c < 0;
+    }
+    return a.size() < b.size();
+  }
+};
+
+/// Accumulator for one final aggregate across shards.
+struct AggAccum {
+  int64_t count = 0;
+  double sum = 0.0;
+  Value extreme;  ///< Running MIN/MAX (Null until a non-null partial).
+};
+
+}  // namespace
+
+TableSet PartitionedMask(const QuerySpec& query, const PartitionSpec& spec) {
+  TableSet mask = 0;
+  for (int id = 0; id < query.num_tables(); ++id) {
+    if (spec.IsPartitioned(query.table_name(id))) mask |= TableBit(id);
+  }
+  return mask;
+}
+
+bool IsShardable(const QuerySpec& query, const PartitionSpec& spec) {
+  std::vector<int> partitioned;
+  for (int id = 0; id < query.num_tables(); ++id) {
+    if (spec.IsPartitioned(query.table_name(id))) partitioned.push_back(id);
+  }
+  if (partitioned.empty()) return false;
+  if (partitioned.size() == 1) return true;
+  // The partitioned tables must form one connected component under joins
+  // that equate partition keys; otherwise some join pairs live on
+  // different shards and a shard-local join would lose them.
+  auto key_column = [&](int id) {
+    return spec.KeyColumn(query.table_name(id));
+  };
+  const TableSet mask = PartitionedMask(query, spec);
+  std::vector<std::vector<int>> adj(
+      static_cast<size_t>(query.num_tables()));
+  for (const JoinPredicate& j : query.join_preds()) {
+    const int lt = j.left.table_id;
+    const int rt = j.right.table_id;
+    if (!ContainsTable(mask, lt) || !ContainsTable(mask, rt)) continue;
+    if (j.left.column == key_column(lt) && j.right.column == key_column(rt)) {
+      adj[static_cast<size_t>(lt)].push_back(rt);
+      adj[static_cast<size_t>(rt)].push_back(lt);
+    }
+  }
+  std::vector<bool> seen(static_cast<size_t>(query.num_tables()), false);
+  std::vector<int> frontier = {partitioned[0]};
+  seen[static_cast<size_t>(partitioned[0])] = true;
+  while (!frontier.empty()) {
+    const int id = frontier.back();
+    frontier.pop_back();
+    for (const int next : adj[static_cast<size_t>(id)]) {
+      if (!seen[static_cast<size_t>(next)]) {
+        seen[static_cast<size_t>(next)] = true;
+        frontier.push_back(next);
+      }
+    }
+  }
+  for (const int id : partitioned) {
+    if (!seen[static_cast<size_t>(id)]) return false;
+  }
+  return true;
+}
+
+Result<SplitPlan> SplitForShards(std::shared_ptr<PlanNode> root,
+                                 const QuerySpec& query) {
+  SplitPlan split;
+  std::shared_ptr<PlanNode> cur = std::move(root);
+
+  if (!query.order_by().empty()) {
+    if (cur->kind != PlanOpKind::kSort || cur->children.size() != 1) {
+      return Status::Internal("expected final sort node to split off");
+    }
+    split.gather.order_by = cur->sort_keys;
+    cur = cur->children[0];
+  }
+  if (!query.having().empty()) {
+    if (cur->kind != PlanOpKind::kFilter || cur->children.size() != 1) {
+      return Status::Internal("expected having filter node to split off");
+    }
+    split.gather.having = cur->filter_preds;
+    cur = cur->children[0];
+  }
+  if (query.has_aggregation()) {
+    if (cur->kind != PlanOpKind::kAgg || cur->children.size() != 1) {
+      return Status::Internal("expected aggregation node to rewrite");
+    }
+    split.gather.has_agg = true;
+    split.gather.group_count =
+        static_cast<int>(cur->group_positions.size());
+    // Two-phase aggregation: the shard runs a partial aggregation whose
+    // output row is [group cols | one partial per aggregate | extra COUNT
+    // per AVG]; the coordinator combines the partials group-wise. COUNT
+    // partials merge by summing, SUM by summing, MIN/MAX by re-extremizing,
+    // and AVG ships as a SUM partial plus an appended COUNT partial.
+    const std::vector<ResolvedAgg> original = cur->agg_specs;
+    std::vector<ResolvedAgg> shard_aggs = original;
+    for (size_t i = 0; i < original.size(); ++i) {
+      GatherAgg g;
+      g.func = original[i].func;
+      g.slot = split.gather.group_count + static_cast<int>(i);
+      if (original[i].func == AggFunc::kAvg) {
+        shard_aggs[i].func = AggFunc::kSum;
+        ResolvedAgg extra_count;
+        extra_count.func = AggFunc::kCount;
+        extra_count.pos = 0;
+        g.slot2 = split.gather.group_count +
+                  static_cast<int>(shard_aggs.size());
+        shard_aggs.push_back(extra_count);
+      }
+      split.gather.aggs.push_back(g);
+    }
+    cur->agg_specs = std::move(shard_aggs);
+  }
+  // A DISTINCT dedup (a group-by kAgg with no aggregates) stays on the
+  // shard as a local pre-dedup; the coordinator dedups again across
+  // shards.
+  split.gather.distinct = query.distinct();
+  split.gather.limit = query.limit();
+  split.fragment = std::move(cur);
+  return split;
+}
+
+void ScalePlanForShard(PlanNode* node, TableSet partitioned_mask,
+                       int num_shards) {
+  if (num_shards <= 1) return;
+  // Recursive pass returning the factor applied to each subtree so the
+  // parent can scale the matching validity ranges; set==0 operators
+  // (agg/project/filter above the join tree) inherit their child's factor.
+  struct Scaler {
+    TableSet mask;
+    double shrink;
+
+    double Visit(PlanNode* n) {
+      double child_factor = 1.0;
+      for (size_t i = 0; i < n->children.size(); ++i) {
+        const double f = Visit(n->children[i].get());
+        if (i < n->child_validity.size()) {
+          n->child_validity[i].lo *= f;
+          n->child_validity[i].hi *= f;  // inf stays inf
+        }
+        child_factor = std::min(child_factor, f);
+      }
+      const double factor =
+          (n->set & mask) != 0 ? shrink : (n->set == 0 ? child_factor : 1.0);
+      n->card *= factor;
+      n->op_cost *= factor;
+      n->cost *= factor;
+      return factor;
+    }
+  };
+  Scaler scaler{partitioned_mask, 1.0 / num_shards};
+  scaler.Visit(node);
+}
+
+std::vector<Row> GatherMerge(const GatherSpec& gather,
+                             std::vector<std::vector<Row>> shard_rows) {
+  std::vector<Row> rows;
+  if (gather.has_agg) {
+    // Group-wise combination of the partial-aggregate rows. A std::map
+    // keyed on the group columns gives a deterministic output order.
+    std::map<Row, std::vector<AggAccum>, RowLess> groups;
+    for (std::vector<Row>& shard : shard_rows) {
+      for (Row& row : shard) {
+        Row key(row.begin(), row.begin() + gather.group_count);
+        std::vector<AggAccum>& accums = groups[std::move(key)];
+        accums.resize(gather.aggs.size());
+        for (size_t j = 0; j < gather.aggs.size(); ++j) {
+          const GatherAgg& g = gather.aggs[j];
+          AggAccum& a = accums[j];
+          const Value& partial = row[static_cast<size_t>(g.slot)];
+          switch (g.func) {
+            case AggFunc::kCount:
+              a.count += partial.AsInt();
+              break;
+            case AggFunc::kSum:
+              if (!partial.is_null()) a.sum += partial.AsNumeric();
+              break;
+            case AggFunc::kMin:
+              if (!partial.is_null() &&
+                  (a.extreme.is_null() || partial < a.extreme)) {
+                a.extreme = partial;
+              }
+              break;
+            case AggFunc::kMax:
+              if (!partial.is_null() &&
+                  (a.extreme.is_null() || partial > a.extreme)) {
+                a.extreme = partial;
+              }
+              break;
+            case AggFunc::kAvg:
+              if (!partial.is_null()) a.sum += partial.AsNumeric();
+              a.count += row[static_cast<size_t>(g.slot2)].AsInt();
+              break;
+          }
+        }
+      }
+    }
+    rows.reserve(groups.size());
+    for (auto& [key, accums] : groups) {
+      Row out = key;
+      for (size_t j = 0; j < gather.aggs.size(); ++j) {
+        const AggAccum& a = accums[j];
+        switch (gather.aggs[j].func) {
+          case AggFunc::kCount:
+            out.push_back(Value::Int(a.count));
+            break;
+          case AggFunc::kSum:
+            out.push_back(Value::Double(a.sum));
+            break;
+          case AggFunc::kMin:
+          case AggFunc::kMax:
+            out.push_back(a.extreme);
+            break;
+          case AggFunc::kAvg:
+            out.push_back(
+                Value::Double(a.count == 0 ? 0.0 : a.sum / a.count));
+            break;
+        }
+      }
+      rows.push_back(std::move(out));
+    }
+  } else {
+    size_t total = 0;
+    for (const std::vector<Row>& shard : shard_rows) total += shard.size();
+    rows.reserve(total);
+    for (std::vector<Row>& shard : shard_rows) {
+      for (Row& row : shard) rows.push_back(std::move(row));
+    }
+  }
+
+  if (!gather.having.empty()) {
+    rows.erase(std::remove_if(rows.begin(), rows.end(),
+                              [&](const Row& row) {
+                                for (const ResolvedPredicate& pred :
+                                     gather.having) {
+                                  if (!EvalPredicate(pred, row)) return true;
+                                }
+                                return false;
+                              }),
+               rows.end());
+  }
+  if (gather.distinct && !gather.has_agg) {
+    std::unordered_set<Row, RowHash> seen;
+    std::vector<Row> deduped;
+    deduped.reserve(rows.size());
+    for (Row& row : rows) {
+      if (seen.insert(row).second) deduped.push_back(std::move(row));
+    }
+    rows = std::move(deduped);
+  }
+  if (!gather.order_by.empty()) {
+    std::stable_sort(rows.begin(), rows.end(),
+                     [&](const Row& a, const Row& b) {
+                       return CompareRowsByKeys(a, b, gather.order_by) < 0;
+                     });
+  }
+  if (gather.limit >= 0 &&
+      static_cast<int64_t>(rows.size()) > gather.limit) {
+    rows.resize(static_cast<size_t>(gather.limit));
+  }
+  return rows;
+}
+
+}  // namespace popdb::dist

@@ -1,0 +1,84 @@
+#ifndef POPDB_DIST_SPLIT_H_
+#define POPDB_DIST_SPLIT_H_
+
+#include <memory>
+#include <vector>
+
+#include "dist/partition.h"
+#include "exec/expr.h"
+#include "exec/sort.h"
+#include "opt/plan.h"
+#include "opt/query.h"
+
+namespace popdb::dist {
+
+/// One final aggregate of the gather phase, merging per-shard partial
+/// aggregates. `slot` is the partial value's position in the shard output
+/// row (after the group columns); `slot2` is the companion COUNT slot a
+/// partial AVG needs (SUM and COUNT ship separately, the coordinator
+/// divides).
+struct GatherAgg {
+  AggFunc func = AggFunc::kCount;
+  int slot = -1;
+  int slot2 = -1;
+};
+
+/// Coordinator-side merge recipe for the streams coming back from the
+/// shards: how to combine partial aggregates, then the post-merge steps
+/// the coordinator owns (HAVING, DISTINCT, ORDER BY, LIMIT) — the same
+/// query tail pop.cc would run on a single node.
+struct GatherSpec {
+  bool has_agg = false;
+  int group_count = 0;           ///< Leading group-by columns per row.
+  std::vector<GatherAgg> aggs;   ///< One entry per query aggregate.
+  bool distinct = false;
+  std::vector<ResolvedPredicate> having;
+  std::vector<SortKey> order_by;
+  int64_t limit = -1;
+};
+
+/// An optimized global plan cut into the fragment every shard executes and
+/// the coordinator's gather recipe.
+struct SplitPlan {
+  std::shared_ptr<PlanNode> fragment;
+  GatherSpec gather;
+};
+
+/// Bitmask of query tables that are range-partitioned under `spec`.
+TableSet PartitionedMask(const QuerySpec& query, const PartitionSpec& spec);
+
+/// True when scatter-gather execution of `query` is exhaustive: at least
+/// one partitioned table is referenced, and the partitioned tables the
+/// query touches form one connected component under join predicates that
+/// equate their partition-key columns (co-partitioned joins). Queries that
+/// fail this (e.g. a join of two partitioned tables on a non-key column)
+/// must run on a single node.
+bool IsShardable(const QuerySpec& query, const PartitionSpec& spec);
+
+/// Splits `root` (the coordinator's optimized global plan) for scatter:
+/// strips the final ORDER BY / HAVING into the gather spec, rewrites the
+/// top aggregation into a shard-local partial aggregation (AVG becomes
+/// SUM + COUNT), and keeps everything below on the fragment. `root` is
+/// consumed (the fragment aliases its nodes).
+Result<SplitPlan> SplitForShards(std::shared_ptr<PlanNode> root,
+                                 const QuerySpec& query);
+
+/// Scales a fragment's optimizer annotations to one shard's share of the
+/// data: cardinalities, costs and validity ranges of every subplan whose
+/// table set touches a partitioned table shrink by 1/num_shards (pure
+/// replicated-table subplans keep their global values). Run before
+/// checkpoint placement so the shard's CHECK ranges guard per-shard
+/// cardinalities.
+void ScalePlanForShard(PlanNode* node, TableSet partitioned_mask,
+                       int num_shards);
+
+/// Merges per-shard result streams on the coordinator: combines partial
+/// aggregates group-wise, then applies HAVING, DISTINCT, ORDER BY and
+/// LIMIT per the gather spec. Row order for unsorted queries follows
+/// shard index then stream order (deterministic given the inputs).
+std::vector<Row> GatherMerge(const GatherSpec& gather,
+                             std::vector<std::vector<Row>> shard_rows);
+
+}  // namespace popdb::dist
+
+#endif  // POPDB_DIST_SPLIT_H_

@@ -2,6 +2,8 @@
 
 #include <unistd.h>
 
+#include <chrono>
+#include <thread>
 #include <utility>
 
 #include "common/json.h"
@@ -33,12 +35,31 @@ Status FrameTransportError(const FrameResult& frame) {
 
 Result<Client> Client::Connect(const std::string& host, int port,
                                double timeout_ms) {
-  Result<int> fd = ConnectTcp(host, port, timeout_ms);
+  ClientConnectOptions options;
+  options.connect_timeout_ms = timeout_ms;
+  options.frame_timeout_ms = timeout_ms;
+  options.retry_refused = false;
+  return Connect(host, port, options);
+}
+
+Result<Client> Client::Connect(const std::string& host, int port,
+                               const ClientConnectOptions& options) {
+  Result<int> fd = ConnectTcp(host, port, options.connect_timeout_ms);
+  if (!fd.ok() && options.retry_refused &&
+      fd.status().code() == StatusCode::kUnavailable) {
+    // One retry covers the common startup race (peer not yet listening)
+    // without turning a dead peer into a retry loop.
+    if (options.retry_delay_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          options.retry_delay_ms));
+    }
+    fd = ConnectTcp(host, port, options.connect_timeout_ms);
+  }
   if (!fd.ok()) return fd.status();
 
   Client client;
   client.fd_ = fd.value();
-  client.timeout_ms_ = timeout_ms;
+  client.timeout_ms_ = options.frame_timeout_ms;
 
   JsonWriter w;
   w.BeginObject();
@@ -289,6 +310,61 @@ Result<std::string> Client::Metrics() {
   Result<JsonValue> reply = RoundTrip(w.str());
   if (!reply.ok()) return reply.status();
   return reply.value().GetString("text", "");
+}
+
+Result<int64_t> Client::SubplanStart(const std::string& request_payload) {
+  Result<JsonValue> reply = RoundTrip(request_payload);
+  if (!reply.ok()) return reply.status();
+  if (reply.value().GetString("type", "") != "subplan_ok") {
+    return Status::Internal("expected subplan_ok frame");
+  }
+  return reply.value().GetInt("query_id", -1);
+}
+
+Result<ShardEvent> Client::SubplanNext() {
+  if (fd_ < 0) return Status::InvalidArgument("client is closed");
+  FrameResult frame = ReadFrame(fd_, kAbsoluteMaxFrameBytes, timeout_ms_);
+  if (!frame.ok()) {
+    // A dropped connection mid-stream means the shard process is gone;
+    // report it as kUnavailable so the coordinator can fail the query
+    // cleanly instead of treating it as a protocol bug.
+    if (frame.status == FrameStatus::kEof ||
+        frame.status == FrameStatus::kError) {
+      return Status::Unavailable("shard connection lost mid-stream");
+    }
+    return FrameTransportError(frame);
+  }
+  Result<JsonValue> parsed = JsonParse(frame.payload);
+  if (!parsed.ok()) {
+    return Status::Internal("bad shard frame: " + parsed.status().message());
+  }
+  JsonValue& reply = parsed.value();
+  const std::string type = reply.GetString("type", "");
+  if (type == "error") return StatusFromErrorFrame(reply);
+  ShardEvent event;
+  if (type == "row_batch") {
+    event.kind = ShardEvent::Kind::kRows;
+    if (const JsonValue* rows = reply.Find("rows");
+        rows != nullptr && rows->kind() == JsonValue::Kind::kArray) {
+      for (const JsonValue& row : rows->items()) {
+        Result<Row> decoded = RowFromJson(row);
+        if (!decoded.ok()) return decoded.status();
+        event.rows.push_back(std::move(decoded).TakeValue());
+      }
+    }
+    return event;
+  }
+  if (type == "check_violation") {
+    event.kind = ShardEvent::Kind::kViolation;
+    event.payload = std::move(reply);
+    return event;
+  }
+  if (type == "query_done") {
+    event.kind = ShardEvent::Kind::kDone;
+    event.payload = std::move(reply);
+    return event;
+  }
+  return Status::Internal("unexpected shard frame type \"" + type + "\"");
 }
 
 Status Client::RequestShutdown() {

@@ -31,6 +31,33 @@ struct ClientQueryOptions {
   bool high_priority = false;
 };
 
+/// Options for Client::Connect. The connect timeout is separate from the
+/// per-frame timeout: a connect should fail fast (the peer is either
+/// listening or it is not) while frames may legitimately take a while on a
+/// loaded server.
+struct ClientConnectOptions {
+  double connect_timeout_ms = 5000.0;  ///< TCP connect only (<= 0 = none).
+  double frame_timeout_ms = 10000.0;   ///< Each frame round trip.
+  /// Retry the TCP connect exactly once when it is refused (kUnavailable).
+  /// Shards may bind their listener slightly after the coordinator starts
+  /// connecting; without the retry that race is a hard failure.
+  bool retry_refused = true;
+  double retry_delay_ms = 150.0;       ///< Sleep before the single retry.
+};
+
+/// One event from a shard executing a scattered subplan: a batch of rows, a
+/// CHECK validity-range violation, or the terminal query_done frame.
+struct ShardEvent {
+  enum class Kind {
+    kRows,       ///< `rows` holds the decoded batch.
+    kViolation,  ///< `payload` is the check_violation frame.
+    kDone,       ///< `payload` is the query_done frame.
+  };
+  Kind kind = Kind::kDone;
+  std::vector<Row> rows;
+  JsonValue payload;
+};
+
 /// Blocking client for the popdb wire protocol (net/wire.h). One Client
 /// owns one TCP connection and one server session; it is NOT thread safe —
 /// use one Client per thread (sessions are cheap).
@@ -45,6 +72,11 @@ class Client {
   /// TCP connect and each subsequent frame round trip (<= 0 = no timeout).
   static Result<Client> Connect(const std::string& host, int port,
                                 double timeout_ms = 10000.0);
+
+  /// Connects with explicit connect/frame timeouts and an optional single
+  /// retry when the connect is refused (see ClientConnectOptions).
+  static Result<Client> Connect(const std::string& host, int port,
+                                const ClientConnectOptions& options);
 
   Client(Client&& other) noexcept;
   Client& operator=(Client&& other) noexcept;
@@ -80,6 +112,17 @@ class Client {
   /// Asks the server process to shut down (requires
   /// NetServerConfig::allow_shutdown_request on the server).
   Status RequestShutdown();
+
+  /// Ships a pre-encoded `subplan` request (see docs/WIRE.md) to a shard
+  /// and returns the shard-assigned query id from the subplan_ok reply.
+  /// The shard then streams events; consume them with SubplanNext() until
+  /// a kDone event (or an error). While a subplan is streaming, no other
+  /// request may be issued on this connection — use a second Client for
+  /// control traffic (Cancel by the returned id works from any session).
+  Result<int64_t> SubplanStart(const std::string& request_payload);
+
+  /// Reads the next streamed event of the in-flight subplan.
+  Result<ShardEvent> SubplanNext();
 
   /// Sends goodbye and closes the socket. Safe to call twice.
   void Close();

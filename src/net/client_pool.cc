@@ -1,0 +1,55 @@
+#include "net/client_pool.h"
+
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace popdb::net {
+
+ClientPool::ClientPool(std::vector<Endpoint> endpoints,
+                       ClientConnectOptions options)
+    : endpoints_(std::move(endpoints)),
+      options_(options),
+      idle_(endpoints_.size()),
+      up_(endpoints_.size(), false) {}
+
+Result<std::unique_ptr<Client>> ClientPool::Acquire(int shard) {
+  if (shard < 0 || shard >= num_endpoints()) {
+    return Status::InvalidArgument(
+        StrFormat("shard %d out of range (%d endpoints)", shard,
+                  num_endpoints()));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    while (!idle_[shard].empty()) {
+      std::unique_ptr<Client> client = std::move(idle_[shard].back());
+      idle_[shard].pop_back();
+      if (client->connected()) return client;
+    }
+  }
+  const Endpoint& ep = endpoints_[shard];
+  Result<Client> dialed = Client::Connect(ep.host, ep.port, options_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    up_[shard] = dialed.ok();
+  }
+  if (!dialed.ok()) return dialed.status();
+  return std::make_unique<Client>(std::move(dialed).TakeValue());
+}
+
+void ClientPool::Release(int shard, std::unique_ptr<Client> client) {
+  if (client == nullptr || !client->connected()) return;
+  if (shard < 0 || shard >= num_endpoints()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  up_[shard] = true;
+  idle_[shard].push_back(std::move(client));
+}
+
+int ClientPool::endpoints_up() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int up = 0;
+  for (const bool b : up_) up += b ? 1 : 0;
+  return up;
+}
+
+}  // namespace popdb::net

@@ -1,0 +1,59 @@
+#ifndef POPDB_NET_CLIENT_POOL_H_
+#define POPDB_NET_CLIENT_POOL_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "net/client.h"
+
+namespace popdb::net {
+
+/// One shard's address.
+struct Endpoint {
+  std::string host;
+  int port = 0;
+};
+
+/// A pool of connections to a fixed set of endpoints (the shard fleet).
+/// Clients are checked out per shard index, used exclusively by the caller
+/// (net::Client is not thread safe), and returned for reuse. A shard whose
+/// connection died is simply re-dialed on the next Acquire; the pool also
+/// tracks which endpoints answered their last dial so the coordinator can
+/// export a `shards_up` gauge.
+///
+/// Thread safe; Acquire/Release may be called from gather threads.
+class ClientPool {
+ public:
+  ClientPool(std::vector<Endpoint> endpoints, ClientConnectOptions options);
+
+  /// Checks out a connected client for `shard` (index into the endpoint
+  /// list). Reuses an idle pooled connection when one exists, otherwise
+  /// dials (with the pool's connect options, including the refused-connect
+  /// retry). Marks the endpoint up/down as a side effect.
+  Result<std::unique_ptr<Client>> Acquire(int shard);
+
+  /// Returns a healthy client to the pool for reuse. Call only after a
+  /// clean exchange; drop (destroy) the client instead after any transport
+  /// error, since mid-stream state would poison the next user.
+  void Release(int shard, std::unique_ptr<Client> client);
+
+  int num_endpoints() const { return static_cast<int>(endpoints_.size()); }
+  const Endpoint& endpoint(int shard) const { return endpoints_[shard]; }
+
+  /// Number of endpoints whose most recent dial (or exchange) succeeded.
+  int endpoints_up() const;
+
+ private:
+  const std::vector<Endpoint> endpoints_;
+  const ClientConnectOptions options_;
+
+  mutable std::mutex mu_;
+  std::vector<std::vector<std::unique_ptr<Client>>> idle_;  // per shard
+  std::vector<bool> up_;                                    // per shard
+};
+
+}  // namespace popdb::net
+
+#endif  // POPDB_NET_CLIENT_POOL_H_

@@ -10,6 +10,7 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <thread>
 #include <utility>
 
 #include "common/string_util.h"
@@ -85,6 +86,9 @@ NetServer::NetServer(QueryService* service, TraceStore* traces,
       "popdb_net_connections_shed_total",
       "Connections closed immediately because the pending queue was "
       "full.");
+  subplans_total_ = registry.GetCounter(
+      "popdb_net_subplans_total",
+      "Subplan requests executed on behalf of a coordinator.");
 }
 
 NetServer::~NetServer() { Shutdown(); }
@@ -300,6 +304,7 @@ bool NetServer::HandleFrame(ConnState* conn, const std::string& payload) {
 
   if (type == "hello") return HandleHello(conn, request);
   if (type == "query") return HandleQuery(conn, request);
+  if (type == "subplan") return HandleSubplan(conn, request);
   if (type == "wait") return HandleWait(conn, request);
   if (type == "cancel") return HandleCancel(conn, request);
   if (type == "trace") return HandleTrace(conn, request);
@@ -417,6 +422,90 @@ bool NetServer::HandleQuery(ConnState* conn, const JsonValue& request) {
     return SendFrame(conn, w.str());
   }
   return StreamResult(conn, query_id, batch_rows);
+}
+
+bool NetServer::HandleSubplan(ConnState* conn, const JsonValue& request) {
+  if (config_.subplan_backend == nullptr) {
+    protocol_errors_->Increment();
+    return SendError(conn, StatusCode::kUnimplemented,
+                     "this server does not execute subplans (not a shard)");
+  }
+
+  // Subplans bypass the ticket model (rows stream while the query runs),
+  // so cancellation rides a bare token registered under a service-scoped
+  // query id: cancel-by-id from any session, session close and server
+  // shutdown all trip it.
+  const int64_t query_id = service_->AllocateQueryId();
+  auto token = std::make_shared<CancelToken>();
+  const double deadline_ms = request.GetNumber("deadline_ms", -1.0);
+  if (deadline_ms > 0) token->SetDeadlineAfterMs(deadline_ms);
+  const Status registered = sessions_.RegisterCancelable(
+      conn->session_id, query_id, token, config_.max_inflight_per_session);
+  if (!registered.ok()) {
+    return SendError(conn, registered.code(), registered.message());
+  }
+  subplans_total_->Increment();
+
+  {
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("type").String("subplan_ok");
+    w.Key("query_id").Int(query_id);
+    w.EndObject();
+    if (!SendFrame(conn, w.str())) {
+      sessions_.ReleaseCancelable(conn->session_id, query_id);
+      return false;
+    }
+  }
+
+  bool alive = true;
+  const auto emit = [&](const std::vector<Row>& rows) {
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("type").String("row_batch");
+    w.Key("query_id").Int(query_id);
+    w.Key("rows").BeginArray();
+    for (const Row& row : rows) AppendRowJson(row, &w);
+    w.EndArray();
+    w.EndObject();
+    if (!SendFrame(conn, w.str())) {
+      alive = false;
+      return false;
+    }
+    // Chaos knob: hold the stream open so tests can kill or cancel the
+    // shard mid-query; sliced so cancellation stays responsive.
+    double remaining_ms = config_.subplan_stall_ms;
+    while (remaining_ms > 0 && !token->Expired() &&
+           !stop_.load(std::memory_order_acquire)) {
+      const double slice = remaining_ms < 5.0 ? remaining_ms : 5.0;
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(slice));
+      remaining_ms -= slice;
+    }
+    return true;
+  };
+
+  SubplanBackend::RunResult result =
+      config_.subplan_backend->Run(request, token.get(), emit);
+  sessions_.ReleaseCancelable(conn->session_id, query_id);
+  if (!alive) return false;
+
+  if (!result.violation_json.empty()) {
+    if (!SendFrame(conn, result.violation_json)) return false;
+  }
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("type").String("query_done");
+  w.Key("query_id").Int(query_id);
+  w.Key("status").String(StatusCodeWireName(result.status.code()));
+  if (!result.status.ok()) {
+    w.Key("message").String(result.status.message());
+  }
+  w.Key("outcome").String(result.outcome);
+  w.Key("result_rows").Int(result.rows_sent);
+  w.Key("observations").Raw(result.observations_json);
+  w.EndObject();
+  return SendFrame(conn, w.str());
 }
 
 bool NetServer::HandleWait(ConnState* conn, const JsonValue& request) {

@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <set>
@@ -12,11 +13,44 @@
 #include <thread>
 #include <vector>
 
+#include "common/cancel.h"
 #include "net/wire.h"
 #include "runtime/query_service.h"
 #include "runtime/session.h"
 
 namespace popdb::net {
+
+/// Executes one `subplan` request on behalf of the server — the shard side
+/// of scatter-gather execution (implemented by dist::ShardExecutor; the
+/// interface lives here so src/net does not depend on src/dist).
+///
+/// Run() parses the request's serialized query + plan, executes it against
+/// the shard's catalog, and streams result rows through `emit` (one call
+/// per batch; a false return means the connection died — stop executing).
+/// `cancel` is tripped by cancel-by-id requests, session teardown and
+/// server shutdown. Must be thread safe: every connection worker may call
+/// Run concurrently.
+class SubplanBackend {
+ public:
+  /// Terminal outcome of one subplan run, rendered into the query_done
+  /// frame (and the preceding check_violation frame, when a CHECK fired).
+  struct RunResult {
+    Status status;
+    /// "ok", "reoptimize", "cancelled", "deadline", or "error".
+    std::string outcome = "ok";
+    /// Full check_violation frame payload, or empty when no CHECK fired.
+    std::string violation_json;
+    /// JSON array of {set, rows, exact} cardinality observations.
+    std::string observations_json = "[]";
+    int64_t rows_sent = 0;
+  };
+
+  virtual ~SubplanBackend() = default;
+
+  virtual RunResult Run(const JsonValue& request, CancelToken* cancel,
+                        const std::function<bool(const std::vector<Row>&)>&
+                            emit) = 0;
+};
 
 /// Configuration of a NetServer instance.
 struct NetServerConfig {
@@ -61,6 +95,14 @@ struct NetServerConfig {
   /// deterministic clean stop). Off by default: a remote kill switch is
   /// opt-in.
   bool allow_shutdown_request = false;
+
+  /// Shard mode: executor for `subplan` requests. Null (the default)
+  /// rejects them with unimplemented. Not owned; must outlive the server.
+  SubplanBackend* subplan_backend = nullptr;
+  /// Test/chaos knob: sleep this long after each emitted subplan row batch
+  /// (sliced, cancellation-responsive) so tests can deterministically kill
+  /// or cancel a shard mid-stream. <= 0 = no stall.
+  double subplan_stall_ms = 0.0;
 
   std::string server_name = "popdb";
 };
@@ -130,6 +172,7 @@ class NetServer {
   bool HandleFrame(ConnState* conn, const std::string& payload);
   bool HandleHello(ConnState* conn, const JsonValue& request);
   bool HandleQuery(ConnState* conn, const JsonValue& request);
+  bool HandleSubplan(ConnState* conn, const JsonValue& request);
   bool HandleWait(ConnState* conn, const JsonValue& request);
   bool HandleCancel(ConnState* conn, const JsonValue& request);
   bool HandleTrace(ConnState* conn, const JsonValue& request);
@@ -164,6 +207,7 @@ class NetServer {
   Counter* queries_total_ = nullptr;
   Counter* cancels_total_ = nullptr;
   Counter* connections_shed_ = nullptr;
+  Counter* subplans_total_ = nullptr;
 
   std::atomic<bool> stop_{false};
   std::atomic<bool> shutdown_requested_{false};

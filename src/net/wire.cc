@@ -140,6 +140,8 @@ const char* StatusCodeWireName(StatusCode code) {
       return "cancelled";
     case StatusCode::kDeadlineExceeded:
       return "deadline_exceeded";
+    case StatusCode::kUnavailable:
+      return "unavailable";
   }
   return "internal";
 }
@@ -153,6 +155,7 @@ StatusCode StatusCodeFromWireName(std::string_view name) {
   if (name == "unimplemented") return StatusCode::kUnimplemented;
   if (name == "cancelled") return StatusCode::kCancelled;
   if (name == "deadline_exceeded") return StatusCode::kDeadlineExceeded;
+  if (name == "unavailable") return StatusCode::kUnavailable;
   return StatusCode::kInternal;
 }
 
@@ -217,9 +220,13 @@ Result<int> ConnectTcp(const std::string& host, int port,
       ::connect(fd, reinterpret_cast<const struct sockaddr*>(&addr.value()),
                 sizeof(addr.value()));
   if (rc < 0 && errno != EINPROGRESS) {
-    const Status s = Status::Internal(StrFormat(
-        "connect %s:%d failed: %s", host.c_str(), port,
-        std::strerror(errno)));
+    const Status s =
+        errno == ECONNREFUSED
+            ? Status::Unavailable(StrFormat("connect %s:%d refused",
+                                            host.c_str(), port))
+            : Status::Internal(StrFormat("connect %s:%d failed: %s",
+                                         host.c_str(), port,
+                                         std::strerror(errno)));
     CloseFd(fd);
     return s;
   }
@@ -234,14 +241,20 @@ Result<int> ConnectTcp(const std::string& host, int port,
     if (ready <= 0 ||
         ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &len) < 0 ||
         soerr != 0) {
-      const Status s =
-          ready == 0
-              ? Status::DeadlineExceeded(StrFormat(
-                    "connect %s:%d timed out", host.c_str(), port))
-              : Status::Internal(StrFormat("connect %s:%d failed: %s",
-                                           host.c_str(), port,
-                                           std::strerror(soerr != 0 ? soerr
-                                                                    : errno)));
+      Status s;
+      if (ready == 0) {
+        s = Status::DeadlineExceeded(
+            StrFormat("connect %s:%d timed out", host.c_str(), port));
+      } else if (soerr == ECONNREFUSED) {
+        // Distinguishable so clients can retry a racing connect (a shard
+        // that has not bound its listener yet).
+        s = Status::Unavailable(
+            StrFormat("connect %s:%d refused", host.c_str(), port));
+      } else {
+        s = Status::Internal(
+            StrFormat("connect %s:%d failed: %s", host.c_str(), port,
+                      std::strerror(soerr != 0 ? soerr : errno)));
+      }
       CloseFd(fd);
       return s;
     }

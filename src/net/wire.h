@@ -36,6 +36,18 @@ namespace popdb::net {
 ///   goodbye   {type}                            -> goodbye_ok (conn closes)
 ///   shutdown  {type}                            -> shutdown_ok (server stops;
 ///                                                  gated by server config)
+///   subplan   {type, query, plan, deadline_ms?, batch_rows?}
+///                                               -> subplan_ok {query_id},
+///                                                  then row_batch* streamed
+///                                                  during execution, an
+///                                                  optional check_violation
+///                                                  {edge_set, observed_rows,
+///                                                  exact, flavor, check_lo,
+///                                                  check_hi}, and a terminal
+///                                                  query_done {status,
+///                                                  outcome, observations}
+///                                                  (shard servers only; see
+///                                                  docs/WIRE.md)
 ///
 /// Any request can instead produce {type:"error", code, message}. Protocol
 /// violations (oversized frame, malformed JSON, missing hello) produce an

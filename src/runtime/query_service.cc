@@ -315,6 +315,20 @@ void QueryService::RunOne(const std::shared_ptr<QueryTicket>& ticket) {
                                        "' exceeded its deadline in the queue")
             : Status::Cancelled("query '" + trace.query_name +
                                 "' cancelled while queued");
+  } else if (config_.dist_backend != nullptr &&
+             config_.dist_backend->CanExecute(ticket->query_)) {
+    // Scatter-gather execution across shards. The distributed path skips
+    // the local plan cache and matview reuse (shard results never
+    // materialize here) but shares the cross-query feedback store, so
+    // cluster-harvested cardinalities seed later compilations too.
+    ExecutionStats stats;
+    Result<std::vector<Row>> rows = config_.dist_backend->Execute(
+        ticket->query_, &ticket->cancel_, FeedbackFor(ticket->session_id_),
+        &stats);
+    FillTraceFromStats(stats, &trace);
+    result.status = rows.status();
+    if (rows.ok()) result.rows = std::move(rows).TakeValue();
+    metrics_.OnReopts(stats.reopts, trace.checks_fired);
   } else {
     ProgressiveExecutor exec(catalog_, config_.optimizer, config_.pop);
     exec.set_cross_query_store(FeedbackFor(ticket->session_id_));

@@ -24,6 +24,34 @@ namespace popdb {
 /// queued normal-priority work; within a lane, dispatch is FIFO.
 enum class QueryPriority { kNormal = 0, kHigh = 1 };
 
+/// Pluggable distributed execution back end (implemented by
+/// dist::Coordinator; declared here so runtime does not depend on dist).
+/// When attached via ServiceConfig::dist_backend, workers route every
+/// query the back end claims (CanExecute) through Execute instead of the
+/// local ProgressiveExecutor; everything else (admission, deadlines,
+/// cancellation, tracing, metrics) stays with the service.
+///
+/// Implementations must be thread safe: multiple workers may call
+/// Execute concurrently.
+class DistributedBackend {
+ public:
+  virtual ~DistributedBackend() = default;
+
+  /// True when the back end can run `query` exhaustively (e.g. the query's
+  /// partitioned tables are co-partition joined). False routes the query
+  /// to local execution.
+  virtual bool CanExecute(const QuerySpec& query) const = 0;
+
+  /// Runs `query` across the cluster. `cancel` (never null) propagates
+  /// client cancellation and deadlines; `feedback` (may be null) is the
+  /// session's cross-query feedback store to seed from and absorb into;
+  /// `stats` (never null) receives attempt/timing/re-opt diagnostics.
+  virtual Result<std::vector<Row>> Execute(const QuerySpec& query,
+                                           CancelToken* cancel,
+                                           QueryFeedbackStore* feedback,
+                                           ExecutionStats* stats) = 0;
+};
+
 /// Configuration of a QueryService instance.
 struct ServiceConfig {
   /// Worker threads executing queries (each runs one query at a time).
@@ -85,6 +113,11 @@ struct ServiceConfig {
   /// Receives a QueryTrace for every finished query. Not owned; may be
   /// null. Must be thread safe (workers emit concurrently).
   TraceSink* trace_sink = nullptr;
+
+  /// Distributed scatter-gather back end (coordinator mode). Not owned;
+  /// may be null (all queries execute locally). Queries the back end does
+  /// not claim fall back to local execution against `catalog`.
+  DistributedBackend* dist_backend = nullptr;
 };
 
 /// Per-submission options.
@@ -217,6 +250,12 @@ class QueryService {
   /// The process-wide shared feedback store (tests: bump the external
   /// epoch to model a stats refresh, inspect learned cardinalities).
   QueryFeedbackStore& shared_feedback() { return shared_feedback_; }
+
+  /// Draws a fresh id from the service-wide query-id sequence. Used by
+  /// front ends for work they track in the session registry without a
+  /// ticket (e.g. shard subplan executions), so cancel-by-id has one id
+  /// space.
+  int64_t AllocateQueryId() { return next_query_id_.fetch_add(1); }
 
  private:
   void WorkerLoop();

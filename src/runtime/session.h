@@ -10,6 +10,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "common/cancel.h"
 #include "common/status.h"
 #include "runtime/query_service.h"
 #include "runtime/trace.h"
@@ -64,6 +65,20 @@ class SessionRegistry {
   std::shared_ptr<QueryTicket> ReleaseQuery(uint64_t session_id,
                                             int64_t query_id);
 
+  /// Registers a bare cancel token under `query_id` — for work a front end
+  /// runs outside the ticket model (e.g. shard subplan execution, which
+  /// streams rows as they are produced instead of waiting on a ticket).
+  /// Registered tokens participate in cancel-by-id, CancelAll and
+  /// session-close cancellation exactly like tickets, and count against
+  /// the session's `max_inflight` bound.
+  Status RegisterCancelable(uint64_t session_id, int64_t query_id,
+                            std::shared_ptr<CancelToken> token,
+                            int max_inflight);
+
+  /// Removes a token registered with RegisterCancelable (the work
+  /// finished). Unknown ids are ignored.
+  void ReleaseCancelable(uint64_t session_id, int64_t query_id);
+
   /// Cancels the query registered under `query_id` from any session.
   /// Returns false when the id is unknown (already released or never
   /// registered).
@@ -80,6 +95,9 @@ class SessionRegistry {
   struct Session {
     /// query_id -> ticket; bounded by the front end's max_inflight.
     std::map<int64_t, std::shared_ptr<QueryTicket>> queries;
+    /// query_id -> bare token (RegisterCancelable work); shares the
+    /// max_inflight bound with `queries`.
+    std::map<int64_t, std::shared_ptr<CancelToken>> cancelables;
   };
 
   mutable std::mutex mu_;
@@ -87,6 +105,8 @@ class SessionRegistry {
   std::map<uint64_t, Session> sessions_;
   /// Process-wide table resolving cancel-by-id across sessions.
   std::unordered_map<int64_t, std::shared_ptr<QueryTicket>> by_query_id_;
+  /// Same, for bare cancel tokens.
+  std::unordered_map<int64_t, std::shared_ptr<CancelToken>> by_cancel_id_;
 };
 
 /// Bounded store of finished-query traces keyed by query id, FIFO-evicted:

@@ -319,6 +319,77 @@ TEST(JsonParseTest, RejectsMalformedDocuments) {
   EXPECT_FALSE(JsonParse("\"\\ud83d\"").ok());    // Lone surrogate.
 }
 
+/// Emits one random JSON value through the writer (syntactically valid by
+/// construction); containers stop nesting past `depth` 4 so documents stay
+/// bounded. Shared shape with the fuzz_test round-trip fuzz.
+void WriteRandomJson(Rng* rng, int depth, JsonWriter* w) {
+  const int64_t kind =
+      depth >= 4 ? rng->UniformInt(0, 4) : rng->UniformInt(0, 6);
+  switch (kind) {
+    case 0:
+      w->Null();
+      break;
+    case 1:
+      w->Bool(rng->UniformInt(0, 1) == 1);
+      break;
+    case 2:
+      w->Int(rng->UniformInt(-1000000000000, 1000000000000));
+      break;
+    case 3:
+      w->Double((rng->UniformDouble() - 0.5) * 1e9);
+      break;
+    case 4: {
+      // Tokens chosen to exercise escaping (quotes, backslash, control
+      // characters) and multi-byte UTF-8 passthrough.
+      static const std::vector<std::string> kTokens = {
+          "a",  "bc", "\"", "\\", "\n", "\t", "/",
+          "\x01", " ", "é", "€", "😀"};
+      std::string s;
+      const int64_t len = rng->UniformInt(0, 8);
+      for (int64_t i = 0; i < len; ++i) {
+        s += kTokens[static_cast<size_t>(
+            rng->UniformInt(0, static_cast<int64_t>(kTokens.size()) - 1))];
+      }
+      w->String(s);
+      break;
+    }
+    case 5: {
+      w->BeginArray();
+      const int64_t n = rng->UniformInt(0, 4);
+      for (int64_t i = 0; i < n; ++i) WriteRandomJson(rng, depth + 1, w);
+      w->EndArray();
+      break;
+    }
+    default: {
+      w->BeginObject();
+      const int64_t n = rng->UniformInt(0, 4);
+      for (int64_t i = 0; i < n; ++i) {
+        w->Key("k" + std::to_string(i));
+        WriteRandomJson(rng, depth + 1, w);
+      }
+      w->EndObject();
+      break;
+    }
+  }
+}
+
+TEST(JsonParseTest, FuzzRandomDocumentsRoundTrip) {
+  // parse → WriteTo → parse must be a fixpoint: the reparse sees exactly
+  // the same value, and re-serialization is byte-identical from then on.
+  for (uint64_t seed = 1; seed <= 200; ++seed) {
+    Rng rng(seed);
+    JsonWriter w;
+    WriteRandomJson(&rng, 0, &w);
+    Result<JsonValue> first = JsonParse(w.str());
+    ASSERT_TRUE(first.ok()) << "seed " << seed << ": " << w.str() << ": "
+                            << first.status().ToString();
+    const std::string canonical = first.value().ToJsonString();
+    Result<JsonValue> second = JsonParse(canonical);
+    ASSERT_TRUE(second.ok()) << "seed " << seed << ": " << canonical;
+    EXPECT_EQ(canonical, second.value().ToJsonString()) << "seed " << seed;
+  }
+}
+
 TEST(JsonParseTest, ErrorsCarryByteOffset) {
   Result<JsonValue> v = JsonParse("{\"a\": ??}");
   ASSERT_FALSE(v.ok());

@@ -1,0 +1,454 @@
+// Tests of the sharded scatter-gather subsystem (src/dist): range
+// partitioning, subplan JSON round trips, distributed-vs-single-node
+// result equivalence over real loopback shard servers, coordinator-level
+// progressive re-optimization from per-shard CHECK violations, fan-out
+// cancellation/deadlines, and shard death mid-query.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "dist/coordinator.h"
+#include "dist/partition.h"
+#include "dist/plan_json.h"
+#include "dist/shard.h"
+#include "dist/split.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "sql/binder.h"
+#include "tests/test_util.h"
+
+namespace popdb {
+namespace {
+
+/// Correlated orders/items pair (o_subclass determines o_class, so
+/// conjunctive predicates on both are 10x overestimated under the
+/// independence assumption) — the same trap that drives single-node POP
+/// re-optimization, here scaled per shard.
+void BuildDistCatalog(Catalog* catalog) {
+  Rng rng(5);
+  Table orders("orders", Schema({{"o_id", ValueType::kInt},
+                                 {"o_class", ValueType::kInt},
+                                 {"o_subclass", ValueType::kInt}}));
+  for (int64_t i = 0; i < 4000; ++i) {
+    const int64_t sub = rng.UniformInt(0, 199);
+    orders.AppendRow({Value::Int(i), Value::Int(sub / 10), Value::Int(sub)});
+  }
+  POPDB_DCHECK(catalog->AddTable(std::move(orders)).ok());
+  Table items("items", Schema({{"i_order", ValueType::kInt},
+                               {"i_qty", ValueType::kInt}}));
+  for (int64_t i = 0; i < 12000; ++i) {
+    items.AppendRow({Value::Int(rng.UniformInt(0, 3999)),
+                     Value::Int(rng.UniformInt(1, 50))});
+  }
+  POPDB_DCHECK(catalog->AddTable(std::move(items)).ok());
+  // Replicated dimension (not in the partition spec).
+  Table clazz("clazz", Schema({{"c_id", ValueType::kInt},
+                               {"c_name", ValueType::kString}}));
+  for (int64_t i = 0; i < 20; ++i) {
+    clazz.AppendRow({Value::Int(i), Value::String("class-" +
+                                                  std::to_string(i))});
+  }
+  POPDB_DCHECK(catalog->AddTable(std::move(clazz)).ok());
+  catalog->AnalyzeAll();
+}
+
+dist::PartitionSpec DistSpec() {
+  dist::PartitionSpec spec;
+  spec.keys = {{"orders", 0}, {"items", 0}};
+  return spec;
+}
+
+QuerySpec Parse(const Catalog& catalog, const std::string& sql) {
+  Result<sql::BoundStatement> bound = sql::ParseSql(catalog, sql);
+  EXPECT_TRUE(bound.ok()) << sql << ": " << bound.status().ToString();
+  return bound.value().query;
+}
+
+/// One in-process shard: its partition catalog, a QueryService (the
+/// NetServer requires one), and a NetServer with the subplan backend.
+struct ShardProcess {
+  Catalog catalog;
+  TraceStore traces{64};
+  std::unique_ptr<QueryService> service;
+  std::unique_ptr<dist::ShardExecutor> executor;
+  std::unique_ptr<net::NetServer> server;
+
+  ~ShardProcess() {
+    if (server != nullptr) server->Shutdown();
+    if (service != nullptr) service->Shutdown(/*drain=*/false);
+  }
+};
+
+class DistTest : public ::testing::Test {
+ protected:
+  void StartCluster(int num_shards, double stall_ms = 0.0) {
+    BuildDistCatalog(&full_);
+    spec_ = DistSpec();
+    Result<std::vector<dist::KeyRange>> ranges =
+        dist::ComputeRanges(full_, spec_, num_shards);
+    ASSERT_TRUE(ranges.ok()) << ranges.status().ToString();
+    std::vector<net::Endpoint> endpoints;
+    for (int s = 0; s < num_shards; ++s) {
+      auto shard = std::make_unique<ShardProcess>();
+      ASSERT_TRUE(dist::BuildShardCatalog(full_, spec_, ranges.value(), s,
+                                          /*histogram_buckets=*/32,
+                                          &shard->catalog)
+                      .ok());
+      ServiceConfig service_config;
+      service_config.share_feedback = true;
+      service_config.trace_sink = &shard->traces;
+      shard->service =
+          std::make_unique<QueryService>(shard->catalog, service_config);
+      shard->executor =
+          std::make_unique<dist::ShardExecutor>(shard->catalog);
+      net::NetServerConfig net_config;
+      net_config.host = "127.0.0.1";
+      net_config.port = 0;
+      net_config.subplan_backend = shard->executor.get();
+      net_config.subplan_stall_ms = stall_ms;
+      shard->server = std::make_unique<net::NetServer>(
+          shard->service.get(), &shard->traces, net_config);
+      ASSERT_TRUE(shard->server->Start().ok());
+      endpoints.push_back({"127.0.0.1", shard->server->port()});
+      shards_.push_back(std::move(shard));
+    }
+    dist::CoordinatorConfig config;
+    config.shards = endpoints;
+    config.partition = spec_;
+    coordinator_ = std::make_unique<dist::Coordinator>(full_, config);
+  }
+
+  Result<std::vector<Row>> RunDist(const std::string& sql,
+                                   ExecutionStats* stats = nullptr,
+                                   CancelToken* cancel = nullptr) {
+    const QuerySpec query = Parse(full_, sql);
+    EXPECT_TRUE(coordinator_->CanExecute(query)) << sql;
+    CancelToken local_cancel;
+    ExecutionStats local_stats;
+    return coordinator_->Execute(query,
+                                 cancel != nullptr ? cancel : &local_cancel,
+                                 /*feedback=*/nullptr,
+                                 stats != nullptr ? stats : &local_stats);
+  }
+
+  /// Single-node oracle: the same query through the progressive executor
+  /// against the full catalog.
+  std::vector<Row> RunLocal(const std::string& sql) {
+    ProgressiveExecutor exec(full_, OptimizerConfig{}, PopConfig{});
+    Result<std::vector<Row>> rows = exec.Execute(Parse(full_, sql));
+    EXPECT_TRUE(rows.ok()) << sql << ": " << rows.status().ToString();
+    return rows.ok() ? rows.value() : std::vector<Row>{};
+  }
+
+  Catalog full_;
+  dist::PartitionSpec spec_;
+  std::vector<std::unique_ptr<ShardProcess>> shards_;
+  std::unique_ptr<dist::Coordinator> coordinator_;
+};
+
+// -------------------------------------------------------- partitioning
+
+TEST(PartitionTest, RangesCoverDomainWithoutOverlap) {
+  Catalog full;
+  BuildDistCatalog(&full);
+  Result<std::vector<dist::KeyRange>> ranges =
+      dist::ComputeRanges(full, DistSpec(), 4);
+  ASSERT_TRUE(ranges.ok());
+  ASSERT_EQ(4u, ranges.value().size());
+  EXPECT_EQ(0, ranges.value()[0].lo);
+  for (size_t i = 1; i < ranges.value().size(); ++i) {
+    EXPECT_EQ(ranges.value()[i - 1].hi, ranges.value()[i].lo);
+  }
+  EXPECT_EQ(4000, ranges.value().back().hi);  // max key 3999, half-open.
+}
+
+TEST(PartitionTest, ShardCatalogsPartitionFactsAndReplicateDims) {
+  Catalog full;
+  BuildDistCatalog(&full);
+  const dist::PartitionSpec spec = DistSpec();
+  Result<std::vector<dist::KeyRange>> ranges =
+      dist::ComputeRanges(full, spec, 3);
+  ASSERT_TRUE(ranges.ok());
+  int64_t orders_total = 0;
+  int64_t items_total = 0;
+  for (int s = 0; s < 3; ++s) {
+    Catalog shard;
+    ASSERT_TRUE(
+        dist::BuildShardCatalog(full, spec, ranges.value(), s, 32, &shard)
+            .ok());
+    orders_total += shard.GetTable("orders")->num_rows();
+    items_total += shard.GetTable("items")->num_rows();
+    // Replicated dimension is complete on every shard.
+    EXPECT_EQ(20, shard.GetTable("clazz")->num_rows());
+    // Shard statistics describe the shard, not the global table.
+    EXPECT_LT(shard.GetTable("orders")->num_rows(), 4000);
+  }
+  EXPECT_EQ(4000, orders_total);
+  EXPECT_EQ(12000, items_total);
+}
+
+TEST(PartitionTest, ComputeRangesRejectsBadInput) {
+  Catalog full;
+  BuildDistCatalog(&full);
+  EXPECT_FALSE(dist::ComputeRanges(full, DistSpec(), 0).ok());
+  dist::PartitionSpec missing;
+  missing.keys = {{"nope", 0}};
+  EXPECT_FALSE(dist::ComputeRanges(full, missing, 2).ok());
+}
+
+// ----------------------------------------------------- JSON round trips
+
+TEST(PlanJsonTest, QuerySpecRoundTripsThroughJson) {
+  Catalog full;
+  BuildDistCatalog(&full);
+  const std::vector<std::string> corpus = {
+      "SELECT o_id, o_subclass FROM orders WHERE o_subclass < 12",
+      "SELECT o_class, COUNT(*), SUM(o_subclass), AVG(o_subclass) "
+      "FROM orders GROUP BY o_class ORDER BY 1",
+      "SELECT o_class, COUNT(*) FROM orders, items WHERE o_id = i_order "
+      "AND o_class = 7 AND o_subclass = 77 GROUP BY o_class",
+      "SELECT DISTINCT o_class FROM orders ORDER BY 1 LIMIT 5",
+  };
+  for (const std::string& sql : corpus) {
+    const QuerySpec query = Parse(full, sql);
+    JsonWriter w;
+    dist::AppendQuerySpecJson(query, &w);
+    Result<JsonValue> parsed = JsonParse(w.str());
+    ASSERT_TRUE(parsed.ok()) << sql;
+    Result<QuerySpec> back = dist::QuerySpecFromJson(parsed.value());
+    ASSERT_TRUE(back.ok()) << sql << ": " << back.status().ToString();
+    // Re-serialization is a faithful equality proxy: every field the
+    // engine reads participates in the encoding.
+    JsonWriter w2;
+    dist::AppendQuerySpecJson(back.value(), &w2);
+    EXPECT_EQ(w.str(), w2.str()) << sql;
+  }
+}
+
+TEST(PlanJsonTest, OptimizedPlanRoundTripsThroughJson) {
+  Catalog full;
+  BuildDistCatalog(&full);
+  ProgressiveExecutor exec(full, OptimizerConfig{}, PopConfig{});
+  const QuerySpec query = Parse(
+      full,
+      "SELECT o_class, COUNT(*) FROM orders, items WHERE o_id = i_order "
+      "GROUP BY o_class");
+  Result<OptimizedPlan> plan = exec.Plan(query);
+  ASSERT_TRUE(plan.ok());
+  JsonWriter w;
+  ASSERT_TRUE(dist::AppendPlanJson(*plan.value().root, &w).ok());
+  Result<JsonValue> parsed = JsonParse(w.str());
+  ASSERT_TRUE(parsed.ok());
+  Result<std::shared_ptr<PlanNode>> back =
+      dist::PlanFromJson(parsed.value());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  JsonWriter w2;
+  ASSERT_TRUE(dist::AppendPlanJson(*back.value(), &w2).ok());
+  EXPECT_EQ(w.str(), w2.str());
+}
+
+// ---------------------------------------------------------- shardability
+
+TEST(SplitTest, CoPartitionedJoinIsShardableNonKeyJoinIsNot) {
+  Catalog full;
+  BuildDistCatalog(&full);
+  const dist::PartitionSpec spec = DistSpec();
+  EXPECT_TRUE(dist::IsShardable(
+      Parse(full, "SELECT COUNT(*) FROM orders, items WHERE o_id = i_order"),
+      spec));
+  EXPECT_TRUE(dist::IsShardable(
+      Parse(full, "SELECT COUNT(*) FROM orders"), spec));
+  // Joining the two partitioned tables on non-key columns cannot be
+  // answered shard-locally.
+  EXPECT_FALSE(dist::IsShardable(
+      Parse(full,
+            "SELECT COUNT(*) FROM orders, items WHERE o_subclass = i_qty"),
+      spec));
+  // Pure replicated-table queries run locally too.
+  EXPECT_FALSE(
+      dist::IsShardable(Parse(full, "SELECT COUNT(*) FROM clazz"), spec));
+}
+
+// ----------------------------------------------------------- equivalence
+
+TEST_F(DistTest, DistributedResultsMatchSingleNode) {
+  StartCluster(3);
+  const std::vector<std::string> corpus = {
+      "SELECT o_id, o_subclass FROM orders WHERE o_subclass < 12",
+      "SELECT o_class, COUNT(*), SUM(o_subclass), AVG(o_subclass) "
+      "FROM orders GROUP BY o_class ORDER BY 1",
+      "SELECT MIN(i_qty), MAX(i_qty), COUNT(*) FROM items",
+      "SELECT o_class, COUNT(*) FROM orders, items WHERE o_id = i_order "
+      "GROUP BY o_class ORDER BY 1",
+      "SELECT o_class, SUM(i_qty), AVG(i_qty) FROM orders, items "
+      "WHERE o_id = i_order AND o_subclass = 77 GROUP BY o_class ORDER BY 1",
+      "SELECT o_class, COUNT(*) FROM orders GROUP BY o_class "
+      "HAVING COUNT(*) > 190 ORDER BY 1",
+      "SELECT DISTINCT o_class FROM orders ORDER BY 1",
+      "SELECT o_id FROM orders WHERE o_subclass = 5 ORDER BY 1 LIMIT 7",
+      "SELECT o_class, c_name, COUNT(*) FROM orders, clazz "
+      "WHERE o_class = c_id GROUP BY o_class, c_name ORDER BY 1",
+  };
+  for (const std::string& sql : corpus) {
+    Result<std::vector<Row>> dist_rows = RunDist(sql);
+    ASSERT_TRUE(dist_rows.ok())
+        << sql << ": " << dist_rows.status().ToString();
+    EXPECT_EQ(testing::Canonicalize(RunLocal(sql)),
+              testing::Canonicalize(dist_rows.value()))
+        << sql;
+  }
+}
+
+TEST_F(DistTest, OrderByIsRespectedAcrossShardMerge) {
+  StartCluster(2);
+  const std::string sql =
+      "SELECT o_id FROM orders WHERE o_subclass < 4 ORDER BY 1";
+  Result<std::vector<Row>> rows = RunDist(sql);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_FALSE(rows.value().empty());
+  for (size_t i = 1; i < rows.value().size(); ++i) {
+    EXPECT_LE(rows.value()[i - 1][0].AsInt(), rows.value()[i][0].AsInt());
+  }
+}
+
+// ----------------------------------------- global progressive execution
+
+TEST_F(DistTest, ShardCheckViolationTriggersGlobalReoptimization) {
+  StartCluster(2);
+  // The correlated predicate pair makes the coordinator's first plan
+  // overestimate 10x; the shard-scaled CHECK fires shard-side.
+  const std::string sql =
+      "SELECT o_class, COUNT(*) FROM orders, items WHERE o_id = i_order "
+      "AND o_class = 7 AND o_subclass = 77 GROUP BY o_class";
+  ExecutionStats stats;
+  Result<std::vector<Row>> rows = RunDist(sql, &stats);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_GE(stats.reopts, 1) << "expected a cluster-level re-optimization";
+  ASSERT_GE(stats.attempts.size(), 2u);
+  EXPECT_TRUE(stats.attempts.front().reoptimized);
+  // The harvested global cardinalities changed the plan.
+  EXPECT_NE(stats.attempts.front().plan_text,
+            stats.attempts.back().plan_text);
+  EXPECT_EQ(testing::Canonicalize(RunLocal(sql)),
+            testing::Canonicalize(rows.value()));
+}
+
+TEST_F(DistTest, CrossQueryFeedbackSkipsRepeatViolation) {
+  StartCluster(2);
+  const std::string sql =
+      "SELECT o_class, COUNT(*) FROM orders, items WHERE o_id = i_order "
+      "AND o_class = 7 AND o_subclass = 77 GROUP BY o_class";
+  const QuerySpec query = Parse(full_, sql);
+  QueryFeedbackStore store;
+  CancelToken c1;
+  ExecutionStats first;
+  ASSERT_TRUE(coordinator_->Execute(query, &c1, &store, &first).ok());
+  EXPECT_GE(first.reopts, 1);
+  // Second run seeds from the learned global cardinalities: right plan
+  // first try, no violation.
+  CancelToken c2;
+  ExecutionStats second;
+  ASSERT_TRUE(coordinator_->Execute(query, &c2, &store, &second).ok());
+  EXPECT_EQ(0, second.reopts);
+}
+
+// ------------------------------------------------- cancellation fan-out
+
+TEST_F(DistTest, DeadlinePropagatesToShards) {
+  StartCluster(2, /*stall_ms=*/30.0);
+  CancelToken cancel;
+  cancel.SetDeadlineAfterMs(60.0);
+  ExecutionStats stats;
+  // Small batches force many stalled emits, so the deadline always lands
+  // mid-stream.
+  coordinator_->set_batch_rows(16);
+  Result<std::vector<Row>> rows =
+      RunDist("SELECT o_id, o_subclass FROM orders", &stats, &cancel);
+  ASSERT_FALSE(rows.ok());
+  EXPECT_EQ(StatusCode::kDeadlineExceeded, rows.status().code())
+      << rows.status().ToString();
+  // Every shard query is released (cancel fan-out reached them); allow the
+  // in-flight cancels a moment to settle.
+  for (int i = 0; i < 100; ++i) {
+    int64_t inflight = 0;
+    for (const auto& shard : shards_) {
+      inflight += shard->server->sessions().inflight_queries();
+    }
+    if (inflight == 0) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  FAIL() << "shard subqueries still in flight after cancellation";
+}
+
+TEST_F(DistTest, ExplicitCancelPropagatesToShards) {
+  StartCluster(2, /*stall_ms=*/30.0);
+  CancelToken cancel;
+  coordinator_->set_batch_rows(16);
+  std::thread trip([&cancel] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    cancel.RequestCancel();
+  });
+  Result<std::vector<Row>> rows =
+      RunDist("SELECT o_id, o_subclass FROM orders", nullptr, &cancel);
+  trip.join();
+  ASSERT_FALSE(rows.ok());
+  EXPECT_EQ(StatusCode::kCancelled, rows.status().code())
+      << rows.status().ToString();
+}
+
+// ------------------------------------------------------------ shard death
+
+TEST_F(DistTest, ShardDeathMidQueryFailsCleanlyWithoutHang) {
+  StartCluster(2, /*stall_ms=*/20.0);
+  coordinator_->set_batch_rows(16);
+  std::thread killer([this] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    shards_[1]->server->Shutdown();  // Hard-drops every connection.
+  });
+  Result<std::vector<Row>> rows =
+      RunDist("SELECT o_id, o_subclass FROM orders");
+  killer.join();
+  ASSERT_FALSE(rows.ok());
+  EXPECT_EQ(StatusCode::kUnavailable, rows.status().code())
+      << rows.status().ToString();
+  // The error names the shard that died.
+  EXPECT_NE(std::string::npos, rows.status().ToString().find("shard 1"))
+      << rows.status().ToString();
+  // The surviving shard drained its subquery (cancel fan-out / broken
+  // sink), so nothing is left in flight.
+  for (int i = 0; i < 100; ++i) {
+    if (shards_[0]->server->sessions().inflight_queries() == 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(0, shards_[0]->server->sessions().inflight_queries());
+}
+
+TEST_F(DistTest, DeadShardAtScatterTimeFailsFast) {
+  StartCluster(2);
+  shards_[0]->server->Shutdown();
+  shards_[0]->server = nullptr;
+  Result<std::vector<Row>> rows = RunDist("SELECT COUNT(*) FROM orders");
+  ASSERT_FALSE(rows.ok());
+  EXPECT_EQ(StatusCode::kUnavailable, rows.status().code())
+      << rows.status().ToString();
+}
+
+// ------------------------------------------------------- local fallback
+
+TEST_F(DistTest, NonShardableQueriesAreDeclined) {
+  StartCluster(2);
+  EXPECT_FALSE(coordinator_->CanExecute(
+      Parse(full_, "SELECT COUNT(*) FROM clazz")));
+  EXPECT_FALSE(coordinator_->CanExecute(Parse(
+      full_, "SELECT COUNT(*) FROM orders, items WHERE o_subclass = i_qty")));
+}
+
+}  // namespace
+}  // namespace popdb

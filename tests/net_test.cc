@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <string>
 #include <thread>
 #include <tuple>
@@ -443,6 +444,50 @@ TEST_F(NetTest, ConcurrentSessionsHammer) {
             service_->metrics_registry()
                 .GetCounter("popdb_net_queries_total", "")
                 ->value());
+}
+
+// ------------------------------------------------------- connect retry
+
+TEST_F(NetTest, RefusedConnectFailsUnavailableWithoutRetry) {
+  StartServer();
+  const int dead_port = server_->port();
+  server_->Shutdown();
+  server_ = nullptr;
+  net::ClientConnectOptions options;
+  options.retry_refused = false;
+  options.connect_timeout_ms = 1000.0;
+  Result<net::Client> c =
+      net::Client::Connect("127.0.0.1", dead_port, options);
+  ASSERT_FALSE(c.ok());
+  EXPECT_EQ(StatusCode::kUnavailable, c.status().code())
+      << c.status().ToString();
+}
+
+TEST_F(NetTest, ConnectRetriesOnceWhenListenerBindsLate) {
+  // Grab the port of a live server, kill it, then resurrect it on the same
+  // port while the client is sleeping between its first (refused) connect
+  // and its single retry — the coordinator/shard startup race.
+  StartServer();
+  const int port = server_->port();
+  server_->Shutdown();
+  server_ = nullptr;
+  std::thread late_bind([this, port] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(120));
+    net::NetServerConfig config;
+    config.host = "127.0.0.1";
+    config.port = port;
+    server_ = std::make_unique<net::NetServer>(service_.get(), &traces_,
+                                               config);
+    EXPECT_TRUE(server_->Start().ok());
+  });
+  net::ClientConnectOptions options;
+  options.retry_refused = true;
+  options.retry_delay_ms = 400.0;
+  Result<net::Client> c = net::Client::Connect("127.0.0.1", port, options);
+  late_bind.join();
+  ASSERT_TRUE(c.ok()) << c.status().ToString();
+  EXPECT_GT(c.value().session_id(), 0u);
+  c.value().Close();
 }
 
 }  // namespace
