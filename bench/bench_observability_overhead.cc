@@ -5,15 +5,38 @@
 // Operator stats and EXPLAIN ANALYZE profiles are always on; what the
 // toggle adds is span recording in every Open/Close, checkpoint instants,
 // and the optimizer-phase spans. Target: < 5% work-normalized overhead.
+//
+// A second section measures the distributed path: the same scan/agg
+// workload through the scatter-gather coordinator against two forked
+// loopback shard processes, once with the cluster observability plane off
+// (tracing disabled everywhere, shard query logs disabled) and once fully
+// on (coordinator + shard tracing, structured query logs, per-shard
+// profile shipping). Same < 5% budget, wall-time normalized (the work is
+// identical by construction: same data, same plans).
 
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "common/span.h"
 #include "common/table_printer.h"
 #include "core/pop.h"
+#include "dist/coordinator.h"
+#include "dist/partition.h"
+#include "dist/shard.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "runtime/query_service.h"
+#include "sql/binder.h"
 #include "tpch/tpch_gen.h"
 #include "tpch/tpch_queries.h"
 
@@ -56,12 +79,206 @@ RoundResult RunRound(const Catalog& catalog, int repeats) {
   return r;
 }
 
-void Run() {
+tpch::GenConfig DataConfig() {
+  tpch::GenConfig gen;
+  gen.scale = bench::EnvScale("POPDB_TPCH_SCALE", gen.scale);
+  return gen;
+}
+
+/// Forked shard process serving subplans until SIGTERM; with
+/// `observability_on` its tracer and structured query log are live, so
+/// every subplan pays for span recording, log appends, and the profile
+/// snapshot shipped in query_done. Writes its port to `port_fd`.
+[[noreturn]] void ShardMain(int shard, int shard_count, int port_fd,
+                            bool observability_on) {
+  Catalog full;
+  POPDB_DCHECK(tpch::BuildCatalog(DataConfig(), &full).ok());
+  const dist::PartitionSpec spec = dist::TpchPartitionSpec();
+  Result<std::vector<dist::KeyRange>> ranges =
+      dist::ComputeRanges(full, spec, shard_count);
+  POPDB_DCHECK(ranges.ok());
+  Catalog shard_catalog;
+  POPDB_DCHECK(dist::BuildShardCatalog(full, spec, ranges.value(), shard,
+                                       /*histogram_buckets=*/32,
+                                       &shard_catalog)
+                   .ok());
+  if (observability_on) SpanTracer::Global().Enable();
+  ServiceConfig service_config;
+  if (!observability_on) service_config.query_log_entries = 0;
+  QueryService service(shard_catalog, service_config);
+  dist::ShardExecutor executor(shard_catalog);
+  net::NetServerConfig net_config;
+  net_config.host = "127.0.0.1";
+  net_config.port = 0;
+  net_config.subplan_backend = &executor;
+  net::NetServer server(&service, /*traces=*/nullptr, net_config);
+  POPDB_DCHECK(server.Start().ok());
+  char buf[16];
+  const int len = std::snprintf(buf, sizeof(buf), "%d\n", server.port());
+  POPDB_DCHECK(write(port_fd, buf, static_cast<size_t>(len)) == len);
+  close(port_fd);
+  while (true) pause();
+}
+
+struct Cluster {
+  std::vector<pid_t> pids;
+  std::vector<net::Endpoint> endpoints;
+};
+
+/// Forks `n` shard processes. Must run before the parent creates threads.
+Cluster SpawnCluster(int n, bool observability_on) {
+  Cluster cluster;
+  for (int s = 0; s < n; ++s) {
+    int fds[2];
+    POPDB_DCHECK(pipe(fds) == 0);
+    const pid_t pid = fork();
+    POPDB_DCHECK(pid >= 0);
+    if (pid == 0) {
+      close(fds[0]);
+      ShardMain(s, n, fds[1], observability_on);
+    }
+    close(fds[1]);
+    cluster.pids.push_back(pid);
+    std::string line;
+    char c;
+    while (read(fds[0], &c, 1) == 1 && c != '\n') line.push_back(c);
+    close(fds[0]);
+    const int port = std::atoi(line.c_str());
+    POPDB_DCHECK(port > 0);
+    cluster.endpoints.push_back({"127.0.0.1", port});
+  }
+  return cluster;
+}
+
+void ReapCluster(const Cluster& cluster) {
+  for (const pid_t pid : cluster.pids) kill(pid, SIGTERM);
+  for (const pid_t pid : cluster.pids) waitpid(pid, nullptr, 0);
+}
+
+/// Drops the accumulated span buffers on every shard of an
+/// observability-on cluster so round N+1 does not pay for round N's
+/// events.
+void ClearShardTracers(const Cluster& cluster) {
+  for (const net::Endpoint& ep : cluster.endpoints) {
+    Result<net::Client> client = net::Client::Connect(ep.host, ep.port);
+    if (!client.ok()) continue;
+    net::ClientSpansOptions opts;
+    opts.clear = true;
+    (void)client.value().Spans(opts);
+    client.value().Close();
+  }
+}
+
+/// Scan/agg-heavy shardable workload (few result rows, so the wire share
+/// is small and the instrumentation share is visible).
+const char* const kDistSql[] = {
+    "SELECT l_returnflag, COUNT(*), SUM(l_quantity), AVG(l_extendedprice) "
+    "FROM lineitem GROUP BY l_returnflag ORDER BY 1",
+    "SELECT o_orderpriority, COUNT(*), SUM(l_extendedprice) "
+    "FROM orders, lineitem WHERE o_orderkey = l_orderkey "
+    "AND l_quantity > 40 GROUP BY o_orderpriority ORDER BY 1",
+};
+
+/// One pass of the distributed workload through `coordinator`.
+double RunDistRound(dist::Coordinator* coordinator,
+                    const std::vector<QuerySpec>& queries) {
+  const double t0 = WallMs();
+  for (const QuerySpec& query : queries) {
+    CancelToken cancel;
+    ExecutionStats stats;
+    POPDB_DCHECK(coordinator->Execute(query, &cancel, nullptr, &stats).ok());
+  }
+  return WallMs() - t0;
+}
+
+void RunDistributed(const Cluster& off_cluster, const Cluster& on_cluster,
+                    JsonWriter* json) {
+  std::printf(
+      "\ndistributed: 2 forked shards, observability plane on vs off\n");
+  Catalog full;
+  POPDB_DCHECK(tpch::BuildCatalog(DataConfig(), &full).ok());
+  dist::CoordinatorConfig config;
+  config.partition = dist::TpchPartitionSpec();
+  config.shards = off_cluster.endpoints;
+  dist::Coordinator coord_off(full, config);
+  config.shards = on_cluster.endpoints;
+  dist::Coordinator coord_on(full, config);
+
+  std::vector<QuerySpec> queries;
+  for (const char* sql : kDistSql) {
+    Result<sql::BoundStatement> bound = sql::ParseSql(full, sql);
+    POPDB_DCHECK(bound.ok());
+    POPDB_DCHECK(coord_off.CanExecute(bound.value().query));
+    queries.push_back(std::move(bound.value().query));
+  }
+
+  SpanTracer& tracer = SpanTracer::Global();
+  const int repeats = 4;
+
+  // Warm-up both clusters (connection pools, buffer effects).
+  tracer.Disable();
+  RunDistRound(&coord_off, queries);
+  tracer.Enable();
+  RunDistRound(&coord_on, queries);
+
+  // Interleaved min-of rounds, same discipline as the local section.
+  double best_off = -1.0, best_on = -1.0;
+  for (int trial = 0; trial < 3; ++trial) {
+    tracer.Disable();
+    tracer.Clear();
+    double off_ms = 0.0;
+    for (int rep = 0; rep < repeats; ++rep) {
+      off_ms += RunDistRound(&coord_off, queries);
+    }
+    if (best_off < 0 || off_ms < best_off) best_off = off_ms;
+
+    tracer.Enable();
+    double on_ms = 0.0;
+    for (int rep = 0; rep < repeats; ++rep) {
+      on_ms += RunDistRound(&coord_on, queries);
+    }
+    if (best_on < 0 || on_ms < best_on) best_on = on_ms;
+    ClearShardTracers(on_cluster);
+  }
+  tracer.Disable();
+  tracer.Clear();
+
+  const double overhead_pct = (best_on / best_off - 1.0) * 100.0;
+  TablePrinter tp({"observability", "ms_per_trial"});
+  tp.AddRow({"off", StrFormat("%.1f", best_off)});
+  tp.AddRow({"on", StrFormat("%.1f", best_on)});
+  std::fputs(tp.ToString().c_str(), stdout);
+  std::printf(
+      "\ndistributed observability overhead: %+.2f%% (target < 5%%)\n"
+      "%s\n",
+      overhead_pct,
+      overhead_pct < 5.0 ? "PASS: within the 5% budget"
+                         : "WARN: above the 5% budget");
+
+  json->Key("distributed")
+      .BeginObject()
+      .Key("shards")
+      .Int(2)
+      .Key("repeats")
+      .Int(repeats)
+      .Key("trials")
+      .Int(3)
+      .Key("off_ms")
+      .Double(best_off)
+      .Key("on_ms")
+      .Double(best_on)
+      .Key("overhead_pct")
+      .Double(overhead_pct)
+      .Key("within_budget")
+      .Bool(overhead_pct < 5.0)
+      .EndObject();
+}
+
+void Run(const Cluster& off_cluster, const Cluster& on_cluster) {
   bench::PrintHeader("Observability overhead: span tracing on vs off",
                      "instrumentation-cost check (ISSUE PR 2)");
   Catalog catalog;
-  tpch::GenConfig gen;
-  gen.scale = bench::EnvScale("POPDB_TPCH_SCALE", gen.scale);
+  tpch::GenConfig gen = DataConfig();
   POPDB_DCHECK(tpch::BuildCatalog(gen, &catalog).ok());
 
   const int repeats = 6;
@@ -147,6 +364,7 @@ void Run() {
       .EndObject();
   json.Key("overhead_pct").Double(overhead_pct);
   json.Key("within_budget").Bool(overhead_pct < 5.0);
+  RunDistributed(off_cluster, on_cluster, &json);
   json.EndObject();
   bench::WriteBenchJson("observability", json.str());
 }
@@ -155,6 +373,11 @@ void Run() {
 }  // namespace popdb
 
 int main() {
-  popdb::Run();
+  // Fork every shard before this process creates any thread.
+  const popdb::Cluster off_cluster = popdb::SpawnCluster(2, false);
+  const popdb::Cluster on_cluster = popdb::SpawnCluster(2, true);
+  popdb::Run(off_cluster, on_cluster);
+  popdb::ReapCluster(off_cluster);
+  popdb::ReapCluster(on_cluster);
   return 0;
 }

@@ -2,7 +2,8 @@
 # CI entry point: release build + full test suite + a loopback network
 # smoke (popdb_server driven by the scripted popdb_client session), a
 # distributed smoke (2 shard processes + a scatter-gather coordinator,
-# including a kill -9 of one shard mid-query), then a
+# including a stitched-cluster-trace / federated-metrics / query-log
+# check and a kill -9 of one shard mid-query), then a
 # ThreadSanitizer build that hammers the concurrent pieces (runtime query
 # service, network front end, morsel parallelism, shared feedback stores,
 # parallel executors, metrics registry, span tracer), then a UBSan build
@@ -49,11 +50,11 @@ wait "$SERVER_PID"
 echo "=== distributed smoke: 2 shards + coordinator, shard kill mid-query ==="
 # Two shard processes (stalled row batches so a mid-query kill reliably
 # lands mid-stream) and a coordinator scatter-gathering across them.
-./build/examples/popdb_server toy --quiet \
+./build/examples/popdb_server toy --quiet --trace \
     --shard-index 0 --shard-count 2 --subplan-stall-ms 20 \
     --port-file "$SMOKE_DIR/shard0.port" &
 SHARD0_PID=$!
-./build/examples/popdb_server toy --quiet \
+./build/examples/popdb_server toy --quiet --trace \
     --shard-index 1 --shard-count 2 --subplan-stall-ms 20 \
     --port-file "$SMOKE_DIR/shard1.port" &
 SHARD1_PID=$!
@@ -65,7 +66,7 @@ done
     || { echo "shards never wrote their port files"; exit 1; }
 # Small row batches + the per-batch stall make full-table scans take
 # seconds, so the kill below reliably lands mid-stream.
-./build/examples/popdb_server toy --quiet --coordinator \
+./build/examples/popdb_server toy --quiet --coordinator --trace \
     --shards "127.0.0.1:$(cat "$SMOKE_DIR/shard0.port"),127.0.0.1:$(cat "$SMOKE_DIR/shard1.port")" \
     --dist-batch-rows 32 --port-file "$SMOKE_DIR/coord.port" &
 COORD_PID=$!
@@ -85,6 +86,32 @@ COORD_PORT="$(cat "$SMOKE_DIR/coord.port")"
     "SELECT o_class, SUM(i_qty), AVG(i_qty) FROM orders, items WHERE o_id = i_order AND o_class = 7 AND o_subclass = 77 GROUP BY o_class"
 ./build/examples/popdb_client --port "$COORD_PORT" \
     "SELECT COUNT(*) FROM big_a, big_b WHERE a_k = b_k"
+
+# Cluster observability plane: the stitched Chrome trace must carry
+# events from the coordinator AND both shard processes (pid rows 0/1/2),
+# the federated exposition must label per-shard samples, and the
+# structured query log must have recorded the trap's re-optimization.
+./build/examples/popdb_client --port "$COORD_PORT" \
+    --trace-dump "$SMOKE_DIR/cluster-trace.json"
+grep -q '"pid":1' "$SMOKE_DIR/cluster-trace.json" \
+    || { echo "stitched trace is missing shard 0's timeline"; exit 1; }
+grep -q '"pid":2' "$SMOKE_DIR/cluster-trace.json" \
+    || { echo "stitched trace is missing shard 1's timeline"; exit 1; }
+grep -q '"subplan_execute"' "$SMOKE_DIR/cluster-trace.json" \
+    || { echo "stitched trace has no shard execution spans"; exit 1; }
+./build/examples/popdb_client --port "$COORD_PORT" --cluster-metrics \
+    > "$SMOKE_DIR/cluster-metrics.txt"
+grep -q 'shard="1"' "$SMOKE_DIR/cluster-metrics.txt" \
+    || { echo "federated metrics are missing shard labels"; exit 1; }
+grep -q 'popdb_dist_shard_latency_ms' "$SMOKE_DIR/cluster-metrics.txt" \
+    || { echo "federated metrics are missing the per-shard latency family"; exit 1; }
+./build/examples/popdb_client --port "$COORD_PORT" --log \
+    > "$SMOKE_DIR/query-log.json"
+grep -q '"reopts":[1-9]' "$SMOKE_DIR/query-log.json" \
+    || { echo "query log did not record the trap re-optimization"; exit 1; }
+grep -q '"distributed":true' "$SMOKE_DIR/query-log.json" \
+    || { echo "query log did not mark the scatter-gather queries"; exit 1; }
+echo "cluster observability smoke passed (trace + metrics + query log)"
 
 # Kill shard 1 mid-query: the stalled scan takes seconds, the kill -9
 # lands mid-stream, and the client must get a clean error — not a hang.

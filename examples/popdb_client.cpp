@@ -3,10 +3,19 @@
 //   ./build/examples/popdb_client --port N 'SELECT ...'   run one query
 //   ./build/examples/popdb_client --port-file PATH --smoke
 //
+// Observability commands:
+//   --metrics            print the server's Prometheus exposition
+//   --cluster-metrics    federated exposition (coordinator + shard="N")
+//   --trace-dump FILE    write the server's span dump (or, against a
+//                        coordinator, the stitched cluster trace) to FILE
+//                        as Chrome trace_event JSON for Perfetto
+//   --log [N]            print the last N structured query-log entries
+//                        (JSON array; N omitted = all retained)
+//
 // --smoke drives the scripted CI session against a --allow-shutdown
 // server: handshake, a streamed query, an async query cancelled
-// mid-flight, a trace round trip, a metrics scrape, then a clean remote
-// shutdown. Exits 0 only if every step behaved.
+// mid-flight, a trace round trip, a metrics scrape, a query-log fetch,
+// then a clean remote shutdown. Exits 0 only if every step behaved.
 
 #include <cstdio>
 #include <cstdlib>
@@ -90,6 +99,12 @@ int RunSmoke(const std::string& host, int port) {
           std::string::npos,
       "metrics include the engine family");
 
+  // 4b. Structured query log: the finished aggregation must be recorded.
+  Result<std::string> log = client.QueryLogTail(/*limit=*/0);
+  SMOKE_CHECK(log.ok(), "query log fetch");
+  SMOKE_CHECK(log.value().find("\"plan_digest\"") != std::string::npos,
+              "query log entries carry a plan digest");
+
   // 5. SQL errors come back as protocol errors, not disconnects.
   net::ClientQueryResult bad = client.Query("SELECT FROM nowhere");
   SMOKE_CHECK(!bad.status.ok(), "malformed SQL is rejected");
@@ -110,6 +125,11 @@ int main(int argc, char** argv) {
   std::string host = "127.0.0.1";
   int port = -1;
   bool smoke = false;
+  bool metrics = false;
+  bool cluster_metrics = false;
+  bool log = false;
+  int64_t log_limit = 0;
+  std::string trace_dump;
   std::string sql;
 
   for (int i = 1; i < argc; ++i) {
@@ -122,6 +142,17 @@ int main(int argc, char** argv) {
       host = argv[++i];
     } else if (arg == "--smoke") {
       smoke = true;
+    } else if (arg == "--metrics") {
+      metrics = true;
+    } else if (arg == "--cluster-metrics") {
+      cluster_metrics = true;
+    } else if (arg == "--trace-dump" && i + 1 < argc) {
+      trace_dump = argv[++i];
+    } else if (arg == "--log") {
+      log = true;
+      if (i + 1 < argc && std::atoll(argv[i + 1]) > 0) {
+        log_limit = std::atoll(argv[++i]);
+      }
     } else if (arg[0] != '-') {
       sql = arg;
     } else {
@@ -132,13 +163,17 @@ int main(int argc, char** argv) {
   if (port <= 0) {
     std::fprintf(stderr,
                  "usage: popdb_client (--port N | --port-file PATH) "
-                 "[--smoke | 'SQL']\n");
+                 "[--smoke | --metrics | --cluster-metrics | "
+                 "--trace-dump FILE | --log [N] | 'SQL']\n");
     return 2;
   }
 
   if (smoke) return RunSmoke(host, port);
-  if (sql.empty()) {
-    std::fprintf(stderr, "nothing to do: pass --smoke or a SQL string\n");
+  if (sql.empty() && !metrics && !cluster_metrics && !log &&
+      trace_dump.empty()) {
+    std::fprintf(stderr,
+                 "nothing to do: pass --smoke, an observability command, "
+                 "or a SQL string\n");
     return 2;
   }
 
@@ -149,6 +184,52 @@ int main(int argc, char** argv) {
     return 1;
   }
   net::Client client = std::move(connected).TakeValue();
+
+  if (metrics || cluster_metrics) {
+    Result<std::string> text = client.Metrics(cluster_metrics);
+    if (!text.ok()) {
+      std::fprintf(stderr, "metrics: %s\n", text.status().ToString().c_str());
+      return 1;
+    }
+    std::fputs(text.value().c_str(), stdout);
+    return 0;
+  }
+  if (log) {
+    Result<std::string> entries = client.QueryLogTail(log_limit);
+    if (!entries.ok()) {
+      std::fprintf(stderr, "query log: %s\n",
+                   entries.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n", entries.value().c_str());
+    return 0;
+  }
+  if (!trace_dump.empty()) {
+    // Try the stitched cluster trace first (coordinator); fall back to the
+    // server's own span dump against a plain or shard server.
+    net::ClientSpansOptions span_opts;
+    span_opts.cluster = true;
+    Result<net::ClientSpanDump> dump = client.Spans(span_opts);
+    if (!dump.ok() && dump.status().code() == StatusCode::kUnimplemented) {
+      span_opts.cluster = false;
+      dump = client.Spans(span_opts);
+    }
+    if (!dump.ok()) {
+      std::fprintf(stderr, "spans: %s\n", dump.status().ToString().c_str());
+      return 1;
+    }
+    std::FILE* f = std::fopen(trace_dump.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", trace_dump.c_str());
+      return 1;
+    }
+    std::fputs(dump.value().trace_json.c_str(), f);
+    std::fclose(f);
+    std::printf("wrote %zu bytes of trace JSON to %s\n",
+                dump.value().trace_json.size(), trace_dump.c_str());
+    return 0;
+  }
+
   net::ClientQueryResult result = client.Query(sql);
   if (!result.status.ok()) {
     std::fprintf(stderr, "error: %s\n", result.status.ToString().c_str());

@@ -8,6 +8,8 @@
 //       [--port-file PATH] write the resolved port to PATH (for scripts)
 //       [--workers N]      connection workers (default 4)
 //       [--allow-shutdown] honor the wire `shutdown` request
+//       [--trace]          enable span tracing from startup (the wire
+//                          `spans` request can also toggle it later)
 //       [--quiet]          suppress startup chatter
 //
 // Distributed modes (docs/WIRE.md):
@@ -40,6 +42,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/span.h"
 #include "dist/coordinator.h"
 #include "dist/partition.h"
 #include "dist/shard.h"
@@ -151,6 +154,7 @@ struct Options {
   int spawn_shards = 0;
   double subplan_stall_ms = 0.0;
   int64_t dist_batch_rows = 0;  ///< 0 = coordinator default.
+  bool trace = false;           ///< Enable the span tracer at startup.
 };
 
 /// Serves one partition of the dataset: the full catalog is rebuilt
@@ -248,6 +252,8 @@ int main(int argc, char** argv) {
       opts.subplan_stall_ms = std::atof(argv[++i]);
     } else if (arg == "--dist-batch-rows" && i + 1 < argc) {
       opts.dist_batch_rows = std::atoll(argv[++i]);
+    } else if (arg == "--trace") {
+      opts.trace = true;
     } else if (arg[0] != '-') {
       opts.dataset = arg;
     } else {
@@ -258,6 +264,10 @@ int main(int argc, char** argv) {
 
   std::signal(SIGINT, OnSignal);
   std::signal(SIGTERM, OnSignal);
+
+  // Forked shard children inherit the flag, so one --trace lights up the
+  // whole spawned cluster.
+  if (opts.trace) SpanTracer::Global().Enable();
 
   // ---- Shard mode: serve one partition, execute subplans.
   if (opts.shard_index >= 0 || opts.shard_count > 0) {
@@ -343,11 +353,16 @@ int main(int argc, char** argv) {
   }
 
   QueryService service(catalog, service_config);
+  net::NetServerConfig net_config = opts.net_config;
   if (coordinator != nullptr) {
     coordinator->RegisterMetrics(&service.metrics_registry());
+    // Cluster observability: `spans {scope:"cluster"}` and
+    // `metrics {cluster:true}` fan out to the shards through the
+    // coordinator's connection pool.
+    net_config.cluster = coordinator.get();
   }
 
-  net::NetServer server(&service, &traces, opts.net_config);
+  net::NetServer server(&service, &traces, net_config);
   const Status started = server.Start();
   if (!started.ok()) {
     std::fprintf(stderr, "bind failed: %s\n", started.ToString().c_str());

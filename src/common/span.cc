@@ -41,9 +41,17 @@ SpanTracer::ThreadLog* SpanTracer::LogForThisThread() {
   return cached;
 }
 
+const char* SpanTracer::Intern(std::string_view s) {
+  std::lock_guard<std::mutex> lock(intern_mu_);
+  // std::unordered_set is node-based, so the string's address — and its
+  // c_str() — survive rehashing and later inserts.
+  return interned_.emplace(s).first->c_str();
+}
+
 void SpanTracer::RecordSpan(const char* name, const char* category,
                             int64_t ts_us, int64_t dur_us,
-                            const char* arg_name, int64_t arg) {
+                            const char* arg_name, int64_t arg,
+                            const char* label) {
   ThreadLog* log = LogForThisThread();
   SpanEvent ev;
   ev.name = name;
@@ -53,12 +61,14 @@ void SpanTracer::RecordSpan(const char* name, const char* category,
   ev.dur_us = dur_us < 0 ? 0 : dur_us;
   ev.arg_name = arg_name;
   ev.arg = arg;
+  ev.label = label;
   std::lock_guard<std::mutex> lock(log->mu);
   log->events.push_back(ev);
 }
 
 void SpanTracer::RecordInstant(const char* name, const char* category,
-                               const char* arg_name, int64_t arg) {
+                               const char* arg_name, int64_t arg,
+                               const char* label) {
   ThreadLog* log = LogForThisThread();
   SpanEvent ev;
   ev.name = name;
@@ -68,6 +78,7 @@ void SpanTracer::RecordInstant(const char* name, const char* category,
   ev.dur_us = -1;
   ev.arg_name = arg_name;
   ev.arg = arg;
+  ev.label = label;
   std::lock_guard<std::mutex> lock(log->mu);
   log->events.push_back(ev);
 }
@@ -125,8 +136,11 @@ void EventToJson(const SpanEvent& ev, JsonWriter* w) {
   w->Key("ts").Int(ev.ts_us);
   w->Key("pid").Int(0);
   w->Key("tid").Int(static_cast<int64_t>(ev.tid));
-  if (ev.arg_name != nullptr) {
-    w->Key("args").BeginObject().Key(ev.arg_name).Int(ev.arg).EndObject();
+  if (ev.arg_name != nullptr || ev.label != nullptr) {
+    w->Key("args").BeginObject();
+    if (ev.label != nullptr) w->Key("label").String(ev.label);
+    if (ev.arg_name != nullptr) w->Key(ev.arg_name).Int(ev.arg);
+    w->EndObject();
   }
   w->EndObject();
 }

@@ -6,6 +6,8 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
+#include <unordered_set>
 #include <vector>
 
 namespace popdb {
@@ -21,6 +23,11 @@ struct SpanEvent {
   int64_t dur_us = -1;    ///< Duration; -1 marks an instant event.
   int64_t arg = 0;        ///< Optional numeric payload (see arg_name).
   const char* arg_name = nullptr;  ///< Null when no payload.
+  /// Optional dynamic tag (query trace token, shard id, ...). Unlike
+  /// `name`/`category` it need not be a literal: pass runtime strings
+  /// through SpanTracer::Intern(), which returns a stable pointer owned by
+  /// the tracer. Null when untagged.
+  const char* label = nullptr;
 
   bool IsInstant() const { return dur_us < 0; }
   /// True if `other` lies entirely within this span (same thread).
@@ -55,15 +62,24 @@ class SpanTracer {
   /// Microseconds since the tracer's epoch (monotonic clock).
   int64_t NowUs() const;
 
+  /// Interns a dynamic string so it can be attached to events as
+  /// SpanEvent::label. Returns a stable pointer owned by the tracer (the
+  /// global tracer is never destroyed); interning the same contents twice
+  /// returns the same pointer. Intended for low-cardinality tags — query
+  /// trace tokens, shard ids — not per-row data.
+  const char* Intern(std::string_view s);
+
   /// Records a completed span. `name`/`category`/`arg_name` must be string
-  /// literals (or otherwise outlive the tracer).
+  /// literals (or otherwise outlive the tracer); `label`, when non-null,
+  /// must come from Intern() or be a literal.
   void RecordSpan(const char* name, const char* category, int64_t ts_us,
                   int64_t dur_us, const char* arg_name = nullptr,
-                  int64_t arg = 0);
+                  int64_t arg = 0, const char* label = nullptr);
 
   /// Records an instant event at the current time.
   void RecordInstant(const char* name, const char* category,
-                     const char* arg_name = nullptr, int64_t arg = 0);
+                     const char* arg_name = nullptr, int64_t arg = 0,
+                     const char* label = nullptr);
 
   /// Point-in-time copy of all recorded events, sorted by (tid, ts, -dur)
   /// so a parent span always precedes the spans it encloses.
@@ -97,6 +113,10 @@ class SpanTracer {
   /// so late Snapshots still see their events.
   std::vector<std::unique_ptr<ThreadLog>> logs_;
   uint32_t next_tid_ = 0;
+
+  mutable std::mutex intern_mu_;
+  /// Node-based so element addresses (and thus c_str() pointers) are stable.
+  std::unordered_set<std::string> interned_;
 };
 
 /// RAII guard recording one span from construction to destruction on the
@@ -121,7 +141,7 @@ class TraceSpan {
     if (active_) {
       SpanTracer& tracer = SpanTracer::Global();
       tracer.RecordSpan(name_, category_, start_us_,
-                        tracer.NowUs() - start_us_, arg_name_, arg_);
+                        tracer.NowUs() - start_us_, arg_name_, arg_, label_);
     }
   }
   TraceSpan(const TraceSpan&) = delete;
@@ -133,10 +153,23 @@ class TraceSpan {
     arg_ = arg;
   }
 
+  /// Tags the span with a dynamic string (query trace token, shard id).
+  /// Interned lazily; a no-op — no allocation, no intern lookup — when the
+  /// span is inactive (tracing was disabled at construction).
+  void SetLabel(std::string_view label) {
+    if (active_) label_ = SpanTracer::Global().Intern(label);
+  }
+
+  /// Tags the span with an already-interned (or literal) label.
+  void SetLabel(const char* interned_label) {
+    if (active_) label_ = interned_label;
+  }
+
  private:
   const char* name_;
   const char* category_;
   const char* arg_name_ = nullptr;
+  const char* label_ = nullptr;
   int64_t arg_ = 0;
   int64_t start_us_ = 0;
   bool active_ = false;
@@ -172,6 +205,18 @@ class TraceSpan {
     if (popdb_tracer.enabled())                                      \
       popdb_tracer.RecordInstant((name), (category), (arg_name),     \
                                  static_cast<int64_t>(arg_value));   \
+  } while (0)
+
+/// Instant event tagged with a dynamic label (interned only when tracing
+/// is enabled — the disabled path is still one relaxed load):
+///   TRACE_INSTANT_TAGGED("check_violation", "dist", token, "shard", i);
+#define TRACE_INSTANT_TAGGED(name, category, label_value, arg_name, arg_value) \
+  do {                                                                         \
+    ::popdb::SpanTracer& popdb_tracer = ::popdb::SpanTracer::Global();         \
+    if (popdb_tracer.enabled())                                                \
+      popdb_tracer.RecordInstant((name), (category), (arg_name),               \
+                                 static_cast<int64_t>(arg_value),              \
+                                 popdb_tracer.Intern(label_value));            \
   } while (0)
 
 }  // namespace popdb

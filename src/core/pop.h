@@ -22,6 +22,15 @@
 
 namespace popdb {
 
+/// Per-shard slice of one distributed attempt (filled by the scatter-gather
+/// coordinator; empty for local executions).
+struct ShardAttemptInfo {
+  int shard = -1;
+  double execute_ms = 0.0;  ///< Scatter start to this shard's completion.
+  int64_t rows = 0;         ///< Rows streamed back (pre-violation included).
+  std::string outcome;      ///< "ok", "reoptimize", "cancelled", ...
+};
+
 /// Diagnostics for one optimize+execute step of a progressive execution.
 struct AttemptInfo {
   std::string plan_text;
@@ -37,6 +46,8 @@ struct AttemptInfo {
   /// estimates next to the recorded actuals (EXPLAIN ANALYZE source).
   PlanProfileNode profile;
   bool has_profile = false;
+  /// Distributed attempts only: per-shard timing/row/outcome breakdown.
+  std::vector<ShardAttemptInfo> shards;
 };
 
 /// Diagnostics for a full progressive execution.

@@ -9,6 +9,9 @@
 #include <thread>
 #include <utility>
 
+#include "common/span.h"
+#include "core/explain.h"
+#include "dist/observability.h"
 #include "dist/plan_json.h"
 #include "net/client.h"
 
@@ -38,6 +41,12 @@ struct Coordinator::ShardOutcome {
   /// True when a query_done frame arrived (protocol completed; the
   /// observation list — possibly empty — is authoritative).
   bool reported = false;
+  /// Shard-reported subplan wall time (coordinator-side round trip when
+  /// the shard did not report one).
+  double execute_ms = 0.0;
+  /// Shard-side EXPLAIN ANALYZE snapshot of the executed fragment.
+  PlanProfileNode profile;
+  bool has_profile = false;
 };
 
 /// State shared between Execute() and the per-shard gather threads for one
@@ -81,10 +90,32 @@ void Coordinator::RegisterMetrics(MetricsRegistry* registry) {
       "popdb_dist_scatter_latency_ms",
       "Wall time of one scatter round (fan-out to last shard done).",
       Histogram::LogBuckets(1.0, 2.0, 20));
+  shard_rows_total_.clear();
+  shard_latency_.clear();
+  for (int i = 0; i < num_shards(); ++i) {
+    const std::string label = "shard=\"" + std::to_string(i) + "\"";
+    shard_rows_total_.push_back(registry->GetCounter(
+        "popdb_dist_shard_rows_total",
+        "Rows streamed back from each shard (all attempts).", label));
+    shard_latency_.push_back(registry->GetHistogram(
+        "popdb_dist_shard_latency_ms",
+        "Per-shard subplan wall time within a scatter round.",
+        Histogram::LogBuckets(1.0, 2.0, 20), label));
+  }
+  shard_lag_ = registry->GetHistogram(
+      "popdb_dist_shard_lag_ms",
+      "Straggler lag per scatter round: slowest minus fastest shard wall "
+      "time.",
+      Histogram::LogBuckets(1.0, 2.0, 16));
 }
 
 void Coordinator::GatherFromShard(int shard, const std::string& payload,
+                                  const std::string& trace_token,
                                   ScatterState* state) {
+  const double shard_start = NowMs();
+  TRACE_SPAN_NAMED(gather_span, "gather_shard", "dist");
+  gather_span.SetLabel(std::string_view(trace_token));
+  gather_span.SetArg("shard", shard);
   ShardOutcome out;
   std::unique_ptr<net::Client> client;
 
@@ -141,6 +172,10 @@ void Coordinator::GatherFromShard(int shard, const std::string& payload,
                                                 "shard subquery failed"));
             }
             out.outcome = event.payload.GetString("outcome", "");
+            out.execute_ms = event.payload.GetNumber("execute_ms", 0.0);
+            if (const JsonValue* profile = event.payload.Find("profile")) {
+              out.has_profile = ProfileFromJson(*profile, &out.profile);
+            }
             if (const JsonValue* obs = event.payload.Find("observations")) {
               for (const JsonValue& o : obs->items()) {
                 EdgeObservation e;
@@ -164,6 +199,8 @@ void Coordinator::GatherFromShard(int shard, const std::string& payload,
   } else {
     out.status = acquired.status();
   }
+
+  if (out.execute_ms <= 0.0) out.execute_ms = NowMs() - shard_start;
 
   std::lock_guard<std::mutex> lock(state->mu);
   const size_t i = static_cast<size_t>(shard);
@@ -205,13 +242,21 @@ void Coordinator::CancelShards(ScatterState* state) {
 Result<std::vector<Row>> Coordinator::Execute(const QuerySpec& query,
                                               CancelToken* cancel,
                                               QueryFeedbackStore* store,
-                                              ExecutionStats* stats) {
+                                              ExecutionStats* stats,
+                                              const DistQueryInfo& dist_info) {
   const double start_ms = NowMs();
   if (queries_total_ != nullptr) queries_total_->Increment();
   const int n = num_shards();
   if (n == 0) {
     return Status::InvalidArgument("coordinator has no shard endpoints");
   }
+  const std::string trace_token =
+      dist_info.trace_token.empty()
+          ? "q" + std::to_string(dist_info.query_id)
+          : dist_info.trace_token;
+  TRACE_SPAN_NAMED(dist_span, "dist_execute", "dist");
+  dist_span.SetLabel(std::string_view(trace_token));
+  dist_span.SetArg("query_id", dist_info.query_id);
 
   Optimizer optimizer(catalog_, config_.optimizer);
   const CostModel cost_model(config_.optimizer.cost);
@@ -224,7 +269,9 @@ Result<std::vector<Row>> Coordinator::Execute(const QuerySpec& query,
     if (cancel->Expired()) return CancelStatus(*cancel, query);
 
     // ---- Global optimization, split, per-shard scaling, checkpoints.
+    SpanTracer& tracer = SpanTracer::Global();
     const double opt_start = NowMs();
+    const int64_t opt_start_us = tracer.enabled() ? tracer.NowUs() : 0;
     AttemptInfo info;
     ValidityRangeAnalyzer analyzer(cost_model, config_.pop.validity);
     const FeedbackMap fmap = feedback.Snapshot();
@@ -248,6 +295,11 @@ Result<std::vector<Row>> Coordinator::Execute(const QuerySpec& query,
     }
     info.plan_text = split.fragment->ToString();
     info.optimize_ms = NowMs() - opt_start;
+    if (tracer.enabled()) {
+      tracer.RecordSpan("dist_optimize", "dist", opt_start_us,
+                        tracer.NowUs() - opt_start_us, "attempt", attempt,
+                        tracer.Intern(trace_token));
+    }
 
     // ---- One subplan payload, identical for every shard.
     JsonWriter w;
@@ -261,12 +313,15 @@ Result<std::vector<Row>> Coordinator::Execute(const QuerySpec& query,
     if (!plan_status.ok()) return plan_status;
     w.Key("batch_rows");
     w.Int(config_.batch_rows);
+    w.Key("trace_token");
+    w.String(trace_token);
     w.EndObject();
     const std::string payload = w.str();
 
     // ---- Scatter: one gather thread per shard; this thread polls for
     // cancellation and fans it out to every in-flight shard subquery.
     const double scatter_start = NowMs();
+    const int64_t scatter_start_us = tracer.enabled() ? tracer.NowUs() : 0;
     ScatterState state;
     state.shards.resize(static_cast<size_t>(n));
     state.query_ids.assign(static_cast<size_t>(n), -1);
@@ -274,8 +329,9 @@ Result<std::vector<Row>> Coordinator::Execute(const QuerySpec& query,
     std::vector<std::thread> threads;
     threads.reserve(static_cast<size_t>(n));
     for (int i = 0; i < n; ++i) {
-      threads.emplace_back(
-          [this, i, &payload, &state] { GatherFromShard(i, payload, &state); });
+      threads.emplace_back([this, i, &payload, &trace_token, &state] {
+        GatherFromShard(i, payload, trace_token, &state);
+      });
     }
     bool fanned_out = false;
     {
@@ -286,6 +342,8 @@ Result<std::vector<Row>> Coordinator::Execute(const QuerySpec& query,
         if (!fanned_out && (state.abort || cancel->Expired())) {
           fanned_out = true;
           lock.unlock();
+          TRACE_INSTANT_TAGGED("cancel_survivors", "dist", trace_token,
+                               "attempt", attempt);
           CancelShards(&state);
           lock.lock();
         }
@@ -293,10 +351,83 @@ Result<std::vector<Row>> Coordinator::Execute(const QuerySpec& query,
     }
     for (std::thread& t : threads) t.join();
     info.execute_ms = NowMs() - scatter_start;
+    if (tracer.enabled()) {
+      tracer.RecordSpan("dist_scatter", "dist", scatter_start_us,
+                        tracer.NowUs() - scatter_start_us, "attempt", attempt,
+                        tracer.Intern(trace_token));
+    }
     if (scatter_latency_ != nullptr) {
       scatter_latency_->Observe(info.execute_ms);
     }
     if (shards_up_ != nullptr) shards_up_->Set(pool_.endpoints_up());
+
+    // ---- Per-shard breakdown: metrics, AttemptInfo::shards, straggler lag.
+    double fastest_ms = std::numeric_limits<double>::infinity();
+    double slowest_ms = 0.0;
+    int timed_shards = 0;
+    for (int i = 0; i < n; ++i) {
+      const ShardOutcome& shard = state.shards[static_cast<size_t>(i)];
+      ShardAttemptInfo sai;
+      sai.shard = i;
+      sai.execute_ms = shard.execute_ms;
+      sai.rows = static_cast<int64_t>(shard.rows.size());
+      sai.outcome = shard.has_violation ? "reoptimize"
+                    : !shard.outcome.empty()
+                        ? shard.outcome
+                        : (shard.status.ok() ? "ok" : "error");
+      info.shards.push_back(std::move(sai));
+      if (!shard_rows_total_.empty()) {
+        shard_rows_total_[static_cast<size_t>(i)]->Increment(
+            static_cast<int64_t>(shard.rows.size()));
+        shard_latency_[static_cast<size_t>(i)]->Observe(shard.execute_ms);
+      }
+      if (shard.reported) {
+        fastest_ms = std::min(fastest_ms, shard.execute_ms);
+        slowest_ms = std::max(slowest_ms, shard.execute_ms);
+        ++timed_shards;
+      }
+    }
+    if (shard_lag_ != nullptr && timed_shards >= 2) {
+      shard_lag_->Observe(slowest_ms - fastest_ms);
+    }
+
+    // ---- Distributed EXPLAIN ANALYZE: merge the per-shard profile
+    // snapshots under a synthetic gather root — one aggregate subtree
+    // (per-operator actuals summed across shards, so global Q-error is
+    // visible) plus one subtree per shard.
+    {
+      std::vector<const PlanProfileNode*> shard_profiles;
+      for (const ShardOutcome& shard : state.shards) {
+        if (shard.has_profile) shard_profiles.push_back(&shard.profile);
+      }
+      if (!shard_profiles.empty()) {
+        PlanProfileNode root;
+        root.name = "GATHER";
+        root.detail = "scatter-gather over " + std::to_string(n) + " shards";
+        PlanProfileNode cluster;
+        if (AggregateProfiles(shard_profiles, &cluster)) {
+          PlanProfileNode agg;
+          agg.name = "CLUSTER";
+          agg.detail = "aggregate of " +
+                       std::to_string(shard_profiles.size()) + " shards";
+          agg.children.push_back(std::move(cluster));
+          root.children.push_back(std::move(agg));
+        }
+        for (int i = 0; i < n; ++i) {
+          const ShardOutcome& shard = state.shards[static_cast<size_t>(i)];
+          if (!shard.has_profile) continue;
+          const net::Endpoint& ep = pool_.endpoint(i);
+          PlanProfileNode per_shard;
+          per_shard.name = "SHARD";
+          per_shard.detail = "shard " + std::to_string(i) + " @" + ep.host +
+                             ":" + std::to_string(ep.port);
+          per_shard.children.push_back(shard.profile);
+          root.children.push_back(std::move(per_shard));
+        }
+        info.profile = std::move(root);
+        info.has_profile = true;
+      }
+    }
 
     if (cancel->Expired()) {
       if (stats != nullptr) {
@@ -370,8 +501,20 @@ Result<std::vector<Row>> Coordinator::Execute(const QuerySpec& query,
       info.reoptimized = true;
       info.signal =
           state.shards[static_cast<size_t>(violating_shard)].violation;
+      TRACE_INSTANT_TAGGED("check_violation", "dist", trace_token, "shard",
+                           violating_shard);
+      TRACE_INSTANT_TAGGED("global_reoptimize", "dist", trace_token,
+                           "attempt", attempt);
       if (stats != nullptr) {
         ++stats->reopts;
+        // Surface the shard CHECK in the service-side diagnostics (flavor
+        // metrics, check history) exactly like a local CHECK firing.
+        CheckEvent fired;
+        fired.edge_set = info.signal.edge_set;
+        fired.flavor = info.signal.flavor;
+        fired.count = 1;
+        fired.fired = true;
+        stats->check_events.push_back(fired);
         stats->attempts.push_back(std::move(info));
       }
       if (reopts_total_ != nullptr) reopts_total_->Increment();
@@ -412,6 +555,46 @@ Result<std::vector<Row>> Coordinator::Execute(const QuerySpec& query,
     return rows;
   }
   return Status::Internal("distributed execution exhausted its attempts");
+}
+
+Result<std::string> Coordinator::ClusterTraceJson() {
+  SpanTracer& tracer = SpanTracer::Global();
+  std::vector<ProcessTrace> procs;
+  procs.push_back({"coordinator", tracer.ExportChromeTrace(), 0});
+  for (int i = 0; i < num_shards(); ++i) {
+    Result<std::unique_ptr<net::Client>> acquired = pool_.Acquire(i);
+    if (!acquired.ok()) continue;  // Dead shard: partial trace beats none.
+    std::unique_ptr<net::Client> client = std::move(acquired).TakeValue();
+    Result<net::ClientSpanDump> dump = client->Spans();
+    if (!dump.ok()) continue;
+    pool_.Release(i, std::move(client));
+    const net::Endpoint& ep = pool_.endpoint(i);
+    ProcessTrace proc;
+    proc.name = "shard " + std::to_string(i) + " @" + ep.host + ":" +
+                std::to_string(ep.port);
+    proc.trace_json = std::move(dump.value().trace_json);
+    // Rough clock alignment: shard tracer epochs differ from ours, so
+    // shift each dump by the difference of the two "now" readings at
+    // harvest time (network latency bounds the error).
+    proc.ts_offset_us = tracer.NowUs() - dump.value().now_us;
+    procs.push_back(std::move(proc));
+  }
+  return StitchChromeTrace(procs);
+}
+
+Result<std::string> Coordinator::FederatedMetricsText(
+    const std::string& local_text) {
+  std::vector<std::pair<std::string, std::string>> shard_texts;
+  for (int i = 0; i < num_shards(); ++i) {
+    Result<std::unique_ptr<net::Client>> acquired = pool_.Acquire(i);
+    if (!acquired.ok()) continue;  // Dead shard: scrape what answers.
+    std::unique_ptr<net::Client> client = std::move(acquired).TakeValue();
+    Result<std::string> text = client->Metrics();
+    if (!text.ok()) continue;
+    pool_.Release(i, std::move(client));
+    shard_texts.emplace_back(std::to_string(i), std::move(text).TakeValue());
+  }
+  return FederateMetricsText(local_text, shard_texts);
 }
 
 }  // namespace popdb::dist

@@ -11,6 +11,7 @@
 #include "dist/partition.h"
 #include "dist/split.h"
 #include "net/client_pool.h"
+#include "net/server.h"
 #include "opt/optimizer.h"
 #include "runtime/metrics.h"
 #include "runtime/query_service.h"
@@ -51,7 +52,8 @@ struct CoordinatorConfig {
 ///
 /// Thread safe: concurrent Execute() calls share only the connection pool
 /// and metrics.
-class Coordinator : public DistributedBackend {
+class Coordinator : public DistributedBackend,
+                    public net::ClusterObservability {
  public:
   /// `catalog` is the coordinator's global catalog (full tables, used only
   /// for optimization — never scanned). Not owned; must outlive this.
@@ -64,11 +66,26 @@ class Coordinator : public DistributedBackend {
   /// Runs `query` across the shards. `cancel` is polled and propagated to
   /// every in-flight shard subquery (fan-out cancellation); `feedback` (may
   /// be null) is seeded from and absorbed into across executions; `stats`
-  /// receives one AttemptInfo per global attempt.
+  /// receives one AttemptInfo per global attempt — including a merged
+  /// per-shard EXPLAIN ANALYZE profile and per-shard timing breakdown.
+  /// `info` carries the query id and trace token propagated to every shard
+  /// subplan so the cluster trace stitches into one timeline.
   Result<std::vector<Row>> Execute(const QuerySpec& query,
                                    CancelToken* cancel,
                                    QueryFeedbackStore* feedback,
-                                   ExecutionStats* stats) override;
+                                   ExecutionStats* stats,
+                                   const DistQueryInfo& info = {}) override;
+
+  /// net::ClusterObservability: harvests every shard's span dump over the
+  /// pool and stitches it with the coordinator's own spans into one Chrome
+  /// trace (pid 0 = coordinator, pid i+1 = shard i). Unreachable shards
+  /// are skipped — a partial cluster trace beats none.
+  Result<std::string> ClusterTraceJson() override;
+
+  /// net::ClusterObservability: scrapes every reachable shard's metrics
+  /// and appends them to `local_text` with shard="N" labels.
+  Result<std::string> FederatedMetricsText(
+      const std::string& local_text) override;
 
   /// Registers the coordinator's metrics (popdb_dist_*) in `registry`
   /// (typically the query service's). Call once, before Execute.
@@ -85,9 +102,10 @@ class Coordinator : public DistributedBackend {
   struct ScatterState;
 
   /// One gather thread: runs the subplan on shard `i`, streaming rows and
-  /// events into `state`.
+  /// events into `state`. `trace_token` tags the gather span so it stitches
+  /// with the shard-side subplan span.
   void GatherFromShard(int shard, const std::string& payload,
-                       ScatterState* state);
+                       const std::string& trace_token, ScatterState* state);
 
   /// Best-effort cancel of every in-flight shard subquery (fresh control
   /// connections; the streaming connections are busy).
@@ -103,6 +121,11 @@ class Coordinator : public DistributedBackend {
   Counter* reopts_total_ = nullptr;
   Counter* shard_errors_total_ = nullptr;
   Histogram* scatter_latency_ = nullptr;
+  /// Per-shard series (one element per endpoint, labeled shard="i").
+  std::vector<Counter*> shard_rows_total_;
+  std::vector<Histogram*> shard_latency_;
+  /// Straggler lag: slowest minus fastest shard wall time per round.
+  Histogram* shard_lag_ = nullptr;
 };
 
 }  // namespace popdb::dist

@@ -1,0 +1,115 @@
+#include "dist/observability.h"
+
+#include <cctype>
+
+#include "common/json.h"
+
+namespace popdb::dist {
+
+namespace {
+
+/// Span dumps are produced by our own servers, but a shard of an adjacent
+/// version (or a chaos-killed one) may ship anything — bound the parse.
+constexpr JsonParseLimits kTraceParseLimits{/*max_depth=*/16,
+                                            /*max_nodes=*/2000000};
+
+/// Re-emits one trace event with pid forced to `pid` and ts shifted by
+/// `offset_us`; every other member passes through untouched.
+void WriteShiftedEvent(const JsonValue& event, int64_t pid, int64_t offset_us,
+                       JsonWriter* w) {
+  w->BeginObject();
+  bool wrote_pid = false;
+  for (const auto& [key, value] : event.members()) {
+    if (key == "pid") {
+      w->Key("pid").Int(pid);
+      wrote_pid = true;
+    } else if (key == "ts" && value.is_number()) {
+      w->Key("ts").Int(value.AsInt() + offset_us);
+    } else {
+      w->Key(key);
+      value.WriteTo(w);
+    }
+  }
+  if (!wrote_pid) w->Key("pid").Int(pid);
+  w->EndObject();
+}
+
+}  // namespace
+
+Result<std::string> StitchChromeTrace(
+    const std::vector<ProcessTrace>& procs) {
+  JsonWriter w;
+  w.BeginArray();
+  for (size_t i = 0; i < procs.size(); ++i) {
+    const ProcessTrace& proc = procs[i];
+    const int64_t pid = static_cast<int64_t>(i);
+    // Perfetto names the process row from this metadata event.
+    w.BeginObject();
+    w.Key("name").String("process_name");
+    w.Key("ph").String("M");
+    w.Key("pid").Int(pid);
+    w.Key("tid").Int(0);
+    w.Key("args").BeginObject().Key("name").String(proc.name).EndObject();
+    w.EndObject();
+
+    Result<JsonValue> parsed = JsonParse(proc.trace_json, kTraceParseLimits);
+    if (!parsed.ok()) {
+      return Status::Internal("trace dump of \"" + proc.name +
+                              "\" is not valid JSON: " +
+                              parsed.status().message());
+    }
+    if (parsed.value().kind() != JsonValue::Kind::kArray) {
+      return Status::Internal("trace dump of \"" + proc.name +
+                              "\" is not a trace_event array");
+    }
+    for (const JsonValue& event : parsed.value().items()) {
+      if (event.kind() != JsonValue::Kind::kObject) continue;
+      WriteShiftedEvent(event, pid, proc.ts_offset_us, &w);
+    }
+  }
+  w.EndArray();
+  return w.str();
+}
+
+std::string FederateMetricsText(
+    const std::string& local_text,
+    const std::vector<std::pair<std::string, std::string>>& shards) {
+  std::string out = local_text;
+  if (!out.empty() && out.back() != '\n') out += '\n';
+  for (const auto& [label, text] : shards) {
+    out += "# federated from shard " + label + "\n";
+    size_t pos = 0;
+    while (pos < text.size()) {
+      size_t eol = text.find('\n', pos);
+      if (eol == std::string::npos) eol = text.size();
+      const std::string_view line(text.data() + pos, eol - pos);
+      pos = eol + 1;
+      if (line.empty()) continue;
+      if (line[0] == '#') {
+        // HELP/TYPE headers were already emitted for the local samples;
+        // repeating them per shard would make the exposition invalid.
+        continue;
+      }
+      // `name{labels} value` or `name value` — inject shard="label" as the
+      // first label of the sample.
+      const size_t brace = line.find('{');
+      const size_t space = line.find(' ');
+      if (brace != std::string_view::npos &&
+          (space == std::string_view::npos || brace < space)) {
+        out.append(line.substr(0, brace + 1));
+        out += "shard=\"" + label + "\",";
+        out.append(line.substr(brace + 1));
+      } else if (space != std::string_view::npos) {
+        out.append(line.substr(0, space));
+        out += "{shard=\"" + label + "\"}";
+        out.append(line.substr(space));
+      } else {
+        out.append(line);  // Malformed line: pass through untouched.
+      }
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+}  // namespace popdb::dist

@@ -1,0 +1,39 @@
+#ifndef POPDB_DIST_OBSERVABILITY_H_
+#define POPDB_DIST_OBSERVABILITY_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace popdb::dist {
+
+/// One process's contribution to a stitched cluster trace: its name (shown
+/// as the Perfetto process row), its local Chrome trace_event JSON dump,
+/// and the offset to add to its timestamps so they line up with the
+/// coordinator's clock.
+struct ProcessTrace {
+  std::string name;        ///< e.g. "coordinator", "shard 0 @127.0.0.1:4001".
+  std::string trace_json;  ///< SpanTracer::ExportChromeTrace() output.
+  int64_t ts_offset_us = 0;
+};
+
+/// Merges per-process Chrome trace dumps into one trace_event document:
+/// process `i` of `procs` becomes pid `i`, gets a `process_name` metadata
+/// event, and every one of its events is re-emitted with `pid` rewritten
+/// and `ts` shifted by its offset. Events keep their original tid, so span
+/// nesting within each process is preserved. A process whose dump fails to
+/// parse makes the whole stitch fail (the caller decides what to drop).
+Result<std::string> StitchChromeTrace(const std::vector<ProcessTrace>& procs);
+
+/// Appends per-shard Prometheus expositions to `local_text`, injecting a
+/// `shard="<label>"` label into every sample line (comment lines pass
+/// through). `shards` pairs the label value with the shard's exposition.
+std::string FederateMetricsText(
+    const std::string& local_text,
+    const std::vector<std::pair<std::string, std::string>>& shards);
+
+}  // namespace popdb::dist
+
+#endif  // POPDB_DIST_OBSERVABILITY_H_

@@ -5,7 +5,9 @@
 #include <utility>
 
 #include "common/json.h"
+#include "common/span.h"
 #include "core/executor_builder.h"
+#include "core/explain.h"
 #include "core/pop.h"
 #include "dist/plan_json.h"
 
@@ -76,6 +78,7 @@ net::SubplanBackend::RunResult ShardExecutor::Run(
     result.outcome = "error";
     return result;
   }
+  result.query_name = query.value().name();
   Result<std::shared_ptr<PlanNode>> plan = PlanFromJson(*plan_json);
   if (!plan.ok()) {
     result.status = plan.status();
@@ -107,6 +110,12 @@ net::SubplanBackend::RunResult ShardExecutor::Run(
 
   // Hand-rolled RunToCompletion that streams batches as rows are produced
   // (a shard result must not buffer: the coordinator merges N streams).
+  const double exec_start = NowMs();
+  TRACE_SPAN_NAMED(exec_span, "subplan_execute", "dist");
+  const std::string trace_token = request.GetString("trace_token", "");
+  if (!trace_token.empty()) {
+    exec_span.SetLabel(std::string_view(trace_token));
+  }
   Operator* root = built.value().root.get();
   ExecStatus status = root->Open(&ctx);
   bool sink_broken = false;
@@ -128,6 +137,11 @@ net::SubplanBackend::RunResult ShardExecutor::Run(
     }
   }
   root->Close(&ctx);
+  result.execute_ms = NowMs() - exec_start;
+  // EXPLAIN ANALYZE snapshot of the executed fragment (estimates next to
+  // actuals, sampled timings); the coordinator merges it per shard and in
+  // aggregate under its gather node.
+  result.profile_json = ProfileToJsonString(ProfileOperatorTree(*root));
 
   if (sink_broken) {
     result.status = Status::Cancelled("client connection lost mid-stream");

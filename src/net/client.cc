@@ -224,6 +224,9 @@ std::string EncodeQueryRequest(const std::string& sql,
   }
   if (options.batch_rows > 0) w.Key("batch_rows").Int(options.batch_rows);
   if (options.high_priority) w.Key("priority").String("high");
+  if (!options.trace_token.empty()) {
+    w.Key("trace_token").String(options.trace_token);
+  }
   if (async) w.Key("async").Bool(true);
   w.EndObject();
   return w.str();
@@ -302,14 +305,51 @@ Result<std::string> Client::Trace(int64_t query_id) {
   return trace->ToJsonString();
 }
 
-Result<std::string> Client::Metrics() {
+Result<std::string> Client::Metrics(bool cluster) {
   JsonWriter w;
   w.BeginObject();
   w.Key("type").String("metrics");
+  if (cluster) w.Key("cluster").Bool(true);
   w.EndObject();
   Result<JsonValue> reply = RoundTrip(w.str());
   if (!reply.ok()) return reply.status();
   return reply.value().GetString("text", "");
+}
+
+Result<ClientSpanDump> Client::Spans(const ClientSpansOptions& options) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("type").String("spans");
+  if (options.cluster) w.Key("scope").String("cluster");
+  if (options.clear) w.Key("clear").Bool(true);
+  if (options.enable >= 0) w.Key("enable").Bool(options.enable != 0);
+  w.EndObject();
+  Result<JsonValue> reply = RoundTrip(w.str());
+  if (!reply.ok()) return reply.status();
+  const JsonValue* trace = reply.value().Find("trace");
+  if (trace == nullptr) return Status::Internal("spans_ok without trace");
+  ClientSpanDump dump;
+  // The dump arrives as a parsed JSON array; re-serialize for the caller
+  // (semantic round trip — pid/ts rewriting happens on parsed trees).
+  dump.trace_json = trace->ToJsonString();
+  dump.now_us = reply.value().GetInt("now_us", 0);
+  dump.event_count = reply.value().GetInt("event_count", 0);
+  return dump;
+}
+
+Result<std::string> Client::QueryLogTail(int64_t limit) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("type").String("query_log");
+  if (limit > 0) w.Key("limit").Int(limit);
+  w.EndObject();
+  Result<JsonValue> reply = RoundTrip(w.str());
+  if (!reply.ok()) return reply.status();
+  const JsonValue* entries = reply.value().Find("entries");
+  if (entries == nullptr) {
+    return Status::Internal("query_log_ok without entries");
+  }
+  return entries->ToJsonString();
 }
 
 Result<int64_t> Client::SubplanStart(const std::string& request_payload) {

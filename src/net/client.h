@@ -29,6 +29,25 @@ struct ClientQueryOptions {
   double deadline_ms = -1.0;   ///< -1 = server default, 0 = none.
   int64_t batch_rows = 0;      ///< <= 0 = server default.
   bool high_priority = false;
+  /// Trace token tagging the query's server-side spans (cluster trace
+  /// stitching). Empty = server assigns "q<query_id>".
+  std::string trace_token;
+};
+
+/// Options for Client::Spans.
+struct ClientSpansOptions {
+  bool cluster = false;  ///< Stitched cluster trace (coordinators only).
+  bool clear = false;    ///< Drop the server's recorded spans after export.
+  /// -1 = leave the server's tracer alone; 0/1 = disable/enable it before
+  /// exporting (remote tracer control for benchmarks and tests).
+  int enable = -1;
+};
+
+/// A server's span dump (Client::Spans).
+struct ClientSpanDump {
+  std::string trace_json;   ///< Chrome trace_event JSON array.
+  int64_t now_us = 0;       ///< Server tracer clock at export time.
+  int64_t event_count = 0;  ///< Events recorded (local scope only).
 };
 
 /// Options for Client::Connect. The connect timeout is separate from the
@@ -106,8 +125,20 @@ class Client {
   /// Fetches the stored QueryTrace JSON for a finished query.
   Result<std::string> Trace(int64_t query_id);
 
-  /// Fetches the server's Prometheus metrics text.
-  Result<std::string> Metrics();
+  /// Fetches the server's Prometheus metrics text. With `cluster` set (and
+  /// a coordinator on the other end) the exposition additionally carries
+  /// every shard's samples, labeled shard="N".
+  Result<std::string> Metrics(bool cluster = false);
+
+  /// Fetches the server's span dump: its SpanTracer events as Chrome
+  /// trace_event JSON plus the tracer clock, for cross-process stitching.
+  /// With options.cluster set (coordinators only), the stitched
+  /// cluster-wide trace instead.
+  Result<ClientSpanDump> Spans(const ClientSpansOptions& options = {});
+
+  /// Fetches the server's structured query log: the most recent `limit`
+  /// entries (0 = all retained) as a JSON array string, oldest first.
+  Result<std::string> QueryLogTail(int64_t limit = 0);
 
   /// Asks the server process to shut down (requires
   /// NetServerConfig::allow_shutdown_request on the server).

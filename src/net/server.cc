@@ -13,7 +13,10 @@
 #include <thread>
 #include <utility>
 
+#include "common/span.h"
 #include "common/string_util.h"
+#include "core/explain.h"
+#include "core/pop.h"
 #include "sql/binder.h"
 
 namespace popdb::net {
@@ -41,6 +44,9 @@ std::string ErrorFrame(StatusCode code, const std::string& message) {
 struct NetServer::ConnState {
   int fd = -1;
   uint64_t session_id = 0;  ///< 0 until hello completed.
+  /// Session-default trace token from hello; query/subplan requests may
+  /// override it per request.
+  std::string trace_token;
 };
 
 NetServer::NetServer(QueryService* service, TraceStore* traces,
@@ -308,7 +314,9 @@ bool NetServer::HandleFrame(ConnState* conn, const std::string& payload) {
   if (type == "wait") return HandleWait(conn, request);
   if (type == "cancel") return HandleCancel(conn, request);
   if (type == "trace") return HandleTrace(conn, request);
-  if (type == "metrics") return HandleMetrics(conn);
+  if (type == "spans") return HandleSpans(conn, request);
+  if (type == "query_log") return HandleQueryLog(conn, request);
+  if (type == "metrics") return HandleMetrics(conn, request);
   if (type == "goodbye") return HandleGoodbye(conn);
   if (type == "shutdown") return HandleShutdownRequest(conn);
 
@@ -332,6 +340,7 @@ bool NetServer::HandleHello(ConnState* conn, const JsonValue& request) {
                   static_cast<long long>(protocol), kProtocolVersion));
   }
   conn->session_id = sessions_.OpenSession();
+  conn->trace_token = request.GetString("trace_token", "");
   sessions_open_->Set(sessions_.open_sessions());
 
   JsonWriter w;
@@ -384,6 +393,7 @@ bool NetServer::HandleQuery(ConnState* conn, const JsonValue& request) {
 
   SubmitOptions opts;
   opts.session_id = conn->session_id;
+  opts.trace_token = request.GetString("trace_token", conn->trace_token);
   opts.deadline_ms = request.GetNumber("deadline_ms", -1.0);
   if (request.GetString("priority", "normal") == "high") {
     opts.priority = QueryPriority::kHigh;
@@ -446,6 +456,16 @@ bool NetServer::HandleSubplan(ConnState* conn, const JsonValue& request) {
   }
   subplans_total_->Increment();
 
+  // Distributed trace stitching: spans recorded under the coordinator's
+  // trace token line up with its timeline when the dumps are merged.
+  const std::string trace_token = request.GetString(
+      "trace_token", conn->trace_token.empty()
+                         ? "q" + std::to_string(query_id)
+                         : conn->trace_token);
+  TRACE_SPAN_NAMED(subplan_span, "subplan", "dist");
+  subplan_span.SetLabel(std::string_view(trace_token));
+  subplan_span.SetArg("query_id", query_id);
+
   {
     JsonWriter w;
     w.BeginObject();
@@ -488,6 +508,53 @@ bool NetServer::HandleSubplan(ConnState* conn, const JsonValue& request) {
   SubplanBackend::RunResult result =
       config_.subplan_backend->Run(request, token.get(), emit);
   sessions_.ReleaseCancelable(conn->session_id, query_id);
+
+  // Subplans bypass FinishTicket, so the shard-local trace store and query
+  // log are fed here: the shard's own `trace`/`query_log` endpoints resolve
+  // subplan ids too.
+  if (traces_ != nullptr || service_->query_log() != nullptr) {
+    QueryTrace trace;
+    trace.query_id = query_id;
+    trace.query_name = result.query_name;
+    trace.session_id = conn->session_id;
+    trace.outcome = result.outcome;
+    if (!result.status.ok()) trace.status_message = result.status.message();
+    trace.execute_ms = result.execute_ms;
+    trace.total_ms = result.execute_ms;
+    trace.result_rows = result.rows_sent;
+    trace.plan_cache = "none";
+    TraceAttempt attempt;
+    attempt.execute_ms = result.execute_ms;
+    attempt.rows_returned = result.rows_sent;
+    attempt.reoptimized = !result.violation_json.empty();
+    if (!result.profile_json.empty()) {
+      Result<JsonValue> parsed_profile = JsonParse(result.profile_json);
+      if (parsed_profile.ok() &&
+          ProfileFromJson(parsed_profile.value(), &attempt.profile)) {
+        attempt.has_profile = true;
+      }
+    }
+    trace.attempts.push_back(std::move(attempt));
+    if (traces_ != nullptr) traces_->Emit(trace);
+    if (QueryLog* log = service_->query_log(); log != nullptr) {
+      QueryLogEntry entry;
+      entry.query_id = query_id;
+      entry.end_ms = NowMs();
+      entry.kind = "subplan";
+      entry.query_name = result.query_name;
+      entry.outcome = result.outcome;
+      if (!result.status.ok()) entry.status_message = result.status.message();
+      entry.plan_cache = "none";
+      entry.checks_fired = result.violation_json.empty() ? 0 : 1;
+      entry.execute_ms = result.execute_ms;
+      entry.total_ms = result.execute_ms;
+      entry.result_rows = result.rows_sent;
+      if (trace.attempts.back().has_profile) {
+        entry.peak_qerror = PeakProfileQError(trace.attempts.back().profile);
+      }
+      log->Append(std::move(entry));
+    }
+  }
   if (!alive) return false;
 
   if (!result.violation_json.empty()) {
@@ -503,7 +570,11 @@ bool NetServer::HandleSubplan(ConnState* conn, const JsonValue& request) {
   }
   w.Key("outcome").String(result.outcome);
   w.Key("result_rows").Int(result.rows_sent);
+  w.Key("execute_ms").Double(result.execute_ms);
   w.Key("observations").Raw(result.observations_json);
+  if (!result.profile_json.empty()) {
+    w.Key("profile").Raw(result.profile_json);
+  }
   w.EndObject();
   return SendFrame(conn, w.str());
 }
@@ -605,16 +676,105 @@ bool NetServer::HandleTrace(ConnState* conn, const JsonValue& request) {
   return SendFrame(conn, w.str());
 }
 
-bool NetServer::HandleMetrics(ConnState* conn) {
+bool NetServer::HandleSpans(ConnState* conn, const JsonValue& request) {
+  SpanTracer& tracer = SpanTracer::Global();
+  // Remote tracer control (benchmarks and tests toggle shard tracers over
+  // the wire); an enable/disable-only request still returns the dump.
+  if (const JsonValue* enable = request.Find("enable"); enable != nullptr) {
+    if (enable->AsBool()) {
+      tracer.Enable();
+    } else {
+      tracer.Disable();
+    }
+  }
+
+  const std::string scope = request.GetString("scope", "local");
+  if (scope == "cluster") {
+    if (config_.cluster == nullptr) {
+      return SendError(conn, StatusCode::kUnimplemented,
+                       "this server is not a coordinator (no cluster "
+                       "observability hook)");
+    }
+    Result<std::string> stitched = config_.cluster->ClusterTraceJson();
+    if (!stitched.ok()) {
+      return SendError(conn, stitched.status().code(),
+                       stitched.status().message());
+    }
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("type").String("spans_ok");
+    w.Key("scope").String("cluster");
+    w.Key("now_us").Int(tracer.NowUs());
+    w.Key("trace").Raw(stitched.value());
+    w.EndObject();
+    return SendFrame(conn, w.str());
+  }
+  if (scope != "local") {
+    return SendError(conn, StatusCode::kInvalidArgument,
+                     "spans scope must be \"local\" or \"cluster\"");
+  }
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("type").String("spans_ok");
+  w.Key("scope").String("local");
+  w.Key("now_us").Int(tracer.NowUs());
+  w.Key("event_count").Int(tracer.event_count());
+  w.Key("trace").Raw(tracer.ExportChromeTrace());
+  w.EndObject();
+  if (request.GetBool("clear", false)) tracer.Clear();
+  return SendFrame(conn, w.str());
+}
+
+bool NetServer::HandleQueryLog(ConnState* conn, const JsonValue& request) {
+  QueryLog* log = service_->query_log();
+  if (log == nullptr) {
+    return SendError(conn, StatusCode::kNotFound,
+                     "the query log is disabled on this server "
+                     "(query_log_entries <= 0)");
+  }
+  const int64_t limit = request.GetInt("limit", 0);
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("type").String("query_log_ok");
+  w.Key("total").Int(log->total());
+  w.Key("entries").Raw(log->ToJsonArray(limit));
+  w.EndObject();
+  return SendFrame(conn, w.str());
+}
+
+bool NetServer::HandleMetrics(ConnState* conn, const JsonValue& request) {
+  std::string text = service_->MetricsText();
+  if (request.GetBool("cluster", false)) {
+    if (config_.cluster == nullptr) {
+      return SendError(conn, StatusCode::kUnimplemented,
+                       "this server is not a coordinator (no cluster "
+                       "observability hook)");
+    }
+    Result<std::string> federated =
+        config_.cluster->FederatedMetricsText(text);
+    if (!federated.ok()) {
+      return SendError(conn, federated.status().code(),
+                       federated.status().message());
+    }
+    text = std::move(federated).TakeValue();
+  }
   JsonWriter w;
   w.BeginObject();
   w.Key("type").String("metrics_ok");
-  w.Key("text").String(service_->MetricsText());
+  w.Key("text").String(text);
   w.EndObject();
   return SendFrame(conn, w.str());
 }
 
 bool NetServer::HandleGoodbye(ConnState* conn) {
+  // Unregister the session before acknowledging: a client that waited for
+  // goodbye_ok must not still observe its session as open.
+  if (conn->session_id != 0) {
+    sessions_.CloseSession(conn->session_id);
+    conn->session_id = 0;
+    sessions_open_->Set(sessions_.open_sessions());
+  }
   JsonWriter w;
   w.BeginObject();
   w.Key("type").String("goodbye_ok");

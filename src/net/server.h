@@ -43,6 +43,14 @@ class SubplanBackend {
     /// JSON array of {set, rows, exact} cardinality observations.
     std::string observations_json = "[]";
     int64_t rows_sent = 0;
+    /// Serialized PlanProfileNode tree (core/explain.h ProfileToJson) of
+    /// the executed fragment, or empty when no profile was captured. The
+    /// coordinator merges these into the distributed EXPLAIN ANALYZE view.
+    std::string profile_json;
+    /// Shard-side wall-clock execution time for this subplan.
+    double execute_ms = 0.0;
+    /// Query name from the request, for trace/query-log attribution.
+    std::string query_name = "subplan";
   };
 
   virtual ~SubplanBackend() = default;
@@ -50,6 +58,25 @@ class SubplanBackend {
   virtual RunResult Run(const JsonValue& request, CancelToken* cancel,
                         const std::function<bool(const std::vector<Row>&)>&
                             emit) = 0;
+};
+
+/// Cluster-wide observability hooks served by a coordinator-mode server
+/// (implemented by dist::Coordinator; the interface lives here so src/net
+/// does not depend on src/dist). Both calls fan out to every shard over the
+/// coordinator's connection pool and must be thread safe.
+class ClusterObservability {
+ public:
+  virtual ~ClusterObservability() = default;
+
+  /// Harvests span dumps from every shard, stitches them with the
+  /// coordinator's own spans into one Chrome trace_event JSON document
+  /// (one pid row per process), and returns it.
+  virtual Result<std::string> ClusterTraceJson() = 0;
+
+  /// Scrapes every shard's Prometheus exposition and appends it to
+  /// `local_text` with a `shard="N"` label injected into each sample.
+  virtual Result<std::string> FederatedMetricsText(
+      const std::string& local_text) = 0;
 };
 
 /// Configuration of a NetServer instance.
@@ -103,6 +130,12 @@ struct NetServerConfig {
   /// (sliced, cancellation-responsive) so tests can deterministically kill
   /// or cancel a shard mid-stream. <= 0 = no stall.
   double subplan_stall_ms = 0.0;
+
+  /// Coordinator mode: cluster-wide observability hooks backing
+  /// `spans {scope:"cluster"}` and `metrics {cluster:true}` requests. Null
+  /// (the default) rejects cluster-scoped requests with unimplemented. Not
+  /// owned; must outlive the server.
+  ClusterObservability* cluster = nullptr;
 
   std::string server_name = "popdb";
 };
@@ -176,7 +209,9 @@ class NetServer {
   bool HandleWait(ConnState* conn, const JsonValue& request);
   bool HandleCancel(ConnState* conn, const JsonValue& request);
   bool HandleTrace(ConnState* conn, const JsonValue& request);
-  bool HandleMetrics(ConnState* conn);
+  bool HandleSpans(ConnState* conn, const JsonValue& request);
+  bool HandleQueryLog(ConnState* conn, const JsonValue& request);
+  bool HandleMetrics(ConnState* conn, const JsonValue& request);
   bool HandleGoodbye(ConnState* conn);
   bool HandleShutdownRequest(ConnState* conn);
 

@@ -1,9 +1,12 @@
 #include "runtime/query_service.h"
 
+#include <algorithm>
 #include <chrono>
 #include <utility>
 
+#include "common/span.h"
 #include "core/leo.h"
+#include "opt/plan_cache.h"
 
 namespace popdb {
 
@@ -112,6 +115,10 @@ QueryService::QueryService(const Catalog& catalog, ServiceConfig config)
         Histogram::LogBuckets(0.5, 2.0, 20));
   }
 
+  if (config_.query_log_entries > 0) {
+    query_log_ = std::make_unique<QueryLog>(config_.query_log_entries);
+  }
+
   if (config_.intra_query_dop > 1) {
     // External-worker mode: the service's own workers drain the morsel
     // queue whenever they are not running a query, so intra-query
@@ -171,6 +178,9 @@ Result<std::shared_ptr<QueryTicket>> QueryService::Submit(
   ticket->session_id_ = config_.share_feedback ? 0 : opts.session_id;
   ticket->query_id_ = next_query_id_.fetch_add(1);
   ticket->submit_ms_ = NowMs();
+  ticket->trace_token_ = opts.trace_token.empty()
+                             ? "q" + std::to_string(ticket->query_id_)
+                             : std::move(opts.trace_token);
   const double deadline_ms =
       opts.deadline_ms < 0 ? config_.default_deadline_ms : opts.deadline_ms;
   if (deadline_ms > 0) ticket->cancel_.SetDeadlineAfterMs(deadline_ms);
@@ -306,7 +316,18 @@ void QueryService::RunOne(const std::shared_ptr<QueryTicket>& ticket) {
     }
   }
 
+  // Root span of the query's timeline, tagged with its trace token so
+  // shard-side spans carrying the same token stitch under it. Recorded
+  // manually (not RAII) so it is already in the buffer when FinishTicket
+  // wakes the client — a spans request racing the scope exit would
+  // otherwise miss it.
+  SpanTracer& tracer = SpanTracer::Global();
+  const bool span_active = tracer.enabled();
+  const int64_t span_start_us = span_active ? tracer.NowUs() : 0;
+
   QueryResult result;
+  ExecutionStats stats;
+  bool executed = false;
   if (ticket->cancel_.Expired()) {
     // Cancelled (or past deadline) while still queued: never execute.
     result.status =
@@ -321,15 +342,19 @@ void QueryService::RunOne(const std::shared_ptr<QueryTicket>& ticket) {
     // the local plan cache and matview reuse (shard results never
     // materialize here) but shares the cross-query feedback store, so
     // cluster-harvested cardinalities seed later compilations too.
-    ExecutionStats stats;
+    executed = true;
+    DistQueryInfo info;
+    info.query_id = ticket->query_id_;
+    info.trace_token = ticket->trace_token_;
     Result<std::vector<Row>> rows = config_.dist_backend->Execute(
         ticket->query_, &ticket->cancel_, FeedbackFor(ticket->session_id_),
-        &stats);
+        &stats, info);
     FillTraceFromStats(stats, &trace);
     result.status = rows.status();
     if (rows.ok()) result.rows = std::move(rows).TakeValue();
     metrics_.OnReopts(stats.reopts, trace.checks_fired);
   } else {
+    executed = true;
     ProgressiveExecutor exec(catalog_, config_.optimizer, config_.pop);
     exec.set_cross_query_store(FeedbackFor(ticket->session_id_));
     exec.set_plan_cache(plan_cache_.get());
@@ -341,7 +366,6 @@ void QueryService::RunOne(const std::shared_ptr<QueryTicket>& ticket) {
       parallel.min_parallel_rows = config_.min_parallel_rows;
       exec.set_parallel(morsel_pool_.get(), parallel);
     }
-    ExecutionStats stats;
     Result<std::vector<Row>> rows =
         config_.use_pop ? exec.Execute(ticket->query_, &stats)
                         : exec.ExecuteStatic(ticket->query_, &stats);
@@ -364,6 +388,12 @@ void QueryService::RunOne(const std::shared_ptr<QueryTicket>& ticket) {
       plan_cache_hit_age_->Observe(stats.plan_cache_age_ms);
     }
     metrics_.OnReopts(stats.reopts, trace.checks_fired);
+  }
+
+  if (executed) {
+    // Engine diagnostics shared by both execution paths: the distributed
+    // coordinator reports CHECK firings and per-shard profiles through the
+    // same ExecutionStats shape the local executor uses.
     if (trace.checks_fired > 0) {
       std::lock_guard<std::mutex> lock(history_mu_);
       for (const CheckEvent& ev : stats.check_events) {
@@ -380,14 +410,57 @@ void QueryService::RunOne(const std::shared_ptr<QueryTicket>& ticket) {
     }
   }
 
-  FinishTicket(ticket, std::move(result), std::move(trace));
+  if (span_active) {
+    tracer.RecordSpan("query", "service", span_start_us,
+                      tracer.NowUs() - span_start_us, "query_id",
+                      ticket->query_id_, tracer.Intern(ticket->trace_token_));
+  }
+  FinishTicket(ticket, std::move(result), std::move(trace),
+               executed ? &stats : nullptr);
 }
 
 void QueryService::FinishTicket(const std::shared_ptr<QueryTicket>& ticket,
-                                QueryResult result, QueryTrace trace) {
+                                QueryResult result, QueryTrace trace,
+                                const ExecutionStats* stats) {
   trace.total_ms = NowMs() - ticket->submit_ms_;
   trace.outcome = OutcomeName(result.status);
   if (!result.status.ok()) trace.status_message = result.status.ToString();
+
+  if (query_log_ != nullptr) {
+    QueryLogEntry entry;
+    entry.query_id = trace.query_id;
+    entry.end_ms = NowMs();
+    entry.query_name = trace.query_name;
+    entry.signature = QueryCacheSignature(ticket->query_);
+    entry.outcome = trace.outcome;
+    entry.status_message = trace.status_message;
+    entry.plan_cache = trace.plan_cache;
+    entry.reopts = trace.reopts;
+    entry.checks_fired = trace.checks_fired;
+    entry.queue_ms = trace.queue_ms;
+    entry.optimize_ms = trace.optimize_ms;
+    entry.execute_ms = trace.execute_ms;
+    entry.total_ms = trace.total_ms;
+    entry.result_rows = trace.result_rows;
+    if (stats != nullptr) {
+      for (const CheckEvent& ev : stats->check_events) {
+        if (ev.fired) ++entry.flavor_fired[static_cast<int>(ev.flavor)];
+      }
+    }
+    if (!trace.attempts.empty()) {
+      const TraceAttempt& last = trace.attempts.back();
+      entry.plan_digest = PlanTextDigest(last.plan_text);
+      entry.distributed = !last.shards.empty();
+      entry.shards = last.shards;
+    }
+    for (const TraceAttempt& a : trace.attempts) {
+      if (a.has_profile) {
+        entry.peak_qerror =
+            std::max(entry.peak_qerror, PeakProfileQError(a.profile));
+      }
+    }
+    query_log_->Append(std::move(entry));
+  }
 
   switch (result.status.code()) {
     case StatusCode::kOk:

@@ -15,6 +15,7 @@
 #include "core/pop.h"
 #include "runtime/metrics.h"
 #include "runtime/morsel_dispatcher.h"
+#include "runtime/query_log.h"
 #include "runtime/trace.h"
 #include "storage/catalog.h"
 
@@ -33,6 +34,15 @@ enum class QueryPriority { kNormal = 0, kHigh = 1 };
 ///
 /// Implementations must be thread safe: multiple workers may call
 /// Execute concurrently.
+/// Cross-layer identity of one distributed query execution, threaded from
+/// the service into the back end so coordinator- and shard-side trace
+/// spans can be stitched into one cluster timeline.
+struct DistQueryInfo {
+  int64_t query_id = 0;     ///< Service-assigned id; 0 = untracked.
+  std::string trace_token;  ///< Cluster-unique trace token ("q<id>" or
+                            ///< client-chosen); empty = untraced.
+};
+
 class DistributedBackend {
  public:
   virtual ~DistributedBackend() = default;
@@ -46,10 +56,13 @@ class DistributedBackend {
   /// client cancellation and deadlines; `feedback` (may be null) is the
   /// session's cross-query feedback store to seed from and absorb into;
   /// `stats` (never null) receives attempt/timing/re-opt diagnostics.
+  /// `info` carries the query id and trace token for cluster-wide trace
+  /// stitching (propagated to shards in the `subplan` wire request).
   virtual Result<std::vector<Row>> Execute(const QuerySpec& query,
                                            CancelToken* cancel,
                                            QueryFeedbackStore* feedback,
-                                           ExecutionStats* stats) = 0;
+                                           ExecutionStats* stats,
+                                           const DistQueryInfo& info = {}) = 0;
 };
 
 /// Configuration of a QueryService instance.
@@ -107,6 +120,12 @@ struct ServiceConfig {
   /// ranges (PlanCacheConfig::validity_hits). Off by default.
   bool plan_cache_validity_hits = false;
 
+  /// Capacity of the always-on structured query log (the last N finished
+  /// queries as compact JSONL records: signature, plan digest, cache
+  /// outcome, re-opt count, CHECK firings by flavor, per-shard timings,
+  /// peak Q-error, final status). <= 0 disables the log.
+  int64_t query_log_entries = 512;
+
   OptimizerConfig optimizer;
   PopConfig pop;
 
@@ -130,6 +149,10 @@ struct SubmitOptions {
   /// Feedback scope when ServiceConfig::share_feedback is false. Ignored
   /// (all sessions share) when share_feedback is true.
   uint64_t session_id = 0;
+
+  /// Client-chosen trace token carried through the execution (root span
+  /// label, shard subplan requests). Empty = service assigns "q<id>".
+  std::string trace_token;
 };
 
 /// Final outcome of a submitted query.
@@ -171,6 +194,7 @@ class QueryTicket {
   uint64_t session_id_ = 0;
   int64_t query_id_ = 0;
   double submit_ms_ = 0.0;
+  std::string trace_token_;
 
   CancelToken cancel_;
 
@@ -257,11 +281,19 @@ class QueryService {
   /// space.
   int64_t AllocateQueryId() { return next_query_id_.fetch_add(1); }
 
+  /// The structured query log, or null when query_log_entries <= 0. Front
+  /// ends serve it over the `query_log` wire request; shard servers also
+  /// append their subplan executions to it.
+  QueryLog* query_log() { return query_log_.get(); }
+
  private:
   void WorkerLoop();
   void RunOne(const std::shared_ptr<QueryTicket>& ticket);
+  /// `stats` (may be null for never-executed queries) provides the CHECK
+  /// flavor breakdown for the query-log entry.
   void FinishTicket(const std::shared_ptr<QueryTicket>& ticket,
-                    QueryResult result, QueryTrace trace);
+                    QueryResult result, QueryTrace trace,
+                    const ExecutionStats* stats = nullptr);
   /// Feeds every annotated operator's Q-error into qerror_hist_.
   void ObserveQErrors(const PlanProfileNode& node);
   /// Store for a session (the shared store, or the per-session one).
@@ -322,6 +354,9 @@ class QueryService {
   /// way, since a hit requires the exact optimizer inputs that installed
   /// the entry.
   std::unique_ptr<PlanCache> plan_cache_;
+
+  /// Always-on structured query log; null when disabled.
+  std::unique_ptr<QueryLog> query_log_;
 
   QueryFeedbackStore shared_feedback_;
   std::mutex sessions_mu_;

@@ -32,6 +32,7 @@ void FillTraceFromStats(const ExecutionStats& stats, QueryTrace* trace) {
     if (a.reoptimized) ta.reopt_flavor = CheckFlavorName(a.signal.flavor);
     ta.profile = a.profile;
     ta.has_profile = a.has_profile;
+    ta.shards = a.shards;
     trace->optimize_ms += a.optimize_ms;
     trace->execute_ms += a.execute_ms;
     trace->attempts.push_back(std::move(ta));
@@ -83,6 +84,18 @@ std::string QueryTrace::ToJson() const {
     if (a.has_profile) {
       w.Key("profile");
       ProfileToJson(a.profile, &w);
+    }
+    if (!a.shards.empty()) {
+      w.Key("shards").BeginArray();
+      for (const ShardAttemptInfo& s : a.shards) {
+        w.BeginObject();
+        w.Key("shard").Int(s.shard);
+        w.Key("execute_ms").Double(s.execute_ms);
+        w.Key("rows").Int(s.rows);
+        w.Key("outcome").String(s.outcome);
+        w.EndObject();
+      }
+      w.EndArray();
     }
     w.EndObject();
   }

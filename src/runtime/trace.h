@@ -25,6 +25,8 @@ struct TraceAttempt {
   /// rows, Q-error, timings per operator).
   PlanProfileNode profile;
   bool has_profile = false;
+  /// Distributed attempts: per-shard timing/row/outcome breakdown.
+  std::vector<ShardAttemptInfo> shards;
 };
 
 /// Structured record of one query's trip through the QueryService, emitted

@@ -13,14 +13,19 @@
 #include <thread>
 #include <vector>
 
+#include "common/json.h"
 #include "common/rng.h"
+#include "common/span.h"
+#include "core/explain.h"
 #include "dist/coordinator.h"
+#include "dist/observability.h"
 #include "dist/partition.h"
 #include "dist/plan_json.h"
 #include "dist/shard.h"
 #include "dist/split.h"
 #include "net/client.h"
 #include "net/server.h"
+#include "runtime/metrics_registry.h"
 #include "sql/binder.h"
 #include "tests/test_util.h"
 
@@ -448,6 +453,308 @@ TEST_F(DistTest, NonShardableQueriesAreDeclined) {
       Parse(full_, "SELECT COUNT(*) FROM clazz")));
   EXPECT_FALSE(coordinator_->CanExecute(Parse(
       full_, "SELECT COUNT(*) FROM orders, items WHERE o_subclass = i_qty")));
+}
+
+// ------------------------------------------------- observability plane
+
+/// DFS for a profile node whose name starts with `prefix`.
+const PlanProfileNode* FindProfileNode(const PlanProfileNode& node,
+                                       const std::string& prefix) {
+  if (node.name.rfind(prefix, 0) == 0) return &node;
+  for (const PlanProfileNode& child : node.children) {
+    const PlanProfileNode* hit = FindProfileNode(child, prefix);
+    if (hit != nullptr) return hit;
+  }
+  return nullptr;
+}
+
+// Golden stitched two-process Chrome trace: pids are rewritten densely,
+// shard clocks are shifted onto the coordinator's timeline, and every
+// process gets a Perfetto process_name metadata row.
+TEST(DistObservabilityTest, StitchChromeTraceRewritesPidsAndShiftsClocks) {
+  dist::ProcessTrace coord;
+  coord.name = "coordinator";
+  coord.trace_json =
+      R"([{"name":"dist_execute","cat":"dist","ph":"X","ts":100,)"
+      R"("dur":50,"pid":7,"tid":0}])";
+  coord.ts_offset_us = 0;
+  dist::ProcessTrace shard;
+  shard.name = "shard 0 @127.0.0.1:9001";
+  shard.trace_json =
+      R"([{"name":"subplan_execute","cat":"dist","ph":"X","ts":10,)"
+      R"("dur":20,"tid":3,"args":{"label":"q1"}},)"
+      R"([{"name":"ignored_non_object"}]])";
+  shard.ts_offset_us = 105;
+
+  Result<std::string> stitched =
+      dist::StitchChromeTrace({coord, shard});
+  ASSERT_TRUE(stitched.ok()) << stitched.status().ToString();
+  Result<JsonValue> parsed = JsonParse(stitched.value(), {16, 100000});
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(JsonValue::Kind::kArray, parsed.value().kind());
+
+  int metadata_rows = 0;
+  bool saw_coord = false;
+  bool saw_shard = false;
+  for (const JsonValue& event : parsed.value().items()) {
+    const std::string name = event.GetString("name", "");
+    if (event.GetString("ph", "") == "M") {
+      ASSERT_EQ("process_name", name);
+      ++metadata_rows;
+      continue;
+    }
+    if (name == "dist_execute") {
+      saw_coord = true;
+      EXPECT_EQ(0, event.GetInt("pid", -1));  // 7 rewritten to slot 0.
+      EXPECT_EQ(100, event.GetInt("ts", -1));
+    } else if (name == "subplan_execute") {
+      saw_shard = true;
+      EXPECT_EQ(1, event.GetInt("pid", -1));  // pid appended when absent.
+      EXPECT_EQ(115, event.GetInt("ts", -1));  // 10 + offset 105.
+      EXPECT_EQ(3, event.GetInt("tid", -1));   // tid passes through.
+      const JsonValue* args = event.Find("args");
+      ASSERT_NE(nullptr, args);
+      EXPECT_EQ("q1", args->GetString("label", ""));
+    }
+  }
+  EXPECT_EQ(2, metadata_rows);
+  EXPECT_TRUE(saw_coord);
+  EXPECT_TRUE(saw_shard);
+  EXPECT_NE(std::string::npos,
+            stitched.value().find("shard 0 @127.0.0.1:9001"));
+}
+
+TEST(DistObservabilityTest, StitchChromeTraceRejectsCorruptDump) {
+  dist::ProcessTrace bad;
+  bad.name = "shard 1";
+  bad.trace_json = "{not json";
+  EXPECT_FALSE(dist::StitchChromeTrace({bad}).ok());
+  dist::ProcessTrace wrong_shape;
+  wrong_shape.name = "shard 2";
+  wrong_shape.trace_json = R"({"name":"object_not_array"})";
+  EXPECT_FALSE(dist::StitchChromeTrace({wrong_shape}).ok());
+}
+
+// Golden federated exposition: each shard line gains shard="N" as its
+// first label; repeated HELP/TYPE headers are dropped.
+TEST(DistObservabilityTest, FederateMetricsTextInjectsShardLabels) {
+  const std::string local =
+      "# HELP popdb_up 1 while the server is serving.\n"
+      "# TYPE popdb_up gauge\n"
+      "popdb_up 1\n";
+  const std::string shard0 =
+      "# HELP popdb_up 1 while the server is serving.\n"
+      "# TYPE popdb_up gauge\n"
+      "popdb_up 1\n"
+      "popdb_checks_fired_by_flavor_total{flavor=\"LC\"} 2\n";
+  const std::string shard1 =
+      "popdb_up 1\n"
+      "\n"
+      "garbage-line-without-value\n";
+
+  const std::string merged = dist::FederateMetricsText(
+      local, {{"0", shard0}, {"1", shard1}});
+  EXPECT_EQ(
+      "# HELP popdb_up 1 while the server is serving.\n"
+      "# TYPE popdb_up gauge\n"
+      "popdb_up 1\n"
+      "# federated from shard 0\n"
+      "popdb_up{shard=\"0\"} 1\n"
+      "popdb_checks_fired_by_flavor_total{shard=\"0\",flavor=\"LC\"} 2\n"
+      "# federated from shard 1\n"
+      "popdb_up{shard=\"1\"} 1\n"
+      "garbage-line-without-value\n",
+      merged);
+}
+
+// The trap query on a live 2-shard cluster: the merged EXPLAIN ANALYZE
+// tree has the gather root, the cross-shard aggregate, and one subtree per
+// shard with its own Q-errors; the per-shard breakdown and the fired
+// CHECK are recorded in the stats.
+TEST_F(DistTest, DistributedExplainAnalyzeMergesShardProfiles) {
+  StartCluster(2);
+  const std::string sql =
+      "SELECT o_class, COUNT(*) FROM orders, items WHERE o_id = i_order "
+      "AND o_class = 7 AND o_subclass = 77 GROUP BY o_class";
+  ExecutionStats stats;
+  Result<std::vector<Row>> rows = RunDist(sql, &stats);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_GE(stats.reopts, 1);
+
+  const AttemptInfo& last = stats.last_attempt();
+  ASSERT_TRUE(last.has_profile);
+  const PlanProfileNode& root = last.profile;
+  EXPECT_EQ(0u, root.name.rfind("GATHER", 0)) << root.name;
+  EXPECT_NE(std::string::npos, root.detail.find("2 shards")) << root.detail;
+
+  const PlanProfileNode* cluster = FindProfileNode(root, "CLUSTER");
+  ASSERT_NE(nullptr, cluster);
+  std::vector<const PlanProfileNode*> shard_nodes;
+  for (const PlanProfileNode& child : root.children) {
+    if (child.name == "SHARD") shard_nodes.push_back(&child);
+  }
+  ASSERT_EQ(2u, shard_nodes.size());
+  EXPECT_NE(std::string::npos, shard_nodes[0]->detail.find("shard 0"));
+  EXPECT_NE(std::string::npos, shard_nodes[1]->detail.find("shard 1"));
+  // Each shard subtree is a real executed profile: some operator in it
+  // completed with estimates, so a Q-error is computable.
+  EXPECT_GE(PeakProfileQError(*shard_nodes[0]), 1.0);
+  EXPECT_GE(PeakProfileQError(*shard_nodes[1]), 1.0);
+
+  // Per-shard breakdown of the final (successful) attempt.
+  ASSERT_EQ(2u, last.shards.size());
+  int64_t shard_rows = 0;
+  for (const ShardAttemptInfo& s : last.shards) {
+    EXPECT_EQ("ok", s.outcome);
+    EXPECT_GE(s.execute_ms, 0.0);
+    shard_rows += s.rows;
+  }
+  EXPECT_GE(shard_rows, static_cast<int64_t>(rows.value().size()));
+  // The violating attempt recorded its shards too, one of them firing.
+  bool saw_reopt_shard = false;
+  for (const ShardAttemptInfo& s : stats.attempts.front().shards) {
+    if (s.outcome == "reoptimize") saw_reopt_shard = true;
+  }
+  EXPECT_TRUE(saw_reopt_shard);
+  // The fired CHECK surfaced as a cluster-level check event.
+  bool saw_fired = false;
+  for (const CheckEvent& e : stats.check_events) {
+    if (e.fired) saw_fired = true;
+  }
+  EXPECT_TRUE(saw_fired);
+}
+
+// Live cluster trace stitching + metrics federation through the
+// coordinator's ClusterObservability interface (what the `spans` /
+// `metrics {cluster:true}` wire requests call).
+TEST_F(DistTest, ClusterTraceAndFederatedMetricsFromLiveCluster) {
+  StartCluster(2);
+  SpanTracer& tracer = SpanTracer::Global();
+  tracer.Clear();
+  tracer.Enable();
+  const std::string sql =
+      "SELECT o_class, COUNT(*) FROM orders, items WHERE o_id = i_order "
+      "AND o_class = 7 AND o_subclass = 77 GROUP BY o_class";
+  ExecutionStats stats;
+  Result<std::vector<Row>> rows = RunDist(sql, &stats);
+  tracer.Disable();
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+
+  // The coordinator recorded the distributed phases, labeled by token.
+  bool saw_execute = false;
+  bool saw_scatter = false;
+  bool saw_violation = false;
+  for (const SpanEvent& e : tracer.Snapshot()) {
+    const std::string name = e.name;
+    if (name == "dist_execute") saw_execute = true;
+    if (name == "dist_scatter") saw_scatter = true;
+    if (name == "check_violation") {
+      saw_violation = true;
+      ASSERT_NE(nullptr, e.label);
+      EXPECT_EQ('q', e.label[0]);
+    }
+  }
+  EXPECT_TRUE(saw_execute);
+  EXPECT_TRUE(saw_scatter);
+  EXPECT_TRUE(saw_violation);
+
+  // Stitched cluster trace: coordinator + both shards, one pid row each
+  // (in-process shards share the tracer, but the stitch still assigns
+  // every process its own pid and name row).
+  Result<std::string> trace = coordinator_->ClusterTraceJson();
+  ASSERT_TRUE(trace.ok()) << trace.status().ToString();
+  Result<JsonValue> parsed = JsonParse(trace.value(), {32, 2000000});
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  int process_rows = 0;
+  bool saw_pid2 = false;
+  for (const JsonValue& event : parsed.value().items()) {
+    if (event.GetString("ph", "") == "M") ++process_rows;
+    if (event.GetInt("pid", -1) == 2) saw_pid2 = true;
+  }
+  EXPECT_EQ(3, process_rows);  // coordinator + 2 shards.
+  EXPECT_TRUE(saw_pid2);
+  EXPECT_NE(std::string::npos, trace.value().find("coordinator"));
+  EXPECT_NE(std::string::npos, trace.value().find("shard 1"));
+
+  // Federated exposition: coordinator families plus per-shard samples.
+  Result<std::string> metrics =
+      coordinator_->FederatedMetricsText("popdb_up 1\n");
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+  EXPECT_NE(std::string::npos, metrics.value().find("popdb_up 1"));
+  EXPECT_NE(std::string::npos, metrics.value().find("shard=\"0\""));
+  EXPECT_NE(std::string::npos, metrics.value().find("shard=\"1\""));
+  // Shard servers count the subplans they executed.
+  EXPECT_NE(std::string::npos,
+            metrics.value().find("popdb_net_subplans_total{shard=\"1\"}"));
+  tracer.Clear();
+}
+
+// Wire-level: a shard's subplan query_done frame reports the shard's
+// execution wall time and its EXPLAIN ANALYZE profile (what the
+// coordinator merges), and the shard's own query log records the subplan.
+TEST_F(DistTest, SubplanQueryDoneCarriesTimingAndProfile) {
+  StartCluster(2);
+  const QuerySpec query = Parse(full_, "SELECT COUNT(*) FROM orders");
+  ProgressiveExecutor exec(full_, OptimizerConfig{}, PopConfig{});
+  Result<OptimizedPlan> plan = exec.Plan(query);
+  ASSERT_TRUE(plan.ok());
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("type").String("subplan");
+  w.Key("query");
+  dist::AppendQuerySpecJson(query, &w);
+  w.Key("plan");
+  ASSERT_TRUE(dist::AppendPlanJson(*plan.value().root, &w).ok());
+  w.Key("batch_rows").Int(100);
+  w.Key("trace_token").String("tok-sub-7");
+  w.EndObject();
+
+  Result<net::Client> connected =
+      net::Client::Connect("127.0.0.1", shards_[0]->server->port());
+  ASSERT_TRUE(connected.ok()) << connected.status().ToString();
+  net::Client client = std::move(connected).TakeValue();
+  Result<int64_t> id = client.SubplanStart(w.str());
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  bool saw_done = false;
+  while (!saw_done) {
+    Result<net::ShardEvent> event = client.SubplanNext();
+    ASSERT_TRUE(event.ok()) << event.status().ToString();
+    if (event.value().kind != net::ShardEvent::Kind::kDone) continue;
+    saw_done = true;
+    const JsonValue& done = event.value().payload;
+    EXPECT_EQ("ok", done.GetString("outcome", ""));
+    EXPECT_GE(done.GetNumber("execute_ms", -1.0), 0.0);
+    const JsonValue* profile_json = done.Find("profile");
+    ASSERT_NE(nullptr, profile_json);
+    PlanProfileNode profile;
+    ASSERT_TRUE(ProfileFromJson(*profile_json, &profile));
+    EXPECT_FALSE(profile.name.empty());
+  }
+
+  // The shard logged the subplan with the query's name.
+  ASSERT_NE(nullptr, shards_[0]->service->query_log());
+  const std::vector<QueryLogEntry> tail =
+      shards_[0]->service->query_log()->Tail(0);
+  ASSERT_FALSE(tail.empty());
+  EXPECT_EQ("subplan", tail.back().kind);
+  EXPECT_EQ("ok", tail.back().outcome);
+  client.Close();
+}
+
+// The coordinator's own per-shard gauges after a distributed query.
+TEST_F(DistTest, CoordinatorExportsPerShardMetrics) {
+  StartCluster(2);
+  MetricsRegistry registry;
+  coordinator_->RegisterMetrics(&registry);
+  ASSERT_TRUE(RunDist("SELECT COUNT(*) FROM orders").ok());
+  const std::string text = registry.RenderPrometheus();
+  EXPECT_NE(std::string::npos,
+            text.find("popdb_dist_shard_rows_total{shard=\"0\"}"));
+  EXPECT_NE(std::string::npos,
+            text.find("popdb_dist_shard_rows_total{shard=\"1\"}"));
+  EXPECT_NE(std::string::npos,
+            text.find("popdb_dist_shard_latency_ms_bucket{shard=\"0\",le="));
+  EXPECT_NE(std::string::npos, text.find("popdb_dist_shard_lag_ms_count 1"));
 }
 
 }  // namespace

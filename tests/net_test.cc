@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/span.h"
 #include "common/string_util.h"
 #include "net/client.h"
 #include "net/server.h"
@@ -282,6 +283,94 @@ TEST_F(NetTest, MetricsExposeNetFamilies) {
             metrics.value().find("popdb_net_queries_total"));
   EXPECT_NE(std::string::npos,
             metrics.value().find("popdb_net_bytes_written_total"));
+  client.Close();
+}
+
+// --------------------------------------- spans, query log, trace token
+
+TEST_F(NetTest, SpansRoundTripCarriesClientTraceToken) {
+  StartServer();
+  net::Client client = Connect();
+
+  // Remote tracer control: enable, run a labeled query, export, clear.
+  SpanTracer::Global().Clear();
+  net::ClientSpansOptions enable_opts;
+  enable_opts.enable = 1;
+  ASSERT_TRUE(client.Spans(enable_opts).ok());
+
+  net::ClientQueryOptions opts;
+  opts.trace_token = "tok-net-1";
+  ASSERT_TRUE(
+      client.Query("SELECT COUNT(*) FROM orders", opts).status.ok());
+
+  net::ClientSpansOptions dump_opts;
+  dump_opts.clear = true;
+  dump_opts.enable = 0;
+  Result<net::ClientSpanDump> dump = client.Spans(dump_opts);
+  ASSERT_TRUE(dump.ok()) << dump.status().ToString();
+  EXPECT_GT(dump.value().event_count, 0);
+  EXPECT_GT(dump.value().now_us, 0);
+  Result<JsonValue> parsed = JsonParse(dump.value().trace_json,
+                                       {32, 2000000});
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  // The service's "query" span carries the client-chosen token.
+  EXPECT_NE(std::string::npos,
+            dump.value().trace_json.find("\"label\":\"tok-net-1\""));
+
+  // `clear` dropped the buffer: a fresh dump is empty.
+  Result<net::ClientSpanDump> after = client.Spans();
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(0, after.value().event_count);
+  EXPECT_FALSE(SpanTracer::Global().enabled());
+
+  // A plain server has no cluster observability hook.
+  net::ClientSpansOptions cluster_opts;
+  cluster_opts.cluster = true;
+  Result<net::ClientSpanDump> cluster = client.Spans(cluster_opts);
+  EXPECT_EQ(StatusCode::kUnimplemented, cluster.status().code());
+  client.Close();
+}
+
+TEST_F(NetTest, QueryLogRoundTripRecordsFinishedQueries) {
+  StartServer();
+  net::Client client = Connect();
+  ASSERT_TRUE(client.Query("SELECT COUNT(*) FROM orders").status.ok());
+  ASSERT_TRUE(
+      client.Query("SELECT o_class FROM orders WHERE o_id = 1").status.ok());
+
+  Result<std::string> all = client.QueryLogTail(0);
+  ASSERT_TRUE(all.ok()) << all.status().ToString();
+  Result<JsonValue> parsed = JsonParse(all.value(), {16, 100000});
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(JsonValue::Kind::kArray, parsed.value().kind());
+  int entries = 0;
+  for (const JsonValue& entry : parsed.value().items()) {
+    ++entries;
+    EXPECT_EQ("query", entry.GetString("kind", ""));
+    EXPECT_EQ("ok", entry.GetString("outcome", ""));
+    EXPECT_FALSE(entry.GetString("plan_digest", "").empty());
+  }
+  EXPECT_EQ(2, entries);
+
+  // limit=1 returns only the most recent entry.
+  Result<std::string> last = client.QueryLogTail(1);
+  ASSERT_TRUE(last.ok());
+  Result<JsonValue> last_parsed = JsonParse(last.value(), {16, 100000});
+  ASSERT_TRUE(last_parsed.ok());
+  int last_count = 0;
+  for (const JsonValue& entry : last_parsed.value().items()) {
+    (void)entry;
+    ++last_count;
+  }
+  EXPECT_EQ(1, last_count);
+  client.Close();
+}
+
+TEST_F(NetTest, MetricsClusterFlagIsUnimplementedWithoutCoordinator) {
+  StartServer();
+  net::Client client = Connect();
+  Result<std::string> federated = client.Metrics(/*cluster=*/true);
+  EXPECT_EQ(StatusCode::kUnimplemented, federated.status().code());
   client.Close();
 }
 

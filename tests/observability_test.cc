@@ -10,11 +10,13 @@
 #include <thread>
 #include <vector>
 
+#include "common/json.h"
 #include "common/rng.h"
 #include "common/span.h"
 #include "core/explain.h"
 #include "core/pop.h"
 #include "runtime/metrics_registry.h"
+#include "runtime/query_log.h"
 #include "runtime/query_service.h"
 #include "runtime/trace.h"
 #include "tests/test_util.h"
@@ -396,6 +398,45 @@ TEST(ServiceObservabilityTest, MetricsTextExposesServiceAndEngineMetrics) {
   EXPECT_GT(qerr->count(), 0);
 }
 
+TEST(ServiceObservabilityTest, QueryLogRecordsTrapReoptimization) {
+  Catalog catalog;
+  BuildTrapCatalog(&catalog);
+  ServiceConfig config;
+  config.num_workers = 1;
+  QueryService service(catalog, config);
+  ASSERT_TRUE(service.ExecuteSync(TrapQuery("logged")).status.ok());
+  service.Shutdown();
+
+  ASSERT_NE(nullptr, service.query_log());
+  const std::vector<QueryLogEntry> tail = service.query_log()->Tail(0);
+  ASSERT_EQ(1u, tail.size());
+  const QueryLogEntry& e = tail[0];
+  EXPECT_EQ("query", e.kind);
+  EXPECT_EQ("logged", e.query_name);
+  EXPECT_EQ("ok", e.outcome);
+  EXPECT_GE(e.reopts, 1);  // The trap re-optimized.
+  EXPECT_GE(e.checks_fired, 1);
+  int64_t flavor_sum = 0;
+  for (int f = 0; f < 6; ++f) flavor_sum += e.flavor_fired[f];
+  EXPECT_EQ(e.checks_fired, flavor_sum);
+  EXPECT_NE(0u, e.plan_digest);  // The final plan was digested.
+  EXPECT_GT(e.result_rows, 0);
+  EXPECT_GT(e.total_ms, 0.0);
+  // The trap's misestimate shows up as a large peak Q-error.
+  EXPECT_GE(e.peak_qerror, 2.0);
+  EXPECT_FALSE(e.distributed);
+}
+
+TEST(ServiceObservabilityTest, QueryLogCanBeDisabled) {
+  Catalog catalog;
+  BuildToyCatalog(&catalog);
+  ServiceConfig config;
+  config.query_log_entries = 0;
+  QueryService service(catalog, config);
+  EXPECT_EQ(nullptr, service.query_log());
+  service.Shutdown();
+}
+
 TEST(ServiceObservabilityTest, PercentilesAreNaNWithNoCompletedQueries) {
   Catalog catalog;
   BuildToyCatalog(&catalog);
@@ -470,6 +511,212 @@ TEST(ObservabilityConcurrencyTest, RegistryAndTracerHammer) {
   EXPECT_EQ(kThreads * kIters, tracer.event_count());
   EXPECT_GT(renders.load(), 0);
   tracer.Clear();
+}
+
+// ------------------------------------------------- span labels (interning).
+
+TEST(SpanTracerTest, InternReturnsStablePointerForEqualContents) {
+  SpanTracer& tracer = SpanTracer::Global();
+  const std::string token = "q12345";
+  const char* a = tracer.Intern(token);
+  const char* b = tracer.Intern(std::string("q") + "12345");
+  EXPECT_EQ(a, b);  // Same contents, same pointer.
+  EXPECT_STREQ("q12345", a);
+  const char* c = tracer.Intern("q12346");
+  EXPECT_NE(a, c);
+}
+
+TEST(SpanTracerTest, LabelsRenderInChromeTraceArgs) {
+  SpanTracer& tracer = SpanTracer::Global();
+  tracer.Clear();
+  tracer.Enable();
+  {
+    TRACE_SPAN_NAMED(span, "labeled_work", "test");
+    span.SetLabel(std::string_view("q777"));
+    span.SetArg("rows", 42);
+  }
+  TRACE_INSTANT_TAGGED("tagged_instant", "test", "q777", "shard", 3);
+  tracer.Disable();
+
+  const std::vector<SpanEvent> events = tracer.Snapshot();
+  ASSERT_EQ(2u, events.size());
+  for (const SpanEvent& e : events) {
+    ASSERT_NE(nullptr, e.label);
+    EXPECT_STREQ("q777", e.label);
+  }
+  // Both events carry the same interned pointer.
+  EXPECT_EQ(events[0].label, events[1].label);
+
+  const std::string json = tracer.ExportChromeTrace();
+  EXPECT_NE(std::string::npos, json.find("\"label\":\"q777\""));
+  // The exported trace is valid JSON a viewer can load.
+  Result<JsonValue> parsed = JsonParse(json, {64, 4000000});
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  tracer.Clear();
+}
+
+TEST(SpanTracerTest, SetLabelIsANoOpWhenDisabled) {
+  SpanTracer& tracer = SpanTracer::Global();
+  tracer.Clear();
+  tracer.Disable();
+  {
+    TRACE_SPAN_NAMED(span, "dead_span", "test");
+    span.SetLabel(std::string_view("never_interned"));
+  }
+  TRACE_INSTANT_TAGGED("dead_instant", "test", "never_interned", "x", 1);
+  EXPECT_EQ(0, tracer.event_count());
+}
+
+// ------------------------------------------------- peak profile Q-error.
+
+TEST(ExplainAnalyzeTest, PeakProfileQErrorPicksWorstOperator) {
+  PlanProfileNode root;
+  root.name = "ROOT";
+  root.est_rows = 100.0;
+  root.actual_rows = 100;
+  root.completed = true;
+  PlanProfileNode bad;
+  bad.name = "BAD";
+  bad.est_rows = 10.0;
+  bad.actual_rows = 1000;
+  bad.completed = true;
+  PlanProfileNode unfinished;  // Not completed: must not contribute.
+  unfinished.name = "PARTIAL";
+  unfinished.est_rows = 1.0;
+  unfinished.actual_rows = 500000;
+  unfinished.completed = false;
+  bad.children.push_back(unfinished);
+  root.children.push_back(bad);
+
+  const double peak = PeakProfileQError(root);
+  EXPECT_NEAR((1000.0 + 1.0) / (10.0 + 1.0), peak, 1e-9);
+
+  PlanProfileNode empty;  // No completed+estimated operator anywhere.
+  empty.name = "EMPTY";
+  EXPECT_DOUBLE_EQ(-1.0, PeakProfileQError(empty));
+}
+
+// ------------------------------------------------- structured query log.
+
+TEST(QueryLogTest, RingEvictsOldestAndTracksTotals) {
+  QueryLog log(/*capacity=*/3);
+  EXPECT_EQ(3, log.capacity());
+  for (int64_t i = 0; i < 5; ++i) {
+    QueryLogEntry e;
+    e.query_id = i;
+    e.query_name = "q" + std::to_string(i);
+    log.Append(std::move(e));
+  }
+  EXPECT_EQ(3, log.size());
+  EXPECT_EQ(5, log.total());
+
+  // Oldest first; the first two entries were evicted.
+  const std::vector<QueryLogEntry> all = log.Tail(0);
+  ASSERT_EQ(3u, all.size());
+  EXPECT_EQ(2, all[0].query_id);
+  EXPECT_EQ(4, all[2].query_id);
+
+  const std::vector<QueryLogEntry> last = log.Tail(2);
+  ASSERT_EQ(2u, last.size());
+  EXPECT_EQ(3, last[0].query_id);
+  EXPECT_EQ(4, last[1].query_id);
+}
+
+TEST(QueryLogTest, ToJsonArrayIsParseableAndCarriesDigest) {
+  QueryLog log(8);
+  QueryLogEntry e;
+  e.query_id = 41;
+  e.kind = "query";
+  e.query_name = "trap";
+  e.signature = "sig-abc";
+  e.plan_digest = PlanTextDigest("HSJN(orders, items)");
+  e.outcome = "ok";
+  e.plan_cache = "miss";
+  e.reopts = 2;
+  e.checks_fired = 2;
+  e.flavor_fired[0] = 1;  // LC
+  e.flavor_fired[2] = 1;  // ECB
+  e.result_rows = 7;
+  e.peak_qerror = 12.5;
+  e.distributed = true;
+  ShardAttemptInfo shard;
+  shard.shard = 1;
+  shard.execute_ms = 3.25;
+  shard.rows = 4;
+  shard.outcome = "reoptimize";
+  e.shards.push_back(shard);
+  log.Append(std::move(e));
+
+  const std::string array = log.ToJsonArray(0);
+  Result<JsonValue> parsed = JsonParse(array, {16, 1000000});
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  // Digest renders as a fixed-width hex string, never 0 for non-empty text.
+  EXPECT_NE(std::string::npos, array.find("\"plan_digest\":\""));
+  EXPECT_EQ(std::string::npos, array.find("\"plan_digest\":\"0\""));
+  EXPECT_NE(std::string::npos, array.find("\"reopts\":2"));
+  EXPECT_NE(std::string::npos, array.find("\"LC\":1"));
+  EXPECT_NE(std::string::npos, array.find("\"ECB\":1"));
+  EXPECT_NE(std::string::npos, array.find("\"distributed\":true"));
+  EXPECT_NE(std::string::npos, array.find("\"shard\":1"));
+  EXPECT_NE(std::string::npos, array.find("\"outcome\":\"reoptimize\""));
+}
+
+TEST(QueryLogTest, PlanTextDigestDistinguishesPlans) {
+  const uint64_t a = PlanTextDigest("HSJN(orders, items)");
+  const uint64_t b = PlanTextDigest("NLJN(items, orders)");
+  EXPECT_NE(a, b);
+  EXPECT_NE(0u, a);
+  EXPECT_NE(0u, PlanTextDigest(""));  // Offset basis: 0 means "no plan".
+}
+
+// Concurrent writers + readers over the bounded ring; run under TSan via
+// the ci.sh sanitizer stage. Invariants: size never exceeds capacity,
+// total is exact, snapshots are internally consistent.
+TEST(ObservabilityConcurrencyTest, QueryLogHammer) {
+  QueryLog log(/*capacity=*/64);
+  constexpr int kWriters = 4;
+  constexpr int kReaders = 2;
+  constexpr int kPerWriter = 2000;
+  std::atomic<bool> done{false};
+  std::atomic<int64_t> read_bytes{0};
+
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w]() {
+      for (int i = 0; i < kPerWriter; ++i) {
+        QueryLogEntry e;
+        e.query_id = w * kPerWriter + i;
+        e.query_name = "hammer";
+        e.plan_digest = PlanTextDigest("plan" + std::to_string(i % 7));
+        e.outcome = (i % 13 == 0) ? "error" : "ok";
+        e.reopts = i % 3;
+        if (i % 5 == 0) {
+          ShardAttemptInfo s;
+          s.shard = i % 4;
+          s.rows = i;
+          e.shards.push_back(s);
+        }
+        log.Append(std::move(e));
+      }
+    });
+  }
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&]() {
+      while (!done.load(std::memory_order_acquire)) {
+        const std::vector<QueryLogEntry> tail = log.Tail(16);
+        if (tail.size() > 16u) std::abort();
+        if (log.size() > log.capacity()) std::abort();
+        read_bytes += static_cast<int64_t>(log.ToJsonArray(8).size());
+      }
+    });
+  }
+  for (int w = 0; w < kWriters; ++w) threads[w].join();
+  done.store(true, std::memory_order_release);
+  for (size_t t = kWriters; t < threads.size(); ++t) threads[t].join();
+
+  EXPECT_EQ(kWriters * kPerWriter, log.total());
+  EXPECT_EQ(64, log.size());
+  EXPECT_GT(read_bytes.load(), 0);
 }
 
 }  // namespace
