@@ -11,9 +11,9 @@
 #
 # The release ctest runs everything including tests labeled "slow"
 # (parallel_stress_test); use `ctest -L fast` locally for the quick loop.
-# The TSan stage runs the parallel- and plan-cache-equivalence suites in
-# light mode (POPDB_EQUIV_LIGHT=1) — the full corpus sweeps are
-# release-only.
+# The TSan and UBSan stages run the parallel-, plan-cache-, and
+# row-vs-batch differential suites in light mode (POPDB_EQUIV_LIGHT=1) —
+# the full corpus sweeps are release-only.
 #
 # Usage: ./ci.sh [--skip-tsan] [--skip-ubsan]
 set -euo pipefail
@@ -146,8 +146,8 @@ else
   cmake --build build-tsan -j \
         --target runtime_test concurrency_test observability_test \
         morsel_test parallel_equivalence_test plan_cache_test \
-        plan_cache_equivalence_test parallel_stress_test net_test \
-        dist_test
+        plan_cache_equivalence_test batch_differential_test \
+        parallel_stress_test net_test dist_test
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/runtime_test
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/concurrency_test
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/observability_test
@@ -157,6 +157,10 @@ else
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/plan_cache_test
   TSAN_OPTIONS="halt_on_error=1" POPDB_EQUIV_LIGHT=1 \
       ./build-tsan/tests/plan_cache_equivalence_test
+  # Row-vs-vectorized differential oracle (ctest label "batch") in light
+  # mode: the full batch-size sweep is release-only.
+  TSAN_OPTIONS="halt_on_error=1" POPDB_EQUIV_LIGHT=1 \
+      ./build-tsan/tests/batch_differential_test
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/parallel_stress_test
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/net_test
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/dist_test
@@ -171,7 +175,8 @@ else
   cmake --build build-ubsan -j \
         --target runtime_test observability_test operator_test pop_test \
         morsel_test parallel_equivalence_test plan_cache_test \
-        plan_cache_equivalence_test net_test dist_test
+        plan_cache_equivalence_test batch_differential_test net_test \
+        dist_test
   UBSAN_OPTIONS="halt_on_error=1" ./build-ubsan/tests/observability_test
   UBSAN_OPTIONS="halt_on_error=1" ./build-ubsan/tests/runtime_test
   UBSAN_OPTIONS="halt_on_error=1" ./build-ubsan/tests/operator_test
@@ -182,6 +187,10 @@ else
   UBSAN_OPTIONS="halt_on_error=1" ./build-ubsan/tests/plan_cache_test
   UBSAN_OPTIONS="halt_on_error=1" POPDB_EQUIV_LIGHT=1 \
       ./build-ubsan/tests/plan_cache_equivalence_test
+  # Batch-boundary CHECK math (floor/truncation) is exactly what UBSan
+  # watches for; run the differential oracle's full light corpus here too.
+  UBSAN_OPTIONS="halt_on_error=1" POPDB_EQUIV_LIGHT=1 \
+      ./build-ubsan/tests/batch_differential_test
   UBSAN_OPTIONS="halt_on_error=1" ./build-ubsan/tests/net_test
   UBSAN_OPTIONS="halt_on_error=1" ./build-ubsan/tests/dist_test
 fi

@@ -12,6 +12,8 @@
 // Build & run:  cmake --build build && ./build/examples/observability
 
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 
 #include "common/rng.h"
 #include "common/span.h"
@@ -91,8 +93,13 @@ int main() {
   }
   tracer.Disable();
   {
-    const char* path = "popdb_trace.json";
-    std::FILE* f = std::fopen(path, "w");
+    // Write under POPDB_TRACE_DIR (or the system temp dir) so running the
+    // example from a source checkout never drops artifacts into the tree.
+    const char* dir = std::getenv("POPDB_TRACE_DIR");
+    if (dir == nullptr) dir = std::getenv("TMPDIR");
+    if (dir == nullptr) dir = "/tmp";
+    const std::string path = std::string(dir) + "/popdb_trace.json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
     if (f != nullptr) {
       const std::string json = tracer.ExportChromeTrace();
       std::fputs(json.c_str(), f);
@@ -103,7 +110,7 @@ int main() {
           "  - operator spans (TBSCAN, HSJN, GRPBY...) nested inside,\n"
           "  - 'checkpoint_fired' / 'check_fired' instants at the "
           "re-optimization point.\n\n",
-          path);
+          path.c_str());
     }
   }
   tracer.Clear();

@@ -107,6 +107,8 @@ net::SubplanBackend::RunResult ShardExecutor::Run(
   ctx.params = query.value().params();
   ctx.mem_rows = config_.mem_rows;
   ctx.cancel = cancel;
+  ctx.batch_rows =
+      request.GetInt("exec_batch_rows", config_.exec_batch_rows);
 
   // Hand-rolled RunToCompletion that streams batches as rows are produced
   // (a shard result must not buffer: the coordinator merges N streams).
@@ -120,19 +122,41 @@ net::SubplanBackend::RunResult ShardExecutor::Run(
   ExecStatus status = root->Open(&ctx);
   bool sink_broken = false;
   std::vector<Row> batch;
+  // Flushes exact wire-batch-size frames so the stream framing is
+  // independent of the execution batch size.
+  const auto flush_full = [&]() -> bool {
+    while (static_cast<int64_t>(batch.size()) >= batch_rows) {
+      std::vector<Row> wire(
+          std::make_move_iterator(batch.begin()),
+          std::make_move_iterator(batch.begin() + batch_rows));
+      batch.erase(batch.begin(), batch.begin() + batch_rows);
+      result.rows_sent += static_cast<int64_t>(wire.size());
+      if (!emit(wire)) return false;
+    }
+    return true;
+  };
   if (status == ExecStatus::kOk) {
-    Row row;
-    while (true) {
-      status = root->Next(&ctx, &row);
-      if (status != ExecStatus::kRow) break;
-      batch.push_back(row);
-      if (static_cast<int64_t>(batch.size()) >= batch_rows) {
-        result.rows_sent += static_cast<int64_t>(batch.size());
-        if (!emit(batch)) {
+    if (ctx.batch_rows > 1) {
+      RowBatch exec_batch;
+      while (true) {
+        status = root->NextBatch(&ctx, &exec_batch);
+        if (status != ExecStatus::kRow) break;
+        exec_batch.MoveRowsInto(&batch);
+        if (!flush_full()) {
           sink_broken = true;
           break;
         }
-        batch.clear();
+      }
+    } else {
+      Row row;
+      while (true) {
+        status = root->Next(&ctx, &row);
+        if (status != ExecStatus::kRow) break;
+        batch.push_back(row);
+        if (!flush_full()) {
+          sink_broken = true;
+          break;
+        }
       }
     }
   }

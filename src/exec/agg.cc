@@ -50,6 +50,27 @@ void HashAggOp::Accumulate(const Row& row, GroupMap* groups) const {
   }
 }
 
+void HashAggOp::AccumulateFromBatch(const RowBatch& batch, int64_t i,
+                                    GroupMap* groups) const {
+  Row key;
+  key.reserve(group_pos_.size());
+  for (int pos : group_pos_) key.push_back(batch.At(pos, i));
+  std::vector<AggState>& states = (*groups)[std::move(key)];
+  if (states.empty()) states.resize(aggs_.size());
+  for (size_t a = 0; a < aggs_.size(); ++a) {
+    AggState& st = states[a];
+    ++st.count;
+    if (aggs_[a].func == AggFunc::kCount) continue;
+    const Value& v = batch.At(aggs_[a].pos, i);
+    if (v.is_null()) continue;
+    if (aggs_[a].func == AggFunc::kSum || aggs_[a].func == AggFunc::kAvg) {
+      st.sum += v.AsNumeric();
+    }
+    if (st.min.is_null() || v < st.min) st.min = v;
+    if (st.max.is_null() || v > st.max) st.max = v;
+  }
+}
+
 void HashAggOp::MergeState(const AggState& from, AggState* into) {
   into->count += from.count;
   into->sum += from.sum;
@@ -144,14 +165,27 @@ ExecStatus HashAggOp::OpenImpl(ExecContext* ctx) {
   ExecStatus s = child_->Open(ctx);
   if (s != ExecStatus::kOk) return s;
   GroupMap groups;
-  Row row;
-  while (true) {
-    if (ctx->CancelPending()) return ExecStatus::kCancelled;
-    s = child_->Next(ctx, &row);
-    if (s == ExecStatus::kEof) break;
-    if (s != ExecStatus::kRow) return s;
-    ++ctx->work;
-    Accumulate(row, &groups);
+  if (ctx->batch_rows > 1) {
+    RowBatch batch;
+    while (true) {
+      if (ctx->CancelPending()) return ExecStatus::kCancelled;
+      s = child_->NextBatch(ctx, &batch);
+      if (s == ExecStatus::kEof) break;
+      if (s != ExecStatus::kRow) return s;
+      const int64_t n = batch.ActiveRows();
+      ctx->work += n;
+      for (int64_t i = 0; i < n; ++i) AccumulateFromBatch(batch, i, &groups);
+    }
+  } else {
+    Row row;
+    while (true) {
+      if (ctx->CancelPending()) return ExecStatus::kCancelled;
+      s = child_->Next(ctx, &row);
+      if (s == ExecStatus::kEof) break;
+      if (s != ExecStatus::kRow) return s;
+      ++ctx->work;
+      Accumulate(row, &groups);
+    }
   }
   child_->Close(ctx);
   EmitResults(&groups);
@@ -165,6 +199,17 @@ ExecStatus HashAggOp::NextImpl(ExecContext* ctx, Row* out) {
     return ExecStatus::kRow;
   }
   return ExecStatus::kEof;
+}
+
+ExecStatus HashAggOp::NextBatchImpl(ExecContext* ctx, RowBatch* out) {
+  const int64_t target = BatchTarget(
+      ctx, results_.empty() ? 0 : static_cast<int>(results_.front().size()));
+  out->Clear();
+  while (next_ < results_.size() && out->num_rows < target) {
+    ++ctx->work;
+    out->AppendRow(results_[next_++]);
+  }
+  return out->num_rows > 0 ? ExecStatus::kRow : ExecStatus::kEof;
 }
 
 void HashAggOp::CloseImpl(ExecContext* ctx) { (void)ctx; }

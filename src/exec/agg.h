@@ -40,6 +40,7 @@ class HashAggOp : public Operator {
 
   ExecStatus OpenImpl(ExecContext* ctx) override;
   ExecStatus NextImpl(ExecContext* ctx, Row* out) override;
+  ExecStatus NextBatchImpl(ExecContext* ctx, RowBatch* out) override;
   void CloseImpl(ExecContext* ctx) override;
   const char* name() const override { return "GRPBY"; }
   std::vector<const Operator*> children() const override {
@@ -56,6 +57,10 @@ class HashAggOp : public Operator {
 
   /// Folds one input row into a (possibly per-task partial) group table.
   void Accumulate(const Row& row, GroupMap* groups) const;
+  /// Same fold reading the i-th active row of a batch in place (no row
+  /// materialization); group insertion order matches the row path exactly.
+  void AccumulateFromBatch(const RowBatch& batch, int64_t i,
+                           GroupMap* groups) const;
   static void MergeState(const AggState& from, AggState* into);
   /// Renders the final group table into results_.
   void EmitResults(GroupMap* groups);

@@ -1,5 +1,6 @@
 #include "exec/check.h"
 
+#include <cmath>
 #include <limits>
 
 #include "common/status.h"
@@ -78,6 +79,66 @@ ExecStatus CheckOp::NextImpl(ExecContext* ctx, Row* out) {
   return s;
 }
 
+ExecStatus CheckOp::NextBatchImpl(ExecContext* ctx, RowBatch* out) {
+  // For an enforced upper bound, clamp the child's batch target to the
+  // rows remaining before the violation threshold (count > hi first holds
+  // at floor(hi) + 1): the child can never produce past the row the row
+  // engine would have aborted on, so a violation always lands on the
+  // final row of the pulled batch, no consumed-but-unemitted rows exist,
+  // and the vectorized path is exact above any child — streaming joins
+  // included. Observation mode and pure lower bounds never truncate, so
+  // they pass full batches through unclamped.
+  const bool enforced_hi =
+      spec_.enabled && !spec_.observe_only &&
+      spec_.hi != std::numeric_limits<double>::infinity();
+  const int64_t full_target = ctx->batch_rows;
+  if (enforced_hi) {
+    const double remaining =
+        std::floor(spec_.hi) + 1.0 - static_cast<double>(count_);
+    if (remaining < static_cast<double>(full_target)) {
+      ctx->batch_rows =
+          remaining > 1.0 ? static_cast<int64_t>(remaining) : 1;
+    }
+  }
+  const ExecStatus s = child_->NextBatch(ctx, out);
+  ctx->batch_rows = full_target;
+  if (s == ExecStatus::kRow) {
+    const int64_t n = out->ActiveRows();
+    if (count_ == 0 && n > 0) work_first_ = ctx->work;
+    const int64_t before = count_;
+    if (spec_.enabled && static_cast<double>(before + n) > spec_.hi) {
+      // The row engine fires on the first row that pushes the count past
+      // hi, having emitted only the rows before it: keep that prefix and
+      // report the count through the violating row. With the clamp above
+      // an enforced violation is always the batch's final row (keep ==
+      // n - 1); the reconcile call is defensive for children that
+      // over-produce past their target.
+      int64_t keep = static_cast<int64_t>(std::floor(spec_.hi)) - before;
+      if (keep < 0) keep = 0;
+      if (keep > n - 1) keep = n - 1;
+      count_ = before + keep + 1;
+      const ExecStatus fired = Fire(ctx, /*exact=*/false);
+      if (fired == ExecStatus::kReoptimize) {
+        if (n - keep - 1 > 0) child_->ReconcileAbort(n - keep - 1);
+        out->TruncateActive(keep);
+        return FlushOrStatus(out, ExecStatus::kReoptimize);
+      }
+      // Observation mode: the event is recorded; the full batch streams on.
+    }
+    count_ = before + n;
+    return ExecStatus::kRow;
+  }
+  if (s == ExecStatus::kEof) {
+    if (spec_.enabled && static_cast<double>(count_) < spec_.lo) {
+      const ExecStatus fired = Fire(ctx, /*exact=*/true);
+      if (fired == ExecStatus::kReoptimize) return fired;
+    } else if (spec_.enabled) {
+      RecordEvent(ctx, /*fired=*/false);
+    }
+  }
+  return s;
+}
+
 BufCheckOp::BufCheckOp(std::unique_ptr<Operator> child, CheckSpec spec)
     : Operator(child->table_set()), child_(std::move(child)), spec_(spec) {}
 
@@ -133,6 +194,73 @@ ExecStatus BufCheckOp::OpenImpl(ExecContext* ctx) {
     return ExecStatus::kOk;
   }
   // Buffer rows ("like a valve", Section 3.3) until the outcome is known.
+  // Vectorized fill for enforced checks: the child's batch target is
+  // clamped to the rows remaining before the next decision point — the
+  // violation threshold for a finite upper bound, the release count for a
+  // [lo, inf) valve — so the drain fires or releases at exactly the row
+  // the row engine would, with no rows left in a pulled batch.
+  // Observation mode keeps the row drain so its decided_ transitions stay
+  // row-exact.
+  if (ctx->batch_rows > 1 && !spec_.observe_only) {
+    const bool finite_hi =
+        spec_.hi != std::numeric_limits<double>::infinity();
+    const int64_t full_target = ctx->batch_rows;
+    RowBatch b;
+    while (true) {
+      const double stop =
+          (finite_hi ? std::floor(spec_.hi) + 1.0 : spec_.lo) -
+          static_cast<double>(count_);
+      ctx->batch_rows =
+          stop < static_cast<double>(full_target)
+              ? (stop > 1.0 ? static_cast<int64_t>(stop) : 1)
+              : full_target;
+      const ExecStatus cs = child_->NextBatch(ctx, &b);
+      ctx->batch_rows = full_target;
+      if (cs == ExecStatus::kRow) {
+        const int64_t n = b.ActiveRows();
+        if (count_ == 0 && n > 0) work_first_ = ctx->work;
+        const int64_t before = count_;
+        if (static_cast<double>(before + n) > spec_.hi) {
+          // The row engine buffers the rows before the violating one,
+          // counts through it, and fires without emitting anything. With
+          // the clamp the violation is the batch's final row; reconcile
+          // is defensive for children that over-produce.
+          int64_t keep = static_cast<int64_t>(std::floor(spec_.hi)) - before;
+          if (keep < 0) keep = 0;
+          if (keep > n - 1) keep = n - 1;
+          count_ = before + keep + 1;
+          if (n - keep - 1 > 0) child_->ReconcileAbort(n - keep - 1);
+          Row r;
+          for (int64_t i = 0; i < keep; ++i) {
+            b.MaterializeRow(i, &r);
+            buffer_.push_back(std::move(r));
+          }
+          return Fire(ctx, /*exact=*/false);
+        }
+        count_ = before + n;
+        b.MoveRowsInto(&buffer_);
+        if (!finite_hi && static_cast<double>(count_) >= spec_.lo) {
+          // [lo, inf): success is certain; release the valve at the same
+          // count the row engine would (the clamp made this batch end on
+          // the release row).
+          decided_ = true;
+          RecordEvent(ctx, /*fired=*/false);
+          return ExecStatus::kOk;
+        }
+      } else if (cs == ExecStatus::kEof) {
+        child_eof_ = true;
+        if (static_cast<double>(count_) < spec_.lo) {
+          const ExecStatus fired = Fire(ctx, /*exact=*/true);
+          if (fired == ExecStatus::kReoptimize) return fired;
+        }
+        decided_ = true;
+        RecordEvent(ctx, /*fired=*/false);
+        return ExecStatus::kOk;
+      } else {
+        return cs;
+      }
+    }
+  }
   Row row;
   while (!decided_) {
     const ExecStatus cs = child_->Next(ctx, &row);
@@ -180,6 +308,27 @@ ExecStatus BufCheckOp::NextImpl(ExecContext* ctx, Row* out) {
     ++count_;
   } else if (s == ExecStatus::kEof) {
   }
+  return s;
+}
+
+ExecStatus BufCheckOp::NextBatchImpl(ExecContext* ctx, RowBatch* out) {
+  if (buffer_pos_ < buffer_.size()) {
+    const int64_t target = BatchTarget(
+        ctx, static_cast<int>(buffer_[buffer_pos_].size()));
+    out->Clear();
+    while (buffer_pos_ < buffer_.size() && out->num_rows < target) {
+      ++ctx->work;
+      out->AppendRow(buffer_[buffer_pos_++]);
+    }
+    return ExecStatus::kRow;
+  }
+  if (child_eof_) {
+    return ExecStatus::kEof;
+  }
+  // Pass-through after a released valve: count rows like the row path
+  // (no work charge — the producers below already charged theirs).
+  const ExecStatus s = child_->NextBatch(ctx, out);
+  if (s == ExecStatus::kRow) count_ += out->ActiveRows();
   return s;
 }
 
@@ -282,6 +431,19 @@ ExecStatus RidTrackOp::NextImpl(ExecContext* ctx, Row* out) {
   return s;
 }
 
+ExecStatus RidTrackOp::NextBatchImpl(ExecContext* ctx, RowBatch* out) {
+  const ExecStatus s = child_->NextBatch(ctx, out);
+  if (s == ExecStatus::kRow) {
+    const int64_t n = out->ActiveRows();
+    for (int64_t i = 0; i < n; ++i) {
+      Row r;
+      out->MaterializeRow(i, &r);
+      ctx->returned_rows.push_back(std::move(r));
+    }
+  }
+  return s;
+}
+
 AntiCompensateOp::AntiCompensateOp(std::unique_ptr<Operator> child,
                                    const std::vector<Row>& already_returned,
                                    TableSet table_set)
@@ -302,6 +464,31 @@ ExecStatus AntiCompensateOp::NextImpl(ExecContext* ctx, Row* out) {
       continue;
     }
     return ExecStatus::kRow;
+  }
+}
+
+ExecStatus AntiCompensateOp::NextBatchImpl(ExecContext* ctx, RowBatch* out) {
+  Row r;
+  while (true) {
+    const ExecStatus s = child_->NextBatch(ctx, out);
+    if (s != ExecStatus::kRow) {
+      return s;
+    }
+    out->EnsureSel();
+    const size_t n = out->sel.size();
+    size_t kept = 0;
+    for (size_t i = 0; i < n; ++i) {
+      ++ctx->work;
+      out->MaterializeRow(static_cast<int64_t>(i), &r);
+      auto it = remaining_.find(r);
+      if (it != remaining_.end() && it->second > 0) {
+        --it->second;  // Suppress one previously returned duplicate.
+        continue;
+      }
+      out->sel[kept++] = out->sel[i];
+    }
+    out->sel.resize(kept);
+    if (kept > 0) return ExecStatus::kRow;
   }
 }
 

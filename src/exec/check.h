@@ -21,6 +21,12 @@ class CheckOp : public Operator {
 
   ExecStatus OpenImpl(ExecContext* ctx) override;
   ExecStatus NextImpl(ExecContext* ctx, Row* out) override;
+  /// Batch-boundary evaluation: counts whole batches (one comparison per
+  /// batch). For an enforced upper bound the child's batch target is
+  /// clamped to the rows remaining before the violation threshold, so the
+  /// violating row is always the last one pulled and the check fires with
+  /// exactly the row engine's observed cardinality above any child.
+  ExecStatus NextBatchImpl(ExecContext* ctx, RowBatch* out) override;
   void CloseImpl(ExecContext* ctx) override { child_->Close(ctx); }
   const char* name() const override { return "CHECK"; }
   std::vector<const Operator*> children() const override {
@@ -56,6 +62,7 @@ class BufCheckOp : public Operator {
 
   ExecStatus OpenImpl(ExecContext* ctx) override;
   ExecStatus NextImpl(ExecContext* ctx, Row* out) override;
+  ExecStatus NextBatchImpl(ExecContext* ctx, RowBatch* out) override;
   void CloseImpl(ExecContext* ctx) override { child_->Close(ctx); }
   bool HarvestInfo(HarvestedResult* out) const override;
   const char* name() const override { return "BUFCHECK"; }
@@ -116,10 +123,19 @@ class CheckMaterializedOp : public Operator {
 
   ExecStatus OpenImpl(ExecContext* ctx) override;
   ExecStatus NextImpl(ExecContext* ctx, Row* out) override;
+  ExecStatus NextBatchImpl(ExecContext* ctx, RowBatch* out) override {
+    return child_->NextBatch(ctx, out);
+  }
   void CloseImpl(ExecContext* ctx) override { child_->Close(ctx); }
   const char* name() const override { return "CHECKM"; }
   std::vector<const Operator*> children() const override {
     return {child_.get()};
+  }
+  /// Pure 1:1 forwarder above a materialization: a truncation adjusts
+  /// both this wrapper and the materializing child.
+  void ReconcileAbort(int64_t unconsumed) override {
+    Operator::ReconcileAbort(unconsumed);
+    child_->ReconcileAbort(unconsumed);
   }
 
  private:
@@ -139,6 +155,7 @@ class RidTrackOp : public Operator {
 
   ExecStatus OpenImpl(ExecContext* ctx) override { return child_->Open(ctx); }
   ExecStatus NextImpl(ExecContext* ctx, Row* out) override;
+  ExecStatus NextBatchImpl(ExecContext* ctx, RowBatch* out) override;
   void CloseImpl(ExecContext* ctx) override { child_->Close(ctx); }
   const char* name() const override { return "INSERT(S)"; }
   std::vector<const Operator*> children() const override {
@@ -161,6 +178,7 @@ class AntiCompensateOp : public Operator {
 
   ExecStatus OpenImpl(ExecContext* ctx) override { return child_->Open(ctx); }
   ExecStatus NextImpl(ExecContext* ctx, Row* out) override;
+  ExecStatus NextBatchImpl(ExecContext* ctx, RowBatch* out) override;
   void CloseImpl(ExecContext* ctx) override { child_->Close(ctx); }
   const char* name() const override { return "ANTIJOIN(S)"; }
   std::vector<const Operator*> children() const override {

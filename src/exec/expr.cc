@@ -52,7 +52,10 @@ std::string JoinPredicate::ToString() const {
 }
 
 bool EvalPredicate(const ResolvedPredicate& pred, const Row& row) {
-  const Value& v = row[static_cast<size_t>(pred.pos)];
+  return EvalPredicateValue(pred, row[static_cast<size_t>(pred.pos)]);
+}
+
+bool EvalPredicateValue(const ResolvedPredicate& pred, const Value& v) {
   if (v.is_null()) return false;
   switch (pred.kind) {
     case PredKind::kEq:
@@ -80,6 +83,18 @@ bool EvalPredicate(const ResolvedPredicate& pred, const Row& row) {
              LikeMatch(v.AsString(), pred.operand.AsString());
   }
   return false;
+}
+
+void EvalPredicateColumn(const ResolvedPredicate& pred,
+                         const std::vector<Value>& col,
+                         std::vector<int32_t>* sel) {
+  size_t kept = 0;
+  for (const int32_t r : *sel) {
+    if (EvalPredicateValue(pred, col[static_cast<size_t>(r)])) {
+      (*sel)[kept++] = r;
+    }
+  }
+  sel->resize(kept);
 }
 
 ResolvedPredicate ResolvePredicate(const Predicate& pred, int pos,

@@ -1,6 +1,7 @@
 #ifndef POPDB_EXEC_EXPR_H_
 #define POPDB_EXEC_EXPR_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -75,6 +76,19 @@ struct ResolvedPredicate {
 /// Evaluates `pred` against `row`. NULL column values never satisfy a
 /// predicate (SQL three-valued logic collapsed to false).
 bool EvalPredicate(const ResolvedPredicate& pred, const Row& row);
+
+/// Evaluates `pred` against a single already-extracted column value (the
+/// shared kernel of the row and column paths).
+bool EvalPredicateValue(const ResolvedPredicate& pred, const Value& v);
+
+/// Batch-at-a-time predicate evaluation: narrows the selection vector
+/// `*sel` (raw row indices into `col`, `pred.pos` already applied by the
+/// caller choosing the column) to the rows satisfying `pred`, preserving
+/// order. Applying predicates column-by-column over a conjunction yields
+/// exactly the rows per-row short-circuit evaluation keeps.
+void EvalPredicateColumn(const ResolvedPredicate& pred,
+                         const std::vector<Value>& col,
+                         std::vector<int32_t>* sel);
 
 /// Resolves `pred`: substitutes the bound parameter (if any) from `params`
 /// and stores `pos` as the evaluation position.

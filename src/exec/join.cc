@@ -33,17 +33,17 @@ int64_t NljnOp::NumInnerRows() const {
 
 ExecStatus NljnOp::OpenImpl(ExecContext* ctx) {
   outer_valid_ = false;
+  outer_batch_valid_ = false;
+  outer_idx_ = 0;
   return outer_->Open(ctx);
 }
 
-void NljnOp::StartProbe(ExecContext* ctx) {
+void NljnOp::StartProbe(ExecContext* ctx, const Value* index_key) {
   ++ctx->work;
   ++mutable_stats().loops;
   if (inner_.index != nullptr) {
-    POPDB_DCHECK(!inner_.join_conds.empty());
-    const Value& key =
-        outer_row_[static_cast<size_t>(inner_.join_conds[0].outer_pos)];
-    index_candidates_ = &inner_.index->Probe(key);
+    POPDB_DCHECK(index_key != nullptr);
+    index_candidates_ = &inner_.index->Probe(*index_key);
     candidate_pos_ = 0;
   } else {
     scan_rid_ = 0;
@@ -58,7 +58,10 @@ ExecStatus NljnOp::NextImpl(ExecContext* ctx, Row* out) {
         return s;
       }
       outer_valid_ = true;
-      StartProbe(ctx);
+      StartProbe(ctx, inner_.index != nullptr
+                          ? &outer_row_[static_cast<size_t>(
+                                inner_.join_conds[0].outer_pos)]
+                          : nullptr);
     }
     // Iterate candidate inner rows for the current outer row.
     while (true) {
@@ -101,6 +104,76 @@ ExecStatus NljnOp::NextImpl(ExecContext* ctx, Row* out) {
   }
 }
 
+ExecStatus NljnOp::NextBatchImpl(ExecContext* ctx, RowBatch* out) {
+  // Vectorized outer: pull outer batches, probe each active row with the
+  // same per-row work/loop accounting as the row path, and emit merged rows
+  // until the output batch fills. The current outer row is read in place
+  // from the held batch (`outer_idx_`) — never materialized row-major. An
+  // outer row's candidate cursor survives across output batches; an abort
+  // from the outer subtree can only arrive once the held batch is fully
+  // probed, so every match the row engine would have streamed is flushed
+  // ahead of the abort status.
+  const int64_t target =
+      BatchTarget(ctx, static_cast<int>(merge_.sources.size()));
+  out->Reset(static_cast<int>(merge_.sources.size()));
+  while (true) {
+    if (!outer_valid_) {
+      if (!outer_batch_valid_ || outer_idx_ >= outer_batch_.ActiveRows()) {
+        const ExecStatus s = outer_->NextBatch(ctx, &outer_batch_);
+        if (s != ExecStatus::kRow) {
+          outer_batch_valid_ = false;
+          return FlushOrStatus(out, s);
+        }
+        outer_batch_valid_ = true;
+        outer_idx_ = 0;
+      }
+      outer_valid_ = true;
+      StartProbe(ctx,
+                 inner_.index != nullptr
+                     ? &outer_batch_.At(inner_.join_conds[0].outer_pos,
+                                        outer_idx_)
+                     : nullptr);
+    }
+    while (true) {
+      if (out->num_rows >= target) return ExecStatus::kRow;
+      if (ctx->CancelPending()) {
+        return FlushOrStatus(out, ExecStatus::kCancelled);
+      }
+      int64_t rid;
+      if (inner_.index != nullptr) {
+        if (candidate_pos_ >= index_candidates_->size()) break;
+        rid = (*index_candidates_)[candidate_pos_++];
+      } else {
+        if (scan_rid_ >= NumInnerRows()) break;
+        rid = scan_rid_++;
+      }
+      ++ctx->work;
+      const Row& inner_row = InnerRow(rid);
+      bool pass = true;
+      const size_t first = inner_.index != nullptr ? 1 : 0;
+      for (size_t j = first; j < inner_.join_conds.size(); ++j) {
+        const InnerAccess::JoinCond& jc = inner_.join_conds[j];
+        if (outer_batch_.At(jc.outer_pos, outer_idx_) !=
+            inner_row[static_cast<size_t>(jc.inner_pos)]) {
+          pass = false;
+          break;
+        }
+      }
+      if (pass) {
+        for (const ResolvedPredicate& p : inner_.local_preds) {
+          if (!EvalPredicate(p, inner_row)) {
+            pass = false;
+            break;
+          }
+        }
+      }
+      if (pass) merge_.MergeBatchInto(outer_batch_, outer_idx_, inner_row, out);
+    }
+    outer_valid_ = false;  // Candidates exhausted; next outer row.
+    ++outer_idx_;
+  }
+}
+
 void NljnOp::CloseImpl(ExecContext* ctx) { outer_->Close(ctx); }
 
 // ---------------------------------------------------------------- HsjnOp
@@ -137,14 +210,8 @@ ExecStatus HsjnOp::OpenImpl(ExecContext* ctx) {
   ctx->materializers.push_back(this);
   ExecStatus s = build_->Open(ctx);
   if (s != ExecStatus::kOk) return s;
-  Row row;
-  while (true) {
-    s = build_->Next(ctx, &row);
-    if (s == ExecStatus::kEof) break;
-    if (s != ExecStatus::kRow) return s;
-    ++ctx->work;
-    build_rows_.push_back(std::move(row));
-  }
+  s = DrainChildRows(build_.get(), ctx, &build_rows_);
+  if (s != ExecStatus::kEof) return s;
   build_->Close(ctx);
   build_complete_ = true;
 
@@ -198,13 +265,8 @@ ExecStatus HsjnOp::OpenImpl(ExecContext* ctx) {
   s = probe_->Open(ctx);
   if (s != ExecStatus::kOk) return s;
   std::vector<Row> probe_rows;
-  while (true) {
-    s = probe_->Next(ctx, &row);
-    if (s == ExecStatus::kEof) break;
-    if (s != ExecStatus::kRow) return s;
-    ++ctx->work;
-    probe_rows.push_back(std::move(row));
-  }
+  s = DrainChildRows(probe_.get(), ctx, &probe_rows);
+  if (s != ExecStatus::kEof) return s;
   probe_->Close(ctx);
   // Join from a copy so build_rows_ stays harvestable.
   std::vector<Row> build_copy = build_rows_;
@@ -330,6 +392,56 @@ ExecStatus HsjnOp::NextImpl(ExecContext* ctx, Row* out) {
     return ExecStatus::kRow;
   }
   return ExecStatus::kEof;
+}
+
+ExecStatus HsjnOp::NextBatchImpl(ExecContext* ctx, RowBatch* out) {
+  if (!in_memory_mode_) {
+    // Spill mode: serve the precomputed join output in slices, moving rows
+    // into the batch (output_ is never harvested).
+    const int64_t target =
+        BatchTarget(ctx, static_cast<int>(merge_.sources.size()));
+    out->Clear();
+    while (next_out_ < output_.size() && out->num_rows < target) {
+      out->AppendRowMove(std::move(output_[next_out_++]));
+    }
+    return out->num_rows > 0 ? ExecStatus::kRow : ExecStatus::kEof;
+  }
+  // Streaming in-memory probe: one probe batch in, all its matches out.
+  // The output batch is gathered column-wise straight from the probe batch
+  // and the build rows (no per-match row materialization).
+  out->Reset(static_cast<int>(merge_.sources.size()));
+  Row key;
+  while (true) {
+    const ExecStatus s = probe_->NextBatch(ctx, &probe_batch_);
+    if (s != ExecStatus::kRow) return s;
+    const int64_t n = probe_batch_.ActiveRows();
+    for (int64_t i = 0; i < n; ++i) {
+      if (ctx->CancelPending()) {
+        return FlushOrStatus(out, ExecStatus::kCancelled);
+      }
+      ++ctx->work;
+      key.clear();
+      key.reserve(probe_keys_.size());
+      for (int pos : probe_keys_) key.push_back(probe_batch_.At(pos, i));
+      const KeyMap& map =
+          partitioned_
+              ? part_maps_[HashRow(key) & (kBuildPartitions - 1)]
+              : map_;
+      auto it = map.find(key);
+      if (it == map.end()) continue;
+      for (size_t bi : it->second) {
+        const Row& brow = build_rows_[bi];
+        for (size_t c = 0; c < merge_.sources.size(); ++c) {
+          const auto& [from_left, pos] = merge_.sources[c];
+          out->PutCopy(static_cast<int>(c), out->num_rows,
+                       from_left ? probe_batch_.At(pos, i)
+                                 : brow[static_cast<size_t>(pos)]);
+        }
+        ++out->num_rows;
+      }
+    }
+    if (out->num_rows > 0) return ExecStatus::kRow;
+  }
 }
 
 void HsjnOp::CloseImpl(ExecContext* ctx) {

@@ -57,6 +57,7 @@ class NljnOp : public Operator {
 
   ExecStatus OpenImpl(ExecContext* ctx) override;
   ExecStatus NextImpl(ExecContext* ctx, Row* out) override;
+  ExecStatus NextBatchImpl(ExecContext* ctx, RowBatch* out) override;
   void CloseImpl(ExecContext* ctx) override;
   const char* name() const override { return "NLJN"; }
   std::vector<const Operator*> children() const override {
@@ -65,7 +66,9 @@ class NljnOp : public Operator {
 
  private:
   /// Fetches candidate inner row ids for the current outer row.
-  void StartProbe(ExecContext* ctx);
+  /// `index_key` is the outer join-key value for an index probe (null when
+  /// the inner side is a full scan).
+  void StartProbe(ExecContext* ctx, const Value* index_key);
   const Row& InnerRow(int64_t rid) const;
   int64_t NumInnerRows() const;
 
@@ -79,6 +82,13 @@ class NljnOp : public Operator {
   const std::vector<int64_t>* index_candidates_ = nullptr;
   size_t candidate_pos_ = 0;
   int64_t scan_rid_ = 0;
+  // Vectorized path: the held outer batch and the index of the active row
+  // currently being probed (advanced once its candidates are exhausted).
+  // Probe state above resumes across output batches, so an outer row with
+  // more matches than one batch holds continues where it stopped.
+  RowBatch outer_batch_;
+  bool outer_batch_valid_ = false;
+  int64_t outer_idx_ = 0;
 };
 
 /// Hash join. Child 0 is the probe (outer) side, child 1 the build (inner)
@@ -105,6 +115,7 @@ class HsjnOp : public Operator {
 
   ExecStatus OpenImpl(ExecContext* ctx) override;
   ExecStatus NextImpl(ExecContext* ctx, Row* out) override;
+  ExecStatus NextBatchImpl(ExecContext* ctx, RowBatch* out) override;
   void CloseImpl(ExecContext* ctx) override;
   bool HarvestInfo(HarvestedResult* out) const override;
   const char* name() const override { return "HSJN"; }
@@ -150,6 +161,7 @@ class HsjnOp : public Operator {
   Row probe_row_;
   const std::vector<size_t>* matches_ = nullptr;
   size_t match_pos_ = 0;
+  RowBatch probe_batch_;  ///< Vectorized probe scratch.
 };
 
 /// Merge join over two inputs sorted on the join keys (the optimizer

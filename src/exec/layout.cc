@@ -1,6 +1,7 @@
 #include "exec/layout.h"
 
 #include "common/status.h"
+#include "exec/batch.h"
 
 namespace popdb {
 
@@ -48,6 +49,19 @@ Row MergeSpec::Merge(const Row& left, const Row& right) const {
     out.push_back((from_left ? left : right)[static_cast<size_t>(pos)]);
   }
   return out;
+}
+
+void MergeSpec::MergeBatchInto(const RowBatch& left, int64_t left_row,
+                               const Row& right, RowBatch* out) const {
+  const int64_t r = out->num_rows;
+  const size_t raw = static_cast<size_t>(left.RawIndex(left_row));
+  for (size_t c = 0; c < sources.size(); ++c) {
+    const auto& [from_left, pos] = sources[c];
+    out->PutCopy(static_cast<int>(c), r,
+                 from_left ? left.cols[static_cast<size_t>(pos)][raw]
+                           : right[static_cast<size_t>(pos)]);
+  }
+  out->num_rows = r + 1;
 }
 
 }  // namespace popdb

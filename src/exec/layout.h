@@ -8,6 +8,8 @@
 
 namespace popdb {
 
+struct RowBatch;
+
 /// Set of query-table ids as a bitmask (queries join at most 64 tables).
 using TableSet = uint64_t;
 
@@ -56,6 +58,13 @@ struct MergeSpec {
                         const std::vector<int>& table_widths);
 
   Row Merge(const Row& left, const Row& right) const;
+
+  /// Appends the merge of the `left_row`-th active row of `left` with
+  /// `right` directly to `out`'s columns (which must already be sized to
+  /// `sources.size()` via Reset), skipping the intermediate row-major
+  /// materialization of Merge.
+  void MergeBatchInto(const RowBatch& left, int64_t left_row,
+                      const Row& right, RowBatch* out) const;
 };
 
 }  // namespace popdb

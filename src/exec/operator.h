@@ -10,6 +10,7 @@
 #include "common/cancel.h"
 #include "common/span.h"
 #include "common/value.h"
+#include "exec/batch.h"
 #include "exec/layout.h"
 
 namespace popdb {
@@ -145,6 +146,13 @@ struct ExecContext {
   int64_t morsels_dispatched = 0;
   int64_t parallel_work = 0;  ///< Work units spent inside morsel tasks.
 
+  /// Vectorized execution: target rows per RowBatch exchanged between
+  /// operators. <= 1 selects the row-at-a-time engine; operators driven
+  /// through Next() always run row-at-a-time regardless of this value, so
+  /// a consumer that needs row-granular semantics (streaming CHECKs, work
+  /// bounds) simply pulls rows and its whole subtree follows.
+  int64_t batch_rows = 1;
+
   /// Strided poll: checks the token every kCancelPollStride calls so the
   /// per-row cost is a decrement on the fast path. Returns true once the
   /// token tripped (explicit cancel or deadline); the polling operator then
@@ -166,7 +174,8 @@ struct ExecContext {
 /// strided clock reads — one measured call out of kTimingStride, scaled —
 /// so instrumentation is compiled-in but cheap.
 struct OperatorStats {
-  int64_t next_calls = 0;  ///< Total Next invocations (including EOF).
+  int64_t next_calls = 0;  ///< Total Next/NextBatch invocations (incl. EOF).
+  int64_t batches = 0;     ///< NextBatch invocations (vectorized pulls).
   int64_t open_ns = 0;     ///< Wall time inside Open (subtree included).
   int64_t next_ns = 0;     ///< Estimated total wall time inside Next.
   int64_t close_ns = 0;    ///< Wall time inside Close.
@@ -234,6 +243,45 @@ class Operator {
     return s;
   }
 
+  /// Produces the next batch of rows into `*out`. Returns kRow with at
+  /// least one active row, or a terminal status with an untouched batch.
+  /// Statuses raised mid-assembly after a non-empty prefix are delivered on
+  /// the following call, so rows that the row engine would have streamed
+  /// before an abort are never lost. After kEof the call must not be
+  /// repeated. Mixing Next and NextBatch on one operator is not supported;
+  /// a consumer picks one granularity for the operator's lifetime.
+  ExecStatus NextBatch(ExecContext* ctx, RowBatch* out) {
+    ++stats_.next_calls;
+    ++stats_.batches;
+    if (pending_batch_status_ != ExecStatus::kOk) {
+      const ExecStatus s = pending_batch_status_;
+      pending_batch_status_ = ExecStatus::kOk;
+      if (s == ExecStatus::kEof) eof_seen_ = true;
+      return s;
+    }
+    out->reserve_hint = BatchTarget(ctx);
+    const int64_t t0 = ClockNs();
+    const ExecStatus s = NextBatchImpl(ctx, out);
+    stats_.next_ns += ClockNs() - t0;
+    if (s == ExecStatus::kRow) {
+      rows_produced_ += out->ActiveRows();
+    } else if (s == ExecStatus::kEof) {
+      eof_seen_ = true;
+    }
+    return s;
+  }
+
+  /// Reverses producer-side accounting for `unconsumed` rows of the last
+  /// batch when a batch-boundary CHECK truncates it mid-batch. Enforced
+  /// CHECKs clamp their child's batch target so the aborting row is always
+  /// the last one pulled; this hook is the defensive backstop for a child
+  /// that over-produces past its target, where dropping the produced-row
+  /// count keeps harvested feedback identical to the row engine's (the
+  /// violating row itself stays consumed).
+  virtual void ReconcileAbort(int64_t unconsumed) {
+    rows_produced_ -= unconsumed;
+  }
+
   /// Releases resources. Must be safe to call after any status.
   void Close(ExecContext* ctx) {
     const int64_t t0 = ClockNs();
@@ -293,6 +341,38 @@ class Operator {
   virtual ExecStatus NextImpl(ExecContext* ctx, Row* out) = 0;
   virtual void CloseImpl(ExecContext* ctx) = 0;
 
+  /// Batch production. The default assembles a batch by driving this
+  /// operator's own NextImpl row-at-a-time (children are pulled through
+  /// row-mode Next), which preserves row-engine semantics bit-exactly for
+  /// operators without a native vectorized path. Subclasses with a native
+  /// path override this.
+  virtual ExecStatus NextBatchImpl(ExecContext* ctx, RowBatch* out);
+
+  /// Stashes `s` for delivery on the next NextBatch call and returns kRow
+  /// if `out` carries a non-empty prefix; returns `s` directly otherwise.
+  /// Native NextBatchImpl overrides use this to flush rows produced before
+  /// a mid-batch terminal status.
+  ExecStatus FlushOrStatus(RowBatch* out, ExecStatus s) {
+    if (out->ActiveRows() == 0) return s;
+    pending_batch_status_ = s;
+    return ExecStatus::kRow;
+  }
+
+  /// Target active rows per produced batch.
+  static int64_t BatchTarget(const ExecContext* ctx) {
+    return ctx->batch_rows > 1 ? ctx->batch_rows : 1;
+  }
+
+  /// Width-aware target: scales the context target down so one batch's
+  /// payload (`width` columns of Value) stays within a fixed byte budget.
+  /// Wide batches otherwise outgrow the cache between fill and
+  /// consumption and the gather/scatter loops of vectorized operators go
+  /// memory-bound; narrow batches keep the full row target. Never exceeds
+  /// the context target, so CHECK batch-target clamping stays exact.
+  static int64_t BatchTarget(const ExecContext* ctx, int width) {
+    return CapBatchRowsForWidth(BatchTarget(ctx), width);
+  }
+
   /// Mutable counters for subclass-specific detail (loops/partitions/
   /// spills).
   OperatorStats& mutable_stats() { return stats_; }
@@ -322,6 +402,7 @@ class Operator {
   bool annotated_ = false;
   int64_t span_start_us_ = -1;
   bool span_emitted_ = false;
+  ExecStatus pending_batch_status_ = ExecStatus::kOk;
 };
 
 /// Runs `root` to completion, appending produced rows to `*out_rows`.
@@ -329,6 +410,22 @@ class Operator {
 /// fired, kError on failure). Opens and closes the tree.
 ExecStatus RunToCompletion(Operator* root, ExecContext* ctx,
                            std::vector<Row>* out_rows);
+
+/// Runs `root` to completion pulling batches, appending produced batches to
+/// `*out_batches` (moved, so the per-operator column buffers are recycled).
+/// Opens and closes the tree. Used by parallel fragment workers.
+ExecStatus RunToCompletionBatches(Operator* root, ExecContext* ctx,
+                                  std::vector<RowBatch>* out_batches);
+
+/// Drains an already-open `child` to EOF into `*rows`, charging one work
+/// unit per row — the materialization drain shared by SORT/TEMP and the
+/// hash-join build and spill-probe sides. Pulls batches when the context is
+/// vectorized, rows otherwise; either way the materialized rows, their
+/// order, and the work charged are identical. Returns kEof on completion or
+/// the child's abort status (rows drained before the abort are kept, as in
+/// row-at-a-time execution).
+ExecStatus DrainChildRows(Operator* child, ExecContext* ctx,
+                          std::vector<Row>* rows);
 
 /// Collects all operators of a tree in pre-order (for counter harvesting).
 /// Not part of Operator to keep the iterator interface minimal; the plan

@@ -87,6 +87,7 @@ int StatusSeverity(ExecStatus s) {
 
 void AccumulateStats(const OperatorStats& from, OperatorStats* into) {
   into->next_calls += from.next_calls;
+  into->batches += from.batches;
   into->open_ns += from.open_ns;
   into->next_ns += from.next_ns;
   into->close_ns += from.close_ns;
@@ -138,6 +139,7 @@ ExecStatus MorselExchangeOp::OpenImpl(ExecContext* ctx) {
     tctx.params = ctx->params;
     tctx.mem_rows = ctx->mem_rows;
     tctx.cancel = ctx->cancel;
+    tctx.batch_rows = ctx->batch_rows;
     ExecStatus local = ExecStatus::kOk;
     int64_t local_morsels = 0;
     int64_t local_sink_rows = 0;
@@ -233,6 +235,25 @@ ExecStatus MorselExchangeOp::NextImpl(ExecContext* ctx, Row* out) {
     cursor_pos_ = 0;
   }
   return ExecStatus::kEof;
+}
+
+ExecStatus MorselExchangeOp::NextBatchImpl(ExecContext* ctx, RowBatch* out) {
+  const int64_t target = BatchTarget(ctx);
+  out->Clear();
+  while (cursor_morsel_ < buffers_.size()) {
+    std::vector<Row>& buf = buffers_[cursor_morsel_];
+    while (cursor_pos_ < buf.size() && out->ActiveRows() < target) {
+      out->AppendRowMove(std::move(buf[cursor_pos_]));
+      ++cursor_pos_;
+    }
+    if (cursor_pos_ >= buf.size()) {
+      std::vector<Row>().swap(buf);  // Free each morsel as it drains.
+      ++cursor_morsel_;
+      cursor_pos_ = 0;
+    }
+    if (out->ActiveRows() >= target) return ExecStatus::kRow;
+  }
+  return out->ActiveRows() > 0 ? ExecStatus::kRow : ExecStatus::kEof;
 }
 
 void MorselExchangeOp::CloseImpl(ExecContext* ctx) {

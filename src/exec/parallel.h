@@ -43,6 +43,13 @@ struct ParallelPolicy {
   /// execution for integer/COUNT/MIN/MAX aggregates.
   bool preaggregate = false;
 
+  /// Rows per execution batch (exec/batch.h). Values > 1 run the plan —
+  /// including morsel fragments — through the vectorized NextBatch path;
+  /// <= 1 selects the row-at-a-time engine. Results, CHECK firings and
+  /// harvested feedback are bit-identical either way; this knob only
+  /// trades interpretation overhead against batch memory.
+  int64_t batch_rows = 1024;
+
   bool enabled() const { return dop > 1; }
 };
 
@@ -157,6 +164,9 @@ class MorselExchangeOp : public Operator {
 
   ExecStatus OpenImpl(ExecContext* ctx) override;
   ExecStatus NextImpl(ExecContext* ctx, Row* out) override;
+  /// Serves the merged morsel outputs as batches (same rows, same morsel
+  /// order as NextImpl; rows are moved out of the reorder buffers).
+  ExecStatus NextBatchImpl(ExecContext* ctx, RowBatch* out) override;
   void CloseImpl(ExecContext* ctx) override;
   const char* name() const override { return "EXCHANGE"; }
 

@@ -18,6 +18,7 @@ class ProjectOp : public Operator {
 
   ExecStatus OpenImpl(ExecContext* ctx) override { return child_->Open(ctx); }
   ExecStatus NextImpl(ExecContext* ctx, Row* out) override;
+  ExecStatus NextBatchImpl(ExecContext* ctx, RowBatch* out) override;
   void CloseImpl(ExecContext* ctx) override { child_->Close(ctx); }
   const char* name() const override { return "PROJECT"; }
   std::vector<const Operator*> children() const override {
@@ -27,6 +28,8 @@ class ProjectOp : public Operator {
  private:
   std::unique_ptr<Operator> child_;
   std::vector<int> positions_;
+  RowBatch in_batch_;           ///< Scratch input batch (vectorized path).
+  std::vector<char> move_src_;  ///< Last use of a source column: move it.
 };
 
 /// Applies residual predicates to already-joined rows. The optimizer pushes
@@ -40,6 +43,7 @@ class FilterOp : public Operator {
 
   ExecStatus OpenImpl(ExecContext* ctx) override { return child_->Open(ctx); }
   ExecStatus NextImpl(ExecContext* ctx, Row* out) override;
+  ExecStatus NextBatchImpl(ExecContext* ctx, RowBatch* out) override;
   void CloseImpl(ExecContext* ctx) override { child_->Close(ctx); }
   const char* name() const override { return "FILTER"; }
   std::vector<const Operator*> children() const override {

@@ -33,6 +33,27 @@ ExecStatus TableScanOp::NextImpl(ExecContext* ctx, Row* out) {
   return ExecStatus::kEof;
 }
 
+ExecStatus TableScanOp::NextBatchImpl(ExecContext* ctx, RowBatch* out) {
+  const int64_t target = BatchTarget(ctx, table_->schema().num_columns());
+  out->Clear();
+  while (next_rid_ < stop_rid_ && out->num_rows < target) {
+    if (ctx->CancelPending()) return FlushOrStatus(out, ExecStatus::kCancelled);
+    const Row& row = table_->row(next_rid_);
+    ++next_rid_;
+    ++ctx->work;
+    bool pass = true;
+    for (const ResolvedPredicate& p : preds_) {
+      if (!EvalPredicate(p, row)) {
+        pass = false;
+        break;
+      }
+    }
+    if (pass) out->AppendRow(row);
+  }
+  if (out->num_rows > 0) return ExecStatus::kRow;
+  return ExecStatus::kEof;
+}
+
 void TableScanOp::CloseImpl(ExecContext* ctx) { (void)ctx; }
 
 ExecStatus MatViewScanOp::OpenImpl(ExecContext* ctx) {
@@ -48,6 +69,19 @@ ExecStatus MatViewScanOp::NextImpl(ExecContext* ctx, Row* out) {
     ++next_;
     return ExecStatus::kRow;
   }
+  return ExecStatus::kEof;
+}
+
+ExecStatus MatViewScanOp::NextBatchImpl(ExecContext* ctx, RowBatch* out) {
+  const int64_t target = BatchTarget(
+      ctx, rows_->empty() ? 0 : static_cast<int>(rows_->front().size()));
+  out->Clear();
+  while (next_ < rows_->size() && out->num_rows < target) {
+    ++ctx->work;
+    out->AppendRow((*rows_)[next_]);
+    ++next_;
+  }
+  if (out->num_rows > 0) return ExecStatus::kRow;
   return ExecStatus::kEof;
 }
 

@@ -23,14 +23,8 @@ ExecStatus SortOp::OpenImpl(ExecContext* ctx) {
   ctx->materializers.push_back(this);
   ExecStatus s = child_->Open(ctx);
   if (s != ExecStatus::kOk) return s;
-  Row row;
-  while (true) {
-    s = child_->Next(ctx, &row);
-    if (s == ExecStatus::kEof) break;
-    if (s != ExecStatus::kRow) return s;
-    ++ctx->work;
-    rows_.push_back(std::move(row));
-  }
+  s = DrainChildRows(child_.get(), ctx, &rows_);
+  if (s != ExecStatus::kEof) return s;
   child_->Close(ctx);
 
   auto cmp = [this](const Row& a, const Row& b) {
@@ -88,6 +82,18 @@ ExecStatus SortOp::NextImpl(ExecContext* ctx, Row* out) {
   return ExecStatus::kEof;
 }
 
+ExecStatus SortOp::NextBatchImpl(ExecContext* ctx, RowBatch* out) {
+  if (ctx->CancelPending()) return ExecStatus::kCancelled;
+  const int64_t target = BatchTarget(
+      ctx, rows_.empty() ? 0 : static_cast<int>(rows_.front().size()));
+  out->Clear();
+  while (next_ < rows_.size() && out->num_rows < target) {
+    ++ctx->work;
+    out->AppendRow(rows_[next_++]);
+  }
+  return out->num_rows > 0 ? ExecStatus::kRow : ExecStatus::kEof;
+}
+
 void SortOp::CloseImpl(ExecContext* ctx) { (void)ctx; }
 
 bool SortOp::HarvestInfo(HarvestedResult* out) const {
@@ -110,14 +116,8 @@ ExecStatus TempOp::OpenImpl(ExecContext* ctx) {
   ctx->materializers.push_back(this);
   ExecStatus s = child_->Open(ctx);
   if (s != ExecStatus::kOk) return s;
-  Row row;
-  while (true) {
-    s = child_->Next(ctx, &row);
-    if (s == ExecStatus::kEof) break;
-    if (s != ExecStatus::kRow) return s;
-    ++ctx->work;
-    rows_.push_back(std::move(row));
-  }
+  s = DrainChildRows(child_.get(), ctx, &rows_);
+  if (s != ExecStatus::kEof) return s;
   child_->Close(ctx);
   complete_ = true;
   next_ = 0;
@@ -132,6 +132,18 @@ ExecStatus TempOp::NextImpl(ExecContext* ctx, Row* out) {
     return ExecStatus::kRow;
   }
   return ExecStatus::kEof;
+}
+
+ExecStatus TempOp::NextBatchImpl(ExecContext* ctx, RowBatch* out) {
+  if (ctx->CancelPending()) return ExecStatus::kCancelled;
+  const int64_t target = BatchTarget(
+      ctx, rows_.empty() ? 0 : static_cast<int>(rows_.front().size()));
+  out->Clear();
+  while (next_ < rows_.size() && out->num_rows < target) {
+    ++ctx->work;
+    out->AppendRow(rows_[next_++]);
+  }
+  return out->num_rows > 0 ? ExecStatus::kRow : ExecStatus::kEof;
 }
 
 void TempOp::CloseImpl(ExecContext* ctx) { (void)ctx; }

@@ -359,13 +359,16 @@ void QueryService::RunOne(const std::shared_ptr<QueryTicket>& ticket) {
     exec.set_cross_query_store(FeedbackFor(ticket->session_id_));
     exec.set_plan_cache(plan_cache_.get());
     exec.set_cancel_token(&ticket->cancel_);
+    ParallelPolicy parallel;
+    parallel.batch_rows = config_.exec_batch_rows;
     if (morsel_pool_ != nullptr) {
-      ParallelPolicy parallel;
       parallel.dop = config_.intra_query_dop;
       parallel.morsel_rows = config_.morsel_rows;
       parallel.min_parallel_rows = config_.min_parallel_rows;
-      exec.set_parallel(morsel_pool_.get(), parallel);
     }
+    // A null pool leaves execution serial; the policy still carries the
+    // execution batch size.
+    exec.set_parallel(morsel_pool_.get(), parallel);
     Result<std::vector<Row>> rows =
         config_.use_pop ? exec.Execute(ticket->query_, &stats)
                         : exec.ExecuteStatic(ticket->query_, &stats);

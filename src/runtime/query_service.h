@@ -107,6 +107,11 @@ struct ServiceConfig {
   /// overhead would dominate).
   int64_t min_parallel_rows = 4096;
 
+  /// Rows per execution batch (ParallelPolicy::batch_rows): > 1 runs plans
+  /// through the vectorized engine, <= 1 forces row-at-a-time execution.
+  /// Results and re-optimization behavior are bit-identical either way.
+  int64_t exec_batch_rows = 1024;
+
   /// Shared plan-cache capacity in entries; <= 0 disables plan caching.
   /// The cache is keyed by canonical query signature and gated by the
   /// feedback epoch/digest, so repeat submissions (prepared statements

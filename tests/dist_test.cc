@@ -93,8 +93,16 @@ struct ShardProcess {
 
 class DistTest : public ::testing::Test {
  protected:
-  void StartCluster(int num_shards, double stall_ms = 0.0) {
-    BuildDistCatalog(&full_);
+  void StartCluster(int num_shards, double stall_ms = 0.0,
+                    int64_t exec_batch_rows = 1024) {
+    // Allow restarting with a different shard configuration mid-test
+    // (e.g. row-engine vs vectorized shards).
+    shards_.clear();
+    coordinator_.reset();
+    if (!built_full_) {
+      BuildDistCatalog(&full_);
+      built_full_ = true;
+    }
     spec_ = DistSpec();
     Result<std::vector<dist::KeyRange>> ranges =
         dist::ComputeRanges(full_, spec_, num_shards);
@@ -111,8 +119,10 @@ class DistTest : public ::testing::Test {
       service_config.trace_sink = &shard->traces;
       shard->service =
           std::make_unique<QueryService>(shard->catalog, service_config);
-      shard->executor =
-          std::make_unique<dist::ShardExecutor>(shard->catalog);
+      dist::ShardExecutorConfig executor_config;
+      executor_config.exec_batch_rows = exec_batch_rows;
+      shard->executor = std::make_unique<dist::ShardExecutor>(
+          shard->catalog, executor_config);
       net::NetServerConfig net_config;
       net_config.host = "127.0.0.1";
       net_config.port = 0;
@@ -153,6 +163,7 @@ class DistTest : public ::testing::Test {
   }
 
   Catalog full_;
+  bool built_full_ = false;
   dist::PartitionSpec spec_;
   std::vector<std::unique_ptr<ShardProcess>> shards_;
   std::unique_ptr<dist::Coordinator> coordinator_;
@@ -343,6 +354,56 @@ TEST_F(DistTest, ShardCheckViolationTriggersGlobalReoptimization) {
             stats.attempts.back().plan_text);
   EXPECT_EQ(testing::Canonicalize(RunLocal(sql)),
             testing::Canonicalize(rows.value()));
+}
+
+TEST_F(DistTest, RowAndBatchShardEnginesAgree) {
+  // Runs the same corpus against a cluster whose shards execute subplans
+  // row-at-a-time and one whose shards run vectorized: the rows the
+  // coordinator sees, the shard CHECK escalations, and the resulting
+  // cluster-level re-optimization sequence must be identical.
+  const std::vector<std::string> corpus = {
+      "SELECT o_id, o_subclass FROM orders WHERE o_subclass < 12",
+      "SELECT o_class, COUNT(*), SUM(o_subclass), AVG(o_subclass) "
+      "FROM orders GROUP BY o_class ORDER BY 1",
+      "SELECT o_class, COUNT(*) FROM orders, items WHERE o_id = i_order "
+      "GROUP BY o_class ORDER BY 1",
+      // The correlated-predicate trap: shard CHECKs fire and escalate.
+      "SELECT o_class, COUNT(*) FROM orders, items WHERE o_id = i_order "
+      "AND o_class = 7 AND o_subclass = 77 GROUP BY o_class",
+      "SELECT o_id FROM orders WHERE o_subclass = 5 ORDER BY 1 LIMIT 7",
+  };
+  struct DistOutcome {
+    std::vector<std::string> rows;
+    int reopts = 0;
+    size_t attempts = 0;
+  };
+  const auto sweep = [&](int64_t exec_batch_rows) {
+    StartCluster(3, /*stall_ms=*/0.0, exec_batch_rows);
+    std::vector<DistOutcome> outcomes;
+    for (const std::string& sql : corpus) {
+      ExecutionStats stats;
+      Result<std::vector<Row>> rows = RunDist(sql, &stats);
+      EXPECT_TRUE(rows.ok()) << sql << ": " << rows.status().ToString();
+      DistOutcome o;
+      if (rows.ok()) o.rows = testing::Canonicalize(rows.value());
+      o.reopts = stats.reopts;
+      o.attempts = stats.attempts.size();
+      outcomes.push_back(std::move(o));
+    }
+    return outcomes;
+  };
+  const std::vector<DistOutcome> row_engine = sweep(1);
+  for (const int64_t batch : {3, 1024}) {
+    SCOPED_TRACE("exec_batch_rows=" + std::to_string(batch));
+    const std::vector<DistOutcome> batch_engine = sweep(batch);
+    ASSERT_EQ(row_engine.size(), batch_engine.size());
+    for (size_t i = 0; i < row_engine.size(); ++i) {
+      SCOPED_TRACE(corpus[i]);
+      EXPECT_EQ(row_engine[i].rows, batch_engine[i].rows);
+      EXPECT_EQ(row_engine[i].reopts, batch_engine[i].reopts);
+      EXPECT_EQ(row_engine[i].attempts, batch_engine[i].attempts);
+    }
+  }
 }
 
 TEST_F(DistTest, CrossQueryFeedbackSkipsRepeatViolation) {

@@ -252,6 +252,86 @@ TEST_P(FuzzTest, PlanCacheOnOffAgree) {
             stats.hits + stats.validity_hits + stats.misses());
 }
 
+/// Differential fuzz for the vectorized engine: each random query (under
+/// a random POP configuration, so CHECK flavors, work bounds and re-opt
+/// budgets vary) runs on the row engine (batch_rows = 1) and at batch
+/// sizes 3 and 1024. Rows, CHECK firings by flavor, re-opt/attempt counts
+/// and absorbed feedback must be identical — batch-boundary checks decide
+/// exactly like per-row checks.
+TEST_P(FuzzTest, RowAndBatchEnginesAgree) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 2654435761u + 777);
+  for (int round = 0; round < 4; ++round) {
+    const QuerySpec q = RandomQuery(&rng);
+    OptimizerConfig opt;
+    opt.methods.enable_nljn = rng.Bernoulli(0.9);
+    opt.methods.enable_hsjn = rng.Bernoulli(0.9);
+    opt.methods.enable_mgjn = rng.Bernoulli(0.9);
+    if (!opt.methods.enable_nljn && !opt.methods.enable_hsjn &&
+        !opt.methods.enable_mgjn) {
+      opt.methods.enable_hsjn = true;
+    }
+    if (rng.Bernoulli(0.3)) opt.cost.mem_rows = 64;  // Spill everywhere.
+    const PopConfig pop = RandomPopConfig(&rng);
+
+    const auto run = [&](int64_t batch_rows, QueryFeedbackStore* store,
+                         ExecutionStats* stats) {
+      ProgressiveExecutor exec(*catalog_, opt, pop);
+      exec.set_cross_query_store(store);
+      ParallelPolicy policy;
+      policy.batch_rows = batch_rows;
+      exec.set_parallel(nullptr, policy);
+      return exec.Execute(q, stats);
+    };
+
+    QueryFeedbackStore store_row;
+    ExecutionStats stats_row;
+    Result<std::vector<Row>> rows_row = run(1, &store_row, &stats_row);
+    ASSERT_TRUE(rows_row.ok()) << rows_row.status().ToString();
+
+    for (const int64_t batch_rows : {int64_t{3}, int64_t{1024}}) {
+      QueryFeedbackStore store_batch;
+      ExecutionStats stats_batch;
+      Result<std::vector<Row>> rows_batch =
+          run(batch_rows, &store_batch, &stats_batch);
+      const std::string label =
+          "seed=" + std::to_string(GetParam()) +
+          " round=" + std::to_string(round) +
+          " batch_rows=" + std::to_string(batch_rows) + "\n" + q.ToString();
+      ASSERT_TRUE(rows_batch.ok())
+          << label << ": " << rows_batch.status().ToString();
+      EXPECT_EQ(Canonicalize(rows_row.value()),
+                Canonicalize(rows_batch.value()))
+          << label;
+      EXPECT_EQ(stats_row.reopts, stats_batch.reopts) << label;
+      EXPECT_EQ(stats_row.attempts.size(), stats_batch.attempts.size())
+          << label;
+      ASSERT_EQ(stats_row.check_events.size(),
+                stats_batch.check_events.size())
+          << label;
+      for (size_t i = 0; i < stats_row.check_events.size(); ++i) {
+        const CheckEvent& a = stats_row.check_events[i];
+        const CheckEvent& b = stats_batch.check_events[i];
+        EXPECT_EQ(a.edge_set, b.edge_set) << label << " event " << i;
+        EXPECT_EQ(a.flavor, b.flavor) << label << " event " << i;
+        EXPECT_EQ(a.site, b.site) << label << " event " << i;
+        EXPECT_EQ(a.count, b.count) << label << " event " << i;
+        EXPECT_EQ(a.fired, b.fired) << label << " event " << i;
+      }
+      // Absorbed feedback: identical signatures and cardinalities.
+      const auto dump_row = store_row.Dump();
+      const auto dump_batch = store_batch.Dump();
+      ASSERT_EQ(dump_row.size(), dump_batch.size()) << label;
+      for (const auto& [sig, fb] : dump_row) {
+        const auto it = dump_batch.find(sig);
+        ASSERT_TRUE(it != dump_batch.end()) << label << " missing " << sig;
+        EXPECT_EQ(fb.exact, it->second.exact) << label << " " << sig;
+        EXPECT_EQ(fb.lower_bound, it->second.lower_bound)
+            << label << " " << sig;
+      }
+    }
+  }
+}
+
 /// parse → WriteTo → parse fuzz over random writer-built documents: the
 /// wire protocol and the dist subplan encoding both rely on re-serialized
 /// JSON being a semantic fixpoint.

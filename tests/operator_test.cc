@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <memory>
 
 #include "common/rng.h"
@@ -482,6 +483,157 @@ TEST_F(OperatorTest, CheckMaterializedPassesAndStreams) {
   CheckMaterializedOp check(std::move(temp), MakeCheck(0, 100));
   EXPECT_EQ(40u, Drain(&check, &ctx).size());
   EXPECT_FALSE(ctx.reopt.triggered);
+}
+
+// ----------------------------------------- CHECK at batch boundaries.
+
+/// Drains `op` through NextBatch with the given execution batch size;
+/// records the terminal status in *final_status.
+std::vector<Row> DrainBatches(Operator* op, ExecContext* ctx,
+                              ExecStatus* final_status) {
+  std::vector<Row> out;
+  EXPECT_EQ(ExecStatus::kOk, op->Open(ctx));
+  RowBatch batch;
+  ExecStatus s;
+  while ((s = op->NextBatch(ctx, &batch)) == ExecStatus::kRow) {
+    batch.MoveRowsInto(&out);
+  }
+  *final_status = s;
+  op->Close(ctx);
+  return out;
+}
+
+TEST_F(OperatorTest, CheckBatchMidBatchViolationFiresOnceAtBoundary) {
+  // Row engine reference: hi = 9.5 over a 40-row scan emits 9 rows, then
+  // fires while processing the 10th (observed_rows = 10, inexact). The
+  // batched engine must do exactly the same even when the threshold row
+  // sits mid-batch, and it must evaluate once per batch, not per row.
+  ExecContext row_ctx;
+  std::vector<Row> row_rows;
+  {
+    CheckOp check(ScanLeft(), MakeCheck(0, 9.5));
+    EXPECT_EQ(ExecStatus::kOk, check.Open(&row_ctx));
+    Row row;
+    ExecStatus s;
+    while ((s = check.Next(&row_ctx, &row)) == ExecStatus::kRow) {
+      row_rows.push_back(row);
+    }
+    EXPECT_EQ(ExecStatus::kReoptimize, s);
+    check.Close(&row_ctx);
+  }
+
+  for (const int64_t batch_rows : {2, 3, 8, 1024}) {
+    SCOPED_TRACE("batch_rows=" + std::to_string(batch_rows));
+    ExecContext ctx;
+    ctx.batch_rows = batch_rows;
+    CheckOp check(ScanLeft(), MakeCheck(0, 9.5));
+    ExecStatus s;
+    const std::vector<Row> rows = DrainBatches(&check, &ctx, &s);
+    EXPECT_EQ(ExecStatus::kReoptimize, s);
+    // Bit-identical emitted prefix (values and order).
+    ASSERT_EQ(row_rows.size(), rows.size());
+    for (size_t i = 0; i < rows.size(); ++i) EXPECT_EQ(row_rows[i], rows[i]);
+    // Same re-opt decision payload.
+    EXPECT_TRUE(ctx.reopt.triggered);
+    EXPECT_FALSE(ctx.reopt.exact);
+    EXPECT_EQ(row_ctx.reopt.observed_rows, ctx.reopt.observed_rows);
+    // Fired exactly once, with the row engine's observed count.
+    ASSERT_EQ(1u, ctx.check_events.size());
+    EXPECT_TRUE(ctx.check_events[0].fired);
+    EXPECT_EQ(row_ctx.check_events[0].count, ctx.check_events[0].count);
+    // The child's produced-row accounting was reconciled to consumed rows.
+    EXPECT_EQ(10, check.children()[0]->rows_produced());
+    EXPECT_EQ(9, check.rows_produced());
+  }
+}
+
+TEST_F(OperatorTest, CheckBatchObserveOnlyRecordsRowExactCount) {
+  ExecContext ctx;
+  ctx.batch_rows = 8;
+  CheckOp check(ScanLeft(), MakeCheck(0, 9.5, /*observe=*/true));
+  ExecStatus s;
+  const std::vector<Row> rows = DrainBatches(&check, &ctx, &s);
+  EXPECT_EQ(ExecStatus::kEof, s);
+  EXPECT_EQ(40u, rows.size());  // Observation never truncates.
+  EXPECT_FALSE(ctx.reopt.triggered);
+  ASSERT_EQ(1u, ctx.check_events.size());
+  EXPECT_TRUE(ctx.check_events[0].fired);
+  EXPECT_EQ(10, ctx.check_events[0].count);  // Row-engine count at the fire.
+}
+
+TEST_F(OperatorTest, CheckBatchLowerBoundFiresAtEofExactly) {
+  ExecContext ctx;
+  ctx.batch_rows = 16;
+  CheckOp check(ScanLeft(), MakeCheck(50, 1e9));
+  ExecStatus s;
+  const std::vector<Row> rows = DrainBatches(&check, &ctx, &s);
+  EXPECT_EQ(ExecStatus::kReoptimize, s);
+  EXPECT_EQ(40u, rows.size());  // Everything flowed; violation at EOF.
+  EXPECT_TRUE(ctx.reopt.exact);
+  EXPECT_EQ(40, ctx.reopt.observed_rows);
+}
+
+TEST_F(OperatorTest, BufCheckBatchDrainFiresWithRowExactCount) {
+  // BUFCHECK buffers like a valve: on a finite-hi violation nothing was
+  // emitted and the count is a lower bound through the violating row.
+  ExecContext ctx;
+  ctx.batch_rows = 8;
+  BufCheckOp check(ScanLeft(), MakeCheck(0, 9.5));
+  EXPECT_EQ(ExecStatus::kReoptimize, check.Open(&ctx));
+  EXPECT_TRUE(ctx.reopt.triggered);
+  EXPECT_FALSE(ctx.reopt.exact);
+  EXPECT_EQ(10, ctx.reopt.observed_rows);
+  EXPECT_EQ(10, check.children()[0]->rows_produced());
+  ASSERT_EQ(1u, ctx.check_events.size());
+  EXPECT_TRUE(ctx.check_events[0].fired);
+  EXPECT_EQ(10, ctx.check_events[0].count);
+}
+
+TEST_F(OperatorTest, BufCheckBatchValvePassesAndServesBatches) {
+  // [lo, inf) succeeds mid-stream; the batched consumer must see all rows
+  // (buffered prefix then pass-through) exactly like the row engine.
+  ExecContext ctx;
+  ctx.batch_rows = 8;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  BufCheckOp check(ScanLeft(), MakeCheck(5, kInf));
+  ExecStatus s;
+  const std::vector<Row> rows = DrainBatches(&check, &ctx, &s);
+  EXPECT_EQ(ExecStatus::kEof, s);
+  EXPECT_EQ(40u, rows.size());
+  EXPECT_FALSE(ctx.reopt.triggered);
+  ASSERT_EQ(1u, ctx.check_events.size());
+  EXPECT_FALSE(ctx.check_events[0].fired);
+  EXPECT_EQ(5, ctx.check_events[0].count);  // Released at the lo-th row.
+}
+
+TEST_F(OperatorTest, CheckMaterializedStreamsBatchesAfterOpenEvaluation) {
+  ExecContext ctx;
+  ctx.batch_rows = 8;
+  auto temp = std::make_unique<TempOp>(ScanLeft(), TableBit(0));
+  CheckMaterializedOp check(std::move(temp), MakeCheck(0, 100));
+  ExecStatus s;
+  const std::vector<Row> rows = DrainBatches(&check, &ctx, &s);
+  EXPECT_EQ(ExecStatus::kEof, s);
+  EXPECT_EQ(40u, rows.size());
+  EXPECT_FALSE(ctx.reopt.triggered);
+}
+
+TEST_F(OperatorTest, BatchWorkChargesMatchRowEngine) {
+  // ctx.work parity is what keeps WORKBOUND decisions and check-event
+  // work columns engine-invariant; spot-check it on a scan drain.
+  ExecContext row_ctx;
+  {
+    auto scan = ScanLeft();
+    Drain(scan.get(), &row_ctx);
+  }
+  ExecContext batch_ctx;
+  batch_ctx.batch_rows = 7;
+  auto scan = ScanLeft();
+  ExecStatus s;
+  const std::vector<Row> rows = DrainBatches(scan.get(), &batch_ctx, &s);
+  EXPECT_EQ(ExecStatus::kEof, s);
+  EXPECT_EQ(40u, rows.size());
+  EXPECT_EQ(row_ctx.work, batch_ctx.work);
 }
 
 // ------------------------------------------------- RidTrack/AntiCompensate.

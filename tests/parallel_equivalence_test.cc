@@ -6,6 +6,11 @@
 // times are deliberately NOT compared (they are mode-dependent only in
 // where the work happens, which the morsel_test covers at unit level).
 //
+// The serial baseline runs on the *row* engine (batch_rows = 1) while the
+// parallel legs alternate row and vectorized execution, so this suite is
+// simultaneously the morsel-parallel and the row-vs-batch equivalence
+// oracle (batch_differential_test covers serial batch-size sweeps).
+//
 // Set POPDB_EQUIV_LIGHT=1 to run a reduced corpus (used by the TSan CI
 // stage, where the full sweep is too slow).
 
@@ -54,7 +59,9 @@ Outcome RunOnce(const Catalog& catalog, const QuerySpec& query,
   ProgressiveExecutor exec(catalog, OptimizerConfig{}, PopConfig{});
   QueryFeedbackStore store;
   exec.set_cross_query_store(&store);
-  if (runner != nullptr) exec.set_parallel(runner, policy);
+  // Always install the policy: a null runner keeps execution serial but
+  // policy.batch_rows still selects the row vs vectorized engine.
+  exec.set_parallel(runner, policy);
   ExecutionStats stats;
   Result<std::vector<Row>> rows = exec.Execute(query, &stats);
 
@@ -91,8 +98,16 @@ void ExpectSameOutcome(const Outcome& serial, const Outcome& parallel,
       << label << ": harvested feedback differs";
 }
 
-/// Runs every query serially and at each dop, with a per-(query, dop)
-/// randomized morsel size from a deterministic RNG.
+/// Row-engine serial execution: the ground truth for every sweep.
+Outcome RunRowSerial(const Catalog& catalog, const QuerySpec& q) {
+  ParallelPolicy row;
+  row.batch_rows = 1;
+  return RunOnce(catalog, q, nullptr, row);
+}
+
+/// Runs every query serially on the row engine and at each dop with a
+/// per-(query, dop) randomized morsel size from a deterministic RNG,
+/// alternating row-mode and vectorized parallel legs.
 void SweepCorpus(const Catalog& catalog,
                  const std::vector<QuerySpec>& corpus, const char* tag) {
   const std::vector<int> dops =
@@ -100,18 +115,24 @@ void SweepCorpus(const Catalog& catalog,
   MorselDispatcher pool(/*helper_threads=*/3);
   Rng rng(0x9e3779b9);
   for (const QuerySpec& q : corpus) {
-    const Outcome serial = RunOnce(catalog, q, nullptr, ParallelPolicy{});
+    const Outcome serial = RunRowSerial(catalog, q);
     for (int dop : dops) {
       ParallelPolicy policy;
       policy.dop = dop;
       policy.morsel_rows = rng.UniformInt(16, 400);
       policy.min_parallel_rows = 1;
-      SCOPED_TRACE(std::string(tag) + "/" + q.name() + " dop=" +
-                   std::to_string(dop) + " morsel_rows=" +
-                   std::to_string(policy.morsel_rows));
-      const Outcome parallel = RunOnce(catalog, q, &pool, policy);
-      ExpectSameOutcome(serial, parallel,
-                        std::string(tag) + "/" + q.name());
+      // Row-mode leg, then a vectorized leg with a randomized execution
+      // batch size so CHECK thresholds land mid-batch.
+      for (const int64_t batch : {int64_t{1}, rng.UniformInt(2, 2048)}) {
+        policy.batch_rows = batch;
+        SCOPED_TRACE(std::string(tag) + "/" + q.name() + " dop=" +
+                     std::to_string(dop) + " morsel_rows=" +
+                     std::to_string(policy.morsel_rows) + " batch_rows=" +
+                     std::to_string(policy.batch_rows));
+        const Outcome parallel = RunOnce(catalog, q, &pool, policy);
+        ExpectSameOutcome(serial, parallel,
+                          std::string(tag) + "/" + q.name());
+      }
     }
   }
 }
@@ -164,11 +185,13 @@ TEST(ParallelEquivalenceTest, Q10SelectivityRegressionPinsReoptCounts) {
       LightMode() ? std::vector<int>{50} : std::vector<int>{1, 10, 50, 90};
   for (int sel : sels) {
     const QuerySpec q = tpch::MakeQ10Selectivity(sel, /*use_marker=*/true);
-    const Outcome serial = RunOnce(catalog, q, nullptr, ParallelPolicy{});
+    const Outcome serial = RunRowSerial(catalog, q);
     ParallelPolicy policy;
     policy.dop = 4;
     policy.morsel_rows = 64;
     policy.min_parallel_rows = 1;
+    // The parallel leg keeps the default (vectorized) batch size, so this
+    // regression pins re-opt counts across row-serial vs batch-parallel.
     SCOPED_TRACE("q10 sel=" + std::to_string(sel));
     const Outcome parallel = RunOnce(catalog, q, &pool, policy);
     ExpectSameOutcome(serial, parallel, "q10");

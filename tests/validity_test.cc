@@ -3,10 +3,15 @@
 #include <cmath>
 #include <limits>
 #include <memory>
+#include <string>
+#include <vector>
 
+#include "core/pop.h"
 #include "core/validity.h"
 #include "opt/optimizer.h"
 #include "tests/test_util.h"
+#include "tpch/tpch_gen.h"
+#include "tpch/tpch_queries.h"
 
 namespace popdb {
 namespace {
@@ -284,6 +289,62 @@ TEST_P(ValidityPropertyTest, RangesContainTheEstimate) {
 
 INSTANTIATE_TEST_SUITE_P(Sweep, ValidityPropertyTest,
                          ::testing::Range(0, 45));
+
+// ----------------------- validity ranges under vectorized execution.
+
+TEST(ValidityBatchTest, RowAndBatchEnginesAgreeOnValidityRangeOutcomes) {
+  // The CHECK ranges this analyzer derives are evaluated at batch
+  // boundaries on the vectorized engine; an in/out-of-range decision must
+  // be identical to the row engine — same observed cardinality at the
+  // fire, same fired flag, same replanning sequence — at every batch
+  // size, including sizes that put the range boundary mid-batch.
+  Catalog catalog;
+  tpch::GenConfig gen;
+  gen.scale = 0.002;
+  ASSERT_TRUE(tpch::BuildCatalog(gen, &catalog).ok());
+
+  for (const int sel : {1, 50, 90}) {
+    const QuerySpec q = tpch::MakeQ10Selectivity(sel, /*use_marker=*/true);
+    const auto run = [&](int64_t batch_rows, ExecutionStats* stats) {
+      ProgressiveExecutor exec(catalog, OptimizerConfig{}, PopConfig{});
+      ParallelPolicy policy;
+      policy.batch_rows = batch_rows;
+      exec.set_parallel(nullptr, policy);
+      return exec.Execute(q, stats);
+    };
+    ExecutionStats row_stats;
+    Result<std::vector<Row>> row_rows = run(1, &row_stats);
+    ASSERT_TRUE(row_rows.ok()) << row_rows.status().ToString();
+    for (const int64_t batch : {3, 64, 1024}) {
+      SCOPED_TRACE("sel=" + std::to_string(sel) +
+                   " batch_rows=" + std::to_string(batch));
+      ExecutionStats batch_stats;
+      Result<std::vector<Row>> batch_rows_res = run(batch, &batch_stats);
+      ASSERT_TRUE(batch_rows_res.ok())
+          << batch_rows_res.status().ToString();
+      EXPECT_EQ(row_stats.reopts, batch_stats.reopts);
+      ASSERT_EQ(row_stats.attempts.size(), batch_stats.attempts.size());
+      for (size_t i = 0; i < row_stats.attempts.size(); ++i) {
+        EXPECT_EQ(row_stats.attempts[i].reoptimized,
+                  batch_stats.attempts[i].reoptimized)
+            << "attempt " << i;
+        EXPECT_EQ(row_stats.attempts[i].plan_text,
+                  batch_stats.attempts[i].plan_text)
+            << "attempt " << i;
+      }
+      ASSERT_EQ(row_stats.check_events.size(),
+                batch_stats.check_events.size());
+      for (size_t i = 0; i < row_stats.check_events.size(); ++i) {
+        EXPECT_EQ(row_stats.check_events[i].count,
+                  batch_stats.check_events[i].count)
+            << "event " << i;
+        EXPECT_EQ(row_stats.check_events[i].fired,
+                  batch_stats.check_events[i].fired)
+            << "event " << i;
+      }
+    }
+  }
+}
 
 }  // namespace
 }  // namespace popdb
