@@ -147,6 +147,7 @@ else
         --target runtime_test concurrency_test observability_test \
         morsel_test parallel_equivalence_test plan_cache_test \
         plan_cache_equivalence_test batch_differential_test \
+        reopt_differential_test fuzz_test \
         parallel_stress_test net_test dist_test
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/runtime_test
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/concurrency_test
@@ -161,6 +162,12 @@ else
   # mode: the full batch-size sweep is release-only.
   TSAN_OPTIONS="halt_on_error=1" POPDB_EQUIV_LIGHT=1 \
       ./build-tsan/tests/batch_differential_test
+  # Incremental-vs-full-DP re-optimization oracle (ctest label "reopt")
+  # in light mode, plus its randomized perturbation leg from fuzz_test.
+  TSAN_OPTIONS="halt_on_error=1" POPDB_EQUIV_LIGHT=1 \
+      ./build-tsan/tests/reopt_differential_test
+  TSAN_OPTIONS="halt_on_error=1" \
+      ./build-tsan/tests/fuzz_test --gtest_filter='*IncrementalReopt*'
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/parallel_stress_test
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/net_test
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/dist_test
@@ -175,8 +182,8 @@ else
   cmake --build build-ubsan -j \
         --target runtime_test observability_test operator_test pop_test \
         morsel_test parallel_equivalence_test plan_cache_test \
-        plan_cache_equivalence_test batch_differential_test net_test \
-        dist_test
+        plan_cache_equivalence_test batch_differential_test \
+        reopt_differential_test fuzz_test net_test dist_test
   UBSAN_OPTIONS="halt_on_error=1" ./build-ubsan/tests/observability_test
   UBSAN_OPTIONS="halt_on_error=1" ./build-ubsan/tests/runtime_test
   UBSAN_OPTIONS="halt_on_error=1" ./build-ubsan/tests/operator_test
@@ -191,6 +198,12 @@ else
   # watches for; run the differential oracle's full light corpus here too.
   UBSAN_OPTIONS="halt_on_error=1" POPDB_EQUIV_LIGHT=1 \
       ./build-ubsan/tests/batch_differential_test
+  # Memo invalidation is bit-twiddling over table sets (low_bit loops,
+  # superset masks) — UBSan's shift/overflow checks cover exactly that.
+  UBSAN_OPTIONS="halt_on_error=1" POPDB_EQUIV_LIGHT=1 \
+      ./build-ubsan/tests/reopt_differential_test
+  UBSAN_OPTIONS="halt_on_error=1" \
+      ./build-ubsan/tests/fuzz_test --gtest_filter='*IncrementalReopt*'
   UBSAN_OPTIONS="halt_on_error=1" ./build-ubsan/tests/net_test
   UBSAN_OPTIONS="halt_on_error=1" ./build-ubsan/tests/dist_test
 fi

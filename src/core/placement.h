@@ -44,6 +44,15 @@ struct PopConfig {
   /// to guarantee termination (Section 7 "Ensuring Termination").
   int max_reopts = 3;
 
+  /// Keep the DP memo alive across re-optimization attempts: a CHECK
+  /// violation only invalidates memo entries whose table set contains the
+  /// changed edge; everything else is reused, and plan-cache near misses
+  /// warm-start the memo from the cached skeleton. Produces bit-identical
+  /// plans to from-scratch enumeration (the reopt differential suite
+  /// enforces this), which is why the knob is deliberately NOT part of the
+  /// plan-cache key.
+  bool incremental_reopt = true;
+
   /// Reuse completed TEMP/SORT materializations as temp MVs.
   bool reuse_matviews = true;
   /// Extension: also offer hash-join build sides for reuse (the paper's

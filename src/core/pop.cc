@@ -156,9 +156,14 @@ Result<std::vector<Row>> ProgressiveExecutor::Run(const QuerySpec& query,
                                                   ExecutionStats* stats) {
   feedback_.Clear();
   matviews_.Clear();
+  memo_.Reset();
   if (pop_enabled && cross_query_store_ != nullptr) {
     cross_query_store_->Seed(query, &feedback_);
   }
+  // The memo persists across this query's re-optimization attempts only;
+  // null disables incremental reuse (from-scratch DP each attempt).
+  IncrementalMemo* memo =
+      pop_enabled && pop_config_.incremental_reopt ? &memo_ : nullptr;
 
   const CostModel cost_model(optimizer_.config().cost);
   const bool query_is_spj = !query.has_aggregation();
@@ -202,6 +207,27 @@ Result<std::vector<Row>> ProgressiveExecutor::Run(const QuerySpec& query,
         stats->plan_cache = cached.outcome;
         stats->plan_cache_age_ms = cached.age_ms;
       }
+      if (!cached.hit() && cached.outcome == PlanCacheOutcome::kMissStale &&
+          memo != nullptr && cached.stale_plan != nullptr) {
+        // Near miss: the signature matched but the feedback digest moved.
+        // The stale skeleton's subplans untouched by the feedback delta are
+        // still the DP best plans for their table sets, so they warm-start
+        // the memo and the optimization below only recomputes the rest.
+        memo->SeedFromSkeleton(*cached.stale_plan, cached.stale_feedback,
+                               QueryMemoFingerprint(query));
+        if (stats != nullptr) ++stats->memo_warm_starts;
+      }
+      if (cached.outcome == PlanCacheOutcome::kHit && memo != nullptr &&
+          cached.plan != nullptr) {
+        // An exact-hit skeleton is bit-identical to what fresh DP would
+        // produce under the current snapshot (that is the hit guarantee),
+        // so it seeds the memo too: a CHECK violation later in this query
+        // re-optimizes incrementally instead of falling back to full DP.
+        // Validity hits do NOT qualify — their skeleton was chosen under
+        // different feedback.
+        memo->SeedFromSkeleton(*cached.plan, feedback_snapshot,
+                               QueryMemoFingerprint(query));
+      }
       if (cached.hit()) {
         if (cached.placed_plan != nullptr) {
           // Exact hit with a recorded placement: both DP enumeration and
@@ -229,11 +255,15 @@ Result<std::vector<Row>> ProgressiveExecutor::Run(const QuerySpec& query,
         return optimizer_.Optimize(
             query, feedback_snapshot.empty() ? nullptr : &feedback_snapshot,
             matviews_.empty() ? nullptr : &matviews_.views(),
-            pop_enabled ? &analyzer : nullptr);
+            pop_enabled ? &analyzer : nullptr, memo);
       }();
       if (!planned.ok()) return planned.status();
       root = planned.value().root;
       info.candidates = planned.value().candidates;
+      if (stats != nullptr) {
+        stats->memo_entries_reused += planned.value().memo_reused;
+        stats->memo_entries_invalidated += planned.value().memo_invalidated;
+      }
       if (consult_cache) {
         // Install the pre-checkpoint skeleton under the same gating values
         // the lookup used, so the next identical submission hits.
@@ -241,7 +271,7 @@ Result<std::vector<Row>> ProgressiveExecutor::Run(const QuerySpec& query,
                              catalog_.stats_version(), cache_digest,
                              planned.value().candidates,
                              planned.value().est_cost,
-                             planned.value().est_card);
+                             planned.value().est_card, feedback_snapshot);
       }
     }
 

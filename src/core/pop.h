@@ -69,6 +69,12 @@ struct ExecutionStats {
   /// served entry.
   PlanCacheOutcome plan_cache = PlanCacheOutcome::kNone;
   double plan_cache_age_ms = 0.0;
+  /// Incremental re-optimization: DP memo entries reused / discarded
+  /// across all attempts, and whether a plan-cache near miss warm-started
+  /// the memo from the cached skeleton.
+  int64_t memo_entries_reused = 0;
+  int64_t memo_entries_invalidated = 0;
+  int64_t memo_warm_starts = 0;
 
   const AttemptInfo& last_attempt() const { return attempts.back(); }
 };
@@ -191,6 +197,9 @@ class ProgressiveExecutor {
 
   FeedbackCache feedback_;
   MatViewRegistry matviews_;
+  /// Persistent DP memo threaded through the attempts of one Run() (reset
+  /// per query; PopConfig::incremental_reopt gates its use).
+  IncrementalMemo memo_;
   QueryFeedbackStore* cross_query_store_ = nullptr;
   PlanCache* plan_cache_ = nullptr;
   CancelToken* cancel_token_ = nullptr;

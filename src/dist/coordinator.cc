@@ -264,6 +264,13 @@ Result<std::vector<Row>> Coordinator::Execute(const QuerySpec& query,
   if (store != nullptr) store->Seed(query, &feedback);
   const TableSet mask = PartitionedMask(query, config_.partition);
   const int max_attempts = config_.pop.max_reopts + 1;
+  // Cluster-level global re-optimization uses the same incremental path as
+  // local POP: the DP memo survives across scatter-gather attempts, and a
+  // shard-reported CHECK violation only invalidates the entries covering
+  // the escaped edge.
+  IncrementalMemo attempt_memo;
+  IncrementalMemo* memo =
+      config_.pop.incremental_reopt ? &attempt_memo : nullptr;
 
   for (int attempt = 0; attempt < max_attempts; ++attempt) {
     if (cancel->Expired()) return CancelStatus(*cancel, query);
@@ -276,9 +283,13 @@ Result<std::vector<Row>> Coordinator::Execute(const QuerySpec& query,
     ValidityRangeAnalyzer analyzer(cost_model, config_.pop.validity);
     const FeedbackMap fmap = feedback.Snapshot();
     Result<OptimizedPlan> planned = optimizer.Optimize(
-        query, fmap.empty() ? nullptr : &fmap, nullptr, &analyzer);
+        query, fmap.empty() ? nullptr : &fmap, nullptr, &analyzer, memo);
     if (!planned.ok()) return planned.status();
     info.candidates = planned.value().candidates;
+    if (stats != nullptr) {
+      stats->memo_entries_reused += planned.value().memo_reused;
+      stats->memo_entries_invalidated += planned.value().memo_invalidated;
+    }
 
     Result<SplitPlan> split_result =
         SplitForShards(std::move(planned.value().root), query);

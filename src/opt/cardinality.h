@@ -87,6 +87,11 @@ class CardinalityEstimator {
 
   const QuerySpec& query() const { return query_; }
 
+  /// Feedback snapshot the estimator was constructed with (may be null) —
+  /// the incremental memo diffs consecutive snapshots to find stale
+  /// entries.
+  const FeedbackMap* feedback() const { return feedback_; }
+
  private:
   double ComputeLocalSelectivity(const Predicate& pred) const;
   double ComputeJoinSelectivity(const JoinPredicate& join) const;

@@ -1,6 +1,9 @@
 #include "opt/enumerator.h"
 
 #include <algorithm>
+#include <functional>
+
+#include "opt/plan_cache.h"
 
 namespace popdb {
 
@@ -41,19 +44,51 @@ bool SamePartition(const PlanNode& a, const PlanNode& b) {
   return PartitionOf(a) == PartitionOf(b);
 }
 
+void IncrementalMemo::SeedFromSkeleton(const PlanNode& skeleton,
+                                       const FeedbackMap& feedback,
+                                       uint64_t fingerprint) {
+  Reset();
+  std::shared_ptr<PlanNode> root = skeleton.Clone();
+  std::function<void(const std::shared_ptr<PlanNode>&)> walk =
+      [&](const std::shared_ptr<PlanNode>& node) {
+        // Memo entries are pre-narrowing; the skeleton was narrowed after
+        // its install-time enumeration.
+        for (ValidityRange& range : node->child_validity) {
+          range = ValidityRange{};
+        }
+        if ((node->kind == PlanOpKind::kNljn ||
+             node->kind == PlanOpKind::kHsjn ||
+             node->kind == PlanOpKind::kMgjn) &&
+            node->set != 0) {
+          entries_[node->set] = node;
+        }
+        for (const std::shared_ptr<PlanNode>& child : node->children) {
+          walk(child);
+        }
+      };
+  walk(root);
+  feedback_ = feedback;
+  // Cached skeletons never contain matview scans (the plan cache rejects
+  // them), and the install-time enumeration ran without matviews.
+  matviews_.clear();
+  fingerprint_ = fingerprint;
+  valid_ = true;
+}
+
 JoinEnumerator::JoinEnumerator(const Catalog& catalog, const QuerySpec& query,
                                const CardinalityEstimator& estimator,
                                const CostModel& cost,
                                const JoinMethodConfig& methods,
                                const std::vector<AvailableMatView>* matviews,
-                               PruneObserver* observer)
+                               PruneObserver* observer, IncrementalMemo* memo)
     : catalog_(catalog),
       query_(query),
       estimator_(estimator),
       cost_(cost),
       methods_(methods),
       matviews_(matviews),
-      observer_(observer) {
+      observer_(observer),
+      memo_(memo) {
   table_widths_.reserve(static_cast<size_t>(query.num_tables()));
   for (int t = 0; t < query.num_tables(); ++t) {
     const Table* table = catalog.GetTable(query.table_name(t));
@@ -62,8 +97,12 @@ JoinEnumerator::JoinEnumerator(const Catalog& catalog, const QuerySpec& query,
   }
 }
 
-RowLayout JoinEnumerator::LayoutFor(TableSet set) const {
-  return RowLayout(set, table_widths_);
+const RowLayout& JoinEnumerator::LayoutFor(TableSet set) const {
+  auto it = layout_cache_.find(set);
+  if (it == layout_cache_.end()) {
+    it = layout_cache_.emplace(set, RowLayout(set, table_widths_)).first;
+  }
+  return it->second;
 }
 
 std::vector<int> JoinEnumerator::CrossingJoins(TableSet left,
@@ -120,15 +159,16 @@ std::shared_ptr<PlanNode> JoinEnumerator::BestAccessPath(int table_id) {
 
 std::shared_ptr<PlanNode> JoinEnumerator::MakeHsjn(
     TableSet set, std::shared_ptr<PlanNode> probe,
-    std::shared_ptr<PlanNode> build, const std::vector<int>& joins) {
+    std::shared_ptr<PlanNode> build, const std::vector<int>& joins,
+    double set_card, int set_assumptions) {
   auto node = std::make_shared<PlanNode>();
   node->kind = PlanOpKind::kHsjn;
   node->set = set;
   node->children = {std::move(probe), std::move(build)};
   node->child_validity.resize(2);
   node->join_pred_ids = joins;
-  node->card = estimator_.SubsetCard(set);
-  node->assumptions = estimator_.AssumptionCount(set);
+  node->card = set_card;
+  node->assumptions = set_assumptions;
   const double probe_card = node->children[0]->card;
   const double build_card = node->children[1]->card;
   node->op_cost = cost_.HsjnCost(probe_card, build_card);
@@ -139,11 +179,12 @@ std::shared_ptr<PlanNode> JoinEnumerator::MakeHsjn(
 
 std::shared_ptr<PlanNode> JoinEnumerator::MakeMgjn(
     TableSet set, std::shared_ptr<PlanNode> left,
-    std::shared_ptr<PlanNode> right, const std::vector<int>& joins) {
+    std::shared_ptr<PlanNode> right, const std::vector<int>& joins,
+    double set_card, int set_assumptions) {
   auto make_sort = [this, &joins](std::shared_ptr<PlanNode> child,
                                   bool is_left) -> std::shared_ptr<PlanNode> {
     (void)is_left;
-    const RowLayout layout = LayoutFor(child->set);
+    const RowLayout& layout = LayoutFor(child->set);
     std::vector<int> required;
     for (int j : joins) {
       const JoinPredicate& jp = query_.join_preds()[static_cast<size_t>(j)];
@@ -187,8 +228,8 @@ std::shared_ptr<PlanNode> JoinEnumerator::MakeMgjn(
                     make_sort(std::move(right), false)};
   node->child_validity.resize(2);
   node->join_pred_ids = joins;
-  node->card = estimator_.SubsetCard(set);
-  node->assumptions = estimator_.AssumptionCount(set);
+  node->card = set_card;
+  node->assumptions = set_assumptions;
   node->op_cost = cost_.MgjnCost(node->children[0]->card,
                                  node->children[1]->card, node->card);
   node->cost =
@@ -198,7 +239,7 @@ std::shared_ptr<PlanNode> JoinEnumerator::MakeMgjn(
 
 std::shared_ptr<PlanNode> JoinEnumerator::MakeNljn(
     TableSet set, std::shared_ptr<PlanNode> outer, int inner_table,
-    const std::vector<int>& joins) {
+    const std::vector<int>& joins, double set_card, int set_assumptions) {
   const TableSet inner_set = TableBit(inner_table);
   auto inner = std::make_shared<PlanNode>();
   inner->kind = PlanOpKind::kTableScan;
@@ -215,8 +256,8 @@ std::shared_ptr<PlanNode> JoinEnumerator::MakeNljn(
   node->kind = PlanOpKind::kNljn;
   node->set = set;
   node->join_pred_ids = joins;
-  node->card = estimator_.SubsetCard(set);
-  node->assumptions = estimator_.AssumptionCount(set);
+  node->card = set_card;
+  node->assumptions = set_assumptions;
 
   // Prefer probing through an index: pick the first crossing join predicate
   // whose inner column has a hash index, and move it to the front.
@@ -259,7 +300,8 @@ const AvailableMatView* JoinEnumerator::FindMatView(int table_id) const {
 
 std::shared_ptr<PlanNode> JoinEnumerator::MakeNljnOverMv(
     TableSet set, std::shared_ptr<PlanNode> outer, int inner_table,
-    const std::vector<int>& joins, const AvailableMatView& mv) {
+    const std::vector<int>& joins, const AvailableMatView& mv,
+    double set_card, int set_assumptions) {
   const TableSet inner_set = TableBit(inner_table);
   auto inner = std::make_shared<PlanNode>();
   inner->kind = PlanOpKind::kMatViewScan;
@@ -276,8 +318,8 @@ std::shared_ptr<PlanNode> JoinEnumerator::MakeNljnOverMv(
   node->kind = PlanOpKind::kNljn;
   node->set = set;
   node->join_pred_ids = joins;
-  node->card = estimator_.SubsetCard(set);
-  node->assumptions = estimator_.AssumptionCount(set);
+  node->card = set_card;
+  node->assumptions = set_assumptions;
   double per_probe;
   if (joins.empty()) {
     node->use_index = false;
@@ -329,7 +371,9 @@ void JoinEnumerator::Offer(TableSet set,
 
 void JoinEnumerator::AddJoinCandidates(TableSet set, TableSet left,
                                        TableSet right,
-                                       const std::vector<int>& joins) {
+                                       const std::vector<int>& joins,
+                                       double set_card,
+                                       int set_assumptions) {
   const std::shared_ptr<PlanNode>& lp = best_[left];
   const std::shared_ptr<PlanNode>& rp = best_[right];
   if (lp == nullptr || rp == nullptr) return;
@@ -340,25 +384,34 @@ void JoinEnumerator::AddJoinCandidates(TableSet set, TableSet left,
   // winner for the cross-partition (join-order) comparison.
   std::vector<std::shared_ptr<PlanNode>> candidates;
   if (methods_.enable_hsjn) {
-    candidates.push_back(MakeHsjn(set, lp, rp, joins));  // Build right.
-    candidates.push_back(MakeHsjn(set, rp, lp, joins));  // Commuted.
+    candidates.push_back(
+        MakeHsjn(set, lp, rp, joins, set_card, set_assumptions));  // Build R.
+    candidates.push_back(
+        MakeHsjn(set, rp, lp, joins, set_card, set_assumptions));  // Commuted.
   }
   if (methods_.enable_mgjn && !joins.empty()) {
-    candidates.push_back(MakeMgjn(set, lp, rp, joins));
+    candidates.push_back(
+        MakeMgjn(set, lp, rp, joins, set_card, set_assumptions));
   }
   if (methods_.enable_nljn) {
     if (PopCount(right) == 1) {
       const int t = static_cast<int>(__builtin_ctzll(right));
-      candidates.push_back(MakeNljn(set, lp, t, joins));
+      candidates.push_back(
+          MakeNljn(set, lp, t, joins, set_card, set_assumptions));
       if (const AvailableMatView* mv = FindMatView(t)) {
-        candidates.push_back(MakeNljnOverMv(set, lp, t, joins, *mv));
+        candidates.push_back(
+            MakeNljnOverMv(set, lp, t, joins, *mv, set_card,
+                           set_assumptions));
       }
     }
     if (PopCount(left) == 1) {
       const int t = static_cast<int>(__builtin_ctzll(left));
-      candidates.push_back(MakeNljn(set, rp, t, joins));
+      candidates.push_back(
+          MakeNljn(set, rp, t, joins, set_card, set_assumptions));
       if (const AvailableMatView* mv = FindMatView(t)) {
-        candidates.push_back(MakeNljnOverMv(set, rp, t, joins, *mv));
+        candidates.push_back(
+            MakeNljnOverMv(set, rp, t, joins, *mv, set_card,
+                           set_assumptions));
       }
     }
   }
@@ -400,28 +453,32 @@ void JoinEnumerator::NarrowPlanRanges(PlanNode* root,
       }
       return copy;
     };
+    const double set_card = estimator_.SubsetCard(root->set);
+    const int set_assumptions = estimator_.AssumptionCount(root->set);
     std::vector<std::shared_ptr<PlanNode>> alternatives;
     if (methods_.enable_hsjn) {
       alternatives.push_back(MakeHsjn(root->set, share(left), share(right),
-                                      joins));
+                                      joins, set_card, set_assumptions));
       alternatives.push_back(MakeHsjn(root->set, share(right), share(left),
-                                      joins));
+                                      joins, set_card, set_assumptions));
     }
     if (methods_.enable_mgjn && !joins.empty()) {
       alternatives.push_back(MakeMgjn(root->set, share(left), share(right),
-                                      joins));
+                                      joins, set_card, set_assumptions));
     }
     if (methods_.enable_nljn) {
       if (PopCount(right->set) == 1 &&
           right->kind == PlanOpKind::kTableScan) {
         alternatives.push_back(MakeNljn(
             root->set, share(left),
-            static_cast<int>(__builtin_ctzll(right->set)), joins));
+            static_cast<int>(__builtin_ctzll(right->set)), joins, set_card,
+            set_assumptions));
       }
       if (PopCount(left->set) == 1 && left->kind == PlanOpKind::kTableScan) {
         alternatives.push_back(MakeNljn(
             root->set, share(right),
-            static_cast<int>(__builtin_ctzll(left->set)), joins));
+            static_cast<int>(__builtin_ctzll(left->set)), joins, set_card,
+            set_assumptions));
       }
     }
     for (const auto& alt : alternatives) {
@@ -440,6 +497,97 @@ void JoinEnumerator::NarrowPlanRanges(PlanNode* root,
   }
 }
 
+std::vector<MemoMatViewKey> JoinEnumerator::CurrentMatViewKeys() const {
+  std::vector<MemoMatViewKey> keys;
+  if (!methods_.consider_matviews || matviews_ == nullptr) return keys;
+  keys.reserve(matviews_->size());
+  for (const AvailableMatView& mv : *matviews_) {
+    keys.push_back(MemoMatViewKey{mv.name, mv.set, mv.card, mv.rows,
+                                  mv.sorted_positions});
+  }
+  return keys;
+}
+
+void JoinEnumerator::ReuseMemoEntries() {
+  // Dirty roots: every table set whose cardinality knowledge or matview
+  // identity changed since the memo was committed. A memo entry for set S
+  // is stale iff some dirty root is a subset of S — SubsetCard(S) reads
+  // only feedback entries that are subsets of S, matviews over M are only
+  // candidates for sets containing M, and a stale child taints every
+  // candidate cost above it.
+  std::vector<TableSet> dirty;
+  static const FeedbackMap kEmptyFeedback;
+  const FeedbackMap& old_fb = memo_->feedback_;
+  const FeedbackMap& new_fb = estimator_.feedback() != nullptr
+                                  ? *estimator_.feedback()
+                                  : kEmptyFeedback;
+  auto ita = old_fb.begin();
+  auto itb = new_fb.begin();
+  while (ita != old_fb.end() || itb != new_fb.end()) {
+    if (itb == new_fb.end() || (ita != old_fb.end() && ita->first < itb->first)) {
+      dirty.push_back(ita->first);  // Key vanished.
+      ++ita;
+    } else if (ita == old_fb.end() || itb->first < ita->first) {
+      dirty.push_back(itb->first);  // Key appeared.
+      ++itb;
+    } else {
+      if (ita->second.exact != itb->second.exact ||
+          ita->second.lower_bound != itb->second.lower_bound) {
+        dirty.push_back(ita->first);
+      }
+      ++ita;
+      ++itb;
+    }
+  }
+  const std::vector<MemoMatViewKey> new_mv = CurrentMatViewKeys();
+  for (const MemoMatViewKey& old_key : memo_->matviews_) {
+    if (std::find(new_mv.begin(), new_mv.end(), old_key) == new_mv.end()) {
+      dirty.push_back(old_key.set);
+    }
+  }
+  for (const MemoMatViewKey& new_key : new_mv) {
+    if (std::find(memo_->matviews_.begin(), memo_->matviews_.end(),
+                  new_key) == memo_->matviews_.end()) {
+      dirty.push_back(new_key.set);
+    }
+  }
+
+  // Adopt the memo wholesale by move and evict the stale entries: with few
+  // dirty roots this is a handful of erases instead of re-inserting every
+  // surviving entry one at a time. The memo is hollow until CommitMemo
+  // repopulates it, so mark it invalid in case enumeration fails midway.
+  best_ = std::move(memo_->entries_);
+  memo_->entries_.clear();
+  memo_->valid_ = false;
+  for (auto it = best_.begin(); it != best_.end();) {
+    bool stale = false;
+    for (TableSet root : dirty) {
+      if ((root & it->first) == root) {
+        stale = true;
+        break;
+      }
+    }
+    if (stale) {
+      ++memo_invalidated_;
+      it = best_.erase(it);
+    } else {
+      // Map iteration is ascending, so the end() hint keeps this O(1).
+      reused_.insert(reused_.end(), it->first);
+      ++memo_reused_;
+      ++it;
+    }
+  }
+}
+
+void JoinEnumerator::CommitMemo() {
+  memo_->entries_ = std::move(best_);
+  memo_->feedback_ = estimator_.feedback() != nullptr ? *estimator_.feedback()
+                                                      : FeedbackMap{};
+  memo_->matviews_ = CurrentMatViewKeys();
+  memo_->fingerprint_ = memo_fingerprint_;
+  memo_->valid_ = true;
+}
+
 Result<std::shared_ptr<PlanNode>> JoinEnumerator::EnumerateJoinTree() {
   const int n = query_.num_tables();
   if (n == 0) {
@@ -449,10 +597,17 @@ Result<std::shared_ptr<PlanNode>> JoinEnumerator::EnumerateJoinTree() {
     return Status::InvalidArgument(
         "too many tables for exhaustive dynamic programming");
   }
+  if (memo_ != nullptr) {
+    memo_fingerprint_ = QueryMemoFingerprint(query_);
+    if (memo_->valid_ && memo_->fingerprint_ == memo_fingerprint_) {
+      ReuseMemoEntries();
+    }
+  }
   for (int t = 0; t < n; ++t) {
     if (catalog_.GetTable(query_.table_name(t)) == nullptr) {
       return Status::NotFound("no such table: " + query_.table_name(t));
     }
+    if (reused_.count(TableBit(t)) != 0) continue;
     best_[TableBit(t)] = BestAccessPath(t);
   }
 
@@ -460,6 +615,7 @@ Result<std::shared_ptr<PlanNode>> JoinEnumerator::EnumerateJoinTree() {
   if (methods_.consider_matviews && matviews_ != nullptr) {
     for (const AvailableMatView& mv : *matviews_) {
       if (PopCount(mv.set) < 2 || mv.rows == nullptr) continue;
+      if (reused_.count(mv.set) != 0) continue;
       auto mvscan = std::make_shared<PlanNode>();
       mvscan->kind = PlanOpKind::kMatViewScan;
       mvscan->set = mv.set;
@@ -484,6 +640,10 @@ Result<std::shared_ptr<PlanNode>> JoinEnumerator::EnumerateJoinTree() {
 
   for (int size = 2; size <= n; ++size) {
     for (TableSet set : by_size[static_cast<size_t>(size)]) {
+      if (reused_.count(set) != 0) continue;  // Memo entry still valid.
+      // One estimator probe per set, shared by every split's candidates.
+      const double set_card = estimator_.SubsetCard(set);
+      const int set_assumptions = estimator_.AssumptionCount(set);
       const TableSet low_bit = set & (~set + 1);
       // Pass 1: partitions connected by at least one join predicate.
       bool connected_found = false;
@@ -494,7 +654,7 @@ Result<std::shared_ptr<PlanNode>> JoinEnumerator::EnumerateJoinTree() {
         const std::vector<int> joins = CrossingJoins(sub, rest);
         if (joins.empty()) continue;
         connected_found = true;
-        AddJoinCandidates(set, sub, rest, joins);
+        AddJoinCandidates(set, sub, rest, joins, set_card, set_assumptions);
       }
       if (!connected_found) {
         // Pass 2: no connected partition exists; allow cross products.
@@ -503,7 +663,7 @@ Result<std::shared_ptr<PlanNode>> JoinEnumerator::EnumerateJoinTree() {
           if ((sub & low_bit) == 0) continue;
           const TableSet rest = set & ~sub;
           if (best_.count(sub) == 0 || best_.count(rest) == 0) continue;
-          AddJoinCandidates(set, sub, rest, {});
+          AddJoinCandidates(set, sub, rest, {}, set_card, set_assumptions);
         }
       }
     }
@@ -513,7 +673,10 @@ Result<std::shared_ptr<PlanNode>> JoinEnumerator::EnumerateJoinTree() {
   if (it == best_.end() || it->second == nullptr) {
     return Status::Internal("join enumeration produced no plan");
   }
-  return it->second;
+  // CommitMemo moves best_ into the memo; keep the winner alive first.
+  std::shared_ptr<PlanNode> winner = it->second;
+  if (memo_ != nullptr) CommitMemo();
+  return winner;
 }
 
 }  // namespace popdb

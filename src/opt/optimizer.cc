@@ -20,8 +20,8 @@ std::vector<int> QueryTableWidths(const Catalog& catalog,
 
 Result<OptimizedPlan> Optimizer::Optimize(
     const QuerySpec& query, const FeedbackMap* feedback,
-    const std::vector<AvailableMatView>* matviews,
-    PruneObserver* observer) const {
+    const std::vector<AvailableMatView>* matviews, PruneObserver* observer,
+    IncrementalMemo* memo) const {
   SpanTracer& tracer = SpanTracer::Global();
   // The estimator front-loads base-table cardinality estimation (local
   // predicates, feedback overrides) in its constructor.
@@ -38,7 +38,7 @@ Result<OptimizedPlan> Optimizer::Optimize(
   // final plan's edges, so the sensitivity analysis runs as a cheap
   // post-pass over the chosen tree instead of on every pruned candidate.
   JoinEnumerator enumerator(catalog_, query, estimator, cost_model,
-                            config_.methods, matviews, nullptr);
+                            config_.methods, matviews, nullptr, memo);
   Result<std::shared_ptr<PlanNode>> join_tree = [&] {
     TRACE_SPAN_NAMED(dp_span, "dp_enumeration", "opt");
     Result<std::shared_ptr<PlanNode>> tree = enumerator.EnumerateJoinTree();
@@ -160,6 +160,8 @@ Result<OptimizedPlan> Optimizer::Optimize(
   out.candidates = enumerator.candidates_considered();
   out.est_cost = out.root->cost;
   out.est_card = out.root->card;
+  out.memo_reused = enumerator.memo_reused();
+  out.memo_invalidated = enumerator.memo_invalidated();
   return out;
 }
 

@@ -28,6 +28,10 @@ struct OptimizedPlan {
   int64_t candidates = 0;
   double est_cost = 0.0;
   double est_card = 0.0;
+  /// Incremental re-optimization: memo entries reused / discarded by this
+  /// optimization (0 without an attached IncrementalMemo).
+  int64_t memo_reused = 0;
+  int64_t memo_invalidated = 0;
 };
 
 /// Cost-based query optimizer facade: cardinality estimation, dynamic
@@ -42,11 +46,14 @@ class Optimizer {
   /// Optimizes `query`. `feedback` carries actual cardinalities from
   /// earlier execution steps (may be null), `matviews` the reusable
   /// intermediate results (may be null), `observer` the validity-range
-  /// narrowing hook (may be null for a plain System-R optimizer).
+  /// narrowing hook (may be null for a plain System-R optimizer), `memo`
+  /// the persistent DP memo for incremental re-optimization (may be null
+  /// for from-scratch enumeration; with a memo the produced plan is
+  /// bit-identical, only cheaper to find).
   Result<OptimizedPlan> Optimize(
       const QuerySpec& query, const FeedbackMap* feedback = nullptr,
       const std::vector<AvailableMatView>* matviews = nullptr,
-      PruneObserver* observer = nullptr) const;
+      PruneObserver* observer = nullptr, IncrementalMemo* memo = nullptr) const;
 
   const OptimizerConfig& config() const { return config_; }
   const Catalog& catalog() const { return catalog_; }

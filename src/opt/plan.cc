@@ -1,6 +1,7 @@
 #include "opt/plan.h"
 
 #include <cmath>
+#include <cstring>
 
 #include "common/status.h"
 #include "common/string_util.h"
@@ -94,6 +95,81 @@ std::string PlanNode::ToString() const {
   std::string out;
   Render(*this, 0, &out, nullptr);
   return out;
+}
+
+namespace {
+void DigestMix(uint64_t* h, const void* data, size_t len) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    *h ^= p[i];
+    *h *= 1099511628211ull;
+  }
+}
+
+void DigestInt(uint64_t* h, int64_t v) { DigestMix(h, &v, sizeof(v)); }
+
+void DigestDouble(uint64_t* h, double v) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  DigestMix(h, &bits, sizeof(bits));
+}
+
+void DigestString(uint64_t* h, const std::string& s) {
+  DigestInt(h, static_cast<int64_t>(s.size()));
+  DigestMix(h, s.data(), s.size());
+}
+
+void DigestNode(uint64_t* h, const PlanNode& node) {
+  DigestInt(h, static_cast<int64_t>(node.kind));
+  DigestInt(h, static_cast<int64_t>(node.set));
+  DigestDouble(h, node.card);
+  DigestDouble(h, node.cost);
+  DigestDouble(h, node.op_cost);
+  DigestInt(h, node.assumptions);
+  DigestInt(h, node.table_id);
+  DigestString(h, node.table_name);
+  for (int p : node.pred_ids) DigestInt(h, p);
+  DigestString(h, node.mv_name);
+  for (int p : node.join_pred_ids) DigestInt(h, p);
+  DigestInt(h, node.use_index ? 1 : 0);
+  DigestInt(h, node.index_col);
+  DigestDouble(h, node.per_probe_cost);
+  for (const SortKey& k : node.sort_keys) {
+    DigestInt(h, k.pos);
+    DigestInt(h, k.descending ? 1 : 0);
+  }
+  for (int p : node.group_positions) DigestInt(h, p);
+  for (const ResolvedAgg& a : node.agg_specs) {
+    DigestInt(h, static_cast<int64_t>(a.func));
+    DigestInt(h, a.pos);
+  }
+  for (int p : node.positions) DigestInt(h, p);
+  for (const ResolvedPredicate& rp : node.filter_preds) {
+    DigestInt(h, rp.pos);
+    DigestInt(h, static_cast<int64_t>(rp.kind));
+    DigestString(h, rp.operand.ToString());
+    DigestString(h, rp.operand2.ToString());
+  }
+  DigestInt(h, node.check.enabled ? 1 : 0);
+  DigestDouble(h, node.check.lo);
+  DigestDouble(h, node.check.hi);
+  DigestInt(h, static_cast<int64_t>(node.check.flavor));
+  DigestInt(h, static_cast<int64_t>(node.check.edge_set));
+  DigestInt(h, node.check.observe_only ? 1 : 0);
+  DigestDouble(h, node.work_budget);
+  for (const ValidityRange& vr : node.child_validity) {
+    DigestDouble(h, vr.lo);
+    DigestDouble(h, vr.hi);
+  }
+  DigestInt(h, static_cast<int64_t>(node.children.size()));
+  for (const auto& child : node.children) DigestNode(h, *child);
+}
+}  // namespace
+
+uint64_t PlanDigest(const PlanNode& plan) {
+  uint64_t h = 1469598103934665603ull;  // FNV offset basis.
+  DigestNode(&h, plan);
+  return h;
 }
 
 const PlanNode* LogicalChild(const PlanNode& root, int slot) {

@@ -115,6 +115,14 @@ struct PlanNode {
   double TotalCost() const { return cost; }
 };
 
+/// Order-sensitive 64-bit FNV-1a digest of a full plan tree: operator
+/// kinds, table sets, bit-exact cards/costs, predicates, sort keys,
+/// validity ranges and check ranges. Two plans digest equal only when they
+/// are structurally and numerically identical — the incremental
+/// re-optimization oracle's definition of "the same plan" (stricter than
+/// comparing the %g-formatted ToString rendering).
+uint64_t PlanDigest(const PlanNode& plan);
+
 /// Recomputes the cumulative cost of a join candidate `root` assuming its
 /// logical input edge in child slot `slot` carried `edge_card` rows instead
 /// of the estimate. Sort/Temp wrappers directly above the shared subplan

@@ -158,6 +158,114 @@ std::string QueryCacheSignature(const QuerySpec& query) {
   return out;
 }
 
+namespace {
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+
+void FnvMixU64(uint64_t* h, uint64_t v) { FnvMix(h, &v, sizeof(v)); }
+
+void FnvMixInt(uint64_t* h, int64_t v) { FnvMixU64(h, static_cast<uint64_t>(v)); }
+
+void FnvMixValue(uint64_t* h, const Value& v) {
+  FnvMixInt(h, static_cast<int64_t>(v.type()));
+  switch (v.type()) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kInt:
+    case ValueType::kDouble:
+      FnvMixDouble(h, v.AsNumeric());
+      break;
+    case ValueType::kString:
+      FnvMix(h, v.AsString().data(), v.AsString().size());
+      break;
+  }
+}
+
+uint64_t HashCol(const ColRef& col) {
+  uint64_t h = kFnvOffset;
+  FnvMixInt(&h, col.table_id);
+  FnvMixInt(&h, col.column);
+  return h;
+}
+
+/// Standalone hash of one local predicate; predicates combine by addition
+/// so the fingerprint, like the signature's sorted rendering, does not
+/// depend on their container order.
+uint64_t HashPred(const Predicate& pred) {
+  uint64_t h = kFnvOffset;
+  FnvMixInt(&h, pred.pred_id);
+  FnvMixInt(&h, pred.col.table_id);
+  FnvMixInt(&h, pred.col.column);
+  FnvMixInt(&h, static_cast<int64_t>(pred.kind));
+  if (pred.is_param) {
+    FnvMixInt(&h, pred.param_index);
+    return h;  // Markers stay abstract: the literal is not part of it.
+  }
+  FnvMixValue(&h, pred.operand);
+  FnvMixValue(&h, pred.operand2);
+  uint64_t in_acc = 0;  // IN lists are order-free too.
+  for (const Value& v : pred.in_list) {
+    uint64_t vh = kFnvOffset;
+    FnvMixValue(&vh, v);
+    in_acc += vh;
+  }
+  FnvMixU64(&h, in_acc);
+  FnvMixInt(&h, static_cast<int64_t>(pred.in_list.size()));
+  return h;
+}
+
+}  // namespace
+
+uint64_t QueryMemoFingerprint(const QuerySpec& query) {
+  uint64_t h = kFnvOffset;
+  FnvMixInt(&h, query.num_tables());
+  for (int t = 0; t < query.num_tables(); ++t) {
+    const std::string& name = query.table_name(t);
+    FnvMix(&h, name.data(), name.size());
+    FnvMixInt(&h, t);
+  }
+  uint64_t preds_acc = 0;
+  for (const Predicate& p : query.local_preds()) preds_acc += HashPred(p);
+  FnvMixU64(&h, preds_acc);
+  FnvMixInt(&h, static_cast<int64_t>(query.local_preds().size()));
+  uint64_t joins_acc = 0;
+  for (const JoinPredicate& j : query.join_preds()) {
+    uint64_t a = HashCol(j.left);
+    uint64_t b = HashCol(j.right);
+    if (b < a) std::swap(a, b);  // Commutation-normalized like the signature.
+    uint64_t jh = kFnvOffset;
+    FnvMixU64(&jh, a);
+    FnvMixU64(&jh, b);
+    joins_acc += jh;
+  }
+  FnvMixU64(&h, joins_acc);
+  FnvMixInt(&h, static_cast<int64_t>(query.join_preds().size()));
+  for (const ColRef& c : query.projections()) FnvMixU64(&h, HashCol(c));
+  FnvMixInt(&h, static_cast<int64_t>(query.projections().size()));
+  for (const ColRef& c : query.group_by()) FnvMixU64(&h, HashCol(c));
+  FnvMixInt(&h, static_cast<int64_t>(query.group_by().size()));
+  for (const QuerySpec::Agg& a : query.aggs()) {
+    FnvMixInt(&h, static_cast<int64_t>(a.func));
+    FnvMixU64(&h, HashCol(a.arg));
+  }
+  FnvMixInt(&h, static_cast<int64_t>(query.aggs().size()));
+  for (const QuerySpec::OrderKey& k : query.order_by()) {
+    FnvMixInt(&h, k.output_pos);
+    FnvMixInt(&h, k.descending ? 1 : 0);
+  }
+  FnvMixInt(&h, static_cast<int64_t>(query.order_by().size()));
+  for (const QuerySpec::HavingPred& hp : query.having()) {
+    FnvMixInt(&h, hp.output_pos);
+    FnvMixInt(&h, static_cast<int64_t>(hp.kind));
+    FnvMixValue(&h, hp.operand);
+    FnvMixValue(&h, hp.operand2);
+  }
+  FnvMixInt(&h, static_cast<int64_t>(query.having().size()));
+  FnvMixInt(&h, query.distinct() ? 1 : 0);
+  FnvMixInt(&h, query.limit());
+  return h;
+}
+
 uint64_t DigestFeedback(const FeedbackMap& feedback) {
   uint64_t h = 1469598103934665603ull;  // FNV offset basis.
   for (const auto& [set, fb] : feedback) {  // std::map: sorted, stable.
@@ -249,7 +357,12 @@ PlanCache::LookupResult PlanCache::Lookup(const std::string& signature,
       } else if (config_.validity_hits) {
         result.outcome = PlanCacheOutcome::kValidityHit;
       } else {
+        // Near miss: same signature, feedback digest moved. Hand out the
+        // stale skeleton and its install-time feedback so the caller can
+        // warm-start incremental re-optimization from it.
         result.outcome = PlanCacheOutcome::kMissStale;
+        result.stale_plan = entry.plan;
+        result.stale_feedback = entry.feedback;
       }
       if (result.hit()) {
         result.plan = entry.plan;
@@ -284,6 +397,7 @@ PlanCache::LookupResult PlanCache::Lookup(const std::string& signature,
         break;
       case PlanCacheOutcome::kMissStale:
         ++stats_.misses_stale;
+        ++stats_.near_misses;
         break;
       case PlanCacheOutcome::kMissEpoch:
         ++stats_.misses_epoch;
@@ -300,6 +414,8 @@ PlanCache::LookupResult PlanCache::Lookup(const std::string& signature,
   if (result.hit()) {
     TRACE_INSTANT_ARG("plan_cache_hit", "opt", "age_ms",
                       static_cast<int64_t>(result.age_ms));
+  } else if (result.outcome == PlanCacheOutcome::kMissStale) {
+    TRACE_INSTANT("plan_cache_near_miss", "opt");
   } else if (evicted_invalid) {
     TRACE_INSTANT("plan_cache_invalidate", "opt");
   }
@@ -310,7 +426,8 @@ void PlanCache::Install(const std::string& signature,
                         std::shared_ptr<const PlanNode> plan,
                         int64_t external_epoch, int64_t catalog_version,
                         uint64_t feedback_digest, int64_t candidates,
-                        double est_cost, double est_card) {
+                        double est_cost, double est_card,
+                        FeedbackMap feedback) {
   if (plan == nullptr || config_.max_entries <= 0) return;
   // Matview scans reference rows owned by one execution; caching them
   // would dangle. Oversized plans are not worth the memory.
@@ -334,6 +451,7 @@ void PlanCache::Install(const std::string& signature,
     Entry entry;
     entry.plan = std::move(plan);
     entry.feedback_digest = feedback_digest;
+    entry.feedback = std::move(feedback);
     entry.external_epoch = external_epoch;
     entry.catalog_version = catalog_version;
     entry.validity = CollectValidityRanges(*entry.plan);

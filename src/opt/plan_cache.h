@@ -33,6 +33,15 @@ namespace popdb {
 /// query conservatively miss.
 std::string QueryCacheSignature(const QuerySpec& query);
 
+/// 64-bit FNV-1a fingerprint over the same canonical content as
+/// QueryCacheSignature, streamed without building the signature string.
+/// Used where the fingerprint is recomputed on a hot path (the incremental
+/// re-optimization memo checks it on every optimize call) and the
+/// negligible collision probability of a 64-bit digest is acceptable.
+/// Local/join predicates combine order-independently, mirroring the
+/// signature's sorted rendering.
+uint64_t QueryMemoFingerprint(const QuerySpec& query);
+
 /// Order-independent 64-bit FNV-1a digest of a feedback snapshot. Two
 /// snapshots digest equal iff they contain the same (table set, exact,
 /// lower bound) entries — the plan cache's definition of "feedback has not
@@ -125,6 +134,13 @@ class PlanCache {
     double est_cost = 0.0;
     double est_card = 0.0;
     double age_ms = 0.0;     ///< Entry age at hit time.
+    /// Near miss (kMissStale) only: the stale skeleton and the feedback
+    /// snapshot it was optimized under. The plan is NOT servable — the
+    /// feedback moved — but it warm-starts incremental re-optimization:
+    /// every subplan untouched by the feedback delta is provably still the
+    /// DP best for its table set.
+    std::shared_ptr<const PlanNode> stale_plan;
+    FeedbackMap stale_feedback;
 
     bool hit() const {
       return outcome == PlanCacheOutcome::kHit ||
@@ -141,6 +157,12 @@ class PlanCache {
     int64_t misses_stale = 0;
     int64_t misses_epoch = 0;
     int64_t misses_validity = 0;
+    /// Stale misses are also near misses: the signature matched and only
+    /// the feedback digest moved, so the entry warm-starts incremental
+    /// re-optimization. Counted separately so the warm-start path is
+    /// observable (== misses_stale today; kept distinct in case future
+    /// outcomes qualify).
+    int64_t near_misses = 0;
     int64_t installs = 0;
     int64_t placement_installs = 0;  ///< Placed plans attached to entries.
     int64_t placement_hits = 0;      ///< Exact hits served with placement.
@@ -168,10 +190,14 @@ class PlanCache {
   /// Installs (or replaces) the entry for `signature`. `plan` is the
   /// pre-checkpoint skeleton and must not contain matview scans (those are
   /// scoped to one execution). Oversized plans are silently skipped.
+  /// `feedback` is the snapshot the plan was optimized under (the one
+  /// `feedback_digest` digests); a later near-miss lookup returns it so
+  /// incremental re-optimization can diff against it.
   void Install(const std::string& signature,
                std::shared_ptr<const PlanNode> plan, int64_t external_epoch,
                int64_t catalog_version, uint64_t feedback_digest,
-               int64_t candidates, double est_cost, double est_card);
+               int64_t candidates, double est_cost, double est_card,
+               FeedbackMap feedback = {});
 
   /// Attaches the checkpoint-placed variant of an installed skeleton.
   /// No-op unless an entry for `signature` exists and its gating values
@@ -198,6 +224,8 @@ class PlanCache {
     std::shared_ptr<const PlanNode> placed_plan;
     PlacedCheckCounts placed_checks;
     uint64_t feedback_digest = 0;
+    /// Install-time feedback snapshot (what feedback_digest digests).
+    FeedbackMap feedback;
     int64_t external_epoch = 0;
     int64_t catalog_version = 0;
     std::map<TableSet, ValidityRange> validity;

@@ -55,6 +55,9 @@ QueryService::QueryService(const Catalog& catalog, ServiceConfig config)
     : catalog_(catalog), config_(std::move(config)) {
   if (config_.num_workers < 1) config_.num_workers = 1;
   if (config_.queue_capacity < 1) config_.queue_capacity = 1;
+  // Service-level incremental-reopt switch: both it and the PopConfig knob
+  // must be on for executors to keep the DP memo across attempts.
+  if (!config_.incremental_reopt) config_.pop.incremental_reopt = false;
 
   MetricsRegistry& registry = metrics_.registry();
   for (int f = 0; f < 6; ++f) {
@@ -82,6 +85,17 @@ QueryService::QueryService(const Catalog& catalog, ServiceConfig config)
       "popdb_feedback_seeded_cards",
       "Learned cardinalities handed to compilations in total.");
 
+  if (config_.use_pop) {
+    reopt_incremental_hits_ = registry.GetCounter(
+        "popdb_reopt_incremental_hits",
+        "DP memo entries reused by incremental re-optimizations instead of "
+        "being re-enumerated.");
+    reopt_incremental_invalidated_ = registry.GetCounter(
+        "popdb_reopt_incremental_invalidated_entries",
+        "DP memo entries invalidated because their table set contained an "
+        "edge whose observed cardinality changed.");
+  }
+
   if (config_.use_pop && config_.plan_cache_entries > 0) {
     PlanCacheConfig cache_config;
     cache_config.max_entries = config_.plan_cache_entries;
@@ -107,6 +121,10 @@ QueryService::QueryService(const Catalog& catalog, ServiceConfig config)
         "Optimized plan skeletons installed into the cache.");
     plan_cache_size_ = registry.GetGauge(
         "popdb_plan_cache_size", "Plan-cache entries currently resident.");
+    plan_cache_near_misses_ = registry.GetGauge(
+        "popdb_plan_cache_near_misses",
+        "Lookups whose signature matched but whose feedback digest moved; "
+        "their stale skeleton warm-starts incremental re-optimization.");
     // Entry ages span sub-ms re-submissions to long-lived sessions;
     // 0.5ms..~4.4min in doubling buckets.
     plan_cache_hit_age_ = registry.GetHistogram(
@@ -353,6 +371,11 @@ void QueryService::RunOne(const std::shared_ptr<QueryTicket>& ticket) {
     result.status = rows.status();
     if (rows.ok()) result.rows = std::move(rows).TakeValue();
     metrics_.OnReopts(stats.reopts, trace.checks_fired);
+    if (reopt_incremental_hits_ != nullptr) {
+      reopt_incremental_hits_->Increment(stats.memo_entries_reused);
+      reopt_incremental_invalidated_->Increment(
+          stats.memo_entries_invalidated);
+    }
   } else {
     executed = true;
     ProgressiveExecutor exec(catalog_, config_.optimizer, config_.pop);
@@ -391,6 +414,11 @@ void QueryService::RunOne(const std::shared_ptr<QueryTicket>& ticket) {
       plan_cache_hit_age_->Observe(stats.plan_cache_age_ms);
     }
     metrics_.OnReopts(stats.reopts, trace.checks_fired);
+    if (reopt_incremental_hits_ != nullptr) {
+      reopt_incremental_hits_->Increment(stats.memo_entries_reused);
+      reopt_incremental_invalidated_->Increment(
+          stats.memo_entries_invalidated);
+    }
   }
 
   if (executed) {
@@ -512,6 +540,7 @@ std::string QueryService::MetricsText() {
     plan_cache_invalidations_->Set(ps.evictions_invalid);
     plan_cache_installs_->Set(ps.installs);
     plan_cache_size_->Set(plan_cache_->size());
+    plan_cache_near_misses_->Set(ps.near_misses);
   }
   if (morsel_pool_ != nullptr) {
     const MorselDispatcher::Stats ms = morsel_pool_->stats();

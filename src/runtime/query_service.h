@@ -125,6 +125,14 @@ struct ServiceConfig {
   /// ranges (PlanCacheConfig::validity_hits). Off by default.
   bool plan_cache_validity_hits = false;
 
+  /// Incremental re-optimization (PopConfig::incremental_reopt surfaced as
+  /// a service knob): keep the DP memo alive across a query's
+  /// re-optimization attempts and warm-start it from cached skeletons on
+  /// plan-cache near misses. Plans are bit-identical either way; false
+  /// forces from-scratch DP per attempt (both this and pop.incremental_reopt
+  /// must be true for the incremental path).
+  bool incremental_reopt = true;
+
   /// Capacity of the always-on structured query log (the last N finished
   /// queries as compact JSONL records: signature, plan digest, cache
   /// outcome, re-opt count, CHECK firings by flavor, per-shard timings,
@@ -317,6 +325,10 @@ class QueryService {
   Gauge* feedback_hits_ = nullptr;      ///< ... that found cardinalities.
   Gauge* feedback_seeded_ = nullptr;    ///< Cardinalities handed out.
 
+  // Incremental re-optimization counters (registered when use_pop).
+  Counter* reopt_incremental_hits_ = nullptr;  ///< Memo entries reused.
+  Counter* reopt_incremental_invalidated_ = nullptr;  ///< Entries dropped.
+
   // Morsel-parallelism metrics (registered only when intra_query_dop > 1).
   Counter* morsels_total_ = nullptr;        ///< Morsels executed.
   Counter* parallel_work_total_ = nullptr;  ///< Work units done in parallel
@@ -339,6 +351,8 @@ class QueryService {
                                                ///< stale (epoch/validity).
   Gauge* plan_cache_installs_ = nullptr;
   Gauge* plan_cache_size_ = nullptr;         ///< Entries resident now.
+  Gauge* plan_cache_near_misses_ = nullptr;  ///< Signature hit, digest
+                                             ///< moved (warm-start source).
   Histogram* plan_cache_hit_age_ = nullptr;  ///< Age of served entries.
 
   std::mutex mu_;

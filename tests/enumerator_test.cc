@@ -20,6 +20,13 @@ class EnumeratorTest : public ::testing::Test {
     return opt.Optimize(q, fb, mvs, nullptr);
   }
 
+  Result<OptimizedPlan> OptimizeWithMemo(const QuerySpec& q,
+                                         IncrementalMemo* memo,
+                                         const FeedbackMap* fb = nullptr) {
+    Optimizer opt(catalog_, {});
+    return opt.Optimize(q, fb, nullptr, nullptr, memo);
+  }
+
   /// The join subtree under the top operators (agg/sort/project).
   static const PlanNode* JoinRoot(const PlanNode* node) {
     while (node->set == 0 && !node->children.empty()) {
@@ -251,6 +258,106 @@ TEST_F(EnumeratorTest, ProjectionPositionsResolved) {
   ASSERT_EQ(PlanOpKind::kProject, r.value().root->kind);
   // Canonical layout: dept (3 cols) then emp (4 cols).
   EXPECT_EQ(std::vector<int>({3 + 3, 1}), r.value().root->positions);
+}
+
+TEST_F(EnumeratorTest, MemoSingleTableQueryReusesItsOnlyEntry) {
+  // Degenerate DP: one table, one memo entry. A re-optimization with
+  // unchanged feedback must reuse it and still pick the same plan.
+  QuerySpec q("q");
+  q.AddTable("emp");
+  IncrementalMemo memo;
+  Result<OptimizedPlan> first = OptimizeWithMemo(q, &memo);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(0, first.value().memo_reused);  // Memo was empty.
+  EXPECT_EQ(1, memo.entries());
+
+  Result<OptimizedPlan> second = OptimizeWithMemo(q, &memo);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(1, second.value().memo_reused);
+  EXPECT_EQ(0, second.value().memo_invalidated);
+  EXPECT_EQ(PlanDigest(*first.value().root),
+            PlanDigest(*second.value().root));
+}
+
+TEST_F(EnumeratorTest, MemoPerturbedDimEdgeInvalidatesOnlySupersets) {
+  // Star-style join with dept as the dimension: moving the observed
+  // cardinality of the dept edge must invalidate exactly the four table
+  // sets containing dept ({d}, {d,e}, {d,s}, {d,e,s}) and reuse the three
+  // that do not ({e}, {s}, {e,s}) — and the incremental plan must be
+  // bit-identical to a from-scratch optimization under the new feedback.
+  QuerySpec q("q");
+  const int d = q.AddTable("dept");
+  const int e = q.AddTable("emp");
+  const int s = q.AddTable("sale");
+  q.AddJoin({e, 1}, {d, 0});
+  q.AddJoin({s, 0}, {e, 0});
+
+  IncrementalMemo memo;
+  ASSERT_TRUE(OptimizeWithMemo(q, &memo).ok());
+  EXPECT_EQ(7, memo.entries());  // All subsets of a 3-table query.
+
+  FeedbackMap fb;
+  fb[TableBit(d)].exact = 2.0;
+  Result<OptimizedPlan> inc = OptimizeWithMemo(q, &memo, &fb);
+  ASSERT_TRUE(inc.ok());
+  EXPECT_EQ(3, inc.value().memo_reused);
+  EXPECT_EQ(4, inc.value().memo_invalidated);
+
+  Result<OptimizedPlan> fresh = Optimize(q, {}, &fb);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(PlanDigest(*fresh.value().root), PlanDigest(*inc.value().root));
+}
+
+TEST_F(EnumeratorTest, MemoNoOpReoptReusesTheWholeMemo) {
+  // A re-optimization whose feedback did not move (the no-op delta) must
+  // reuse every entry and invalidate none.
+  QuerySpec q("q");
+  const int d = q.AddTable("dept");
+  const int e = q.AddTable("emp");
+  const int s = q.AddTable("sale");
+  q.AddJoin({e, 1}, {d, 0});
+  q.AddJoin({s, 0}, {e, 0});
+  FeedbackMap fb;
+  fb[TableBit(e)].exact = 150.0;
+
+  IncrementalMemo memo;
+  Result<OptimizedPlan> first = OptimizeWithMemo(q, &memo, &fb);
+  ASSERT_TRUE(first.ok());
+
+  Result<OptimizedPlan> second = OptimizeWithMemo(q, &memo, &fb);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(memo.entries(), second.value().memo_reused);
+  EXPECT_EQ(0, second.value().memo_invalidated);
+  EXPECT_EQ(PlanDigest(*first.value().root),
+            PlanDigest(*second.value().root));
+}
+
+TEST_F(EnumeratorTest, MemoEveryEdgeMovedInvalidatesEverything) {
+  // When every base-table edge moved, every table set contains a dirty
+  // root: nothing is reusable and the enumeration degenerates to full DP
+  // (which must still agree with a memo-less optimization).
+  QuerySpec q("q");
+  const int d = q.AddTable("dept");
+  const int e = q.AddTable("emp");
+  const int s = q.AddTable("sale");
+  q.AddJoin({e, 1}, {d, 0});
+  q.AddJoin({s, 0}, {e, 0});
+
+  IncrementalMemo memo;
+  ASSERT_TRUE(OptimizeWithMemo(q, &memo).ok());
+
+  FeedbackMap fb;
+  fb[TableBit(d)].exact = 3.0;
+  fb[TableBit(e)].exact = 400.0;
+  fb[TableBit(s)].exact = 250.0;
+  Result<OptimizedPlan> inc = OptimizeWithMemo(q, &memo, &fb);
+  ASSERT_TRUE(inc.ok());
+  EXPECT_EQ(0, inc.value().memo_reused);
+  EXPECT_EQ(7, inc.value().memo_invalidated);
+
+  Result<OptimizedPlan> fresh = Optimize(q, {}, &fb);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(PlanDigest(*fresh.value().root), PlanDigest(*inc.value().root));
 }
 
 TEST_F(EnumeratorTest, SamePartitionDetection) {

@@ -332,6 +332,85 @@ TEST_P(FuzzTest, RowAndBatchEnginesAgree) {
   }
 }
 
+/// Differential fuzz for incremental re-optimization: random star queries
+/// under one persistent IncrementalMemo, with random cardinality
+/// perturbations (exact values, lower bounds, retractions) and occasional
+/// epoch bumps (memo reset) between optimizations. After every delta the
+/// memo-backed optimization must be bit-identical — plan digest, cost and
+/// cardinality — to a from-scratch full DP under the same feedback. Query
+/// shape changes mid-stream exercise the fingerprint gate (a memo
+/// committed for one query never leaks into another).
+TEST_P(FuzzTest, IncrementalReoptMatchesFullDp) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 2654435761u + 555);
+  OptimizerConfig opt_config;
+  opt_config.methods.enable_nljn = rng.Bernoulli(0.9);
+  opt_config.methods.enable_hsjn = rng.Bernoulli(0.9);
+  opt_config.methods.enable_mgjn = rng.Bernoulli(0.9);
+  if (!opt_config.methods.enable_nljn && !opt_config.methods.enable_hsjn &&
+      !opt_config.methods.enable_mgjn) {
+    opt_config.methods.enable_hsjn = true;
+  }
+  // One memo per optimizer configuration: plans costed under one config
+  // must never seed an enumeration under another.
+  Optimizer opt(*catalog_, opt_config);
+  IncrementalMemo memo;
+  FeedbackMap fb;
+  QuerySpec q = RandomQuery(&rng);
+  int64_t reused_total = 0;
+
+  for (int round = 0; round < 12; ++round) {
+    if (rng.Bernoulli(0.15)) {
+      // New query shape: the fingerprint gate must discard the memo.
+      q = RandomQuery(&rng);
+      fb.clear();
+    }
+    if (rng.Bernoulli(0.1)) memo.Reset();  // Epoch bump.
+
+    // Random nonempty subset of the query's tables.
+    std::vector<TableSet> bits;
+    for (TableSet s = q.AllTables(); s != 0; s &= s - 1) {
+      bits.push_back(s & ~(s - 1));
+    }
+    TableSet edge = 0;
+    for (const TableSet b : bits) {
+      if (rng.Bernoulli(0.5)) edge |= b;
+    }
+    if (edge == 0) edge = bits[0];
+    switch (rng.UniformInt(0, 3)) {
+      case 0:
+        break;  // No-op delta.
+      case 1:
+        fb.erase(edge);
+        break;
+      case 2:
+        fb[edge].lower_bound = 1.0 + rng.UniformDouble() * 2000.0;
+        break;
+      default:
+        fb[edge].exact = 1.0 + rng.UniformDouble() * 2000.0;
+        break;
+    }
+
+    Result<OptimizedPlan> fresh = opt.Optimize(q, &fb);
+    Result<OptimizedPlan> inc = opt.Optimize(q, &fb, nullptr, nullptr, &memo);
+    const std::string label = "seed=" + std::to_string(GetParam()) +
+                              " round=" + std::to_string(round) + "\n" +
+                              q.ToString();
+    ASSERT_EQ(fresh.ok(), inc.ok()) << label;
+    ASSERT_TRUE(fresh.ok()) << label << ": " << fresh.status().ToString();
+    EXPECT_EQ(PlanDigest(*fresh.value().root),
+              PlanDigest(*inc.value().root))
+        << label << "\nfull DP:\n"
+        << fresh.value().root->ToString() << "\nincremental:\n"
+        << inc.value().root->ToString();
+    EXPECT_EQ(fresh.value().est_cost, inc.value().est_cost) << label;
+    EXPECT_EQ(fresh.value().est_card, inc.value().est_card) << label;
+    reused_total += inc.value().memo_reused;
+  }
+  // Across 12 rounds of mostly-stable queries some entries must have been
+  // reused, or the differential above compared full DP against full DP.
+  EXPECT_GT(reused_total, 0) << "seed=" << GetParam();
+}
+
 /// parse → WriteTo → parse fuzz over random writer-built documents: the
 /// wire protocol and the dist subplan encoding both rely on re-serialized
 /// JSON being a semantic fixpoint.
