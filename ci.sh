@@ -1,13 +1,16 @@
 #!/usr/bin/env bash
 # CI entry point: release build + full test suite + a loopback network
 # smoke (popdb_server driven by the scripted popdb_client session), a
-# distributed smoke (2 shard processes + a scatter-gather coordinator,
-# including a stitched-cluster-trace / federated-metrics / query-log
-# check and a kill -9 of one shard mid-query), then a
-# ThreadSanitizer build that hammers the concurrent pieces (runtime query
-# service, network front end, morsel parallelism, shared feedback stores,
-# parallel executors, metrics registry, span tracer), then a UBSan build
-# over the tracing/metrics/runtime/parallel/network suites.
+# mixed OLTP/OLAP smoke (DML drift firing CHECK re-optimizations, stats
+# folds, plan-cache recovery over the wire), a distributed smoke (2 shard
+# processes + a scatter-gather coordinator, including a
+# stitched-cluster-trace / federated-metrics / query-log check and a
+# kill -9 of one shard mid-query), then a ThreadSanitizer build that
+# hammers the concurrent pieces (runtime query service, network front
+# end, morsel parallelism, shared feedback stores, parallel executors,
+# write-path snapshot consistency, metrics registry, span tracer), then a
+# UBSan build over the tracing/metrics/runtime/parallel/network/write
+# suites.
 #
 # The release ctest runs everything including tests labeled "slow"
 # (parallel_stress_test); use `ctest -L fast` locally for the quick loop.
@@ -45,6 +48,23 @@ done
 ./build/examples/popdb_client --port-file "$SMOKE_DIR/port" --smoke
 # The smoke script ends with a wire `shutdown` request; the server must
 # exit 0 on its own (clean shutdown, no leaked threads keeping it alive).
+wait "$SERVER_PID"
+
+echo "=== mixed-workload smoke: DML + analytics over the wire ==="
+# Drives the write path end to end on a fresh toy server: INSERT drift
+# into a believed-empty region fires a CHECK re-optimization, a
+# threshold-crossing batch folds statistics and evicts cached plans, the
+# repeat query recovers to cache hits, and UPDATE/DELETE, the write query
+# log, write metrics, and a concurrent reader/writer burst are asserted.
+./build/examples/popdb_server toy --quiet --allow-shutdown \
+    --port-file "$SMOKE_DIR/mixed.port" &
+SERVER_PID=$!
+for _ in $(seq 1 100); do
+  [[ -s "$SMOKE_DIR/mixed.port" ]] && break
+  sleep 0.1
+done
+[[ -s "$SMOKE_DIR/mixed.port" ]] || { echo "server never wrote its port file"; exit 1; }
+./build/examples/popdb_client --port-file "$SMOKE_DIR/mixed.port" --mixed-smoke
 wait "$SERVER_PID"
 
 echo "=== distributed smoke: 2 shards + coordinator, shard kill mid-query ==="
@@ -147,7 +167,7 @@ else
         --target runtime_test concurrency_test observability_test \
         morsel_test parallel_equivalence_test plan_cache_test \
         plan_cache_equivalence_test batch_differential_test \
-        reopt_differential_test fuzz_test \
+        reopt_differential_test fuzz_test txn_test \
         parallel_stress_test net_test dist_test
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/runtime_test
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/concurrency_test
@@ -168,6 +188,9 @@ else
       ./build-tsan/tests/reopt_differential_test
   TSAN_OPTIONS="halt_on_error=1" \
       ./build-tsan/tests/fuzz_test --gtest_filter='*IncrementalReopt*'
+  # Write path (ctest label "txn"): copy-on-write snapshot hammer with
+  # concurrent writers/readers plus the dop-1-vs-4 differential leg.
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/txn_test
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/parallel_stress_test
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/net_test
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/dist_test
@@ -183,7 +206,7 @@ else
         --target runtime_test observability_test operator_test pop_test \
         morsel_test parallel_equivalence_test plan_cache_test \
         plan_cache_equivalence_test batch_differential_test \
-        reopt_differential_test fuzz_test net_test dist_test
+        reopt_differential_test fuzz_test txn_test net_test dist_test
   UBSAN_OPTIONS="halt_on_error=1" ./build-ubsan/tests/observability_test
   UBSAN_OPTIONS="halt_on_error=1" ./build-ubsan/tests/runtime_test
   UBSAN_OPTIONS="halt_on_error=1" ./build-ubsan/tests/operator_test
@@ -204,6 +227,9 @@ else
       ./build-ubsan/tests/reopt_differential_test
   UBSAN_OPTIONS="halt_on_error=1" \
       ./build-ubsan/tests/fuzz_test --gtest_filter='*IncrementalReopt*'
+  # StatsDelta histogram/NDV fold arithmetic and chunked COW row-version
+  # math are integer-heavy — UBSan's overflow checks cover them.
+  UBSAN_OPTIONS="halt_on_error=1" ./build-ubsan/tests/txn_test
   UBSAN_OPTIONS="halt_on_error=1" ./build-ubsan/tests/net_test
   UBSAN_OPTIONS="halt_on_error=1" ./build-ubsan/tests/dist_test
 fi

@@ -1,7 +1,10 @@
 // popdb-client: command-line client for popdb-server.
 //
 //   ./build/examples/popdb_client --port N 'SELECT ...'   run one query
+//   ./build/examples/popdb_client --port N 'INSERT ...'   run one DML
+//                                                         statement
 //   ./build/examples/popdb_client --port-file PATH --smoke
+//   ./build/examples/popdb_client --port-file PATH --mixed-smoke
 //
 // Observability commands:
 //   --metrics            print the server's Prometheus exposition
@@ -16,11 +19,20 @@
 // server: handshake, a streamed query, an async query cancelled
 // mid-flight, a trace round trip, a metrics scrape, a query-log fetch,
 // then a clean remote shutdown. Exits 0 only if every step behaved.
+//
+// --mixed-smoke drives the mixed OLTP/OLAP CI session against a
+// --allow-shutdown toy-dataset server: concurrent writers and analytical
+// readers, asserting a write-triggered stats-version bump, a plan-cache
+// invalidation from the stats bump, and at least one CHECK-triggered
+// re-optimization caused by the write drift.
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "common/string_util.h"
 #include "net/client.h"
@@ -119,12 +131,212 @@ int RunSmoke(const std::string& host, int port) {
   return 0;
 }
 
+/// First-keyword DML detection, so the plain-SQL command line picks the
+/// right wire flow (write_done vs. row_batch stream).
+bool LooksLikeDml(const std::string& sql) {
+  size_t i = 0;
+  while (i < sql.size() && std::isspace(static_cast<unsigned char>(sql[i]))) {
+    ++i;
+  }
+  std::string word;
+  while (i < sql.size() && std::isalpha(static_cast<unsigned char>(sql[i]))) {
+    word.push_back(static_cast<char>(
+        std::toupper(static_cast<unsigned char>(sql[i++]))));
+  }
+  return word == "INSERT" || word == "UPDATE" || word == "DELETE";
+}
+
+/// First sample value of `name` in a Prometheus exposition; -1 if absent.
+double MetricValue(const std::string& text, const std::string& name) {
+  size_t pos = 0;
+  while ((pos = text.find(name, pos)) != std::string::npos) {
+    // Match whole sample lines only (skip HELP/TYPE and prefixed names).
+    if (pos > 0 && text[pos - 1] != '\n') {
+      pos += name.size();
+      continue;
+    }
+    const char next = pos + name.size() < text.size()
+                          ? text[pos + name.size()]
+                          : '\n';
+    if (next != ' ' && next != '{') {
+      pos += name.size();
+      continue;
+    }
+    const size_t space = text.find(' ', pos + name.size());
+    if (space == std::string::npos) return -1.0;
+    return std::atof(text.c_str() + space + 1);
+  }
+  return -1.0;
+}
+
+/// The mixed OLTP/OLAP scripted session ci.sh runs against a loopback
+/// toy-dataset server (see the file comment).
+int RunMixedSmoke(const std::string& host, int port) {
+  Result<net::Client> connected = net::Client::Connect(host, port);
+  SMOKE_CHECK(connected.ok(), "connect + hello handshake");
+  net::Client client = std::move(connected).TakeValue();
+
+  // The repeat-submission side of the mix (plan-cache assertions).
+  const std::string kAnalytical =
+      "SELECT COUNT(*) FROM orders, items "
+      "WHERE o_id = i_order AND o_subclass = 5";
+  // The drift probe: o_subclass = 250 does not exist in the seed data, so
+  // the optimizer plans this scan as ~empty. The writers below move the
+  // distribution into exactly that region — the checkpoint guarding the
+  // edge must catch it.
+  const std::string kDriftQuery =
+      "SELECT COUNT(*) FROM orders, items "
+      "WHERE o_id = i_order AND o_subclass = 250";
+
+  net::ClientQueryResult warm = client.Query(kAnalytical);
+  SMOKE_CHECK(warm.status.ok(), "analytical query runs before any write");
+  client.Query(kAnalytical);  // Settle feedback; outcome asserted below.
+  net::ClientQueryResult probe = client.Query(kDriftQuery);
+  SMOKE_CHECK(probe.status.ok() && probe.reopts == 0,
+              "drift probe is stable before any write");
+
+  // Drift phase: 350 rows into the believed-empty o_subclass = 250
+  // region, deliberately below the stats fold threshold (10% of 4000 rows
+  // = 400) so statistics stay stale while the data has moved.
+  bool folded_early = false;
+  for (int stmt = 0; stmt < 7; ++stmt) {
+    std::string sql = "INSERT INTO orders VALUES ";
+    for (int r = 0; r < 50; ++r) {
+      if (r > 0) sql += ", ";
+      const int64_t id = 50000 + stmt * 50 + r;
+      sql += "(" + std::to_string(id) + ", 9, 250)";
+    }
+    net::ClientWriteResult w = client.Write(sql);
+    SMOKE_CHECK(w.status.ok(), "batched INSERT applies");
+    SMOKE_CHECK(w.affected_rows == 50, "write_done reports 50 rows");
+    folded_early = folded_early || w.stats_folded;
+  }
+  SMOKE_CHECK(!folded_early, "350-row churn stays below the fold threshold");
+
+  // The stale-stats run: the checkpoint guarding the drifted edge must
+  // fire and trigger a re-optimization.
+  net::ClientQueryResult drifted = client.Query(kDriftQuery);
+  SMOKE_CHECK(drifted.status.ok(), "analytical query survives write drift");
+  SMOKE_CHECK(drifted.reopts >= 1,
+              "write drift triggered a CHECK re-optimization");
+
+  // Cross the threshold: churn reaches 450 >= 400, so one of these two
+  // statements must fold statistics and bump the catalog stats version.
+  bool folded = false;
+  for (int stmt = 0; stmt < 2; ++stmt) {
+    std::string sql = "INSERT INTO orders VALUES ";
+    for (int r = 0; r < 50; ++r) {
+      if (r > 0) sql += ", ";
+      const int64_t id = 51000 + stmt * 50 + r;
+      sql += "(" + std::to_string(id) + ", 9, 250)";
+    }
+    net::ClientWriteResult w = client.Write(sql);
+    SMOKE_CHECK(w.status.ok(), "threshold-crossing INSERT applies");
+    folded = folded || w.stats_folded;
+  }
+  SMOKE_CHECK(folded, "accumulated churn folded stats (version bump)");
+
+  // The bumped stats version must evict the cached analytical plan...
+  net::ClientQueryResult refreshed = client.Query(kAnalytical);
+  SMOKE_CHECK(refreshed.status.ok(), "analytical query runs on fresh stats");
+  Result<std::string> metrics = client.Metrics();
+  SMOKE_CHECK(metrics.ok(), "metrics scrape");
+  SMOKE_CHECK(
+      MetricValue(metrics.value(),
+                  "popdb_plan_cache_stale_stats_evictions_total") >= 1,
+      "stats bump evicted a cached plan");
+  SMOKE_CHECK(MetricValue(metrics.value(),
+                          "popdb_stats_version_bumps_total") >= 1,
+              "stats-version bump counter moved");
+  SMOKE_CHECK(metrics.value().find("popdb_writes_total") != std::string::npos,
+              "per-op write counters exported");
+
+  // ... and repeats settle back into plan-cache hits.
+  bool hit = false;
+  for (int i = 0; i < 5 && !hit; ++i) {
+    net::ClientQueryResult repeat = client.Query(kAnalytical);
+    SMOKE_CHECK(repeat.status.ok(), "settling repeat runs");
+    hit = repeat.plan_cache == "hit";
+  }
+  SMOKE_CHECK(hit, "repeat query recovered a plan-cache hit after settling");
+
+  // UPDATE and DELETE round trips (payment-style delta, then cleanup).
+  net::ClientWriteResult upd =
+      client.Write("UPDATE items SET i_qty = i_qty + 1 WHERE i_order = 5");
+  SMOKE_CHECK(upd.status.ok() && upd.affected_rows >= 1,
+              "UPDATE delta applies");
+  net::ClientWriteResult del =
+      client.Write("DELETE FROM orders WHERE o_id = 50000");
+  SMOKE_CHECK(del.status.ok() && del.affected_rows == 1,
+              "DELETE removes one row");
+
+  // The structured log distinguishes reads from writes and carries
+  // affected-row counts (what `popdb_client --log` shows for this mix).
+  Result<std::string> log = client.QueryLogTail(/*limit=*/0);
+  SMOKE_CHECK(log.ok(), "query log fetch");
+  SMOKE_CHECK(log.value().find("\"kind\":\"write\"") != std::string::npos,
+              "query log records write statements");
+  SMOKE_CHECK(log.value().find("\"affected_rows\"") != std::string::npos,
+              "query log carries affected-row counts");
+
+  // Concurrency burst: writers and analytical readers on separate
+  // connections at the same time; every request must come back clean.
+  std::vector<std::thread> burst;
+  std::vector<int> failures(4, 0);
+  for (int t = 0; t < 2; ++t) {
+    burst.emplace_back([&host, port, t, &failures] {
+      Result<net::Client> c = net::Client::Connect(host, port);
+      if (!c.ok()) {
+        failures[t] = 1;
+        return;
+      }
+      for (int i = 0; i < 15; ++i) {
+        const int64_t order = 52000 + t * 100 + i;
+        net::ClientWriteResult w = c.value().Write(
+            "INSERT INTO items VALUES (" + std::to_string(order) + ", 7)");
+        if (!w.status.ok() || w.affected_rows != 1) {
+          failures[t] = 1;
+          return;
+        }
+      }
+      c.value().Close();
+    });
+  }
+  for (int t = 2; t < 4; ++t) {
+    burst.emplace_back([&host, port, t, &failures, &kAnalytical] {
+      Result<net::Client> c = net::Client::Connect(host, port);
+      if (!c.ok()) {
+        failures[t] = 1;
+        return;
+      }
+      for (int i = 0; i < 8; ++i) {
+        net::ClientQueryResult r = c.value().Query(kAnalytical);
+        if (!r.status.ok()) {
+          failures[t] = 1;
+          return;
+        }
+      }
+      c.value().Close();
+    });
+  }
+  for (std::thread& t : burst) t.join();
+  SMOKE_CHECK(failures[0] == 0 && failures[1] == 0,
+              "concurrent writers all applied");
+  SMOKE_CHECK(failures[2] == 0 && failures[3] == 0,
+              "concurrent analytical readers all succeeded");
+
+  SMOKE_CHECK(client.RequestShutdown().ok(), "shutdown request honored");
+  std::printf("mixed smoke PASS\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string host = "127.0.0.1";
   int port = -1;
   bool smoke = false;
+  bool mixed_smoke = false;
   bool metrics = false;
   bool cluster_metrics = false;
   bool log = false;
@@ -142,6 +354,8 @@ int main(int argc, char** argv) {
       host = argv[++i];
     } else if (arg == "--smoke") {
       smoke = true;
+    } else if (arg == "--mixed-smoke") {
+      mixed_smoke = true;
     } else if (arg == "--metrics") {
       metrics = true;
     } else if (arg == "--cluster-metrics") {
@@ -163,12 +377,13 @@ int main(int argc, char** argv) {
   if (port <= 0) {
     std::fprintf(stderr,
                  "usage: popdb_client (--port N | --port-file PATH) "
-                 "[--smoke | --metrics | --cluster-metrics | "
+                 "[--smoke | --mixed-smoke | --metrics | --cluster-metrics | "
                  "--trace-dump FILE | --log [N] | 'SQL']\n");
     return 2;
   }
 
   if (smoke) return RunSmoke(host, port);
+  if (mixed_smoke) return RunMixedSmoke(host, port);
   if (sql.empty() && !metrics && !cluster_metrics && !log &&
       trace_dump.empty()) {
     std::fprintf(stderr,
@@ -227,6 +442,19 @@ int main(int argc, char** argv) {
     std::fclose(f);
     std::printf("wrote %zu bytes of trace JSON to %s\n",
                 dump.value().trace_json.size(), trace_dump.c_str());
+    return 0;
+  }
+
+  if (LooksLikeDml(sql)) {
+    net::ClientWriteResult w = client.Write(sql);
+    if (!w.status.ok()) {
+      std::fprintf(stderr, "error: %s\n", w.status.ToString().c_str());
+      return 1;
+    }
+    std::printf("%lld row(s) affected, stats_version=%lld%s, %.1f ms\n",
+                static_cast<long long>(w.affected_rows),
+                static_cast<long long>(w.stats_version),
+                w.stats_folded ? " (stats folded)" : "", w.total_ms);
     return 0;
   }
 

@@ -49,6 +49,7 @@
 #include "dmv/dmv_gen.h"
 #include "net/server.h"
 #include "tpch/tpch_gen.h"
+#include "txn/write_manager.h"
 
 using namespace popdb;  // NOLINT: example brevity.
 
@@ -353,6 +354,16 @@ int main(int argc, char** argv) {
   }
 
   QueryService service(catalog, service_config);
+
+  // The write path (INSERT/UPDATE/DELETE over the wire) serves local mode
+  // only: a coordinator's shards each hold their own partition copy, so a
+  // coordinator-side write would silently diverge from them.
+  std::unique_ptr<txn::WriteManager> writes;
+  if (coordinator == nullptr) {
+    writes = std::make_unique<txn::WriteManager>(&catalog);
+    service.AttachWriteManager(writes.get());
+  }
+
   net::NetServerConfig net_config = opts.net_config;
   if (coordinator != nullptr) {
     coordinator->RegisterMetrics(&service.metrics_registry());

@@ -39,10 +39,15 @@ class ExecutorBuilder {
   /// MorselExchangeOp so they fan out over morsel tasks; every other
   /// operator stays in the serial tail above the exchange, which is what
   /// keeps CHECK thresholds and harvested feedback identical to serial
-  /// execution.
+  /// execution. `snapshots` is the query's pinned-version registry: base
+  /// tables are read through it so all operators — and all re-optimization
+  /// attempts of one execution — see the same frozen data under concurrent
+  /// writes; when null the builder owns a private set (one Build is still
+  /// internally consistent).
   ExecutorBuilder(const Catalog& catalog, const QuerySpec& query,
                   const std::vector<Row>* already_returned,
-                  bool offer_hsjn_builds, ParallelPolicy parallel = {});
+                  bool offer_hsjn_builds, ParallelPolicy parallel = {},
+                  TableSnapshotSet* snapshots = nullptr);
 
   Result<BuiltPlan> Build(const PlanNode& plan);
 
@@ -64,6 +69,8 @@ class ExecutorBuilder {
   const std::vector<Row>* already_returned_;
   bool offer_hsjn_builds_;
   ParallelPolicy parallel_;
+  TableSnapshotSet owned_snapshots_;
+  TableSnapshotSet* snapshots_;
   std::vector<int> widths_;
   std::vector<std::pair<TableSet, Operator*>> edges_;
   std::vector<std::unique_ptr<HashIndex>> owned_indexes_;

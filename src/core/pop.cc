@@ -178,6 +178,11 @@ Result<std::vector<Row>> ProgressiveExecutor::Run(const QuerySpec& query,
 
   std::vector<Row> result;
   std::vector<Row> returned_so_far;  // Canonical rows (ECDC compensation).
+  // One pinned-snapshot registry for the whole execution: every attempt
+  // (and every operator within one) reads the same frozen table versions,
+  // so re-optimization compensation and harvested feedback stay consistent
+  // while concurrent writers publish new versions.
+  TableSnapshotSet snapshots;
   const double t_begin = NowMs();
 
   for (int attempt = 0; attempt < max_attempts; ++attempt) {
@@ -193,6 +198,7 @@ Result<std::vector<Row>> ProgressiveExecutor::Run(const QuerySpec& query,
     std::shared_ptr<PlanNode> root;
     uint64_t cache_digest = 0;
     int64_t cache_external_epoch = 0;
+    int64_t cache_catalog_version = 0;
     bool placement_from_cache = false;
     const bool consult_cache = use_plan_cache && attempt == 0;
     if (consult_cache) {
@@ -200,8 +206,14 @@ Result<std::vector<Row>> ProgressiveExecutor::Run(const QuerySpec& query,
       cache_external_epoch = cross_query_store_ != nullptr
                                  ? cross_query_store_->external_epoch()
                                  : 0;
+      // Captured once: Install/InstallPlacement below must gate on the
+      // same version the lookup (and the optimization between them) saw.
+      // Re-reading it would let a concurrent stats fold tag a plan chosen
+      // under the old statistics with the new version, serving a stale
+      // placement to the next submission.
+      cache_catalog_version = catalog_.stats_version();
       PlanCache::LookupResult cached = plan_cache_->Lookup(
-          cache_key, cache_external_epoch, catalog_.stats_version(),
+          cache_key, cache_external_epoch, cache_catalog_version,
           cache_digest, feedback_snapshot);
       if (stats != nullptr) {
         stats->plan_cache = cached.outcome;
@@ -268,7 +280,7 @@ Result<std::vector<Row>> ProgressiveExecutor::Run(const QuerySpec& query,
         // Install the pre-checkpoint skeleton under the same gating values
         // the lookup used, so the next identical submission hits.
         plan_cache_->Install(cache_key, root->Clone(), cache_external_epoch,
-                             catalog_.stats_version(), cache_digest,
+                             cache_catalog_version, cache_digest,
                              planned.value().candidates,
                              planned.value().est_cost,
                              planned.value().est_card, feedback_snapshot);
@@ -297,7 +309,7 @@ Result<std::vector<Row>> ProgressiveExecutor::Run(const QuerySpec& query,
         counts.work_bound = info.checks.work_bound;
         plan_cache_->InstallPlacement(cache_key, root->Clone(),
                                       cache_external_epoch,
-                                      catalog_.stats_version(), cache_digest,
+                                      cache_catalog_version, cache_digest,
                                       counts);
       }
     }
@@ -311,7 +323,8 @@ Result<std::vector<Row>> ProgressiveExecutor::Run(const QuerySpec& query,
     const ParallelPolicy parallel =
         task_runner_ != nullptr ? parallel_ : ParallelPolicy{};
     ExecutorBuilder builder(catalog_, query, &returned_so_far,
-                            pop_config_.reuse_hsjn_builds, parallel);
+                            pop_config_.reuse_hsjn_builds, parallel,
+                            &snapshots);
     Result<BuiltPlan> built = [&] {
       TRACE_SPAN("build_executor", "pop");
       return builder.Build(*root);

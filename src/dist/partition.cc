@@ -76,8 +76,10 @@ Result<std::vector<KeyRange>> ComputeRanges(const Catalog& full,
       return Status::NotFound("partitioned table '" + key.table +
                               "' not in catalog");
     }
-    for (const Row& row : table->rows()) {
-      const Value& v = row[static_cast<size_t>(key.column)];
+    const TableSnapshot snap = table->Snapshot();
+    for (int64_t rid = 0; rid < snap.num_rows(); ++rid) {
+      if (!snap.alive(rid)) continue;
+      const Value& v = snap.row(rid)[static_cast<size_t>(key.column)];
       if (v.is_null()) continue;
       const int64_t k = v.AsInt();
       min_key = std::min(min_key, k);
@@ -116,14 +118,19 @@ Status BuildShardCatalog(const Catalog& full, const PartitionSpec& spec,
     const Table* src = full.GetTable(name);
     Table copy(name, src->schema());
     const int key_col = spec.KeyColumn(name);
+    const TableSnapshot snap = src->Snapshot();
     if (key_col < 0) {
-      copy.Reserve(src->num_rows());
-      for (const Row& row : src->rows()) copy.AppendRow(row);
-    } else {
-      for (const Row& row : src->rows()) {
-        const Value& v = row[static_cast<size_t>(key_col)];
-        if (!v.is_null() && range.Contains(v.AsInt())) copy.AppendRow(row);
+      copy.Reserve(snap.live_rows());
+    }
+    for (int64_t rid = 0; rid < snap.num_rows(); ++rid) {
+      if (!snap.alive(rid)) continue;
+      const Row& row = snap.row(rid);
+      if (key_col < 0) {
+        copy.AppendRow(row);
+        continue;
       }
+      const Value& v = row[static_cast<size_t>(key_col)];
+      if (!v.is_null() && range.Contains(v.AsInt())) copy.AppendRow(row);
     }
     Status s = out->AddTable(std::move(copy));
     if (!s.ok()) return s;

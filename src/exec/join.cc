@@ -21,17 +21,26 @@ const Row& NljnOp::InnerRow(int64_t rid) const {
   if (inner_.mv_rows != nullptr) {
     return (*inner_.mv_rows)[static_cast<size_t>(rid)];
   }
-  return inner_.table->row(rid);
+  return inner_.snapshot.row(rid);
 }
 
 int64_t NljnOp::NumInnerRows() const {
   if (inner_.mv_rows != nullptr) {
     return static_cast<int64_t>(inner_.mv_rows->size());
   }
-  return inner_.table->num_rows();
+  return inner_.snapshot.num_rows();
+}
+
+bool NljnOp::InnerRowVisible(int64_t rid) const {
+  if (inner_.mv_rows != nullptr) return true;
+  return rid < inner_.snapshot.num_rows() && inner_.snapshot.alive(rid);
 }
 
 ExecStatus NljnOp::OpenImpl(ExecContext* ctx) {
+  if (inner_.mv_rows == nullptr && !inner_.snapshot.valid() &&
+      inner_.table != nullptr) {
+    inner_.snapshot = inner_.table->Snapshot();
+  }
   outer_valid_ = false;
   outer_batch_valid_ = false;
   outer_idx_ = 0;
@@ -43,7 +52,7 @@ void NljnOp::StartProbe(ExecContext* ctx, const Value* index_key) {
   ++mutable_stats().loops;
   if (inner_.index != nullptr) {
     POPDB_DCHECK(index_key != nullptr);
-    index_candidates_ = &inner_.index->Probe(*index_key);
+    inner_.index->ProbeInto(*index_key, &index_candidates_);
     candidate_pos_ = 0;
   } else {
     scan_rid_ = 0;
@@ -68,18 +77,21 @@ ExecStatus NljnOp::NextImpl(ExecContext* ctx, Row* out) {
       if (ctx->CancelPending()) return ExecStatus::kCancelled;
       int64_t rid;
       if (inner_.index != nullptr) {
-        if (candidate_pos_ >= index_candidates_->size()) break;
-        rid = (*index_candidates_)[candidate_pos_++];
+        if (candidate_pos_ >= index_candidates_.size()) break;
+        rid = index_candidates_[candidate_pos_++];
+        if (!InnerRowVisible(rid)) continue;
       } else {
         if (scan_rid_ >= NumInnerRows()) break;
         rid = scan_rid_++;
+        if (!InnerRowVisible(rid)) continue;
       }
       ++ctx->work;
       const Row& inner_row = InnerRow(rid);
       bool pass = true;
-      // With an index the first condition already holds.
-      const size_t first = inner_.index != nullptr ? 1 : 0;
-      for (size_t j = first; j < inner_.join_conds.size(); ++j) {
+      // All conditions are evaluated even on the index path: superset
+      // postings mean a candidate may no longer hold the probed value in
+      // the pinned snapshot.
+      for (size_t j = 0; j < inner_.join_conds.size(); ++j) {
         const InnerAccess::JoinCond& jc = inner_.join_conds[j];
         if (outer_row_[static_cast<size_t>(jc.outer_pos)] !=
             inner_row[static_cast<size_t>(jc.inner_pos)]) {
@@ -141,17 +153,18 @@ ExecStatus NljnOp::NextBatchImpl(ExecContext* ctx, RowBatch* out) {
       }
       int64_t rid;
       if (inner_.index != nullptr) {
-        if (candidate_pos_ >= index_candidates_->size()) break;
-        rid = (*index_candidates_)[candidate_pos_++];
+        if (candidate_pos_ >= index_candidates_.size()) break;
+        rid = index_candidates_[candidate_pos_++];
+        if (!InnerRowVisible(rid)) continue;
       } else {
         if (scan_rid_ >= NumInnerRows()) break;
         rid = scan_rid_++;
+        if (!InnerRowVisible(rid)) continue;
       }
       ++ctx->work;
       const Row& inner_row = InnerRow(rid);
       bool pass = true;
-      const size_t first = inner_.index != nullptr ? 1 : 0;
-      for (size_t j = first; j < inner_.join_conds.size(); ++j) {
+      for (size_t j = 0; j < inner_.join_conds.size(); ++j) {
         const InnerAccess::JoinCond& jc = inner_.join_conds[j];
         if (outer_batch_.At(jc.outer_pos, outer_idx_) !=
             inner_row[static_cast<size_t>(jc.inner_pos)]) {

@@ -29,9 +29,13 @@ struct CheckSpec {
 /// Describes how a nested-loop join accesses its inner table. The inner of
 /// an NLJN is always a base-table (or materialized-view) access path, as
 /// produced by the Selinger-style enumerator; when `index` is set, the
-/// first join condition is evaluated by an index probe.
+/// first join condition is seeded by an index probe.
 struct InnerAccess {
   const Table* table = nullptr;
+  /// Pinned version of `table` to read. When left invalid, NljnOp pins the
+  /// table's current version at Open (convenience for direct operator
+  /// tests); the builder passes the query's shared snapshot.
+  TableSnapshot snapshot;
   /// For a matview inner, rows come from here instead of `table`.
   const std::vector<Row>* mv_rows = nullptr;
   int table_id = -1;
@@ -43,7 +47,11 @@ struct InnerAccess {
   };
   std::vector<JoinCond> join_conds;
 
-  const HashIndex* index = nullptr;  ///< Probes join_conds[0] if non-null.
+  /// Seeds candidates for join_conds[0] if non-null. Because live indexes
+  /// are maintained as superset postings under writes (storage/index.h),
+  /// candidates are re-checked against the pinned snapshot: bounds,
+  /// liveness and *all* join conditions.
+  const HashIndex* index = nullptr;
 };
 
 /// (Index) nested-loop join: for each outer row, finds matching inner rows
@@ -71,6 +79,9 @@ class NljnOp : public Operator {
   void StartProbe(ExecContext* ctx, const Value* index_key);
   const Row& InnerRow(int64_t rid) const;
   int64_t NumInnerRows() const;
+  /// True when `rid` exists and is live in the pinned inner snapshot
+  /// (matview rows are always visible).
+  bool InnerRowVisible(int64_t rid) const;
 
   std::unique_ptr<Operator> outer_;
   InnerAccess inner_;
@@ -78,8 +89,10 @@ class NljnOp : public Operator {
 
   Row outer_row_;
   bool outer_valid_ = false;
-  // Probe state: either an index candidate list or a full-scan cursor.
-  const std::vector<int64_t>* index_candidates_ = nullptr;
+  // Probe state: either an index candidate list (copied out of the index
+  // under its shared lock, so concurrent index maintenance can't invalidate
+  // it mid-iteration) or a full-scan cursor.
+  std::vector<int64_t> index_candidates_;
   size_t candidate_pos_ = 0;
   int64_t scan_rid_ = 0;
   // Vectorized path: the held outer batch and the index of the active row

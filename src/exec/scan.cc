@@ -7,15 +7,19 @@ namespace popdb {
 ExecStatus TableScanOp::OpenImpl(ExecContext* ctx) {
   (void)ctx;
   next_rid_ = begin_rid_;
-  stop_rid_ = end_rid_ < 0 ? table_->num_rows()
-                           : std::min(end_rid_, table_->num_rows());
+  stop_rid_ = end_rid_ < 0 ? snapshot_.num_rows()
+                           : std::min(end_rid_, snapshot_.num_rows());
   return ExecStatus::kOk;
 }
 
 ExecStatus TableScanOp::NextImpl(ExecContext* ctx, Row* out) {
   while (next_rid_ < stop_rid_) {
     if (ctx->CancelPending()) return ExecStatus::kCancelled;
-    const Row& row = table_->row(next_rid_);
+    if (!snapshot_.alive(next_rid_)) {
+      ++next_rid_;
+      continue;
+    }
+    const Row& row = snapshot_.row(next_rid_);
     ++next_rid_;
     ++ctx->work;
     bool pass = true;
@@ -34,11 +38,16 @@ ExecStatus TableScanOp::NextImpl(ExecContext* ctx, Row* out) {
 }
 
 ExecStatus TableScanOp::NextBatchImpl(ExecContext* ctx, RowBatch* out) {
-  const int64_t target = BatchTarget(ctx, table_->schema().num_columns());
+  const int64_t target =
+      BatchTarget(ctx, snapshot_.table()->schema().num_columns());
   out->Clear();
   while (next_rid_ < stop_rid_ && out->num_rows < target) {
     if (ctx->CancelPending()) return FlushOrStatus(out, ExecStatus::kCancelled);
-    const Row& row = table_->row(next_rid_);
+    if (!snapshot_.alive(next_rid_)) {
+      ++next_rid_;
+      continue;
+    }
+    const Row& row = snapshot_.row(next_rid_);
     ++next_rid_;
     ++ctx->work;
     bool pass = true;

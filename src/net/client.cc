@@ -250,6 +250,28 @@ ClientQueryResult Client::Query(const std::string& sql,
   return ConsumeResult(-1);
 }
 
+ClientWriteResult Client::Write(const std::string& sql,
+                                ClientQueryOptions options) {
+  ClientWriteResult result;
+  Result<JsonValue> reply = RoundTrip(EncodeQueryRequest(sql, options, false));
+  if (!reply.ok()) {
+    result.status = reply.status();
+    return result;
+  }
+  if (reply.value().GetString("type", "") != "write_done") {
+    result.status = Status::Internal("expected write_done frame (got \"" +
+                                     reply.value().GetString("type", "") +
+                                     "\"); use Query() for SELECT");
+    return result;
+  }
+  result.query_id = reply.value().GetInt("query_id", -1);
+  result.affected_rows = reply.value().GetInt("affected_rows", 0);
+  result.stats_version = reply.value().GetInt("stats_version", 0);
+  result.stats_folded = reply.value().GetBool("stats_folded", false);
+  result.total_ms = reply.value().GetNumber("total_ms", 0.0);
+  return result;
+}
+
 Result<int64_t> Client::QueryAsync(const std::string& sql,
                                    ClientQueryOptions options) {
   Result<JsonValue> reply =

@@ -23,6 +23,16 @@ struct ClientQueryResult {
   std::string plan_cache;   ///< Plan-cache disposition ("hit", "miss", ...).
 };
 
+/// Result of one DML round trip (the write_done frame).
+struct ClientWriteResult {
+  Status status;
+  int64_t query_id = -1;
+  int64_t affected_rows = 0;
+  int64_t stats_version = 0;   ///< Catalog stats version after the write.
+  bool stats_folded = false;   ///< This statement triggered a stats fold.
+  double total_ms = 0.0;
+};
+
 /// Options for Client::Query / Client::QueryAsync.
 struct ClientQueryOptions {
   std::vector<Value> params;
@@ -107,6 +117,12 @@ class Client {
   /// until query_done. A transport failure or protocol error frame is
   /// reported in the result's status.
   ClientQueryResult Query(const std::string& sql,
+                          ClientQueryOptions options = {});
+
+  /// Runs one DML statement (INSERT/UPDATE/DELETE; `options.params` binds
+  /// '?' markers) and returns the decoded write_done frame. Passing SELECT
+  /// text fails with an unexpected-frame error — use Query().
+  ClientWriteResult Write(const std::string& sql,
                           ClientQueryOptions options = {});
 
   /// Submits `sql` without waiting; returns the server-assigned query id.

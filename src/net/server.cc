@@ -95,6 +95,9 @@ NetServer::NetServer(QueryService* service, TraceStore* traces,
   subplans_total_ = registry.GetCounter(
       "popdb_net_subplans_total",
       "Subplan requests executed on behalf of a coordinator.");
+  writes_total_ = registry.GetCounter(
+      "popdb_net_writes_total",
+      "DML statements applied over the wire (write_done responses).");
 }
 
 NetServer::~NetServer() { Shutdown(); }
@@ -379,8 +382,8 @@ bool NetServer::HandleQuery(ConnState* conn, const JsonValue& request) {
 
   // SQL errors travel back as protocol error frames, annotated with a
   // caret into the offending statement.
-  Result<sql::BoundStatement> bound =
-      sql::ParseSql(service_->catalog(), sql->AsString(), std::move(params));
+  Result<sql::BoundStatement> bound = sql::ParseSqlStatement(
+      service_->catalog(), sql->AsString(), std::move(params));
   if (!bound.ok()) {
     return SendError(conn, bound.status().code(),
                      sql::AnnotateError(sql->AsString(), bound.status()));
@@ -389,6 +392,27 @@ bool NetServer::HandleQuery(ConnState* conn, const JsonValue& request) {
     return SendError(conn, StatusCode::kUnimplemented,
                      "EXPLAIN is not supported over the wire; use the "
                      "trace request for executed-plan diagnostics");
+  }
+  if (bound.value().is_write) {
+    // DML applies synchronously on the connection worker (the per-table
+    // write lane is the concurrency control; the admission queue is for
+    // analytical work) and answers with a single write_done frame.
+    const WriteQueryResult wr =
+        service_->ExecuteWrite(bound.value().write);
+    if (!wr.status.ok()) {
+      return SendError(conn, wr.status.code(), wr.status.message());
+    }
+    writes_total_->Increment();
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("type").String("write_done");
+    w.Key("query_id").Int(wr.query_id);
+    w.Key("affected_rows").Int(wr.affected_rows);
+    w.Key("stats_version").Int(wr.stats_version);
+    w.Key("stats_folded").Bool(wr.stats_folded);
+    w.Key("total_ms").Double(wr.total_ms);
+    w.EndObject();
+    return SendFrame(conn, w.str());
   }
 
   SubmitOptions opts;

@@ -243,6 +243,7 @@ class NetServer {
   Counter* cancels_total_ = nullptr;
   Counter* connections_shed_ = nullptr;
   Counter* subplans_total_ = nullptr;
+  Counter* writes_total_ = nullptr;
 
   std::atomic<bool> stop_{false};
   std::atomic<bool> shutdown_requested_{false};

@@ -28,7 +28,13 @@ namespace popdb::net {
 ///   query     {type, sql, params?, deadline_ms?, batch_rows?, async?,
 ///              priority?}                       -> row_batch* + query_done,
 ///                                                  or query_accepted{query_id}
-///                                                  when async
+///                                                  when async; DML text
+///                                                  (INSERT/UPDATE/DELETE)
+///                                                  instead answers with one
+///                                                  write_done {query_id,
+///                                                  affected_rows,
+///                                                  stats_version,
+///                                                  stats_folded, total_ms}
 ///   wait      {type, query_id}                  -> row_batch* + query_done
 ///   cancel    {type, query_id}                  -> cancel_ok {found}
 ///   trace     {type, query_id}                  -> trace_ok {trace}

@@ -36,7 +36,7 @@ CardinalityEstimator::CardinalityEstimator(const Catalog& catalog,
       const Table* table = catalog.GetTable(query.table_name(t));
       table_card_.push_back(
           table != nullptr
-              ? std::max<double>(1.0, static_cast<double>(table->num_rows()))
+              ? std::max<double>(1.0, static_cast<double>(table->live_rows()))
               : 1000.0);
     }
   }

@@ -332,6 +332,7 @@ PlanCache::LookupResult PlanCache::Lookup(const std::string& signature,
                                           const FeedbackMap& feedback) {
   LookupResult result;
   bool evicted_invalid = false;
+  bool evicted_stale_stats = false;
   {
     Shard& shard = ShardFor(signature);
     std::lock_guard<std::mutex> lock(shard.mu);
@@ -345,6 +346,7 @@ PlanCache::LookupResult PlanCache::Lookup(const std::string& signature,
         // Out-of-band world change (stats refresh, matview DDL, manual
         // bump). Epochs are monotone, so the entry can never match again.
         result.outcome = PlanCacheOutcome::kMissEpoch;
+        evicted_stale_stats = entry.catalog_version != catalog_version;
         EvictLocked(&shard, it);
         evicted_invalid = true;
       } else if (entry.feedback_digest == feedback_digest) {
@@ -409,6 +411,7 @@ PlanCache::LookupResult PlanCache::Lookup(const std::string& signature,
         break;
     }
     if (evicted_invalid) ++stats_.evictions_invalid;
+    if (evicted_stale_stats) ++stats_.evictions_stale_stats;
     if (result.placed_plan != nullptr) ++stats_.placement_hits;
   }
   if (result.hit()) {

@@ -168,6 +168,11 @@ class PlanCache {
     int64_t placement_hits = 0;      ///< Exact hits served with placement.
     int64_t evictions_lru = 0;
     int64_t evictions_invalid = 0;
+    /// Subset of evictions_invalid where the catalog stats version moved
+    /// (a write-path statistics fold), as opposed to an external feedback
+    /// epoch bump. Observable as
+    /// popdb_plan_cache_stale_stats_evictions_total.
+    int64_t evictions_stale_stats = 0;
 
     int64_t misses() const {
       return misses_cold + misses_stale + misses_epoch + misses_validity;

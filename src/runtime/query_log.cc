@@ -51,6 +51,7 @@ std::string QueryLogEntry::ToJson() const {
   w.Key("execute_ms").Double(execute_ms);
   w.Key("total_ms").Double(total_ms);
   w.Key("result_rows").Int(result_rows);
+  if (affected_rows >= 0) w.Key("affected_rows").Int(affected_rows);
   if (peak_qerror >= 0) w.Key("peak_qerror").Double(peak_qerror);
   w.Key("distributed").Bool(distributed);
   if (!shards.empty()) {

@@ -19,7 +19,9 @@ namespace popdb {
 struct QueryLogEntry {
   int64_t query_id = 0;
   double end_ms = 0.0;  ///< Completion time, service monotonic clock (NowMs).
-  std::string kind = "query";  ///< "query" or "subplan" (shard servers).
+  /// "query" (analytical read), "write" (INSERT/UPDATE/DELETE through the
+  /// write lane), or "subplan" (shard servers).
+  std::string kind = "query";
   std::string query_name;
   /// Canonical plan-cache signature (QueryCacheSignature): rebinds of the
   /// same prepared statement share one signature, so the log groups by it.
@@ -41,6 +43,8 @@ struct QueryLogEntry {
   double execute_ms = 0.0;
   double total_ms = 0.0;
   int64_t result_rows = 0;
+  /// Rows inserted/updated/deleted; -1 for reads (omitted from the JSON).
+  int64_t affected_rows = -1;
   /// Largest per-operator cardinality Q-error across all attempt profiles;
   /// -1 when no completed, estimated operator was observed.
   double peak_qerror = -1.0;

@@ -7,6 +7,7 @@
 #include "common/span.h"
 #include "core/leo.h"
 #include "opt/plan_cache.h"
+#include "txn/write_manager.h"
 
 namespace popdb {
 
@@ -85,6 +86,17 @@ QueryService::QueryService(const Catalog& catalog, ServiceConfig config)
       "popdb_feedback_seeded_cards",
       "Learned cardinalities handed to compilations in total.");
 
+  for (int op = 0; op < 3; ++op) {
+    writes_total_[op] = registry.GetCounter(
+        "popdb_writes_total", "DML statements applied, by operation.",
+        std::string("op=\"") +
+            txn::WriteOpName(static_cast<txn::WriteOp>(op)) + "\"");
+  }
+  stats_version_bumps_ = registry.GetCounter(
+      "popdb_stats_version_bumps_total",
+      "Catalog stats-version bumps caused by write-path statistics folds "
+      "(accumulated churn crossed the drift threshold).");
+
   if (config_.use_pop) {
     reopt_incremental_hits_ = registry.GetCounter(
         "popdb_reopt_incremental_hits",
@@ -116,6 +128,10 @@ QueryService::QueryService(const Catalog& catalog, ServiceConfig config)
         "popdb_plan_cache_invalidations",
         "Entries evicted as invalid (stats refresh / matview DDL epoch "
         "bumps and validity-range violations).");
+    plan_cache_stale_stats_evictions_ = registry.GetGauge(
+        "popdb_plan_cache_stale_stats_evictions_total",
+        "Plan-cache entries evicted because the catalog stats version "
+        "moved since install (write-path statistics folds).");
     plan_cache_installs_ = registry.GetGauge(
         "popdb_plan_cache_installs",
         "Optimized plan skeletons installed into the cache.");
@@ -538,6 +554,7 @@ std::string QueryService::MetricsText() {
     plan_cache_hits_->Set(ps.hits + ps.validity_hits);
     plan_cache_misses_->Set(ps.misses());
     plan_cache_invalidations_->Set(ps.evictions_invalid);
+    plan_cache_stale_stats_evictions_->Set(ps.evictions_stale_stats);
     plan_cache_installs_->Set(ps.installs);
     plan_cache_size_->Set(plan_cache_->size());
     plan_cache_near_misses_->Set(ps.near_misses);
@@ -551,6 +568,47 @@ std::string QueryService::MetricsText() {
     morsel_active_->Set(morsel_pool_->active());
   }
   return metrics_.registry().RenderPrometheus();
+}
+
+WriteQueryResult QueryService::ExecuteWrite(const txn::WriteStatement& stmt) {
+  WriteQueryResult out;
+  out.query_id = next_query_id_.fetch_add(1);
+  const double start_ms = NowMs();
+
+  if (write_manager_ == nullptr) {
+    out.status = Status::InvalidArgument(
+        "no write path attached: this service is read-only");
+  } else {
+    Result<txn::WriteResult> applied = write_manager_->Apply(stmt);
+    out.status = applied.status();
+    if (applied.ok()) {
+      out.affected_rows = applied.value().affected_rows;
+      out.stats_version = applied.value().stats_version;
+      out.stats_folded = applied.value().stats_folded;
+    }
+  }
+  out.total_ms = NowMs() - start_ms;
+
+  if (out.status.ok()) {
+    writes_total_[static_cast<int>(stmt.op)]->Increment();
+    if (out.stats_folded) stats_version_bumps_->Increment();
+  }
+
+  if (query_log_ != nullptr) {
+    QueryLogEntry entry;
+    entry.query_id = out.query_id;
+    entry.end_ms = NowMs();
+    entry.kind = "write";
+    entry.query_name =
+        std::string(txn::WriteOpName(stmt.op)) + " " + stmt.table;
+    entry.outcome = OutcomeName(out.status);
+    if (!out.status.ok()) entry.status_message = out.status.ToString();
+    entry.total_ms = out.total_ms;
+    entry.execute_ms = out.total_ms;
+    entry.affected_rows = out.status.ok() ? out.affected_rows : 0;
+    query_log_->Append(std::move(entry));
+  }
+  return out;
 }
 
 std::map<std::string, int64_t> QueryService::CheckHistory() const {

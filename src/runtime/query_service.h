@@ -18,8 +18,13 @@
 #include "runtime/query_log.h"
 #include "runtime/trace.h"
 #include "storage/catalog.h"
+#include "txn/write.h"
 
 namespace popdb {
+
+namespace txn {
+class WriteManager;
+}  // namespace txn
 
 /// Admission lane. High-priority submissions are dispatched before any
 /// queued normal-priority work; within a lane, dispatch is FIFO.
@@ -175,6 +180,20 @@ struct QueryResult {
   QueryTrace trace;
 };
 
+/// Final outcome of a DML statement routed through ExecuteWrite.
+struct WriteQueryResult {
+  Status status;
+  int64_t query_id = 0;
+  int64_t affected_rows = 0;
+  /// Catalog stats version after the statement (readers of this value can
+  /// correlate plan-cache invalidations with the write that caused them).
+  int64_t stats_version = 0;
+  /// True when this statement's churn crossed the fold threshold and the
+  /// table's statistics were refreshed (bumping the stats version).
+  bool stats_folded = false;
+  double total_ms = 0.0;
+};
+
 /// Client-side handle for one submission. Thread safe; obtained from
 /// QueryService::Submit as a shared_ptr (the service keeps a reference
 /// until the query finishes, so the client may drop the ticket early).
@@ -299,6 +318,22 @@ class QueryService {
   /// append their subplan executions to it.
   QueryLog* query_log() { return query_log_.get(); }
 
+  /// Attaches the write path. `writes` (not owned, may be null to detach)
+  /// must outlive the service; the owner also owns the *mutable* catalog
+  /// behind `catalog()`. Until attached, ExecuteWrite rejects every
+  /// statement (read-only service).
+  void AttachWriteManager(txn::WriteManager* writes) {
+    write_manager_ = writes;
+  }
+
+  /// Applies one bound DML statement synchronously on the caller's thread.
+  /// Writes do not pass the admission queue: WriteManager serializes per
+  /// table (its write lane), so the statement blocks only on same-table
+  /// writers while analytical queries proceed on snapshots. Records
+  /// metrics (popdb_writes_total{op}, popdb_stats_version_bumps_total) and
+  /// a kind="write" query-log entry.
+  WriteQueryResult ExecuteWrite(const txn::WriteStatement& stmt);
+
  private:
   void WorkerLoop();
   void RunOne(const std::shared_ptr<QueryTicket>& ticket);
@@ -342,8 +377,16 @@ class QueryService {
   Gauge* morsel_stale_ = nullptr;           ///< Stolen back before helper.
   Gauge* morsel_active_ = nullptr;          ///< Workers inside a morsel.
 
+  // Write-path metrics (always registered; the write path may attach
+  // after construction).
+  Counter* writes_total_[3] = {};  ///< Indexed by txn::WriteOp.
+  Counter* stats_version_bumps_ = nullptr;  ///< Write-triggered stats folds.
+
   // Plan-cache metrics (registered only when the cache is enabled).
   // Counters are mirrored from PlanCache::stats() at scrape time.
+  Gauge* plan_cache_stale_stats_evictions_ = nullptr;  ///< Evicted because
+                                                       ///< the stats
+                                                       ///< version moved.
   Gauge* plan_cache_lookups_ = nullptr;
   Gauge* plan_cache_hits_ = nullptr;         ///< Exact + validity hits.
   Gauge* plan_cache_misses_ = nullptr;       ///< All miss kinds.
@@ -376,6 +419,9 @@ class QueryService {
 
   /// Always-on structured query log; null when disabled.
   std::unique_ptr<QueryLog> query_log_;
+
+  /// Write path; null until AttachWriteManager (read-only service).
+  txn::WriteManager* write_manager_ = nullptr;
 
   QueryFeedbackStore shared_feedback_;
   std::mutex sessions_mu_;

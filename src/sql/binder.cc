@@ -324,6 +324,234 @@ Result<BoundStatement> ParseSql(const Catalog& catalog,
   return Bind(catalog, ast.value(), std::move(params));
 }
 
+namespace {
+
+/// Sequential '?' binding cursor over the request's parameter list.
+class ParamCursor {
+ public:
+  explicit ParamCursor(std::vector<Value> params)
+      : params_(std::move(params)) {}
+
+  Result<Value> Next() {
+    if (next_ >= params_.size()) {
+      return Status::InvalidArgument(
+          "not enough parameter bindings for the '?' markers");
+    }
+    return params_[next_++];
+  }
+
+ private:
+  std::vector<Value> params_;
+  size_t next_ = 0;
+};
+
+/// Integer literals flow into double columns (the only implicit coercion).
+Value CoerceTo(ValueType type, Value v) {
+  if (!v.is_null() && type == ValueType::kDouble &&
+      v.type() == ValueType::kInt) {
+    return Value::Double(static_cast<double>(v.AsInt()));
+  }
+  return v;
+}
+
+Result<Value> BindDmlValue(const AstDmlValue& v, ValueType column_type,
+                           ParamCursor* params) {
+  if (!v.is_param) return CoerceTo(column_type, v.value);
+  Result<Value> bound = params->Next();
+  if (!bound.ok()) return bound.status();
+  return CoerceTo(column_type, std::move(bound.value()));
+}
+
+/// Binds the single-table WHERE of an UPDATE/DELETE: every conjunct must be
+/// a restriction on `schema`'s columns; positions are schema column
+/// indexes, so txn::WriteManager evaluates them directly against rows.
+Status BindDmlWhere(const std::string& table, const Schema& schema,
+                    const std::vector<AstComparison>& where,
+                    ParamCursor* params,
+                    std::vector<ResolvedPredicate>* out) {
+  for (const AstComparison& cmp : where) {
+    if (!cmp.lhs.qualifier.empty() && cmp.lhs.qualifier != table) {
+      return Status::InvalidArgument("unknown table or alias '" +
+                                     cmp.lhs.qualifier + "'");
+    }
+    const int pos = schema.IndexOf(cmp.lhs.column);
+    if (pos < 0) {
+      return Status::InvalidArgument(
+          StrFormat("no column '%s' in table '%s'", cmp.lhs.column.c_str(),
+                    table.c_str()));
+    }
+    if (cmp.rhs_is_column) {
+      return Status::Unimplemented(
+          "column-to-column comparisons are not supported in DML WHERE");
+    }
+    ResolvedPredicate pred;
+    pred.pos = pos;
+    pred.kind = cmp.kind;
+    if (cmp.is_param) {
+      Result<Value> bound = params->Next();
+      if (!bound.ok()) return bound.status();
+      pred.operand = std::move(bound.value());
+    } else {
+      pred.operand = cmp.value;
+      pred.operand2 = cmp.value2;
+      pred.in_list = cmp.in_list;
+    }
+    out->push_back(std::move(pred));
+  }
+  return Status::Ok();
+}
+
+Result<txn::WriteStatement> BindInsert(const Catalog& catalog,
+                                       const AstInsert& ast,
+                                       ParamCursor* params) {
+  const Table* table = catalog.GetTable(ast.table);
+  if (table == nullptr) return Status::NotFound("no such table: " + ast.table);
+  const Schema& schema = table->schema();
+
+  // Map the column list (or the full schema order) to schema positions.
+  std::vector<int> positions;
+  if (ast.columns.empty()) {
+    for (int c = 0; c < schema.num_columns(); ++c) positions.push_back(c);
+  } else {
+    for (const std::string& name : ast.columns) {
+      const int pos = schema.IndexOf(name);
+      if (pos < 0) {
+        return Status::InvalidArgument(
+            StrFormat("no column '%s' in table '%s'", name.c_str(),
+                      ast.table.c_str()));
+      }
+      for (int seen : positions) {
+        if (seen == pos) {
+          return Status::InvalidArgument("duplicate INSERT column '" + name +
+                                         "'");
+        }
+      }
+      positions.push_back(pos);
+    }
+  }
+
+  txn::WriteStatement stmt;
+  stmt.op = txn::WriteOp::kInsert;
+  stmt.table = ast.table;
+  stmt.rows.reserve(ast.rows.size());
+  for (const std::vector<AstDmlValue>& ast_row : ast.rows) {
+    if (ast_row.size() != positions.size()) {
+      return Status::InvalidArgument(
+          StrFormat("INSERT row has %d values for %d columns",
+                    static_cast<int>(ast_row.size()),
+                    static_cast<int>(positions.size())));
+    }
+    // Unlisted columns are NULL.
+    Row row(static_cast<size_t>(schema.num_columns()));
+    for (size_t i = 0; i < positions.size(); ++i) {
+      const int pos = positions[i];
+      Result<Value> v =
+          BindDmlValue(ast_row[i], schema.column(pos).type, params);
+      if (!v.ok()) return v.status();
+      row[static_cast<size_t>(pos)] = std::move(v.value());
+    }
+    stmt.rows.push_back(std::move(row));
+  }
+  return stmt;
+}
+
+Result<txn::WriteStatement> BindUpdate(const Catalog& catalog,
+                                       const AstUpdate& ast,
+                                       ParamCursor* params) {
+  const Table* table = catalog.GetTable(ast.table);
+  if (table == nullptr) return Status::NotFound("no such table: " + ast.table);
+  const Schema& schema = table->schema();
+
+  txn::WriteStatement stmt;
+  stmt.op = txn::WriteOp::kUpdate;
+  stmt.table = ast.table;
+  for (const AstSetClause& ast_set : ast.sets) {
+    const int pos = schema.IndexOf(ast_set.column);
+    if (pos < 0) {
+      return Status::InvalidArgument(
+          StrFormat("no column '%s' in table '%s'", ast_set.column.c_str(),
+                    ast.table.c_str()));
+    }
+    txn::SetClause set;
+    set.column = pos;
+    set.is_delta = ast_set.is_delta;
+    if (ast_set.is_delta && ast_set.delta_column != ast_set.column) {
+      return Status::Unimplemented(
+          "UPDATE deltas must reference the assigned column itself "
+          "('" + ast_set.column + " = " + ast_set.column + " + ...')");
+    }
+    Result<Value> v =
+        BindDmlValue(ast_set.value, schema.column(pos).type, params);
+    if (!v.ok()) return v.status();
+    set.value = std::move(v.value());
+    if (ast_set.negate) {
+      if (set.value.type() == ValueType::kInt) {
+        set.value = Value::Int(-set.value.AsInt());
+      } else if (set.value.type() == ValueType::kDouble) {
+        set.value = Value::Double(-set.value.AsDouble());
+      } else {
+        return Status::InvalidArgument("delta assignment requires a number");
+      }
+    }
+    stmt.sets.push_back(std::move(set));
+  }
+  Status s =
+      BindDmlWhere(ast.table, schema, ast.where, params, &stmt.where);
+  if (!s.ok()) return s;
+  return stmt;
+}
+
+Result<txn::WriteStatement> BindDelete(const Catalog& catalog,
+                                       const AstDelete& ast,
+                                       ParamCursor* params) {
+  const Table* table = catalog.GetTable(ast.table);
+  if (table == nullptr) return Status::NotFound("no such table: " + ast.table);
+  txn::WriteStatement stmt;
+  stmt.op = txn::WriteOp::kDelete;
+  stmt.table = ast.table;
+  Status s = BindDmlWhere(ast.table, table->schema(), ast.where, params,
+                          &stmt.where);
+  if (!s.ok()) return s;
+  return stmt;
+}
+
+}  // namespace
+
+Result<BoundStatement> BindStatement(const Catalog& catalog,
+                                     const AstStatement& ast,
+                                     std::vector<Value> params) {
+  if (ast.kind == StatementKind::kSelect) {
+    return Bind(catalog, ast.select, std::move(params));
+  }
+  ParamCursor cursor(std::move(params));
+  Result<txn::WriteStatement> write = [&]() -> Result<txn::WriteStatement> {
+    switch (ast.kind) {
+      case StatementKind::kInsert:
+        return BindInsert(catalog, ast.insert, &cursor);
+      case StatementKind::kUpdate:
+        return BindUpdate(catalog, ast.update, &cursor);
+      case StatementKind::kDelete:
+        return BindDelete(catalog, ast.delete_, &cursor);
+      case StatementKind::kSelect:
+        break;
+    }
+    return Status::Internal("unhandled statement kind");
+  }();
+  if (!write.ok()) return write.status();
+  BoundStatement out;
+  out.is_write = true;
+  out.write = std::move(write.value());
+  return out;
+}
+
+Result<BoundStatement> ParseSqlStatement(const Catalog& catalog,
+                                         const std::string& sql,
+                                         std::vector<Value> params) {
+  Result<AstStatement> ast = ParseStatement(sql);
+  if (!ast.ok()) return ast.status();
+  return BindStatement(catalog, ast.value(), std::move(params));
+}
+
 std::string AnnotateError(const std::string& sql, const Status& status) {
   const std::string& message = status.message();
   const std::string needle = "position ";

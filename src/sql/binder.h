@@ -8,14 +8,20 @@
 #include "opt/query.h"
 #include "sql/parser.h"
 #include "storage/catalog.h"
+#include "txn/write.h"
 
 namespace popdb::sql {
 
-/// A bound statement: the engine-executable QuerySpec plus statement-level
-/// flags that are not part of the query itself.
+/// A bound statement: either an engine-executable QuerySpec (reads) or a
+/// txn::WriteStatement (DML), plus statement-level flags that are not part
+/// of the query itself.
 struct BoundStatement {
   QuerySpec query{""};
   bool explain = false;
+  /// True for INSERT/UPDATE/DELETE; `write` is then the payload and
+  /// `query` is unused.
+  bool is_write = false;
+  txn::WriteStatement write;
 };
 
 /// Resolves a parsed SELECT against the catalog into a QuerySpec:
@@ -36,6 +42,20 @@ Result<BoundStatement> Bind(const Catalog& catalog, const AstSelect& ast,
 Result<BoundStatement> ParseSql(const Catalog& catalog,
                                 const std::string& sql,
                                 std::vector<Value> params = {});
+
+/// Resolves a parsed statement of any kind. DML binding: column names map
+/// to schema positions (INSERT columns not listed become NULL), integer
+/// literals coerce into double columns, '?' markers bind from `params` in
+/// textual order (VALUES, then SET, then WHERE), and WHERE conjuncts must
+/// be single-table restrictions (no column-to-column comparisons).
+Result<BoundStatement> BindStatement(const Catalog& catalog,
+                                     const AstStatement& ast,
+                                     std::vector<Value> params = {});
+
+/// One-call facade for any statement kind: lex + parse + bind.
+Result<BoundStatement> ParseSqlStatement(const Catalog& catalog,
+                                         const std::string& sql,
+                                         std::vector<Value> params = {});
 
 /// Renders a lex/parse/bind failure for presentation (shell output, wire
 /// error frames): the status message plus, when the message carries a

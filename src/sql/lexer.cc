@@ -13,6 +13,7 @@ const char* const kKeywords[] = {
     "HAVING", "ORDER",    "ASC",  "DESC",   "LIMIT", "AS",    "IN",
     "BETWEEN", "LIKE",    "COUNT", "SUM",   "MIN",   "MAX",   "AVG",
     "EXPLAIN", "NOT",     "OR",   "JOIN",   "ON",    "NULL",
+    "INSERT", "INTO",     "VALUES", "UPDATE", "SET", "DELETE",
 };
 
 std::string ToUpper(std::string s) {
@@ -115,7 +116,8 @@ Result<std::vector<Token>> Lex(const std::string& sql) {
       tok.text = std::string(1, c) + "=";
       i += 2;
     } else if (c == '(' || c == ')' || c == ',' || c == '.' || c == '*' ||
-               c == '?' || c == '=' || c == '<' || c == '>' || c == ';') {
+               c == '?' || c == '=' || c == '<' || c == '>' || c == ';' ||
+               c == '+' || c == '-') {
       tok.kind = TokenKind::kSymbol;
       tok.text = std::string(1, c);
       ++i;

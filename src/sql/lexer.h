@@ -17,7 +17,7 @@ enum class TokenKind {
   kInt,      ///< Integer literal (value in `int_value`).
   kDouble,   ///< Decimal literal (value in `double_value`).
   kString,   ///< 'single quoted' string (unescaped content in `text`).
-  kSymbol,   ///< Operator/punctuation: ( ) , . * ? = <> <= >= < >
+  kSymbol,   ///< Operator/punctuation: ( ) , . * ? = <> <= >= < > + -
 };
 
 struct Token {

@@ -389,6 +389,150 @@ Result<AstSelect> ParseSelect(Cursor* cur) {
   return sel;
 }
 
+/// Parses a DML value position: '?', or an optionally sign-prefixed
+/// literal / NULL.
+Result<AstDmlValue> ParseDmlValue(Cursor* cur) {
+  AstDmlValue v;
+  if (cur->MatchSymbol("?")) {
+    v.is_param = true;
+    return v;
+  }
+  bool negate = false;
+  if (cur->MatchSymbol("-")) {
+    negate = true;
+  } else {
+    cur->MatchSymbol("+");
+  }
+  Result<Value> lit = ParseLiteral(cur);
+  if (!lit.ok()) return lit.status();
+  v.value = std::move(lit.value());
+  if (negate) {
+    if (v.value.type() == ValueType::kInt) {
+      v.value = Value::Int(-v.value.AsInt());
+    } else if (v.value.type() == ValueType::kDouble) {
+      v.value = Value::Double(-v.value.AsDouble());
+    } else {
+      return cur->Error("'-' requires a numeric literal");
+    }
+  }
+  return v;
+}
+
+/// Parses the shared [WHERE conjunct (AND conjunct)*] tail of UPDATE and
+/// DELETE, rejecting OR like the SELECT path does.
+Status ParseDmlWhere(Cursor* cur, std::vector<AstComparison>* where) {
+  if (!cur->MatchKeyword("WHERE")) return Status::Ok();
+  do {
+    if (cur->PeekKeyword("OR")) {
+      return cur->Error("OR is not supported (conjunctive predicates only)");
+    }
+    Result<AstComparison> cmp = ParseComparison(cur);
+    if (!cmp.ok()) return cmp.status();
+    where->push_back(std::move(cmp.value()));
+    if (cur->PeekKeyword("OR")) {
+      return cur->Error("OR is not supported (conjunctive predicates only)");
+    }
+  } while (cur->MatchKeyword("AND"));
+  return Status::Ok();
+}
+
+Status ExpectStatementEnd(Cursor* cur) {
+  cur->MatchSymbol(";");
+  if (!cur->AtEnd()) return cur->Error("unexpected trailing input");
+  return Status::Ok();
+}
+
+Result<AstInsert> ParseInsert(Cursor* cur) {
+  AstInsert ins;
+  if (!cur->MatchKeyword("INSERT")) return cur->Error("expected INSERT");
+  if (!cur->MatchKeyword("INTO")) return cur->Error("expected INTO");
+  if (cur->Peek().kind != TokenKind::kIdent) {
+    return cur->Error("expected table name");
+  }
+  ins.table = cur->Advance().text;
+  if (cur->MatchSymbol("(")) {
+    do {
+      if (cur->Peek().kind != TokenKind::kIdent) {
+        return cur->Error("expected column name");
+      }
+      ins.columns.push_back(cur->Advance().text);
+    } while (cur->MatchSymbol(","));
+    if (!cur->MatchSymbol(")")) return cur->Error("expected ')'");
+  }
+  if (!cur->MatchKeyword("VALUES")) return cur->Error("expected VALUES");
+  do {
+    if (!cur->MatchSymbol("(")) return cur->Error("expected '('");
+    std::vector<AstDmlValue> row;
+    do {
+      Result<AstDmlValue> v = ParseDmlValue(cur);
+      if (!v.ok()) return v.status();
+      row.push_back(std::move(v.value()));
+    } while (cur->MatchSymbol(","));
+    if (!cur->MatchSymbol(")")) return cur->Error("expected ')'");
+    ins.rows.push_back(std::move(row));
+  } while (cur->MatchSymbol(","));
+  Status s = ExpectStatementEnd(cur);
+  if (!s.ok()) return s;
+  return ins;
+}
+
+Result<AstUpdate> ParseUpdate(Cursor* cur) {
+  AstUpdate upd;
+  if (!cur->MatchKeyword("UPDATE")) return cur->Error("expected UPDATE");
+  if (cur->Peek().kind != TokenKind::kIdent) {
+    return cur->Error("expected table name");
+  }
+  upd.table = cur->Advance().text;
+  if (!cur->MatchKeyword("SET")) return cur->Error("expected SET");
+  do {
+    AstSetClause set;
+    if (cur->Peek().kind != TokenKind::kIdent) {
+      return cur->Error("expected column name");
+    }
+    set.column = cur->Advance().text;
+    if (!cur->MatchSymbol("=")) return cur->Error("expected '='");
+    // `col = col + v` / `col = col - v` delta form: detect an identifier
+    // followed by a sign.
+    if (cur->Peek().kind == TokenKind::kIdent &&
+        (cur->Peek(1).kind == TokenKind::kSymbol &&
+         (cur->Peek(1).text == "+" || cur->Peek(1).text == "-"))) {
+      set.is_delta = true;
+      set.delta_column = cur->Advance().text;
+      set.negate = cur->Advance().text == "-";
+      Result<AstDmlValue> v = ParseDmlValue(cur);
+      if (!v.ok()) return v.status();
+      set.value = std::move(v.value());
+    } else if (cur->Peek().kind == TokenKind::kIdent) {
+      return cur->Error("expected literal, '?', or 'col + literal'");
+    } else {
+      Result<AstDmlValue> v = ParseDmlValue(cur);
+      if (!v.ok()) return v.status();
+      set.value = std::move(v.value());
+    }
+    upd.sets.push_back(std::move(set));
+  } while (cur->MatchSymbol(","));
+  Status s = ParseDmlWhere(cur, &upd.where);
+  if (!s.ok()) return s;
+  s = ExpectStatementEnd(cur);
+  if (!s.ok()) return s;
+  return upd;
+}
+
+Result<AstDelete> ParseDelete(Cursor* cur) {
+  AstDelete del;
+  if (!cur->MatchKeyword("DELETE")) return cur->Error("expected DELETE");
+  if (!cur->MatchKeyword("FROM")) return cur->Error("expected FROM");
+  if (cur->Peek().kind != TokenKind::kIdent) {
+    return cur->Error("expected table name");
+  }
+  del.table = cur->Advance().text;
+  Status s = ParseDmlWhere(cur, &del.where);
+  if (!s.ok()) return s;
+  s = ExpectStatementEnd(cur);
+  if (!s.ok()) return s;
+  return del;
+}
+
 }  // namespace
 
 Result<AstSelect> Parse(const std::string& sql) {
@@ -396,6 +540,39 @@ Result<AstSelect> Parse(const std::string& sql) {
   if (!tokens.ok()) return tokens.status();
   Cursor cur(std::move(tokens.value()));
   return ParseSelect(&cur);
+}
+
+Result<AstStatement> ParseStatement(const std::string& sql) {
+  Result<std::vector<Token>> tokens = Lex(sql);
+  if (!tokens.ok()) return tokens.status();
+  Cursor cur(std::move(tokens.value()));
+  AstStatement stmt;
+  if (cur.PeekKeyword("INSERT")) {
+    stmt.kind = StatementKind::kInsert;
+    Result<AstInsert> ins = ParseInsert(&cur);
+    if (!ins.ok()) return ins.status();
+    stmt.insert = std::move(ins.value());
+    return stmt;
+  }
+  if (cur.PeekKeyword("UPDATE")) {
+    stmt.kind = StatementKind::kUpdate;
+    Result<AstUpdate> upd = ParseUpdate(&cur);
+    if (!upd.ok()) return upd.status();
+    stmt.update = std::move(upd.value());
+    return stmt;
+  }
+  if (cur.PeekKeyword("DELETE")) {
+    stmt.kind = StatementKind::kDelete;
+    Result<AstDelete> del = ParseDelete(&cur);
+    if (!del.ok()) return del.status();
+    stmt.delete_ = std::move(del.value());
+    return stmt;
+  }
+  stmt.kind = StatementKind::kSelect;
+  Result<AstSelect> sel = ParseSelect(&cur);
+  if (!sel.ok()) return sel.status();
+  stmt.select = std::move(sel.value());
+  return stmt;
 }
 
 }  // namespace popdb::sql

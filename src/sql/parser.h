@@ -82,6 +82,56 @@ struct AstSelect {
   int64_t limit = -1;
 };
 
+/// A literal position in a DML statement: a Value or a '?' marker bound
+/// from the request's parameter list.
+struct AstDmlValue {
+  bool is_param = false;
+  Value value;
+};
+
+/// Parsed INSERT statement.
+struct AstInsert {
+  std::string table;
+  /// Explicit column list; empty = full schema order.
+  std::vector<std::string> columns;
+  std::vector<std::vector<AstDmlValue>> rows;
+};
+
+/// One UPDATE assignment: `col = value` or the same-column numeric delta
+/// `col = col + value` / `col = col - value`.
+struct AstSetClause {
+  std::string column;
+  bool is_delta = false;
+  std::string delta_column;  ///< Must name `column` again (binder-checked).
+  bool negate = false;       ///< '-' delta.
+  AstDmlValue value;
+};
+
+/// Parsed UPDATE statement.
+struct AstUpdate {
+  std::string table;
+  std::vector<AstSetClause> sets;
+  std::vector<AstComparison> where;  ///< AND-ed; single-table restrictions.
+};
+
+/// Parsed DELETE statement.
+struct AstDelete {
+  std::string table;
+  std::vector<AstComparison> where;
+};
+
+enum class StatementKind { kSelect, kInsert, kUpdate, kDelete };
+
+/// Any parsed statement. Exactly the member selected by `kind` is
+/// meaningful.
+struct AstStatement {
+  StatementKind kind = StatementKind::kSelect;
+  AstSelect select;
+  AstInsert insert;
+  AstUpdate update;
+  AstDelete delete_;
+};
+
 /// Parses one SELECT statement (optionally prefixed with EXPLAIN and
 /// terminated with ';'). The supported grammar is the SPJ + aggregation
 /// fragment the engine executes:
@@ -97,6 +147,17 @@ struct AstSelect {
 /// Disjunctions (OR) are rejected with a clear error (the optimizer's
 /// predicate model is conjunctive, as in the paper's experiments).
 Result<AstSelect> Parse(const std::string& sql);
+
+/// Parses one statement of any supported kind. DML grammar:
+///
+///   INSERT INTO table [(col (, col)*)] VALUES (v (, v)*) (, (...))*
+///   UPDATE table SET col = v | col = col + v | col = col - v
+///          (, ...)* [WHERE conjunct (AND conjunct)*]
+///   DELETE FROM table [WHERE conjunct (AND conjunct)*]
+///
+/// where v is a literal, NULL, or a '?' parameter marker (literals may be
+/// sign-prefixed). SELECT text parses exactly as Parse() does.
+Result<AstStatement> ParseStatement(const std::string& sql);
 
 }  // namespace popdb::sql
 

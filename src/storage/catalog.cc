@@ -10,7 +10,7 @@ Status Catalog::AddTable(Table table) {
   Entry entry;
   entry.table = std::make_unique<Table>(std::move(table));
   entries_.emplace(name, std::move(entry));
-  ++stats_version_;
+  stats_version_.fetch_add(1, std::memory_order_acq_rel);
   return Status::Ok();
 }
 
@@ -41,12 +41,20 @@ std::vector<std::string> Catalog::TableNames() const {
   return names;
 }
 
+void Catalog::PublishStats(Entry* entry, TableStats stats) {
+  auto fresh = std::make_shared<const TableStats>(std::move(stats));
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    if (entry->stats != nullptr) retired_stats_.push_back(entry->stats);
+    entry->stats = std::move(fresh);
+  }
+  stats_version_.fetch_add(1, std::memory_order_acq_rel);
+}
+
 Status Catalog::AnalyzeTable(const std::string& name, int histogram_buckets) {
   Entry* e = FindEntry(name);
   if (e == nullptr) return Status::NotFound("no such table: " + name);
-  e->stats = std::make_unique<TableStats>(
-      CollectTableStats(*e->table, histogram_buckets));
-  ++stats_version_;
+  PublishStats(e, CollectTableStats(*e->table, histogram_buckets));
   return Status::Ok();
 }
 
@@ -55,23 +63,34 @@ Status Catalog::AnalyzeTableSampled(const std::string& name,
                                     int histogram_buckets) {
   Entry* e = FindEntry(name);
   if (e == nullptr) return Status::NotFound("no such table: " + name);
-  e->stats = std::make_unique<TableStats>(CollectTableStatsSampled(
-      *e->table, sample_fraction, seed, histogram_buckets));
-  ++stats_version_;
+  PublishStats(e, CollectTableStatsSampled(*e->table, sample_fraction, seed,
+                                           histogram_buckets));
   return Status::Ok();
 }
 
 void Catalog::AnalyzeAll(int histogram_buckets) {
   for (auto& [name, entry] : entries_) {
-    entry.stats = std::make_unique<TableStats>(
+    auto fresh = std::make_shared<const TableStats>(
         CollectTableStats(*entry.table, histogram_buckets));
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    if (entry.stats != nullptr) retired_stats_.push_back(entry.stats);
+    entry.stats = std::move(fresh);
   }
-  ++stats_version_;
+  stats_version_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+Status Catalog::FoldStats(const std::string& name, TableStats stats) {
+  Entry* e = FindEntry(name);
+  if (e == nullptr) return Status::NotFound("no such table: " + name);
+  PublishStats(e, std::move(stats));
+  return Status::Ok();
 }
 
 const TableStats* Catalog::GetStats(const std::string& name) const {
   const Entry* e = FindEntry(name);
-  return e == nullptr ? nullptr : e->stats.get();
+  if (e == nullptr) return nullptr;
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return e->stats.get();
 }
 
 Status Catalog::CreateIndex(const std::string& table,
@@ -86,7 +105,7 @@ Status Catalog::CreateIndex(const std::string& table,
     if (idx->column() == col) return Status::Ok();
   }
   e->indexes.push_back(std::make_unique<HashIndex>(*e->table, col));
-  ++stats_version_;
+  stats_version_.fetch_add(1, std::memory_order_acq_rel);
   return Status::Ok();
 }
 
@@ -98,6 +117,15 @@ const HashIndex* Catalog::FindIndex(const std::string& table,
     if (idx->column() == column) return idx.get();
   }
   return nullptr;
+}
+
+std::vector<HashIndex*> Catalog::IndexesOn(const std::string& table) {
+  std::vector<HashIndex*> out;
+  Entry* e = FindEntry(table);
+  if (e == nullptr) return out;
+  out.reserve(e->indexes.size());
+  for (const auto& idx : e->indexes) out.push_back(idx.get());
+  return out;
 }
 
 }  // namespace popdb

@@ -1,8 +1,10 @@
 #ifndef POPDB_STORAGE_CATALOG_H_
 #define POPDB_STORAGE_CATALOG_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -17,6 +19,14 @@ namespace popdb {
 /// indexes. Temporary materialized views created by progressive
 /// re-optimization live in a separate registry (core/matview.h) because
 /// they are scoped to one query execution, not to the database.
+///
+/// Concurrency: the table/index *set* is fixed after load (AddTable and
+/// CreateIndex are load-time DDL and must not race with queries), but
+/// table *contents* and *statistics* change at runtime — tables version
+/// themselves (storage/table.h) and statistics swap under a mutex here.
+/// GetStats pointers handed to concurrent planners stay valid across a
+/// swap: replaced statistics are retired, not freed (folds are
+/// threshold-gated, so the retire list stays small).
 class Catalog {
  public:
   Catalog() = default;
@@ -42,34 +52,59 @@ class Catalog {
   /// Computes statistics for every table.
   void AnalyzeAll(int histogram_buckets = 32);
 
-  /// Returns stats for `name`, or nullptr if never analyzed.
+  /// Installs `stats` for `name` and bumps the stats version. The write
+  /// path's incremental maintenance (txn::StatsDelta) folds its
+  /// accumulated deltas into a fresh TableStats and publishes it here once
+  /// drift crosses its threshold.
+  Status FoldStats(const std::string& name, TableStats stats);
+
+  /// Returns stats for `name`, or nullptr if never analyzed. The pointer
+  /// stays valid for the catalog's lifetime even if the stats are later
+  /// replaced (retired, not freed).
   const TableStats* GetStats(const std::string& name) const;
 
   /// Builds a hash index on `table`.`column_name`. Idempotent.
   Status CreateIndex(const std::string& table, const std::string& column_name);
 
-  /// Returns the hash index on (table, column), or nullptr.
+  /// Returns the hash index on (table, column), or nullptr. The index is
+  /// internally synchronized; the write path maintains it through
+  /// FindMutableIndex / IndexesOn.
   const HashIndex* FindIndex(const std::string& table, int column) const;
+
+  /// Every index on `table` (write-path maintenance).
+  std::vector<HashIndex*> IndexesOn(const std::string& table);
 
   /// Monotone version of everything the optimizer reads from the catalog:
   /// bumped by AddTable, AnalyzeTable/AnalyzeTableSampled/AnalyzeAll
-  /// (RUNSTATS) and CreateIndex. Plan-cache entries record the version at
-  /// install and are bypassed once it moves — a stats refresh must never
-  /// serve a plan chosen under the old statistics.
-  int64_t stats_version() const { return stats_version_; }
+  /// (RUNSTATS), CreateIndex and FoldStats (incremental maintenance).
+  /// Plan-cache entries record the version at install and are bypassed
+  /// once it moves — a stats refresh must never serve a plan chosen under
+  /// the old statistics.
+  int64_t stats_version() const {
+    return stats_version_.load(std::memory_order_acquire);
+  }
 
  private:
   struct Entry {
     std::unique_ptr<Table> table;
-    std::unique_ptr<TableStats> stats;
+    std::shared_ptr<const TableStats> stats;
     std::vector<std::unique_ptr<HashIndex>> indexes;
   };
 
   const Entry* FindEntry(const std::string& name) const;
   Entry* FindEntry(const std::string& name);
+  /// Swaps in `stats` for `entry`, retiring the previous pointer, and
+  /// bumps the version.
+  void PublishStats(Entry* entry, TableStats stats);
 
   std::map<std::string, Entry> entries_;
-  int64_t stats_version_ = 0;
+  std::atomic<int64_t> stats_version_{0};
+
+  /// Guards stats pointer swaps and the retire list (reads of the stats
+  /// pointer also take it; the returned raw pointer outlives the lock by
+  /// the retire guarantee).
+  mutable std::mutex stats_mu_;
+  std::vector<std::shared_ptr<const TableStats>> retired_stats_;
 };
 
 }  // namespace popdb

@@ -4,9 +4,11 @@ namespace popdb {
 
 HashIndex::HashIndex(const Table& table, int column)
     : table_name_(table.name()), column_(column) {
-  map_.reserve(static_cast<size_t>(table.num_rows()));
-  for (int64_t rid = 0; rid < table.num_rows(); ++rid) {
-    map_[table.row(rid)[static_cast<size_t>(column)]].push_back(rid);
+  const TableSnapshot snap = table.Snapshot();
+  map_.reserve(static_cast<size_t>(snap.num_rows()));
+  for (int64_t rid = 0; rid < snap.num_rows(); ++rid) {
+    if (!snap.alive(rid)) continue;
+    map_[snap.row(rid)[static_cast<size_t>(column)]].push_back(rid);
   }
 }
 
@@ -20,10 +22,27 @@ HashIndex::HashIndex(const std::vector<Row>& rows, int column,
   }
 }
 
-const std::vector<int64_t>& HashIndex::Probe(const Value& key) const {
+void HashIndex::ProbeInto(const Value& key, std::vector<int64_t>* out) const {
+  out->clear();
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = map_.find(key);
-  if (it == map_.end()) return empty_;
-  return it->second;
+  if (it != map_.end()) out->assign(it->second.begin(), it->second.end());
+}
+
+std::vector<int64_t> HashIndex::Probe(const Value& key) const {
+  std::vector<int64_t> out;
+  ProbeInto(key, &out);
+  return out;
+}
+
+void HashIndex::Insert(const Value& key, int64_t rid) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  map_[key].push_back(rid);
+}
+
+int64_t HashIndex::num_keys() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return static_cast<int64_t>(map_.size());
 }
 
 }  // namespace popdb

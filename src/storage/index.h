@@ -2,6 +2,7 @@
 #define POPDB_STORAGE_INDEX_H_
 
 #include <cstdint>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -15,11 +16,19 @@ namespace popdb {
 /// the executor for index nested-loop join probes and by the optimizer to
 /// decide whether an index access path exists.
 ///
-/// The index is built once over the full table; it does not track appends
-/// made after construction (the engine loads data before querying).
+/// The index is maintained incrementally by the write path as a *superset*
+/// posting list: INSERT appends the new rid, UPDATE appends a posting for
+/// the new value (the old value's posting is left behind), DELETE leaves
+/// the tombstoned rid in place. Probes therefore return candidates, and the
+/// executor re-checks both the indexed condition and snapshot liveness per
+/// candidate — which it must do anyway for snapshot-consistent reads, since
+/// a probe sees the index's present while the query reads a pinned past.
+///
+/// Thread safe: probes take a shared lock and copy the postings out;
+/// Insert takes an exclusive lock (serialized per table by the write lane).
 class HashIndex {
  public:
-  /// Builds the index over `table.column(column)`.
+  /// Builds the index over a snapshot of `table.column(column)`.
   HashIndex(const Table& table, int column);
 
   /// Builds the index over a materialized row vector (row ids are the
@@ -30,17 +39,26 @@ class HashIndex {
   int column() const { return column_; }
   const std::string& table_name() const { return table_name_; }
 
-  /// Returns row ids whose indexed column equals `key` (empty if none).
-  const std::vector<int64_t>& Probe(const Value& key) const;
+  /// Copies the row ids whose indexed column may equal `key` into `*out`
+  /// (cleared first). Candidates are a superset under writes; callers
+  /// re-check the actual row.
+  void ProbeInto(const Value& key, std::vector<int64_t>* out) const;
+
+  /// Convenience probe returning the candidates by value.
+  std::vector<int64_t> Probe(const Value& key) const;
+
+  /// Write-path maintenance: records that `rid`'s indexed column now holds
+  /// `key`.
+  void Insert(const Value& key, int64_t rid);
 
   /// Number of distinct keys in the index.
-  int64_t num_keys() const { return static_cast<int64_t>(map_.size()); }
+  int64_t num_keys() const;
 
  private:
   std::string table_name_;
   int column_;
+  mutable std::shared_mutex mu_;
   std::unordered_map<Value, std::vector<int64_t>, ValueHash> map_;
-  std::vector<int64_t> empty_;
 };
 
 }  // namespace popdb

@@ -37,28 +37,28 @@ double EquiDepthHistogram::FractionBetween(double lo, double hi) const {
 }
 
 namespace {
-/// Shared stats computation over a row-id subset. When `sampled`, null
-/// counts are scaled back to the full table and distinct counts are
-/// extrapolated with the GEE estimator.
-TableStats CollectOverRows(const Table& table,
+/// Shared stats computation over a row-id subset of one pinned snapshot.
+/// When `sampled`, null counts are scaled back to the full table and
+/// distinct counts are extrapolated with the GEE estimator.
+TableStats CollectOverRows(const TableSnapshot& snap, const Schema& schema,
                            const std::vector<int64_t>& rids,
                            bool sampled, double sample_fraction,
                            int histogram_buckets) {
   TableStats stats;
-  stats.row_count = table.num_rows();
-  const int ncols = table.schema().num_columns();
+  stats.row_count = snap.live_rows();
+  const int ncols = schema.num_columns();
   stats.columns.resize(static_cast<size_t>(ncols));
 
   for (int c = 0; c < ncols; ++c) {
     ColumnStats& cs = stats.columns[static_cast<size_t>(c)];
     std::unordered_map<Value, int64_t, ValueHash> counts;
     std::vector<double> numeric_values;
-    const bool numeric = table.schema().column(c).type == ValueType::kInt ||
-                         table.schema().column(c).type == ValueType::kDouble;
+    const bool numeric = schema.column(c).type == ValueType::kInt ||
+                         schema.column(c).type == ValueType::kDouble;
     if (numeric) numeric_values.reserve(rids.size());
 
     for (int64_t r : rids) {
-      const Value& v = table.row(r)[static_cast<size_t>(c)];
+      const Value& v = snap.row(r)[static_cast<size_t>(c)];
       if (v.is_null()) {
         ++cs.null_count;
         continue;
@@ -121,10 +121,13 @@ TableStats CollectOverRows(const Table& table,
 }  // namespace
 
 TableStats CollectTableStats(const Table& table, int histogram_buckets) {
+  const TableSnapshot snap = table.Snapshot();
   std::vector<int64_t> all;
-  all.reserve(static_cast<size_t>(table.num_rows()));
-  for (int64_t r = 0; r < table.num_rows(); ++r) all.push_back(r);
-  return CollectOverRows(table, all, /*sampled=*/false, 1.0,
+  all.reserve(static_cast<size_t>(snap.live_rows()));
+  for (int64_t r = 0; r < snap.num_rows(); ++r) {
+    if (snap.alive(r)) all.push_back(r);
+  }
+  return CollectOverRows(snap, table.schema(), all, /*sampled=*/false, 1.0,
                          histogram_buckets);
 }
 
@@ -133,13 +136,17 @@ TableStats CollectTableStatsSampled(const Table& table,
                                     int histogram_buckets) {
   sample_fraction = std::clamp(sample_fraction, 1e-6, 1.0);
   Rng rng(seed);
+  const TableSnapshot snap = table.Snapshot();
   std::vector<int64_t> sample;
-  for (int64_t r = 0; r < table.num_rows(); ++r) {
+  int64_t first_alive = -1;
+  for (int64_t r = 0; r < snap.num_rows(); ++r) {
+    if (!snap.alive(r)) continue;
+    if (first_alive < 0) first_alive = r;
     if (rng.Bernoulli(sample_fraction)) sample.push_back(r);
   }
-  if (sample.empty() && table.num_rows() > 0) sample.push_back(0);
-  return CollectOverRows(table, sample, /*sampled=*/true, sample_fraction,
-                         histogram_buckets);
+  if (sample.empty() && first_alive >= 0) sample.push_back(first_alive);
+  return CollectOverRows(snap, table.schema(), sample, /*sampled=*/true,
+                         sample_fraction, histogram_buckets);
 }
 
 }  // namespace popdb

@@ -1,14 +1,201 @@
 #include "storage/table.h"
 
+#include <algorithm>
+
 namespace popdb {
 
-void Table::AppendRow(Row row) {
-  POPDB_DCHECK(static_cast<int>(row.size()) == schema_.num_columns());
-  for (int c = 0; c < schema_.num_columns(); ++c) {
+namespace {
+
+void CheckRowShape(const Schema& schema, const Row& row) {
+  POPDB_DCHECK(static_cast<int>(row.size()) == schema.num_columns());
+  for (int c = 0; c < schema.num_columns(); ++c) {
     const Value& v = row[static_cast<size_t>(c)];
-    POPDB_DCHECK(v.is_null() || v.type() == schema_.column(c).type);
+    POPDB_DCHECK(v.is_null() || v.type() == schema.column(c).type);
+    (void)v;
   }
-  rows_.push_back(std::move(row));
+  (void)schema;
+  (void)row;
+}
+
+/// Appends `row` to `version`, growing the chunk list as needed. The last
+/// chunk must be exclusively owned by `version` (fresh or copy-on-written).
+void AppendToVersion(TableVersion* version, Row row) {
+  if (version->chunks.empty() ||
+      static_cast<int64_t>(version->chunks.back()->rows.size()) ==
+          kTableChunkRows) {
+    auto chunk = std::make_shared<TableChunk>();
+    chunk->rows.reserve(static_cast<size_t>(kTableChunkRows));
+    chunk->live.reserve(static_cast<size_t>(kTableChunkRows));
+    version->chunks.push_back(std::move(chunk));
+  }
+  TableChunk& last = *version->chunks.back();
+  last.rows.push_back(std::move(row));
+  last.live.push_back(1);
+  ++version->num_rows;
+  ++version->live_rows;
+}
+
+}  // namespace
+
+Table::Table(std::string name, Schema schema)
+    : name_(std::move(name)),
+      schema_(std::move(schema)),
+      head_(std::make_shared<TableVersion>()) {}
+
+Table::Table(Table&& other) noexcept
+    : name_(std::move(other.name_)),
+      schema_(std::move(other.schema_)),
+      head_(std::move(other.head_)) {}
+
+Table& Table::operator=(Table&& other) noexcept {
+  if (this != &other) {
+    name_ = std::move(other.name_);
+    schema_ = std::move(other.schema_);
+    head_ = std::move(other.head_);
+  }
+  return *this;
+}
+
+TableSnapshot Table::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ever_snapshotted_ = true;
+  return TableSnapshot(this, head_);
+}
+
+int64_t Table::num_rows() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return head_->num_rows;
+}
+
+int64_t Table::live_rows() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return head_->live_rows;
+}
+
+const Row& Table::row(int64_t rid) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const TableChunk& c =
+      *head_->chunks[static_cast<size_t>(rid >> kTableChunkShift)];
+  return c.rows[static_cast<size_t>(rid & (kTableChunkRows - 1))];
+}
+
+bool Table::HeadUnsharedLocked() const {
+  // A dropped snapshot decrements use counts without ordering its reads
+  // before our writes, so counts alone cannot prove exclusivity — once a
+  // snapshot was ever pinned, stay on the copy-on-write path forever.
+  if (ever_snapshotted_) return false;
+  if (head_.use_count() != 1) return false;
+  return head_->chunks.empty() || head_->chunks.back().use_count() == 1;
+}
+
+std::shared_ptr<TableVersion> Table::CloneHeadLocked() const {
+  auto next = std::make_shared<TableVersion>();
+  next->chunks = head_->chunks;  // Share every chunk pointer.
+  next->num_rows = head_->num_rows;
+  next->live_rows = head_->live_rows;
+  return next;
+}
+
+void Table::AppendRow(Row row) {
+  CheckRowShape(schema_, row);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (HeadUnsharedLocked()) {
+    // Bulk-load fast path: no snapshot can observe the head (use counts
+    // are checked under the same mutex Snapshot() pins through), so the
+    // append is invisible until a reader pins after us.
+    AppendToVersion(head_.get(), std::move(row));
+    return;
+  }
+  std::shared_ptr<TableVersion> next = CloneHeadLocked();
+  if (!next->chunks.empty() &&
+      static_cast<int64_t>(next->chunks.back()->rows.size()) <
+          kTableChunkRows) {
+    next->chunks.back() = std::make_shared<TableChunk>(*next->chunks.back());
+  }
+  AppendToVersion(next.get(), std::move(row));
+  head_ = std::move(next);
+}
+
+int64_t Table::AppendRows(std::vector<Row> rows) {
+  for (const Row& row : rows) CheckRowShape(schema_, row);
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t first_rid = head_->num_rows;
+  if (HeadUnsharedLocked()) {
+    for (Row& row : rows) AppendToVersion(head_.get(), std::move(row));
+    return first_rid;
+  }
+  std::shared_ptr<TableVersion> next = CloneHeadLocked();
+  if (!next->chunks.empty() &&
+      static_cast<int64_t>(next->chunks.back()->rows.size()) <
+          kTableChunkRows) {
+    next->chunks.back() = std::make_shared<TableChunk>(*next->chunks.back());
+  }
+  for (Row& row : rows) AppendToVersion(next.get(), std::move(row));
+  head_ = std::move(next);
+  return first_rid;
+}
+
+int64_t Table::UpdateRows(const std::vector<int64_t>& rids,
+                          const std::function<void(Row*)>& mutate) {
+  if (rids.empty()) return 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_ptr<TableVersion> next = CloneHeadLocked();
+  int64_t updated = 0;
+  for (int64_t rid : rids) {
+    if (rid < 0 || rid >= next->num_rows) continue;
+    const size_t ci = static_cast<size_t>(rid >> kTableChunkShift);
+    const size_t off = static_cast<size_t>(rid & (kTableChunkRows - 1));
+    if (next->chunks[ci]->live[off] == 0) continue;
+    if (next->chunks[ci].use_count() > 1) {
+      // Copy-on-write: the chunk is shared with the (possibly pinned)
+      // previous version.
+      next->chunks[ci] = std::make_shared<TableChunk>(*next->chunks[ci]);
+    }
+    Row copy = next->chunks[ci]->rows[off];
+    mutate(&copy);
+    CheckRowShape(schema_, copy);
+    next->chunks[ci]->rows[off] = std::move(copy);
+    ++updated;
+  }
+  head_ = std::move(next);  // Single publish: the statement is atomic.
+  return updated;
+}
+
+int64_t Table::DeleteRows(const std::vector<int64_t>& rids) {
+  if (rids.empty()) return 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_ptr<TableVersion> next = CloneHeadLocked();
+  int64_t deleted = 0;
+  for (int64_t rid : rids) {
+    if (rid < 0 || rid >= next->num_rows) continue;
+    const size_t ci = static_cast<size_t>(rid >> kTableChunkShift);
+    const size_t off = static_cast<size_t>(rid & (kTableChunkRows - 1));
+    if (next->chunks[ci]->live[off] == 0) continue;
+    if (next->chunks[ci].use_count() > 1) {
+      next->chunks[ci] = std::make_shared<TableChunk>(*next->chunks[ci]);
+    }
+    next->chunks[ci]->live[off] = 0;
+    --next->live_rows;
+    ++deleted;
+  }
+  head_ = std::move(next);
+  return deleted;
+}
+
+void Table::Reserve(int64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Hint only: skip when a reader may be iterating the chunk list.
+  if (!HeadUnsharedLocked()) return;
+  head_->chunks.reserve(
+      static_cast<size_t>((n + kTableChunkRows - 1) / kTableChunkRows));
+}
+
+const TableSnapshot& TableSnapshotSet::Pin(const Table& table) {
+  auto it = snapshots_.find(table.name());
+  if (it == snapshots_.end()) {
+    it = snapshots_.emplace(table.name(), table.Snapshot()).first;
+  }
+  return it->second;
 }
 
 }  // namespace popdb

@@ -1,0 +1,150 @@
+#include "txn/stats_delta.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace popdb {
+namespace txn {
+
+StatsDelta::StatsDelta(int num_columns, StatsDeltaConfig config)
+    : config_(config), columns_(static_cast<size_t>(num_columns)) {}
+
+void StatsDelta::RecordAdded(const Row& row) {
+  for (size_t c = 0; c < columns_.size() && c < row.size(); ++c) {
+    ColumnDelta& cd = columns_[c];
+    const Value& v = row[c];
+    if (v.is_null()) {
+      ++cd.nulls_added;
+      continue;
+    }
+    if (!cd.min || v < *cd.min) cd.min = v;
+    if (!cd.max || v > *cd.max) cd.max = v;
+    if (v.type() == ValueType::kInt || v.type() == ValueType::kDouble) {
+      cd.added.push_back(v.AsNumeric());
+    }
+    if (!cd.ndv_saturated) {
+      cd.ndv_sketch.insert(v.Hash());
+      if (cd.ndv_sketch.size() >= config_.ndv_sketch_cap) {
+        cd.ndv_saturated = true;
+      }
+    }
+  }
+}
+
+void StatsDelta::RecordRemoved(const Row& row) {
+  for (size_t c = 0; c < columns_.size() && c < row.size(); ++c) {
+    ColumnDelta& cd = columns_[c];
+    const Value& v = row[c];
+    if (v.is_null()) {
+      ++cd.nulls_removed;
+      continue;
+    }
+    if (v.type() == ValueType::kInt || v.type() == ValueType::kDouble) {
+      cd.removed.push_back(v.AsNumeric());
+    }
+  }
+}
+
+void StatsDelta::RecordInsert(const Row& row) {
+  ++inserted_;
+  RecordAdded(row);
+}
+
+void StatsDelta::RecordDelete(const Row& row) {
+  ++deleted_;
+  RecordRemoved(row);
+}
+
+void StatsDelta::RecordUpdate(const Row& before, const Row& after) {
+  ++updated_;
+  RecordRemoved(before);
+  RecordAdded(after);
+}
+
+bool StatsDelta::ShouldFold(const TableStats* base, int64_t live_rows) const {
+  const int64_t c = churn();
+  if (c < config_.min_churn_rows) return false;
+  const double described =
+      static_cast<double>(base != nullptr ? base->row_count : live_rows);
+  return static_cast<double>(c) >=
+         config_.fold_threshold * std::max(1.0, described);
+}
+
+namespace {
+
+/// Replays one added numeric value into an equi-depth histogram: the
+/// covering bucket's count grows; values outside the current domain widen
+/// the first/last bucket's bound. Bucket *boundaries* are otherwise kept —
+/// folds adjust counts, a full RUNSTATS re-equalizes depths.
+void HistogramAdd(EquiDepthHistogram* h, double x) {
+  if (h->empty()) return;
+  if (x < h->bounds.front()) h->bounds.front() = x;
+  if (x > h->bounds.back()) h->bounds.back() = x;
+  for (size_t b = 0; b < h->counts.size(); ++b) {
+    if (x <= h->bounds[b + 1] || b + 1 == h->counts.size()) {
+      ++h->counts[b];
+      break;
+    }
+  }
+  ++h->total_rows;
+}
+
+/// Replays one removed numeric value: the covering bucket's count shrinks
+/// (clamped at zero — the value may have arrived after the histogram was
+/// built, in which case its bucket never counted it).
+void HistogramRemove(EquiDepthHistogram* h, double x) {
+  if (h->empty()) return;
+  for (size_t b = 0; b < h->counts.size(); ++b) {
+    if (x <= h->bounds[b + 1] || b + 1 == h->counts.size()) {
+      if (h->counts[b] > 0) --h->counts[b];
+      break;
+    }
+  }
+  if (h->total_rows > 0) --h->total_rows;
+}
+
+}  // namespace
+
+TableStats StatsDelta::Fold(const Table& table, const TableStats* base) {
+  if (base == nullptr) {
+    Reset();
+    return CollectTableStats(table, config_.histogram_buckets);
+  }
+  TableStats next = *base;
+  next.row_count = table.live_rows();
+  const int ncols = std::min(static_cast<int>(columns_.size()),
+                             static_cast<int>(next.columns.size()));
+  for (int c = 0; c < ncols; ++c) {
+    ColumnDelta& cd = columns_[static_cast<size_t>(c)];
+    ColumnStats& cs = next.columns[static_cast<size_t>(c)];
+    // Min/max widen from inserted values. Deletes never narrow them — a
+    // widened-but-stale bound only loses selectivity precision, which the
+    // CHECK machinery absorbs; narrowing would require a rescan.
+    if (cd.min && (!cs.min || *cd.min < *cs.min)) cs.min = cd.min;
+    if (cd.max && (!cs.max || *cd.max > *cs.max)) cs.max = cd.max;
+    cs.null_count =
+        std::max<int64_t>(0, cs.null_count + cd.nulls_added -
+                                 cd.nulls_removed);
+    for (double x : cd.added) HistogramAdd(&cs.histogram, x);
+    for (double x : cd.removed) HistogramRemove(&cs.histogram, x);
+    // NDV: the sketch counts distinct inserted values but cannot know how
+    // many already existed, so the fold takes the conservative band
+    // [old, old + sketch] clamped to the row count. Saturated sketches
+    // under-estimate; a full RUNSTATS recalibrates.
+    const int64_t sketch = static_cast<int64_t>(cd.ndv_sketch.size());
+    cs.num_distinct =
+        std::max(cs.num_distinct,
+                 std::min(cs.num_distinct + sketch, next.row_count));
+    cs.num_distinct = std::min(cs.num_distinct, next.row_count);
+  }
+  Reset();
+  return next;
+}
+
+void StatsDelta::Reset() {
+  inserted_ = deleted_ = updated_ = 0;
+  for (ColumnDelta& cd : columns_) cd = ColumnDelta{};
+}
+
+}  // namespace txn
+}  // namespace popdb

@@ -1,0 +1,91 @@
+#ifndef POPDB_TXN_STATS_DELTA_H_
+#define POPDB_TXN_STATS_DELTA_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "common/value.h"
+#include "storage/statistics.h"
+#include "storage/table.h"
+
+namespace popdb {
+namespace txn {
+
+/// Knobs for incremental statistics maintenance.
+struct StatsDeltaConfig {
+  /// Fold accumulated deltas into the catalog statistics once the churn
+  /// (inserted + deleted + updated rows since the last fold) reaches this
+  /// fraction of the row count the statistics describe.
+  double fold_threshold = 0.10;
+  /// Absolute churn floor so tiny tables don't fold (and bump the stats
+  /// version, invalidating cached plans) on every statement.
+  int64_t min_churn_rows = 32;
+  /// Cap on the per-column sketch of distinct inserted values.
+  size_t ndv_sketch_cap = 4096;
+  /// Bucket resolution when a fold has no base statistics and computes
+  /// them from scratch.
+  int histogram_buckets = 32;
+};
+
+/// Per-table accumulator of statistics drift, maintained by the write lane
+/// (single writer per table — not internally synchronized). Instead of
+/// re-scanning the table on every DML statement, the lane records cheap
+/// per-statement deltas here; once drift crosses the configured threshold,
+/// Fold() produces a fresh TableStats by adjusting the last published
+/// statistics — row-count delta, min/max widening, histogram bucket-count
+/// adjustments, NDV sketch merge — and the catalog bumps its stats version
+/// exactly once per fold. In POP terms: small drift is absorbed by CHECK
+/// validity ranges at run time; large drift re-aims the optimizer.
+class StatsDelta {
+ public:
+  StatsDelta(int num_columns, StatsDeltaConfig config);
+
+  void RecordInsert(const Row& row);
+  void RecordDelete(const Row& row);
+  void RecordUpdate(const Row& before, const Row& after);
+
+  /// Rows churned since the last fold.
+  int64_t churn() const { return inserted_ + deleted_ + updated_; }
+
+  /// True when churn justifies folding against `base` (the currently
+  /// published statistics; null if the table was never analyzed, in which
+  /// case the threshold is taken against the table's current size).
+  bool ShouldFold(const TableStats* base, int64_t live_rows) const;
+
+  /// Produces the next TableStats for `table` and resets the accumulators.
+  /// With a `base`, deltas are applied to a copy of it (no table scan);
+  /// without one, statistics are computed from scratch.
+  TableStats Fold(const Table& table, const TableStats* base);
+
+ private:
+  struct ColumnDelta {
+    /// Min/max over inserted (and update-after) non-null values.
+    std::optional<Value> min;
+    std::optional<Value> max;
+    int64_t nulls_added = 0;
+    int64_t nulls_removed = 0;
+    /// Numeric values added/removed — replayed into histogram buckets.
+    std::vector<double> added;
+    std::vector<double> removed;
+    /// Distinct-value sketch of added values (capped; saturation recorded).
+    std::unordered_set<size_t> ndv_sketch;
+    bool ndv_saturated = false;
+  };
+
+  void RecordAdded(const Row& row);
+  void RecordRemoved(const Row& row);
+  void Reset();
+
+  StatsDeltaConfig config_;
+  int64_t inserted_ = 0;
+  int64_t deleted_ = 0;
+  int64_t updated_ = 0;
+  std::vector<ColumnDelta> columns_;
+};
+
+}  // namespace txn
+}  // namespace popdb
+
+#endif  // POPDB_TXN_STATS_DELTA_H_

@@ -1,0 +1,65 @@
+#ifndef POPDB_TXN_WRITE_H_
+#define POPDB_TXN_WRITE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+#include "exec/expr.h"
+
+namespace popdb {
+namespace txn {
+
+/// Kind of a DML statement.
+enum class WriteOp {
+  kInsert,
+  kUpdate,
+  kDelete,
+};
+
+const char* WriteOpName(WriteOp op);
+
+/// One UPDATE assignment, bound by the SQL binder: `column` is the schema
+/// column index; `value` is the bound literal. With `is_delta`, the
+/// assignment is `col = col + value` (value may be negative) — the
+/// TPC-C-style balance adjustment shape — and requires a numeric column.
+struct SetClause {
+  int column = -1;
+  Value value;
+  bool is_delta = false;
+};
+
+/// A fully bound DML statement, ready for txn::WriteManager::Apply. The SQL
+/// front end produces this from INSERT/UPDATE/DELETE text: column names are
+/// resolved to schema positions, parameter markers are substituted, and
+/// row shapes are checked against the schema.
+struct WriteStatement {
+  WriteOp op = WriteOp::kInsert;
+  std::string table;
+
+  /// INSERT: full rows in schema column order.
+  std::vector<Row> rows;
+
+  /// UPDATE: assignments applied to every matching row.
+  std::vector<SetClause> sets;
+
+  /// UPDATE/DELETE: conjunctive WHERE over the table's own columns
+  /// (ResolvedPredicate::pos is the schema column index). Empty = all rows.
+  std::vector<ResolvedPredicate> where;
+};
+
+/// Outcome of one applied write statement.
+struct WriteResult {
+  int64_t affected_rows = 0;
+  /// Catalog stats version after the write (bumped only if it folded).
+  int64_t stats_version = 0;
+  /// True when this statement's drift crossed the threshold and folded the
+  /// accumulated deltas into the table's statistics.
+  bool stats_folded = false;
+};
+
+}  // namespace txn
+}  // namespace popdb
+
+#endif  // POPDB_TXN_WRITE_H_

@@ -396,7 +396,8 @@ TEST(MatViewIndexing, OptimizerIndexesViewForNljnProbes) {
 
   // Offer a materialized view that is an exact copy of emp.
   const Table* emp = catalog.GetTable("emp");
-  std::vector<Row> mv_rows(emp->rows().begin(), emp->rows().end());
+  std::vector<Row> mv_rows;
+  for (int64_t r = 0; r < emp->num_rows(); ++r) mv_rows.push_back(emp->row(r));
   std::vector<AvailableMatView> mvs = {
       {"mv_emp", TableBit(e), static_cast<double>(mv_rows.size()),
        &mv_rows, {}}};
@@ -434,7 +435,8 @@ TEST(MatViewIndexing, BaseIndexStillPreferredWhenPresent) {
   q.AddJoin({d, 0}, {e, 1});  // e_dept has a base index.
   q.AddPred({d, 0}, PredKind::kEq, Value::Int(2));
   const Table* emp = catalog.GetTable("emp");
-  std::vector<Row> mv_rows(emp->rows().begin(), emp->rows().end());
+  std::vector<Row> mv_rows;
+  for (int64_t r = 0; r < emp->num_rows(); ++r) mv_rows.push_back(emp->row(r));
   std::vector<AvailableMatView> mvs = {
       {"mv_emp", TableBit(e), static_cast<double>(mv_rows.size()),
        &mv_rows, {}}};
